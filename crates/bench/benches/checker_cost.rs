@@ -1,0 +1,114 @@
+//! E12 — cost of the decision procedures vs history size, plus the
+//! down-set-DP vs naive-enumeration ablation for linearization
+//! counting (the machinery every checker sits on).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+use uc_criteria::{check_ec, check_pc, check_sec, check_suc, check_uc};
+use uc_history::{linearize, History, HistoryBuilder};
+use uc_spec::{SetAdt, SetQuery, SetUpdate};
+
+/// A convergent 2-process history with `k` updates per process and a
+/// read + ω-read tail — SUC-positive, so the searches terminate on a
+/// witness rather than exhausting.
+fn convergent_history(k: usize) -> History<SetAdt<u32>> {
+    let mut b = HistoryBuilder::new(SetAdt::<u32>::new());
+    let [p0, p1] = b.processes();
+    let mut all = BTreeSet::new();
+    for i in 0..k as u32 {
+        b.update(p0, SetUpdate::Insert(i));
+        b.update(p1, SetUpdate::Insert(100 + i));
+        all.insert(i);
+        all.insert(100 + i);
+    }
+    let own: BTreeSet<u32> = (0..k as u32).collect();
+    b.query(p0, SetQuery::Read, own);
+    b.omega_query(p0, SetQuery::Read, all.clone());
+    b.omega_query(p1, SetQuery::Read, all);
+    b.build().unwrap()
+}
+
+fn bench_checkers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("checker_vs_updates");
+    for &k in &[1usize, 2, 3] {
+        let h = convergent_history(k);
+        g.bench_with_input(BenchmarkId::new("ec", 2 * k), &k, |b, _| {
+            b.iter(|| black_box(check_ec(&h)))
+        });
+        g.bench_with_input(BenchmarkId::new("uc", 2 * k), &k, |b, _| {
+            b.iter(|| black_box(check_uc(&h)))
+        });
+        g.bench_with_input(BenchmarkId::new("pc", 2 * k), &k, |b, _| {
+            b.iter(|| black_box(check_pc(&h)))
+        });
+        g.bench_with_input(BenchmarkId::new("sec", 2 * k), &k, |b, _| {
+            b.iter(|| black_box(check_sec(&h)))
+        });
+        g.bench_with_input(BenchmarkId::new("suc", 2 * k), &k, |b, _| {
+            b.iter(|| black_box(check_suc(&h)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_linearization_counting(c: &mut Criterion) {
+    // Two independent chains of length k: C(2k, k) linearizations.
+    // The DP counts them in O(2^{2k}) down-sets; naive enumeration
+    // walks every one.
+    let mut g = c.benchmark_group("linearizations_2_chains");
+    for &k in &[4usize, 6, 8] {
+        let mut b = HistoryBuilder::new(SetAdt::<u32>::new());
+        let [p0, p1] = b.processes();
+        for i in 0..k as u32 {
+            b.update(p0, SetUpdate::Insert(i));
+            b.update(p1, SetUpdate::Insert(100 + i));
+        }
+        let h = b.build().unwrap();
+        g.bench_with_input(BenchmarkId::new("downset_dp_count", k), &k, |bch, _| {
+            bch.iter(|| black_box(linearize::count(&h, h.all_mask())))
+        });
+        g.bench_with_input(BenchmarkId::new("naive_enumeration", k), &k, |bch, _| {
+            bch.iter(|| {
+                let mut n = 0u64;
+                linearize::for_each::<_, ()>(&h, h.all_mask(), |_| {
+                    n += 1;
+                    std::ops::ControlFlow::Continue(())
+                });
+                black_box(n)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_witness_vs_search(c: &mut Criterion) {
+    // The Prop. 4 pipeline's point: polynomial witness verification vs
+    // exponential search on the same SUC-positive history.
+    let h = convergent_history(3);
+    let uc_criteria::Verdict::Holds(uc_criteria::Witness::VisibilityAndOrder {
+        visibility,
+        order,
+    }) = check_suc(&h)
+    else {
+        panic!("history must be SUC");
+    };
+    let w = uc_criteria::SucWitness {
+        update_order: order,
+        visible: visibility.visible,
+    };
+    let mut g = c.benchmark_group("suc_decision");
+    g.bench_function("search", |b| b.iter(|| black_box(check_suc(&h))));
+    g.bench_function("witness_verify", |b| {
+        b.iter(|| black_box(uc_criteria::verify_witness(&h, &w)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_checkers,
+    bench_linearization_counting,
+    bench_witness_vs_search
+);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! E7 (end-to-end) — simulated wall-clock and message cost to drive a
+//! cluster to convergence, for the update-consistent set vs the OR-set
+//! baseline, sweeping the process count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use uc_bench::{default_latency, drive_crdt_set, drive_uc_set};
+use uc_crdt::OrSet;
+use uc_sim::workload::{generate, WorkloadSpec};
+
+fn spec(n: usize) -> WorkloadSpec {
+    WorkloadSpec {
+        processes: n,
+        ops_per_process: 120 / n.max(1),
+        universe: 16,
+        zipf_alpha: 0.8,
+        update_ratio: 0.9,
+        insert_ratio: 0.6,
+        mean_gap: 6,
+        seed: 2024,
+    }
+}
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("converge_120_ops");
+    for &n in &[2usize, 4, 8, 16] {
+        let schedule = generate(&spec(n));
+        g.throughput(Throughput::Elements(schedule.len() as u64));
+        g.bench_with_input(BenchmarkId::new("uc_set", n), &n, |b, _| {
+            b.iter(|| black_box(drive_uc_set(n, 5, &schedule, default_latency())))
+        });
+        g.bench_with_input(BenchmarkId::new("or_set", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(drive_crdt_set(
+                    n,
+                    5,
+                    &schedule,
+                    default_latency(),
+                    OrSet::<u32>::new,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

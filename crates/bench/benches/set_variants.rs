@@ -1,0 +1,85 @@
+//! E6/E11 — local operation throughput of each set implementation,
+//! and the pure-CRDT section: naive apply-on-delivery vs Algorithm 1's
+//! ordering machinery on commutative objects.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use uc_core::GenericReplica;
+use uc_crdt::{CSet, LwwSet, NaiveCounter, OrSet, PnSet, SetReplica, TwoPhaseSet};
+use uc_spec::{CounterAdt, CounterUpdate, SetAdt, SetUpdate};
+
+const OPS: usize = 1_000;
+
+fn drive<S: SetReplica<u32>>(mut s: S) -> S {
+    for i in 0..OPS {
+        let v = (i % 64) as u32;
+        if i % 3 == 0 {
+            s.delete(v);
+        } else {
+            s.insert(v);
+        }
+        if i % 16 == 0 {
+            black_box(s.read());
+        }
+    }
+    s
+}
+
+fn bench_local_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("set_local_ops_1k");
+    g.throughput(Throughput::Elements(OPS as u64));
+    g.bench_function("or_set", |b| b.iter(|| black_box(drive(OrSet::<u32>::new(0)))));
+    g.bench_function("two_phase", |b| {
+        b.iter(|| black_box(drive(TwoPhaseSet::<u32>::new())))
+    });
+    g.bench_function("pn_set", |b| b.iter(|| black_box(drive(PnSet::<u32>::new()))));
+    g.bench_function("c_set", |b| b.iter(|| black_box(drive(CSet::<u32>::new()))));
+    g.bench_function("lww_set", |b| b.iter(|| black_box(drive(LwwSet::<u32>::new(0)))));
+    g.bench_function("uc_set_naive_replay", |b| {
+        b.iter(|| {
+            let mut r = GenericReplica::new(SetAdt::<u32>::new(), 0);
+            for i in 0..OPS {
+                let v = (i % 64) as u32;
+                r.update(if i % 3 == 0 {
+                    SetUpdate::Delete(v)
+                } else {
+                    SetUpdate::Insert(v)
+                });
+                if i % 16 == 0 {
+                    black_box(r.do_query(&uc_spec::SetQuery::Read));
+                }
+            }
+            black_box(r)
+        })
+    });
+    g.finish();
+}
+
+fn bench_commutative_overhead(c: &mut Criterion) {
+    // §VII-C: for commutative objects the total order is unnecessary;
+    // measure what Algorithm 1 pays for it on a counter.
+    let mut g = c.benchmark_group("counter_1k_increments");
+    g.throughput(Throughput::Elements(1_000));
+    g.bench_function("naive_apply_on_delivery", |b| {
+        b.iter(|| {
+            let mut c0 = NaiveCounter::new();
+            for i in 0..1_000 {
+                c0.add(i % 7);
+            }
+            black_box(c0.value())
+        })
+    });
+    g.bench_function("algorithm1_ordered", |b| {
+        b.iter(|| {
+            let mut r = GenericReplica::new(CounterAdt, 0);
+            for i in 0..1_000 {
+                r.update(CounterUpdate::Add(i % 7));
+            }
+            black_box(r.do_query(&uc_spec::CounterQuery::Read))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_local_ops, bench_commutative_overhead);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E1/E2 — regenerate the paper's Fig. 1a–d and Fig. 2 classification
+//! matrix and check it against the captions.
+//!
+//! ```text
+//! cargo run -p uc-bench --bin figures
+//! ```
+
+use uc_criteria::matrix::{classify, render};
+use uc_criteria::CheckConfig;
+use uc_history::paper;
+
+fn main() {
+    let cfg = CheckConfig::default();
+    let figs = paper::all_figures();
+    let rows: Vec<_> = figs
+        .iter()
+        .map(|f| classify(f.name, f.caption, &f.history, &cfg))
+        .collect();
+    println!("Classification of the paper's example histories");
+    println!("(set S_N of Example 1; EC/SEC/PC/UC/SUC per Definitions 5-9,");
+    println!(" SC = sequential consistency for calibration)\n");
+    println!("{}", render(&rows));
+
+    let mut mismatches = 0;
+    for (fig, row) in figs.iter().zip(&rows) {
+        let checks = [
+            ("EC", fig.expected.ec),
+            ("SEC", fig.expected.sec),
+            ("PC", fig.expected.pc),
+            ("UC", fig.expected.uc),
+            ("SUC", fig.expected.suc),
+        ];
+        for (name, want) in checks {
+            let got = row.verdict(name).expect("known criterion");
+            if got.holds() != want {
+                eprintln!(
+                    "MISMATCH {} {}: paper says {}, checker says {:?}",
+                    fig.name, name, want, got
+                );
+                mismatches += 1;
+            }
+        }
+    }
+    if mismatches == 0 {
+        println!("all {} figure classifications match the paper ✔", figs.len());
+    } else {
+        eprintln!("{mismatches} mismatches");
+        std::process::exit(1);
+    }
+
+    println!("\nGraphviz of Fig. 2 (render with `dot -Tpng`):\n");
+    println!("{}", uc_history::dot::to_dot(&paper::fig2().history, "fig2"));
+}

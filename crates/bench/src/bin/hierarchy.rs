@@ -1,0 +1,144 @@
+//! E3 — Proposition 2 as a census: classify random histories against
+//! every criterion and tabulate the co-occurrence counts. The
+//! forbidden cells (UC ∧ ¬EC, SUC ∧ ¬SEC, SUC ∧ ¬UC, SC ∧ ¬SUC) must
+//! be zero; the paper's figures show every allowed separation is
+//! non-empty.
+//!
+//! ```text
+//! cargo run -p uc-bench --bin hierarchy [samples]
+//! ```
+
+use std::collections::BTreeSet;
+use uc_bench::render_table;
+use uc_criteria::{
+    check_ec, check_pc, check_sc, check_sec, check_suc, check_uc, Verdict,
+};
+use uc_history::{History, HistoryBuilder};
+use uc_sim::SplitMix64;
+use uc_spec::{SetAdt, SetQuery, SetUpdate};
+
+fn random_history(rng: &mut SplitMix64) -> History<SetAdt<u32>> {
+    let mut b = HistoryBuilder::new(SetAdt::<u32>::new());
+    let procs = 2 + rng.next_below(2) as usize;
+    for _ in 0..procs {
+        let p = b.process();
+        let ops = rng.next_below(3);
+        for _ in 0..ops {
+            match rng.next_below(3) {
+                0 => {
+                    b.update(p, SetUpdate::Insert(1 + rng.next_below(2) as u32));
+                }
+                1 => {
+                    b.update(p, SetUpdate::Delete(1 + rng.next_below(2) as u32));
+                }
+                _ => {
+                    b.query(p, SetQuery::Read, random_set(rng));
+                }
+            }
+        }
+        if rng.next_below(2) == 0 {
+            b.omega_query(p, SetQuery::Read, random_set(rng));
+        }
+    }
+    b.build().expect("small histories build")
+}
+
+fn random_set(rng: &mut SplitMix64) -> BTreeSet<u32> {
+    let mask = rng.next_below(4);
+    let mut s = BTreeSet::new();
+    if mask & 1 != 0 {
+        s.insert(1);
+    }
+    if mask & 2 != 0 {
+        s.insert(2);
+    }
+    s
+}
+
+fn holds(v: &Verdict) -> Option<bool> {
+    match v {
+        Verdict::Holds(_) => Some(true),
+        Verdict::Fails(_) => Some(false),
+        Verdict::Unsupported(_) => None,
+    }
+}
+
+fn main() {
+    let samples: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(400);
+    let mut rng = SplitMix64::new(0x1EAF);
+    let names = ["EC", "SEC", "PC", "UC", "SUC", "SC"];
+    let mut hold_counts = [0u64; 6];
+    let mut undecided = 0u64;
+    // Implications to audit: (antecedent, consequent) index pairs.
+    let implications = [
+        (3, 0, "UC ⇒ EC (Prop. 2)"),
+        (4, 1, "SUC ⇒ SEC (Prop. 2)"),
+        (4, 3, "SUC ⇒ UC (Prop. 2)"),
+        (5, 4, "SC ⇒ SUC"),
+        (5, 2, "SC ⇒ PC"),
+    ];
+    let mut violations = vec![0u64; implications.len()];
+    let mut checked = vec![0u64; implications.len()];
+
+    for _ in 0..samples {
+        let h = random_history(&mut rng);
+        let verdicts = [
+            holds(&check_ec(&h)),
+            holds(&check_sec(&h)),
+            holds(&check_pc(&h)),
+            holds(&check_uc(&h)),
+            holds(&check_suc(&h)),
+            holds(&check_sc(&h)),
+        ];
+        if verdicts.iter().any(Option::is_none) {
+            undecided += 1;
+            continue;
+        }
+        for (i, v) in verdicts.iter().enumerate() {
+            if v.unwrap() {
+                hold_counts[i] += 1;
+            }
+        }
+        for (k, (a, c, _)) in implications.iter().enumerate() {
+            if verdicts[*a].unwrap() {
+                checked[k] += 1;
+                if !verdicts[*c].unwrap() {
+                    violations[k] += 1;
+                }
+            }
+        }
+    }
+
+    println!("Criterion census over {samples} random histories ({undecided} undecided):\n");
+    let rows: Vec<Vec<String>> = names
+        .iter()
+        .zip(hold_counts)
+        .map(|(n, c)| vec![n.to_string(), c.to_string()])
+        .collect();
+    println!("{}", render_table(&["criterion", "holds"], &rows));
+
+    println!("Implication audit:\n");
+    let rows: Vec<Vec<String>> = implications
+        .iter()
+        .enumerate()
+        .map(|(k, (_, _, label))| {
+            vec![
+                label.to_string(),
+                checked[k].to_string(),
+                violations[k].to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["implication", "antecedent held", "violations"], &rows)
+    );
+    if violations.iter().any(|&v| v > 0) {
+        eprintln!("hierarchy violated!");
+        std::process::exit(1);
+    }
+    println!("no violations — the Prop. 2 hierarchy holds on every sample ✔");
+}

@@ -1,0 +1,281 @@
+//! The **checkpointing** variant of Algorithm 1 (§VII-C: "In an
+//! effective implementation, a process can keep intermediate states.
+//! These intermediate states are re-computed only if very late
+//! messages arrive.").
+//!
+//! The replica maintains the state reached by folding a prefix of the
+//! log, plus periodic checkpoints. In-order deliveries extend the
+//! prefix in O(1) amortised; a late message that lands inside the
+//! folded prefix rolls back to the nearest checkpoint at or before the
+//! insertion point and re-folds from there — cost proportional to the
+//! out-of-order distance, not the whole history.
+
+use crate::log::UpdateLog;
+use crate::message::UpdateMsg;
+use crate::replica::Replica;
+use crate::timestamp::{LamportClock, Timestamp};
+use uc_spec::UqAdt;
+
+/// Algorithm 1 with incremental state and checkpoint-based repair.
+#[derive(Clone, Debug)]
+pub struct CachedReplica<A: UqAdt> {
+    adt: A,
+    pid: u32,
+    clock: LamportClock,
+    log: UpdateLog<A::Update>,
+    /// State after folding `log[..applied]`.
+    state: A::State,
+    applied: usize,
+    /// `(prefix length, state)` snapshots, ascending, every
+    /// `checkpoint_every` entries.
+    checkpoints: Vec<(usize, A::State)>,
+    checkpoint_every: usize,
+    /// Number of state recomputation steps performed by repairs
+    /// (observability for the E8 bench).
+    pub repair_steps: u64,
+}
+
+impl<A: UqAdt> CachedReplica<A> {
+    /// Default checkpoint spacing.
+    pub const DEFAULT_CHECKPOINT_EVERY: usize = 32;
+
+    /// A fresh replica for process `pid`.
+    pub fn new(adt: A, pid: u32) -> Self {
+        Self::with_checkpoint_every(adt, pid, Self::DEFAULT_CHECKPOINT_EVERY)
+    }
+
+    /// A fresh replica with explicit checkpoint spacing (ablation).
+    pub fn with_checkpoint_every(adt: A, pid: u32, every: usize) -> Self {
+        assert!(every > 0);
+        let state = adt.initial();
+        CachedReplica {
+            state,
+            adt,
+            pid,
+            clock: LamportClock::new(),
+            log: UpdateLog::new(),
+            applied: 0,
+            checkpoints: Vec::new(),
+            checkpoint_every: every,
+            repair_steps: 0,
+        }
+    }
+
+    /// Perform a local update (applies immediately; returns the
+    /// broadcast message).
+    pub fn update(&mut self, u: A::Update) -> UpdateMsg<A::Update> {
+        let ts = Timestamp::new(self.clock.tick(), self.pid);
+        let msg = UpdateMsg { ts, update: u };
+        let pos = self.log.push_newest(&msg);
+        self.absorb(pos);
+        msg
+    }
+
+    /// Receive a peer's update.
+    pub fn on_deliver(&mut self, msg: &UpdateMsg<A::Update>) {
+        self.clock.merge(msg.ts.clock);
+        if let Some(pos) = self.log.insert(msg) {
+            self.absorb(pos);
+        }
+    }
+
+    /// Repair bookkeeping after inserting at `pos`, then fold to the
+    /// end of the log.
+    fn absorb(&mut self, pos: usize) {
+        if pos < self.applied {
+            // Late message: roll back to the nearest checkpoint ≤ pos.
+            let ck = match self
+                .checkpoints
+                .iter()
+                .rposition(|(len, _)| *len <= pos)
+            {
+                Some(i) => {
+                    self.checkpoints.truncate(i + 1);
+                    let (len, state) = self.checkpoints[i].clone();
+                    self.state = state;
+                    len
+                }
+                None => {
+                    self.checkpoints.clear();
+                    self.state = self.adt.initial();
+                    0
+                }
+            };
+            self.applied = ck;
+        }
+        self.fold_to_end();
+    }
+
+    fn fold_to_end(&mut self) {
+        while self.applied < self.log.len() {
+            let (_, u) = self.log.get(self.applied).expect("in range");
+            self.adt.apply(&mut self.state, u);
+            self.applied += 1;
+            self.repair_steps += 1;
+            if self.applied.is_multiple_of(self.checkpoint_every) {
+                self.checkpoints.push((self.applied, self.state.clone()));
+            }
+        }
+    }
+
+    /// Answer a query from the cached state — O(1) state work.
+    pub fn do_query(&mut self, q: &A::QueryIn) -> A::QueryOut {
+        self.clock.tick();
+        debug_assert_eq!(self.applied, self.log.len());
+        self.adt.observe(&self.state, q)
+    }
+
+    /// Known timestamps (witness extraction).
+    pub fn known_timestamps(&self) -> Vec<Timestamp> {
+        self.log.timestamps().collect()
+    }
+}
+
+impl<A: UqAdt> Replica<A> for CachedReplica<A> {
+    type Msg = UpdateMsg<A::Update>;
+
+    fn pid(&self) -> u32 {
+        self.pid
+    }
+
+    fn local_update(&mut self, u: A::Update) -> Vec<Self::Msg> {
+        vec![self.update(u)]
+    }
+
+    fn on_message(&mut self, msg: &Self::Msg) {
+        self.on_deliver(msg);
+    }
+
+    fn query(&mut self, q: &A::QueryIn) -> A::QueryOut {
+        self.do_query(q)
+    }
+
+    fn materialize(&mut self) -> A::State {
+        self.fold_to_end();
+        self.state.clone()
+    }
+
+    fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    fn clock(&self) -> u64 {
+        self.clock.now()
+    }
+
+    fn known_timestamps(&self) -> Vec<Timestamp> {
+        CachedReplica::known_timestamps(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generic::GenericReplica;
+    use std::collections::BTreeSet;
+    use uc_spec::{SetAdt, SetQuery, SetUpdate};
+
+    type C = CachedReplica<SetAdt<u32>>;
+    type G = GenericReplica<SetAdt<u32>>;
+
+    #[test]
+    fn agrees_with_naive_replay_in_order() {
+        let mut c: C = CachedReplica::new(SetAdt::new(), 0);
+        let mut g: G = GenericReplica::new(SetAdt::new(), 0);
+        for i in 0..100 {
+            let u = if i % 3 == 0 {
+                SetUpdate::Delete(i % 10)
+            } else {
+                SetUpdate::Insert(i % 10)
+            };
+            c.update(u);
+            g.update(u);
+        }
+        assert_eq!(c.do_query(&SetQuery::Read), g.do_query(&SetQuery::Read));
+    }
+
+    #[test]
+    fn late_message_repair_matches_full_replay() {
+        // Build a peer message stream; deliver one message far out of
+        // order into a long local history.
+        let mut peer: G = GenericReplica::new(SetAdt::new(), 1);
+        let late = peer.update(SetUpdate::Insert(99)); // ts (1,1)
+
+        let mut c: C = CachedReplica::with_checkpoint_every(SetAdt::new(), 0, 4);
+        let mut g: G = GenericReplica::new(SetAdt::new(), 0);
+        for i in 0..50 {
+            let u = SetUpdate::Insert(i);
+            c.update(u);
+            g.update(u);
+        }
+        // also delete 99 locally somewhere late (after the late msg's ts)
+        c.update(SetUpdate::Delete(99));
+        g.update(SetUpdate::Delete(99));
+        c.on_deliver(&late);
+        g.on_deliver(&late);
+        assert_eq!(c.do_query(&SetQuery::Read), g.do_query(&SetQuery::Read));
+        assert!(!c
+            .do_query(&SetQuery::Read)
+            .contains(&99), "delete must order after the late insert");
+    }
+
+    #[test]
+    fn in_order_deliveries_cost_constant_repair() {
+        let mut c: C = CachedReplica::new(SetAdt::new(), 0);
+        for i in 0..1000u32 {
+            c.update(SetUpdate::Insert(i));
+        }
+        // one fold step per update
+        assert_eq!(c.repair_steps, 1000);
+    }
+
+    #[test]
+    fn late_message_repair_is_local_to_the_suffix() {
+        let mut peer: G = GenericReplica::new(SetAdt::new(), 1);
+        let late = peer.update(SetUpdate::Insert(7)); // clock 1
+        let mut c: C = CachedReplica::with_checkpoint_every(SetAdt::new(), 0, 8);
+        for i in 0..64u32 {
+            c.update(SetUpdate::Insert(i));
+        }
+        let before = c.repair_steps;
+        c.on_deliver(&late); // lands near position 1
+        let repair = c.repair_steps - before;
+        // Must re-fold roughly the whole suffix after the checkpoint at
+        // 0 — ≤ 65 steps, and definitely not amortised-free; the point
+        // is it is bounded by log length, and for near-tail insertions
+        // it is tiny (next assertion).
+        assert!(repair <= 65, "{repair}");
+        let mut peer2: G = GenericReplica::new(SetAdt::new(), 2);
+        for _ in 0..63 {
+            peer2.update(SetUpdate::Insert(0));
+        }
+        let near_tail = peer2.update(SetUpdate::Insert(8)); // clock 64
+        let before = c.repair_steps;
+        c.on_deliver(&near_tail);
+        let repair = c.repair_steps - before;
+        assert!(repair <= 9, "near-tail repair should stay within one checkpoint span, got {repair}");
+    }
+
+    #[test]
+    fn query_does_not_replay() {
+        let mut c: C = CachedReplica::new(SetAdt::new(), 0);
+        for i in 0..100u32 {
+            c.update(SetUpdate::Insert(i));
+        }
+        let folded = c.repair_steps;
+        for _ in 0..50 {
+            c.do_query(&SetQuery::Read);
+        }
+        assert_eq!(c.repair_steps, folded, "queries are O(1) state work");
+    }
+
+    #[test]
+    fn materialize_equals_query_view() {
+        let mut c: C = CachedReplica::new(SetAdt::new(), 0);
+        c.update(SetUpdate::Insert(1));
+        c.update(SetUpdate::Delete(1));
+        c.update(SetUpdate::Insert(2));
+        assert_eq!(c.materialize(), BTreeSet::from([2]));
+        assert_eq!(c.do_query(&SetQuery::Read), BTreeSet::from([2]));
+    }
+}

@@ -1,0 +1,283 @@
+//! **Stability-based garbage collection** (§VII-C: "after some time
+//! old messages can be garbage collected").
+//!
+//! An update is *stable* once no future message can order before it.
+//! Per-sender Lamport clocks are strictly increasing, so if the
+//! highest clock heard from every process (including oneself) is at
+//! least `c`, every future update carries a timestamp with clock
+//! `> c` — entries with `ts.clock ≤ c` are final and their prefix can
+//! be folded into a base state and dropped from the log.
+//!
+//! Silent processes block stability (their `last_seen` stays low), so
+//! replicas broadcast periodic clock [`GcMsg::Heartbeat`]s via
+//! [`Replica::tick`] — the practical reading of the paper's "after
+//! some time". One crashed process freezes collection forever, which
+//! is the honest cost of stability tracking in a wait-free system and
+//! is measured by the E10 experiment.
+
+use crate::log::UpdateLog;
+use crate::message::{GcMsg, UpdateMsg};
+use crate::replica::Replica;
+use crate::timestamp::{LamportClock, Timestamp};
+use uc_spec::UqAdt;
+
+/// Algorithm 1 with a stability-compacted log.
+#[derive(Clone, Debug)]
+pub struct GcReplica<A: UqAdt> {
+    adt: A,
+    pid: u32,
+    clock: LamportClock,
+    /// Retained (unstable) suffix of the update log.
+    log: UpdateLog<A::Update>,
+    /// Fold of the compacted stable prefix.
+    base: A::State,
+    /// Number of updates folded into `base`.
+    compacted: u64,
+    /// Highest clock heard from each process.
+    last_seen: Vec<u64>,
+    /// Current stability bound (entries with clock ≤ bound are
+    /// compactable).
+    bound: u64,
+}
+
+impl<A: UqAdt> GcReplica<A> {
+    /// A fresh replica for process `pid` of `n`.
+    pub fn new(adt: A, pid: u32, n: usize) -> Self {
+        assert!((pid as usize) < n, "pid must be within the cluster");
+        let base = adt.initial();
+        GcReplica {
+            base,
+            adt,
+            pid,
+            clock: LamportClock::new(),
+            log: UpdateLog::new(),
+            compacted: 0,
+            last_seen: vec![0; n],
+            bound: 0,
+        }
+    }
+
+    /// Perform a local update.
+    pub fn update(&mut self, u: A::Update) -> GcMsg<A::Update> {
+        let ts = Timestamp::new(self.clock.tick(), self.pid);
+        let msg = UpdateMsg { ts, update: u };
+        self.log.push_newest(&msg);
+        self.last_seen[self.pid as usize] = self.clock.now();
+        self.try_compact();
+        GcMsg::Update(msg)
+    }
+
+    /// Receive a peer's message (update or heartbeat).
+    pub fn on_gc_message(&mut self, msg: &GcMsg<A::Update>) {
+        match msg {
+            GcMsg::Update(m) => {
+                debug_assert!(
+                    m.ts.clock > self.bound,
+                    "stability violated: message {:?} at or below bound {}",
+                    m.ts,
+                    self.bound
+                );
+                self.clock.merge(m.ts.clock);
+                self.log.insert(m);
+                let seen = &mut self.last_seen[m.ts.pid as usize];
+                *seen = (*seen).max(m.ts.clock);
+            }
+            GcMsg::Heartbeat { pid, clock } => {
+                self.clock.merge(*clock);
+                let seen = &mut self.last_seen[*pid as usize];
+                *seen = (*seen).max(*clock);
+            }
+        }
+        self.try_compact();
+    }
+
+    fn try_compact(&mut self) {
+        let new_bound = self.last_seen.iter().copied().min().unwrap_or(0);
+        if new_bound <= self.bound && self.compacted > 0 {
+            // bound can only move forward; nothing new to compact
+        }
+        self.bound = self.bound.max(new_bound);
+        let stable = self.log.drain_stable_prefix(self.bound);
+        for (_, u) in &stable {
+            self.adt.apply(&mut self.base, u);
+            self.compacted += 1;
+        }
+    }
+
+    /// Number of updates folded into the base state.
+    pub fn compacted(&self) -> u64 {
+        self.compacted
+    }
+
+    /// The current stability bound.
+    pub fn stability_bound(&self) -> u64 {
+        self.bound
+    }
+
+    /// Answer a query: fold the retained suffix over the base.
+    pub fn do_query(&mut self, q: &A::QueryIn) -> A::QueryOut {
+        self.clock.tick();
+        self.last_seen[self.pid as usize] = self.clock.now();
+        let state = self.fold();
+        self.adt.observe(&state, q)
+    }
+
+    fn fold(&self) -> A::State {
+        let mut state = self.base.clone();
+        for (_, u) in self.log.iter() {
+            self.adt.apply(&mut state, u);
+        }
+        state
+    }
+}
+
+impl<A: UqAdt> Replica<A> for GcReplica<A> {
+    type Msg = GcMsg<A::Update>;
+
+    fn pid(&self) -> u32 {
+        self.pid
+    }
+
+    fn local_update(&mut self, u: A::Update) -> Vec<Self::Msg> {
+        vec![self.update(u)]
+    }
+
+    fn on_message(&mut self, msg: &Self::Msg) {
+        self.on_gc_message(msg);
+    }
+
+    fn query(&mut self, q: &A::QueryIn) -> A::QueryOut {
+        self.do_query(q)
+    }
+
+    /// Heartbeat: announce the clock so silent periods do not block
+    /// peers' stability.
+    fn tick(&mut self) -> Vec<Self::Msg> {
+        self.last_seen[self.pid as usize] = self.clock.now();
+        self.try_compact();
+        vec![GcMsg::Heartbeat {
+            pid: self.pid,
+            clock: self.clock.now(),
+        }]
+    }
+
+    fn materialize(&mut self) -> A::State {
+        self.fold()
+    }
+
+    /// Retained entries only — the quantity GC shrinks.
+    fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    fn clock(&self) -> u64 {
+        self.clock.now()
+    }
+
+    /// Retained timestamps only: compacted entries are gone, which is
+    /// the point of GC (and why witness tracing uses full-log
+    /// replicas).
+    fn known_timestamps(&self) -> Vec<Timestamp> {
+        self.log.timestamps().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use uc_spec::{SetAdt, SetQuery, SetUpdate};
+
+    type R = GcReplica<SetAdt<u32>>;
+
+    /// Fully connect two replicas: deliver every produced message to
+    /// the other, then exchange heartbeats.
+    fn exchange(a: &mut R, b: &mut R, msgs_a: Vec<GcMsg<SetUpdate<u32>>>, msgs_b: Vec<GcMsg<SetUpdate<u32>>>) {
+        for m in msgs_a {
+            b.on_gc_message(&m);
+        }
+        for m in msgs_b {
+            a.on_gc_message(&m);
+        }
+        let ha = a.tick();
+        let hb = b.tick();
+        for m in ha {
+            b.on_gc_message(&m);
+        }
+        for m in hb {
+            a.on_gc_message(&m);
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_semantics() {
+        let mut a: R = GcReplica::new(SetAdt::new(), 0, 2);
+        let mut b: R = GcReplica::new(SetAdt::new(), 1, 2);
+        let mut ma = Vec::new();
+        let mut mb = Vec::new();
+        for i in 0..20u32 {
+            ma.push(a.update(SetUpdate::Insert(i)));
+            if i % 2 == 0 {
+                mb.push(b.update(SetUpdate::Delete(i)));
+            }
+        }
+        exchange(&mut a, &mut b, ma, mb);
+        assert_eq!(a.materialize(), b.materialize());
+        assert!(a.compacted() > 0, "stable prefix must have been folded");
+        // Odd elements were never deleted and must survive compaction.
+        assert!(a.materialize().contains(&1));
+    }
+
+    #[test]
+    fn log_shrinks_after_heartbeats() {
+        let mut a: R = GcReplica::new(SetAdt::new(), 0, 2);
+        let mut b: R = GcReplica::new(SetAdt::new(), 1, 2);
+        let msgs: Vec<_> = (0..50u32).map(|i| a.update(SetUpdate::Insert(i))).collect();
+        for m in &msgs {
+            b.on_gc_message(m);
+        }
+        assert_eq!(b.log_len(), 50, "no stability before hearing from everyone");
+        // b announces its clock to a, and vice versa.
+        let hb = b.tick();
+        for m in hb {
+            a.on_gc_message(&m);
+        }
+        let ha = a.tick();
+        for m in ha {
+            b.on_gc_message(&m);
+        }
+        assert!(a.log_len() < 50, "a retained {}", a.log_len());
+        assert!(b.log_len() < 50, "b retained {}", b.log_len());
+        assert_eq!(a.materialize(), b.materialize());
+    }
+
+    #[test]
+    fn silent_process_blocks_collection() {
+        // Three processes; process 2 never speaks → bound stays 0.
+        let mut a: GcReplica<SetAdt<u32>> = GcReplica::new(SetAdt::new(), 0, 3);
+        let mut b: GcReplica<SetAdt<u32>> = GcReplica::new(SetAdt::new(), 1, 3);
+        let msgs: Vec<_> = (0..30u32).map(|i| a.update(SetUpdate::Insert(i))).collect();
+        for m in &msgs {
+            b.on_gc_message(m);
+        }
+        let hb = b.tick();
+        for m in hb {
+            a.on_gc_message(&m);
+        }
+        assert_eq!(a.compacted(), 0, "silent third process must freeze GC");
+        assert_eq!(a.log_len(), 30);
+    }
+
+    #[test]
+    fn queries_reflect_base_plus_suffix() {
+        let mut a: R = GcReplica::new(SetAdt::new(), 0, 1); // alone: self-stable
+        for i in 0..10u32 {
+            a.update(SetUpdate::Insert(i));
+        }
+        assert!(a.compacted() > 0);
+        assert_eq!(
+            a.do_query(&SetQuery::Read),
+            (0..10).collect::<BTreeSet<u32>>()
+        );
+    }
+}

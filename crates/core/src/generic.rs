@@ -1,0 +1,228 @@
+//! **Algorithm 1** — the universal strong-update-consistent
+//! construction, verbatim.
+//!
+//! Each replica keeps a Lamport clock and the set of all timestamped
+//! updates it knows (`updates_i`). An update ticks the clock and
+//! broadcasts `(clock, pid, u)`; a receipt merges the clock and
+//! inserts the update; a query ticks the clock and **replays the whole
+//! sorted log from `s0`** (lines 12–19). Naive replay makes queries
+//! `O(|log|)` — by design: this struct is the paper's proof artifact,
+//! and the measured baseline for the §VII-C optimisation variants
+//! ([`crate::cached::CachedReplica`], [`crate::undo::UndoReplica`],
+//! [`crate::gc::GcReplica`]).
+
+use crate::log::UpdateLog;
+use crate::message::UpdateMsg;
+use crate::replica::Replica;
+use crate::timestamp::{LamportClock, Timestamp};
+use uc_spec::UqAdt;
+
+/// A replica running Algorithm 1 with naive query-time replay.
+#[derive(Clone, Debug)]
+pub struct GenericReplica<A: UqAdt> {
+    adt: A,
+    pid: u32,
+    clock: LamportClock,
+    log: UpdateLog<A::Update>,
+}
+
+impl<A: UqAdt> GenericReplica<A> {
+    /// A fresh replica for process `pid`.
+    pub fn new(adt: A, pid: u32) -> Self {
+        GenericReplica {
+            adt,
+            pid,
+            clock: LamportClock::new(),
+            log: UpdateLog::new(),
+        }
+    }
+
+    /// Perform update `u`: tick, apply to own log (the sender receives
+    /// its broadcast instantaneously), and return the message for the
+    /// other replicas.
+    pub fn update(&mut self, u: A::Update) -> UpdateMsg<A::Update> {
+        let ts = Timestamp::new(self.clock.tick(), self.pid);
+        let msg = UpdateMsg { ts, update: u };
+        self.log.push_newest(&msg);
+        msg
+    }
+
+    /// Receive a peer's update message (lines 8–11).
+    pub fn on_deliver(&mut self, msg: &UpdateMsg<A::Update>) {
+        self.clock.merge(msg.ts.clock);
+        self.log.insert(msg);
+    }
+
+    /// Answer a query by replaying the sorted log (lines 12–19).
+    pub fn do_query(&mut self, q: &A::QueryIn) -> A::QueryOut {
+        self.clock.tick();
+        let state = self.replay();
+        self.adt.observe(&state, q)
+    }
+
+    fn replay(&self) -> A::State {
+        let mut state = self.adt.initial();
+        for (_, u) in self.log.iter() {
+            self.adt.apply(&mut state, u);
+        }
+        state
+    }
+
+    /// The timestamps currently known — the visible-update set used to
+    /// build strong-update-consistency witnesses (Proposition 4's
+    /// proof constructs `vis` from exactly this).
+    pub fn known_timestamps(&self) -> Vec<Timestamp> {
+        self.log.timestamps().collect()
+    }
+
+    /// Access the underlying log (ablation benches).
+    pub fn log(&self) -> &UpdateLog<A::Update> {
+        &self.log
+    }
+}
+
+impl<A: UqAdt> Replica<A> for GenericReplica<A> {
+    type Msg = UpdateMsg<A::Update>;
+
+    fn pid(&self) -> u32 {
+        self.pid
+    }
+
+    fn local_update(&mut self, u: A::Update) -> Vec<Self::Msg> {
+        vec![self.update(u)]
+    }
+
+    fn on_message(&mut self, msg: &Self::Msg) {
+        self.on_deliver(msg);
+    }
+
+    fn query(&mut self, q: &A::QueryIn) -> A::QueryOut {
+        self.do_query(q)
+    }
+
+    fn materialize(&mut self) -> A::State {
+        self.replay()
+    }
+
+    fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    fn clock(&self) -> u64 {
+        self.clock.now()
+    }
+
+    fn known_timestamps(&self) -> Vec<Timestamp> {
+        GenericReplica::known_timestamps(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use uc_spec::{SetAdt, SetQuery, SetUpdate};
+
+    type R = GenericReplica<SetAdt<u32>>;
+
+    fn pair() -> (R, R) {
+        (
+            GenericReplica::new(SetAdt::new(), 0),
+            GenericReplica::new(SetAdt::new(), 1),
+        )
+    }
+
+    #[test]
+    fn local_update_visible_immediately() {
+        let (mut a, _) = pair();
+        a.update(SetUpdate::Insert(1));
+        assert_eq!(a.do_query(&SetQuery::Read), BTreeSet::from([1]));
+    }
+
+    #[test]
+    fn concurrent_updates_converge_in_any_delivery_order() {
+        let (mut a, mut b) = pair();
+        let ma = a.update(SetUpdate::Insert(1));
+        let mb = b.update(SetUpdate::Delete(1));
+        a.on_deliver(&mb);
+        b.on_deliver(&ma);
+        assert_eq!(a.do_query(&SetQuery::Read), b.do_query(&SetQuery::Read));
+    }
+
+    #[test]
+    fn tie_broken_by_pid_consistently() {
+        // Both updates get clock 1; pid 0 orders first, so Delete(1)
+        // by pid 1 lands last → element absent everywhere.
+        let (mut a, mut b) = pair();
+        let ma = a.update(SetUpdate::Insert(1));
+        let mb = b.update(SetUpdate::Delete(1));
+        assert_eq!(ma.ts.clock, mb.ts.clock);
+        a.on_deliver(&mb);
+        b.on_deliver(&ma);
+        assert_eq!(a.do_query(&SetQuery::Read), BTreeSet::new());
+        assert_eq!(b.do_query(&SetQuery::Read), BTreeSet::new());
+    }
+
+    #[test]
+    fn late_message_rewrites_history() {
+        // a hears about an old remote insert only after local deletes:
+        // the replay repositions it before them (the "rewrite the
+        // history a posteriori" of §VII-B).
+        let (mut a, mut b) = pair();
+        let mb = b.update(SetUpdate::Insert(7)); // ts (1,1)
+        a.update(SetUpdate::Insert(7)); // ts (1,0)
+        a.update(SetUpdate::Delete(7)); // ts (2,0)
+        a.on_deliver(&mb); // late: orders between (1,0) and (2,0)
+        assert_eq!(a.do_query(&SetQuery::Read), BTreeSet::new());
+    }
+
+    #[test]
+    fn queries_tick_the_clock() {
+        // Line 13: queries advance the clock too, so an update issued
+        // after a query is ordered after everything the query saw.
+        let (mut a, _) = pair();
+        a.update(SetUpdate::Insert(1));
+        let before = a.clock();
+        a.do_query(&SetQuery::Read);
+        assert_eq!(a.clock(), before + 1);
+    }
+
+    #[test]
+    fn clock_absorbs_received_timestamps() {
+        let (mut a, mut b) = pair();
+        for i in 0..5 {
+            let m = b.update(SetUpdate::Insert(i));
+            a.on_deliver(&m);
+        }
+        // a's next update must order after everything b sent.
+        let m = a.update(SetUpdate::Delete(4));
+        assert!(m.ts.clock > 5 - 1);
+        assert_eq!(a.log_len(), 6);
+    }
+
+    #[test]
+    fn pairwise_convergence_under_permuted_deliveries() {
+        // All six orderings of three updates delivered to a fresh
+        // replica yield the same state.
+        let mut seed = GenericReplica::<SetAdt<u32>>::new(SetAdt::new(), 0);
+        let msgs = [seed.update(SetUpdate::Insert(1)),
+            seed.update(SetUpdate::Insert(2)),
+            seed.update(SetUpdate::Delete(1))];
+        let expect = seed.materialize();
+        let perms = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        for p in perms {
+            let mut r = GenericReplica::<SetAdt<u32>>::new(SetAdt::new(), 9);
+            for i in p {
+                r.on_deliver(&msgs[i]);
+            }
+            assert_eq!(r.materialize(), expect, "permutation {p:?}");
+        }
+    }
+}

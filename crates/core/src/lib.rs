@@ -1,0 +1,53 @@
+//! # uc-core — the paper's algorithms
+//!
+//! The constructive half of *Update Consistency for Wait-free
+//! Concurrent Objects*: every UQ-ADT has a strong-update-consistent
+//! implementation in a wait-free asynchronous crash-prone system
+//! (Proposition 4), realised by **Algorithm 1** and specialised by
+//! **Algorithm 2** for shared memory.
+//!
+//! | module | contents | paper |
+//! |--------|----------|-------|
+//! | [`timestamp`] | `(clock, pid)` Lamport timestamps, the total order on updates | §VII-B |
+//! | [`log`] | the timestamp-sorted update log `updates_i` | Alg. 1 |
+//! | [`generic`] | [`GenericReplica`] — Algorithm 1 verbatim (naive query replay) | Alg. 1 |
+//! | [`cached`] | [`CachedReplica`] — checkpointed incremental state | §VII-C |
+//! | [`undo`] | [`UndoReplica`] — Karsenty/Beaudouin-Lafon undo repositioning | §VII-C |
+//! | [`gc`] | [`GcReplica`] — stability-based log compaction | §VII-C |
+//! | [`memory`] | [`UcMemory`] — Algorithm 2, LWW shared memory | Alg. 2 |
+//! | [`replica`] | the wait-free replica trait all variants share | §VII-A |
+//! | [`sim_adapter`] | run replicas on `uc-sim`; turn traces into checkable histories + SUC witnesses | Prop. 4 |
+//! | [`convergence`] | cross-replica convergence checks | Defs. 5/8 |
+//!
+//! All variants produce *identical observable behaviour* (the same
+//! update order, hence the same converged states); they differ only in
+//! the cost profile measured by experiments E8–E10.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cached;
+pub mod convergence;
+pub mod gc;
+pub mod generic;
+pub mod log;
+pub mod memory;
+pub mod message;
+pub mod replica;
+pub mod sim_adapter;
+pub mod timestamp;
+pub mod undo;
+
+pub use cached::CachedReplica;
+pub use gc::GcReplica;
+pub use generic::GenericReplica;
+pub use log::UpdateLog;
+pub use memory::{MemWrite, UcMemory};
+pub use message::{GcMsg, UpdateMsg};
+pub use replica::{state_digest, Replica};
+pub use sim_adapter::{trace_to_history, OmegaMarking, OpInput, OpOutput, ReplicaNode, TimestampedMsg};
+pub use timestamp::{LamportClock, Timestamp};
+pub use undo::UndoReplica;
+
+/// Compatibility alias used in the README quickstart.
+pub use replica::Replica as UqReplica;

@@ -1,0 +1,159 @@
+//! The timestamp-sorted update log (`updates_i` in Algorithm 1).
+//!
+//! Algorithm 1 keeps the set of known updates sorted by `(cl, j)`; the
+//! interesting operation is *insertion of a late message* — an update
+//! whose timestamp orders before entries that are already present.
+//! The position returned by [`UpdateLog::insert`] tells the caching
+//! and undo variants how much suffix they must repair.
+
+use crate::message::UpdateMsg;
+use crate::timestamp::Timestamp;
+
+/// A timestamp-ordered log of updates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UpdateLog<U> {
+    entries: Vec<(Timestamp, U)>,
+}
+
+impl<U> Default for UpdateLog<U> {
+    fn default() -> Self {
+        UpdateLog {
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<U: Clone> UpdateLog<U> {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the log empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert a timestamped update, keeping timestamp order. Returns
+    /// the insertion position, or `None` if the timestamp was already
+    /// present (reliable broadcast delivers once, but being defensive
+    /// costs one comparison).
+    pub fn insert(&mut self, msg: &UpdateMsg<U>) -> Option<usize> {
+        match self
+            .entries
+            .binary_search_by(|(ts, _)| ts.cmp(&msg.ts))
+        {
+            Ok(_) => None,
+            Err(pos) => {
+                self.entries.insert(pos, (msg.ts, msg.update.clone()));
+                Some(pos)
+            }
+        }
+    }
+
+    /// Append an update known to carry the largest timestamp (the
+    /// common in-order fast path). Falls back to sorted insertion if
+    /// the claim is wrong.
+    pub fn push_newest(&mut self, msg: &UpdateMsg<U>) -> usize {
+        match self.entries.last() {
+            Some((last, _)) if *last >= msg.ts => {
+                self.insert(msg).unwrap_or(self.entries.len())
+            }
+            _ => {
+                self.entries.push((msg.ts, msg.update.clone()));
+                self.entries.len() - 1
+            }
+        }
+    }
+
+    /// The entries in timestamp order.
+    pub fn iter(&self) -> impl Iterator<Item = &(Timestamp, U)> {
+        self.entries.iter()
+    }
+
+    /// Entry at a position.
+    pub fn get(&self, pos: usize) -> Option<&(Timestamp, U)> {
+        self.entries.get(pos)
+    }
+
+    /// All timestamps, in order.
+    pub fn timestamps(&self) -> impl Iterator<Item = Timestamp> + '_ {
+        self.entries.iter().map(|(ts, _)| *ts)
+    }
+
+    /// Remove and return the prefix of entries with `ts.clock ≤ bound`
+    /// — the stable prefix for garbage collection.
+    pub fn drain_stable_prefix(&mut self, bound: u64) -> Vec<(Timestamp, U)> {
+        let cut = self
+            .entries
+            .partition_point(|(ts, _)| ts.clock <= bound);
+        self.entries.drain(..cut).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(clock: u64, pid: u32, u: &str) -> UpdateMsg<&str> {
+        UpdateMsg {
+            ts: Timestamp::new(clock, pid),
+            update: u,
+        }
+    }
+
+    #[test]
+    fn insert_keeps_order() {
+        let mut log = UpdateLog::new();
+        assert_eq!(log.insert(&msg(2, 0, "b")), Some(0));
+        assert_eq!(log.insert(&msg(1, 0, "a")), Some(0)); // late message
+        assert_eq!(log.insert(&msg(3, 0, "c")), Some(2));
+        let order: Vec<&str> = log.iter().map(|(_, u)| *u).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn duplicate_timestamps_rejected() {
+        let mut log = UpdateLog::new();
+        assert!(log.insert(&msg(1, 0, "a")).is_some());
+        assert!(log.insert(&msg(1, 0, "a")).is_none());
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn pid_breaks_clock_ties() {
+        let mut log = UpdateLog::new();
+        log.insert(&msg(1, 1, "one"));
+        log.insert(&msg(1, 0, "zero"));
+        let order: Vec<&str> = log.iter().map(|(_, u)| *u).collect();
+        assert_eq!(order, vec!["zero", "one"]);
+    }
+
+    #[test]
+    fn push_newest_fast_path_and_fallback() {
+        let mut log = UpdateLog::new();
+        assert_eq!(log.push_newest(&msg(1, 0, "a")), 0);
+        assert_eq!(log.push_newest(&msg(2, 0, "b")), 1);
+        // wrong claim: older than the last entry → sorted insertion
+        assert_eq!(log.push_newest(&msg(1, 1, "mid")), 1);
+        let order: Vec<&str> = log.iter().map(|(_, u)| *u).collect();
+        assert_eq!(order, vec!["a", "mid", "b"]);
+    }
+
+    #[test]
+    fn drain_stable_prefix_cuts_by_clock() {
+        let mut log = UpdateLog::new();
+        log.insert(&msg(1, 0, "a"));
+        log.insert(&msg(2, 1, "b"));
+        log.insert(&msg(5, 0, "c"));
+        let stable = log.drain_stable_prefix(2);
+        assert_eq!(stable.len(), 2);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.get(0).unwrap().1, "c");
+    }
+}

@@ -1,0 +1,80 @@
+//! The replica abstraction shared by Algorithm 1, its optimised
+//! variants, and Algorithm 2.
+
+use std::fmt::Debug;
+use uc_spec::UqAdt;
+
+/// A wait-free replica of a UQ-ADT object.
+///
+/// The contract mirrors Algorithm 1's interface:
+/// * [`Replica::local_update`] performs an update locally (applying it
+///   to the replica's own knowledge immediately — the sender receives
+///   its broadcast instantaneously) and returns the messages to
+///   reliably broadcast to every other process;
+/// * [`Replica::on_message`] ingests a peer's message;
+/// * [`Replica::query`] answers from local knowledge only (it may
+///   mutate caches and the Lamport clock, hence `&mut`);
+/// * nothing ever waits: both operations complete synchronously.
+pub trait Replica<A: UqAdt> {
+    /// Wire message type.
+    type Msg: Clone + Debug;
+
+    /// This replica's process id.
+    fn pid(&self) -> u32;
+
+    /// Apply an update locally; returns messages to broadcast to every
+    /// other process.
+    fn local_update(&mut self, u: A::Update) -> Vec<Self::Msg>;
+
+    /// Ingest a message from a peer.
+    fn on_message(&mut self, msg: &Self::Msg);
+
+    /// Answer a query from local knowledge.
+    fn query(&mut self, q: &A::QueryIn) -> A::QueryOut;
+
+    /// Periodic maintenance (e.g. heartbeats for stability-based GC);
+    /// returns messages to broadcast.
+    fn tick(&mut self) -> Vec<Self::Msg> {
+        Vec::new()
+    }
+
+    /// The state this replica would converge to if no further message
+    /// arrived — the full fold of its known updates.
+    fn materialize(&mut self) -> A::State;
+
+    /// Number of retained log entries (memory-footprint metric for the
+    /// §VII-C storage experiments).
+    fn log_len(&self) -> usize;
+
+    /// Current Lamport clock value.
+    fn clock(&self) -> u64;
+
+    /// Timestamps of the updates this replica currently knows — the
+    /// visible-update set used to extract strong-update-consistency
+    /// witnesses (Proposition 4). Replicas that discard history (the
+    /// GC variant's compacted base, Algorithm 2's per-register map)
+    /// return only what they retain; witness tracing requires a
+    /// full-log replica.
+    fn known_timestamps(&self) -> Vec<crate::timestamp::Timestamp>;
+}
+
+/// Hash a state canonically (used for convergence digests).
+pub fn state_digest<S: std::hash::Hash>(state: &S) -> u64 {
+    use std::hash::{BuildHasher, BuildHasherDefault};
+    use uc_history::fxhash::FxHasher;
+    BuildHasherDefault::<FxHasher>::default().hash_one(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_distinguishes_states() {
+        let a = state_digest(&vec![1, 2, 3]);
+        let b = state_digest(&vec![1, 2, 3]);
+        let c = state_digest(&vec![3, 2, 1]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

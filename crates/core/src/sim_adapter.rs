@@ -1,0 +1,409 @@
+//! Glue between [`Replica`]s and the `uc-sim` runtimes, plus the
+//! trace-to-history pipeline that turns a simulated execution into a
+//! checkable [`History`] with a strong-update-consistency witness
+//! (the Proposition 4 experiment, E5).
+
+use crate::message::{GcMsg, UpdateMsg};
+use crate::replica::Replica;
+use crate::timestamp::Timestamp;
+use std::fmt;
+use std::marker::PhantomData;
+use uc_criteria::SucWitness;
+use uc_history::builder::BuildError;
+use uc_history::{EventId, History, HistoryBuilder, ProcessId};
+use uc_sim::{Ctx, InvocationRecord, Pid, Protocol};
+use uc_spec::UqAdt;
+
+/// Messages whose update timestamp can be extracted (for tagging
+/// update invocations in traces).
+pub trait TimestampedMsg {
+    /// The carried update timestamp, if this message is an update.
+    fn update_ts(&self) -> Option<Timestamp>;
+}
+
+impl<U> TimestampedMsg for UpdateMsg<U> {
+    fn update_ts(&self) -> Option<Timestamp> {
+        Some(self.ts)
+    }
+}
+
+impl<U> TimestampedMsg for GcMsg<U> {
+    fn update_ts(&self) -> Option<Timestamp> {
+        match self {
+            GcMsg::Update(m) => Some(m.ts),
+            GcMsg::Heartbeat { .. } => None,
+        }
+    }
+}
+
+/// Application-level invocation: an update or a query of the ADT.
+pub enum OpInput<A: UqAdt> {
+    /// Perform an update.
+    Update(A::Update),
+    /// Ask a query.
+    Query(A::QueryIn),
+}
+
+impl<A: UqAdt> Clone for OpInput<A> {
+    fn clone(&self) -> Self {
+        match self {
+            OpInput::Update(u) => OpInput::Update(u.clone()),
+            OpInput::Query(q) => OpInput::Query(q.clone()),
+        }
+    }
+}
+
+impl<A: UqAdt> fmt::Debug for OpInput<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpInput::Update(u) => write!(f, "{u:?}"),
+            OpInput::Query(q) => write!(f, "{q:?}?"),
+        }
+    }
+}
+
+/// Application-level response.
+pub enum OpOutput<A: UqAdt> {
+    /// Update acknowledged; carries the timestamp the replica assigned
+    /// (to correlate trace events with log entries) and the replica's
+    /// known-update set right after applying it (the visibility the
+    /// growth condition constrains), populated when tracing.
+    Ack {
+        /// Timestamp assigned to the update.
+        ts: Option<Timestamp>,
+        /// Timestamps visible at this update (including itself).
+        seen: Vec<Timestamp>,
+    },
+    /// Query answered; `seen` is the replica's known-update set at
+    /// query time (the visibility witness), populated when tracing.
+    Value {
+        /// The query output.
+        out: A::QueryOut,
+        /// Timestamps visible to the query.
+        seen: Vec<Timestamp>,
+    },
+}
+
+impl<A: UqAdt> Clone for OpOutput<A> {
+    fn clone(&self) -> Self {
+        match self {
+            OpOutput::Ack { ts, seen } => OpOutput::Ack {
+                ts: *ts,
+                seen: seen.clone(),
+            },
+            OpOutput::Value { out, seen } => OpOutput::Value {
+                out: out.clone(),
+                seen: seen.clone(),
+            },
+        }
+    }
+}
+
+impl<A: UqAdt> fmt::Debug for OpOutput<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpOutput::Ack { ts, .. } => write!(f, "ack{ts:?}"),
+            OpOutput::Value { out, .. } => write!(f, "{out:?}"),
+        }
+    }
+}
+
+/// Wraps a [`Replica`] as a [`Protocol`] node for either runtime.
+pub struct ReplicaNode<A: UqAdt, R: Replica<A>> {
+    /// The wrapped replica.
+    pub replica: R,
+    /// Record visibility sets in query outputs (needed for witness
+    /// extraction; costs O(log) per query).
+    pub record_visibility: bool,
+    _ph: PhantomData<fn() -> A>,
+}
+
+impl<A: UqAdt, R: Replica<A>> ReplicaNode<A, R> {
+    /// Wrap a replica, with visibility recording enabled.
+    pub fn traced(replica: R) -> Self {
+        ReplicaNode {
+            replica,
+            record_visibility: true,
+            _ph: PhantomData,
+        }
+    }
+
+    /// Wrap a replica without visibility recording (benchmarks).
+    pub fn untraced(replica: R) -> Self {
+        ReplicaNode {
+            replica,
+            record_visibility: false,
+            _ph: PhantomData,
+        }
+    }
+}
+
+impl<A, R> Protocol for ReplicaNode<A, R>
+where
+    A: UqAdt,
+    R: Replica<A>,
+    R::Msg: TimestampedMsg,
+{
+    type Msg = R::Msg;
+    type Input = OpInput<A>;
+    type Output = OpOutput<A>;
+
+    fn on_invoke(&mut self, input: Self::Input, ctx: &mut Ctx<'_, Self::Msg>) -> Self::Output {
+        match input {
+            OpInput::Update(u) => {
+                let msgs = self.replica.local_update(u);
+                let ts = msgs.iter().find_map(TimestampedMsg::update_ts);
+                let seen = if self.record_visibility {
+                    self.replica.known_timestamps()
+                } else {
+                    Vec::new()
+                };
+                for m in msgs {
+                    ctx.broadcast_others(m);
+                }
+                OpOutput::Ack { ts, seen }
+            }
+            OpInput::Query(q) => {
+                let seen = if self.record_visibility {
+                    self.replica.known_timestamps()
+                } else {
+                    Vec::new()
+                };
+                let out = self.replica.query(&q);
+                OpOutput::Value { out, seen }
+            }
+        }
+    }
+
+    fn on_message(&mut self, _from: Pid, msg: Self::Msg, _ctx: &mut Ctx<'_, Self::Msg>) {
+        self.replica.on_message(&msg);
+    }
+}
+
+/// Failure modes of trace conversion.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The underlying history failed to build.
+    Build(BuildError),
+    /// An update record carried no timestamp (non-timestamped message
+    /// type, or a heartbeat-only batch).
+    MissingTimestamp(usize),
+    /// A query record referenced a timestamp with no matching update
+    /// event (e.g. a GC replica whose compacted entries are gone).
+    UnknownTimestamp(Timestamp),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Build(e) => write!(f, "history build failed: {e}"),
+            TraceError::MissingTimestamp(i) => {
+                write!(f, "update record #{i} has no timestamp")
+            }
+            TraceError::UnknownTimestamp(ts) => {
+                write!(f, "query saw unknown update timestamp {ts:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// How to ω-flag trace events (the "repeated forever" reading of
+/// post-quiescence reads).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum OmegaMarking<'a> {
+    /// No ω events: the trace is a plain finite history.
+    #[default]
+    None,
+    /// Flag the last event of every process when it is a query —
+    /// appropriate when every process ends with a post-quiescence
+    /// read.
+    FinalQueries,
+    /// Flag final queries only for the listed (surviving) processes.
+    /// A crashed process's history simply ends: the paper places no
+    /// delivery obligation on its finitely many events, so ω-marking
+    /// it would wrongly demand eventual delivery.
+    FinalQueriesOf(&'a [Pid]),
+}
+
+/// Convert a simulation trace into a [`History`] plus the SUC witness
+/// Algorithm 1's replicas imply: `≤` is the timestamp order, and each
+/// query's visible set is the log it replayed.
+pub fn trace_to_history<A, P>(
+    adt: A,
+    n: usize,
+    records: &[InvocationRecord<P>],
+    omega: OmegaMarking<'_>,
+) -> Result<(History<A>, SucWitness), TraceError>
+where
+    A: UqAdt + Clone,
+    P: Protocol<Input = OpInput<A>, Output = OpOutput<A>>,
+{
+    // Mark the final record index of each ω-eligible process.
+    let mut last_of_pid: Vec<Option<usize>> = vec![None; n];
+    for (i, r) in records.iter().enumerate() {
+        let eligible = match omega {
+            OmegaMarking::None => false,
+            OmegaMarking::FinalQueries => true,
+            OmegaMarking::FinalQueriesOf(pids) => pids.contains(&r.pid),
+        };
+        if eligible {
+            last_of_pid[r.pid as usize] = Some(i);
+        }
+    }
+
+    let mut b = HistoryBuilder::new(adt);
+    let procs: Vec<ProcessId> = (0..n).map(|_| b.process()).collect();
+    let mut ts_to_event: Vec<(Timestamp, EventId)> = Vec::new();
+    let mut pending_queries: Vec<(EventId, Vec<Timestamp>)> = Vec::new();
+    let mut pending_updates: Vec<(EventId, Vec<Timestamp>)> = Vec::new();
+
+    for (i, r) in records.iter().enumerate() {
+        let p = procs[r.pid as usize];
+        match (&r.input, &r.output) {
+            (OpInput::Update(u), out) => {
+                let OpOutput::Ack { ts: Some(ts), seen } = out else {
+                    return Err(TraceError::MissingTimestamp(i));
+                };
+                let e = b.update(p, u.clone());
+                ts_to_event.push((*ts, e));
+                if !seen.is_empty() {
+                    pending_updates.push((e, seen.clone()));
+                }
+            }
+            (OpInput::Query(qi), OpOutput::Value { out, seen }) => {
+                let omega = last_of_pid[r.pid as usize] == Some(i);
+                let e = if omega {
+                    b.omega_query(p, qi.clone(), out.clone())
+                } else {
+                    b.query(p, qi.clone(), out.clone())
+                };
+                pending_queries.push((e, seen.clone()));
+            }
+            // An update answered with Value or a query with Ack cannot
+            // be produced by ReplicaNode.
+            (OpInput::Query(_), OpOutput::Ack { .. }) => {
+                return Err(TraceError::MissingTimestamp(i))
+            }
+        }
+    }
+
+    let h = b.build().map_err(TraceError::Build)?;
+    ts_to_event.sort_by_key(|(ts, _)| *ts);
+    let update_order: Vec<EventId> = ts_to_event.iter().map(|(_, e)| *e).collect();
+    let lookup = |ts: &Timestamp| -> Result<EventId, TraceError> {
+        ts_to_event
+            .binary_search_by(|(t, _)| t.cmp(ts))
+            .map(|i| ts_to_event[i].1)
+            .map_err(|_| TraceError::UnknownTimestamp(*ts))
+    };
+    let mut visible = Vec::with_capacity(pending_queries.len() + pending_updates.len());
+    for (e, seen) in pending_queries.into_iter().chain(pending_updates) {
+        let mut v = Vec::with_capacity(seen.len());
+        for ts in &seen {
+            v.push(lookup(ts)?);
+        }
+        visible.push((e, v));
+    }
+    Ok((
+        h,
+        SucWitness {
+            update_order,
+            visible,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generic::GenericReplica;
+    use std::collections::BTreeSet;
+    use uc_criteria::verify_witness;
+    use uc_sim::{LatencyModel, SimConfig, Simulation};
+    use uc_spec::{SetAdt, SetQuery, SetUpdate};
+
+    type Node = ReplicaNode<SetAdt<u32>, GenericReplica<SetAdt<u32>>>;
+
+    fn sim(n: usize, seed: u64) -> Simulation<Node> {
+        Simulation::new(
+            SimConfig {
+                n,
+                seed,
+                latency: LatencyModel::Uniform(5, 80),
+                fifo_links: false,
+            },
+            |pid| ReplicaNode::traced(GenericReplica::new(SetAdt::new(), pid)),
+        )
+    }
+
+    #[test]
+    fn simulated_run_produces_verifiable_suc_witness() {
+        let mut s = sim(3, 42);
+        // Concurrent conflicting updates plus mid-run queries.
+        s.schedule_invoke(0, 0, OpInput::Update(SetUpdate::Insert(1)));
+        s.schedule_invoke(0, 1, OpInput::Update(SetUpdate::Delete(1)));
+        s.schedule_invoke(2, 2, OpInput::Update(SetUpdate::Insert(2)));
+        s.schedule_invoke(10, 0, OpInput::Query(SetQuery::Read));
+        s.schedule_invoke(12, 1, OpInput::Query(SetQuery::Read));
+        s.run_to_quiescence();
+        // Post-quiescence reads on every process.
+        let t = s.now() + 1;
+        for p in 0..3 {
+            s.schedule_invoke(t + p as u64, p, OpInput::Query(SetQuery::Read));
+        }
+        s.run_to_quiescence();
+        let (h, w) = trace_to_history(SetAdt::<u32>::new(), 3, s.records(), OmegaMarking::FinalQueries).unwrap();
+        assert_eq!(verify_witness(&h, &w), Ok(()));
+    }
+
+    #[test]
+    fn mid_run_queries_record_partial_visibility() {
+        let mut s = sim(2, 7);
+        s.schedule_invoke(0, 0, OpInput::Update(SetUpdate::Insert(5)));
+        // Query on p1 before the message can arrive (latency ≥ 5).
+        s.schedule_invoke(1, 1, OpInput::Query(SetQuery::Read));
+        s.run_to_quiescence();
+        let recs = s.records();
+        let OpOutput::Value { out, seen } = &recs[1].output else {
+            panic!("second record must be the query");
+        };
+        assert!(out.is_empty());
+        assert!(seen.is_empty(), "p1 cannot have seen the update yet");
+    }
+
+    #[test]
+    fn replicas_converge_in_simulation() {
+        let mut s = sim(3, 1234);
+        for i in 0..30u32 {
+            let pid = (i % 3) as Pid;
+            let op = if i % 4 == 0 {
+                SetUpdate::Delete(i % 6)
+            } else {
+                SetUpdate::Insert(i % 6)
+            };
+            s.schedule_invoke((i * 3) as u64, pid, OpInput::Update(op));
+        }
+        s.run_to_quiescence();
+        let states: Vec<BTreeSet<u32>> = (0..3)
+            .map(|p| s.process_mut(p).replica.materialize())
+            .collect();
+        assert_eq!(states[0], states[1]);
+        assert_eq!(states[1], states[2]);
+    }
+
+    #[test]
+    fn crash_does_not_block_survivors() {
+        let mut s = sim(3, 5);
+        s.schedule_crash(1, 2);
+        for i in 0..10u32 {
+            s.schedule_invoke(2 + i as u64, (i % 2) as Pid, OpInput::Update(SetUpdate::Insert(i)));
+        }
+        s.run_to_quiescence();
+        let a = s.process_mut(0).replica.materialize();
+        let b = s.process_mut(1).replica.materialize();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10, "survivors see all updates");
+    }
+}

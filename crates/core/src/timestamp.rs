@@ -1,0 +1,123 @@
+//! Lamport timestamps (§VII-B): the total order Algorithm 1 builds
+//! over updates.
+//!
+//! A logical Lamport clock is only a pre-total order (distinct events
+//! may share a time), so events are stamped with the pair
+//! `(clock, pid)` compared lexicographically — process ids are unique
+//! and totally ordered, making the pair order total. The clock
+//! contains the happened-before relation, so the timestamp order
+//! respects program order and message causality.
+
+use std::fmt;
+
+/// A `(clock, pid)` Lamport timestamp, ordered lexicographically.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Timestamp {
+    /// The logical time.
+    pub clock: u64,
+    /// The issuing process (tie-breaker).
+    pub pid: u32,
+}
+
+impl Timestamp {
+    /// Build a timestamp.
+    pub fn new(clock: u64, pid: u32) -> Self {
+        Timestamp { clock, pid }
+    }
+
+    /// Encoded size in bytes of the pair, for the §VII-C message-size
+    /// accounting: both components are varint-sized, growing
+    /// logarithmically with the number of operations and processes.
+    pub fn wire_size(&self) -> u64 {
+        fn varint(mut x: u64) -> u64 {
+            let mut n = 1;
+            while x >= 0x80 {
+                x >>= 7;
+                n += 1;
+            }
+            n
+        }
+        varint(self.clock) + varint(self.pid as u64)
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.clock, self.pid)
+    }
+}
+
+/// A process-local Lamport clock (lines 2, 5, 9, 13 of Algorithm 1).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LamportClock {
+    current: u64,
+}
+
+impl LamportClock {
+    /// A clock at 0.
+    pub fn new() -> Self {
+        LamportClock { current: 0 }
+    }
+
+    /// Current value.
+    pub fn now(&self) -> u64 {
+        self.current
+    }
+
+    /// `clock ← clock + 1` (performed on every update *and* query in
+    /// Algorithm 1), returning the new value.
+    pub fn tick(&mut self) -> u64 {
+        self.current += 1;
+        self.current
+    }
+
+    /// `clock ← max(clock, observed)` (line 9, on message receipt).
+    pub fn merge(&mut self, observed: u64) {
+        self.current = self.current.max(observed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexicographic_order() {
+        assert!(Timestamp::new(1, 5) < Timestamp::new(2, 0));
+        assert!(Timestamp::new(2, 0) < Timestamp::new(2, 1));
+        assert_eq!(Timestamp::new(3, 3), Timestamp::new(3, 3));
+    }
+
+    #[test]
+    fn tick_is_strictly_increasing() {
+        let mut c = LamportClock::new();
+        let a = c.tick();
+        let b = c.tick();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn merge_takes_max() {
+        let mut c = LamportClock::new();
+        c.tick();
+        c.merge(10);
+        assert_eq!(c.now(), 10);
+        c.merge(3);
+        assert_eq!(c.now(), 10);
+    }
+
+    #[test]
+    fn happened_before_is_respected() {
+        // Receive at 10, then local tick: local events stamp > 10.
+        let mut c = LamportClock::new();
+        c.merge(10);
+        assert!(c.tick() > 10);
+    }
+
+    #[test]
+    fn wire_size_grows_logarithmically() {
+        assert_eq!(Timestamp::new(1, 1).wire_size(), 2);
+        assert_eq!(Timestamp::new(300, 1).wire_size(), 3);
+        assert!(Timestamp::new(u64::MAX, 1).wire_size() <= 11);
+    }
+}

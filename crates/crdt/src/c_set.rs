@@ -1,0 +1,126 @@
+//! The C-Set (Aslan et al., RED 2011) — §VI's other counting set.
+//! Like the PN-Set it keeps a per-element counter, but operations
+//! broadcast *compensated* deltas: a local insert that finds the
+//! element absent with count `c ≤ 0` broadcasts `+(1 − c)` so the
+//! count lands exactly at 1, and a delete of a present element
+//! broadcasts `−c`. This repairs the PN-Set's negative-absorption
+//! anomaly at the cost of different (still non-sequential) behaviour
+//! under concurrency.
+
+use crate::traits::SetReplica;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Debug;
+
+/// A C-Set replica.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CSet<V: Ord + Clone> {
+    counts: BTreeMap<V, i64>,
+}
+
+/// Broadcast message: a compensated count delta.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CDelta<V> {
+    /// The element.
+    pub elem: V,
+    /// The compensated count change.
+    pub delta: i64,
+}
+
+impl<V: Ord + Clone + Debug> CSet<V> {
+    /// An empty C-Set.
+    pub fn new() -> Self {
+        CSet {
+            counts: BTreeMap::new(),
+        }
+    }
+
+    fn bump(&mut self, v: &V, delta: i64) {
+        *self.counts.entry(v.clone()).or_insert(0) += delta;
+    }
+
+    /// The current count of an element (diagnostics).
+    pub fn count(&self, v: &V) -> i64 {
+        self.counts.get(v).copied().unwrap_or(0)
+    }
+}
+
+impl<V: Ord + Clone + Debug> SetReplica<V> for CSet<V> {
+    type Msg = CDelta<V>;
+
+    fn insert(&mut self, v: V) -> Self::Msg {
+        let c = self.count(&v);
+        let delta = if c <= 0 { 1 - c } else { 0 };
+        self.bump(&v, delta);
+        CDelta { elem: v, delta }
+    }
+
+    fn delete(&mut self, v: V) -> Self::Msg {
+        let c = self.count(&v);
+        let delta = if c > 0 { -c } else { 0 };
+        self.bump(&v, delta);
+        CDelta { elem: v, delta }
+    }
+
+    fn on_message(&mut self, msg: &Self::Msg) {
+        self.bump(&msg.elem, msg.delta);
+    }
+
+    fn read(&self) -> BTreeSet<V> {
+        self.counts
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, _)| v.clone())
+            .collect()
+    }
+
+    fn footprint(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_behaviour_is_exact() {
+        let mut s = CSet::new();
+        s.delete(9); // absent: no-op (delta 0), count stays 0
+        assert_eq!(s.count(&9), 0);
+        s.insert(9);
+        assert!(s.read().contains(&9), "no negative absorption");
+        s.insert(9); // present: no-op
+        s.delete(9);
+        assert!(!s.read().contains(&9), "single delete suffices");
+    }
+
+    #[test]
+    fn deltas_commute_so_replicas_converge() {
+        let mut a = CSet::new();
+        let msgs = [a.insert(1), a.insert(2), a.delete(1), a.insert(1)];
+        let mut b = CSet::new();
+        for m in msgs.iter().rev() {
+            b.on_message(m);
+        }
+        assert_eq!(a.read(), b.read());
+        assert_eq!(a.read(), BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn concurrent_double_insert_overshoots() {
+        // Both replicas see count 0 and broadcast +1: count converges
+        // to 2 — one delete (compensating its local view) may not
+        // remove it everywhere at once. The anomaly just moves.
+        let mut a = CSet::new();
+        let mut b = CSet::new();
+        let ma = a.insert(5);
+        let mb = b.insert(5);
+        a.on_message(&mb);
+        b.on_message(&ma);
+        assert_eq!(a.count(&5), 2);
+        let d = a.delete(5); // compensates a's full view: −2
+        b.on_message(&d);
+        assert!(!a.read().contains(&5));
+        assert_eq!(a.read(), b.read());
+    }
+}

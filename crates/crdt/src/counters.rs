@@ -1,0 +1,181 @@
+//! Replicated counters — the paper's canonical "pure CRDT" (§VII-C):
+//! increments commute, so naive apply-on-delivery is already update
+//! consistent (experiment E11 measures the ordering overhead Algorithm
+//! 1 pays for nothing on such objects).
+
+use crate::traits::CvRdt;
+use std::collections::BTreeMap;
+
+/// A grow-only counter: per-replica contribution vectors joined by
+/// pointwise max.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GCounter {
+    contrib: BTreeMap<u32, u64>,
+}
+
+impl GCounter {
+    /// A zero counter.
+    pub fn new() -> Self {
+        GCounter {
+            contrib: BTreeMap::new(),
+        }
+    }
+
+    /// Add `n` on behalf of replica `pid`.
+    pub fn increment(&mut self, pid: u32, n: u64) {
+        *self.contrib.entry(pid).or_insert(0) += n;
+    }
+
+    /// The counter value.
+    pub fn value(&self) -> u64 {
+        self.contrib.values().sum()
+    }
+}
+
+impl CvRdt for GCounter {
+    fn merge(&mut self, other: &Self) {
+        for (pid, v) in &other.contrib {
+            let e = self.contrib.entry(*pid).or_insert(0);
+            *e = (*e).max(*v);
+        }
+    }
+}
+
+/// An increment/decrement counter: two G-Counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PnCounter {
+    inc: GCounter,
+    dec: GCounter,
+}
+
+impl PnCounter {
+    /// A zero counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` on behalf of replica `pid`.
+    pub fn increment(&mut self, pid: u32, n: u64) {
+        self.inc.increment(pid, n);
+    }
+
+    /// Subtract `n` on behalf of replica `pid`.
+    pub fn decrement(&mut self, pid: u32, n: u64) {
+        self.dec.increment(pid, n);
+    }
+
+    /// The counter value.
+    pub fn value(&self) -> i64 {
+        self.inc.value() as i64 - self.dec.value() as i64
+    }
+}
+
+impl CvRdt for PnCounter {
+    fn merge(&mut self, other: &Self) {
+        self.inc.merge(&other.inc);
+        self.dec.merge(&other.dec);
+    }
+}
+
+/// The naive op-based counter of §VII-C: applies deltas on delivery,
+/// no ordering at all.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NaiveCounter {
+    value: i64,
+}
+
+impl NaiveCounter {
+    /// A zero counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Apply a local delta; returns the message to broadcast.
+    pub fn add(&mut self, delta: i64) -> i64 {
+        self.value += delta;
+        delta
+    }
+
+    /// Apply a peer's delta.
+    pub fn on_message(&mut self, delta: &i64) {
+        self.value += delta;
+    }
+
+    /// The counter value.
+    pub fn value(&self) -> i64 {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::merge_laws_hold;
+
+    #[test]
+    fn gcounter_sums_contributions() {
+        let mut a = GCounter::new();
+        a.increment(0, 3);
+        let mut b = GCounter::new();
+        b.increment(1, 4);
+        a.merge(&b);
+        assert_eq!(a.value(), 7);
+    }
+
+    #[test]
+    fn gcounter_merge_laws() {
+        let mut a = GCounter::new();
+        a.increment(0, 1);
+        let mut b = GCounter::new();
+        b.increment(1, 2);
+        let mut c = GCounter::new();
+        c.increment(0, 5);
+        assert_eq!(merge_laws_hold(&a, &b, &c), Ok(()));
+    }
+
+    #[test]
+    fn gcounter_merge_is_not_addition() {
+        // Merging the same state twice must not double-count.
+        let mut a = GCounter::new();
+        a.increment(0, 5);
+        let snapshot = a.clone();
+        a.merge(&snapshot);
+        assert_eq!(a.value(), 5);
+    }
+
+    #[test]
+    fn pncounter_subtracts() {
+        let mut a = PnCounter::new();
+        a.increment(0, 10);
+        a.decrement(0, 3);
+        assert_eq!(a.value(), 7);
+        let mut b = PnCounter::new();
+        b.decrement(1, 20);
+        a.merge(&b);
+        assert_eq!(a.value(), -13);
+    }
+
+    #[test]
+    fn pncounter_merge_laws() {
+        let mut a = PnCounter::new();
+        a.increment(0, 1);
+        let mut b = PnCounter::new();
+        b.decrement(1, 2);
+        let mut c = PnCounter::new();
+        c.increment(2, 3);
+        c.decrement(2, 1);
+        assert_eq!(merge_laws_hold(&a, &b, &c), Ok(()));
+    }
+
+    #[test]
+    fn naive_counter_converges_without_ordering() {
+        let mut a = NaiveCounter::new();
+        let mut b = NaiveCounter::new();
+        let m1 = a.add(5);
+        let m2 = a.add(-2);
+        b.on_message(&m2);
+        b.on_message(&m1);
+        assert_eq!(a.value(), b.value());
+        assert_eq!(a.value(), 3);
+    }
+}

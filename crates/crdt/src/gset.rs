@@ -1,0 +1,94 @@
+//! The Grow-Only Set (G-Set) — §VI: "the simplest set […] as the
+//! insertion of two elements commute, G-Set is a CRDT". Also the
+//! §VII-C example of an object for which naive apply-on-delivery
+//! already achieves update consistency (experiment E11).
+
+use crate::traits::CvRdt;
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+
+/// A grow-only replicated set.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GSet<V: Ord + Clone> {
+    elems: BTreeSet<V>,
+}
+
+/// Broadcast message of the op-based G-Set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GAdd<V>(pub V);
+
+impl<V: Ord + Clone + Debug> GSet<V> {
+    /// An empty G-Set.
+    pub fn new() -> Self {
+        GSet {
+            elems: BTreeSet::new(),
+        }
+    }
+
+    /// Insert locally; returns the op to broadcast.
+    pub fn insert(&mut self, v: V) -> GAdd<V> {
+        self.elems.insert(v.clone());
+        GAdd(v)
+    }
+
+    /// Apply a peer's insert.
+    pub fn on_message(&mut self, msg: &GAdd<V>) {
+        self.elems.insert(msg.0.clone());
+    }
+
+    /// Current content.
+    pub fn read(&self) -> BTreeSet<V> {
+        self.elems.clone()
+    }
+
+    /// Retained entries.
+    pub fn footprint(&self) -> usize {
+        self.elems.len()
+    }
+}
+
+impl<V: Ord + Clone> CvRdt for GSet<V> {
+    fn merge(&mut self, other: &Self) {
+        self.elems.extend(other.elems.iter().cloned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::merge_laws_hold;
+
+    #[test]
+    fn op_based_converges_in_any_order() {
+        let mut a = GSet::new();
+        let mut b = GSet::new();
+        let m1 = a.insert(1);
+        let m2 = a.insert(2);
+        b.on_message(&m2);
+        b.on_message(&m1);
+        assert_eq!(a.read(), b.read());
+    }
+
+    #[test]
+    fn merge_laws() {
+        let mut a = GSet::new();
+        a.insert(1);
+        let mut b = GSet::new();
+        b.insert(2);
+        b.insert(3);
+        let mut c = GSet::new();
+        c.insert(1);
+        c.insert(4);
+        assert_eq!(merge_laws_hold(&a, &b, &c), Ok(()));
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = GSet::new();
+        a.insert(1);
+        let mut b = GSet::new();
+        b.insert(2);
+        a.merge(&b);
+        assert_eq!(a.read(), BTreeSet::from([1, 2]));
+    }
+}

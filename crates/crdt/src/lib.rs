@@ -1,0 +1,48 @@
+//! # uc-crdt — the eventually consistent baselines of §VI
+//!
+//! The paper's case study (§VI) compares update consistency against
+//! the zoo of eventually consistent set implementations; this crate
+//! provides faithful op-based implementations of each, plus
+//! state-based merges with semi-lattice law tests where the literature
+//! defines them:
+//!
+//! * [`gset::GSet`] — grow-only set (a pure CRDT);
+//! * [`two_phase_set::TwoPhaseSet`] — 2P-Set / U-Set (remove wins,
+//!   no re-insertion);
+//! * [`pn_set::PnSet`] — signed counter per element;
+//! * [`c_set::CSet`] — compensated counters (Aslan et al.);
+//! * [`or_set::OrSet`] — observed-remove set, the implementation
+//!   behind the Insert-wins specification of Definition 10;
+//! * [`lww_set::LwwSet`] — last-writer-wins element set;
+//! * [`counters`] — G-Counter, PN-Counter, and the naive op-based
+//!   counter of §VII-C;
+//! * [`registers`] — LWW and multi-value registers.
+//!
+//! All sets implement [`traits::SetReplica`], so the §VI case-study
+//! experiment (E6) can drive them and the update-consistent set
+//! through identical schedules and print the diverging final states.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod c_set;
+pub mod counters;
+pub mod gset;
+pub mod lww_set;
+pub mod or_set;
+pub mod pn_set;
+pub mod registers;
+pub mod sim_adapter;
+pub mod traits;
+pub mod two_phase_set;
+
+pub use c_set::CSet;
+pub use counters::{GCounter, NaiveCounter, PnCounter};
+pub use gset::GSet;
+pub use lww_set::{LwwSet, LwwStamp};
+pub use or_set::{OrSet, Tag};
+pub use pn_set::PnSet;
+pub use registers::{LwwRegister, MvRegister};
+pub use sim_adapter::{SetNode, SetOp, SetResp};
+pub use traits::{CvRdt, SetReplica};
+pub use two_phase_set::TwoPhaseSet;

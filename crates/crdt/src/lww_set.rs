@@ -1,0 +1,196 @@
+//! The Last-Writer-Wins element set (LWW-element-Set) — §VI: "attaches
+//! a timestamp to each element to decide which operation should win in
+//! case of conflict".
+//!
+//! Per element the set keeps the latest insert timestamp and the
+//! latest delete timestamp; the element is present iff the insert is
+//! newer. Timestamps are `(clock, pid)` Lamport pairs, so "newer" is
+//! total and replicas converge pointwise.
+
+use crate::traits::{CvRdt, SetReplica};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Debug;
+
+/// A Lamport `(clock, pid)` pair (local copy to keep this crate
+/// independent of `uc-core`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LwwStamp {
+    /// Logical time.
+    pub clock: u64,
+    /// Tie-breaking process id.
+    pub pid: u32,
+}
+
+/// An LWW-element-set replica.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LwwSet<V: Ord + Clone> {
+    pid: u32,
+    clock: u64,
+    /// Per element: latest insert stamp, latest delete stamp.
+    entries: BTreeMap<V, (Option<LwwStamp>, Option<LwwStamp>)>,
+}
+
+/// Broadcast message of the op-based LWW-set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LwwMsg<V> {
+    /// A stamped insertion.
+    Add(V, LwwStamp),
+    /// A stamped deletion.
+    Remove(V, LwwStamp),
+}
+
+impl<V: Ord + Clone + Debug> LwwSet<V> {
+    /// An empty LWW-set owned by replica `pid`.
+    pub fn new(pid: u32) -> Self {
+        LwwSet {
+            pid,
+            clock: 0,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    fn stamp(&mut self) -> LwwStamp {
+        self.clock += 1;
+        LwwStamp {
+            clock: self.clock,
+            pid: self.pid,
+        }
+    }
+
+    fn absorb_add(&mut self, v: &V, s: LwwStamp) {
+        self.clock = self.clock.max(s.clock);
+        let e = self.entries.entry(v.clone()).or_insert((None, None));
+        if e.0.is_none_or(|prev| prev < s) {
+            e.0 = Some(s);
+        }
+    }
+
+    fn absorb_remove(&mut self, v: &V, s: LwwStamp) {
+        self.clock = self.clock.max(s.clock);
+        let e = self.entries.entry(v.clone()).or_insert((None, None));
+        if e.1.is_none_or(|prev| prev < s) {
+            e.1 = Some(s);
+        }
+    }
+}
+
+impl<V: Ord + Clone + Debug> SetReplica<V> for LwwSet<V> {
+    type Msg = LwwMsg<V>;
+
+    fn insert(&mut self, v: V) -> Self::Msg {
+        let s = self.stamp();
+        self.absorb_add(&v, s);
+        LwwMsg::Add(v, s)
+    }
+
+    fn delete(&mut self, v: V) -> Self::Msg {
+        let s = self.stamp();
+        self.absorb_remove(&v, s);
+        LwwMsg::Remove(v, s)
+    }
+
+    fn on_message(&mut self, msg: &Self::Msg) {
+        match msg {
+            LwwMsg::Add(v, s) => self.absorb_add(v, *s),
+            LwwMsg::Remove(v, s) => self.absorb_remove(v, *s),
+        }
+    }
+
+    fn read(&self) -> BTreeSet<V> {
+        self.entries
+            .iter()
+            .filter(|(_, (add, rem))| match (add, rem) {
+                (Some(a), Some(r)) => a > r,
+                (Some(_), None) => true,
+                _ => false,
+            })
+            .map(|(v, _)| v.clone())
+            .collect()
+    }
+
+    fn footprint(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+impl<V: Ord + Clone + Debug> CvRdt for LwwSet<V> {
+    fn merge(&mut self, other: &Self) {
+        for (v, (add, rem)) in &other.entries {
+            if let Some(a) = add {
+                self.absorb_add(v, *a);
+            }
+            if let Some(r) = rem {
+                self.absorb_remove(v, *r);
+            }
+        }
+        self.clock = self.clock.max(other.clock);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::merge_laws_hold_by;
+
+    #[test]
+    fn later_operation_wins() {
+        let mut a = LwwSet::new(0);
+        let mut b = LwwSet::new(1);
+        let add = a.insert(1); // (1,0)
+        b.on_message(&add);
+        let rem = b.delete(1); // (2,1) — newer
+        a.on_message(&rem);
+        assert!(a.read().is_empty());
+        assert!(b.read().is_empty());
+    }
+
+    #[test]
+    fn concurrent_conflict_resolved_by_pid_tiebreak() {
+        let mut a = LwwSet::new(0);
+        let mut b = LwwSet::new(1);
+        let add = a.insert(1); // (1,0)
+        let rem = b.delete(1); // (1,1) — wins the tie
+        a.on_message(&rem);
+        b.on_message(&add);
+        assert_eq!(a.read(), b.read());
+        assert!(a.read().is_empty(), "delete stamped (1,1) beats insert (1,0)");
+    }
+
+    #[test]
+    fn converges_under_reordering() {
+        let mut a = LwwSet::new(0);
+        let msgs = [a.insert(1), a.delete(1), a.insert(1), a.insert(2)];
+        let mut b = LwwSet::new(1);
+        for m in msgs.iter().rev() {
+            b.on_message(m);
+        }
+        assert_eq!(a.read(), b.read());
+        assert_eq!(a.read(), BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn merge_laws() {
+        let mut a = LwwSet::new(0);
+        a.insert(1);
+        let mut b = LwwSet::new(1);
+        b.insert(1);
+        b.delete(1);
+        let mut c = LwwSet::new(2);
+        c.insert(3);
+        // Compare the lattice content; pid/clock are replica identity.
+        assert_eq!(
+            merge_laws_hold_by(&a, &b, &c, |s| s.entries.clone()),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn footprint_is_per_element() {
+        let mut a = LwwSet::new(0);
+        for _ in 0..50 {
+            a.insert(1);
+            a.delete(1);
+        }
+        assert_eq!(a.footprint(), 1, "only latest stamps retained");
+    }
+}

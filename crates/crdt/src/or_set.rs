@@ -1,0 +1,234 @@
+//! The Observed-Remove Set (OR-Set) — §VI: "the best documented
+//! algorithm for the set […] each insertion is timestamped with a
+//! unique identifier, and the deletion only black-lists the
+//! identifiers that it observes. It guarantees that, if an insertion
+//! and a deletion of the same element are concurrent, the insertion
+//! will win."
+//!
+//! This is the implementation Definition 10 (the Insert-wins
+//! concurrent specification) abstracts, and the object Proposition 3
+//! proves replaceable by an update-consistent set. Tombstones make it
+//! robust to message reordering (no causal-delivery assumption, since
+//! the paper's network is not FIFO).
+
+use crate::traits::{CvRdt, SetReplica};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Debug;
+
+/// Unique identifier of one insertion: `(replica, sequence)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tag {
+    /// Creating replica.
+    pub pid: u32,
+    /// Per-replica sequence number.
+    pub seq: u64,
+}
+
+/// An OR-Set replica.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OrSet<V: Ord + Clone> {
+    pid: u32,
+    next_seq: u64,
+    /// Live tags per element.
+    elems: BTreeMap<V, BTreeSet<Tag>>,
+    /// Black-listed (observed-removed) tags.
+    tombstones: BTreeSet<Tag>,
+}
+
+/// Broadcast message of the op-based OR-Set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OrMsg<V> {
+    /// A uniquely tagged insertion.
+    Add(V, Tag),
+    /// Removal of the *observed* tags of an element.
+    Remove(V, BTreeSet<Tag>),
+}
+
+impl<V: Ord + Clone + Debug> OrSet<V> {
+    /// An empty OR-Set owned by replica `pid`.
+    pub fn new(pid: u32) -> Self {
+        OrSet {
+            pid,
+            next_seq: 0,
+            elems: BTreeMap::new(),
+            tombstones: BTreeSet::new(),
+        }
+    }
+
+    fn add(&mut self, v: &V, tag: Tag) {
+        if !self.tombstones.contains(&tag) {
+            self.elems.entry(v.clone()).or_default().insert(tag);
+        }
+    }
+
+    fn remove_tags(&mut self, v: &V, tags: &BTreeSet<Tag>) {
+        self.tombstones.extend(tags.iter().copied());
+        if let Some(live) = self.elems.get_mut(v) {
+            for t in tags {
+                live.remove(t);
+            }
+            if live.is_empty() {
+                self.elems.remove(v);
+            }
+        }
+    }
+
+    /// The live tags of an element (diagnostics).
+    pub fn tags_of(&self, v: &V) -> BTreeSet<Tag> {
+        self.elems.get(v).cloned().unwrap_or_default()
+    }
+}
+
+impl<V: Ord + Clone + Debug> SetReplica<V> for OrSet<V> {
+    type Msg = OrMsg<V>;
+
+    fn insert(&mut self, v: V) -> Self::Msg {
+        let tag = Tag {
+            pid: self.pid,
+            seq: self.next_seq,
+        };
+        self.next_seq += 1;
+        self.add(&v, tag);
+        OrMsg::Add(v, tag)
+    }
+
+    fn delete(&mut self, v: V) -> Self::Msg {
+        let observed = self.tags_of(&v);
+        self.remove_tags(&v, &observed);
+        OrMsg::Remove(v, observed)
+    }
+
+    fn on_message(&mut self, msg: &Self::Msg) {
+        match msg {
+            OrMsg::Add(v, tag) => self.add(v, *tag),
+            OrMsg::Remove(v, tags) => self.remove_tags(v, tags),
+        }
+    }
+
+    fn read(&self) -> BTreeSet<V> {
+        self.elems.keys().cloned().collect()
+    }
+
+    fn footprint(&self) -> usize {
+        self.elems.values().map(BTreeSet::len).sum::<usize>() + self.tombstones.len()
+    }
+}
+
+impl<V: Ord + Clone> CvRdt for OrSet<V> {
+    fn merge(&mut self, other: &Self) {
+        self.tombstones.extend(other.tombstones.iter().copied());
+        for (v, tags) in &other.elems {
+            let entry = self.elems.entry(v.clone()).or_default();
+            entry.extend(tags.iter().copied());
+        }
+        // Re-filter against the joined tombstones and drop empties.
+        let tomb = self.tombstones.clone();
+        self.elems.retain(|_, tags| {
+            tags.retain(|t| !tomb.contains(t));
+            !tags.is_empty()
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::merge_laws_hold_by;
+
+    #[test]
+    fn insert_wins_over_concurrent_delete() {
+        // The defining behaviour: p1's delete observes nothing, so
+        // p0's concurrent insert survives everywhere.
+        let mut a = OrSet::new(0);
+        let mut b = OrSet::new(1);
+        let ma = a.insert(1);
+        let mb = b.delete(1); // observes no tags
+        a.on_message(&mb);
+        b.on_message(&ma);
+        assert_eq!(a.read(), b.read());
+        assert!(a.read().contains(&1), "insert must win");
+    }
+
+    #[test]
+    fn observed_delete_removes_everywhere() {
+        let mut a = OrSet::new(0);
+        let mut b = OrSet::new(1);
+        let ma = a.insert(1);
+        b.on_message(&ma);
+        let mb = b.delete(1); // observes a's tag
+        a.on_message(&mb);
+        assert!(a.read().is_empty());
+        assert!(b.read().is_empty());
+    }
+
+    #[test]
+    fn fig1b_schedule_converges_to_both_elements() {
+        // §VI: on Fig. 1b's schedule the OR-set converges to {1,2} —
+        // the state the paper proves *not* update consistent.
+        let mut p0 = OrSet::new(0);
+        let mut p1 = OrSet::new(1);
+        // p0: I(1) · D(2); p1: I(2) · D(1); cross-delivery afterwards.
+        let a1 = p0.insert(1);
+        let a2 = p0.delete(2);
+        let b1 = p1.insert(2);
+        let b2 = p1.delete(1);
+        for m in [&b1, &b2] {
+            p0.on_message(m);
+        }
+        for m in [&a1, &a2] {
+            p1.on_message(m);
+        }
+        assert_eq!(p0.read(), BTreeSet::from([1, 2]));
+        assert_eq!(p1.read(), BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn reordered_add_after_its_remove_stays_dead() {
+        // Without tombstones a late Add would resurrect the element.
+        let mut a = OrSet::new(0);
+        let mut b = OrSet::new(1);
+        let add = a.insert(3);
+        b.on_message(&add);
+        let rem = b.delete(3);
+        let mut c = OrSet::new(2);
+        c.on_message(&rem); // remove arrives first
+        c.on_message(&add); // late add of a tombstoned tag
+        assert!(c.read().is_empty());
+    }
+
+    #[test]
+    fn reinsertion_after_delete_works() {
+        let mut a = OrSet::new(0);
+        a.insert(1);
+        a.delete(1);
+        a.insert(1); // fresh tag — unlike the 2P-Set
+        assert!(a.read().contains(&1));
+    }
+
+    #[test]
+    fn merge_laws() {
+        let mut a = OrSet::new(0);
+        a.insert(1);
+        let mut b = OrSet::new(1);
+        b.insert(1);
+        b.delete(1);
+        let mut c = OrSet::new(2);
+        c.insert(2);
+        // Compare the lattice content; pid/next_seq are identity.
+        assert_eq!(
+            merge_laws_hold_by(&a, &b, &c, |s| (s.elems.clone(), s.tombstones.clone())),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn footprint_grows_with_tombstones() {
+        let mut a = OrSet::new(0);
+        for _ in 0..10 {
+            a.insert(1);
+            a.delete(1);
+        }
+        assert!(a.read().is_empty());
+        assert_eq!(a.footprint(), 10, "ten tombstoned tags retained");
+    }
+}

@@ -1,0 +1,127 @@
+//! The PN-Set — §VI: "add counters on the elements to determine if
+//! they should be present or not". Each element carries a signed
+//! count; inserts broadcast `+1`, deletes `-1`, and the element is
+//! present while its count is positive. Counter addition commutes, so
+//! replicas converge — with the well-known anomalies (two concurrent
+//! inserts need two deletes to remove; a delete of an absent element
+//! drives the count negative and "absorbs" a future insert).
+
+use crate::traits::SetReplica;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Debug;
+
+/// A PN-Set replica.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PnSet<V: Ord + Clone> {
+    counts: BTreeMap<V, i64>,
+}
+
+/// Broadcast message: a signed count delta for an element.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PnDelta<V> {
+    /// The element.
+    pub elem: V,
+    /// The count change (+1 insert, −1 delete).
+    pub delta: i64,
+}
+
+impl<V: Ord + Clone + Debug> PnSet<V> {
+    /// An empty PN-Set.
+    pub fn new() -> Self {
+        PnSet {
+            counts: BTreeMap::new(),
+        }
+    }
+
+    fn bump(&mut self, v: &V, delta: i64) {
+        let c = self.counts.entry(v.clone()).or_insert(0);
+        *c += delta;
+    }
+
+    /// The current count of an element (diagnostics).
+    pub fn count(&self, v: &V) -> i64 {
+        self.counts.get(v).copied().unwrap_or(0)
+    }
+}
+
+impl<V: Ord + Clone + Debug> SetReplica<V> for PnSet<V> {
+    type Msg = PnDelta<V>;
+
+    fn insert(&mut self, v: V) -> Self::Msg {
+        self.bump(&v, 1);
+        PnDelta { elem: v, delta: 1 }
+    }
+
+    fn delete(&mut self, v: V) -> Self::Msg {
+        self.bump(&v, -1);
+        PnDelta { elem: v, delta: -1 }
+    }
+
+    fn on_message(&mut self, msg: &Self::Msg) {
+        self.bump(&msg.elem, msg.delta);
+    }
+
+    fn read(&self) -> BTreeSet<V> {
+        self.counts
+            .iter()
+            .filter(|(_, &c)| c > 0)
+            .map(|(v, _)| v.clone())
+            .collect()
+    }
+
+    fn footprint(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_then_delete_removes() {
+        let mut s = PnSet::new();
+        s.insert(1);
+        s.delete(1);
+        assert!(s.read().is_empty());
+    }
+
+    #[test]
+    fn converges_because_addition_commutes() {
+        let mut a = PnSet::new();
+        let mut b = PnSet::new();
+        let m1 = a.insert(1);
+        let m2 = a.delete(1);
+        let m3 = a.insert(1);
+        for m in [&m3, &m1, &m2] {
+            b.on_message(m);
+        }
+        assert_eq!(a.read(), b.read());
+        assert_eq!(a.read(), BTreeSet::from([1]));
+    }
+
+    #[test]
+    fn double_insert_anomaly() {
+        // Two concurrent inserts of the same element need two deletes:
+        // a sequential-set behaviour violation the case study surfaces.
+        let mut a = PnSet::new();
+        let mut b = PnSet::new();
+        let ma = a.insert(5);
+        let mb = b.insert(5);
+        a.on_message(&mb);
+        b.on_message(&ma);
+        let d = a.delete(5);
+        b.on_message(&d);
+        assert!(a.read().contains(&5), "count is still 1 after one delete");
+        assert_eq!(a.read(), b.read());
+    }
+
+    #[test]
+    fn negative_count_absorbs_insert() {
+        let mut s = PnSet::new();
+        s.delete(9); // absent: count −1
+        s.insert(9); // back to 0 — still absent!
+        assert!(!s.read().contains(&9));
+        assert_eq!(s.count(&9), 0);
+    }
+}

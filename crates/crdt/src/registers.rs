@@ -1,0 +1,189 @@
+//! Replicated registers: last-writer-wins (the cell Algorithm 2 uses
+//! per memory location) and the multi-value register (what you get if
+//! you *don't* pick a total order — surfacing conflicts instead, for
+//! contrast in the examples).
+
+use crate::lww_set::LwwStamp;
+use crate::traits::CvRdt;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Debug;
+
+/// A last-writer-wins register.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LwwRegister<V: Clone> {
+    pid: u32,
+    clock: u64,
+    latest: Option<(LwwStamp, V)>,
+}
+
+impl<V: Clone + Debug + PartialEq> LwwRegister<V> {
+    /// An unwritten register owned by replica `pid`.
+    pub fn new(pid: u32) -> Self {
+        LwwRegister {
+            pid,
+            clock: 0,
+            latest: None,
+        }
+    }
+
+    /// Write locally; returns the stamped message to broadcast.
+    pub fn write(&mut self, v: V) -> (LwwStamp, V) {
+        self.clock += 1;
+        let s = LwwStamp {
+            clock: self.clock,
+            pid: self.pid,
+        };
+        self.absorb(&(s, v.clone()));
+        (s, v)
+    }
+
+    /// Apply a peer's write.
+    pub fn on_message(&mut self, msg: &(LwwStamp, V)) {
+        self.absorb(msg);
+    }
+
+    fn absorb(&mut self, (s, v): &(LwwStamp, V)) {
+        self.clock = self.clock.max(s.clock);
+        if self.latest.as_ref().is_none_or(|(prev, _)| prev < s) {
+            self.latest = Some((*s, v.clone()));
+        }
+    }
+
+    /// Read the current value.
+    pub fn read(&self) -> Option<&V> {
+        self.latest.as_ref().map(|(_, v)| v)
+    }
+}
+
+impl<V: Clone + Debug + PartialEq> CvRdt for LwwRegister<V> {
+    fn merge(&mut self, other: &Self) {
+        if let Some(m) = &other.latest {
+            self.absorb(m);
+        }
+        self.clock = self.clock.max(other.clock);
+    }
+}
+
+/// A multi-value register: concurrent writes are all retained and
+/// surfaced to the reader (Dynamo-style), ordered writes overwrite.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MvRegister<V: Ord + Clone> {
+    pid: u32,
+    /// Version vector of the writes folded in.
+    vv: BTreeMap<u32, u64>,
+    values: BTreeSet<V>,
+}
+
+impl<V: Ord + Clone + Debug> MvRegister<V> {
+    /// An empty register owned by replica `pid`.
+    pub fn new(pid: u32) -> Self {
+        MvRegister {
+            pid,
+            vv: BTreeMap::new(),
+            values: BTreeSet::new(),
+        }
+    }
+
+    /// Write locally (overwrites everything this replica has seen);
+    /// returns the message to broadcast.
+    pub fn write(&mut self, v: V) -> (BTreeMap<u32, u64>, V) {
+        *self.vv.entry(self.pid).or_insert(0) += 1;
+        self.values = BTreeSet::from([v.clone()]);
+        (self.vv.clone(), v)
+    }
+
+    /// Apply a peer's write.
+    pub fn on_message(&mut self, (vv, v): &(BTreeMap<u32, u64>, V)) {
+        if dominates(vv, &self.vv) {
+            self.vv = vv.clone();
+            self.values = BTreeSet::from([v.clone()]);
+        } else if dominates(&self.vv, vv) {
+            // stale: ignore
+        } else {
+            // concurrent: keep both, join the vectors
+            for (pid, c) in vv {
+                let e = self.vv.entry(*pid).or_insert(0);
+                *e = (*e).max(*c);
+            }
+            self.values.insert(v.clone());
+        }
+    }
+
+    /// The currently visible value(s); more than one means unresolved
+    /// concurrent writes.
+    pub fn read(&self) -> &BTreeSet<V> {
+        &self.values
+    }
+}
+
+fn dominates(a: &BTreeMap<u32, u64>, b: &BTreeMap<u32, u64>) -> bool {
+    b.iter().all(|(pid, c)| a.get(pid).copied().unwrap_or(0) >= *c)
+        && a != b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::merge_laws_hold_by;
+
+    #[test]
+    fn lww_register_converges() {
+        let mut a = LwwRegister::new(0);
+        let mut b = LwwRegister::new(1);
+        let wa = a.write("x");
+        let wb = b.write("y"); // (1,1) beats (1,0)
+        a.on_message(&wb);
+        b.on_message(&wa);
+        assert_eq!(a.read(), b.read());
+        assert_eq!(a.read(), Some(&"y"));
+    }
+
+    #[test]
+    fn lww_register_merge_laws() {
+        let mut a = LwwRegister::new(0);
+        a.write(1);
+        let mut b = LwwRegister::new(1);
+        b.write(2);
+        let mut c = LwwRegister::new(2);
+        c.write(3);
+        // Compare the lattice content; pid/clock are identity.
+        assert_eq!(
+            merge_laws_hold_by(&a, &b, &c, |r| r.latest),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn mv_register_surfaces_concurrent_writes() {
+        let mut a = MvRegister::new(0);
+        let mut b = MvRegister::new(1);
+        let wa = a.write("x");
+        let wb = b.write("y");
+        a.on_message(&wb);
+        b.on_message(&wa);
+        assert_eq!(a.read(), b.read());
+        assert_eq!(a.read().len(), 2, "both concurrent values visible");
+    }
+
+    #[test]
+    fn mv_register_ordered_write_overwrites() {
+        let mut a = MvRegister::new(0);
+        let mut b = MvRegister::new(1);
+        let wa = a.write("x");
+        b.on_message(&wa);
+        let wb = b.write("y"); // has seen x's write → dominates
+        a.on_message(&wb);
+        assert_eq!(a.read(), &BTreeSet::from(["y"]));
+    }
+
+    #[test]
+    fn mv_register_ignores_stale() {
+        let mut a = MvRegister::new(0);
+        let w1 = a.write("x");
+        let _w2 = a.write("y");
+        let mut b = MvRegister::new(1);
+        b.on_message(&a.write("z"));
+        b.on_message(&w1); // stale
+        assert_eq!(b.read(), &BTreeSet::from(["z"]));
+    }
+}

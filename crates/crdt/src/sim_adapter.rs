@@ -1,0 +1,142 @@
+//! Run the CRDT set baselines on the `uc-sim` runtimes, side by side
+//! with the update-consistent set — the §VI case-study harness.
+
+use crate::traits::SetReplica;
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use uc_sim::{Ctx, Pid, Protocol};
+
+/// Application operations on a replicated set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SetOp<V> {
+    /// Insert an element.
+    Insert(V),
+    /// Delete an element.
+    Delete(V),
+    /// Read the content.
+    Read,
+}
+
+/// Responses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SetResp<V: Ord> {
+    /// Update acknowledged.
+    Ack,
+    /// Read result.
+    Content(BTreeSet<V>),
+}
+
+/// Protocol node wrapping any [`SetReplica`].
+pub struct SetNode<V, S> {
+    /// The wrapped replica.
+    pub replica: S,
+    _ph: PhantomData<fn() -> V>,
+}
+
+impl<V, S> SetNode<V, S> {
+    /// Wrap a set replica.
+    pub fn new(replica: S) -> Self {
+        SetNode {
+            replica,
+            _ph: PhantomData,
+        }
+    }
+}
+
+impl<V, S> Protocol for SetNode<V, S>
+where
+    V: Ord + Clone + Debug,
+    S: SetReplica<V>,
+{
+    type Msg = S::Msg;
+    type Input = SetOp<V>;
+    type Output = SetResp<V>;
+
+    fn on_invoke(&mut self, input: Self::Input, ctx: &mut Ctx<'_, Self::Msg>) -> Self::Output {
+        match input {
+            SetOp::Insert(v) => {
+                let m = self.replica.insert(v);
+                ctx.broadcast_others(m);
+                SetResp::Ack
+            }
+            SetOp::Delete(v) => {
+                let m = self.replica.delete(v);
+                ctx.broadcast_others(m);
+                SetResp::Ack
+            }
+            SetOp::Read => SetResp::Content(self.replica.read()),
+        }
+    }
+
+    fn on_message(&mut self, _from: Pid, msg: Self::Msg, _ctx: &mut Ctx<'_, Self::Msg>) {
+        self.replica.on_message(&msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::or_set::OrSet;
+    use crate::two_phase_set::TwoPhaseSet;
+    use uc_sim::{LatencyModel, SimConfig, Simulation};
+
+    fn cfg(n: usize, seed: u64) -> SimConfig {
+        SimConfig {
+            n,
+            seed,
+            latency: LatencyModel::Uniform(5, 40),
+            fifo_links: false,
+        }
+    }
+
+    #[test]
+    fn or_set_converges_in_simulation() {
+        let mut sim = Simulation::new(cfg(3, 11), |pid| SetNode::new(OrSet::<u32>::new(pid)));
+        for i in 0..20u32 {
+            let pid = (i % 3) as Pid;
+            let op = if i % 5 == 0 {
+                SetOp::Delete(i % 4)
+            } else {
+                SetOp::Insert(i % 4)
+            };
+            sim.schedule_invoke((i * 2) as u64, pid, op);
+        }
+        sim.run_to_quiescence();
+        let reads: Vec<_> = (0..3)
+            .map(|p| sim.process(p).replica.read())
+            .collect();
+        assert_eq!(reads[0], reads[1]);
+        assert_eq!(reads[1], reads[2]);
+    }
+
+    #[test]
+    fn two_phase_set_converges_in_simulation() {
+        let mut sim =
+            Simulation::new(cfg(4, 5), |_| SetNode::new(TwoPhaseSet::<u32>::new()));
+        for i in 0..30u32 {
+            let pid = (i % 4) as Pid;
+            let op = if i % 3 == 0 {
+                SetOp::Delete(i % 5)
+            } else {
+                SetOp::Insert(i % 5)
+            };
+            sim.schedule_invoke(i as u64, pid, op);
+        }
+        sim.run_to_quiescence();
+        let reads: Vec<_> = (0..4)
+            .map(|p| sim.process(p).replica.read())
+            .collect();
+        assert!(reads.windows(2).all(|w| w[0] == w[1]), "{reads:?}");
+    }
+
+    #[test]
+    fn read_returns_content() {
+        let mut sim = Simulation::new(cfg(2, 3), |pid| SetNode::new(OrSet::<u32>::new(pid)));
+        sim.invoke_now(0, SetOp::Insert(9));
+        match sim.invoke_now(0, SetOp::Read) {
+            Some(SetResp::Content(s)) => assert!(s.contains(&9)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Common interfaces for the eventually consistent baselines of §VI.
+
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+
+/// A state-based (convergent) replicated data type. The merge must be
+/// commutative, associative and idempotent — the semi-lattice
+/// condition the paper cites from the CRDT literature as sufficient
+/// for eventual consistency. Property tests in each module check the
+/// laws.
+pub trait CvRdt: Clone {
+    /// Join this replica's state with another's.
+    fn merge(&mut self, other: &Self);
+}
+
+/// An op-based replicated **set** baseline: the uniform interface the
+/// §VI case-study experiment drives. Mirrors the wait-free shape of
+/// `uc-core`'s replicas: local ops return the message to broadcast and
+/// complete immediately.
+pub trait SetReplica<V: Ord + Clone> {
+    /// Wire message type.
+    type Msg: Clone + Debug;
+
+    /// Insert `v`; returns the broadcast message.
+    fn insert(&mut self, v: V) -> Self::Msg;
+
+    /// Delete `v`; returns the broadcast message.
+    fn delete(&mut self, v: V) -> Self::Msg;
+
+    /// Ingest a peer's message.
+    fn on_message(&mut self, msg: &Self::Msg);
+
+    /// Read the current content.
+    fn read(&self) -> BTreeSet<V>;
+
+    /// Approximate retained-entry count (tags, tombstones, counters) —
+    /// the §VI space-complexity comparison.
+    fn footprint(&self) -> usize;
+}
+
+/// Check the three semi-lattice laws on concrete states (used by unit
+/// and property tests). Types whose structs carry replica identity
+/// (pid, local clock) should use [`merge_laws_hold_by`] with a
+/// projection onto the lattice content instead.
+pub fn merge_laws_hold<T: CvRdt + PartialEq + Debug>(a: &T, b: &T, c: &T) -> Result<(), String> {
+    merge_laws_hold_by(a, b, c, |t| t.clone())
+}
+
+/// Check the semi-lattice laws comparing states through `project` —
+/// the lattice content — so that per-replica identity fields (which
+/// merges legitimately keep local) do not produce false failures.
+pub fn merge_laws_hold_by<T, K>(
+    a: &T,
+    b: &T,
+    c: &T,
+    project: impl Fn(&T) -> K,
+) -> Result<(), String>
+where
+    T: CvRdt,
+    K: PartialEq + Debug,
+{
+    // commutativity
+    let mut ab = a.clone();
+    ab.merge(b);
+    let mut ba = b.clone();
+    ba.merge(a);
+    if project(&ab) != project(&ba) {
+        return Err(format!(
+            "merge not commutative: {:?} vs {:?}",
+            project(&ab),
+            project(&ba)
+        ));
+    }
+    // associativity
+    let mut ab_c = ab.clone();
+    ab_c.merge(c);
+    let mut bc = b.clone();
+    bc.merge(c);
+    let mut a_bc = a.clone();
+    a_bc.merge(&bc);
+    if project(&ab_c) != project(&a_bc) {
+        return Err(format!(
+            "merge not associative: {:?} vs {:?}",
+            project(&ab_c),
+            project(&a_bc)
+        ));
+    }
+    // idempotence
+    let mut aa = a.clone();
+    aa.merge(a);
+    if project(&aa) != project(a) {
+        return Err(format!(
+            "merge not idempotent: {:?} vs {:?}",
+            project(&aa),
+            project(a)
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct MaxInt(u64);
+    impl CvRdt for MaxInt {
+        fn merge(&mut self, other: &Self) {
+            self.0 = self.0.max(other.0);
+        }
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct BadSum(u64);
+    impl CvRdt for BadSum {
+        fn merge(&mut self, other: &Self) {
+            self.0 += other.0; // not idempotent
+        }
+    }
+
+    #[test]
+    fn laws_accept_max_lattice() {
+        assert!(merge_laws_hold(&MaxInt(1), &MaxInt(5), &MaxInt(3)).is_ok());
+    }
+
+    #[test]
+    fn laws_reject_non_idempotent_merge() {
+        assert!(merge_laws_hold(&BadSum(1), &BadSum(2), &BadSum(3)).is_err());
+    }
+}

@@ -1,0 +1,135 @@
+//! The Two-Phase Set (2P-Set, a.k.a. U-Set) — §VI: two G-Sets, a
+//! white list of insertions and a black list of deletions; an element
+//! once deleted can never be inserted again.
+
+use crate::traits::{CvRdt, SetReplica};
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+
+/// A 2P-Set replica.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TwoPhaseSet<V: Ord + Clone> {
+    added: BTreeSet<V>,
+    removed: BTreeSet<V>,
+}
+
+/// Broadcast message of the op-based 2P-Set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TwoPhaseMsg<V> {
+    /// Insert an element (first phase).
+    Add(V),
+    /// Tombstone an element (second phase, permanent).
+    Remove(V),
+}
+
+impl<V: Ord + Clone + Debug> TwoPhaseSet<V> {
+    /// An empty 2P-Set.
+    pub fn new() -> Self {
+        TwoPhaseSet {
+            added: BTreeSet::new(),
+            removed: BTreeSet::new(),
+        }
+    }
+}
+
+impl<V: Ord + Clone + Debug> SetReplica<V> for TwoPhaseSet<V> {
+    type Msg = TwoPhaseMsg<V>;
+
+    fn insert(&mut self, v: V) -> Self::Msg {
+        self.added.insert(v.clone());
+        TwoPhaseMsg::Add(v)
+    }
+
+    fn delete(&mut self, v: V) -> Self::Msg {
+        self.removed.insert(v.clone());
+        TwoPhaseMsg::Remove(v)
+    }
+
+    fn on_message(&mut self, msg: &Self::Msg) {
+        match msg {
+            TwoPhaseMsg::Add(v) => {
+                self.added.insert(v.clone());
+            }
+            TwoPhaseMsg::Remove(v) => {
+                self.removed.insert(v.clone());
+            }
+        }
+    }
+
+    fn read(&self) -> BTreeSet<V> {
+        self.added.difference(&self.removed).cloned().collect()
+    }
+
+    fn footprint(&self) -> usize {
+        self.added.len() + self.removed.len()
+    }
+}
+
+impl<V: Ord + Clone> CvRdt for TwoPhaseSet<V> {
+    fn merge(&mut self, other: &Self) {
+        self.added.extend(other.added.iter().cloned());
+        self.removed.extend(other.removed.iter().cloned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::merge_laws_hold;
+
+    #[test]
+    fn delete_is_permanent() {
+        let mut s = TwoPhaseSet::new();
+        s.insert(1);
+        s.delete(1);
+        s.insert(1); // too late: tombstoned forever
+        assert!(s.read().is_empty());
+    }
+
+    #[test]
+    fn remove_wins_concurrent_conflicts() {
+        // Unlike the OR-set, a concurrent insert/delete pair resolves
+        // to absent.
+        let mut a = TwoPhaseSet::new();
+        let mut b = TwoPhaseSet::new();
+        let ma = a.insert(7);
+        let mb = b.delete(7);
+        a.on_message(&mb);
+        b.on_message(&ma);
+        assert_eq!(a.read(), b.read());
+        assert!(a.read().is_empty());
+    }
+
+    #[test]
+    fn converges_under_reordered_deliveries() {
+        let mut a = TwoPhaseSet::new();
+        let msgs = [a.insert(1), a.delete(1), a.insert(2)];
+        let mut b = TwoPhaseSet::new();
+        for m in msgs.iter().rev() {
+            b.on_message(m);
+        }
+        assert_eq!(a.read(), b.read());
+    }
+
+    #[test]
+    fn merge_laws() {
+        let mut a = TwoPhaseSet::new();
+        a.insert(1);
+        a.delete(2);
+        let mut b = TwoPhaseSet::new();
+        b.insert(2);
+        let mut c = TwoPhaseSet::new();
+        c.insert(3);
+        c.delete(3);
+        assert_eq!(merge_laws_hold(&a, &b, &c), Ok(()));
+    }
+
+    #[test]
+    fn footprint_counts_tombstones() {
+        let mut s = TwoPhaseSet::new();
+        s.insert(1);
+        s.delete(1);
+        assert_eq!(s.read().len(), 0);
+        assert_eq!(s.footprint(), 2);
+    }
+}

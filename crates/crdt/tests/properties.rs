@@ -1,0 +1,231 @@
+//! Property tests for the §VI baselines: delivery-order independence
+//! (eventual consistency), state-based merge vs op-based delivery
+//! equivalence, and the OR-set against an insert-wins reference model.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use uc_crdt::{
+    CSet, CvRdt, GSet, LwwSet, OrSet, PnSet, SetReplica, TwoPhaseSet,
+};
+
+#[derive(Clone, Copy, Debug)]
+enum Cmd {
+    Ins(u8),
+    Del(u8),
+}
+
+fn cmd() -> impl Strategy<Value = Cmd> {
+    prop_oneof![(0u8..5).prop_map(Cmd::Ins), (0u8..5).prop_map(Cmd::Del)]
+}
+
+/// Apply commands on a producer replica, then deliver the message
+/// stream to a consumer in a permuted order; both reads must agree.
+fn order_independent<S, T>(mut producer: S, mut consumer: T, cmds: &[Cmd], perm_seed: u64) -> bool
+where
+    S: SetReplica<u8>,
+    T: SetReplica<u8, Msg = S::Msg>,
+{
+    let msgs: Vec<S::Msg> = cmds
+        .iter()
+        .map(|c| match c {
+            Cmd::Ins(v) => producer.insert(*v),
+            Cmd::Del(v) => producer.delete(*v),
+        })
+        .collect();
+    let mut order: Vec<usize> = (0..msgs.len()).collect();
+    let mut s = perm_seed;
+    for i in (1..order.len()).rev() {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+        order.swap(i, (s >> 33) as usize % (i + 1));
+    }
+    for &i in &order {
+        consumer.on_message(&msgs[i]);
+    }
+    producer.read() == consumer.read()
+}
+
+/// Insert-wins reference model: an element is present iff some insert
+/// of it was not observed by any delete — for the *producer-sequential*
+/// case this degenerates to the sequential set, which the OR-set must
+/// match exactly when all ops come from one replica.
+fn sequential_model(cmds: &[Cmd]) -> BTreeSet<u8> {
+    let mut s = BTreeSet::new();
+    for c in cmds {
+        match c {
+            Cmd::Ins(v) => {
+                s.insert(*v);
+            }
+            Cmd::Del(v) => {
+                s.remove(v);
+            }
+        }
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// All op-based sets are delivery-order independent (they are
+    /// eventually consistent by design).
+    #[test]
+    fn or_set_order_independent(cmds in proptest::collection::vec(cmd(), 0..25), seed: u64) {
+        prop_assert!(order_independent(OrSet::new(0), OrSet::new(1), &cmds, seed));
+    }
+
+    #[test]
+    fn two_phase_order_independent(cmds in proptest::collection::vec(cmd(), 0..25), seed: u64) {
+        prop_assert!(order_independent(
+            TwoPhaseSet::new(),
+            TwoPhaseSet::new(),
+            &cmds,
+            seed
+        ));
+    }
+
+    #[test]
+    fn pn_set_order_independent(cmds in proptest::collection::vec(cmd(), 0..25), seed: u64) {
+        prop_assert!(order_independent(PnSet::new(), PnSet::new(), &cmds, seed));
+    }
+
+    #[test]
+    fn c_set_order_independent(cmds in proptest::collection::vec(cmd(), 0..25), seed: u64) {
+        prop_assert!(order_independent(CSet::new(), CSet::new(), &cmds, seed));
+    }
+
+    #[test]
+    fn lww_set_order_independent(cmds in proptest::collection::vec(cmd(), 0..25), seed: u64) {
+        prop_assert!(order_independent(LwwSet::new(0), LwwSet::new(1), &cmds, seed));
+    }
+
+    /// Single-writer sequential equivalence: with no concurrency, the
+    /// OR-set, LWW-set and C-Set all behave like the plain set.
+    #[test]
+    fn sequential_runs_match_plain_set(cmds in proptest::collection::vec(cmd(), 0..25)) {
+        let model = sequential_model(&cmds);
+        let mut or = OrSet::new(0);
+        let mut lww = LwwSet::new(0);
+        let mut c = CSet::new();
+        for op in &cmds {
+            match op {
+                Cmd::Ins(v) => {
+                    or.insert(*v);
+                    lww.insert(*v);
+                    c.insert(*v);
+                }
+                Cmd::Del(v) => {
+                    or.delete(*v);
+                    lww.delete(*v);
+                    c.delete(*v);
+                }
+            }
+        }
+        prop_assert_eq!(or.read(), model.clone(), "OR-set");
+        prop_assert_eq!(lww.read(), model.clone(), "LWW-set");
+        prop_assert_eq!(c.read(), model, "C-Set");
+        // (2P-Set and PN-Set intentionally deviate sequentially:
+        // re-insertion after delete / negative counts.)
+    }
+
+    /// State-based merge equals op-based delivery for the OR-set: a
+    /// replica that merges the producer's final state reads the same
+    /// as one that consumed the op stream.
+    #[test]
+    fn or_set_merge_equals_op_delivery(cmds in proptest::collection::vec(cmd(), 0..20)) {
+        let mut producer = OrSet::new(0);
+        let mut op_consumer = OrSet::new(1);
+        let msgs: Vec<_> = cmds
+            .iter()
+            .map(|c| match c {
+                Cmd::Ins(v) => producer.insert(*v),
+                Cmd::Del(v) => producer.delete(*v),
+            })
+            .collect();
+        for m in &msgs {
+            op_consumer.on_message(m);
+        }
+        let mut merge_consumer = OrSet::new(2);
+        merge_consumer.merge(&producer);
+        prop_assert_eq!(op_consumer.read(), merge_consumer.read());
+    }
+
+    /// Merge laws on randomly generated OR-set states (beyond the unit
+    /// tests' fixed cases).
+    #[test]
+    fn or_set_random_merge_laws(
+        ca in proptest::collection::vec(cmd(), 0..10),
+        cb in proptest::collection::vec(cmd(), 0..10),
+        cc in proptest::collection::vec(cmd(), 0..10),
+    ) {
+        fn mk(pid: u32, cmds: &[Cmd]) -> OrSet<u8> {
+            let mut s = OrSet::new(pid);
+            for c in cmds {
+                match c {
+                    Cmd::Ins(v) => {
+                        s.insert(*v);
+                    }
+                    Cmd::Del(v) => {
+                        s.delete(*v);
+                    }
+                }
+            }
+            s
+        }
+        let a = mk(0, &ca);
+        let b = mk(1, &cb);
+        let c = mk(2, &cc);
+        // commutativity on reads
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.read(), ba.read());
+        // associativity on reads
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(ab_c.read(), a_bc.read());
+        // idempotence
+        let mut aa = a.clone();
+        aa.merge(&a);
+        prop_assert_eq!(aa.read(), a.read());
+    }
+
+    /// G-Set convergence from arbitrary partial exchanges: any gossip
+    /// pattern that eventually shares all states converges.
+    #[test]
+    fn gset_gossip_converges(values in proptest::collection::vec(0u8..20, 1..15), seed: u64) {
+        let mut replicas: Vec<GSet<u8>> = (0..3).map(|_| GSet::new()).collect();
+        let mut s = seed;
+        for v in &values {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(7);
+            let i = (s >> 33) as usize % 3;
+            replicas[i].insert(*v);
+        }
+        // Full pairwise merge in both directions.
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    let other = replicas[j].clone();
+                    replicas[i].merge(&other);
+                }
+            }
+        }
+        // One more round so late merges propagate transitively.
+        for i in 0..3 {
+            for j in 0..3 {
+                if i != j {
+                    let other = replicas[j].clone();
+                    replicas[i].merge(&other);
+                }
+            }
+        }
+        let expect: BTreeSet<u8> = values.iter().copied().collect();
+        for r in &replicas {
+            prop_assert_eq!(r.read(), expect.clone());
+        }
+    }
+}

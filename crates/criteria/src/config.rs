@@ -1,0 +1,83 @@
+//! Search budgets for the decision procedures.
+//!
+//! Deciding the search-based criteria is NP-hard in general (they
+//! quantify over linearizations or visibility relations), so every
+//! checker carries a node budget and reports
+//! [`crate::Verdict::Unsupported`] instead of running away when a
+//! pathological history exceeds it.
+
+/// Budget and limits shared by the checkers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckConfig {
+    /// Maximum number of search nodes (partial linearizations /
+    /// visibility assignments) a single check may explore.
+    pub max_nodes: u64,
+    /// Maximum number of maximal chains enumerated for pipelined
+    /// consistency.
+    pub max_chains: usize,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            max_nodes: 4_000_000,
+            max_chains: 4_096,
+        }
+    }
+}
+
+impl CheckConfig {
+    /// A tight budget, for tests that exercise the budget path.
+    pub fn tiny() -> Self {
+        CheckConfig {
+            max_nodes: 16,
+            max_chains: 2,
+        }
+    }
+}
+
+/// Node counter handed down the recursive searches (public because
+/// the reusable visibility enumeration in [`crate::vis`] takes one).
+#[derive(Debug)]
+pub struct Budget {
+    remaining: u64,
+}
+
+impl Budget {
+    /// A budget holding `cfg.max_nodes` nodes.
+    pub fn new(cfg: &CheckConfig) -> Self {
+        Budget {
+            remaining: cfg.max_nodes,
+        }
+    }
+
+    /// Spend one node; `false` once exhausted.
+    #[inline]
+    pub fn spend(&mut self) -> bool {
+        if self.remaining == 0 {
+            false
+        } else {
+            self.remaining -= 1;
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_generous() {
+        let c = CheckConfig::default();
+        assert!(c.max_nodes >= 1_000_000);
+    }
+
+    #[test]
+    fn budget_exhausts() {
+        let mut b = Budget::new(&CheckConfig { max_nodes: 2, max_chains: 1 });
+        assert!(b.spend());
+        assert!(b.spend());
+        assert!(!b.spend());
+    }
+}

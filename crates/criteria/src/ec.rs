@@ -1,0 +1,105 @@
+//! Eventual consistency (Definition 5).
+//!
+//! `H` is eventually consistent if `U_H` is infinite, or some state
+//! `s` is consistent with all but finitely many queries. In the
+//! ω-event model the finitely many exempt queries are exactly the
+//! non-ω ones plus any finite prefix, so the check reduces to *state
+//! abduction* over the ω-queries: `∃s ∀ ω-query qi/qo : G(s,qi)=qo`.
+
+use crate::verdict::{Verdict, Witness};
+use uc_history::History;
+use uc_spec::StateAbduction;
+
+/// Decide eventual consistency.
+pub fn check_ec<A: StateAbduction>(h: &History<A>) -> Verdict {
+    if h.has_omega_update() {
+        return Verdict::Holds(Witness::Trivial(
+            "U_H is infinite (ω-update present)".into(),
+        ));
+    }
+    let obs: Vec<(A::QueryIn, A::QueryOut)> = h
+        .query_ids()
+        .filter(|&q| h.event(q).omega)
+        .map(|q| {
+            let query = h.query_of(q);
+            (query.input.clone(), query.output.clone())
+        })
+        .collect();
+    match h.adt().abduce_checked(&obs) {
+        Some(s) => Verdict::Holds(Witness::ConvergedState(format!("{s:?}"))),
+        None => Verdict::Fails(format!(
+            "no state is consistent with the {} ω-query observation(s)",
+            obs.len()
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use uc_history::paper;
+    use uc_history::HistoryBuilder;
+    use uc_spec::{SetAdt, SetQuery, SetUpdate};
+
+    #[test]
+    fn paper_figures_classified() {
+        for fig in paper::all_figures() {
+            let got = check_ec(&fig.history);
+            assert_eq!(
+                got.holds(),
+                fig.expected.ec,
+                "{}: expected EC={}, got {:?}",
+                fig.name,
+                fig.expected.ec,
+                got
+            );
+        }
+    }
+
+    #[test]
+    fn diverging_omega_tails_fail() {
+        let mut b = HistoryBuilder::new(SetAdt::<u32>::new());
+        let [p0, p1] = b.processes();
+        b.omega_query(p0, SetQuery::Read, BTreeSet::from([1]));
+        b.omega_query(p1, SetQuery::Read, BTreeSet::from([2]));
+        let h = b.build().unwrap();
+        assert!(check_ec(&h).fails());
+    }
+
+    #[test]
+    fn finite_history_vacuously_ec() {
+        // Only finite queries: all of them may be exempted.
+        let mut b = HistoryBuilder::new(SetAdt::<u32>::new());
+        let p = b.process();
+        b.update(p, SetUpdate::Insert(1));
+        b.query(p, SetQuery::Read, BTreeSet::from([42])); // wildly wrong, but finite
+        let h = b.build().unwrap();
+        assert!(check_ec(&h).holds());
+    }
+
+    #[test]
+    fn omega_update_is_trivially_ec() {
+        let mut b = HistoryBuilder::new(SetAdt::<u32>::new());
+        let [p0, p1] = b.processes();
+        b.omega_update(p0, SetUpdate::Insert(1));
+        b.omega_query(p1, SetQuery::Read, BTreeSet::from([9])); // inconsistent, but U_H infinite
+        let h = b.build().unwrap();
+        let v = check_ec(&h);
+        assert!(v.holds());
+        assert!(matches!(v.witness(), Some(Witness::Trivial(_))));
+    }
+
+    #[test]
+    fn witness_state_matches_observations() {
+        let mut b = HistoryBuilder::new(SetAdt::<u32>::new());
+        let p = b.process();
+        b.update(p, SetUpdate::Insert(7));
+        b.omega_query(p, SetQuery::Read, BTreeSet::from([7]));
+        let h = b.build().unwrap();
+        match check_ec(&h) {
+            Verdict::Holds(Witness::ConvergedState(s)) => assert_eq!(s, "{7}"),
+            other => panic!("unexpected verdict {other:?}"),
+        }
+    }
+}

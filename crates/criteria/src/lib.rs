@@ -1,0 +1,57 @@
+//! # uc-criteria — decision procedures for the paper's consistency
+//! criteria
+//!
+//! A *consistency criterion* (Definition 4) maps a UQ-ADT to the set
+//! of distributed histories it allows. This crate decides membership
+//! for every criterion the paper discusses:
+//!
+//! | module | criterion | paper |
+//! |--------|-----------|-------|
+//! | [`ec`] | eventual consistency | Definition 5 |
+//! | [`sec`] | strong eventual consistency | Definition 6 |
+//! | [`pc`] | pipelined consistency (PRAM for UQ-ADTs) | Definition 7 |
+//! | [`uc`] | update consistency | Definition 8 |
+//! | [`suc`] | strong update consistency | Definition 9 |
+//! | [`insert_wins`] | SEC for the Insert-wins set (OR-set spec) | Definition 10 |
+//! | [`sc`] | sequential consistency (calibration) | §VIII |
+//! | [`cache`] | cache consistency for shared memory (Goodman) | §VI's OR-set remark |
+//!
+//! The search-based procedures are exact but exponential (the
+//! underlying problems quantify over linearizations and visibility
+//! relations); each carries a [`CheckConfig`] budget and answers
+//! [`Verdict::Unsupported`] rather than diverging. For histories
+//! produced by Algorithm 1 at scale, [`suc::verify_witness`] validates
+//! strong update consistency in polynomial time from the replica's own
+//! timestamp order and delivery logs — mirroring how Proposition 4's
+//! proof constructs the witness instead of searching for it.
+//!
+//! [`matrix`] assembles the Fig. 1/Fig. 2 classification table
+//! (experiment E1); the paper module of `uc-history` supplies the
+//! histories and the expected verdicts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod ec;
+pub mod insert_wins;
+pub mod matrix;
+pub mod pc;
+pub mod sc;
+pub mod sec;
+pub mod suc;
+pub mod uc;
+pub mod verdict;
+pub mod vis;
+
+pub use cache::check_cache_memory;
+pub use config::CheckConfig;
+pub use ec::check_ec;
+pub use insert_wins::check_insert_wins;
+pub use pc::check_pc;
+pub use sc::check_sc;
+pub use sec::check_sec;
+pub use suc::{check_suc, verify_witness, SucWitness};
+pub use uc::check_uc;
+pub use verdict::{Verdict, Witness};

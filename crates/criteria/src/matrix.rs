@@ -1,0 +1,120 @@
+//! Classification matrices: run every checker over a batch of named
+//! histories and render the table the paper's Fig. 1/Fig. 2 captions
+//! describe. Used by the `figures` bin of `uc-bench` (experiment E1).
+
+use crate::config::CheckConfig;
+use crate::verdict::Verdict;
+use crate::{ec, pc, sc, sec, suc, uc};
+use std::fmt::Write;
+use uc_history::History;
+use uc_spec::StateAbduction;
+
+/// The criteria a classification row covers, in table-column order.
+pub const CRITERIA: [&str; 6] = ["EC", "SEC", "PC", "UC", "SUC", "SC"];
+
+/// One classified history.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Display name (e.g. `"Fig. 1a"`).
+    pub name: String,
+    /// Free-text annotation (e.g. the paper's caption).
+    pub caption: String,
+    /// Verdicts in [`CRITERIA`] order.
+    pub verdicts: Vec<Verdict>,
+}
+
+impl Row {
+    /// The verdict for a named criterion.
+    pub fn verdict(&self, criterion: &str) -> Option<&Verdict> {
+        CRITERIA
+            .iter()
+            .position(|c| *c == criterion)
+            .map(|i| &self.verdicts[i])
+    }
+}
+
+/// Classify one history against all criteria.
+pub fn classify<A: StateAbduction>(
+    name: &str,
+    caption: &str,
+    h: &History<A>,
+    cfg: &CheckConfig,
+) -> Row {
+    Row {
+        name: name.to_string(),
+        caption: caption.to_string(),
+        verdicts: vec![
+            ec::check_ec(h),
+            sec::check_sec_with(h, cfg),
+            pc::check_pc_with(h, cfg),
+            uc::check_uc_with(h, cfg),
+            suc::check_suc_with(h, cfg),
+            sc::check_sc_with(h, cfg),
+        ],
+    }
+}
+
+/// Render rows as an aligned text table.
+pub fn render(rows: &[Row]) -> String {
+    let name_w = rows
+        .iter()
+        .map(|r| r.name.len())
+        .chain(["history".len()])
+        .max()
+        .unwrap_or(8);
+    let mut out = String::new();
+    let _ = write!(out, "{:<name_w$}", "history");
+    for c in CRITERIA {
+        let _ = write!(out, "  {c:>4}");
+    }
+    let _ = writeln!(out, "  caption");
+    for r in rows {
+        let _ = write!(out, "{:<name_w$}", r.name);
+        for v in &r.verdicts {
+            let _ = write!(out, "  {:>4}", v.cell());
+        }
+        let _ = writeln!(out, "  {}", r.caption);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_history::paper;
+
+    #[test]
+    fn full_matrix_matches_the_paper() {
+        // Experiment E1 in miniature: every figure, every criterion.
+        let cfg = CheckConfig::default();
+        for fig in paper::all_figures() {
+            let row = classify(fig.name, fig.caption, &fig.history, &cfg);
+            assert_eq!(row.verdict("EC").unwrap().holds(), fig.expected.ec, "{} EC", fig.name);
+            assert_eq!(row.verdict("SEC").unwrap().holds(), fig.expected.sec, "{} SEC", fig.name);
+            assert_eq!(row.verdict("PC").unwrap().holds(), fig.expected.pc, "{} PC", fig.name);
+            assert_eq!(row.verdict("UC").unwrap().holds(), fig.expected.uc, "{} UC", fig.name);
+            assert_eq!(row.verdict("SUC").unwrap().holds(), fig.expected.suc, "{} SUC", fig.name);
+            assert!(row.verdict("SC").unwrap().fails(), "{} SC", fig.name);
+        }
+    }
+
+    #[test]
+    fn render_contains_all_cells() {
+        let cfg = CheckConfig::default();
+        let fig = paper::fig1d();
+        let row = classify(fig.name, fig.caption, &fig.history, &cfg);
+        let table = render(&[row]);
+        assert!(table.contains("Fig. 1d"));
+        assert!(table.contains("EC"));
+        assert!(table.contains("yes"));
+        assert!(table.contains("no"));
+    }
+
+    #[test]
+    fn unknown_criterion_lookup_is_none() {
+        let cfg = CheckConfig::default();
+        let fig = paper::fig1c();
+        let row = classify(fig.name, fig.caption, &fig.history, &cfg);
+        assert!(row.verdict("XYZ").is_none());
+    }
+}

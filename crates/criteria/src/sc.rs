@@ -1,0 +1,192 @@
+//! Sequential consistency — the strong criterion the paper positions
+//! update consistency *below* ("stronger than eventual consistency and
+//! weaker than sequential consistency", §VIII). Provided for
+//! calibration of the hierarchy experiments.
+//!
+//! `H` is sequentially consistent if some linearization of **all**
+//! events is in `L(O)`. ω-queries are handled like in the pipelined
+//! checker, except several processes' ω-tails interleave: once an
+//! ω-query has been placed, every later state must keep answering it.
+
+use crate::config::{Budget, CheckConfig};
+use crate::verdict::{Verdict, Witness};
+use uc_history::downset::{self, Mask};
+use uc_history::fxhash::FxHashSet;
+use uc_history::{EventId, History};
+use uc_spec::{Op, UqAdt};
+
+/// Decide sequential consistency with the default budget.
+pub fn check_sc<A: UqAdt>(h: &History<A>) -> Verdict {
+    check_sc_with(h, &CheckConfig::default())
+}
+
+/// Decide sequential consistency with an explicit budget.
+pub fn check_sc_with<A: UqAdt>(h: &History<A>, cfg: &CheckConfig) -> Verdict {
+    if h.has_omega_update() {
+        return Verdict::Unsupported(
+            "sequential consistency with ω-updates is outside the decision procedure".into(),
+        );
+    }
+    let mut budget = Budget::new(cfg);
+    let mut seen: FxHashSet<(Mask, A::State)> = FxHashSet::default();
+    let mut order = Vec::new();
+    let mut state = h.adt().initial();
+    match dfs(h, 0, &mut state, &mut order, &mut seen, &mut budget) {
+        Outcome::Found => Verdict::Holds(Witness::FullLinearization(order)),
+        Outcome::Exhausted => {
+            Verdict::Fails("no linearization of all events is in L(O)".into())
+        }
+        Outcome::OutOfBudget => {
+            Verdict::Unsupported("sequential-consistency search budget exceeded".into())
+        }
+    }
+}
+
+enum Outcome {
+    Found,
+    Exhausted,
+    OutOfBudget,
+}
+
+fn dfs<A: UqAdt>(
+    h: &History<A>,
+    done: Mask,
+    state: &mut A::State,
+    order: &mut Vec<EventId>,
+    seen: &mut FxHashSet<(Mask, A::State)>,
+    budget: &mut Budget,
+) -> Outcome {
+    if !budget.spend() {
+        return Outcome::OutOfBudget;
+    }
+    let scope = h.all_mask();
+    if done == scope {
+        return Outcome::Found;
+    }
+    // The set of active ω constraints is determined by `done`, so
+    // (done, state) is a sound memo key.
+    if !seen.insert((done, state.clone())) {
+        return Outcome::Exhausted;
+    }
+    for i in downset::iter(h.ready(scope, done)) {
+        let e = EventId(i as u32);
+        let ev = h.event(e);
+        let saved = state.clone();
+        let ok = match &ev.op {
+            Op::Update(u) => {
+                h.adt().apply(state, u);
+                active_omegas_hold(h, done, state)
+            }
+            Op::Query(q) => h.adt().answers(state, &q.input, &q.output),
+        };
+        if ok {
+            order.push(e);
+            match dfs(h, done | downset::bit(i), state, order, seen, budget) {
+                Outcome::Exhausted => {
+                    order.pop();
+                }
+                out => return out,
+            }
+        }
+        *state = saved;
+    }
+    Outcome::Exhausted
+}
+
+/// Every ω-query already placed must keep holding in `state`.
+fn active_omegas_hold<A: UqAdt>(h: &History<A>, done: Mask, state: &A::State) -> bool {
+    for i in downset::iter(done & h.omegas_mask() & h.queries_mask()) {
+        let q = h.query_of(EventId(i as u32));
+        if !h.adt().answers(state, &q.input, &q.output) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use uc_history::paper;
+    use uc_history::HistoryBuilder;
+    use uc_spec::{SetAdt, SetQuery, SetUpdate};
+
+    fn set(vals: &[u32]) -> BTreeSet<u32> {
+        vals.iter().copied().collect()
+    }
+
+    #[test]
+    fn none_of_the_paper_figures_is_sc() {
+        // All five figures exhibit weak behaviours; SC must reject
+        // every one of them.
+        for fig in paper::all_figures() {
+            assert!(check_sc(&fig.history).fails(), "{}", fig.name);
+        }
+    }
+
+    #[test]
+    fn a_genuinely_sequential_history_is_sc() {
+        let mut b = HistoryBuilder::new(SetAdt::<u32>::new());
+        let [p0, p1] = b.processes();
+        b.update(p0, SetUpdate::Insert(1));
+        b.query(p1, SetQuery::Read, set(&[])); // ordered before the insert
+        b.query(p1, SetQuery::Read, set(&[1]));
+        b.omega_query(p0, SetQuery::Read, set(&[1]));
+        let h = b.build().unwrap();
+        let v = check_sc(&h);
+        assert!(v.holds(), "{v:?}");
+        let Some(Witness::FullLinearization(order)) = v.witness() else {
+            panic!()
+        };
+        assert!(uc_history::linearize::is_linearization(
+            &h,
+            h.all_mask(),
+            order
+        ));
+    }
+
+    #[test]
+    fn sc_implies_suc_on_small_histories() {
+        // SC is stronger than SUC: sanity-check on a tiny history.
+        let mut b = HistoryBuilder::new(SetAdt::<u32>::new());
+        let [p0, p1] = b.processes();
+        b.update(p0, SetUpdate::Insert(1));
+        b.omega_query(p1, SetQuery::Read, set(&[1]));
+        let h = b.build().unwrap();
+        assert!(check_sc(&h).holds());
+        assert!(crate::suc::check_suc(&h).holds());
+    }
+
+    #[test]
+    fn interleaved_omega_tails() {
+        // Two ω-tails with the same converged output are fine.
+        let mut b = HistoryBuilder::new(SetAdt::<u32>::new());
+        let [p0, p1] = b.processes();
+        b.update(p0, SetUpdate::Insert(1));
+        b.omega_query(p0, SetQuery::Read, set(&[1]));
+        b.omega_query(p1, SetQuery::Read, set(&[1]));
+        let h = b.build().unwrap();
+        assert!(check_sc(&h).holds());
+        // Diverging ω outputs are impossible.
+        let mut b = HistoryBuilder::new(SetAdt::<u32>::new());
+        let [p0, p1] = b.processes();
+        b.update(p0, SetUpdate::Insert(1));
+        b.omega_query(p0, SetQuery::Read, set(&[1]));
+        b.omega_query(p1, SetQuery::Read, set(&[]));
+        let h = b.build().unwrap();
+        assert!(check_sc(&h).fails());
+    }
+
+    #[test]
+    fn updates_after_omega_entry_must_preserve_output() {
+        // p1's ω-read ∅ can be placed before I(1)… but then the later
+        // insert breaks it; placing it after reads {1} — also wrong.
+        let mut b = HistoryBuilder::new(SetAdt::<u32>::new());
+        let [p0, p1] = b.processes();
+        b.update(p0, SetUpdate::Insert(1));
+        b.omega_query(p1, SetQuery::Read, set(&[]));
+        let h = b.build().unwrap();
+        assert!(check_sc(&h).fails());
+    }
+}

@@ -1,0 +1,146 @@
+//! Checker verdicts and witnesses.
+//!
+//! A consistency criterion (Definition 4) is a predicate on histories;
+//! the checkers return not just the boolean but *evidence*: a witness
+//! structure for positive verdicts (the linearization / visibility
+//! relation whose existence the definition asserts) and a reason for
+//! negative ones. Witnesses are re-checkable: tests validate them
+//! against the definitions rather than trusting the search.
+
+use uc_history::EventId;
+
+/// Outcome of checking one criterion on one history.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// The criterion holds, with evidence.
+    Holds(Witness),
+    /// The criterion fails; the string explains the exhausted search or
+    /// the violated condition.
+    Fails(String),
+    /// The checker cannot decide this history (search budget exceeded,
+    /// or a feature such as ω-updates outside the procedure's scope).
+    Unsupported(String),
+}
+
+impl Verdict {
+    /// Did the criterion hold?
+    pub fn holds(&self) -> bool {
+        matches!(self, Verdict::Holds(_))
+    }
+
+    /// Did the criterion fail (decided negative, not merely
+    /// undecided)?
+    pub fn fails(&self) -> bool {
+        matches!(self, Verdict::Fails(_))
+    }
+
+    /// The witness, if the criterion holds.
+    pub fn witness(&self) -> Option<&Witness> {
+        match self {
+            Verdict::Holds(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// Render as the ✓ / ✗ / ? cell of a classification table.
+    pub fn cell(&self) -> &'static str {
+        match self {
+            Verdict::Holds(_) => "yes",
+            Verdict::Fails(_) => "no",
+            Verdict::Unsupported(_) => "?",
+        }
+    }
+}
+
+/// Evidence that a criterion holds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Witness {
+    /// The criterion holds vacuously or by a closed-form argument
+    /// (e.g. `U_H` infinite in Definitions 5 and 8).
+    Trivial(String),
+    /// A converged state consistent with the relevant queries
+    /// (eventual consistency). Debug-rendered.
+    ConvergedState(String),
+    /// A linearization of the update events whose final state explains
+    /// the ω-queries (update consistency), rendered with the reached
+    /// state.
+    UpdateLinearization {
+        /// Update events in witness order.
+        order: Vec<EventId>,
+        /// Debug rendering of the state the order reaches.
+        final_state: String,
+    },
+    /// Per maximal chain: the chain and the interleaving of the chain
+    /// with all updates that lies in `L(O)` (pipelined consistency).
+    PerChain(Vec<ChainWitness>),
+    /// A visibility assignment (strong eventual consistency /
+    /// insert-wins), with the per-query visible update sets.
+    Visibility(VisibilityWitness),
+    /// A visibility assignment plus a total update order (strong
+    /// update consistency).
+    VisibilityAndOrder {
+        /// The visibility assignment.
+        visibility: VisibilityWitness,
+        /// Update events in the witnessing total order `≤`.
+        order: Vec<EventId>,
+    },
+    /// A single linearization of all events (sequential consistency).
+    FullLinearization(Vec<EventId>),
+}
+
+/// Witness element for one maximal chain (pipelined consistency).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainWitness {
+    /// The maximal chain.
+    pub chain: Vec<EventId>,
+    /// A linearization of `U_H ∪ chain` recognised by the ADT.
+    pub linearization: Vec<EventId>,
+}
+
+/// A visibility relation restricted to what the checkers search over:
+/// for every query event, the set of update events it sees.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VisibilityWitness {
+    /// `(query event, visible update events)` pairs, ascending by
+    /// query id.
+    pub visible: Vec<(EventId, Vec<EventId>)>,
+}
+
+impl VisibilityWitness {
+    /// The visible set of a query, if recorded.
+    pub fn of(&self, q: EventId) -> Option<&[EventId]> {
+        self.visible
+            .iter()
+            .find(|(e, _)| *e == q)
+            .map(|(_, v)| v.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_accessors() {
+        let h = Verdict::Holds(Witness::Trivial("x".into()));
+        let f = Verdict::Fails("no".into());
+        let u = Verdict::Unsupported("budget".into());
+        assert!(h.holds() && !h.fails());
+        assert!(f.fails() && !f.holds());
+        assert!(!u.holds() && !u.fails());
+        assert_eq!(h.cell(), "yes");
+        assert_eq!(f.cell(), "no");
+        assert_eq!(u.cell(), "?");
+        assert!(h.witness().is_some());
+        assert!(f.witness().is_none());
+    }
+
+    #[test]
+    fn visibility_lookup() {
+        let w = VisibilityWitness {
+            visible: vec![(EventId(3), vec![EventId(0), EventId(1)])],
+        };
+        assert_eq!(w.of(EventId(3)), Some(&[EventId(0), EventId(1)][..]));
+        assert_eq!(w.of(EventId(4)), None);
+    }
+}

@@ -1,0 +1,107 @@
+//! The checkers on partial-information queries (`contains` probes):
+//! state abduction must reconcile incomplete observations, which the
+//! whole-state read never exercises.
+
+use std::collections::BTreeSet;
+use uc_criteria::{check_ec, check_sec, check_suc, check_uc};
+use uc_history::HistoryBuilder;
+use uc_spec::{RichSetAdt, RichSetOut, RichSetQuery, SetUpdate};
+
+type R = RichSetAdt<u32>;
+
+fn elems(vals: &[u32]) -> RichSetOut<u32> {
+    RichSetOut::Elems(vals.iter().copied().collect::<BTreeSet<u32>>())
+}
+
+#[test]
+fn probes_with_consistent_partial_views_are_sec() {
+    // Two ω probes observe different elements — a single state
+    // satisfies both even though neither reveals the whole set.
+    let mut b = HistoryBuilder::new(R::new());
+    let [p0, p1] = b.processes();
+    b.update(p0, SetUpdate::Insert(1));
+    b.omega_query(p0, RichSetQuery::Contains(1), RichSetOut::Bool(true));
+    b.update(p1, SetUpdate::Insert(2));
+    b.omega_query(p1, RichSetQuery::Contains(2), RichSetOut::Bool(true));
+    let h = b.build().unwrap();
+    assert!(check_ec(&h).holds());
+    assert!(check_sec(&h).holds());
+    assert!(check_uc(&h).holds());
+    assert!(check_suc(&h).holds());
+}
+
+#[test]
+fn contradictory_probes_fail_ec() {
+    let mut b = HistoryBuilder::new(R::new());
+    let [p0, p1] = b.processes();
+    b.update(p0, SetUpdate::Insert(1));
+    b.omega_query(p0, RichSetQuery::Contains(1), RichSetOut::Bool(true));
+    b.omega_query(p1, RichSetQuery::Contains(1), RichSetOut::Bool(false));
+    let h = b.build().unwrap();
+    assert!(check_ec(&h).fails());
+    assert!(check_uc(&h).fails());
+}
+
+#[test]
+fn uc_replays_probes_against_the_linearized_state() {
+    // Concurrent I(1) and D(1): UC can satisfy `contains(1)/false`
+    // (delete last) or `contains(1)/true` (insert last) — but not a
+    // probe on an element never inserted.
+    for (expect, ok) in [
+        (RichSetOut::Bool(false), true),
+        (RichSetOut::Bool(true), true),
+    ] {
+        let mut b = HistoryBuilder::new(R::new());
+        let [p0, p1, p2] = b.processes();
+        b.update(p0, SetUpdate::Insert(1));
+        b.update(p1, SetUpdate::Delete(1));
+        b.omega_query(p2, RichSetQuery::Contains(1), expect.clone());
+        let h = b.build().unwrap();
+        assert_eq!(check_uc(&h).holds(), ok, "expect {expect:?}");
+    }
+    let mut b = HistoryBuilder::new(R::new());
+    let [p0, p1] = b.processes();
+    b.update(p0, SetUpdate::Insert(1));
+    b.omega_query(p1, RichSetQuery::Contains(9), RichSetOut::Bool(true));
+    let h = b.build().unwrap();
+    assert!(check_uc(&h).fails(), "9 was never inserted");
+}
+
+#[test]
+fn mixed_read_and_probe_groups_are_cross_checked() {
+    // A full read and a probe in the same visible-set group must
+    // agree: read {1} with contains(1)/false is unsatisfiable.
+    let mut b = HistoryBuilder::new(R::new());
+    let [p0, p1] = b.processes();
+    b.update(p0, SetUpdate::Insert(1));
+    b.omega_query(p0, RichSetQuery::Read, elems(&[1]));
+    b.omega_query(p1, RichSetQuery::Contains(1), RichSetOut::Bool(false));
+    let h = b.build().unwrap();
+    assert!(check_sec(&h).fails());
+    assert!(check_ec(&h).fails());
+
+    // Agreeing versions pass.
+    let mut b = HistoryBuilder::new(R::new());
+    let [p0, p1] = b.processes();
+    b.update(p0, SetUpdate::Insert(1));
+    b.omega_query(p0, RichSetQuery::Read, elems(&[1]));
+    b.omega_query(p1, RichSetQuery::Contains(1), RichSetOut::Bool(true));
+    let h = b.build().unwrap();
+    assert!(check_sec(&h).holds());
+    assert!(check_suc(&h).holds());
+}
+
+#[test]
+fn stale_probe_is_suc_with_partial_visibility() {
+    // p1 probes before p0's insert arrives: contains(1)/false is SUC
+    // (its visible set simply excludes the insert) — the Fig. 1d
+    // pattern with a partial-information query.
+    let mut b = HistoryBuilder::new(R::new());
+    let [p0, p1] = b.processes();
+    b.update(p0, SetUpdate::Insert(1));
+    b.omega_query(p0, RichSetQuery::Contains(1), RichSetOut::Bool(true));
+    b.query(p1, RichSetQuery::Contains(1), RichSetOut::Bool(false));
+    b.omega_query(p1, RichSetQuery::Contains(1), RichSetOut::Bool(true));
+    let h = b.build().unwrap();
+    assert!(check_suc(&h).holds());
+}

@@ -1,0 +1,151 @@
+//! Witness-soundness properties: every positive verdict's witness
+//! must itself satisfy the definition it certifies — the checkers are
+//! not trusted, their evidence is re-validated independently.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use uc_criteria::{check_pc, check_sc, check_suc, check_uc, SucWitness, Verdict, Witness};
+use uc_history::{linearize, History, HistoryBuilder};
+use uc_spec::recognize::Runner;
+use uc_spec::{Op, SetAdt, SetQuery, SetUpdate, UqAdt};
+
+#[derive(Clone, Debug)]
+enum OpSpec {
+    Ins(u32),
+    Del(u32),
+    Read(u8),
+}
+
+fn op_spec() -> impl Strategy<Value = OpSpec> {
+    prop_oneof![
+        (1u32..=2).prop_map(OpSpec::Ins),
+        (1u32..=2).prop_map(OpSpec::Del),
+        (0u8..4).prop_map(OpSpec::Read),
+    ]
+}
+
+fn mask_to_set(m: u8) -> BTreeSet<u32> {
+    let mut s = BTreeSet::new();
+    if m & 1 != 0 {
+        s.insert(1);
+    }
+    if m & 2 != 0 {
+        s.insert(2);
+    }
+    s
+}
+
+fn build(procs: &[(Vec<OpSpec>, Option<u8>)]) -> History<SetAdt<u32>> {
+    let mut b = HistoryBuilder::new(SetAdt::<u32>::new());
+    for (ops, omega) in procs {
+        let p = b.process();
+        for op in ops {
+            match op {
+                OpSpec::Ins(v) => {
+                    b.update(p, SetUpdate::Insert(*v));
+                }
+                OpSpec::Del(v) => {
+                    b.update(p, SetUpdate::Delete(*v));
+                }
+                OpSpec::Read(m) => {
+                    b.query(p, SetQuery::Read, mask_to_set(*m));
+                }
+            }
+        }
+        if let Some(m) = omega {
+            b.omega_query(p, SetQuery::Read, mask_to_set(*m));
+        }
+    }
+    b.build().unwrap()
+}
+
+fn proc_strategy() -> impl Strategy<Value = (Vec<OpSpec>, Option<u8>)> {
+    (
+        proptest::collection::vec(op_spec(), 0..3),
+        proptest::option::of(0u8..4),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// A UC witness is a genuine update linearization whose final
+    /// state answers every ω query.
+    #[test]
+    fn uc_witness_is_sound(procs in proptest::collection::vec(proc_strategy(), 2..=3)) {
+        let h = build(&procs);
+        if let Verdict::Holds(Witness::UpdateLinearization { order, .. }) = check_uc(&h) {
+            prop_assert!(linearize::is_linearization(&h, h.updates_mask(), &order));
+            let adt = h.adt();
+            let mut state = adt.initial();
+            for e in &order {
+                adt.apply(&mut state, h.update_of(*e));
+            }
+            for q in h.query_ids() {
+                if h.event(q).omega {
+                    let query = h.query_of(q);
+                    prop_assert!(
+                        adt.answers(&state, &query.input, &query.output),
+                        "final state {:?} fails ω query {:?}",
+                        state,
+                        query
+                    );
+                }
+            }
+        }
+    }
+
+    /// A PC witness linearization replays in L(O) for its finite part
+    /// and is a linearization of updates ∪ chain.
+    #[test]
+    fn pc_witness_is_sound(procs in proptest::collection::vec(proc_strategy(), 2..=2)) {
+        let h = build(&procs);
+        if let Verdict::Holds(Witness::PerChain(ws)) = check_pc(&h) {
+            for w in &ws {
+                let scope = h.updates_mask()
+                    | w.chain
+                        .iter()
+                        .fold(0u128, |m, e| m | (1u128 << e.idx()));
+                prop_assert!(linearize::is_linearization(&h, scope, &w.linearization));
+                // Finite replay check (ω-tail interleavings are checked
+                // by the search itself; the finite prefix must
+                // recognise).
+                let labels: Vec<Op<SetAdt<u32>>> = w
+                    .linearization
+                    .iter()
+                    .map(|&e| h.label(e).clone())
+                    .collect();
+                prop_assert!(
+                    Runner::new(h.adt()).run(labels.iter()).is_ok(),
+                    "chain witness does not replay"
+                );
+            }
+        }
+    }
+
+    /// A SUC witness passes the independent polynomial verifier.
+    #[test]
+    fn suc_witness_is_sound(procs in proptest::collection::vec(proc_strategy(), 2..=2)) {
+        let h = build(&procs);
+        if let Verdict::Holds(Witness::VisibilityAndOrder { visibility, order }) = check_suc(&h) {
+            let w = SucWitness {
+                update_order: order,
+                visible: visibility.visible,
+            };
+            prop_assert_eq!(uc_criteria::verify_witness(&h, &w), Ok(()));
+        }
+    }
+
+    /// An SC witness is a full-history linearization recognised by the
+    /// ADT (finite prefix; ω constraints were enforced in-search).
+    #[test]
+    fn sc_witness_is_sound(procs in proptest::collection::vec(proc_strategy(), 2..=2)) {
+        let h = build(&procs);
+        if let Verdict::Holds(Witness::FullLinearization(order)) = check_sc(&h) {
+            prop_assert!(linearize::is_linearization(&h, h.all_mask(), &order));
+            let labels: Vec<Op<SetAdt<u32>>> =
+                order.iter().map(|&e| h.label(e).clone()).collect();
+            prop_assert!(Runner::new(h.adt()).run(labels.iter()).is_ok());
+        }
+    }
+}

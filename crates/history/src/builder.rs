@@ -1,0 +1,318 @@
+//! Fluent construction of distributed histories.
+
+use crate::downset::{self, Mask, MAX_EVENTS};
+use crate::event::{Event, EventId, ProcessId};
+use crate::history::History;
+use uc_spec::{Op, UqAdt};
+
+/// Errors detected when finalising a history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// More than [`MAX_EVENTS`] events.
+    TooManyEvents(usize),
+    /// The program order (chains + extra edges) has a cycle.
+    Cyclic,
+    /// An extra edge references an unknown event.
+    UnknownEvent(EventId),
+    /// An ω event has a program-order successor, contradicting the
+    /// "repeated forever" reading.
+    OmegaNotMaximal(EventId),
+    /// An extra edge is a self-loop.
+    SelfLoop(EventId),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::TooManyEvents(n) => {
+                write!(f, "history has {n} events, max {MAX_EVENTS}")
+            }
+            BuildError::Cyclic => write!(f, "program order is cyclic"),
+            BuildError::UnknownEvent(e) => write!(f, "edge references unknown event {e:?}"),
+            BuildError::OmegaNotMaximal(e) => {
+                write!(f, "ω event {e:?} has program-order successors")
+            }
+            BuildError::SelfLoop(e) => write!(f, "self-loop on {e:?}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builds a [`History`]: declare processes, append their events in
+/// program order, optionally add cross-process `↦` edges, then
+/// [`HistoryBuilder::build`].
+///
+/// ```
+/// use uc_history::HistoryBuilder;
+/// use uc_spec::{SetAdt, SetQuery, SetUpdate};
+/// use std::collections::BTreeSet;
+///
+/// let mut b = HistoryBuilder::new(SetAdt::<u32>::new());
+/// let p = b.process();
+/// b.update(p, SetUpdate::Insert(1));
+/// b.omega_query(p, SetQuery::Read, BTreeSet::from([1]));
+/// let h = b.build().unwrap();
+/// assert_eq!(h.len(), 2);
+/// ```
+pub struct HistoryBuilder<A: UqAdt> {
+    adt: A,
+    events: Vec<Event<A>>,
+    chains: Vec<Vec<EventId>>,
+    extra_edges: Vec<(EventId, EventId)>,
+}
+
+impl<A: UqAdt> HistoryBuilder<A> {
+    /// Start building a history over `adt`.
+    pub fn new(adt: A) -> Self {
+        HistoryBuilder {
+            adt,
+            events: Vec::new(),
+            chains: Vec::new(),
+            extra_edges: Vec::new(),
+        }
+    }
+
+    /// Declare a new process; its events form a chain of `↦`.
+    pub fn process(&mut self) -> ProcessId {
+        let id = ProcessId(self.chains.len() as u32);
+        self.chains.push(Vec::new());
+        id
+    }
+
+    /// Declare `n` processes at once.
+    pub fn processes<const N: usize>(&mut self) -> [ProcessId; N] {
+        std::array::from_fn(|_| self.process())
+    }
+
+    fn push(&mut self, p: ProcessId, op: Op<A>, omega: bool) -> EventId {
+        let id = EventId(self.events.len() as u32);
+        let chain = &mut self.chains[p.idx()];
+        self.events.push(Event {
+            op,
+            process: p,
+            index_in_process: chain.len() as u32,
+            omega,
+        });
+        chain.push(id);
+        id
+    }
+
+    /// Append an update event to process `p`.
+    pub fn update(&mut self, p: ProcessId, u: A::Update) -> EventId {
+        self.push(p, Op::Update(u), false)
+    }
+
+    /// Append a query event `qi/qo` to process `p`.
+    pub fn query(&mut self, p: ProcessId, qi: A::QueryIn, qo: A::QueryOut) -> EventId {
+        self.push(p, Op::query(qi, qo), false)
+    }
+
+    /// Append an ω (infinitely repeated) query to process `p`. It must
+    /// remain the last event of `p`.
+    pub fn omega_query(&mut self, p: ProcessId, qi: A::QueryIn, qo: A::QueryOut) -> EventId {
+        self.push(p, Op::query(qi, qo), true)
+    }
+
+    /// Append an ω (infinitely repeated) update to process `p`,
+    /// modelling the "`U_H` is infinite" case of Definitions 5 and 8.
+    pub fn omega_update(&mut self, p: ProcessId, u: A::Update) -> EventId {
+        self.push(p, Op::Update(u), true)
+    }
+
+    /// Add an extra program-order edge `from ↦ to` (beyond the process
+    /// chains), e.g. for dynamically created threads.
+    pub fn edge(&mut self, from: EventId, to: EventId) -> &mut Self {
+        self.extra_edges.push((from, to));
+        self
+    }
+
+    /// Finalise: computes the transitive closure of `↦` and validates
+    /// the result.
+    pub fn build(self) -> Result<History<A>, BuildError> {
+        let n = self.events.len();
+        if n > MAX_EVENTS {
+            return Err(BuildError::TooManyEvents(n));
+        }
+        // Immediate predecessor lists from chains + extra edges.
+        let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for chain in &self.chains {
+            for w in chain.windows(2) {
+                preds[w[1].idx()].push(w[0].0);
+                succs[w[0].idx()].push(w[1].0);
+            }
+        }
+        for &(a, b) in &self.extra_edges {
+            if a.idx() >= n {
+                return Err(BuildError::UnknownEvent(a));
+            }
+            if b.idx() >= n {
+                return Err(BuildError::UnknownEvent(b));
+            }
+            if a == b {
+                return Err(BuildError::SelfLoop(a));
+            }
+            preds[b.idx()].push(a.0);
+            succs[a.idx()].push(b.0);
+        }
+        // Kahn topological order; cycle check.
+        let mut indeg: Vec<usize> = preds.iter().map(Vec::len).collect();
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut topo: Vec<usize> = Vec::with_capacity(n);
+        while let Some(v) = queue.pop() {
+            topo.push(v);
+            for &s in &succs[v] {
+                indeg[s as usize] -= 1;
+                if indeg[s as usize] == 0 {
+                    queue.push(s as usize);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(BuildError::Cyclic);
+        }
+        // Strict-before closure in topological order.
+        let mut before: Vec<Mask> = vec![0; n];
+        for &v in &topo {
+            let mut m: Mask = 0;
+            for &p in &preds[v] {
+                m |= before[p as usize] | downset::bit(p as usize);
+            }
+            before[v] = m;
+        }
+        let mut after: Vec<Mask> = vec![0; n];
+        for (v, m) in before.iter().enumerate() {
+            for p in downset::iter(*m) {
+                after[p] |= downset::bit(v);
+            }
+        }
+        // ω maximality.
+        for (i, e) in self.events.iter().enumerate() {
+            if e.omega && after[i] != 0 {
+                return Err(BuildError::OmegaNotMaximal(EventId(i as u32)));
+            }
+        }
+        let mut updates: Mask = 0;
+        let mut queries: Mask = 0;
+        let mut omegas: Mask = 0;
+        for (i, e) in self.events.iter().enumerate() {
+            if e.is_update() {
+                updates |= downset::bit(i);
+            } else {
+                queries |= downset::bit(i);
+            }
+            if e.omega {
+                omegas |= downset::bit(i);
+            }
+        }
+        let h = History {
+            adt: self.adt,
+            events: self.events,
+            chains: self.chains,
+            extra_edges: self.extra_edges,
+            before,
+            after,
+            updates,
+            queries,
+            omegas,
+        };
+        debug_assert_eq!(h.validate(), Ok(()));
+        Ok(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_spec::{SetAdt, SetQuery, SetUpdate};
+    use std::collections::BTreeSet;
+
+    type S = SetAdt<u32>;
+
+    #[test]
+    fn chains_induce_order() {
+        let mut b = HistoryBuilder::new(S::new());
+        let p = b.process();
+        let a = b.update(p, SetUpdate::Insert(1));
+        let c = b.update(p, SetUpdate::Insert(2));
+        let h = b.build().unwrap();
+        assert!(h.is_before(a, c));
+    }
+
+    #[test]
+    fn extra_edges_cross_processes() {
+        let mut b = HistoryBuilder::new(S::new());
+        let [p0, p1] = b.processes();
+        let a = b.update(p0, SetUpdate::Insert(1));
+        let c = b.update(p1, SetUpdate::Insert(2));
+        b.edge(a, c);
+        let h = b.build().unwrap();
+        assert!(h.is_before(a, c));
+    }
+
+    #[test]
+    fn closure_is_transitive_across_edge_kinds() {
+        let mut b = HistoryBuilder::new(S::new());
+        let [p0, p1] = b.processes();
+        let a = b.update(p0, SetUpdate::Insert(1));
+        let c = b.update(p0, SetUpdate::Insert(2));
+        let d = b.update(p1, SetUpdate::Insert(3));
+        let e = b.update(p1, SetUpdate::Insert(4));
+        b.edge(c, d);
+        let h = b.build().unwrap();
+        assert!(h.is_before(a, e)); // a ↦ c ↦ d ↦ e
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut b = HistoryBuilder::new(S::new());
+        let [p0, p1] = b.processes();
+        let a = b.update(p0, SetUpdate::Insert(1));
+        let c = b.update(p1, SetUpdate::Insert(2));
+        b.edge(a, c);
+        b.edge(c, a);
+        assert_eq!(b.build().unwrap_err(), BuildError::Cyclic);
+    }
+
+    #[test]
+    fn omega_must_be_last() {
+        let mut b = HistoryBuilder::new(S::new());
+        let p = b.process();
+        b.omega_query(p, SetQuery::Read, BTreeSet::new());
+        b.update(p, SetUpdate::Insert(1));
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::OmegaNotMaximal(_)
+        ));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let mut b = HistoryBuilder::new(S::new());
+        let p = b.process();
+        let a = b.update(p, SetUpdate::Insert(1));
+        b.edge(a, a);
+        assert_eq!(b.build().unwrap_err(), BuildError::SelfLoop(a));
+    }
+
+    #[test]
+    fn too_many_events_rejected() {
+        let mut b = HistoryBuilder::new(S::new());
+        let p = b.process();
+        for i in 0..=MAX_EVENTS as u32 {
+            b.update(p, SetUpdate::Insert(i));
+        }
+        assert!(matches!(
+            b.build().unwrap_err(),
+            BuildError::TooManyEvents(_)
+        ));
+    }
+
+    #[test]
+    fn empty_history_builds() {
+        let b = HistoryBuilder::new(S::new());
+        let h = b.build().unwrap();
+        assert!(h.is_empty());
+    }
+}

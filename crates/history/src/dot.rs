@@ -1,0 +1,85 @@
+//! Graphviz export of histories, in the style of the paper's figures:
+//! one horizontal row per process, labelled events, program-order
+//! arrows, `ω` superscripts on repeated events.
+
+use crate::chains::covers;
+use crate::history::History;
+use std::fmt::Write;
+use uc_spec::UqAdt;
+
+/// Render `h` as a Graphviz `digraph`.
+pub fn to_dot<A: UqAdt>(h: &History<A>, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{name}\" {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=plaintext, fontname=\"monospace\"];");
+    for (p, chain) in h.process_chains().iter().enumerate() {
+        let _ = writeln!(out, "  subgraph cluster_p{p} {{");
+        let _ = writeln!(out, "    label=\"p{p}\"; color=lightgrey;");
+        for &e in chain {
+            let ev = h.event(e);
+            let omega = if ev.omega { "^ω" } else { "" };
+            let _ = writeln!(
+                out,
+                "    e{} [label=\"{:?}{}\"];",
+                e.0, ev.op, omega
+            );
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    // Covering edges only, to keep the rendering readable.
+    for a in h.ids() {
+        for b in h.ids() {
+            if h.is_before(a, b) && covers(h, a, b) {
+                let style = if h.event(a).process == h.event(b).process {
+                    ""
+                } else {
+                    " [style=dashed]"
+                };
+                let _ = writeln!(out, "  e{} -> e{}{};", a.0, b.0, style);
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HistoryBuilder;
+    use uc_spec::{SetAdt, SetQuery, SetUpdate};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn dot_contains_clusters_edges_and_omega() {
+        let mut b = HistoryBuilder::new(SetAdt::<u32>::new());
+        let [p0, p1] = b.processes();
+        let a = b.update(p0, SetUpdate::Insert(1));
+        b.omega_query(p0, SetQuery::Read, BTreeSet::from([1]));
+        let c = b.update(p1, SetUpdate::Insert(2));
+        b.edge(a, c);
+        let h = b.build().unwrap();
+        let dot = to_dot(&h, "fig");
+        assert!(dot.contains("digraph \"fig\""));
+        assert!(dot.contains("cluster_p0"));
+        assert!(dot.contains("cluster_p1"));
+        assert!(dot.contains("e0 -> e1"));
+        assert!(dot.contains("e0 -> e2 [style=dashed]"));
+        assert!(dot.contains("^ω"));
+    }
+
+    #[test]
+    fn dot_omits_transitive_edges() {
+        let mut b = HistoryBuilder::new(SetAdt::<u32>::new());
+        let p = b.process();
+        b.update(p, SetUpdate::Insert(1));
+        b.update(p, SetUpdate::Insert(2));
+        b.update(p, SetUpdate::Insert(3));
+        let h = b.build().unwrap();
+        let dot = to_dot(&h, "chain");
+        assert!(dot.contains("e0 -> e1"));
+        assert!(dot.contains("e1 -> e2"));
+        assert!(!dot.contains("e0 -> e2"));
+    }
+}

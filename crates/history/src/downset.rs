@@ -1,0 +1,105 @@
+//! Bitmask down-sets.
+//!
+//! Every consistency checker walks the lattice of *down-sets* (order
+//! ideals) of the program order: a set of events closed under
+//! `↦`-predecessors is exactly a prefix of some linearization
+//! (Definition 3). Down-sets over ≤ 128 events are packed into a
+//! `u128`, which makes the frontier computations and memoization keys
+//! of the checkers cheap.
+
+/// A set of events packed as bits; bit `i` = event `EventId(i)`.
+pub type Mask = u128;
+
+/// Maximum number of events a [`crate::History`] may contain so that
+/// down-sets fit in a [`Mask`]. Search-based checkers are exponential
+/// well before this bound; witness-based verification in `uc-criteria`
+/// handles larger traces without down-set masks.
+pub const MAX_EVENTS: usize = 128;
+
+/// The mask containing events `0..n`.
+#[inline]
+pub fn full(n: usize) -> Mask {
+    debug_assert!(n <= MAX_EVENTS);
+    if n == MAX_EVENTS {
+        Mask::MAX
+    } else {
+        (1u128 << n) - 1
+    }
+}
+
+/// The singleton mask for event index `i`.
+#[inline]
+pub fn bit(i: usize) -> Mask {
+    debug_assert!(i < MAX_EVENTS);
+    1u128 << i
+}
+
+/// Does `mask` contain event index `i`?
+#[inline]
+pub fn contains(mask: Mask, i: usize) -> bool {
+    mask & bit(i) != 0
+}
+
+/// Iterate the event indices present in `mask`, ascending.
+#[inline]
+pub fn iter(mask: Mask) -> BitIter {
+    BitIter(mask)
+}
+
+/// Iterator over the set bits of a [`Mask`].
+#[derive(Clone, Copy, Debug)]
+pub struct BitIter(Mask);
+
+impl Iterator for BitIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let i = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(i)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for BitIter {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_masks() {
+        assert_eq!(full(0), 0);
+        assert_eq!(full(3), 0b111);
+        assert_eq!(full(MAX_EVENTS), Mask::MAX);
+    }
+
+    #[test]
+    fn bit_and_contains() {
+        let m = bit(0) | bit(5) | bit(127);
+        assert!(contains(m, 0) && contains(m, 5) && contains(m, 127));
+        assert!(!contains(m, 1));
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let m = bit(3) | bit(1) | bit(64);
+        let v: Vec<usize> = iter(m).collect();
+        assert_eq!(v, vec![1, 3, 64]);
+        assert_eq!(iter(m).len(), 3);
+    }
+
+    #[test]
+    fn iter_empty() {
+        assert_eq!(iter(0).count(), 0);
+    }
+}

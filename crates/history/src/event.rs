@@ -1,0 +1,126 @@
+//! Events of a distributed history (the set `E` of Definition 2).
+
+use std::fmt;
+use uc_spec::{Op, UqAdt};
+
+/// Identifier of an event within its [`crate::History`]. Event ids are
+/// dense indices assigned in builder insertion order; they carry no
+/// ordering semantics beyond identity.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(pub u32);
+
+impl EventId {
+    /// The event's index as a `usize`.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Identifier of a sequential process contributing a chain to the
+/// program order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub u32);
+
+impl ProcessId {
+    /// The process index as a `usize`.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// One event of the history: an operation invocation by a process.
+pub struct Event<A: UqAdt> {
+    /// The operation labelling this event (`Λ(e)`).
+    pub op: Op<A>,
+    /// The invoking process.
+    pub process: ProcessId,
+    /// Position of this event within its process's chain.
+    pub index_in_process: u32,
+    /// `true` if the event is repeated infinitely from this point on —
+    /// the paper's `ω` superscript. An ω event is necessarily the last
+    /// event of its process.
+    pub omega: bool,
+}
+
+impl<A: UqAdt> Clone for Event<A> {
+    fn clone(&self) -> Self {
+        Event {
+            op: self.op.clone(),
+            process: self.process,
+            index_in_process: self.index_in_process,
+            omega: self.omega,
+        }
+    }
+}
+
+impl<A: UqAdt> fmt::Debug for Event<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?}[{:?}#{}]{}",
+            self.op,
+            self.process,
+            self.index_in_process,
+            if self.omega { "^ω" } else { "" }
+        )
+    }
+}
+
+impl<A: UqAdt> Event<A> {
+    /// Is this event labelled by an update?
+    pub fn is_update(&self) -> bool {
+        self.op.is_update()
+    }
+
+    /// Is this event labelled by a query?
+    pub fn is_query(&self) -> bool {
+        self.op.is_query()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_spec::{SetAdt, SetQuery, SetUpdate};
+
+    type S = SetAdt<u32>;
+
+    #[test]
+    fn event_debug_format() {
+        let e: Event<S> = Event {
+            op: Op::update(SetUpdate::Insert(1)),
+            process: ProcessId(0),
+            index_in_process: 2,
+            omega: false,
+        };
+        assert_eq!(format!("{e:?}"), "I(1)[p0#2]");
+        let q: Event<S> = Event {
+            op: Op::query(SetQuery::Read, Default::default()),
+            process: ProcessId(1),
+            index_in_process: 0,
+            omega: true,
+        };
+        assert!(format!("{q:?}").ends_with("^ω"));
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(EventId(1) < EventId(2));
+        assert_eq!(EventId(7).idx(), 7);
+        assert_eq!(ProcessId(3).idx(), 3);
+    }
+}

@@ -1,0 +1,321 @@
+//! The distributed history `H = (U, Q, E, Λ, ↦)` of Definition 2.
+
+use crate::downset::{self, Mask};
+use crate::event::{Event, EventId, ProcessId};
+use std::fmt;
+use uc_spec::{Op, Query, UqAdt};
+
+/// A finite distributed history over a UQ-ADT, with ω-flagged events
+/// standing for infinite repetition (see crate docs).
+///
+/// The program order `↦` is stored as its strict transitive closure in
+/// per-event bitmasks, so `a ↦ b` tests, frontier computation and
+/// down-set manipulation are O(1)–O(words).
+///
+/// Construct via [`crate::builder::HistoryBuilder`].
+pub struct History<A: UqAdt> {
+    pub(crate) adt: A,
+    pub(crate) events: Vec<Event<A>>,
+    pub(crate) chains: Vec<Vec<EventId>>,
+    pub(crate) extra_edges: Vec<(EventId, EventId)>,
+    /// `before[e]` = strict `↦`-predecessors of `e` (transitive).
+    pub(crate) before: Vec<Mask>,
+    /// `after[e]` = strict `↦`-successors of `e` (transitive).
+    pub(crate) after: Vec<Mask>,
+    pub(crate) updates: Mask,
+    pub(crate) queries: Mask,
+    pub(crate) omegas: Mask,
+}
+
+impl<A: UqAdt> History<A> {
+    /// The abstract data type the history's labels are drawn from.
+    pub fn adt(&self) -> &A {
+        &self.adt
+    }
+
+    /// Number of events `|E|`.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is the history empty?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The event with the given id.
+    pub fn event(&self, id: EventId) -> &Event<A> {
+        &self.events[id.idx()]
+    }
+
+    /// The operation labelling an event (`Λ(e)`).
+    pub fn label(&self, id: EventId) -> &Op<A> {
+        &self.events[id.idx()].op
+    }
+
+    /// All events, indexable by `EventId::idx`.
+    pub fn events(&self) -> &[Event<A>] {
+        &self.events
+    }
+
+    /// Iterator over all event ids.
+    pub fn ids(&self) -> impl Iterator<Item = EventId> + '_ {
+        (0..self.events.len() as u32).map(EventId)
+    }
+
+    /// Number of processes.
+    pub fn n_processes(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// The chain of events invoked by `p`, in program order.
+    pub fn chain(&self, p: ProcessId) -> &[EventId] {
+        &self.chains[p.idx()]
+    }
+
+    /// All per-process chains.
+    pub fn process_chains(&self) -> &[Vec<EventId>] {
+        &self.chains
+    }
+
+    /// Extra (cross-process) program-order edges beyond the chains.
+    pub fn extra_edges(&self) -> &[(EventId, EventId)] {
+        &self.extra_edges
+    }
+
+    /// Strict program order: does `a ↦ b` (transitively)?
+    #[inline]
+    pub fn is_before(&self, a: EventId, b: EventId) -> bool {
+        downset::contains(self.before[b.idx()], a.idx())
+    }
+
+    /// Are `a` and `b` concurrent (incomparable and distinct)?
+    pub fn concurrent(&self, a: EventId, b: EventId) -> bool {
+        a != b && !self.is_before(a, b) && !self.is_before(b, a)
+    }
+
+    /// Mask of strict `↦`-predecessors of `e`.
+    #[inline]
+    pub fn before_mask(&self, e: EventId) -> Mask {
+        self.before[e.idx()]
+    }
+
+    /// Mask of strict `↦`-successors of `e`.
+    #[inline]
+    pub fn after_mask(&self, e: EventId) -> Mask {
+        self.after[e.idx()]
+    }
+
+    /// Mask of all update events (`U_H`).
+    #[inline]
+    pub fn updates_mask(&self) -> Mask {
+        self.updates
+    }
+
+    /// Mask of all query events (`Q_H`).
+    #[inline]
+    pub fn queries_mask(&self) -> Mask {
+        self.queries
+    }
+
+    /// Mask of ω-flagged events.
+    #[inline]
+    pub fn omegas_mask(&self) -> Mask {
+        self.omegas
+    }
+
+    /// Mask of every event.
+    #[inline]
+    pub fn all_mask(&self) -> Mask {
+        downset::full(self.events.len())
+    }
+
+    /// Ids of all update events, ascending.
+    pub fn update_ids(&self) -> impl Iterator<Item = EventId> + '_ {
+        downset::iter(self.updates).map(|i| EventId(i as u32))
+    }
+
+    /// Ids of all query events, ascending.
+    pub fn query_ids(&self) -> impl Iterator<Item = EventId> + '_ {
+        downset::iter(self.queries).map(|i| EventId(i as u32))
+    }
+
+    /// Does the history contain an ω update (the paper's "`U_H` is
+    /// infinite" case of Definitions 5 and 8)?
+    pub fn has_omega_update(&self) -> bool {
+        self.omegas & self.updates != 0
+    }
+
+    /// The query payload of event `q`; panics if `q` is an update.
+    pub fn query_of(&self, q: EventId) -> &Query<A> {
+        self.label(q)
+            .as_query()
+            .expect("event is not a query")
+    }
+
+    /// The update payload of event `u`; panics if `u` is a query.
+    pub fn update_of(&self, u: EventId) -> &A::Update {
+        self.label(u)
+            .as_update()
+            .expect("event is not an update")
+    }
+
+    /// Frontier extension: events *not* in `done` but restricted to
+    /// `scope`, all of whose in-scope predecessors are in `done`.
+    /// These are exactly the events that may come next in a
+    /// linearization of the sub-history induced by `scope`
+    /// (Definition 3 applied to `H_scope`).
+    pub fn ready(&self, scope: Mask, done: Mask) -> Mask {
+        let mut r: Mask = 0;
+        for i in downset::iter(scope & !done) {
+            if self.before[i] & scope & !done == 0 {
+                r |= downset::bit(i);
+            }
+        }
+        r
+    }
+
+    /// The down-closure of `set` within the program order (adds all
+    /// `↦`-predecessors).
+    pub fn down_closure(&self, set: Mask) -> Mask {
+        let mut m = set;
+        for i in downset::iter(set) {
+            m |= self.before[i];
+        }
+        m
+    }
+
+    /// Checks internal invariants (used by tests and the builder):
+    /// closure consistency, ω events maximal in `↦`, chains sorted.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.events.len();
+        for e in 0..n {
+            if downset::contains(self.before[e], e) {
+                return Err(format!("event e{e} precedes itself"));
+            }
+            for p in downset::iter(self.before[e]) {
+                // closure: predecessors of predecessors are predecessors
+                if self.before[p] & !self.before[e] != 0 {
+                    return Err(format!("before[{e}] not transitively closed at e{p}"));
+                }
+                if !downset::contains(self.after[p], e) {
+                    return Err(format!("after[{p}] missing successor e{e}"));
+                }
+            }
+            let ev = &self.events[e];
+            if ev.omega && self.after[e] != 0 {
+                return Err(format!("ω event e{e} has program-order successors"));
+            }
+        }
+        for chain in &self.chains {
+            for pair in chain.windows(2) {
+                if !self.is_before(pair[0], pair[1]) {
+                    return Err(format!("chain edge {:?}→{:?} missing", pair[0], pair[1]));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<A: UqAdt> fmt::Debug for History<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "History ({} events, {} processes):", self.len(), self.n_processes())?;
+        for (p, chain) in self.chains.iter().enumerate() {
+            write!(f, "  p{p}: ")?;
+            for (k, id) in chain.iter().enumerate() {
+                if k > 0 {
+                    write!(f, " · ")?;
+                }
+                let e = &self.events[id.idx()];
+                write!(f, "{:?}{}", e.op, if e.omega { "^ω" } else { "" })?;
+            }
+            writeln!(f)?;
+        }
+        if !self.extra_edges.is_empty() {
+            writeln!(f, "  extra edges: {:?}", self.extra_edges)?;
+        }
+        Ok(())
+    }
+}
+
+impl<A: UqAdt + Clone> Clone for History<A> {
+    fn clone(&self) -> Self {
+        History {
+            adt: self.adt.clone(),
+            events: self.events.clone(),
+            chains: self.chains.clone(),
+            extra_edges: self.extra_edges.clone(),
+            before: self.before.clone(),
+            after: self.after.clone(),
+            updates: self.updates,
+            queries: self.queries,
+            omegas: self.omegas,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HistoryBuilder;
+    use uc_spec::{SetAdt, SetQuery, SetUpdate};
+    use std::collections::BTreeSet;
+
+    fn two_proc() -> History<SetAdt<u32>> {
+        let mut b = HistoryBuilder::new(SetAdt::new());
+        let p0 = b.process();
+        let p1 = b.process();
+        b.update(p0, SetUpdate::Insert(1)); // e0
+        b.query(p0, SetQuery::Read, BTreeSet::from([1])); // e1
+        b.update(p1, SetUpdate::Insert(2)); // e2
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn program_order_within_chain_only() {
+        let h = two_proc();
+        assert!(h.is_before(EventId(0), EventId(1)));
+        assert!(!h.is_before(EventId(1), EventId(0)));
+        assert!(h.concurrent(EventId(0), EventId(2)));
+        assert!(h.concurrent(EventId(1), EventId(2)));
+    }
+
+    #[test]
+    fn masks_partition_updates_and_queries() {
+        let h = two_proc();
+        assert_eq!(h.updates_mask(), 0b101);
+        assert_eq!(h.queries_mask(), 0b010);
+        assert_eq!(h.updates_mask() | h.queries_mask(), h.all_mask());
+        assert_eq!(h.updates_mask() & h.queries_mask(), 0);
+    }
+
+    #[test]
+    fn ready_frontier() {
+        let h = two_proc();
+        // Nothing done: e0 and e2 are minimal.
+        assert_eq!(h.ready(h.all_mask(), 0), 0b101);
+        // e0 done: e1 and e2 ready.
+        assert_eq!(h.ready(h.all_mask(), 0b001), 0b110);
+        // scope without e1: only e2 remains after e0.
+        assert_eq!(h.ready(0b101, 0b001), 0b100);
+    }
+
+    #[test]
+    fn down_closure_adds_predecessors() {
+        let h = two_proc();
+        assert_eq!(h.down_closure(0b010), 0b011);
+    }
+
+    #[test]
+    fn validate_passes_on_builder_output() {
+        assert!(two_proc().validate().is_ok());
+    }
+
+    #[test]
+    fn debug_render_contains_chains() {
+        let s = format!("{:?}", two_proc());
+        assert!(s.contains("p0:"), "{s}");
+        assert!(s.contains("I(1)"), "{s}");
+    }
+}

@@ -1,0 +1,48 @@
+//! # uc-history — distributed histories as labelled partial orders
+//!
+//! Implements Definitions 2 and 3 of *Update Consistency for Wait-free
+//! Concurrent Objects* (IPDPS 2015):
+//!
+//! * a **distributed history** `H = (U, Q, E, Λ, ↦)` is a countable set
+//!   of events labelled by operations of a UQ-ADT and partially ordered
+//!   by the *program order* `↦` ([`History`]);
+//! * a **linearization** of `H` is a word over the labels whose order
+//!   extends `↦` ([`linearize`]).
+//!
+//! Histories are built with the fluent [`builder::HistoryBuilder`],
+//! which models communicating sequential processes (each process
+//! contributes a chain to `↦`) plus arbitrary extra program-order
+//! edges, covering the general partial orders of Definition 2.
+//!
+//! The paper's histories end in queries repeated infinitely
+//! (`R/∅^ω`). An event flagged [`event::Event::omega`] denotes such an
+//! infinite repetition; the consistency checkers in `uc-criteria` give
+//! these events the semantics the paper's `ω` superscripts carry
+//! ("all but finitely many…").
+//!
+//! Support modules: [`downset`] (bitmask down-sets of the partial
+//! order, the currency of every checker), [`chains`] (maximal chains,
+//! for pipelined consistency), [`project`] (the `H_F` / `H_→`
+//! projections of Definition 2), [`dot`] (Graphviz export), [`fxhash`]
+//! (a fast hasher for down-set memoization), and [`paper`] — the exact
+//! histories of Fig. 1a–d and Fig. 2 with the classifications the
+//! paper states for them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod chains;
+pub mod dot;
+pub mod downset;
+pub mod event;
+pub mod fxhash;
+pub mod history;
+pub mod linearize;
+pub mod paper;
+pub mod project;
+
+pub use builder::HistoryBuilder;
+pub use downset::Mask;
+pub use event::{Event, EventId, ProcessId};
+pub use history::History;

@@ -1,0 +1,205 @@
+//! Linearizations (Definition 3): words containing the labels of a
+//! (sub-)history in an order consistent with the program order.
+//!
+//! The enumeration is a DFS over the lattice of down-sets: a prefix of
+//! a linearization is exactly a down-set of `↦` restricted to the
+//! scope, and the next letter may be any event of the *frontier*
+//! ([`crate::History::ready`]). [`count`] uses dynamic programming
+//! over down-sets, which the checker-cost bench contrasts with naive
+//! enumeration.
+
+use crate::downset::{self, Mask};
+use crate::event::EventId;
+use crate::fxhash::FxHashMap;
+use crate::history::History;
+use std::ops::ControlFlow;
+use uc_spec::UqAdt;
+
+/// Visit every linearization of the sub-history induced by `scope`.
+///
+/// `f` receives each complete linearization as a slice of event ids;
+/// returning [`ControlFlow::Break`] stops the enumeration early and
+/// the break value is returned.
+pub fn for_each<A: UqAdt, B>(
+    h: &History<A>,
+    scope: Mask,
+    mut f: impl FnMut(&[EventId]) -> ControlFlow<B>,
+) -> Option<B> {
+    let mut prefix: Vec<EventId> = Vec::with_capacity(downset::iter(scope).len());
+    let mut done: Mask = 0;
+    dfs(h, scope, &mut done, &mut prefix, &mut f)
+}
+
+fn dfs<A: UqAdt, B>(
+    h: &History<A>,
+    scope: Mask,
+    done: &mut Mask,
+    prefix: &mut Vec<EventId>,
+    f: &mut impl FnMut(&[EventId]) -> ControlFlow<B>,
+) -> Option<B> {
+    if *done == scope {
+        return match f(prefix) {
+            ControlFlow::Break(b) => Some(b),
+            ControlFlow::Continue(()) => None,
+        };
+    }
+    let frontier = h.ready(scope, *done);
+    for i in downset::iter(frontier) {
+        let b = downset::bit(i);
+        *done |= b;
+        prefix.push(EventId(i as u32));
+        if let Some(out) = dfs(h, scope, done, prefix, f) {
+            return Some(out);
+        }
+        prefix.pop();
+        *done &= !b;
+    }
+    None
+}
+
+/// Collect every linearization of the sub-history induced by `scope`.
+/// Exponential; intended for tests and small histories.
+pub fn all<A: UqAdt>(h: &History<A>, scope: Mask) -> Vec<Vec<EventId>> {
+    let mut out = Vec::new();
+    for_each::<A, std::convert::Infallible>(h, scope, |lin| {
+        out.push(lin.to_vec());
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+/// Count the linearizations of the sub-history induced by `scope`
+/// without materialising them, by DP over down-sets.
+pub fn count<A: UqAdt>(h: &History<A>, scope: Mask) -> u128 {
+    fn go<A: UqAdt>(
+        h: &History<A>,
+        scope: Mask,
+        done: Mask,
+        memo: &mut FxHashMap<Mask, u128>,
+    ) -> u128 {
+        if done == scope {
+            return 1;
+        }
+        if let Some(&c) = memo.get(&done) {
+            return c;
+        }
+        let mut total: u128 = 0;
+        for i in downset::iter(h.ready(scope, done)) {
+            total += go(h, scope, done | downset::bit(i), memo);
+        }
+        memo.insert(done, total);
+        total
+    }
+    go(h, scope, 0, &mut FxHashMap::default())
+}
+
+/// Is `order` a linearization of the sub-history induced by `scope`?
+/// (Contains exactly the scoped events, each once, respecting `↦`.)
+pub fn is_linearization<A: UqAdt>(h: &History<A>, scope: Mask, order: &[EventId]) -> bool {
+    let mut seen: Mask = 0;
+    for &e in order {
+        let b = downset::bit(e.idx());
+        if scope & b == 0 || seen & b != 0 {
+            return false;
+        }
+        // every scoped predecessor must already be placed
+        if h.before_mask(e) & scope & !seen != 0 {
+            return false;
+        }
+        seen |= b;
+    }
+    seen == scope
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::HistoryBuilder;
+    use uc_spec::{SetAdt, SetUpdate};
+
+    type S = SetAdt<u32>;
+
+    /// Two independent chains of lengths 2 and 1 → C(3,1) = 3 orders.
+    fn h_2x1() -> History<S> {
+        let mut b = HistoryBuilder::new(S::new());
+        let [p0, p1] = b.processes();
+        b.update(p0, SetUpdate::Insert(1));
+        b.update(p0, SetUpdate::Insert(2));
+        b.update(p1, SetUpdate::Insert(3));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn enumeration_matches_count() {
+        let h = h_2x1();
+        let lins = all(&h, h.all_mask());
+        assert_eq!(lins.len(), 3);
+        assert_eq!(count(&h, h.all_mask()), 3);
+        for lin in &lins {
+            assert!(is_linearization(&h, h.all_mask(), lin));
+        }
+    }
+
+    #[test]
+    fn respects_program_order() {
+        let h = h_2x1();
+        for lin in all(&h, h.all_mask()) {
+            let pos0 = lin.iter().position(|e| e.0 == 0).unwrap();
+            let pos1 = lin.iter().position(|e| e.0 == 1).unwrap();
+            assert!(pos0 < pos1);
+        }
+    }
+
+    #[test]
+    fn scoped_enumeration() {
+        let h = h_2x1();
+        // only events 1 (needs 0... but 0 out of scope so unconstrained) and 2
+        let scope = downset::bit(1) | downset::bit(2);
+        assert_eq!(count(&h, scope), 2);
+        assert_eq!(all(&h, scope).len(), 2);
+    }
+
+    #[test]
+    fn early_exit() {
+        let h = h_2x1();
+        let mut visited = 0;
+        let found = for_each(&h, h.all_mask(), |_| {
+            visited += 1;
+            ControlFlow::Break("stop")
+        });
+        assert_eq!(found, Some("stop"));
+        assert_eq!(visited, 1);
+    }
+
+    #[test]
+    fn rejects_bad_linearizations() {
+        let h = h_2x1();
+        let scope = h.all_mask();
+        // wrong order of chain events
+        assert!(!is_linearization(
+            &h,
+            scope,
+            &[EventId(1), EventId(0), EventId(2)]
+        ));
+        // duplicate
+        assert!(!is_linearization(
+            &h,
+            scope,
+            &[EventId(0), EventId(0), EventId(2)]
+        ));
+        // missing event
+        assert!(!is_linearization(&h, scope, &[EventId(0), EventId(1)]));
+    }
+
+    #[test]
+    fn diamond_count() {
+        // 4 chains of 1 event each → 4! orders.
+        let mut b = HistoryBuilder::new(S::new());
+        for i in 0..4 {
+            let p = b.process();
+            b.update(p, SetUpdate::Insert(i));
+        }
+        let h = b.build().unwrap();
+        assert_eq!(count(&h, h.all_mask()), 24);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests for the history machinery: linearization counting
+//! vs enumeration, projection laws, down-set closure, and chain
+//! coverage.
+
+use proptest::prelude::*;
+use uc_history::downset;
+use uc_history::{chains, linearize, project, History, HistoryBuilder};
+use uc_spec::{SetAdt, SetQuery, SetUpdate};
+
+#[derive(Clone, Debug)]
+enum Shape {
+    Ins(u8),
+    Del(u8),
+    Read,
+}
+
+fn shape() -> impl Strategy<Value = Shape> {
+    prop_oneof![
+        (0u8..3).prop_map(Shape::Ins),
+        (0u8..3).prop_map(Shape::Del),
+        Just(Shape::Read),
+    ]
+}
+
+/// Random 1–3 process history, ≤ 4 events per process, plus up to 2
+/// random cross edges (kept acyclic by only adding forward edges).
+fn history_strategy() -> impl Strategy<Value = History<SetAdt<u32>>> {
+    (
+        proptest::collection::vec(proptest::collection::vec(shape(), 0..4), 1..=3),
+        proptest::collection::vec((0usize..12, 0usize..12), 0..2),
+    )
+        .prop_map(|(procs, edge_picks)| {
+            let mut b = HistoryBuilder::new(SetAdt::<u32>::new());
+            let mut ids = Vec::new();
+            for ops in &procs {
+                let p = b.process();
+                for op in ops {
+                    let id = match op {
+                        Shape::Ins(v) => b.update(p, SetUpdate::Insert(*v as u32)),
+                        Shape::Del(v) => b.update(p, SetUpdate::Delete(*v as u32)),
+                        Shape::Read => b.query(p, SetQuery::Read, Default::default()),
+                    };
+                    ids.push(id);
+                }
+            }
+            // forward cross edges only → acyclic by construction
+            for (x, y) in edge_picks {
+                if ids.len() >= 2 {
+                    let a = ids[x % ids.len()];
+                    let c = ids[y % ids.len()];
+                    if a.0 < c.0 {
+                        b.edge(a, c);
+                    }
+                }
+            }
+            b.build().expect("forward edges keep the order acyclic")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// DP counting agrees with explicit enumeration.
+    #[test]
+    fn count_matches_enumeration(h in history_strategy()) {
+        let lins = linearize::all(&h, h.all_mask());
+        prop_assert_eq!(linearize::count(&h, h.all_mask()), lins.len() as u128);
+        for lin in &lins {
+            prop_assert!(linearize::is_linearization(&h, h.all_mask(), lin));
+        }
+    }
+
+    /// Every enumerated linearization is distinct.
+    #[test]
+    fn linearizations_are_distinct(h in history_strategy()) {
+        let lins = linearize::all(&h, h.all_mask());
+        let unique: std::collections::BTreeSet<Vec<u32>> = lins
+            .iter()
+            .map(|l| l.iter().map(|e| e.0).collect())
+            .collect();
+        prop_assert_eq!(unique.len(), lins.len());
+    }
+
+    /// Restriction to the full mask is the identity on the order.
+    #[test]
+    fn restrict_full_is_identity(h in history_strategy()) {
+        let r = project::restrict(&h, h.all_mask());
+        prop_assert_eq!(r.len(), h.len());
+        for e in h.ids() {
+            prop_assert_eq!(r.before_mask(e), h.before_mask(e));
+        }
+    }
+
+    /// Restriction preserves order transiting through dropped events:
+    /// dropping queries keeps all update–update constraints.
+    #[test]
+    fn restrict_to_updates_preserves_update_order(h in history_strategy()) {
+        let r = project::restrict(&h, h.updates_mask());
+        // Build the map old→new over updates.
+        let olds: Vec<_> = h.update_ids().collect();
+        for (ni, &a) in olds.iter().enumerate() {
+            for (nj, &b) in olds.iter().enumerate() {
+                let before_old = h.is_before(a, b);
+                let before_new = r.is_before(
+                    uc_history::EventId(ni as u32),
+                    uc_history::EventId(nj as u32),
+                );
+                prop_assert_eq!(before_old, before_new);
+            }
+        }
+    }
+
+    /// The down-closure is idempotent and monotone.
+    #[test]
+    fn down_closure_laws(h in history_strategy(), bits: u64) {
+        let m = (bits as u128) & h.all_mask();
+        let c1 = h.down_closure(m);
+        let c2 = h.down_closure(c1);
+        prop_assert_eq!(c1, c2, "idempotent");
+        prop_assert_eq!(c1 & m, m, "extensive");
+    }
+
+    /// Maximal chains cover every event and are genuinely chains.
+    #[test]
+    fn maximal_chains_cover_and_are_chains(h in history_strategy()) {
+        prop_assume!(!h.is_empty());
+        let cs = chains::maximal_chains(&h, 10_000).expect("within cap");
+        let mut covered: u128 = 0;
+        for c in &cs {
+            for w in c.windows(2) {
+                prop_assert!(h.is_before(w[0], w[1]));
+            }
+            for e in c {
+                covered |= downset::bit(e.idx());
+            }
+        }
+        prop_assert_eq!(covered, h.all_mask(), "every event is in some maximal chain");
+    }
+
+    /// `ready` produces exactly the events whose predecessors are done.
+    #[test]
+    fn ready_is_sound_and_complete(h in history_strategy(), bits: u64) {
+        let scope = h.all_mask();
+        let done = h.down_closure((bits as u128) & scope);
+        let frontier = h.ready(scope, done);
+        for e in h.ids() {
+            let expect = !downset::contains(done, e.idx())
+                && h.before_mask(e) & !done == 0;
+            prop_assert_eq!(downset::contains(frontier, e.idx()), expect);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Fault-injection helpers: crash schedules and the adversarial
+//! connectivity patterns used by the impossibility experiment.
+
+use crate::network::Partition;
+use crate::process::{Pid, Protocol};
+use crate::rng::SplitMix64;
+use crate::scheduler::Simulation;
+
+/// Isolate every process from every other during `[0, until)` — the
+/// Proposition 1 adversary: before `until`, a process cannot
+/// distinguish "the others crashed" from "all messages are delayed",
+/// so its wait-free operations must complete on local knowledge alone.
+pub fn isolate_all_until<P: Protocol>(sim: &mut Simulation<P>, n: usize, until: u64) {
+    let groups = (0..n as Pid).map(|p| vec![p]).collect();
+    sim.partitions.add(Partition::new(groups, 0, until));
+}
+
+/// Split the cluster in two halves during `[start, end)`.
+pub fn split_brain<P: Protocol>(sim: &mut Simulation<P>, n: usize, start: u64, end: u64) {
+    let half = n / 2;
+    let a: Vec<Pid> = (0..half as Pid).collect();
+    let b: Vec<Pid> = (half as Pid..n as Pid).collect();
+    sim.partitions.add(Partition::new(vec![a, b], start, end));
+}
+
+/// Crash `count` distinct random processes at random times in
+/// `[0, horizon)`, never crashing process 0 (so at least one correct
+/// process remains, matching the wait-free "all but one may crash"
+/// regime). Returns the `(time, pid)` schedule.
+pub fn random_crashes<P: Protocol>(
+    sim: &mut Simulation<P>,
+    n: usize,
+    count: usize,
+    horizon: u64,
+    rng: &mut SplitMix64,
+) -> Vec<(u64, Pid)> {
+    assert!(count < n, "at least one process must stay correct");
+    let mut victims: Vec<Pid> = (1..n as Pid).collect();
+    rng.shuffle(&mut victims);
+    victims.truncate(count);
+    let mut schedule = Vec::with_capacity(count);
+    for v in victims {
+        let t = rng.next_below(horizon.max(1));
+        sim.schedule_crash(t, v);
+        schedule.push((t, v));
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::LatencyModel;
+    use crate::process::Ctx;
+    use crate::scheduler::SimConfig;
+
+    #[derive(Debug, Default)]
+    struct Count {
+        got: usize,
+    }
+    impl Protocol for Count {
+        type Msg = ();
+        type Input = ();
+        type Output = ();
+        fn on_invoke(&mut self, _i: (), ctx: &mut Ctx<'_, ()>) {
+            ctx.broadcast_others(());
+        }
+        fn on_message(&mut self, _f: Pid, _m: (), _c: &mut Ctx<'_, ()>) {
+            self.got += 1;
+        }
+    }
+
+    fn sim(n: usize) -> Simulation<Count> {
+        Simulation::new(
+            SimConfig {
+                n,
+                seed: 1,
+                latency: LatencyModel::Constant(1),
+                fifo_links: false,
+            },
+            |_| Count::default(),
+        )
+    }
+
+    #[test]
+    fn isolation_withholds_cross_traffic() {
+        let mut s = sim(2);
+        isolate_all_until(&mut s, 2, 50);
+        s.schedule_invoke(0, 0, ());
+        s.run_until(25);
+        assert_eq!(s.process(1).got, 0, "nothing before heal");
+        s.run_to_quiescence();
+        assert_eq!(s.process(1).got, 1, "delivered after heal");
+    }
+
+    #[test]
+    fn split_brain_blocks_halves_only() {
+        let mut s = sim(4);
+        split_brain(&mut s, 4, 0, 100);
+        s.schedule_invoke(0, 0, ());
+        s.run_until(50);
+        assert_eq!(s.process(1).got, 1, "same-half delivery unaffected");
+        assert_eq!(s.process(2).got, 0);
+        assert_eq!(s.process(3).got, 0);
+    }
+
+    #[test]
+    fn random_crashes_spare_process_zero() {
+        let mut rng = SplitMix64::new(9);
+        for _ in 0..20 {
+            let mut s = sim(5);
+            let sched = random_crashes(&mut s, 5, 4, 100, &mut rng);
+            assert_eq!(sched.len(), 4);
+            assert!(sched.iter().all(|(_, pid)| *pid != 0));
+            let pids: std::collections::BTreeSet<Pid> =
+                sched.iter().map(|(_, p)| *p).collect();
+            assert_eq!(pids.len(), 4, "distinct victims");
+        }
+    }
+}

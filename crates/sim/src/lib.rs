@@ -1,0 +1,46 @@
+//! # uc-sim — the wait-free asynchronous message-passing substrate
+//!
+//! The paper's system model (§VII-A): a finite set of sequential
+//! processes over a complete, reliable, asynchronous network, where
+//! any number of processes may crash and every operation must complete
+//! on local knowledge alone (wait-freedom). We do not have a cluster;
+//! per the substitution policy in DESIGN.md this crate provides two
+//! runtimes that exercise exactly the behaviours the algorithms depend
+//! on:
+//!
+//! * [`scheduler::Simulation`] — a **deterministic discrete-event
+//!   simulator**: seeded latency models ([`network::LatencyModel`]),
+//!   per-link FIFO or reordering delivery, crash injection, partition
+//!   windows that delay (never drop) messages, adversarial schedules
+//!   ([`faults`], used by the Proposition 1 experiment), invocation
+//!   traces ([`trace`]) and accounting ([`metrics`], experiment E7);
+//! * [`threaded::ThreadedCluster`] — one OS thread per process with
+//!   crossbeam channels as links, for stochastic interleavings under
+//!   real concurrency.
+//!
+//! Protocols implement [`process::Protocol`] once and run unchanged on
+//! both runtimes. [`workload`] generates the random and conflict
+//! workloads of the §VI/§VII experiments; [`rng`] provides the seeded
+//! PRNG and Zipf sampler everything shares.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod faults;
+pub mod metrics;
+pub mod network;
+pub mod process;
+pub mod rng;
+pub mod scheduler;
+pub mod threaded;
+pub mod trace;
+pub mod workload;
+
+pub use metrics::Metrics;
+pub use network::{LatencyModel, Partition, PartitionSchedule};
+pub use process::{Ctx, Pid, Protocol};
+pub use rng::{SplitMix64, Zipf};
+pub use scheduler::{SimConfig, Simulation};
+pub use threaded::ThreadedCluster;
+pub use trace::InvocationRecord;
+pub use workload::{ScheduledOp, SetOpKind, WorkloadSpec};

@@ -1,0 +1,80 @@
+//! Execution accounting, for the complexity experiments (E7):
+//! messages per update, delivered counts, payload-size totals.
+
+use crate::process::Pid;
+
+/// Counters maintained by the runtimes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Messages handed to the network.
+    pub messages_sent: u64,
+    /// Messages delivered to (live) processes.
+    pub messages_delivered: u64,
+    /// Messages dropped because the destination had crashed.
+    pub messages_dropped_crashed: u64,
+    /// Messages delayed at least once by a partition.
+    pub messages_delayed_by_partition: u64,
+    /// Application invocations processed.
+    pub invocations: u64,
+    /// Invocations ignored because the process had crashed.
+    pub invocations_on_crashed: u64,
+    /// Sum of estimated payload sizes of sent messages (bytes), if a
+    /// size estimator was installed.
+    pub bytes_sent: u64,
+    /// Per-process sent counts.
+    pub per_process_sent: Vec<u64>,
+}
+
+impl Metrics {
+    /// Metrics sized for `n` processes.
+    pub fn new(n: usize) -> Self {
+        Metrics {
+            per_process_sent: vec![0; n],
+            ..Default::default()
+        }
+    }
+
+    /// Record one send by `from` of estimated `size` bytes.
+    pub fn on_send(&mut self, from: Pid, size: u64) {
+        self.messages_sent += 1;
+        self.bytes_sent += size;
+        if let Some(c) = self.per_process_sent.get_mut(from as usize) {
+            *c += 1;
+        }
+    }
+
+    /// Messages sent per invocation — the §VII-C claim for Algorithm 1
+    /// is `n - 1` sends (one broadcast) per update and 0 per query.
+    pub fn messages_per_invocation(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.messages_sent as f64 / self.invocations as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_accounting() {
+        let mut m = Metrics::new(2);
+        m.on_send(0, 16);
+        m.on_send(0, 16);
+        m.on_send(1, 8);
+        assert_eq!(m.messages_sent, 3);
+        assert_eq!(m.bytes_sent, 40);
+        assert_eq!(m.per_process_sent, vec![2, 1]);
+    }
+
+    #[test]
+    fn per_invocation_ratio() {
+        let mut m = Metrics::new(1);
+        assert_eq!(m.messages_per_invocation(), 0.0);
+        m.invocations = 4;
+        m.messages_sent = 12;
+        assert_eq!(m.messages_per_invocation(), 3.0);
+    }
+}

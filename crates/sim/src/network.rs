@@ -1,0 +1,195 @@
+//! Network model: latency distributions, FIFO/reordering links, and
+//! partitions.
+//!
+//! The paper's system model is a complete, reliable, asynchronous
+//! network: no bound on transfer delays, but every message between
+//! correct processes is eventually received. The latency models here
+//! all preserve reliability; [`LatencyModel::Adversarial`] realises
+//! "unbounded but finite" delays by stretching chosen links until a
+//! configured release time — the device used in Proposition 1's proof
+//! ("it is impossible for p1 to distinguish a crashed p2 from delayed
+//! messages").
+
+use crate::process::Pid;
+use crate::rng::SplitMix64;
+
+/// Message latency distribution.
+#[derive(Clone, Debug)]
+pub enum LatencyModel {
+    /// Every message takes exactly this long.
+    Constant(u64),
+    /// Uniform in `[lo, hi]` — the default asynchronous-ish model.
+    Uniform(u64, u64),
+    /// Cross-process messages are withheld until `release`, then
+    /// behave as `Uniform(lo, hi)` — the Prop. 1 adversary.
+    Adversarial {
+        /// Time before which every cross-process message is held.
+        release: u64,
+        /// Post-release uniform latency low bound.
+        lo: u64,
+        /// Post-release uniform latency high bound.
+        hi: u64,
+    },
+}
+
+impl LatencyModel {
+    /// Delay for a message sent at `now`, drawn with `rng`.
+    pub fn sample(&self, now: u64, rng: &mut SplitMix64) -> u64 {
+        match *self {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform(lo, hi) => rng.next_range(lo, hi),
+            LatencyModel::Adversarial { release, lo, hi } => {
+                let base = rng.next_range(lo, hi);
+                if now < release {
+                    (release - now) + base
+                } else {
+                    base
+                }
+            }
+        }
+    }
+}
+
+/// A partition: a set of groups; messages may only flow within a
+/// group. Processes not listed are each isolated.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    groups: Vec<Vec<Pid>>,
+    /// Partition is in force during `[start, end)`.
+    pub start: u64,
+    /// Heal time.
+    pub end: u64,
+}
+
+impl Partition {
+    /// A partition holding during `[start, end)` with the given
+    /// groups.
+    pub fn new(groups: Vec<Vec<Pid>>, start: u64, end: u64) -> Self {
+        assert!(start <= end);
+        Partition { groups, start, end }
+    }
+
+    /// May `a` talk to `b` under this partition (assuming it is in
+    /// force)?
+    pub fn connected(&self, a: Pid, b: Pid) -> bool {
+        if a == b {
+            return true;
+        }
+        self.groups
+            .iter()
+            .any(|g| g.contains(&a) && g.contains(&b))
+    }
+}
+
+/// The set of scheduled partitions.
+#[derive(Clone, Debug, Default)]
+pub struct PartitionSchedule {
+    partitions: Vec<Partition>,
+}
+
+impl PartitionSchedule {
+    /// Add a partition window.
+    pub fn add(&mut self, p: Partition) {
+        self.partitions.push(p);
+    }
+
+    /// Is the link `a → b` blocked at time `t`?
+    pub fn blocked(&self, a: Pid, b: Pid, t: u64) -> bool {
+        self.partitions
+            .iter()
+            .any(|p| t >= p.start && t < p.end && !p.connected(a, b))
+    }
+
+    /// Earliest time ≥ `t` at which `a → b` unblocks; `None` if not
+    /// blocked at `t`. With non-overlapping windows this is the end of
+    /// the covering window; overlapping windows are resolved by
+    /// iterating.
+    pub fn next_open(&self, a: Pid, b: Pid, t: u64) -> Option<u64> {
+        if !self.blocked(a, b, t) {
+            return None;
+        }
+        let mut t = t;
+        // Bounded by the number of windows: each step exits one window.
+        for _ in 0..=self.partitions.len() {
+            let covering_end = self
+                .partitions
+                .iter()
+                .filter(|p| t >= p.start && t < p.end && !p.connected(a, b))
+                .map(|p| p.end)
+                .max();
+            match covering_end {
+                Some(end) => t = end,
+                None => return Some(t),
+            }
+        }
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_latency() {
+        let mut rng = SplitMix64::new(1);
+        assert_eq!(LatencyModel::Constant(5).sample(100, &mut rng), 5);
+    }
+
+    #[test]
+    fn uniform_latency_in_bounds() {
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..100 {
+            let d = LatencyModel::Uniform(3, 9).sample(0, &mut rng);
+            assert!((3..=9).contains(&d));
+        }
+    }
+
+    #[test]
+    fn adversarial_holds_until_release() {
+        let mut rng = SplitMix64::new(1);
+        let m = LatencyModel::Adversarial {
+            release: 1000,
+            lo: 1,
+            hi: 2,
+        };
+        let d = m.sample(10, &mut rng);
+        assert!(d >= 990, "delay {d} must reach past the release point");
+        let d2 = m.sample(2000, &mut rng);
+        assert!((1..=2).contains(&d2));
+    }
+
+    #[test]
+    fn partition_blocks_across_groups() {
+        let p = Partition::new(vec![vec![0, 1], vec![2]], 10, 20);
+        assert!(p.connected(0, 1));
+        assert!(!p.connected(0, 2));
+        assert!(p.connected(2, 2));
+        let mut s = PartitionSchedule::default();
+        s.add(p);
+        assert!(!s.blocked(0, 2, 9));
+        assert!(s.blocked(0, 2, 10));
+        assert!(s.blocked(2, 1, 19));
+        assert!(!s.blocked(0, 2, 20));
+        assert!(!s.blocked(0, 1, 15));
+    }
+
+    #[test]
+    fn unlisted_processes_are_isolated() {
+        let p = Partition::new(vec![vec![0, 1]], 0, 10);
+        assert!(!p.connected(0, 3));
+        assert!(!p.connected(3, 4));
+        assert!(p.connected(3, 3));
+    }
+
+    #[test]
+    fn next_open_finds_heal_time() {
+        let mut s = PartitionSchedule::default();
+        s.add(Partition::new(vec![vec![0], vec![1]], 10, 20));
+        assert_eq!(s.next_open(0, 1, 15), Some(20));
+        assert_eq!(s.next_open(0, 1, 5), None);
+        // overlapping windows chain
+        s.add(Partition::new(vec![vec![0], vec![1]], 18, 30));
+        assert_eq!(s.next_open(0, 1, 15), Some(30));
+    }
+}

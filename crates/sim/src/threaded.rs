@@ -1,0 +1,229 @@
+//! A real-thread runtime for the same [`Protocol`] state machines the
+//! simulator drives — stochastic interleavings under genuine
+//! concurrency, cross-checking the deterministic results. (`loom`
+//! would exhaustively enumerate interleavings but is not in the
+//! dependency budget; the simulator's seed sweeps play that role.)
+//!
+//! One OS thread per process; crossbeam channels are the network.
+//! Delivery is reliable and per-link FIFO (channel order); there are
+//! no crashes here — fault injection lives in the deterministic
+//! simulator where it can be replayed.
+
+use crate::metrics::Metrics;
+use crate::process::{Ctx, Pid, Protocol};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+enum Command<P: Protocol> {
+    Invoke(P::Input, Sender<P::Output>),
+    Deliver(Pid, P::Msg),
+    Stop(Sender<P>),
+}
+
+/// A cluster of `n` protocol instances, each on its own thread.
+pub struct ThreadedCluster<P>
+where
+    P: Protocol + Send + 'static,
+    P::Msg: Send,
+    P::Input: Send,
+    P::Output: Send,
+{
+    txs: Vec<Sender<Command<P>>>,
+    handles: Vec<JoinHandle<()>>,
+    in_flight: Arc<AtomicI64>,
+    metrics: Arc<Mutex<Metrics>>,
+}
+
+impl<P> ThreadedCluster<P>
+where
+    P: Protocol + Send + 'static,
+    P::Msg: Send,
+    P::Input: Send,
+    P::Output: Send,
+{
+    /// Spawn `n` nodes built by `make(pid)`.
+    pub fn spawn(n: usize, mut make: impl FnMut(Pid) -> P) -> Self {
+        type Channel<P> = (Sender<Command<P>>, Receiver<Command<P>>);
+        let channels: Vec<Channel<P>> = (0..n).map(|_| unbounded()).collect();
+        let txs: Vec<Sender<Command<P>>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
+        let in_flight = Arc::new(AtomicI64::new(0));
+        let metrics = Arc::new(Mutex::new(Metrics::new(n)));
+        let mut handles = Vec::with_capacity(n);
+        for (pid, (_, rx)) in channels.into_iter().enumerate() {
+            let node = make(pid as Pid);
+            let peers = txs.clone();
+            let in_flight = Arc::clone(&in_flight);
+            let metrics = Arc::clone(&metrics);
+            handles.push(std::thread::spawn(move || {
+                node_loop(pid as Pid, n, node, rx, peers, in_flight, metrics)
+            }));
+        }
+        ThreadedCluster {
+            txs,
+            handles,
+            in_flight,
+            metrics,
+        }
+    }
+
+    /// Invoke an operation on `pid` and wait for its (local,
+    /// wait-free) response. Only network *propagation* is
+    /// asynchronous.
+    pub fn invoke(&self, pid: Pid, input: P::Input) -> P::Output {
+        let (tx, rx) = unbounded();
+        self.txs[pid as usize]
+            .send(Command::Invoke(input, tx))
+            .expect("node alive");
+        rx.recv().expect("node answered")
+    }
+
+    /// Block until every sent message has been processed.
+    pub fn quiesce(&self) {
+        loop {
+            if self.in_flight.load(Ordering::SeqCst) == 0 {
+                // Double-check after a yield: a node may be between
+                // increment and send only while holding an invoke we
+                // already returned from, so a stable zero is genuine.
+                std::thread::yield_now();
+                if self.in_flight.load(Ordering::SeqCst) == 0 {
+                    return;
+                }
+            }
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+    }
+
+    /// Snapshot the shared metrics.
+    pub fn metrics(&self) -> Metrics {
+        self.metrics.lock().clone()
+    }
+
+    /// Quiesce, stop all nodes, and return their final states.
+    pub fn shutdown(self) -> Vec<P> {
+        self.quiesce();
+        let mut out = Vec::with_capacity(self.txs.len());
+        for tx in &self.txs {
+            let (otx, orx) = unbounded();
+            tx.send(Command::Stop(otx)).expect("node alive");
+            out.push(orx.recv().expect("node returned state"));
+        }
+        for h in self.handles {
+            let _ = h.join();
+        }
+        out
+    }
+}
+
+fn node_loop<P>(
+    pid: Pid,
+    n: usize,
+    mut node: P,
+    rx: Receiver<Command<P>>,
+    peers: Vec<Sender<Command<P>>>,
+    in_flight: Arc<AtomicI64>,
+    metrics: Arc<Mutex<Metrics>>,
+) where
+    P: Protocol,
+{
+    let dispatch = |from: Pid, outbox: Vec<(Pid, P::Msg)>| {
+        for (to, msg) in outbox {
+            // Increment before send so `quiesce` can never observe a
+            // zero while a message is in a channel.
+            in_flight.fetch_add(1, Ordering::SeqCst);
+            metrics.lock().on_send(from, 0);
+            peers[to as usize]
+                .send(Command::Deliver(from, msg))
+                .expect("peer alive");
+        }
+    };
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Command::Invoke(input, reply) => {
+                let mut outbox = Vec::new();
+                let output = {
+                    let mut ctx = Ctx::new(pid, n, 0, &mut outbox);
+                    node.on_invoke(input, &mut ctx)
+                };
+                metrics.lock().invocations += 1;
+                dispatch(pid, outbox);
+                let _ = reply.send(output);
+            }
+            Command::Deliver(from, msg) => {
+                let mut outbox = Vec::new();
+                {
+                    let mut ctx = Ctx::new(pid, n, 0, &mut outbox);
+                    node.on_message(from, msg, &mut ctx);
+                }
+                metrics.lock().messages_delivered += 1;
+                dispatch(pid, outbox);
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
+            Command::Stop(reply) => {
+                let _ = reply.send(node);
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Default)]
+    struct Gossip {
+        seen: std::collections::BTreeSet<u32>,
+    }
+
+    impl Protocol for Gossip {
+        type Msg = u32;
+        type Input = u32;
+        type Output = usize;
+
+        fn on_invoke(&mut self, x: u32, ctx: &mut Ctx<'_, u32>) -> usize {
+            self.seen.insert(x);
+            ctx.broadcast_others(x);
+            self.seen.len()
+        }
+
+        fn on_message(&mut self, _from: Pid, x: u32, _ctx: &mut Ctx<'_, u32>) {
+            self.seen.insert(x);
+        }
+    }
+
+    #[test]
+    fn all_nodes_converge_after_quiesce() {
+        let cluster = ThreadedCluster::spawn(4, |_| Gossip::default());
+        for i in 0..40u32 {
+            cluster.invoke((i % 4) as Pid, i);
+        }
+        let nodes = cluster.shutdown();
+        let expect: std::collections::BTreeSet<u32> = (0..40).collect();
+        for (pid, node) in nodes.iter().enumerate() {
+            assert_eq!(node.seen, expect, "node {pid} diverged");
+        }
+    }
+
+    #[test]
+    fn metrics_count_messages() {
+        let cluster = ThreadedCluster::spawn(3, |_| Gossip::default());
+        cluster.invoke(0, 7);
+        cluster.quiesce();
+        let m = cluster.metrics();
+        assert_eq!(m.messages_sent, 2);
+        assert_eq!(m.messages_delivered, 2);
+        assert_eq!(m.invocations, 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn invoke_returns_locally_computed_output() {
+        let cluster = ThreadedCluster::spawn(2, |_| Gossip::default());
+        assert_eq!(cluster.invoke(0, 5), 1);
+        assert_eq!(cluster.invoke(0, 6), 2);
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,178 @@
+//! Workload generation for the behavioural and complexity experiments
+//! (E6/E7): skewed random op mixes and targeted conflict schedules.
+//!
+//! Workloads are expressed over an abstract element universe
+//! (`usize` ranks) so this crate stays independent of the concrete
+//! ADTs; the benches map [`SetOpKind`] onto `SetUpdate`/`SetQuery`.
+
+use crate::process::Pid;
+use crate::rng::{SplitMix64, Zipf};
+
+/// Abstract set operation drawn by a workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SetOpKind {
+    /// Insert element rank.
+    Insert(usize),
+    /// Delete element rank.
+    Delete(usize),
+    /// Read the whole set.
+    Read,
+}
+
+/// One scheduled operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScheduledOp {
+    /// Absolute invocation time.
+    pub time: u64,
+    /// Invoking process.
+    pub pid: Pid,
+    /// The operation.
+    pub kind: SetOpKind,
+}
+
+/// Parameters of a random set workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Number of processes.
+    pub processes: usize,
+    /// Operations issued by each process.
+    pub ops_per_process: usize,
+    /// Element universe size.
+    pub universe: usize,
+    /// Zipf exponent for element choice (0 = uniform).
+    pub zipf_alpha: f64,
+    /// Fraction of operations that are updates (rest are reads).
+    pub update_ratio: f64,
+    /// Fraction of updates that are inserts (rest are deletes).
+    pub insert_ratio: f64,
+    /// Mean spacing between consecutive ops of one process.
+    pub mean_gap: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            processes: 3,
+            ops_per_process: 20,
+            universe: 16,
+            zipf_alpha: 0.8,
+            update_ratio: 0.7,
+            insert_ratio: 0.6,
+            mean_gap: 10,
+            seed: 0xDEC0DE,
+        }
+    }
+}
+
+/// Generate a randomized schedule. Deterministic in the spec.
+pub fn generate(spec: &WorkloadSpec) -> Vec<ScheduledOp> {
+    let mut rng = SplitMix64::new(spec.seed);
+    let zipf = Zipf::new(spec.universe.max(1), spec.zipf_alpha);
+    let mut out = Vec::with_capacity(spec.processes * spec.ops_per_process);
+    for pid in 0..spec.processes as Pid {
+        let mut t = rng.next_below(spec.mean_gap.max(1));
+        for _ in 0..spec.ops_per_process {
+            let kind = if rng.next_f64() < spec.update_ratio {
+                let elem = zipf.sample(&mut rng);
+                if rng.next_f64() < spec.insert_ratio {
+                    SetOpKind::Insert(elem)
+                } else {
+                    SetOpKind::Delete(elem)
+                }
+            } else {
+                SetOpKind::Read
+            };
+            out.push(ScheduledOp { time: t, pid, kind });
+            t += 1 + rng.next_below(2 * spec.mean_gap.max(1));
+        }
+    }
+    out.sort_by_key(|op| (op.time, op.pid));
+    out
+}
+
+/// The §VI conflict pattern: in each round every process concurrently
+/// touches the *same* element, half inserting, half deleting — the
+/// workload on which OR-set, LWW-set, 2P-set and the update-consistent
+/// set all disagree.
+pub fn conflict_rounds(processes: usize, rounds: usize, gap: u64) -> Vec<ScheduledOp> {
+    let mut out = Vec::new();
+    for r in 0..rounds {
+        let elem = r; // a fresh element each round
+        let t = r as u64 * gap;
+        for pid in 0..processes as Pid {
+            let kind = if pid % 2 == 0 {
+                SetOpKind::Insert(elem)
+            } else {
+                SetOpKind::Delete(elem)
+            };
+            out.push(ScheduledOp { time: t, pid, kind });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let spec = WorkloadSpec::default();
+        assert_eq!(generate(&spec), generate(&spec));
+        let other = WorkloadSpec {
+            seed: 1,
+            ..spec.clone()
+        };
+        assert_ne!(generate(&spec), generate(&other));
+    }
+
+    #[test]
+    fn respects_counts_and_sorting() {
+        let spec = WorkloadSpec {
+            processes: 4,
+            ops_per_process: 10,
+            ..Default::default()
+        };
+        let w = generate(&spec);
+        assert_eq!(w.len(), 40);
+        assert!(w.windows(2).all(|p| p[0].time <= p[1].time));
+        for pid in 0..4 {
+            assert_eq!(w.iter().filter(|o| o.pid == pid).count(), 10);
+        }
+    }
+
+    #[test]
+    fn ratios_roughly_hold() {
+        let spec = WorkloadSpec {
+            processes: 2,
+            ops_per_process: 2000,
+            update_ratio: 0.5,
+            insert_ratio: 1.0,
+            ..Default::default()
+        };
+        let w = generate(&spec);
+        let updates = w
+            .iter()
+            .filter(|o| !matches!(o.kind, SetOpKind::Read))
+            .count();
+        let frac = updates as f64 / w.len() as f64;
+        assert!((0.45..0.55).contains(&frac), "update fraction {frac}");
+        assert!(w
+            .iter()
+            .all(|o| !matches!(o.kind, SetOpKind::Delete(_))));
+    }
+
+    #[test]
+    fn conflict_rounds_alternate_polarity() {
+        let w = conflict_rounds(4, 2, 100);
+        assert_eq!(w.len(), 8);
+        let round0: Vec<_> = w.iter().filter(|o| o.time == 0).collect();
+        assert_eq!(round0.len(), 4);
+        assert!(matches!(round0[0].kind, SetOpKind::Insert(0)));
+        assert!(matches!(round0[1].kind, SetOpKind::Delete(0)));
+        let round1: Vec<_> = w.iter().filter(|o| o.time == 100).collect();
+        assert!(matches!(round1[0].kind, SetOpKind::Insert(1)));
+    }
+}

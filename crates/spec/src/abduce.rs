@@ -1,0 +1,79 @@
+//! State abduction: the `∃s ∈ S` sub-problem of the convergence
+//! criteria.
+//!
+//! Eventual consistency (Definition 5) asks for a state `s` consistent
+//! with all but finitely many queries; strong eventual consistency
+//! (Definition 6) asks, for each set of visible updates, for a state
+//! consistent with every query that saw exactly that set. Both reduce
+//! to: *given a bag of observations `(qi, qo)`, is there a state `s`
+//! with `G(s, qi) = qo` for each?* — which is ADT-specific, so it is a
+//! trait here rather than a generic search over the (usually infinite)
+//! state space.
+
+use crate::adt::UqAdt;
+
+/// ADTs that can solve `∃s ∀(qi,qo) ∈ obs : G(s, qi) = qo`.
+pub trait StateAbduction: UqAdt {
+    /// Return a witness state consistent with every observation, or
+    /// `None` if the observations are contradictory.
+    ///
+    /// Implementations must be *sound* (a returned state really
+    /// answers every observation) and *complete* (if any state exists,
+    /// one is returned). Soundness is re-checked by callers via
+    /// [`UqAdt::answers`], so a buggy implementation fails loudly.
+    fn abduce(&self, obs: &[(Self::QueryIn, Self::QueryOut)]) -> Option<Self::State>;
+
+    /// Sound-by-construction wrapper: abduce then verify.
+    fn abduce_checked(&self, obs: &[(Self::QueryIn, Self::QueryOut)]) -> Option<Self::State> {
+        let s = self.abduce(obs)?;
+        if obs.iter().all(|(qi, qo)| self.answers(&s, qi, qo)) {
+            Some(s)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::{CounterAdt, CounterQuery};
+    use crate::set::{SetAdt, SetQuery};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn set_abduction_from_reads() {
+        let adt: SetAdt<u32> = SetAdt::new();
+        let obs = vec![
+            (SetQuery::Read, BTreeSet::from([1, 2])),
+            (SetQuery::Read, BTreeSet::from([1, 2])),
+        ];
+        assert_eq!(adt.abduce_checked(&obs), Some(BTreeSet::from([1, 2])));
+    }
+
+    #[test]
+    fn set_abduction_detects_contradiction() {
+        let adt: SetAdt<u32> = SetAdt::new();
+        let obs = vec![
+            (SetQuery::Read, BTreeSet::from([1])),
+            (SetQuery::Read, BTreeSet::from([2])),
+        ];
+        assert_eq!(adt.abduce_checked(&obs), None);
+    }
+
+    #[test]
+    fn empty_observations_always_satisfiable() {
+        let adt: SetAdt<u32> = SetAdt::new();
+        assert!(adt.abduce_checked(&[]).is_some());
+    }
+
+    #[test]
+    fn counter_abduction() {
+        let adt = CounterAdt;
+        assert_eq!(adt.abduce_checked(&[(CounterQuery::Read, 5)]), Some(5));
+        assert_eq!(
+            adt.abduce_checked(&[(CounterQuery::Read, 5), (CounterQuery::Read, 6)]),
+            None
+        );
+    }
+}

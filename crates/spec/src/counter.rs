@@ -1,0 +1,129 @@
+//! A shared counter — with the grow-only set, the paper's example
+//! (§VII-C) of a *pure CRDT*: `Add` updates commute, so update
+//! consistency comes for free from any delivery order.
+
+use crate::abduce::StateAbduction;
+use crate::adt::UqAdt;
+use crate::invert::UndoableUqAdt;
+use std::fmt::Debug;
+
+/// Update alphabet of the counter.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterUpdate {
+    /// Add a (possibly negative) amount.
+    Add(i64),
+}
+
+impl Debug for CounterUpdate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CounterUpdate::Add(n) if *n >= 0 => write!(f, "inc({n})"),
+            CounterUpdate::Add(n) => write!(f, "dec({})", -n),
+        }
+    }
+}
+
+/// Query alphabet of the counter.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterQuery {
+    /// Read the current value.
+    Read,
+}
+
+impl Debug for CounterQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "R")
+    }
+}
+
+/// The counter UQ-ADT, initial value 0.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterAdt;
+
+impl UqAdt for CounterAdt {
+    type Update = CounterUpdate;
+    type QueryIn = CounterQuery;
+    type QueryOut = i64;
+    type State = i64;
+
+    fn initial(&self) -> Self::State {
+        0
+    }
+
+    fn apply(&self, state: &mut Self::State, update: &Self::Update) {
+        let CounterUpdate::Add(n) = update;
+        *state = state.wrapping_add(*n);
+    }
+
+    fn observe(&self, state: &Self::State, _query: &Self::QueryIn) -> Self::QueryOut {
+        *state
+    }
+}
+
+impl StateAbduction for CounterAdt {
+    fn abduce(&self, obs: &[(Self::QueryIn, Self::QueryOut)]) -> Option<Self::State> {
+        let mut candidate: Option<i64> = None;
+        for (_read, out) in obs {
+            match candidate {
+                None => candidate = Some(*out),
+                Some(c) if c == *out => {}
+                Some(_) => return None,
+            }
+        }
+        Some(candidate.unwrap_or(0))
+    }
+}
+
+impl UndoableUqAdt for CounterAdt {
+    type UndoToken = i64;
+
+    fn apply_with_undo(
+        &self,
+        state: &mut Self::State,
+        update: &Self::Update,
+    ) -> Self::UndoToken {
+        let CounterUpdate::Add(n) = update;
+        *state = state.wrapping_add(*n);
+        *n
+    }
+
+    fn undo(&self, state: &mut Self::State, token: &Self::UndoToken) {
+        *state = state.wrapping_sub(*token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn additions_commute() {
+        let adt = CounterAdt;
+        let a = adt.run_updates(&[
+            CounterUpdate::Add(3),
+            CounterUpdate::Add(-1),
+            CounterUpdate::Add(10),
+        ]);
+        let b = adt.run_updates(&[
+            CounterUpdate::Add(10),
+            CounterUpdate::Add(3),
+            CounterUpdate::Add(-1),
+        ]);
+        assert_eq!(a, b);
+        assert_eq!(a, 12);
+    }
+
+    #[test]
+    fn read_observes_value() {
+        let adt = CounterAdt;
+        assert_eq!(adt.observe(&42, &CounterQuery::Read), 42);
+    }
+
+    #[test]
+    fn wrapping_semantics_at_extremes() {
+        let adt = CounterAdt;
+        let mut s = i64::MAX;
+        adt.apply(&mut s, &CounterUpdate::Add(1));
+        assert_eq!(s, i64::MIN);
+    }
+}

@@ -1,0 +1,101 @@
+//! Undoable updates, for the Karsenty & Beaudouin-Lafon repositioning
+//! variant discussed in §VII-C of the paper.
+//!
+//! That algorithm assumes every update `u` has an inverse `u⁻¹` with
+//! `T(T(s, u), u⁻¹) = s`. For many objects the inverse depends on the
+//! state the update was applied in (deleting an *absent* element is a
+//! no-op, so its inverse is a no-op too — not an insertion). We
+//! therefore model the inverse as an opaque **undo token** captured at
+//! apply time, which is exactly what an implementation stores in its
+//! log.
+
+use crate::adt::UqAdt;
+use std::fmt::Debug;
+
+/// A UQ-ADT whose updates can be undone.
+///
+/// Law (checked by tests and property tests downstream): for all
+/// states `s` and updates `u`,
+/// `undo(apply_with_undo(s, u)) == s`.
+pub trait UndoableUqAdt: UqAdt {
+    /// Evidence captured while applying an update, sufficient to
+    /// reverse it.
+    type UndoToken: Clone + Debug;
+
+    /// Apply `update` to `state`, returning the token that undoes it.
+    fn apply_with_undo(&self, state: &mut Self::State, update: &Self::Update)
+        -> Self::UndoToken;
+
+    /// Reverse a previously applied update. Tokens must be undone in
+    /// reverse application order (LIFO).
+    fn undo(&self, state: &mut Self::State, token: &Self::UndoToken);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counter::{CounterAdt, CounterUpdate};
+    use crate::set::{SetAdt, SetUpdate};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn set_undo_roundtrip_insert() {
+        let adt: SetAdt<u32> = SetAdt::new();
+        let mut s = BTreeSet::from([1]);
+        let tok = adt.apply_with_undo(&mut s, &SetUpdate::Insert(2));
+        assert_eq!(s, BTreeSet::from([1, 2]));
+        adt.undo(&mut s, &tok);
+        assert_eq!(s, BTreeSet::from([1]));
+    }
+
+    #[test]
+    fn set_undo_reinsert_is_noop_roundtrip() {
+        // Inserting an element that is already present must undo to the
+        // same state (not delete it).
+        let adt: SetAdt<u32> = SetAdt::new();
+        let mut s = BTreeSet::from([1]);
+        let tok = adt.apply_with_undo(&mut s, &SetUpdate::Insert(1));
+        adt.undo(&mut s, &tok);
+        assert_eq!(s, BTreeSet::from([1]));
+    }
+
+    #[test]
+    fn set_undo_delete_absent_is_noop_roundtrip() {
+        let adt: SetAdt<u32> = SetAdt::new();
+        let mut s = BTreeSet::from([1]);
+        let tok = adt.apply_with_undo(&mut s, &SetUpdate::Delete(9));
+        adt.undo(&mut s, &tok);
+        assert_eq!(s, BTreeSet::from([1]));
+    }
+
+    #[test]
+    fn lifo_undo_stack_restores_initial() {
+        let adt: SetAdt<u32> = SetAdt::new();
+        let mut s = adt.initial();
+        let word = [
+            SetUpdate::Insert(1),
+            SetUpdate::Insert(2),
+            SetUpdate::Delete(1),
+            SetUpdate::Insert(1),
+            SetUpdate::Delete(3),
+        ];
+        let mut toks = Vec::new();
+        for u in &word {
+            toks.push(adt.apply_with_undo(&mut s, u));
+        }
+        for tok in toks.iter().rev() {
+            adt.undo(&mut s, tok);
+        }
+        assert_eq!(s, adt.initial());
+    }
+
+    #[test]
+    fn counter_undo() {
+        let adt = CounterAdt;
+        let mut s = 10;
+        let tok = adt.apply_with_undo(&mut s, &CounterUpdate::Add(-3));
+        assert_eq!(s, 7);
+        adt.undo(&mut s, &tok);
+        assert_eq!(s, 10);
+    }
+}

@@ -1,0 +1,67 @@
+//! # uc-spec — update–query abstract data types
+//!
+//! This crate implements Definition 1 of *Update Consistency for
+//! Wait-free Concurrent Objects* (Perrin, Mostéfaoui, Jard — IPDPS
+//! 2015): the **UQ-ADT**, a transition system
+//! `O = (U, Qi, Qo, S, s0, T, G)` in which every operation is either
+//!
+//! * an **update** `u ∈ U` — a side effect on the abstract state with
+//!   no return value (`T : S × U → S`), or
+//! * a **query** `qi/qo ∈ Qi × Qo` — a read-only observation of the
+//!   state (`G : S × Qi → Qo`).
+//!
+//! The split matters: the paper's consistency criteria order *updates*
+//! globally while letting *queries* read transiently stale states, and
+//! the universality construction (Algorithm 1) only broadcasts updates.
+//! Operations that both mutate and return (a stack `pop`) are expressed
+//! as a query followed by an update (`top` then `delete-top`), exactly
+//! as §I of the paper prescribes; [`stack`] and [`queue`] provide those
+//! split specifications.
+//!
+//! The crate also provides:
+//!
+//! * [`recognize`] — membership in `L(O)`, the language of sequential
+//!   histories recognised by the transition system (Definition 1's
+//!   closing paragraph), as an incremental [`recognize::Runner`];
+//! * [`abduce`] — *state abduction*, the `∃s` sub-problem used by the
+//!   eventual-consistency checkers ("is there a state consistent with
+//!   these query outputs?");
+//! * [`invert`] — undoable updates, needed by the Karsenty &
+//!   Beaudouin-Lafon-style repositioning variant discussed in §VII-C;
+//! * concrete specifications: the paper's replicated [`set`]
+//!   (Example 1), [`register`] and [`memory`] (Algorithm 2's object),
+//!   [`counter`] and [`gset`] (the "pure CRDT" commutative examples of
+//!   §VII-C), and the split-operation [`queue`], [`stack`] and [`log`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abduce;
+pub mod adt;
+pub mod counter;
+pub mod gset;
+pub mod invert;
+pub mod log;
+pub mod memory;
+pub mod op;
+pub mod queue;
+pub mod recognize;
+pub mod register;
+pub mod rich_set;
+pub mod set;
+pub mod stack;
+
+pub use abduce::StateAbduction;
+pub use adt::UqAdt;
+pub use counter::{CounterAdt, CounterQuery, CounterUpdate};
+pub use gset::GrowSetAdt;
+pub use invert::UndoableUqAdt;
+pub use log::LogAdt;
+pub use memory::{MemoryAdt, MemoryQuery, MemoryUpdate};
+pub use op::{Op, Query};
+pub use queue::{QueueAdt, QueueQuery, QueueUpdate};
+pub use recognize::{Mismatch, Runner};
+pub use register::RegisterAdt;
+pub use rich_set::{RichSetAdt, RichSetOut, RichSetQuery};
+pub use set::{SetAdt, SetQuery, SetUpdate};
+pub use stack::{StackAdt, StackUpdate};

@@ -1,0 +1,205 @@
+//! The shared memory object of Algorithm 2: a set `X` of registers
+//! holding values from `V`, each initialised to `v0`.
+//!
+//! `write(x, v)` is an update; `read(x)` is a query returning the last
+//! value written to `x` (or `v0`). The state is a finite map from
+//! written registers to values; unwritten registers implicitly hold
+//! `v0`, which keeps the state countable even for countable `X`.
+
+use crate::abduce::StateAbduction;
+use crate::adt::UqAdt;
+use crate::invert::UndoableUqAdt;
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Update alphabet: `write(x, v)`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct MemoryUpdate<X, V> {
+    /// Register name.
+    pub register: X,
+    /// Value written.
+    pub value: V,
+}
+
+impl<X: Debug, V: Debug> Debug for MemoryUpdate<X, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "w({:?},{:?})", self.register, self.value)
+    }
+}
+
+/// Query alphabet: `read(x)`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct MemoryQuery<X>(pub X);
+
+impl<X: Debug> Debug for MemoryQuery<X> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r({:?})", self.0)
+    }
+}
+
+/// The shared-memory UQ-ADT `mem(X, V, v0)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemoryAdt<X, V> {
+    initial: V,
+    _marker: std::marker::PhantomData<fn() -> X>,
+}
+
+impl<X, V> MemoryAdt<X, V> {
+    /// Memory whose registers all start at `v0`.
+    pub fn new(v0: V) -> Self {
+        MemoryAdt {
+            initial: v0,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// The common initial register value `v0`.
+    pub fn initial_value(&self) -> &V {
+        &self.initial
+    }
+}
+
+impl<X, V> UqAdt for MemoryAdt<X, V>
+where
+    X: Clone + Debug + Eq + Ord + Hash,
+    V: Clone + Debug + Eq + Hash,
+{
+    type Update = MemoryUpdate<X, V>;
+    type QueryIn = MemoryQuery<X>;
+    type QueryOut = V;
+    type State = BTreeMap<X, V>;
+
+    fn initial(&self) -> Self::State {
+        BTreeMap::new()
+    }
+
+    fn apply(&self, state: &mut Self::State, update: &Self::Update) {
+        // Writing v0 back still erases the entry so that states have a
+        // canonical representation (important for hashing/memoization).
+        if update.value == self.initial {
+            state.remove(&update.register);
+        } else {
+            state.insert(update.register.clone(), update.value.clone());
+        }
+    }
+
+    fn observe(&self, state: &Self::State, query: &Self::QueryIn) -> Self::QueryOut {
+        state.get(&query.0).cloned().unwrap_or_else(|| self.initial.clone())
+    }
+}
+
+impl<X, V> StateAbduction for MemoryAdt<X, V>
+where
+    X: Clone + Debug + Eq + Ord + Hash,
+    V: Clone + Debug + Eq + Hash,
+{
+    fn abduce(&self, obs: &[(Self::QueryIn, Self::QueryOut)]) -> Option<Self::State> {
+        // Reads constrain registers pointwise; unconstrained registers
+        // stay at v0.
+        let mut state = BTreeMap::new();
+        for (MemoryQuery(x), v) in obs {
+            match state.get(x) {
+                None => {
+                    state.insert(x.clone(), v.clone());
+                }
+                Some(prev) if prev == v => {}
+                Some(_) => return None,
+            }
+        }
+        // Canonicalise: entries equal to v0 are implicit.
+        state.retain(|_, v| *v != self.initial);
+        Some(state)
+    }
+}
+
+impl<X, V> UndoableUqAdt for MemoryAdt<X, V>
+where
+    X: Clone + Debug + Eq + Ord + Hash,
+    V: Clone + Debug + Eq + Hash,
+{
+    /// The register and its previous explicit value (`None` = was v0).
+    type UndoToken = (X, Option<V>);
+
+    fn apply_with_undo(
+        &self,
+        state: &mut Self::State,
+        update: &Self::Update,
+    ) -> Self::UndoToken {
+        let prev = state.get(&update.register).cloned();
+        self.apply(state, update);
+        (update.register.clone(), prev)
+    }
+
+    fn undo(&self, state: &mut Self::State, token: &Self::UndoToken) {
+        match &token.1 {
+            Some(v) => {
+                state.insert(token.0.clone(), v.clone());
+            }
+            None => {
+                state.remove(&token.0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type M = MemoryAdt<&'static str, i32>;
+
+    fn w(x: &'static str, v: i32) -> MemoryUpdate<&'static str, i32> {
+        MemoryUpdate {
+            register: x,
+            value: v,
+        }
+    }
+
+    #[test]
+    fn unwritten_register_reads_initial() {
+        let adt: M = MemoryAdt::new(0);
+        assert_eq!(adt.observe(&adt.initial(), &MemoryQuery("x")), 0);
+    }
+
+    #[test]
+    fn last_write_per_register_wins() {
+        let adt: M = MemoryAdt::new(0);
+        let s = adt.run_updates(&[w("x", 1), w("y", 2), w("x", 3)]);
+        assert_eq!(adt.observe(&s, &MemoryQuery("x")), 3);
+        assert_eq!(adt.observe(&s, &MemoryQuery("y")), 2);
+    }
+
+    #[test]
+    fn writing_initial_value_canonicalises() {
+        let adt: M = MemoryAdt::new(0);
+        let s1 = adt.run_updates(&[w("x", 1), w("x", 0)]);
+        let s2 = adt.initial();
+        assert_eq!(s1, s2, "states must be canonical for memoization");
+    }
+
+    #[test]
+    fn abduce_pointwise() {
+        let adt: M = MemoryAdt::new(0);
+        let s = adt
+            .abduce_checked(&[(MemoryQuery("x"), 1), (MemoryQuery("y"), 0)])
+            .unwrap();
+        assert_eq!(adt.observe(&s, &MemoryQuery("x")), 1);
+        assert_eq!(adt.observe(&s, &MemoryQuery("y")), 0);
+        assert!(adt
+            .abduce_checked(&[(MemoryQuery("x"), 1), (MemoryQuery("x"), 2)])
+            .is_none());
+    }
+
+    #[test]
+    fn undo_restores_previous_binding() {
+        let adt: M = MemoryAdt::new(0);
+        let mut s = adt.initial();
+        let t1 = adt.apply_with_undo(&mut s, &w("x", 1));
+        let t2 = adt.apply_with_undo(&mut s, &w("x", 2));
+        adt.undo(&mut s, &t2);
+        assert_eq!(adt.observe(&s, &MemoryQuery("x")), 1);
+        adt.undo(&mut s, &t1);
+        assert_eq!(s, adt.initial());
+    }
+}

@@ -1,0 +1,183 @@
+//! Operation letters: the alphabet `U ∪ Q` of sequential histories.
+
+use crate::adt::UqAdt;
+use std::fmt;
+
+/// A query letter `qi/qo` — query `qi` observed to return `qo`
+/// (the paper's notation for elements of `Q = Qi × Qo`).
+///
+/// `Clone`/`Eq`/`Hash` are implemented manually: deriving them would
+/// put bounds on `A` itself, but only the associated alphabets (which
+/// the [`UqAdt`] trait already bounds) are stored.
+pub struct Query<A: UqAdt> {
+    /// The query input (what was asked).
+    pub input: A::QueryIn,
+    /// The query output (what was returned).
+    pub output: A::QueryOut,
+}
+
+impl<A: UqAdt> Clone for Query<A> {
+    fn clone(&self) -> Self {
+        Query {
+            input: self.input.clone(),
+            output: self.output.clone(),
+        }
+    }
+}
+
+impl<A: UqAdt> PartialEq for Query<A> {
+    fn eq(&self, other: &Self) -> bool {
+        self.input == other.input && self.output == other.output
+    }
+}
+
+impl<A: UqAdt> Eq for Query<A> {}
+
+impl<A: UqAdt> std::hash::Hash for Query<A> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.input.hash(state);
+        self.output.hash(state);
+    }
+}
+
+impl<A: UqAdt> Query<A> {
+    /// Build a `qi/qo` letter.
+    pub fn new(input: A::QueryIn, output: A::QueryOut) -> Self {
+        Query { input, output }
+    }
+}
+
+impl<A: UqAdt> fmt::Debug for Query<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}/{:?}", self.input, self.output)
+    }
+}
+
+/// One letter of a sequential history: an update or a `qi/qo` query.
+pub enum Op<A: UqAdt> {
+    /// An update `u ∈ U`.
+    Update(A::Update),
+    /// A query `qi/qo ∈ Q`.
+    Query(Query<A>),
+}
+
+impl<A: UqAdt> Clone for Op<A> {
+    fn clone(&self) -> Self {
+        match self {
+            Op::Update(u) => Op::Update(u.clone()),
+            Op::Query(q) => Op::Query(q.clone()),
+        }
+    }
+}
+
+impl<A: UqAdt> PartialEq for Op<A> {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Op::Update(a), Op::Update(b)) => a == b,
+            (Op::Query(a), Op::Query(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl<A: UqAdt> Eq for Op<A> {}
+
+impl<A: UqAdt> std::hash::Hash for Op<A> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Op::Update(u) => {
+                state.write_u8(0);
+                u.hash(state);
+            }
+            Op::Query(q) => {
+                state.write_u8(1);
+                q.hash(state);
+            }
+        }
+    }
+}
+
+impl<A: UqAdt> Op<A> {
+    /// Build a query letter.
+    pub fn query(input: A::QueryIn, output: A::QueryOut) -> Self {
+        Op::Query(Query::new(input, output))
+    }
+
+    /// Build an update letter.
+    pub fn update(u: A::Update) -> Self {
+        Op::Update(u)
+    }
+
+    /// Is this an update letter?
+    pub fn is_update(&self) -> bool {
+        matches!(self, Op::Update(_))
+    }
+
+    /// Is this a query letter?
+    pub fn is_query(&self) -> bool {
+        matches!(self, Op::Query(_))
+    }
+
+    /// The update payload, if any.
+    pub fn as_update(&self) -> Option<&A::Update> {
+        match self {
+            Op::Update(u) => Some(u),
+            Op::Query(_) => None,
+        }
+    }
+
+    /// The query payload, if any.
+    pub fn as_query(&self) -> Option<&Query<A>> {
+        match self {
+            Op::Update(_) => None,
+            Op::Query(q) => Some(q),
+        }
+    }
+}
+
+impl<A: UqAdt> fmt::Debug for Op<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Update(u) => write!(f, "{u:?}"),
+            Op::Query(q) => write!(f, "{q:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set::{SetAdt, SetQuery, SetUpdate};
+    use std::collections::BTreeSet;
+
+    type S = SetAdt<u32>;
+
+    #[test]
+    fn classification_accessors() {
+        let u: Op<S> = Op::update(SetUpdate::Insert(1));
+        let q: Op<S> = Op::query(SetQuery::Read, BTreeSet::from([1]));
+        assert!(u.is_update() && !u.is_query());
+        assert!(q.is_query() && !q.is_update());
+        assert_eq!(u.as_update(), Some(&SetUpdate::Insert(1)));
+        assert!(u.as_query().is_none());
+        assert_eq!(q.as_query().unwrap().input, SetQuery::Read);
+        assert!(q.as_update().is_none());
+    }
+
+    #[test]
+    fn debug_uses_paper_notation() {
+        let q: Op<S> = Op::query(SetQuery::Read, BTreeSet::from([1, 2]));
+        let s = format!("{q:?}");
+        assert!(s.contains('/'), "expected qi/qo notation, got {s}");
+    }
+
+    #[test]
+    fn ops_are_comparable_and_hashable() {
+        use std::collections::HashSet;
+        let mut set: HashSet<Op<S>> = HashSet::new();
+        set.insert(Op::update(SetUpdate::Insert(1)));
+        set.insert(Op::update(SetUpdate::Insert(1)));
+        set.insert(Op::update(SetUpdate::Delete(1)));
+        assert_eq!(set.len(), 2);
+    }
+}

@@ -1,0 +1,200 @@
+//! A FIFO queue with *split* operations, as prescribed by §I of the
+//! paper for operations that both mutate and return: `dequeue` is
+//! decomposed into the query `front` and the update `pop` (delete
+//! front). Under weak consistency the two halves are not atomic — the
+//! decomposition makes that explicit in the type.
+
+use crate::adt::UqAdt;
+use crate::invert::UndoableUqAdt;
+use std::collections::VecDeque;
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::marker::PhantomData;
+
+/// Update alphabet of the queue.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueUpdate<V> {
+    /// Append `v` at the back.
+    Enqueue(V),
+    /// Remove the front element (no-op on the empty queue).
+    Pop,
+}
+
+impl<V: Debug> Debug for QueueUpdate<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueueUpdate::Enqueue(v) => write!(f, "enq({v:?})"),
+            QueueUpdate::Pop => write!(f, "pop"),
+        }
+    }
+}
+
+/// Query alphabet of the queue.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueQuery {
+    /// Observe the front element.
+    Front,
+    /// Observe the length.
+    Len,
+}
+
+impl Debug for QueueQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueueQuery::Front => write!(f, "front"),
+            QueueQuery::Len => write!(f, "len"),
+        }
+    }
+}
+
+/// Query outputs of the queue.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum QueueOut<V> {
+    /// Output of [`QueueQuery::Front`].
+    Front(Option<V>),
+    /// Output of [`QueueQuery::Len`].
+    Len(usize),
+}
+
+impl<V: Debug> Debug for QueueOut<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueueOut::Front(v) => write!(f, "{v:?}"),
+            QueueOut::Len(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// The queue UQ-ADT.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueAdt<V> {
+    _marker: PhantomData<fn() -> V>,
+}
+
+impl<V> QueueAdt<V> {
+    /// An initially empty queue.
+    pub fn new() -> Self {
+        QueueAdt {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<V> UqAdt for QueueAdt<V>
+where
+    V: Clone + Debug + Eq + Hash,
+{
+    type Update = QueueUpdate<V>;
+    type QueryIn = QueueQuery;
+    type QueryOut = QueueOut<V>;
+    type State = VecDeque<V>;
+
+    fn initial(&self) -> Self::State {
+        VecDeque::new()
+    }
+
+    fn apply(&self, state: &mut Self::State, update: &Self::Update) {
+        match update {
+            QueueUpdate::Enqueue(v) => state.push_back(v.clone()),
+            QueueUpdate::Pop => {
+                state.pop_front();
+            }
+        }
+    }
+
+    fn observe(&self, state: &Self::State, query: &Self::QueryIn) -> Self::QueryOut {
+        match query {
+            QueueQuery::Front => QueueOut::Front(state.front().cloned()),
+            QueueQuery::Len => QueueOut::Len(state.len()),
+        }
+    }
+}
+
+impl<V> UndoableUqAdt for QueueAdt<V>
+where
+    V: Clone + Debug + Eq + Hash,
+{
+    /// For `Pop`: the removed front, if any. For `Enqueue`: nothing.
+    type UndoToken = QueueUndo<V>;
+
+    fn apply_with_undo(
+        &self,
+        state: &mut Self::State,
+        update: &Self::Update,
+    ) -> Self::UndoToken {
+        match update {
+            QueueUpdate::Enqueue(v) => {
+                state.push_back(v.clone());
+                QueueUndo::UnEnqueue
+            }
+            QueueUpdate::Pop => QueueUndo::UnPop(state.pop_front()),
+        }
+    }
+
+    fn undo(&self, state: &mut Self::State, token: &Self::UndoToken) {
+        match token {
+            QueueUndo::UnEnqueue => {
+                state.pop_back();
+            }
+            QueueUndo::UnPop(Some(v)) => state.push_front(v.clone()),
+            QueueUndo::UnPop(None) => {}
+        }
+    }
+}
+
+/// Undo evidence for queue updates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueueUndo<V> {
+    /// Undo an enqueue: drop the back element.
+    UnEnqueue,
+    /// Undo a pop: restore the removed front (if the queue was
+    /// non-empty).
+    UnPop(Option<V>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Q = QueueAdt<char>;
+
+    #[test]
+    fn fifo_order() {
+        let adt: Q = QueueAdt::new();
+        let s = adt.run_updates(&[
+            QueueUpdate::Enqueue('a'),
+            QueueUpdate::Enqueue('b'),
+            QueueUpdate::Pop,
+            QueueUpdate::Enqueue('c'),
+        ]);
+        assert_eq!(adt.observe(&s, &QueueQuery::Front), QueueOut::Front(Some('b')));
+        assert_eq!(adt.observe(&s, &QueueQuery::Len), QueueOut::Len(2));
+    }
+
+    #[test]
+    fn pop_on_empty_is_noop() {
+        let adt: Q = QueueAdt::new();
+        let s = adt.run_updates(&[QueueUpdate::Pop]);
+        assert_eq!(s, adt.initial());
+    }
+
+    #[test]
+    fn undo_roundtrip() {
+        let adt: Q = QueueAdt::new();
+        let mut s = adt.initial();
+        let word = [
+            QueueUpdate::Enqueue('x'),
+            QueueUpdate::Pop,
+            QueueUpdate::Pop, // empty pop
+            QueueUpdate::Enqueue('y'),
+        ];
+        let mut toks = Vec::new();
+        for u in &word {
+            toks.push(adt.apply_with_undo(&mut s, u));
+        }
+        for t in toks.iter().rev() {
+            adt.undo(&mut s, t);
+        }
+        assert_eq!(s, adt.initial());
+    }
+}

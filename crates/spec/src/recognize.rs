@@ -1,0 +1,180 @@
+//! Membership in `L(O)` — the set of sequential histories recognised
+//! by a UQ-ADT (Definition 1, closing paragraph).
+//!
+//! A finite word `w ∈ (U ∪ Q)*` is recognised iff running it from `s0`
+//! never observes a query letter `qi/qo` with `G(s, qi) ≠ qo`. The
+//! [`Runner`] checks this incrementally so the linearization searches
+//! in `uc-criteria` can extend partial words letter by letter and
+//! backtrack cheaply.
+
+use crate::adt::UqAdt;
+use crate::op::Op;
+
+/// A failed recognition step: the word left `L(O)` at `position`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mismatch {
+    /// Index of the offending letter within the word.
+    pub position: usize,
+    /// Human-readable description of the violated query.
+    pub detail: String,
+}
+
+/// Incremental recogniser for `L(O)`.
+///
+/// `Runner` owns the current state reached by the prefix consumed so
+/// far. Cloning a `Runner` snapshots the prefix state, which is how the
+/// branch-and-bound searches fork.
+#[derive(Clone, Debug)]
+pub struct Runner<'a, A: UqAdt> {
+    adt: &'a A,
+    state: A::State,
+    consumed: usize,
+}
+
+impl<'a, A: UqAdt> Runner<'a, A> {
+    /// Start recognising from the initial state `s0`.
+    pub fn new(adt: &'a A) -> Self {
+        Runner {
+            state: adt.initial(),
+            adt,
+            consumed: 0,
+        }
+    }
+
+    /// Start recognising from an explicit state (used when a stable
+    /// log prefix has already been folded into a base state).
+    pub fn from_state(adt: &'a A, state: A::State) -> Self {
+        Runner {
+            adt,
+            state,
+            consumed: 0,
+        }
+    }
+
+    /// The state reached by the consumed prefix.
+    pub fn state(&self) -> &A::State {
+        &self.state
+    }
+
+    /// Number of letters consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// Consume one letter. Updates always succeed; a query succeeds iff
+    /// its recorded output matches `G` on the current state.
+    pub fn step(&mut self, op: &Op<A>) -> Result<(), Mismatch> {
+        match op {
+            Op::Update(u) => {
+                self.adt.apply(&mut self.state, u);
+                self.consumed += 1;
+                Ok(())
+            }
+            Op::Query(q) => {
+                let got = self.adt.observe(&self.state, &q.input);
+                if got == q.output {
+                    self.consumed += 1;
+                    Ok(())
+                } else {
+                    Err(Mismatch {
+                        position: self.consumed,
+                        detail: format!(
+                            "query {:?} returned {:?} but state {:?} yields {:?}",
+                            q.input, q.output, self.state, got
+                        ),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Consume a whole word, reporting the first mismatch.
+    pub fn run<'b, I>(&mut self, word: I) -> Result<(), Mismatch>
+    where
+        I: IntoIterator<Item = &'b Op<A>>,
+        A: 'b,
+    {
+        for op in word {
+            self.step(op)?;
+        }
+        Ok(())
+    }
+}
+
+/// Is the finite word `word` in `L(O)`?
+pub fn recognizes<'b, A, I>(adt: &A, word: I) -> bool
+where
+    A: UqAdt,
+    I: IntoIterator<Item = &'b Op<A>>,
+    A: 'b,
+{
+    Runner::new(adt).run(word).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set::{SetAdt, SetQuery, SetUpdate};
+    use std::collections::BTreeSet;
+
+    type S = SetAdt<u32>;
+
+    fn ins(v: u32) -> Op<S> {
+        Op::update(SetUpdate::Insert(v))
+    }
+    fn del(v: u32) -> Op<S> {
+        Op::update(SetUpdate::Delete(v))
+    }
+    fn read(vals: &[u32]) -> Op<S> {
+        Op::query(SetQuery::Read, vals.iter().copied().collect())
+    }
+
+    #[test]
+    fn accepts_consistent_word() {
+        let adt = SetAdt::new();
+        // I(1)·I(2)·R/{1,2}·D(1)·R/{2}  (a word of L(S_N))
+        let w = [ins(1), ins(2), read(&[1, 2]), del(1), read(&[2])];
+        assert!(recognizes(&adt, &w));
+    }
+
+    #[test]
+    fn rejects_wrong_query() {
+        let adt = SetAdt::new();
+        let w = [ins(1), read(&[2])];
+        assert!(!recognizes(&adt, &w));
+    }
+
+    #[test]
+    fn mismatch_reports_position() {
+        let adt = SetAdt::new();
+        let w = [ins(1), read(&[1]), del(1), read(&[1])];
+        let err = Runner::new(&adt).run(&w).unwrap_err();
+        assert_eq!(err.position, 3);
+    }
+
+    #[test]
+    fn empty_word_is_recognised() {
+        let adt: S = SetAdt::new();
+        assert!(recognizes(&adt, &[]));
+    }
+
+    #[test]
+    fn runner_snapshot_forks_independently() {
+        let adt = SetAdt::new();
+        let mut r = Runner::new(&adt);
+        r.step(&ins(1)).unwrap();
+        let mut fork = r.clone();
+        r.step(&del(1)).unwrap();
+        fork.step(&ins(2)).unwrap();
+        assert_eq!(*r.state(), BTreeSet::new());
+        assert_eq!(*fork.state(), BTreeSet::from([1, 2]));
+    }
+
+    #[test]
+    fn from_state_continues_prefix() {
+        let adt = SetAdt::new();
+        let base = BTreeSet::from([9]);
+        let mut r = Runner::from_state(&adt, base);
+        assert!(r.step(&read(&[9])).is_ok());
+    }
+}

@@ -1,0 +1,192 @@
+//! A stack with *split* operations — the paper's own §I example:
+//! `pop` (which both returns and removes the top) is decomposed into
+//! the query `top` ("lookup top") and the update `delete-top`.
+
+use crate::adt::UqAdt;
+use crate::invert::UndoableUqAdt;
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::marker::PhantomData;
+
+/// Update alphabet of the stack.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StackUpdate<V> {
+    /// Push `v`.
+    Push(V),
+    /// Delete the top element (no-op on the empty stack).
+    DeleteTop,
+}
+
+impl<V: Debug> Debug for StackUpdate<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StackUpdate::Push(v) => write!(f, "push({v:?})"),
+            StackUpdate::DeleteTop => write!(f, "del-top"),
+        }
+    }
+}
+
+/// Query alphabet of the stack.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StackQuery {
+    /// Observe the top element.
+    Top,
+    /// Observe the depth.
+    Depth,
+}
+
+impl Debug for StackQuery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StackQuery::Top => write!(f, "top"),
+            StackQuery::Depth => write!(f, "depth"),
+        }
+    }
+}
+
+/// Query outputs of the stack.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum StackOut<V> {
+    /// Output of [`StackQuery::Top`].
+    Top(Option<V>),
+    /// Output of [`StackQuery::Depth`].
+    Depth(usize),
+}
+
+impl<V: Debug> Debug for StackOut<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StackOut::Top(v) => write!(f, "{v:?}"),
+            StackOut::Depth(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// The stack UQ-ADT.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StackAdt<V> {
+    _marker: PhantomData<fn() -> V>,
+}
+
+impl<V> StackAdt<V> {
+    /// An initially empty stack.
+    pub fn new() -> Self {
+        StackAdt {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<V> UqAdt for StackAdt<V>
+where
+    V: Clone + Debug + Eq + Hash,
+{
+    type Update = StackUpdate<V>;
+    type QueryIn = StackQuery;
+    type QueryOut = StackOut<V>;
+    type State = Vec<V>;
+
+    fn initial(&self) -> Self::State {
+        Vec::new()
+    }
+
+    fn apply(&self, state: &mut Self::State, update: &Self::Update) {
+        match update {
+            StackUpdate::Push(v) => state.push(v.clone()),
+            StackUpdate::DeleteTop => {
+                state.pop();
+            }
+        }
+    }
+
+    fn observe(&self, state: &Self::State, query: &Self::QueryIn) -> Self::QueryOut {
+        match query {
+            StackQuery::Top => StackOut::Top(state.last().cloned()),
+            StackQuery::Depth => StackOut::Depth(state.len()),
+        }
+    }
+}
+
+impl<V> UndoableUqAdt for StackAdt<V>
+where
+    V: Clone + Debug + Eq + Hash,
+{
+    /// For `DeleteTop`: the removed element, if any.
+    type UndoToken = StackUndo<V>;
+
+    fn apply_with_undo(
+        &self,
+        state: &mut Self::State,
+        update: &Self::Update,
+    ) -> Self::UndoToken {
+        match update {
+            StackUpdate::Push(v) => {
+                state.push(v.clone());
+                StackUndo::UnPush
+            }
+            StackUpdate::DeleteTop => StackUndo::UnDelete(state.pop()),
+        }
+    }
+
+    fn undo(&self, state: &mut Self::State, token: &Self::UndoToken) {
+        match token {
+            StackUndo::UnPush => {
+                state.pop();
+            }
+            StackUndo::UnDelete(Some(v)) => state.push(v.clone()),
+            StackUndo::UnDelete(None) => {}
+        }
+    }
+}
+
+/// Undo evidence for stack updates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StackUndo<V> {
+    /// Undo a push: pop the element back off.
+    UnPush,
+    /// Undo a delete-top: restore the removed element (if any).
+    UnDelete(Option<V>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type S = StackAdt<u8>;
+
+    #[test]
+    fn lifo_order() {
+        let adt: S = StackAdt::new();
+        let s = adt.run_updates(&[
+            StackUpdate::Push(1),
+            StackUpdate::Push(2),
+            StackUpdate::DeleteTop,
+            StackUpdate::Push(3),
+        ]);
+        assert_eq!(adt.observe(&s, &StackQuery::Top), StackOut::Top(Some(3)));
+        assert_eq!(adt.observe(&s, &StackQuery::Depth), StackOut::Depth(2));
+    }
+
+    #[test]
+    fn split_pop_is_lookup_then_delete() {
+        // The paper's decomposition: pop = top (query) then delete-top
+        // (update). Sequentially the pair behaves like an atomic pop.
+        let adt: S = StackAdt::new();
+        let mut s = adt.run_updates(&[StackUpdate::Push(4), StackUpdate::Push(9)]);
+        let StackOut::Top(popped) = adt.observe(&s, &StackQuery::Top) else {
+            panic!("top must answer Top");
+        };
+        adt.apply(&mut s, &StackUpdate::DeleteTop);
+        assert_eq!(popped, Some(9));
+        assert_eq!(adt.observe(&s, &StackQuery::Top), StackOut::Top(Some(4)));
+    }
+
+    #[test]
+    fn delete_top_on_empty_is_noop_and_undoable() {
+        let adt: S = StackAdt::new();
+        let mut s = adt.initial();
+        let t = adt.apply_with_undo(&mut s, &StackUpdate::DeleteTop);
+        adt.undo(&mut s, &t);
+        assert_eq!(s, adt.initial());
+    }
+}

@@ -1,0 +1,209 @@
+//! Model-based property tests: each UQ-ADT's transition system agrees
+//! with the obvious std-collection model on random operation words,
+//! and every undoable ADT satisfies the undo law on random words.
+
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use uc_spec::{
+    CounterAdt, CounterUpdate, MemoryAdt, MemoryQuery, MemoryUpdate, QueueAdt, QueueQuery,
+    QueueUpdate, SetAdt, SetQuery, SetUpdate, StackAdt, StackUpdate, UndoableUqAdt, UqAdt,
+};
+use uc_spec::queue::QueueOut;
+use uc_spec::stack::{StackOut, StackQuery};
+
+#[derive(Clone, Copy, Debug)]
+enum SetCmd {
+    Ins(u8),
+    Del(u8),
+}
+
+fn set_cmd() -> impl Strategy<Value = SetCmd> {
+    prop_oneof![(0u8..8).prop_map(SetCmd::Ins), (0u8..8).prop_map(SetCmd::Del)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The set ADT is the BTreeSet model.
+    #[test]
+    fn set_matches_btreeset_model(cmds in proptest::collection::vec(set_cmd(), 0..40)) {
+        let adt: SetAdt<u8> = SetAdt::new();
+        let mut state = adt.initial();
+        let mut model: BTreeSet<u8> = BTreeSet::new();
+        for c in cmds {
+            match c {
+                SetCmd::Ins(v) => {
+                    adt.apply(&mut state, &SetUpdate::Insert(v));
+                    model.insert(v);
+                }
+                SetCmd::Del(v) => {
+                    adt.apply(&mut state, &SetUpdate::Delete(v));
+                    model.remove(&v);
+                }
+            }
+            prop_assert_eq!(&adt.observe(&state, &SetQuery::Read), &model);
+        }
+    }
+
+    /// The counter ADT is i64 addition.
+    #[test]
+    fn counter_matches_sum(deltas in proptest::collection::vec(-100i64..100, 0..40)) {
+        let adt = CounterAdt;
+        let mut state = adt.initial();
+        let mut model = 0i64;
+        for d in deltas {
+            adt.apply(&mut state, &CounterUpdate::Add(d));
+            model = model.wrapping_add(d);
+            prop_assert_eq!(state, model);
+        }
+    }
+
+    /// The queue ADT is the VecDeque model.
+    #[test]
+    fn queue_matches_vecdeque_model(
+        cmds in proptest::collection::vec(
+            prop_oneof![(0u8..10).prop_map(Some), Just(None)], 0..40
+        )
+    ) {
+        let adt: QueueAdt<u8> = QueueAdt::new();
+        let mut state = adt.initial();
+        let mut model: VecDeque<u8> = VecDeque::new();
+        for c in cmds {
+            match c {
+                Some(v) => {
+                    adt.apply(&mut state, &QueueUpdate::Enqueue(v));
+                    model.push_back(v);
+                }
+                None => {
+                    adt.apply(&mut state, &QueueUpdate::Pop);
+                    model.pop_front();
+                }
+            }
+            prop_assert_eq!(
+                adt.observe(&state, &QueueQuery::Front),
+                QueueOut::Front(model.front().copied())
+            );
+            prop_assert_eq!(
+                adt.observe(&state, &QueueQuery::Len),
+                QueueOut::Len(model.len())
+            );
+        }
+    }
+
+    /// The stack ADT is the Vec model.
+    #[test]
+    fn stack_matches_vec_model(
+        cmds in proptest::collection::vec(
+            prop_oneof![(0u8..10).prop_map(Some), Just(None)], 0..40
+        )
+    ) {
+        let adt: StackAdt<u8> = StackAdt::new();
+        let mut state = adt.initial();
+        let mut model: Vec<u8> = Vec::new();
+        for c in cmds {
+            match c {
+                Some(v) => {
+                    adt.apply(&mut state, &StackUpdate::Push(v));
+                    model.push(v);
+                }
+                None => {
+                    adt.apply(&mut state, &StackUpdate::DeleteTop);
+                    model.pop();
+                }
+            }
+            prop_assert_eq!(
+                adt.observe(&state, &StackQuery::Top),
+                StackOut::Top(model.last().copied())
+            );
+        }
+    }
+
+    /// The memory ADT is the BTreeMap model (with v0 default).
+    #[test]
+    fn memory_matches_btreemap_model(
+        writes in proptest::collection::vec((0u8..6, 0u16..100), 0..40)
+    ) {
+        let adt: MemoryAdt<u8, u16> = MemoryAdt::new(0);
+        let mut state = adt.initial();
+        let mut model: BTreeMap<u8, u16> = BTreeMap::new();
+        for (x, v) in writes {
+            adt.apply(&mut state, &MemoryUpdate { register: x, value: v });
+            model.insert(x, v);
+            for probe in 0..6u8 {
+                prop_assert_eq!(
+                    adt.observe(&state, &MemoryQuery(probe)),
+                    model.get(&probe).copied().unwrap_or(0)
+                );
+            }
+        }
+    }
+
+    /// LIFO undo of any word restores the initial state — the law the
+    /// Karsenty-style variant relies on (set).
+    #[test]
+    fn set_undo_law(cmds in proptest::collection::vec(set_cmd(), 0..30)) {
+        let adt: SetAdt<u8> = SetAdt::new();
+        let mut state = adt.initial();
+        let mut toks = Vec::new();
+        for c in &cmds {
+            let u = match c {
+                SetCmd::Ins(v) => SetUpdate::Insert(*v),
+                SetCmd::Del(v) => SetUpdate::Delete(*v),
+            };
+            toks.push(adt.apply_with_undo(&mut state, &u));
+        }
+        for t in toks.iter().rev() {
+            adt.undo(&mut state, t);
+        }
+        prop_assert_eq!(state, adt.initial());
+    }
+
+    /// Same undo law for the memory ADT.
+    #[test]
+    fn memory_undo_law(writes in proptest::collection::vec((0u8..6, 0u16..10), 0..30)) {
+        let adt: MemoryAdt<u8, u16> = MemoryAdt::new(0);
+        let mut state = adt.initial();
+        let mut toks = Vec::new();
+        for (x, v) in &writes {
+            toks.push(adt.apply_with_undo(
+                &mut state,
+                &MemoryUpdate { register: *x, value: *v },
+            ));
+        }
+        for t in toks.iter().rev() {
+            adt.undo(&mut state, t);
+        }
+        prop_assert_eq!(state, adt.initial());
+    }
+
+    /// Undo applied mid-word restores exactly the pre-suffix state
+    /// (the actual pattern UndoReplica uses).
+    #[test]
+    fn set_partial_undo_restores_prefix_state(
+        prefix in proptest::collection::vec(set_cmd(), 0..15),
+        suffix in proptest::collection::vec(set_cmd(), 0..15),
+    ) {
+        let adt: SetAdt<u8> = SetAdt::new();
+        let mut state = adt.initial();
+        for c in &prefix {
+            let u = match c {
+                SetCmd::Ins(v) => SetUpdate::Insert(*v),
+                SetCmd::Del(v) => SetUpdate::Delete(*v),
+            };
+            adt.apply(&mut state, &u);
+        }
+        let checkpoint = state.clone();
+        let mut toks = Vec::new();
+        for c in &suffix {
+            let u = match c {
+                SetCmd::Ins(v) => SetUpdate::Insert(*v),
+                SetCmd::Del(v) => SetUpdate::Delete(*v),
+            };
+            toks.push(adt.apply_with_undo(&mut state, &u));
+        }
+        for t in toks.iter().rev() {
+            adt.undo(&mut state, t);
+        }
+        prop_assert_eq!(state, checkpoint);
+    }
+}

@@ -1,0 +1,49 @@
+//! # update-consistency
+//!
+//! A reproduction of *Update Consistency for Wait-free Concurrent
+//! Objects* (Perrin, Mostéfaoui, Jard — IPDPS 2015) as a Rust
+//! workspace. This facade crate re-exports the public API of every
+//! workspace crate; see the README for the architecture overview and
+//! `EXPERIMENTS.md` for the paper-versus-measured record.
+//!
+//! * [`spec`] — UQ-ADT formalism and sequential specifications;
+//! * [`history`] — distributed histories as labelled partial orders;
+//! * [`criteria`] — decision procedures for EC / SEC / PC / UC / SUC;
+//! * [`sim`] — wait-free asynchronous message-passing substrate;
+//! * [`core`] — the paper's Algorithm 1 & 2 and their optimised
+//!   variants;
+//! * [`crdt`] — the eventually consistent baselines of §VI.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use update_consistency::core::{GenericReplica, UqReplica};
+//! use update_consistency::spec::{SetAdt, SetUpdate, SetQuery};
+//!
+//! // Two replicas of the paper's replicated set (Example 1).
+//! let mut a = GenericReplica::new(SetAdt::<u32>::new(), 0);
+//! let mut b = GenericReplica::new(SetAdt::<u32>::new(), 1);
+//!
+//! // Concurrent conflicting updates, each applied locally without
+//! // waiting (wait-freedom).
+//! let ma = a.update(SetUpdate::Insert(1));
+//! let mb = b.update(SetUpdate::Delete(1));
+//!
+//! // Cross-delivery in any order...
+//! a.on_deliver(&mb);
+//! b.on_deliver(&ma);
+//!
+//! // ...converges both replicas onto the same linearization of the
+//! // updates (update consistency).
+//! assert_eq!(a.query(&SetQuery::Read), b.query(&SetQuery::Read));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use uc_core as core;
+pub use uc_crdt as crdt;
+pub use uc_criteria as criteria;
+pub use uc_history as history;
+pub use uc_sim as sim;
+pub use uc_spec as spec;

@@ -1,0 +1,165 @@
+//! Experiment E5 (Proposition 4): every history produced by
+//! Algorithm 1 — under random schedules, adversarial delays, and
+//! crashes — is strong update consistent. Verified two ways:
+//! polynomially against the replica's own witness, and (on small
+//! histories) by the independent SUC search.
+
+use update_consistency::core::{trace_to_history, GenericReplica, OmegaMarking, OpInput, ReplicaNode};
+use update_consistency::criteria::{check_suc, verify_witness};
+use update_consistency::sim::{LatencyModel, Pid, SimConfig, Simulation, SplitMix64};
+use update_consistency::spec::{SetAdt, SetQuery, SetUpdate};
+
+type Node = ReplicaNode<SetAdt<u32>, GenericReplica<SetAdt<u32>>>;
+
+fn make_sim(n: usize, seed: u64, latency: LatencyModel) -> Simulation<Node> {
+    Simulation::new(
+        SimConfig {
+            n,
+            seed,
+            latency,
+            fifo_links: false,
+        },
+        |pid| ReplicaNode::traced(GenericReplica::new(SetAdt::new(), pid)),
+    )
+}
+
+/// Drive a random schedule and return the verified trace.
+fn run_and_verify(n: usize, seed: u64, updates: usize, mid_queries: usize) {
+    let mut rng = SplitMix64::new(seed ^ 0xABCD);
+    let mut sim = make_sim(n, seed, LatencyModel::Uniform(3, 120));
+    let mut t = 0;
+    for i in 0..updates {
+        t += rng.next_below(20);
+        let pid = rng.next_below(n as u64) as Pid;
+        let elem = rng.next_below(5) as u32;
+        let op = if rng.next_below(3) == 0 {
+            SetUpdate::Delete(elem)
+        } else {
+            SetUpdate::Insert(elem)
+        };
+        sim.schedule_invoke(t, pid, OpInput::Update(op));
+        if i < mid_queries {
+            // interleave queries while messages are in flight
+            sim.schedule_invoke(t + 1, (pid + 1) % n as Pid, OpInput::Query(SetQuery::Read));
+        }
+    }
+    sim.run_to_quiescence();
+    // Post-quiescence reads everywhere (the ω tails).
+    let end = sim.now() + 1;
+    for p in 0..n as Pid {
+        sim.schedule_invoke(end + p as u64, p, OpInput::Query(SetQuery::Read));
+    }
+    sim.run_to_quiescence();
+
+    let (h, w) = trace_to_history(SetAdt::<u32>::new(), n, sim.records(), OmegaMarking::FinalQueries)
+        .expect("trace converts");
+    verify_witness(&h, &w).unwrap_or_else(|e| {
+        panic!("seed {seed}: Algorithm 1 trace failed SUC witness check: {e}\n{h:?}")
+    });
+}
+
+#[test]
+fn random_schedules_are_suc_many_seeds() {
+    for seed in 0..25 {
+        run_and_verify(3, seed, 12, 4);
+    }
+}
+
+#[test]
+fn larger_clusters_are_suc() {
+    for seed in [1, 7, 99] {
+        run_and_verify(6, seed, 18, 6);
+    }
+}
+
+#[test]
+fn adversarial_isolation_is_still_suc() {
+    // The Prop. 1 adversary: all cross traffic withheld while both
+    // processes read — stale reads are fine for SUC (they see fewer
+    // updates), convergence happens after release.
+    let mut sim = make_sim(
+        2,
+        3,
+        LatencyModel::Adversarial {
+            release: 1_000,
+            lo: 1,
+            hi: 5,
+        },
+    );
+    sim.schedule_invoke(0, 0, OpInput::Update(SetUpdate::Insert(1)));
+    sim.schedule_invoke(0, 1, OpInput::Update(SetUpdate::Insert(2)));
+    sim.schedule_invoke(5, 0, OpInput::Query(SetQuery::Read)); // sees {1}
+    sim.schedule_invoke(5, 1, OpInput::Query(SetQuery::Read)); // sees {2}
+    sim.run_to_quiescence();
+    let end = sim.now() + 1;
+    for p in 0..2 {
+        sim.schedule_invoke(end + p as u64, p, OpInput::Query(SetQuery::Read));
+    }
+    sim.run_to_quiescence();
+    let (h, w) = trace_to_history(SetAdt::<u32>::new(), 2, sim.records(), OmegaMarking::FinalQueries).unwrap();
+    assert_eq!(verify_witness(&h, &w), Ok(()));
+    // Cross-check with the independent exponential search.
+    assert!(check_suc(&h).holds(), "search must agree with witness");
+}
+
+#[test]
+fn crashes_preserve_suc_for_survivors() {
+    let mut sim = make_sim(4, 11, LatencyModel::Uniform(5, 60));
+    sim.schedule_crash(30, 3);
+    let mut rng = SplitMix64::new(77);
+    let mut t = 0;
+    for _ in 0..14 {
+        t += rng.next_below(12);
+        let pid = rng.next_below(4) as Pid;
+        let elem = rng.next_below(4) as u32;
+        sim.schedule_invoke(t, pid, OpInput::Update(SetUpdate::Insert(elem)));
+    }
+    sim.run_to_quiescence();
+    let end = sim.now() + 1;
+    for p in 0..3 {
+        // survivors only — the crashed process issues nothing
+        sim.schedule_invoke(end + p as u64, p, OpInput::Query(SetQuery::Read));
+    }
+    sim.run_to_quiescence();
+    // ω-flag survivors only: the crashed process's pre-crash events
+    // carry no eventual-delivery obligation.
+    let (h, w) = trace_to_history(
+        SetAdt::<u32>::new(),
+        4,
+        sim.records(),
+        OmegaMarking::FinalQueriesOf(&[0, 1, 2]),
+    )
+    .unwrap();
+    assert_eq!(verify_witness(&h, &w), Ok(()));
+}
+
+#[test]
+fn search_and_witness_agree_on_small_traces() {
+    // Independent validation: on small traces the exponential SUC
+    // search must agree with the witness check.
+    for seed in 0..8 {
+        let mut sim = make_sim(2, seed, LatencyModel::Uniform(2, 40));
+        let mut rng = SplitMix64::new(seed);
+        let mut t = 0;
+        for _ in 0..4 {
+            t += rng.next_below(15);
+            let pid = rng.next_below(2) as Pid;
+            let elem = rng.next_below(3) as u32;
+            let op = if rng.next_below(2) == 0 {
+                SetUpdate::Delete(elem)
+            } else {
+                SetUpdate::Insert(elem)
+            };
+            sim.schedule_invoke(t, pid, OpInput::Update(op));
+        }
+        sim.run_to_quiescence();
+        let end = sim.now() + 1;
+        for p in 0..2 {
+            sim.schedule_invoke(end + p as u64, p, OpInput::Query(SetQuery::Read));
+        }
+        sim.run_to_quiescence();
+        let (h, w) = trace_to_history(SetAdt::<u32>::new(), 2, sim.records(), OmegaMarking::FinalQueries).unwrap();
+        assert_eq!(verify_witness(&h, &w), Ok(()), "seed {seed}");
+        assert!(check_suc(&h).holds(), "seed {seed}: search disagrees");
+    }
+}

@@ -1,0 +1,73 @@
+//! Experiment E1: the classification matrix of Fig. 1a–d and Fig. 2
+//! must match the paper exactly, for every criterion it defines.
+
+use update_consistency::criteria::matrix::{classify, CRITERIA};
+use update_consistency::criteria::CheckConfig;
+use update_consistency::history::paper;
+
+#[test]
+fn every_figure_classifies_exactly_as_the_paper_states() {
+    let cfg = CheckConfig::default();
+    for fig in paper::all_figures() {
+        let row = classify(fig.name, fig.caption, &fig.history, &cfg);
+        let expected = [
+            ("EC", fig.expected.ec),
+            ("SEC", fig.expected.sec),
+            ("PC", fig.expected.pc),
+            ("UC", fig.expected.uc),
+            ("SUC", fig.expected.suc),
+        ];
+        for (criterion, want) in expected {
+            let got = row.verdict(criterion).unwrap();
+            assert!(
+                !matches!(got, update_consistency::criteria::Verdict::Unsupported(_)),
+                "{} {criterion} must be decidable",
+                fig.name
+            );
+            assert_eq!(
+                got.holds(),
+                want,
+                "{} under {criterion}: paper says {want}, checker says {got:?}",
+                fig.name
+            );
+        }
+    }
+}
+
+#[test]
+fn figure_captions_are_tight() {
+    // The caption of each figure names the *strongest* criteria that
+    // hold; verify the claimed separations are strict:
+    // 1a separates EC from SEC∧UC; 1b separates SEC from UC;
+    // 1c separates SEC∧UC from SUC; 1d separates SUC from PC;
+    // 2 separates PC from EC.
+    let figs = paper::all_figures();
+    let by_name = |n: &str| figs.iter().find(|f| f.name == n).unwrap();
+
+    let a = by_name("Fig. 1a");
+    assert!(a.expected.ec && !a.expected.sec && !a.expected.uc);
+    let b = by_name("Fig. 1b");
+    assert!(b.expected.sec && !b.expected.uc);
+    let c = by_name("Fig. 1c");
+    assert!(c.expected.sec && c.expected.uc && !c.expected.suc);
+    let d = by_name("Fig. 1d");
+    assert!(d.expected.suc && !d.expected.pc);
+    let f2 = by_name("Fig. 2");
+    assert!(f2.expected.pc && !f2.expected.ec);
+}
+
+#[test]
+fn matrix_renders_all_criteria_columns() {
+    let cfg = CheckConfig::default();
+    let rows: Vec<_> = paper::all_figures()
+        .iter()
+        .map(|f| classify(f.name, f.caption, &f.history, &cfg))
+        .collect();
+    let table = update_consistency::criteria::matrix::render(&rows);
+    for c in CRITERIA {
+        assert!(table.contains(c), "missing column {c}:\n{table}");
+    }
+    for f in paper::all_figures() {
+        assert!(table.contains(f.name), "missing row {}:\n{table}", f.name);
+    }
+}

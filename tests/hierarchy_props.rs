@@ -1,0 +1,211 @@
+//! Experiments E3/E4: Propositions 2 and 3 as properties over random
+//! histories.
+//!
+//! * Prop. 2: UC ⟹ EC, and SUC ⟹ SEC ∧ UC;
+//! * Prop. 3: SUC (for the set) ⟹ SEC for the Insert-wins set;
+//! * calibration: SC ⟹ SUC.
+//!
+//! Histories are random: 2–3 processes, each a short word of
+//! inserts/deletes/reads over a 2-element universe, optionally ending
+//! in an ω-read. Outputs are random subsets, so the samples cover
+//! consistent and inconsistent histories alike.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use update_consistency::criteria::{
+    check_ec, check_insert_wins, check_pc, check_sc, check_sec, check_suc, check_uc, Verdict,
+};
+use update_consistency::history::{History, HistoryBuilder};
+use update_consistency::spec::{SetAdt, SetQuery, SetUpdate};
+
+#[derive(Clone, Debug)]
+enum OpSpec {
+    Ins(u32),
+    Del(u32),
+    Read(u8), // bitmask over {1,2}
+}
+
+#[derive(Clone, Debug)]
+struct ProcSpec {
+    ops: Vec<OpSpec>,
+    omega_read: Option<u8>,
+}
+
+fn mask_to_set(mask: u8) -> BTreeSet<u32> {
+    let mut s = BTreeSet::new();
+    if mask & 1 != 0 {
+        s.insert(1);
+    }
+    if mask & 2 != 0 {
+        s.insert(2);
+    }
+    s
+}
+
+fn op_strategy() -> impl Strategy<Value = OpSpec> {
+    prop_oneof![
+        (1u32..=2).prop_map(OpSpec::Ins),
+        (1u32..=2).prop_map(OpSpec::Del),
+        (0u8..4).prop_map(OpSpec::Read),
+    ]
+}
+
+fn proc_strategy() -> impl Strategy<Value = ProcSpec> {
+    (
+        proptest::collection::vec(op_strategy(), 0..3),
+        proptest::option::of(0u8..4),
+    )
+        .prop_map(|(ops, omega_read)| ProcSpec { ops, omega_read })
+}
+
+fn build(procs: &[ProcSpec]) -> History<SetAdt<u32>> {
+    let mut b = HistoryBuilder::new(SetAdt::<u32>::new());
+    for spec in procs {
+        let p = b.process();
+        for op in &spec.ops {
+            match op {
+                OpSpec::Ins(v) => {
+                    b.update(p, SetUpdate::Insert(*v));
+                }
+                OpSpec::Del(v) => {
+                    b.update(p, SetUpdate::Delete(*v));
+                }
+                OpSpec::Read(m) => {
+                    b.query(p, SetQuery::Read, mask_to_set(*m));
+                }
+            }
+        }
+        if let Some(m) = spec.omega_read {
+            b.omega_query(p, SetQuery::Read, mask_to_set(m));
+        }
+    }
+    b.build().expect("random histories stay under the event cap")
+}
+
+fn decided(v: &Verdict) -> Option<bool> {
+    match v {
+        Verdict::Holds(_) => Some(true),
+        Verdict::Fails(_) => Some(false),
+        Verdict::Unsupported(_) => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Proposition 2, first half: update consistency implies eventual
+    /// consistency.
+    #[test]
+    fn uc_implies_ec(procs in proptest::collection::vec(proc_strategy(), 2..=3)) {
+        let h = build(&procs);
+        if let (Some(uc), Some(ec)) = (decided(&check_uc(&h)), decided(&check_ec(&h))) {
+            prop_assert!(!uc || ec, "UC held but EC failed on {h:?}");
+        }
+    }
+
+    /// Proposition 2, second half: strong update consistency implies
+    /// both strong eventual consistency and update consistency.
+    #[test]
+    fn suc_implies_sec_and_uc(procs in proptest::collection::vec(proc_strategy(), 2..=3)) {
+        let h = build(&procs);
+        if let Some(true) = decided(&check_suc(&h)) {
+            prop_assert!(
+                decided(&check_sec(&h)) == Some(true),
+                "SUC held but SEC failed on {h:?}"
+            );
+            prop_assert!(
+                decided(&check_uc(&h)) == Some(true),
+                "SUC held but UC failed on {h:?}"
+            );
+        }
+    }
+
+    /// Proposition 3: a strong update consistent set history is strong
+    /// eventually consistent for the Insert-wins set.
+    #[test]
+    fn suc_implies_insert_wins(procs in proptest::collection::vec(proc_strategy(), 2..=2)) {
+        let h = build(&procs);
+        if let Some(true) = decided(&check_suc(&h)) {
+            prop_assert!(
+                decided(&check_insert_wins(&h)) == Some(true),
+                "SUC held but Insert-wins failed on {h:?}"
+            );
+        }
+    }
+
+    /// Calibration: sequential consistency implies strong update
+    /// consistency (the paper places UC strictly between EC and SC).
+    #[test]
+    fn sc_implies_suc(procs in proptest::collection::vec(proc_strategy(), 2..=2)) {
+        let h = build(&procs);
+        if let Some(true) = decided(&check_sc(&h)) {
+            prop_assert!(
+                decided(&check_suc(&h)) == Some(true),
+                "SC held but SUC failed on {h:?}"
+            );
+        }
+    }
+
+    /// Sequential consistency also implies pipelined consistency.
+    #[test]
+    fn sc_implies_pc(procs in proptest::collection::vec(proc_strategy(), 2..=2)) {
+        let h = build(&procs);
+        if let Some(true) = decided(&check_sc(&h)) {
+            prop_assert!(
+                decided(&check_pc(&h)) == Some(true),
+                "SC held but PC failed on {h:?}"
+            );
+        }
+    }
+
+    /// Sanity: the empty/update-only histories are always UC and EC
+    /// (no ω constraints to violate).
+    #[test]
+    fn update_only_histories_always_uc(
+        ops in proptest::collection::vec((0u32..2, any::<bool>()), 0..6)
+    ) {
+        let mut b = HistoryBuilder::new(SetAdt::<u32>::new());
+        let p0 = b.process();
+        let p1 = b.process();
+        for (i, (v, ins)) in ops.iter().enumerate() {
+            let p = if i % 2 == 0 { p0 } else { p1 };
+            let u = if *ins {
+                SetUpdate::Insert(*v + 1)
+            } else {
+                SetUpdate::Delete(*v + 1)
+            };
+            b.update(p, u);
+        }
+        let h = b.build().unwrap();
+        prop_assert!(check_uc(&h).holds());
+        prop_assert!(check_ec(&h).holds());
+    }
+}
+
+/// The reverse implications are *refuted* by the paper's own figures —
+/// pin them as counterexamples (deterministic, not property-based).
+#[test]
+fn reverse_implications_fail_on_paper_figures() {
+    use update_consistency::history::paper;
+    let fig1a = paper::fig1a(); // EC but not UC
+    assert!(check_ec(&fig1a.history).holds());
+    assert!(check_uc(&fig1a.history).fails());
+
+    let fig1b = paper::fig1b(); // SEC but not UC (so not SUC)
+    assert!(check_sec(&fig1b.history).holds());
+    assert!(check_suc(&fig1b.history).fails());
+
+    let fig1c = paper::fig1c(); // SEC ∧ UC but not SUC
+    assert!(check_sec(&fig1c.history).holds());
+    assert!(check_uc(&fig1c.history).holds());
+    assert!(check_suc(&fig1c.history).fails());
+
+    let fig1d = paper::fig1d(); // SUC but not PC (so SUC ⇏ SC)
+    assert!(check_suc(&fig1d.history).holds());
+    assert!(check_pc(&fig1d.history).fails());
+    assert!(check_sc(&fig1d.history).fails());
+
+    let fig2 = paper::fig2(); // PC but not EC
+    assert!(check_pc(&fig2.history).holds());
+    assert!(check_ec(&fig2.history).fails());
+}

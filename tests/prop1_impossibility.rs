@@ -1,0 +1,129 @@
+//! Experiment E2 — Proposition 1, exercised operationally.
+//!
+//! The proof: under an adversary that withholds all cross-traffic,
+//! wait-free replicas must answer their first reads from local
+//! knowledge alone; pipelined consistency then pins each process's
+//! future linearization, forcing the two processes into ω-languages
+//! that converge to *different* states — so no algorithm provides
+//! pipelined consistency *and* eventual consistency.
+//!
+//! We run the Fig. 2 program against Algorithm 1 under exactly that
+//! adversary and verify (a) the forced local first-reads, (b) that the
+//! system chooses convergence: the resulting trace violates pipelined
+//! consistency precisely where the proof says any convergent object
+//! must.
+
+use std::collections::BTreeSet;
+use update_consistency::core::{trace_to_history, GenericReplica, OmegaMarking, OpInput, OpOutput, ReplicaNode};
+use update_consistency::criteria::{check_ec, check_pc};
+use update_consistency::history::paper;
+use update_consistency::sim::{LatencyModel, SimConfig, Simulation};
+use update_consistency::spec::{SetAdt, SetQuery, SetUpdate};
+
+fn read(vals: &[u32]) -> BTreeSet<u32> {
+    vals.iter().copied().collect()
+}
+
+#[test]
+fn fig2_history_is_pc_but_not_ec() {
+    // The specification side: the paper's Fig. 2 history itself.
+    let fig = paper::fig2();
+    assert!(check_pc(&fig.history).holds());
+    assert!(check_ec(&fig.history).fails());
+}
+
+#[test]
+fn wait_free_first_reads_are_forced_local() {
+    // p0 runs I(1)·I(3)·R; p1 runs I(2)·D(3)·R, all before any
+    // cross-message is released. Wait-freedom forces R={1,3} and
+    // R={2}: a process cannot distinguish a crashed peer from a slow
+    // link (the proof's indistinguishability argument).
+    let mut sim = Simulation::new(
+        SimConfig {
+            n: 2,
+            seed: 1,
+            latency: LatencyModel::Adversarial {
+                release: 1_000,
+                lo: 1,
+                hi: 3,
+            },
+            fifo_links: true,
+        },
+        |pid| ReplicaNode::traced(GenericReplica::new(SetAdt::<u32>::new(), pid)),
+    );
+    sim.schedule_invoke(0, 0, OpInput::Update(SetUpdate::Insert(1)));
+    sim.schedule_invoke(1, 0, OpInput::Update(SetUpdate::Insert(3)));
+    sim.schedule_invoke(0, 1, OpInput::Update(SetUpdate::Insert(2)));
+    sim.schedule_invoke(1, 1, OpInput::Update(SetUpdate::Delete(3)));
+    sim.run_until(5);
+    let r0 = sim.invoke_now(0, OpInput::Query(SetQuery::Read)).unwrap();
+    let r1 = sim.invoke_now(1, OpInput::Query(SetQuery::Read)).unwrap();
+    let OpOutput::Value { out: out0, .. } = r0 else { panic!() };
+    let OpOutput::Value { out: out1, .. } = r1 else { panic!() };
+    assert_eq!(out0, read(&[1, 3]), "p0 must answer from local knowledge");
+    assert_eq!(out1, read(&[2]), "p1 must answer from local knowledge");
+
+    // Release the adversary; the object being (strong) update
+    // consistent, it chooses convergence over pipelining.
+    sim.run_to_quiescence();
+    let t = sim.now() + 1;
+    sim.schedule_invoke(t, 0, OpInput::Query(SetQuery::Read));
+    sim.schedule_invoke(t + 1, 1, OpInput::Query(SetQuery::Read));
+    sim.run_to_quiescence();
+
+    let (h, _) = trace_to_history(SetAdt::<u32>::new(), 2, sim.records(), OmegaMarking::FinalQueries).unwrap();
+    // Convergence achieved (EC holds on the trace)…
+    assert!(check_ec(&h).holds(), "Algorithm 1 must converge");
+    // …therefore pipelined consistency is violated, exactly as
+    // Proposition 1 dictates for any convergent wait-free object under
+    // this adversary: p1 read {2} but the converged state contains 3's
+    // fate decided by the global timestamp order, contradicting p1's
+    // local D(3)-then-read sequence, or p0's I(3)-then-read one.
+    assert!(
+        check_pc(&h).fails(),
+        "a convergent object cannot stay pipelined consistent here: {h:?}"
+    );
+}
+
+#[test]
+fn convergence_and_pipelining_exclude_each_other_across_seeds() {
+    // Sweep adversarial release times and seeds: every converged run
+    // of the Fig. 2 program violates PC; no run may satisfy both.
+    for seed in 0..6 {
+        for release in [100, 500, 2_000] {
+            let mut sim = Simulation::new(
+                SimConfig {
+                    n: 2,
+                    seed,
+                    latency: LatencyModel::Adversarial {
+                        release,
+                        lo: 1,
+                        hi: 4,
+                    },
+                    fifo_links: true,
+                },
+                |pid| ReplicaNode::traced(GenericReplica::new(SetAdt::<u32>::new(), pid)),
+            );
+            sim.schedule_invoke(0, 0, OpInput::Update(SetUpdate::Insert(1)));
+            sim.schedule_invoke(1, 0, OpInput::Update(SetUpdate::Insert(3)));
+            sim.schedule_invoke(2, 0, OpInput::Query(SetQuery::Read));
+            sim.schedule_invoke(0, 1, OpInput::Update(SetUpdate::Insert(2)));
+            sim.schedule_invoke(1, 1, OpInput::Update(SetUpdate::Delete(3)));
+            sim.schedule_invoke(2, 1, OpInput::Query(SetQuery::Read));
+            sim.run_to_quiescence();
+            let t = sim.now() + 1;
+            sim.schedule_invoke(t, 0, OpInput::Query(SetQuery::Read));
+            sim.schedule_invoke(t + 1, 1, OpInput::Query(SetQuery::Read));
+            sim.run_to_quiescence();
+            let (h, _) =
+                trace_to_history(SetAdt::<u32>::new(), 2, sim.records(), OmegaMarking::FinalQueries).unwrap();
+            let ec = check_ec(&h);
+            let pc = check_pc(&h);
+            assert!(ec.holds(), "seed {seed} release {release}: no convergence");
+            assert!(
+                !(ec.holds() && pc.holds()),
+                "seed {seed} release {release}: pipelined convergence is impossible"
+            );
+        }
+    }
+}

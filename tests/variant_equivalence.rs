@@ -1,0 +1,174 @@
+//! The §VII-C optimisation variants are *behaviourally invisible*:
+//! run the naive, checkpointed and undo-based replicas through the
+//! same adversarial simulations and verify identical converged states
+//! and SUC-verifiable traces. Optimisations may change cost profiles
+//! (benched in E8), never outcomes.
+
+use std::collections::BTreeSet;
+use update_consistency::core::{
+    trace_to_history, CachedReplica, GenericReplica, OmegaMarking, OpInput, Replica,
+    ReplicaNode, UndoReplica,
+};
+use update_consistency::criteria::verify_witness;
+use update_consistency::sim::{LatencyModel, Pid, Protocol, SimConfig, Simulation, SplitMix64};
+use update_consistency::spec::{SetAdt, SetQuery, SetUpdate};
+
+fn schedule(sim: &mut Simulation<impl Protocol<Input = OpInput<SetAdt<u32>>>>, seed: u64, n: usize) {
+    let mut rng = SplitMix64::new(seed ^ 0x5EED);
+    let mut t = 0;
+    for i in 0..20 {
+        t += rng.next_below(15);
+        let pid = rng.next_below(n as u64) as Pid;
+        let elem = rng.next_below(6) as u32;
+        let op = if rng.next_below(3) == 0 {
+            SetUpdate::Delete(elem)
+        } else {
+            SetUpdate::Insert(elem)
+        };
+        sim.schedule_invoke(t, pid, OpInput::Update(op));
+        if i % 4 == 0 {
+            sim.schedule_invoke(
+                t + 1,
+                rng.next_below(n as u64) as Pid,
+                OpInput::Query(SetQuery::Read),
+            );
+        }
+    }
+}
+
+fn finish(
+    sim: &mut Simulation<impl Protocol<Input = OpInput<SetAdt<u32>>>>,
+    n: usize,
+) {
+    sim.run_to_quiescence();
+    let end = sim.now() + 1;
+    for p in 0..n as Pid {
+        sim.schedule_invoke(end + p as u64, p, OpInput::Query(SetQuery::Read));
+    }
+    sim.run_to_quiescence();
+}
+
+fn cfg(n: usize, seed: u64) -> SimConfig {
+    SimConfig {
+        n,
+        seed,
+        latency: LatencyModel::Uniform(2, 90),
+        fifo_links: false,
+    }
+}
+
+#[test]
+fn all_three_variants_converge_to_the_same_states() {
+    let n = 3;
+    for seed in 0..12u64 {
+        // Identical schedules, identical network seeds → identical
+        // message orderings; the replica implementation is the only
+        // difference.
+        let mut gen_sim = Simulation::new(cfg(n, seed), |pid| {
+            ReplicaNode::traced(GenericReplica::new(SetAdt::<u32>::new(), pid))
+        });
+        schedule(&mut gen_sim, seed, n);
+        finish(&mut gen_sim, n);
+
+        let mut cache_sim = Simulation::new(cfg(n, seed), |pid| {
+            ReplicaNode::traced(CachedReplica::with_checkpoint_every(
+                SetAdt::<u32>::new(),
+                pid,
+                4,
+            ))
+        });
+        schedule(&mut cache_sim, seed, n);
+        finish(&mut cache_sim, n);
+
+        let mut undo_sim = Simulation::new(cfg(n, seed), |pid| {
+            ReplicaNode::traced(UndoReplica::new(SetAdt::<u32>::new(), pid))
+        });
+        schedule(&mut undo_sim, seed, n);
+        finish(&mut undo_sim, n);
+
+        let g: Vec<BTreeSet<u32>> = (0..n as Pid)
+            .map(|p| gen_sim.process_mut(p).replica.materialize())
+            .collect();
+        let c: Vec<BTreeSet<u32>> = (0..n as Pid)
+            .map(|p| cache_sim.process_mut(p).replica.materialize())
+            .collect();
+        let u: Vec<BTreeSet<u32>> = (0..n as Pid)
+            .map(|p| undo_sim.process_mut(p).replica.materialize())
+            .collect();
+        assert_eq!(g, c, "seed {seed}: cached variant diverged from naive");
+        assert_eq!(g, u, "seed {seed}: undo variant diverged from naive");
+        assert!(g.windows(2).all(|w| w[0] == w[1]), "seed {seed}: not converged");
+    }
+}
+
+#[test]
+fn cached_variant_traces_verify_suc() {
+    let n = 3;
+    for seed in [3u64, 17, 40] {
+        let mut sim = Simulation::new(cfg(n, seed), |pid| {
+            ReplicaNode::traced(CachedReplica::new(SetAdt::<u32>::new(), pid))
+        });
+        schedule(&mut sim, seed, n);
+        finish(&mut sim, n);
+        let (h, w) = trace_to_history(
+            SetAdt::<u32>::new(),
+            n,
+            sim.records(),
+            OmegaMarking::FinalQueries,
+        )
+        .unwrap();
+        assert_eq!(verify_witness(&h, &w), Ok(()), "seed {seed}");
+    }
+}
+
+#[test]
+fn undo_variant_traces_verify_suc() {
+    let n = 3;
+    for seed in [5u64, 23, 61] {
+        let mut sim = Simulation::new(cfg(n, seed), |pid| {
+            ReplicaNode::traced(UndoReplica::new(SetAdt::<u32>::new(), pid))
+        });
+        schedule(&mut sim, seed, n);
+        finish(&mut sim, n);
+        let (h, w) = trace_to_history(
+            SetAdt::<u32>::new(),
+            n,
+            sim.records(),
+            OmegaMarking::FinalQueries,
+        )
+        .unwrap();
+        assert_eq!(verify_witness(&h, &w), Ok(()), "seed {seed}");
+    }
+}
+
+#[test]
+fn mid_run_query_answers_are_identical_across_variants() {
+    // Not just final states: every intermediate query output recorded
+    // in the trace must match pairwise (same seeds → same deliveries).
+    let n = 2;
+    for seed in 0..6u64 {
+        let mut gen_sim = Simulation::new(cfg(n, seed), |pid| {
+            ReplicaNode::traced(GenericReplica::new(SetAdt::<u32>::new(), pid))
+        });
+        schedule(&mut gen_sim, seed, n);
+        finish(&mut gen_sim, n);
+        let mut undo_sim = Simulation::new(cfg(n, seed), |pid| {
+            ReplicaNode::traced(UndoReplica::new(SetAdt::<u32>::new(), pid))
+        });
+        schedule(&mut undo_sim, seed, n);
+        finish(&mut undo_sim, n);
+
+        let gr = gen_sim.records();
+        let ur = undo_sim.records();
+        assert_eq!(gr.len(), ur.len());
+        for (a, b) in gr.iter().zip(ur.iter()) {
+            assert_eq!(a.pid, b.pid);
+            assert_eq!(
+                format!("{:?}", a.output),
+                format!("{:?}", b.output),
+                "seed {seed}: outputs diverged at t={}",
+                a.time
+            );
+        }
+    }
+}
