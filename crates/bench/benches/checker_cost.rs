@@ -86,10 +86,8 @@ fn bench_witness_vs_search(c: &mut Criterion) {
     // The Prop. 4 pipeline's point: polynomial witness verification vs
     // exponential search on the same SUC-positive history.
     let h = convergent_history(3);
-    let uc_criteria::Verdict::Holds(uc_criteria::Witness::VisibilityAndOrder {
-        visibility,
-        order,
-    }) = check_suc(&h)
+    let uc_criteria::Verdict::Holds(uc_criteria::Witness::VisibilityAndOrder { visibility, order }) =
+        check_suc(&h)
     else {
         panic!("history must be SUC");
     };

@@ -97,5 +97,9 @@ fn bench_delivery_overhead(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_query_after_compaction, bench_delivery_overhead);
+criterion_group!(
+    benches,
+    bench_query_after_compaction,
+    bench_delivery_overhead
+);
 criterion_main!(benches);

@@ -82,5 +82,10 @@ fn bench_remote_absorb(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_read_vs_history, bench_write, bench_remote_absorb);
+criterion_group!(
+    benches,
+    bench_read_vs_history,
+    bench_write,
+    bench_remote_absorb
+);
 criterion_main!(benches);

@@ -9,7 +9,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use uc_core::{CachedReplica, GenericReplica, Replica, UndoReplica};
+use uc_core::{CachedReplica, GenericReplica, UndoReplica};
 use uc_spec::{SetAdt, SetQuery, SetUpdate};
 
 fn fill_generic(n: usize) -> GenericReplica<SetAdt<u32>> {

@@ -28,13 +28,19 @@ fn drive<S: SetReplica<u32>>(mut s: S) -> S {
 fn bench_local_ops(c: &mut Criterion) {
     let mut g = c.benchmark_group("set_local_ops_1k");
     g.throughput(Throughput::Elements(OPS as u64));
-    g.bench_function("or_set", |b| b.iter(|| black_box(drive(OrSet::<u32>::new(0)))));
+    g.bench_function("or_set", |b| {
+        b.iter(|| black_box(drive(OrSet::<u32>::new(0))))
+    });
     g.bench_function("two_phase", |b| {
         b.iter(|| black_box(drive(TwoPhaseSet::<u32>::new())))
     });
-    g.bench_function("pn_set", |b| b.iter(|| black_box(drive(PnSet::<u32>::new()))));
+    g.bench_function("pn_set", |b| {
+        b.iter(|| black_box(drive(PnSet::<u32>::new())))
+    });
     g.bench_function("c_set", |b| b.iter(|| black_box(drive(CSet::<u32>::new()))));
-    g.bench_function("lww_set", |b| b.iter(|| black_box(drive(LwwSet::<u32>::new(0)))));
+    g.bench_function("lww_set", |b| {
+        b.iter(|| black_box(drive(LwwSet::<u32>::new(0))))
+    });
     g.bench_function("uc_set_naive_replay", |b| {
         b.iter(|| {
             let mut r = GenericReplica::new(SetAdt::<u32>::new(), 0);

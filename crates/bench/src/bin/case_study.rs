@@ -20,7 +20,10 @@ fn row_for(
     // (impl, converged state, mean footprint)
     let mut out = Vec::new();
     let (uc_states, _) = drive_uc_set(n, seed, schedule, default_latency());
-    assert!(uc_states.windows(2).all(|w| w[0] == w[1]), "{name}: UC diverged");
+    assert!(
+        uc_states.windows(2).all(|w| w[0] == w[1]),
+        "{name}: UC diverged"
+    );
     out.push((
         "UC-set (Alg. 1)".into(),
         fmt_set(&uc_states[0]),

@@ -9,9 +9,9 @@
 //! ```
 
 use uc_bench::{default_latency, drive_uc_set, render_table};
+use uc_core::Timestamp;
 use uc_sim::workload::{generate, WorkloadSpec};
 use uc_sim::SetOpKind;
-use uc_core::Timestamp;
 
 fn main() {
     println!("Algorithm 1 network complexity (one broadcast per update):\n");
@@ -43,7 +43,10 @@ fn main() {
                 metrics.messages_sent.to_string(),
                 format!("{per_update:.1}"),
                 format!("{}", n - 1),
-                format!("{:.1}", metrics.bytes_sent as f64 / metrics.messages_sent as f64),
+                format!(
+                    "{:.1}",
+                    metrics.bytes_sent as f64 / metrics.messages_sent as f64
+                ),
             ]);
         }
     }

@@ -42,12 +42,18 @@ fn main() {
         }
     }
     if mismatches == 0 {
-        println!("all {} figure classifications match the paper ✔", figs.len());
+        println!(
+            "all {} figure classifications match the paper ✔",
+            figs.len()
+        );
     } else {
         eprintln!("{mismatches} mismatches");
         std::process::exit(1);
     }
 
     println!("\nGraphviz of Fig. 2 (render with `dot -Tpng`):\n");
-    println!("{}", uc_history::dot::to_dot(&paper::fig2().history, "fig2"));
+    println!(
+        "{}",
+        uc_history::dot::to_dot(&paper::fig2().history, "fig2")
+    );
 }

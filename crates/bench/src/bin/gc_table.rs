@@ -48,8 +48,10 @@ fn run(n: usize, rounds: usize, readonly: usize, heartbeats: bool) -> (usize, us
             }
         }
         // replica 0's own updates also go to the oracle
-        if let Some((src, uc_core::GcMsg::Update(um))) =
-            msgs.iter().find(|(s, _)| *s == 0).map(|(s, m)| (*s, m.clone()))
+        if let Some((src, uc_core::GcMsg::Update(um))) = msgs
+            .iter()
+            .find(|(s, _)| *s == 0)
+            .map(|(s, m)| (*s, m.clone()))
         {
             let _ = src;
             full.on_deliver(&um);

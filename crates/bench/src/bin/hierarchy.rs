@@ -10,9 +10,7 @@
 
 use std::collections::BTreeSet;
 use uc_bench::render_table;
-use uc_criteria::{
-    check_ec, check_pc, check_sc, check_sec, check_suc, check_uc, Verdict,
-};
+use uc_criteria::{check_ec, check_pc, check_sc, check_sec, check_suc, check_uc, Verdict};
 use uc_history::{History, HistoryBuilder};
 use uc_sim::SplitMix64;
 use uc_spec::{SetAdt, SetQuery, SetUpdate};

@@ -50,8 +50,13 @@ fn main() {
             sim.schedule_invoke(t, 0, OpInput::Query(SetQuery::Read));
             sim.schedule_invoke(t + 1, 1, OpInput::Query(SetQuery::Read));
             sim.run_to_quiescence();
-            let (h, _) =
-                trace_to_history(SetAdt::<u32>::new(), 2, sim.records(), OmegaMarking::FinalQueries).unwrap();
+            let (h, _) = trace_to_history(
+                SetAdt::<u32>::new(),
+                2,
+                sim.records(),
+                OmegaMarking::FinalQueries,
+            )
+            .unwrap();
             let ec = check_ec(&h).holds();
             let pc = check_pc(&h).holds();
             rows.push(vec![
@@ -71,7 +76,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["seed", "release", "p0 first read", "p1 first read", "EC", "PC"],
+            &[
+                "seed",
+                "release",
+                "p0 first read",
+                "p1 first read",
+                "EC",
+                "PC"
+            ],
             &rows
         )
     );

@@ -18,7 +18,7 @@
 #![warn(missing_docs)]
 
 use std::collections::BTreeSet;
-use uc_core::{GenericReplica, OpInput, Replica, ReplicaNode};
+use uc_core::{GenericReplica, OpInput, ReplicaNode};
 use uc_crdt::{SetNode, SetOp, SetReplica};
 use uc_sim::{LatencyModel, Metrics, Pid, ScheduledOp, SetOpKind, SimConfig, Simulation};
 use uc_spec::{SetAdt, SetUpdate};
@@ -170,7 +170,10 @@ mod tests {
     fn table_renders_aligned() {
         let t = render_table(
             &["name", "value"],
-            &[vec!["a".into(), "1".into()], vec!["bcd".into(), "22".into()]],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["bcd".into(), "22".into()],
+            ],
         );
         assert!(t.contains("name"));
         assert!(t.contains("bcd"));

@@ -1,28 +1,24 @@
-//! The **checkpointing** variant of Algorithm 1 (§VII-C: "In an
-//! effective implementation, a process can keep intermediate states.
-//! These intermediate states are re-computed only if very late
-//! messages arrive.").
+//! The **checkpointing** strategy (§VII-C: "In an effective
+//! implementation, a process can keep intermediate states. These
+//! intermediate states are re-computed only if very late messages
+//! arrive.").
 //!
-//! The replica maintains the state reached by folding a prefix of the
-//! log, plus periodic checkpoints. In-order deliveries extend the
-//! prefix in O(1) amortised; a late message that lands inside the
-//! folded prefix rolls back to the nearest checkpoint at or before the
-//! insertion point and re-folds from there — cost proportional to the
-//! out-of-order distance, not the whole history.
+//! [`CheckpointRepair`] maintains the state reached by folding a
+//! prefix of the log, plus periodic checkpoints. In-order deliveries
+//! extend the prefix in O(1) amortised; a late message that lands
+//! inside the folded prefix rolls back to the nearest checkpoint at or
+//! before the insertion point and re-folds from there — cost
+//! proportional to the out-of-order distance, not the whole history.
+//! A *batch* of late messages pays that rollback-and-refold **once**
+//! (see [`crate::engine::ReplicaEngine::on_deliver_batch`]).
 
+use crate::engine::{EngineCtx, RepairStrategy, ReplicaEngine};
 use crate::log::UpdateLog;
-use crate::message::UpdateMsg;
-use crate::replica::Replica;
-use crate::timestamp::{LamportClock, Timestamp};
 use uc_spec::UqAdt;
 
-/// Algorithm 1 with incremental state and checkpoint-based repair.
+/// Incremental state with checkpoint-based rollback.
 #[derive(Clone, Debug)]
-pub struct CachedReplica<A: UqAdt> {
-    adt: A,
-    pid: u32,
-    clock: LamportClock,
-    log: UpdateLog<A::Update>,
+pub struct CheckpointRepair<A: UqAdt> {
     /// State after folding `log[..applied]`.
     state: A::State,
     applied: usize,
@@ -30,65 +26,39 @@ pub struct CachedReplica<A: UqAdt> {
     /// `checkpoint_every` entries.
     checkpoints: Vec<(usize, A::State)>,
     checkpoint_every: usize,
-    /// Number of state recomputation steps performed by repairs
-    /// (observability for the E8 bench).
-    pub repair_steps: u64,
+    repair_steps: u64,
+    repair_events: u64,
 }
 
-impl<A: UqAdt> CachedReplica<A> {
+impl<A: UqAdt> CheckpointRepair<A> {
     /// Default checkpoint spacing.
     pub const DEFAULT_CHECKPOINT_EVERY: usize = 32;
 
-    /// A fresh replica for process `pid`.
-    pub fn new(adt: A, pid: u32) -> Self {
-        Self::with_checkpoint_every(adt, pid, Self::DEFAULT_CHECKPOINT_EVERY)
+    /// A fresh strategy with default spacing.
+    pub fn new(adt: &A) -> Self {
+        Self::with_spacing(adt, Self::DEFAULT_CHECKPOINT_EVERY)
     }
 
-    /// A fresh replica with explicit checkpoint spacing (ablation).
-    pub fn with_checkpoint_every(adt: A, pid: u32, every: usize) -> Self {
+    /// A fresh strategy with explicit checkpoint spacing (ablation).
+    pub fn with_spacing(adt: &A, every: usize) -> Self {
         assert!(every > 0);
-        let state = adt.initial();
-        CachedReplica {
-            state,
-            adt,
-            pid,
-            clock: LamportClock::new(),
-            log: UpdateLog::new(),
+        CheckpointRepair {
+            state: adt.initial(),
             applied: 0,
             checkpoints: Vec::new(),
             checkpoint_every: every,
             repair_steps: 0,
+            repair_events: 0,
         }
     }
 
-    /// Perform a local update (applies immediately; returns the
-    /// broadcast message).
-    pub fn update(&mut self, u: A::Update) -> UpdateMsg<A::Update> {
-        let ts = Timestamp::new(self.clock.tick(), self.pid);
-        let msg = UpdateMsg { ts, update: u };
-        let pos = self.log.push_newest(&msg);
-        self.absorb(pos);
-        msg
-    }
-
-    /// Receive a peer's update.
-    pub fn on_deliver(&mut self, msg: &UpdateMsg<A::Update>) {
-        self.clock.merge(msg.ts.clock);
-        if let Some(pos) = self.log.insert(msg) {
-            self.absorb(pos);
-        }
-    }
-
-    /// Repair bookkeeping after inserting at `pos`, then fold to the
-    /// end of the log.
-    fn absorb(&mut self, pos: usize) {
+    /// Roll back to the nearest checkpoint at or before `pos`, then
+    /// fold to the end of the log. The single repair primitive — both
+    /// one late message and a whole batch cost exactly one call.
+    fn repair_from(&mut self, adt: &A, log: &UpdateLog<A::Update>, pos: usize) {
         if pos < self.applied {
-            // Late message: roll back to the nearest checkpoint ≤ pos.
-            let ck = match self
-                .checkpoints
-                .iter()
-                .rposition(|(len, _)| *len <= pos)
-            {
+            self.repair_events += 1;
+            let ck = match self.checkpoints.iter().rposition(|(len, _)| *len <= pos) {
                 Some(i) => {
                     self.checkpoints.truncate(i + 1);
                     let (len, state) = self.checkpoints[i].clone();
@@ -97,19 +67,19 @@ impl<A: UqAdt> CachedReplica<A> {
                 }
                 None => {
                     self.checkpoints.clear();
-                    self.state = self.adt.initial();
+                    self.state = adt.initial();
                     0
                 }
             };
             self.applied = ck;
         }
-        self.fold_to_end();
+        self.fold_to_end(adt, log);
     }
 
-    fn fold_to_end(&mut self) {
-        while self.applied < self.log.len() {
-            let (_, u) = self.log.get(self.applied).expect("in range");
-            self.adt.apply(&mut self.state, u);
+    fn fold_to_end(&mut self, adt: &A, log: &UpdateLog<A::Update>) {
+        while self.applied < log.len() {
+            let (_, u) = log.get(self.applied).expect("in range");
+            adt.apply(&mut self.state, u);
             self.applied += 1;
             self.repair_steps += 1;
             if self.applied.is_multiple_of(self.checkpoint_every) {
@@ -117,54 +87,44 @@ impl<A: UqAdt> CachedReplica<A> {
             }
         }
     }
+}
 
-    /// Answer a query from the cached state — O(1) state work.
-    pub fn do_query(&mut self, q: &A::QueryIn) -> A::QueryOut {
-        self.clock.tick();
-        debug_assert_eq!(self.applied, self.log.len());
-        self.adt.observe(&self.state, q)
+impl<A: UqAdt> RepairStrategy<A> for CheckpointRepair<A> {
+    fn on_insert(&mut self, adt: &A, log: &mut UpdateLog<A::Update>, pos: usize, _ctx: &EngineCtx) {
+        self.repair_from(adt, log, pos);
     }
 
-    /// Known timestamps (witness extraction).
-    pub fn known_timestamps(&self) -> Vec<Timestamp> {
-        self.log.timestamps().collect()
+    // on_batch_insert: the default (one `on_insert` at the minimum
+    // position) is already a single rollback + refold.
+
+    fn current_state(&mut self, _adt: &A, log: &UpdateLog<A::Update>) -> &A::State {
+        debug_assert_eq!(self.applied, log.len(), "state must be fully folded");
+        &self.state
+    }
+
+    fn repair_steps(&self) -> u64 {
+        self.repair_steps
+    }
+
+    fn repair_events(&self) -> u64 {
+        self.repair_events
     }
 }
 
-impl<A: UqAdt> Replica<A> for CachedReplica<A> {
-    type Msg = UpdateMsg<A::Update>;
+/// Algorithm 1 with incremental state and checkpoint-based repair.
+pub type CachedReplica<A> = ReplicaEngine<A, CheckpointRepair<A>>;
 
-    fn pid(&self) -> u32 {
-        self.pid
+impl<A: UqAdt> CachedReplica<A> {
+    /// A fresh replica for process `pid`.
+    pub fn new(adt: A, pid: u32) -> Self {
+        let strategy = CheckpointRepair::new(&adt);
+        ReplicaEngine::with_strategy(adt, pid, strategy)
     }
 
-    fn local_update(&mut self, u: A::Update) -> Vec<Self::Msg> {
-        vec![self.update(u)]
-    }
-
-    fn on_message(&mut self, msg: &Self::Msg) {
-        self.on_deliver(msg);
-    }
-
-    fn query(&mut self, q: &A::QueryIn) -> A::QueryOut {
-        self.do_query(q)
-    }
-
-    fn materialize(&mut self) -> A::State {
-        self.fold_to_end();
-        self.state.clone()
-    }
-
-    fn log_len(&self) -> usize {
-        self.log.len()
-    }
-
-    fn clock(&self) -> u64 {
-        self.clock.now()
-    }
-
-    fn known_timestamps(&self) -> Vec<Timestamp> {
-        CachedReplica::known_timestamps(self)
+    /// A fresh replica with explicit checkpoint spacing (ablation).
+    pub fn with_checkpoint_every(adt: A, pid: u32, every: usize) -> Self {
+        let strategy = CheckpointRepair::with_spacing(&adt, every);
+        ReplicaEngine::with_strategy(adt, pid, strategy)
     }
 }
 
@@ -214,9 +174,10 @@ mod tests {
         c.on_deliver(&late);
         g.on_deliver(&late);
         assert_eq!(c.do_query(&SetQuery::Read), g.do_query(&SetQuery::Read));
-        assert!(!c
-            .do_query(&SetQuery::Read)
-            .contains(&99), "delete must order after the late insert");
+        assert!(
+            !c.do_query(&SetQuery::Read).contains(&99),
+            "delete must order after the late insert"
+        );
     }
 
     #[test]
@@ -225,8 +186,9 @@ mod tests {
         for i in 0..1000u32 {
             c.update(SetUpdate::Insert(i));
         }
-        // one fold step per update
-        assert_eq!(c.repair_steps, 1000);
+        // one fold step per update, and never a rollback
+        assert_eq!(c.repair_steps(), 1000);
+        assert_eq!(c.repair_events(), 0);
     }
 
     #[test]
@@ -237,9 +199,9 @@ mod tests {
         for i in 0..64u32 {
             c.update(SetUpdate::Insert(i));
         }
-        let before = c.repair_steps;
+        let before = c.repair_steps();
         c.on_deliver(&late); // lands near position 1
-        let repair = c.repair_steps - before;
+        let repair = c.repair_steps() - before;
         // Must re-fold roughly the whole suffix after the checkpoint at
         // 0 — ≤ 65 steps, and definitely not amortised-free; the point
         // is it is bounded by log length, and for near-tail insertions
@@ -250,10 +212,13 @@ mod tests {
             peer2.update(SetUpdate::Insert(0));
         }
         let near_tail = peer2.update(SetUpdate::Insert(8)); // clock 64
-        let before = c.repair_steps;
+        let before = c.repair_steps();
         c.on_deliver(&near_tail);
-        let repair = c.repair_steps - before;
-        assert!(repair <= 9, "near-tail repair should stay within one checkpoint span, got {repair}");
+        let repair = c.repair_steps() - before;
+        assert!(
+            repair <= 9,
+            "near-tail repair should stay within one checkpoint span, got {repair}"
+        );
     }
 
     #[test]
@@ -262,11 +227,11 @@ mod tests {
         for i in 0..100u32 {
             c.update(SetUpdate::Insert(i));
         }
-        let folded = c.repair_steps;
+        let folded = c.repair_steps();
         for _ in 0..50 {
             c.do_query(&SetQuery::Read);
         }
-        assert_eq!(c.repair_steps, folded, "queries are O(1) state work");
+        assert_eq!(c.repair_steps(), folded, "queries are O(1) state work");
     }
 
     #[test]
@@ -277,5 +242,22 @@ mod tests {
         c.update(SetUpdate::Insert(2));
         assert_eq!(c.materialize(), BTreeSet::from([2]));
         assert_eq!(c.do_query(&SetQuery::Read), BTreeSet::from([2]));
+    }
+
+    #[test]
+    fn duplicate_delivery_does_not_corrupt_repair_state() {
+        // Regression for the push_newest/insert duplicate ambiguity: a
+        // re-delivered message must not be treated as a fresh insert.
+        let mut peer: G = GenericReplica::new(SetAdt::new(), 1);
+        let m = peer.update(SetUpdate::Insert(5));
+        let mut c: C = CachedReplica::with_checkpoint_every(SetAdt::new(), 0, 4);
+        for i in 0..10u32 {
+            c.update(SetUpdate::Insert(i));
+        }
+        c.on_deliver(&m);
+        let steps = c.repair_steps();
+        c.on_deliver(&m); // duplicate: must be a no-op
+        assert_eq!(c.repair_steps(), steps);
+        assert_eq!(c.log_len(), 11);
     }
 }

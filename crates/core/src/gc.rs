@@ -1,12 +1,17 @@
 //! **Stability-based garbage collection** (§VII-C: "after some time
-//! old messages can be garbage collected").
+//! old messages can be garbage collected"), as the [`StableGc`]
+//! strategy on the shared [`ReplicaEngine`].
 //!
 //! An update is *stable* once no future message can order before it.
 //! Per-sender Lamport clocks are strictly increasing, so if the
 //! highest clock heard from every process (including oneself) is at
 //! least `c`, every future update carries a timestamp with clock
 //! `> c` — entries with `ts.clock ≤ c` are final and their prefix can
-//! be folded into a base state and dropped from the log.
+//! be folded into a base state and dropped from the log. The strategy
+//! learns every heard clock through its
+//! [`observe_clock`](crate::engine::RepairStrategy::observe_clock)
+//! hook, which the engine feeds from updates, queries, and heartbeats
+//! alike.
 //!
 //! Silent processes block stability (their `last_seen` stays low), so
 //! replicas broadcast periodic clock [`GcMsg::Heartbeat`]s via
@@ -15,22 +20,22 @@
 //! is the honest cost of stability tracking in a wait-free system and
 //! is measured by the E10 experiment.
 
+use crate::engine::{EngineCtx, RepairStrategy, ReplicaEngine};
 use crate::log::UpdateLog;
 use crate::message::{GcMsg, UpdateMsg};
 use crate::replica::Replica;
-use crate::timestamp::{LamportClock, Timestamp};
+use crate::timestamp::Timestamp;
 use uc_spec::UqAdt;
 
-/// Algorithm 1 with a stability-compacted log.
+/// Naive fold over a stability-compacted log: the stable prefix is
+/// folded into `base` and dropped; queries fold the retained suffix
+/// over a clone of `base`.
 #[derive(Clone, Debug)]
-pub struct GcReplica<A: UqAdt> {
-    adt: A,
-    pid: u32,
-    clock: LamportClock,
-    /// Retained (unstable) suffix of the update log.
-    log: UpdateLog<A::Update>,
+pub struct StableGc<A: UqAdt> {
     /// Fold of the compacted stable prefix.
     base: A::State,
+    /// Scratch for query-time folds (base + retained suffix).
+    scratch: A::State,
     /// Number of updates folded into `base`.
     compacted: u64,
     /// Highest clock heard from each process.
@@ -40,67 +45,15 @@ pub struct GcReplica<A: UqAdt> {
     bound: u64,
 }
 
-impl<A: UqAdt> GcReplica<A> {
-    /// A fresh replica for process `pid` of `n`.
-    pub fn new(adt: A, pid: u32, n: usize) -> Self {
-        assert!((pid as usize) < n, "pid must be within the cluster");
-        let base = adt.initial();
-        GcReplica {
-            base,
-            adt,
-            pid,
-            clock: LamportClock::new(),
-            log: UpdateLog::new(),
+impl<A: UqAdt> StableGc<A> {
+    /// A fresh strategy for a cluster of `n` processes.
+    pub fn new(adt: &A, n: usize) -> Self {
+        StableGc {
+            base: adt.initial(),
+            scratch: adt.initial(),
             compacted: 0,
             last_seen: vec![0; n],
             bound: 0,
-        }
-    }
-
-    /// Perform a local update.
-    pub fn update(&mut self, u: A::Update) -> GcMsg<A::Update> {
-        let ts = Timestamp::new(self.clock.tick(), self.pid);
-        let msg = UpdateMsg { ts, update: u };
-        self.log.push_newest(&msg);
-        self.last_seen[self.pid as usize] = self.clock.now();
-        self.try_compact();
-        GcMsg::Update(msg)
-    }
-
-    /// Receive a peer's message (update or heartbeat).
-    pub fn on_gc_message(&mut self, msg: &GcMsg<A::Update>) {
-        match msg {
-            GcMsg::Update(m) => {
-                debug_assert!(
-                    m.ts.clock > self.bound,
-                    "stability violated: message {:?} at or below bound {}",
-                    m.ts,
-                    self.bound
-                );
-                self.clock.merge(m.ts.clock);
-                self.log.insert(m);
-                let seen = &mut self.last_seen[m.ts.pid as usize];
-                *seen = (*seen).max(m.ts.clock);
-            }
-            GcMsg::Heartbeat { pid, clock } => {
-                self.clock.merge(*clock);
-                let seen = &mut self.last_seen[*pid as usize];
-                *seen = (*seen).max(*clock);
-            }
-        }
-        self.try_compact();
-    }
-
-    fn try_compact(&mut self) {
-        let new_bound = self.last_seen.iter().copied().min().unwrap_or(0);
-        if new_bound <= self.bound && self.compacted > 0 {
-            // bound can only move forward; nothing new to compact
-        }
-        self.bound = self.bound.max(new_bound);
-        let stable = self.log.drain_stable_prefix(self.bound);
-        for (_, u) in &stable {
-            self.adt.apply(&mut self.base, u);
-            self.compacted += 1;
         }
     }
 
@@ -114,20 +67,98 @@ impl<A: UqAdt> GcReplica<A> {
         self.bound
     }
 
-    /// Answer a query: fold the retained suffix over the base.
-    pub fn do_query(&mut self, q: &A::QueryIn) -> A::QueryOut {
-        self.clock.tick();
-        self.last_seen[self.pid as usize] = self.clock.now();
-        let state = self.fold();
-        self.adt.observe(&state, q)
+    fn try_compact(&mut self, adt: &A, log: &mut UpdateLog<A::Update>) {
+        let new_bound = self.last_seen.iter().copied().min().unwrap_or(0);
+        self.bound = self.bound.max(new_bound);
+        let stable = log.drain_stable_prefix(self.bound);
+        for (_, u) in &stable {
+            adt.apply(&mut self.base, u);
+            self.compacted += 1;
+        }
+    }
+}
+
+impl<A: UqAdt> RepairStrategy<A> for StableGc<A> {
+    fn on_insert(&mut self, adt: &A, log: &mut UpdateLog<A::Update>, pos: usize, _ctx: &EngineCtx) {
+        debug_assert!(
+            log.get(pos)
+                .map(|(ts, _)| ts.clock > self.bound)
+                .unwrap_or(true),
+            "stability violated: insert at or below bound {}",
+            self.bound
+        );
+        self.try_compact(adt, log);
     }
 
-    fn fold(&self) -> A::State {
-        let mut state = self.base.clone();
-        for (_, u) in self.log.iter() {
-            self.adt.apply(&mut state, u);
+    fn observe_clock(&mut self, pid: u32, clock: u64) {
+        let seen = &mut self.last_seen[pid as usize];
+        *seen = (*seen).max(clock);
+    }
+
+    fn maintain(&mut self, adt: &A, log: &mut UpdateLog<A::Update>, _ctx: &EngineCtx) {
+        self.try_compact(adt, log);
+    }
+
+    fn current_state(&mut self, adt: &A, log: &UpdateLog<A::Update>) -> &A::State {
+        self.scratch = adt.run_updates_from(self.base.clone(), log.iter().map(|(_, u)| u));
+        &self.scratch
+    }
+}
+
+/// Algorithm 1 with a stability-compacted log. Wraps a
+/// [`ReplicaEngine`] because its wire protocol genuinely differs: it
+/// speaks [`GcMsg`], interleaving updates with clock heartbeats.
+#[derive(Clone, Debug)]
+pub struct GcReplica<A: UqAdt> {
+    engine: ReplicaEngine<A, StableGc<A>>,
+}
+
+impl<A: UqAdt> GcReplica<A> {
+    /// A fresh replica for process `pid` of `n`.
+    pub fn new(adt: A, pid: u32, n: usize) -> Self {
+        assert!((pid as usize) < n, "pid must be within the cluster");
+        let strategy = StableGc::new(&adt, n);
+        GcReplica {
+            engine: ReplicaEngine::with_strategy(adt, pid, strategy),
         }
-        state
+    }
+
+    /// Perform a local update.
+    pub fn update(&mut self, u: A::Update) -> GcMsg<A::Update> {
+        GcMsg::Update(self.engine.update(u))
+    }
+
+    /// Receive a peer's message (update or heartbeat).
+    pub fn on_gc_message(&mut self, msg: &GcMsg<A::Update>) {
+        match msg {
+            GcMsg::Update(m) => self.engine.on_deliver(m),
+            GcMsg::Heartbeat { pid, clock } => self.engine.observe_peer_clock(*pid, *clock),
+        }
+    }
+
+    /// Number of updates folded into the base state.
+    pub fn compacted(&self) -> u64 {
+        self.engine.strategy().compacted()
+    }
+
+    /// The current stability bound.
+    pub fn stability_bound(&self) -> u64 {
+        self.engine.strategy().stability_bound()
+    }
+
+    /// Answer a query: fold the retained suffix over the base.
+    pub fn do_query(&mut self, q: &A::QueryIn) -> A::QueryOut {
+        self.engine.do_query(q)
+    }
+
+    /// The state this replica would converge to with no further input.
+    pub fn materialize(&mut self) -> A::State {
+        self.engine.materialize()
+    }
+
+    /// The shared engine (observability and tests).
+    pub fn engine(&self) -> &ReplicaEngine<A, StableGc<A>> {
+        &self.engine
     }
 }
 
@@ -135,7 +166,7 @@ impl<A: UqAdt> Replica<A> for GcReplica<A> {
     type Msg = GcMsg<A::Update>;
 
     fn pid(&self) -> u32 {
-        self.pid
+        self.engine.pid()
     }
 
     fn local_update(&mut self, u: A::Update) -> Vec<Self::Msg> {
@@ -146,6 +177,25 @@ impl<A: UqAdt> Replica<A> for GcReplica<A> {
         self.on_gc_message(msg);
     }
 
+    /// Batched ingest: updates are merged into the log with a single
+    /// repair; heartbeats are folded in afterwards (processing them
+    /// last can only delay stability, never violate it).
+    fn on_batch(&mut self, msgs: &[Self::Msg]) {
+        let updates: Vec<UpdateMsg<A::Update>> = msgs
+            .iter()
+            .filter_map(|m| match m {
+                GcMsg::Update(u) => Some(u.clone()),
+                GcMsg::Heartbeat { .. } => None,
+            })
+            .collect();
+        self.engine.on_deliver_batch(&updates);
+        for m in msgs {
+            if let GcMsg::Heartbeat { pid, clock } = m {
+                self.engine.observe_peer_clock(*pid, *clock);
+            }
+        }
+    }
+
     fn query(&mut self, q: &A::QueryIn) -> A::QueryOut {
         self.do_query(q)
     }
@@ -153,32 +203,31 @@ impl<A: UqAdt> Replica<A> for GcReplica<A> {
     /// Heartbeat: announce the clock so silent periods do not block
     /// peers' stability.
     fn tick(&mut self) -> Vec<Self::Msg> {
-        self.last_seen[self.pid as usize] = self.clock.now();
-        self.try_compact();
+        self.engine.tick_maintenance();
         vec![GcMsg::Heartbeat {
-            pid: self.pid,
-            clock: self.clock.now(),
+            pid: self.engine.pid(),
+            clock: self.engine.clock(),
         }]
     }
 
     fn materialize(&mut self) -> A::State {
-        self.fold()
+        GcReplica::materialize(self)
     }
 
     /// Retained entries only — the quantity GC shrinks.
     fn log_len(&self) -> usize {
-        self.log.len()
+        self.engine.log_len()
     }
 
     fn clock(&self) -> u64 {
-        self.clock.now()
+        self.engine.clock()
     }
 
     /// Retained timestamps only: compacted entries are gone, which is
     /// the point of GC (and why witness tracing uses full-log
     /// replicas).
     fn known_timestamps(&self) -> Vec<Timestamp> {
-        self.log.timestamps().collect()
+        self.engine.known_timestamps()
     }
 }
 
@@ -192,7 +241,12 @@ mod tests {
 
     /// Fully connect two replicas: deliver every produced message to
     /// the other, then exchange heartbeats.
-    fn exchange(a: &mut R, b: &mut R, msgs_a: Vec<GcMsg<SetUpdate<u32>>>, msgs_b: Vec<GcMsg<SetUpdate<u32>>>) {
+    fn exchange(
+        a: &mut R,
+        b: &mut R,
+        msgs_a: Vec<GcMsg<SetUpdate<u32>>>,
+        msgs_b: Vec<GcMsg<SetUpdate<u32>>>,
+    ) {
         for m in msgs_a {
             b.on_gc_message(&m);
         }
@@ -236,7 +290,11 @@ mod tests {
         for m in &msgs {
             b.on_gc_message(m);
         }
-        assert_eq!(b.log_len(), 50, "no stability before hearing from everyone");
+        assert_eq!(
+            Replica::log_len(&b),
+            50,
+            "no stability before hearing from everyone"
+        );
         // b announces its clock to a, and vice versa.
         let hb = b.tick();
         for m in hb {
@@ -246,8 +304,16 @@ mod tests {
         for m in ha {
             b.on_gc_message(&m);
         }
-        assert!(a.log_len() < 50, "a retained {}", a.log_len());
-        assert!(b.log_len() < 50, "b retained {}", b.log_len());
+        assert!(
+            Replica::log_len(&a) < 50,
+            "a retained {}",
+            Replica::log_len(&a)
+        );
+        assert!(
+            Replica::log_len(&b) < 50,
+            "b retained {}",
+            Replica::log_len(&b)
+        );
         assert_eq!(a.materialize(), b.materialize());
     }
 
@@ -265,7 +331,7 @@ mod tests {
             a.on_gc_message(&m);
         }
         assert_eq!(a.compacted(), 0, "silent third process must freeze GC");
-        assert_eq!(a.log_len(), 30);
+        assert_eq!(Replica::log_len(&a), 30);
     }
 
     #[test]
@@ -279,5 +345,24 @@ mod tests {
             a.do_query(&SetQuery::Read),
             (0..10).collect::<BTreeSet<u32>>()
         );
+    }
+
+    #[test]
+    fn batched_gc_messages_match_sequential_delivery() {
+        let mut producer: R = GcReplica::new(SetAdt::new(), 1, 2);
+        let mut msgs: Vec<_> = (0..20u32)
+            .map(|i| producer.update(SetUpdate::Insert(i)))
+            .collect();
+        msgs.push(GcMsg::Heartbeat { pid: 1, clock: 20 });
+
+        let mut seq: R = GcReplica::new(SetAdt::new(), 0, 2);
+        for m in &msgs {
+            seq.on_gc_message(m);
+        }
+        let mut bat: R = GcReplica::new(SetAdt::new(), 0, 2);
+        bat.on_batch(&msgs);
+        assert_eq!(seq.materialize(), bat.materialize());
+        // Neither has spoken itself, so stability is identical too.
+        assert_eq!(seq.stability_bound(), bat.stability_bound());
     }
 }

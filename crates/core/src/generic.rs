@@ -1,119 +1,65 @@
 //! **Algorithm 1** — the universal strong-update-consistent
-//! construction, verbatim.
+//! construction, expressed as the [`NaiveReplay`] strategy on the
+//! shared [`ReplicaEngine`].
 //!
 //! Each replica keeps a Lamport clock and the set of all timestamped
 //! updates it knows (`updates_i`). An update ticks the clock and
 //! broadcasts `(clock, pid, u)`; a receipt merges the clock and
 //! inserts the update; a query ticks the clock and **replays the whole
 //! sorted log from `s0`** (lines 12–19). Naive replay makes queries
-//! `O(|log|)` — by design: this struct is the paper's proof artifact,
-//! and the measured baseline for the §VII-C optimisation variants
-//! ([`crate::cached::CachedReplica`], [`crate::undo::UndoReplica`],
-//! [`crate::gc::GcReplica`]).
+//! `O(|log|)` — by design: this variant is the paper's proof artifact,
+//! and the measured baseline for the §VII-C optimisation strategies
+//! ([`crate::cached::CheckpointRepair`], [`crate::undo::UndoRepair`],
+//! [`crate::gc::StableGc`]).
 
+use crate::engine::{EngineCtx, RepairStrategy, ReplicaEngine};
 use crate::log::UpdateLog;
-use crate::message::UpdateMsg;
-use crate::replica::Replica;
-use crate::timestamp::{LamportClock, Timestamp};
 use uc_spec::UqAdt;
 
-/// A replica running Algorithm 1 with naive query-time replay.
+/// The no-maintenance strategy: keep nothing, replay the sorted log
+/// on every query. Insertions (single or batched) are free; queries
+/// cost `O(|log|)` state transitions.
 #[derive(Clone, Debug)]
-pub struct GenericReplica<A: UqAdt> {
-    adt: A,
-    pid: u32,
-    clock: LamportClock,
-    log: UpdateLog<A::Update>,
+pub struct NaiveReplay<A: UqAdt> {
+    /// Scratch buffer holding the most recent replay (so
+    /// [`RepairStrategy::current_state`] can hand out a reference).
+    scratch: A::State,
 }
+
+impl<A: UqAdt> NaiveReplay<A> {
+    /// A fresh strategy.
+    pub fn new(adt: &A) -> Self {
+        NaiveReplay {
+            scratch: adt.initial(),
+        }
+    }
+}
+
+impl<A: UqAdt> RepairStrategy<A> for NaiveReplay<A> {
+    fn on_insert(
+        &mut self,
+        _adt: &A,
+        _log: &mut UpdateLog<A::Update>,
+        _pos: usize,
+        _ctx: &EngineCtx,
+    ) {
+        // Nothing is cached, so nothing needs repair.
+    }
+
+    fn current_state(&mut self, adt: &A, log: &UpdateLog<A::Update>) -> &A::State {
+        self.scratch = adt.run_updates(log.iter().map(|(_, u)| u));
+        &self.scratch
+    }
+}
+
+/// A replica running Algorithm 1 with naive query-time replay.
+pub type GenericReplica<A> = ReplicaEngine<A, NaiveReplay<A>>;
 
 impl<A: UqAdt> GenericReplica<A> {
     /// A fresh replica for process `pid`.
     pub fn new(adt: A, pid: u32) -> Self {
-        GenericReplica {
-            adt,
-            pid,
-            clock: LamportClock::new(),
-            log: UpdateLog::new(),
-        }
-    }
-
-    /// Perform update `u`: tick, apply to own log (the sender receives
-    /// its broadcast instantaneously), and return the message for the
-    /// other replicas.
-    pub fn update(&mut self, u: A::Update) -> UpdateMsg<A::Update> {
-        let ts = Timestamp::new(self.clock.tick(), self.pid);
-        let msg = UpdateMsg { ts, update: u };
-        self.log.push_newest(&msg);
-        msg
-    }
-
-    /// Receive a peer's update message (lines 8–11).
-    pub fn on_deliver(&mut self, msg: &UpdateMsg<A::Update>) {
-        self.clock.merge(msg.ts.clock);
-        self.log.insert(msg);
-    }
-
-    /// Answer a query by replaying the sorted log (lines 12–19).
-    pub fn do_query(&mut self, q: &A::QueryIn) -> A::QueryOut {
-        self.clock.tick();
-        let state = self.replay();
-        self.adt.observe(&state, q)
-    }
-
-    fn replay(&self) -> A::State {
-        let mut state = self.adt.initial();
-        for (_, u) in self.log.iter() {
-            self.adt.apply(&mut state, u);
-        }
-        state
-    }
-
-    /// The timestamps currently known — the visible-update set used to
-    /// build strong-update-consistency witnesses (Proposition 4's
-    /// proof constructs `vis` from exactly this).
-    pub fn known_timestamps(&self) -> Vec<Timestamp> {
-        self.log.timestamps().collect()
-    }
-
-    /// Access the underlying log (ablation benches).
-    pub fn log(&self) -> &UpdateLog<A::Update> {
-        &self.log
-    }
-}
-
-impl<A: UqAdt> Replica<A> for GenericReplica<A> {
-    type Msg = UpdateMsg<A::Update>;
-
-    fn pid(&self) -> u32 {
-        self.pid
-    }
-
-    fn local_update(&mut self, u: A::Update) -> Vec<Self::Msg> {
-        vec![self.update(u)]
-    }
-
-    fn on_message(&mut self, msg: &Self::Msg) {
-        self.on_deliver(msg);
-    }
-
-    fn query(&mut self, q: &A::QueryIn) -> A::QueryOut {
-        self.do_query(q)
-    }
-
-    fn materialize(&mut self) -> A::State {
-        self.replay()
-    }
-
-    fn log_len(&self) -> usize {
-        self.log.len()
-    }
-
-    fn clock(&self) -> u64 {
-        self.clock.now()
-    }
-
-    fn known_timestamps(&self) -> Vec<Timestamp> {
-        GenericReplica::known_timestamps(self)
+        let strategy = NaiveReplay::new(&adt);
+        ReplicaEngine::with_strategy(adt, pid, strategy)
     }
 }
 
@@ -205,9 +151,11 @@ mod tests {
         // All six orderings of three updates delivered to a fresh
         // replica yield the same state.
         let mut seed = GenericReplica::<SetAdt<u32>>::new(SetAdt::new(), 0);
-        let msgs = [seed.update(SetUpdate::Insert(1)),
+        let msgs = [
+            seed.update(SetUpdate::Insert(1)),
             seed.update(SetUpdate::Insert(2)),
-            seed.update(SetUpdate::Delete(1))];
+            seed.update(SetUpdate::Delete(1)),
+        ];
         let expect = seed.materialize();
         let perms = [
             [0, 1, 2],

@@ -9,25 +9,31 @@
 //! | module | contents | paper |
 //! |--------|----------|-------|
 //! | [`timestamp`] | `(clock, pid)` Lamport timestamps, the total order on updates | §VII-B |
-//! | [`log`] | the timestamp-sorted update log `updates_i` | Alg. 1 |
-//! | [`generic`] | [`GenericReplica`] — Algorithm 1 verbatim (naive query replay) | Alg. 1 |
-//! | [`cached`] | [`CachedReplica`] — checkpointed incremental state | §VII-C |
-//! | [`undo`] | [`UndoReplica`] — Karsenty/Beaudouin-Lafon undo repositioning | §VII-C |
-//! | [`gc`] | [`GcReplica`] — stability-based log compaction | §VII-C |
+//! | [`log`] | the timestamp-sorted update log `updates_i`, with batched merge | Alg. 1 |
+//! | [`engine`] | [`ReplicaEngine`] — Algorithm 1's shared core (pid, clock, log) + the [`RepairStrategy`] hook trait + batched delivery | Alg. 1, §VII-C |
+//! | [`generic`] | [`NaiveReplay`] strategy; [`GenericReplica`] — Algorithm 1 verbatim (naive query replay) | Alg. 1 |
+//! | [`cached`] | [`CheckpointRepair`] strategy; [`CachedReplica`] — checkpointed incremental state | §VII-C |
+//! | [`undo`] | [`UndoRepair`] strategy; [`UndoReplica`] — Karsenty/Beaudouin-Lafon undo repositioning | §VII-C |
+//! | [`gc`] | [`StableGc`] strategy; [`GcReplica`] — stability-based log compaction | §VII-C |
 //! | [`memory`] | [`UcMemory`] — Algorithm 2, LWW shared memory | Alg. 2 |
-//! | [`replica`] | the wait-free replica trait all variants share | §VII-A |
+//! | [`replica`] | the wait-free replica trait all variants share (incl. [`Replica::on_batch`]) | §VII-A |
 //! | [`sim_adapter`] | run replicas on `uc-sim`; turn traces into checkable histories + SUC witnesses | Prop. 4 |
 //! | [`convergence`] | cross-replica convergence checks | Defs. 5/8 |
 //!
-//! All variants produce *identical observable behaviour* (the same
-//! update order, hence the same converged states); they differ only in
-//! the cost profile measured by experiments E8–E10.
+//! All variants are the *same* Algorithm 1 — one [`ReplicaEngine`]
+//! parameterised by a [`RepairStrategy`] — and produce identical
+//! observable behaviour (the same update order, hence the same
+//! converged states); they differ only in the cost profile measured by
+//! experiments E8–E10. The engine also owns the batching hot path:
+//! [`ReplicaEngine::on_deliver_batch`] ingests a burst of messages
+//! with a single rollback + refold.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cached;
 pub mod convergence;
+pub mod engine;
 pub mod gc;
 pub mod generic;
 pub mod log;
@@ -38,16 +44,19 @@ pub mod sim_adapter;
 pub mod timestamp;
 pub mod undo;
 
-pub use cached::CachedReplica;
-pub use gc::GcReplica;
-pub use generic::GenericReplica;
+pub use cached::{CachedReplica, CheckpointRepair};
+pub use engine::{EngineCtx, RepairStrategy, ReplicaEngine};
+pub use gc::{GcReplica, StableGc};
+pub use generic::{GenericReplica, NaiveReplay};
 pub use log::UpdateLog;
 pub use memory::{MemWrite, UcMemory};
 pub use message::{GcMsg, UpdateMsg};
 pub use replica::{state_digest, Replica};
-pub use sim_adapter::{trace_to_history, OmegaMarking, OpInput, OpOutput, ReplicaNode, TimestampedMsg};
+pub use sim_adapter::{
+    trace_to_history, OmegaMarking, OpInput, OpOutput, ReplicaNode, TimestampedMsg,
+};
 pub use timestamp::{LamportClock, Timestamp};
-pub use undo::UndoReplica;
+pub use undo::{UndoRepair, UndoReplica};
 
 /// Compatibility alias used in the README quickstart.
 pub use replica::Replica as UqReplica;

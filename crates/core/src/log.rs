@@ -44,10 +44,7 @@ impl<U: Clone> UpdateLog<U> {
     /// present (reliable broadcast delivers once, but being defensive
     /// costs one comparison).
     pub fn insert(&mut self, msg: &UpdateMsg<U>) -> Option<usize> {
-        match self
-            .entries
-            .binary_search_by(|(ts, _)| ts.cmp(&msg.ts))
-        {
+        match self.entries.binary_search_by(|(ts, _)| ts.cmp(&msg.ts)) {
             Ok(_) => None,
             Err(pos) => {
                 self.entries.insert(pos, (msg.ts, msg.update.clone()));
@@ -58,17 +55,50 @@ impl<U: Clone> UpdateLog<U> {
 
     /// Append an update known to carry the largest timestamp (the
     /// common in-order fast path). Falls back to sorted insertion if
-    /// the claim is wrong.
-    pub fn push_newest(&mut self, msg: &UpdateMsg<U>) -> usize {
+    /// the claim is wrong. Returns the insertion position, or `None`
+    /// if the timestamp was already present — callers must not
+    /// confuse a rejected duplicate with a valid position (a duplicate
+    /// used to be reported as `entries.len()`, which repair logic
+    /// would happily treat as an in-order insert).
+    pub fn push_newest(&mut self, msg: &UpdateMsg<U>) -> Option<usize> {
         match self.entries.last() {
-            Some((last, _)) if *last >= msg.ts => {
-                self.insert(msg).unwrap_or(self.entries.len())
-            }
+            Some((last, _)) if *last >= msg.ts => self.insert(msg),
             _ => {
                 self.entries.push((msg.ts, msg.update.clone()));
-                self.entries.len() - 1
+                Some(self.entries.len() - 1)
             }
         }
+    }
+
+    /// Merge a whole batch of messages in one pass: deduplicate
+    /// (against the log *and* within the batch), splice the fresh
+    /// entries in, and restore timestamp order by sorting only the
+    /// dirty suffix. Returns the earliest insertion position — the
+    /// single point a repair strategy must roll back to — or `None`
+    /// if every message was a duplicate.
+    ///
+    /// Cost: `O(k log k + k log n + s log s)` for `k` new messages and
+    /// a dirty suffix of length `s`, versus `O(k·(log n + n))` worst
+    /// case for `k` separate [`UpdateLog::insert`] calls (each may
+    /// memmove the tail).
+    pub fn insert_batch(&mut self, msgs: &[UpdateMsg<U>]) -> Option<usize> {
+        let mut fresh: Vec<(Timestamp, U)> = Vec::with_capacity(msgs.len());
+        for m in msgs {
+            if self
+                .entries
+                .binary_search_by(|(ts, _)| ts.cmp(&m.ts))
+                .is_err()
+            {
+                fresh.push((m.ts, m.update.clone()));
+            }
+        }
+        fresh.sort_unstable_by_key(|(ts, _)| *ts);
+        fresh.dedup_by_key(|(ts, _)| *ts);
+        let min_ts = fresh.first()?.0;
+        let min_pos = self.entries.partition_point(|(ts, _)| *ts < min_ts);
+        self.entries.extend(fresh);
+        self.entries[min_pos..].sort_unstable_by_key(|(ts, _)| *ts);
+        Some(min_pos)
     }
 
     /// The entries in timestamp order.
@@ -89,9 +119,7 @@ impl<U: Clone> UpdateLog<U> {
     /// Remove and return the prefix of entries with `ts.clock ≤ bound`
     /// — the stable prefix for garbage collection.
     pub fn drain_stable_prefix(&mut self, bound: u64) -> Vec<(Timestamp, U)> {
-        let cut = self
-            .entries
-            .partition_point(|(ts, _)| ts.clock <= bound);
+        let cut = self.entries.partition_point(|(ts, _)| ts.clock <= bound);
         self.entries.drain(..cut).collect()
     }
 }
@@ -137,12 +165,57 @@ mod tests {
     #[test]
     fn push_newest_fast_path_and_fallback() {
         let mut log = UpdateLog::new();
-        assert_eq!(log.push_newest(&msg(1, 0, "a")), 0);
-        assert_eq!(log.push_newest(&msg(2, 0, "b")), 1);
+        assert_eq!(log.push_newest(&msg(1, 0, "a")), Some(0));
+        assert_eq!(log.push_newest(&msg(2, 0, "b")), Some(1));
         // wrong claim: older than the last entry → sorted insertion
-        assert_eq!(log.push_newest(&msg(1, 1, "mid")), 1);
+        assert_eq!(log.push_newest(&msg(1, 1, "mid")), Some(1));
         let order: Vec<&str> = log.iter().map(|(_, u)| *u).collect();
         assert_eq!(order, vec!["a", "mid", "b"]);
+    }
+
+    #[test]
+    fn push_newest_reports_duplicates_as_none() {
+        let mut log = UpdateLog::new();
+        assert_eq!(log.push_newest(&msg(1, 0, "a")), Some(0));
+        assert_eq!(log.push_newest(&msg(1, 0, "a")), None);
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn insert_batch_merges_and_reports_min_position() {
+        let mut log = UpdateLog::new();
+        log.insert(&msg(2, 0, "b"));
+        log.insert(&msg(5, 0, "e"));
+        log.insert(&msg(9, 0, "i"));
+        // Batch straddles existing entries, out of order, with an
+        // internal duplicate and one already-present timestamp.
+        let batch = [
+            msg(7, 0, "g"),
+            msg(3, 0, "c"),
+            msg(5, 0, "e"), // already in the log
+            msg(3, 0, "c"), // duplicate within the batch
+        ];
+        assert_eq!(log.insert_batch(&batch), Some(1));
+        let order: Vec<&str> = log.iter().map(|(_, u)| *u).collect();
+        assert_eq!(order, vec!["b", "c", "e", "g", "i"]);
+    }
+
+    #[test]
+    fn insert_batch_of_duplicates_is_none() {
+        let mut log = UpdateLog::new();
+        log.insert(&msg(1, 0, "a"));
+        assert_eq!(log.insert_batch(&[msg(1, 0, "a"), msg(1, 0, "a")]), None);
+        assert_eq!(log.insert_batch(&[]), None);
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn insert_batch_all_newer_appends() {
+        let mut log = UpdateLog::new();
+        log.insert(&msg(1, 0, "a"));
+        assert_eq!(log.insert_batch(&[msg(3, 1, "c"), msg(2, 1, "b")]), Some(1));
+        let order: Vec<&str> = log.iter().map(|(_, u)| *u).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
     }
 
     #[test]

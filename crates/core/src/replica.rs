@@ -29,6 +29,18 @@ pub trait Replica<A: UqAdt> {
     /// Ingest a message from a peer.
     fn on_message(&mut self, msg: &Self::Msg);
 
+    /// Ingest a whole burst of peer messages at once. The default is a
+    /// per-message loop; replicas built on the
+    /// [`ReplicaEngine`](crate::engine::ReplicaEngine) override it to
+    /// merge the batch into the log with a **single**
+    /// rollback-and-refold, which is the batching hot path both
+    /// `uc-sim` runtimes flush through.
+    fn on_batch(&mut self, msgs: &[Self::Msg]) {
+        for m in msgs {
+            self.on_message(m);
+        }
+    }
+
     /// Answer a query from local knowledge.
     fn query(&mut self, q: &A::QueryIn) -> A::QueryOut;
 

@@ -178,6 +178,13 @@ where
     fn on_message(&mut self, _from: Pid, msg: Self::Msg, _ctx: &mut Ctx<'_, Self::Msg>) {
         self.replica.on_message(&msg);
     }
+
+    /// Runtime flushes land on the replica's batched ingest path: one
+    /// rollback + refold per burst for engine-backed replicas.
+    fn on_batch(&mut self, msgs: Vec<(Pid, Self::Msg)>, _ctx: &mut Ctx<'_, Self::Msg>) {
+        let msgs: Vec<Self::Msg> = msgs.into_iter().map(|(_, m)| m).collect();
+        self.replica.on_batch(&msgs);
+    }
 }
 
 /// Failure modes of trace conversion.
@@ -354,7 +361,13 @@ mod tests {
             s.schedule_invoke(t + p as u64, p, OpInput::Query(SetQuery::Read));
         }
         s.run_to_quiescence();
-        let (h, w) = trace_to_history(SetAdt::<u32>::new(), 3, s.records(), OmegaMarking::FinalQueries).unwrap();
+        let (h, w) = trace_to_history(
+            SetAdt::<u32>::new(),
+            3,
+            s.records(),
+            OmegaMarking::FinalQueries,
+        )
+        .unwrap();
         assert_eq!(verify_witness(&h, &w), Ok(()));
     }
 
@@ -394,11 +407,69 @@ mod tests {
     }
 
     #[test]
+    fn batched_delivery_converges_identically_with_fewer_repairs() {
+        use crate::cached::CachedReplica;
+        use uc_sim::DeliveryMode;
+        type CNode = ReplicaNode<SetAdt<u32>, CachedReplica<SetAdt<u32>>>;
+        let run = |batched: bool| {
+            let mut s: Simulation<CNode> = Simulation::new(
+                SimConfig {
+                    n: 3,
+                    seed: 9,
+                    latency: LatencyModel::Uniform(5, 80),
+                    fifo_links: false,
+                },
+                |pid| {
+                    ReplicaNode::untraced(CachedReplica::with_checkpoint_every(
+                        SetAdt::new(),
+                        pid,
+                        8,
+                    ))
+                },
+            );
+            if batched {
+                s.set_delivery_mode(DeliveryMode::Batched { window: 40 });
+            }
+            for i in 0..60u32 {
+                let pid = (i % 3) as Pid;
+                s.schedule_invoke(i as u64, pid, OpInput::Update(SetUpdate::Insert(i)));
+            }
+            s.run_to_quiescence();
+            let batches = s.metrics.batches_delivered;
+            let mut states = Vec::new();
+            let mut repairs = 0;
+            for p in 0..3 {
+                let node = s.process_mut(p);
+                states.push(node.replica.materialize());
+                repairs += node.replica.repair_events();
+            }
+            (states, repairs, batches)
+        };
+        let (seq_states, seq_repairs, _) = run(false);
+        let (bat_states, bat_repairs, bat_batches) = run(true);
+        assert_eq!(seq_states[0], seq_states[1]);
+        assert_eq!(seq_states[1], seq_states[2]);
+        assert_eq!(seq_states, bat_states, "batching must not change outcomes");
+        assert!(
+            bat_batches > 0,
+            "the workload must actually exercise batching"
+        );
+        assert!(
+            bat_repairs <= seq_repairs,
+            "batched repairs {bat_repairs} vs per-message {seq_repairs}"
+        );
+    }
+
+    #[test]
     fn crash_does_not_block_survivors() {
         let mut s = sim(3, 5);
         s.schedule_crash(1, 2);
         for i in 0..10u32 {
-            s.schedule_invoke(2 + i as u64, (i % 2) as Pid, OpInput::Update(SetUpdate::Insert(i)));
+            s.schedule_invoke(
+                2 + i as u64,
+                (i % 2) as Pid,
+                OpInput::Update(SetUpdate::Insert(i)),
+            );
         }
         s.run_to_quiescence();
         let a = s.process_mut(0).replica.materialize();

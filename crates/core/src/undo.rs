@@ -1,133 +1,90 @@
-//! The **undo-based repositioning** variant (§VII-C, after Karsenty &
+//! The **undo-based repositioning** strategy (§VII-C, after Karsenty &
 //! Beaudouin-Lafon's ICDCS'93 groupware algorithm): each update `u`
 //! has an inverse, so a late message at position `p` is integrated by
 //! undoing the suffix `log[p..]` (LIFO), applying the newcomer, and
 //! replaying the suffix — "which saves computation time" relative to
 //! replaying from `s0`, at the cost of requiring an
-//! [`UndoableUqAdt`] and storing one undo token per entry.
+//! [`UndoableUqAdt`] and storing one undo token per entry. A batch of
+//! late messages pays the undo/redo of the shared suffix **once**
+//! (see [`crate::engine::ReplicaEngine::on_deliver_batch`]).
 
-use crate::message::UpdateMsg;
-use crate::replica::Replica;
-use crate::timestamp::{LamportClock, Timestamp};
+use crate::engine::{EngineCtx, RepairStrategy, ReplicaEngine};
+use crate::log::UpdateLog;
 use uc_spec::UndoableUqAdt;
+
+/// Fully folded state plus a LIFO stack of undo tokens, one per log
+/// entry (`tokens[i]` undoes `log[i]` from the state it was applied
+/// in).
+#[derive(Clone, Debug)]
+pub struct UndoRepair<A: UndoableUqAdt> {
+    state: A::State,
+    tokens: Vec<A::UndoToken>,
+    repair_steps: u64,
+    repair_events: u64,
+}
+
+impl<A: UndoableUqAdt> UndoRepair<A> {
+    /// A fresh strategy.
+    pub fn new(adt: &A) -> Self {
+        UndoRepair {
+            state: adt.initial(),
+            tokens: Vec::new(),
+            repair_steps: 0,
+            repair_events: 0,
+        }
+    }
+
+    /// Undo down to `pos`, then redo the (already updated) log suffix
+    /// capturing fresh tokens — the single repair primitive.
+    fn repair_from(&mut self, adt: &A, log: &UpdateLog<A::Update>, pos: usize) {
+        if pos < self.tokens.len() {
+            self.repair_events += 1;
+        }
+        while self.tokens.len() > pos {
+            let tok = self.tokens.pop().expect("suffix token");
+            adt.undo(&mut self.state, &tok);
+            self.repair_steps += 1;
+        }
+        for i in pos..log.len() {
+            let (_, u) = log.get(i).expect("in range");
+            let tok = adt.apply_with_undo(&mut self.state, u);
+            self.tokens.push(tok);
+            self.repair_steps += 1;
+        }
+    }
+}
+
+impl<A: UndoableUqAdt> RepairStrategy<A> for UndoRepair<A> {
+    fn on_insert(&mut self, adt: &A, log: &mut UpdateLog<A::Update>, pos: usize, _ctx: &EngineCtx) {
+        self.repair_from(adt, log, pos);
+    }
+
+    // on_batch_insert: the default (one `on_insert` at the minimum
+    // position) already undoes and redoes the shared suffix once.
+
+    fn current_state(&mut self, _adt: &A, log: &UpdateLog<A::Update>) -> &A::State {
+        debug_assert_eq!(self.tokens.len(), log.len(), "state must be fully folded");
+        &self.state
+    }
+
+    fn repair_steps(&self) -> u64 {
+        self.repair_steps
+    }
+
+    fn repair_events(&self) -> u64 {
+        self.repair_events
+    }
+}
 
 /// Algorithm 1 with undo-based late-message integration; queries are
 /// O(1).
-#[derive(Clone, Debug)]
-pub struct UndoReplica<A: UndoableUqAdt> {
-    adt: A,
-    pid: u32,
-    clock: LamportClock,
-    /// Timestamp-sorted entries with the token captured when each was
-    /// applied at its current position.
-    entries: Vec<(Timestamp, A::Update, A::UndoToken)>,
-    state: A::State,
-    /// Undo + redo steps performed (observability for the E8 bench).
-    pub repair_steps: u64,
-}
+pub type UndoReplica<A> = ReplicaEngine<A, UndoRepair<A>>;
 
 impl<A: UndoableUqAdt> UndoReplica<A> {
     /// A fresh replica for process `pid`.
     pub fn new(adt: A, pid: u32) -> Self {
-        let state = adt.initial();
-        UndoReplica {
-            adt,
-            pid,
-            clock: LamportClock::new(),
-            entries: Vec::new(),
-            state,
-            repair_steps: 0,
-        }
-    }
-
-    /// Perform a local update.
-    pub fn update(&mut self, u: A::Update) -> UpdateMsg<A::Update> {
-        let ts = Timestamp::new(self.clock.tick(), self.pid);
-        let msg = UpdateMsg {
-            ts,
-            update: u.clone(),
-        };
-        self.integrate(ts, u);
-        msg
-    }
-
-    /// Receive a peer's update.
-    pub fn on_deliver(&mut self, msg: &UpdateMsg<A::Update>) {
-        self.clock.merge(msg.ts.clock);
-        self.integrate(msg.ts, msg.update.clone());
-    }
-
-    fn integrate(&mut self, ts: Timestamp, u: A::Update) {
-        let pos = match self
-            .entries
-            .binary_search_by(|(t, _, _)| t.cmp(&ts))
-        {
-            Ok(_) => return, // duplicate delivery
-            Err(pos) => pos,
-        };
-        // Undo the suffix (LIFO), apply, redo.
-        let mut suffix: Vec<(Timestamp, A::Update)> = Vec::with_capacity(self.entries.len() - pos);
-        while self.entries.len() > pos {
-            let (t, upd, tok) = self.entries.pop().expect("suffix entry");
-            self.adt.undo(&mut self.state, &tok);
-            self.repair_steps += 1;
-            suffix.push((t, upd));
-        }
-        let tok = self.adt.apply_with_undo(&mut self.state, &u);
-        self.repair_steps += 1;
-        self.entries.push((ts, u, tok));
-        for (t, upd) in suffix.into_iter().rev() {
-            let tok = self.adt.apply_with_undo(&mut self.state, &upd);
-            self.repair_steps += 1;
-            self.entries.push((t, upd, tok));
-        }
-    }
-
-    /// Answer a query from the maintained state — O(1) state work.
-    pub fn do_query(&mut self, q: &A::QueryIn) -> A::QueryOut {
-        self.clock.tick();
-        self.adt.observe(&self.state, q)
-    }
-
-    /// Known timestamps (witness extraction).
-    pub fn known_timestamps(&self) -> Vec<Timestamp> {
-        self.entries.iter().map(|(t, _, _)| *t).collect()
-    }
-}
-
-impl<A: UndoableUqAdt> Replica<A> for UndoReplica<A> {
-    type Msg = UpdateMsg<A::Update>;
-
-    fn pid(&self) -> u32 {
-        self.pid
-    }
-
-    fn local_update(&mut self, u: A::Update) -> Vec<Self::Msg> {
-        vec![self.update(u)]
-    }
-
-    fn on_message(&mut self, msg: &Self::Msg) {
-        self.on_deliver(msg);
-    }
-
-    fn query(&mut self, q: &A::QueryIn) -> A::QueryOut {
-        self.do_query(q)
-    }
-
-    fn materialize(&mut self) -> A::State {
-        self.state.clone()
-    }
-
-    fn log_len(&self) -> usize {
-        self.entries.len()
-    }
-
-    fn clock(&self) -> u64 {
-        self.clock.now()
-    }
-
-    fn known_timestamps(&self) -> Vec<Timestamp> {
-        UndoReplica::known_timestamps(self)
+        let strategy = UndoRepair::new(&adt);
+        ReplicaEngine::with_strategy(adt, pid, strategy)
     }
 }
 
@@ -135,6 +92,7 @@ impl<A: UndoableUqAdt> Replica<A> for UndoReplica<A> {
 mod tests {
     use super::*;
     use crate::generic::GenericReplica;
+    use crate::replica::Replica;
     use std::collections::BTreeSet;
     use uc_spec::{SetAdt, SetQuery, SetUpdate};
 
@@ -189,9 +147,9 @@ mod tests {
         for i in 0..100u32 {
             u.update(SetUpdate::Insert(i % 3));
         }
-        let before = u.repair_steps;
+        let before = u.repair_steps();
         u.on_deliver(&near_tail); // (99,1) sorts after (99,0), before (100,0)
-        let cost = u.repair_steps - before;
+        let cost = u.repair_steps() - before;
         assert!(cost <= 3, "near-tail integration cost {cost}");
     }
 
@@ -223,6 +181,6 @@ mod tests {
         for m in msgs_a.iter().rev() {
             b.on_deliver(m);
         }
-        assert_eq!(a.materialize(), b.materialize());
+        assert_eq!(Replica::materialize(&mut a), Replica::materialize(&mut b));
     }
 }

@@ -153,7 +153,10 @@ mod tests {
         a.on_message(&rem);
         b.on_message(&add);
         assert_eq!(a.read(), b.read());
-        assert!(a.read().is_empty(), "delete stamped (1,1) beats insert (1,0)");
+        assert!(
+            a.read().is_empty(),
+            "delete stamped (1,1) beats insert (1,0)"
+        );
     }
 
     #[test]

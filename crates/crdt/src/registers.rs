@@ -117,7 +117,8 @@ impl<V: Ord + Clone + Debug> MvRegister<V> {
 }
 
 fn dominates(a: &BTreeMap<u32, u64>, b: &BTreeMap<u32, u64>) -> bool {
-    b.iter().all(|(pid, c)| a.get(pid).copied().unwrap_or(0) >= *c)
+    b.iter()
+        .all(|(pid, c)| a.get(pid).copied().unwrap_or(0) >= *c)
         && a != b
 }
 
@@ -147,10 +148,7 @@ mod tests {
         let mut c = LwwRegister::new(2);
         c.write(3);
         // Compare the lattice content; pid/clock are identity.
-        assert_eq!(
-            merge_laws_hold_by(&a, &b, &c, |r| r.latest),
-            Ok(())
-        );
+        assert_eq!(merge_laws_hold_by(&a, &b, &c, |r| r.latest), Ok(()));
     }
 
     #[test]

@@ -103,17 +103,14 @@ mod tests {
             sim.schedule_invoke((i * 2) as u64, pid, op);
         }
         sim.run_to_quiescence();
-        let reads: Vec<_> = (0..3)
-            .map(|p| sim.process(p).replica.read())
-            .collect();
+        let reads: Vec<_> = (0..3).map(|p| sim.process(p).replica.read()).collect();
         assert_eq!(reads[0], reads[1]);
         assert_eq!(reads[1], reads[2]);
     }
 
     #[test]
     fn two_phase_set_converges_in_simulation() {
-        let mut sim =
-            Simulation::new(cfg(4, 5), |_| SetNode::new(TwoPhaseSet::<u32>::new()));
+        let mut sim = Simulation::new(cfg(4, 5), |_| SetNode::new(TwoPhaseSet::<u32>::new()));
         for i in 0..30u32 {
             let pid = (i % 4) as Pid;
             let op = if i % 3 == 0 {
@@ -124,9 +121,7 @@ mod tests {
             sim.schedule_invoke(i as u64, pid, op);
         }
         sim.run_to_quiescence();
-        let reads: Vec<_> = (0..4)
-            .map(|p| sim.process(p).replica.read())
-            .collect();
+        let reads: Vec<_> = (0..4).map(|p| sim.process(p).replica.read()).collect();
         assert!(reads.windows(2).all(|w| w[0] == w[1]), "{reads:?}");
     }
 

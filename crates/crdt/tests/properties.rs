@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 use std::collections::BTreeSet;
-use uc_crdt::{
-    CSet, CvRdt, GSet, LwwSet, OrSet, PnSet, SetReplica, TwoPhaseSet,
-};
+use uc_crdt::{CSet, CvRdt, GSet, LwwSet, OrSet, PnSet, SetReplica, TwoPhaseSet};
 
 #[derive(Clone, Copy, Debug)]
 enum Cmd {

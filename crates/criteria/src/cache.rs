@@ -31,10 +31,7 @@ where
 }
 
 /// Decide cache consistency with an explicit budget.
-pub fn check_cache_memory_with<X, V>(
-    h: &History<MemoryAdt<X, V>>,
-    cfg: &CheckConfig,
-) -> Verdict
+pub fn check_cache_memory_with<X, V>(h: &History<MemoryAdt<X, V>>, cfg: &CheckConfig) -> Verdict
 where
     X: Clone + Debug + Eq + Ord + Hash,
     V: Clone + Debug + Eq + Hash,

@@ -75,7 +75,10 @@ mod tests {
 
     #[test]
     fn budget_exhausts() {
-        let mut b = Budget::new(&CheckConfig { max_nodes: 2, max_chains: 1 });
+        let mut b = Budget::new(&CheckConfig {
+            max_nodes: 2,
+            max_chains: 1,
+        });
         assert!(b.spend());
         assert!(b.spend());
         assert!(!b.spend());

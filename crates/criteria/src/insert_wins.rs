@@ -69,8 +69,7 @@ where
             visible: witness_pairs(h, &a),
         })),
         EnumOutcome::Exhausted => Verdict::Fails(
-            "no visibility assignment satisfies the insert-wins concurrent specification"
-                .into(),
+            "no visibility assignment satisfies the insert-wins concurrent specification".into(),
         ),
         EnumOutcome::OutOfBudget => {
             Verdict::Unsupported("insert-wins search budget exceeded".into())

@@ -89,11 +89,36 @@ mod tests {
         let cfg = CheckConfig::default();
         for fig in paper::all_figures() {
             let row = classify(fig.name, fig.caption, &fig.history, &cfg);
-            assert_eq!(row.verdict("EC").unwrap().holds(), fig.expected.ec, "{} EC", fig.name);
-            assert_eq!(row.verdict("SEC").unwrap().holds(), fig.expected.sec, "{} SEC", fig.name);
-            assert_eq!(row.verdict("PC").unwrap().holds(), fig.expected.pc, "{} PC", fig.name);
-            assert_eq!(row.verdict("UC").unwrap().holds(), fig.expected.uc, "{} UC", fig.name);
-            assert_eq!(row.verdict("SUC").unwrap().holds(), fig.expected.suc, "{} SUC", fig.name);
+            assert_eq!(
+                row.verdict("EC").unwrap().holds(),
+                fig.expected.ec,
+                "{} EC",
+                fig.name
+            );
+            assert_eq!(
+                row.verdict("SEC").unwrap().holds(),
+                fig.expected.sec,
+                "{} SEC",
+                fig.name
+            );
+            assert_eq!(
+                row.verdict("PC").unwrap().holds(),
+                fig.expected.pc,
+                "{} PC",
+                fig.name
+            );
+            assert_eq!(
+                row.verdict("UC").unwrap().holds(),
+                fig.expected.uc,
+                "{} UC",
+                fig.name
+            );
+            assert_eq!(
+                row.verdict("SUC").unwrap().holds(),
+                fig.expected.suc,
+                "{} SUC",
+                fig.name
+            );
             assert!(row.verdict("SC").unwrap().fails(), "{} SC", fig.name);
         }
     }

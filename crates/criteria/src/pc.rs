@@ -34,10 +34,7 @@ pub fn check_pc_with<A: UqAdt>(h: &History<A>, cfg: &CheckConfig) -> Verdict {
         );
     }
     let Some(maximal) = chains::maximal_chains(h, cfg.max_chains) else {
-        return Verdict::Unsupported(format!(
-            "more than {} maximal chains",
-            cfg.max_chains
-        ));
+        return Verdict::Unsupported(format!("more than {} maximal chains", cfg.max_chains));
     };
     let mut witnesses = Vec::with_capacity(maximal.len());
     for chain in maximal {
@@ -46,7 +43,16 @@ pub fn check_pc_with<A: UqAdt>(h: &History<A>, cfg: &CheckConfig) -> Verdict {
         let mut seen: FxHashSet<(Mask, A::State)> = FxHashSet::default();
         let mut order = Vec::new();
         let mut state = h.adt().initial();
-        match dfs(h, scope, 0, &mut state, None, &mut order, &mut seen, &mut budget) {
+        match dfs(
+            h,
+            scope,
+            0,
+            &mut state,
+            None,
+            &mut order,
+            &mut seen,
+            &mut budget,
+        ) {
             Outcome::Found => witnesses.push(ChainWitness {
                 chain,
                 linearization: order,
@@ -243,7 +249,13 @@ mod tests {
     #[test]
     fn tiny_budget_reports_unsupported() {
         let fig = paper::fig2();
-        let v = check_pc_with(&fig.history, &CheckConfig { max_nodes: 3, max_chains: 64 });
+        let v = check_pc_with(
+            &fig.history,
+            &CheckConfig {
+                max_nodes: 3,
+                max_chains: 64,
+            },
+        );
         assert!(matches!(v, Verdict::Unsupported(_)));
     }
 }

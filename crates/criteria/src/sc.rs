@@ -33,9 +33,7 @@ pub fn check_sc_with<A: UqAdt>(h: &History<A>, cfg: &CheckConfig) -> Verdict {
     let mut state = h.adt().initial();
     match dfs(h, 0, &mut state, &mut order, &mut seen, &mut budget) {
         Outcome::Found => Verdict::Holds(Witness::FullLinearization(order)),
-        Outcome::Exhausted => {
-            Verdict::Fails("no linearization of all events is in L(O)".into())
-        }
+        Outcome::Exhausted => Verdict::Fails("no linearization of all events is in L(O)".into()),
         Outcome::OutOfBudget => {
             Verdict::Unsupported("sequential-consistency search budget exceeded".into())
         }

@@ -12,8 +12,8 @@
 use crate::config::{Budget, CheckConfig};
 use crate::verdict::{Verdict, VisibilityWitness, Witness};
 use crate::vis::{is_acyclic, witness_pairs, EnumOutcome, VisAssignment, VisEnum};
-use uc_history::fxhash::FxHashMap;
 use uc_history::downset::Mask;
+use uc_history::fxhash::FxHashMap;
 use uc_history::History;
 use uc_spec::StateAbduction;
 
@@ -26,8 +26,7 @@ pub fn check_sec<A: StateAbduction>(h: &History<A>) -> Verdict {
 pub fn check_sec_with<A: StateAbduction>(h: &History<A>, cfg: &CheckConfig) -> Verdict {
     if h.has_omega_update() {
         return Verdict::Unsupported(
-            "strong eventual consistency with ω-updates is outside the decision procedure"
-                .into(),
+            "strong eventual consistency with ω-updates is outside the decision procedure".into(),
         );
     }
     let mut budget = Budget::new(cfg);
@@ -56,8 +55,13 @@ pub(crate) fn strong_convergence<A: StateAbduction>(
     h: &History<A>,
     assignment: &VisAssignment,
 ) -> bool {
-    type Groups<A> =
-        FxHashMap<Mask, Vec<(<A as uc_spec::UqAdt>::QueryIn, <A as uc_spec::UqAdt>::QueryOut)>>;
+    type Groups<A> = FxHashMap<
+        Mask,
+        Vec<(
+            <A as uc_spec::UqAdt>::QueryIn,
+            <A as uc_spec::UqAdt>::QueryOut,
+        )>,
+    >;
     let mut groups: Groups<A> = FxHashMap::default();
     for q in h.query_ids() {
         let query = h.query_of(q);

@@ -51,14 +51,12 @@ pub fn check_suc_with<A: UqAdt>(h: &History<A>, cfg: &CheckConfig) -> Verdict {
         }
     });
     match found {
-        Some((tau, assignment)) if !out_of_budget => {
-            Verdict::Holds(Witness::VisibilityAndOrder {
-                visibility: VisibilityWitness {
-                    visible: witness_pairs(h, &assignment),
-                },
-                order: tau,
-            })
-        }
+        Some((tau, assignment)) if !out_of_budget => Verdict::Holds(Witness::VisibilityAndOrder {
+            visibility: VisibilityWitness {
+                visible: witness_pairs(h, &assignment),
+            },
+            order: tau,
+        }),
         Some(_) => Verdict::Unsupported("SUC search budget exceeded".into()),
         None => {
             if out_of_budget {
@@ -112,8 +110,7 @@ fn replay_answers<A: UqAdt>(
     v: Mask,
     q: EventId,
 ) -> bool {
-    let mut vis_updates: Vec<EventId> =
-        downset::iter(v).map(|i| EventId(i as u32)).collect();
+    let mut vis_updates: Vec<EventId> = downset::iter(v).map(|i| EventId(i as u32)).collect();
     vis_updates.sort_by_key(|u| pos[u.idx()]);
     debug_assert!(vis_updates.iter().all(|u| pos[u.idx()] != usize::MAX));
     let _ = tau;
@@ -167,8 +164,7 @@ pub fn verify_witness<A: UqAdt>(h: &History<A>, w: &SucWitness) -> Result<(), St
         if h.event(*e).is_query() {
             covered |= downset::bit(e.idx());
         }
-        listed[e.idx()] =
-            Some(vis.iter().fold(0, |m, u| m | downset::bit(u.idx())));
+        listed[e.idx()] = Some(vis.iter().fold(0, |m, u| m | downset::bit(u.idx())));
     }
     if covered != h.queries_mask() {
         return Err("witness does not cover every query".into());
@@ -181,8 +177,7 @@ pub fn verify_witness<A: UqAdt>(h: &History<A>, w: &SucWitness) -> Result<(), St
             Some(m) => m,
             None => {
                 debug_assert!(h.event(e).is_update());
-                let mut m = (h.updates_mask() & h.before_mask(e))
-                    | downset::bit(e.idx());
+                let mut m = (h.updates_mask() & h.before_mask(e)) | downset::bit(e.idx());
                 for p in downset::iter(h.before_mask(e)) {
                     m |= visible[p];
                 }
@@ -216,9 +211,7 @@ pub fn verify_witness<A: UqAdt>(h: &History<A>, w: &SucWitness) -> Result<(), St
     // (4) replay.
     for q in h.query_ids() {
         if !replay_answers(h, &w.update_order, &pos, assignment.visible[q.idx()], q) {
-            return Err(format!(
-                "strong sequential convergence violated at {q:?}"
-            ));
+            return Err(format!("strong sequential convergence violated at {q:?}"));
         }
     }
     Ok(())

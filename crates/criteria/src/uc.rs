@@ -21,8 +21,8 @@
 use crate::config::{Budget, CheckConfig};
 use crate::verdict::{Verdict, Witness};
 use uc_history::downset::{self, Mask};
-use uc_history::{EventId, History};
 use uc_history::fxhash::FxHashSet;
+use uc_history::{EventId, History};
 use uc_spec::UqAdt;
 
 /// Decide update consistency with the default budget.
@@ -52,11 +52,19 @@ pub fn check_uc_with<A: UqAdt>(h: &History<A>, cfg: &CheckConfig) -> Verdict {
     let mut seen: FxHashSet<(Mask, A::State)> = FxHashSet::default();
     let mut order: Vec<EventId> = Vec::new();
     let mut state = h.adt().initial();
-    match dfs(h, scope, 0, &mut state, &mut order, &omega_obs, &mut seen, &mut budget) {
-        SearchOutcome::Found(final_state) => Verdict::Holds(Witness::UpdateLinearization {
-            order,
-            final_state,
-        }),
+    match dfs(
+        h,
+        scope,
+        0,
+        &mut state,
+        &mut order,
+        &omega_obs,
+        &mut seen,
+        &mut budget,
+    ) {
+        SearchOutcome::Found(final_state) => {
+            Verdict::Holds(Witness::UpdateLinearization { order, final_state })
+        }
         SearchOutcome::Exhausted => Verdict::Fails(format!(
             "no linearization of the {} update(s) satisfies the {} ω-query observation(s)",
             downset::iter(scope).len(),
@@ -106,7 +114,16 @@ fn dfs<A: UqAdt>(
         let saved = state.clone();
         h.adt().apply(state, &u);
         order.push(e);
-        match dfs(h, scope, done | downset::bit(i), state, order, omega_obs, seen, budget) {
+        match dfs(
+            h,
+            scope,
+            done | downset::bit(i),
+            state,
+            order,
+            omega_obs,
+            seen,
+            budget,
+        ) {
             SearchOutcome::Exhausted => {}
             out => return out,
         }
@@ -179,7 +196,13 @@ mod tests {
         // builder disallows events after ω on same process; here the ω
         // was added right after p0's update, making p0's chain end in ω.
         let h = h.unwrap();
-        let v = check_uc_with(&h, &CheckConfig { max_nodes: 20_000, max_chains: 64 });
+        let v = check_uc_with(
+            &h,
+            &CheckConfig {
+                max_nodes: 20_000,
+                max_chains: 64,
+            },
+        );
         assert!(v.holds(), "{v:?}");
     }
 
@@ -228,8 +251,10 @@ mod tests {
     fn concurrent_insert_delete_both_outcomes_reachable() {
         // p0: I(1); p1: D(1). Final state may be {1} or {} depending on
         // the linearization → either ω expectation is UC.
-        for (expect, _) in [(BTreeSet::from([1]), "insert last"), (BTreeSet::new(), "delete last")]
-        {
+        for (expect, _) in [
+            (BTreeSet::from([1]), "insert last"),
+            (BTreeSet::new(), "delete last"),
+        ] {
             let mut b = HistoryBuilder::new(SetAdt::<u32>::new());
             let [p0, p1, p2] = b.processes();
             b.update(p0, SetUpdate::Insert(1));

@@ -186,9 +186,7 @@ pub fn is_acyclic<A: UqAdt>(
 ) -> bool {
     let n = h.len();
     // Successor masks: PO closure + vis edges + τ edges.
-    let mut succ: Vec<Mask> = (0..n)
-        .map(|e| h.after_mask(EventId(e as u32)))
-        .collect();
+    let mut succ: Vec<Mask> = (0..n).map(|e| h.after_mask(EventId(e as u32))).collect();
     for (e, &v) in assignment.visible.iter().enumerate() {
         for u in downset::iter(v & !downset::bit(e)) {
             succ[u] |= downset::bit(e);
@@ -362,7 +360,10 @@ mod tests {
     fn budget_propagates() {
         let h = sample();
         let v = VisEnum::new(&h);
-        let mut budget = Budget::new(&CheckConfig { max_nodes: 1, max_chains: 1 });
+        let mut budget = Budget::new(&CheckConfig {
+            max_nodes: 1,
+            max_chains: 1,
+        });
         let out = v.search(&mut budget, |_, _| true, |_| false);
         assert_eq!(out, EnumOutcome::OutOfBudget);
     }

@@ -225,8 +225,8 @@ impl<A: UqAdt> HistoryBuilder<A> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uc_spec::{SetAdt, SetQuery, SetUpdate};
     use std::collections::BTreeSet;
+    use uc_spec::{SetAdt, SetQuery, SetUpdate};
 
     type S = SetAdt<u32>;
 

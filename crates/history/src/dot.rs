@@ -19,11 +19,7 @@ pub fn to_dot<A: UqAdt>(h: &History<A>, name: &str) -> String {
         for &e in chain {
             let ev = h.event(e);
             let omega = if ev.omega { "^ω" } else { "" };
-            let _ = writeln!(
-                out,
-                "    e{} [label=\"{:?}{}\"];",
-                e.0, ev.op, omega
-            );
+            let _ = writeln!(out, "    e{} [label=\"{:?}{}\"];", e.0, ev.op, omega);
         }
         let _ = writeln!(out, "  }}");
     }
@@ -48,8 +44,8 @@ pub fn to_dot<A: UqAdt>(h: &History<A>, name: &str) -> String {
 mod tests {
     use super::*;
     use crate::builder::HistoryBuilder;
-    use uc_spec::{SetAdt, SetQuery, SetUpdate};
     use std::collections::BTreeSet;
+    use uc_spec::{SetAdt, SetQuery, SetUpdate};
 
     #[test]
     fn dot_contains_clusters_edges_and_omega() {

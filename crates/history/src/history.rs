@@ -148,16 +148,12 @@ impl<A: UqAdt> History<A> {
 
     /// The query payload of event `q`; panics if `q` is an update.
     pub fn query_of(&self, q: EventId) -> &Query<A> {
-        self.label(q)
-            .as_query()
-            .expect("event is not a query")
+        self.label(q).as_query().expect("event is not a query")
     }
 
     /// The update payload of event `u`; panics if `u` is a query.
     pub fn update_of(&self, u: EventId) -> &A::Update {
-        self.label(u)
-            .as_update()
-            .expect("event is not an update")
+        self.label(u).as_update().expect("event is not an update")
     }
 
     /// Frontier extension: events *not* in `done` but restricted to
@@ -220,7 +216,12 @@ impl<A: UqAdt> History<A> {
 
 impl<A: UqAdt> fmt::Debug for History<A> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "History ({} events, {} processes):", self.len(), self.n_processes())?;
+        writeln!(
+            f,
+            "History ({} events, {} processes):",
+            self.len(),
+            self.n_processes()
+        )?;
         for (p, chain) in self.chains.iter().enumerate() {
             write!(f, "  p{p}: ")?;
             for (k, id) in chain.iter().enumerate() {
@@ -259,8 +260,8 @@ impl<A: UqAdt + Clone> Clone for History<A> {
 mod tests {
     use super::*;
     use crate::builder::HistoryBuilder;
-    use uc_spec::{SetAdt, SetQuery, SetUpdate};
     use std::collections::BTreeSet;
+    use uc_spec::{SetAdt, SetQuery, SetUpdate};
 
     fn two_proc() -> History<SetAdt<u32>> {
         let mut b = HistoryBuilder::new(SetAdt::new());

@@ -54,10 +54,7 @@ pub fn restrict<A: UqAdt + Clone>(h: &History<A>, keep: Mask) -> History<A> {
     let mut extra_edges = Vec::new();
     for &(a, b) in h.extra_edges() {
         if downset::contains(keep, a.idx()) && downset::contains(keep, b.idx()) {
-            extra_edges.push((
-                EventId(new_index[a.idx()]),
-                EventId(new_index[b.idx()]),
-            ));
+            extra_edges.push((EventId(new_index[a.idx()]), EventId(new_index[b.idx()])));
         }
     }
     History {
@@ -83,8 +80,8 @@ pub fn labels_along<'h, A: UqAdt>(h: &'h History<A>, order: &[EventId]) -> Vec<&
 mod tests {
     use super::*;
     use crate::builder::HistoryBuilder;
-    use uc_spec::{SetAdt, SetQuery, SetUpdate};
     use std::collections::BTreeSet;
+    use uc_spec::{SetAdt, SetQuery, SetUpdate};
 
     type S = SetAdt<u32>;
 

@@ -1,0 +1,158 @@
+//! A minimal, dependency-free stand-in for the [`proptest`] crate.
+//!
+//! The build environment for this workspace has no access to a crate
+//! registry, so the real `proptest` cannot be vendored. This shim
+//! implements the (small) API subset the workspace's property tests
+//! use, with the same module paths and macro surface:
+//!
+//! * [`proptest!`] — generates `#[test]` functions that run their body
+//!   over many deterministically generated inputs;
+//! * [`Strategy`](strategy::Strategy) — value generators, implemented
+//!   for integer ranges, tuples, [`Just`](strategy::Just), mapped and
+//!   boxed strategies;
+//! * [`collection::vec`], [`option::of`], [`any`](arbitrary::any),
+//!   [`prop_oneof!`];
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`].
+//!
+//! Differences from the real crate are deliberate and small: inputs
+//! are drawn from a fixed deterministic seed per test (derived from
+//! the test's module path and name), there is **no shrinking**, and a
+//! failing case panics with the ordinary `assert!` message. Because
+//! generation is deterministic, failures reproduce exactly on re-run.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// The subset of the proptest prelude the workspace uses.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Build a strategy choosing uniformly among the given strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($s) ),+
+        ])
+    };
+}
+
+/// Property-test assertion (no shrinking in the shim: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Property-test equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Property-test inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Discard the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Define property tests: each `fn` inside becomes a `#[test]` that
+/// runs its body for `ProptestConfig::cases` generated inputs.
+///
+/// Supported parameter forms: `name in strategy_expr` and
+/// `name: Type` (the latter uses [`arbitrary::any`]).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let __seed = $crate::test_runner::fnv1a(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::TestRng::from_seed(
+                    __seed ^ (__case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $crate::__proptest_case! { rng = __rng; params = [$($params)*]; body = $body }
+            }
+        }
+        $crate::__proptest_items! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    (rng = $rng:ident; params = []; body = $body:block) => {
+        {
+            // `prop_assume!` skips a case by returning from this closure.
+            let __case_fn = || $body;
+            __case_fn();
+        }
+    };
+    (rng = $rng:ident; params = [$v:ident in $s:expr]; body = $body:block) => {
+        {
+            let $v = $crate::strategy::Strategy::generate(&($s), &mut $rng);
+            $crate::__proptest_case! { rng = $rng; params = []; body = $body }
+        }
+    };
+    (rng = $rng:ident; params = [$v:ident in $s:expr, $($rest:tt)*]; body = $body:block) => {
+        {
+            let $v = $crate::strategy::Strategy::generate(&($s), &mut $rng);
+            $crate::__proptest_case! { rng = $rng; params = [$($rest)*]; body = $body }
+        }
+    };
+    (rng = $rng:ident; params = [$v:ident : $t:ty]; body = $body:block) => {
+        {
+            let $v: $t = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+            $crate::__proptest_case! { rng = $rng; params = []; body = $body }
+        }
+    };
+    (rng = $rng:ident; params = [$v:ident : $t:ty, $($rest:tt)*]; body = $body:block) => {
+        {
+            let $v: $t = $crate::arbitrary::Arbitrary::arbitrary(&mut $rng);
+            $crate::__proptest_case! { rng = $rng; params = [$($rest)*]; body = $body }
+        }
+    };
+}

@@ -1,0 +1,49 @@
+//! Option strategies (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // Match the real crate's default: None with probability 1/4.
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// A strategy producing `None` or `Some` of the inner strategy.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let s = of(0u8..5);
+        let mut rng = TestRng::from_seed(5);
+        let mut none = 0;
+        let mut some = 0;
+        for _ in 0..200 {
+            match s.generate(&mut rng) {
+                None => none += 1,
+                Some(v) => {
+                    assert!(v < 5);
+                    some += 1;
+                }
+            }
+        }
+        assert!(none > 10 && some > 100, "none={none} some={some}");
+    }
+}

@@ -112,8 +112,7 @@ mod tests {
             let sched = random_crashes(&mut s, 5, 4, 100, &mut rng);
             assert_eq!(sched.len(), 4);
             assert!(sched.iter().all(|(_, pid)| *pid != 0));
-            let pids: std::collections::BTreeSet<Pid> =
-                sched.iter().map(|(_, p)| *p).collect();
+            let pids: std::collections::BTreeSet<Pid> = sched.iter().map(|(_, p)| *p).collect();
             assert_eq!(pids.len(), 4, "distinct victims");
         }
     }

@@ -37,7 +37,7 @@ pub mod trace;
 pub mod workload;
 
 pub use metrics::Metrics;
-pub use network::{LatencyModel, Partition, PartitionSchedule};
+pub use network::{DeliveryMode, LatencyModel, Partition, PartitionSchedule};
 pub use process::{Ctx, Pid, Protocol};
 pub use rng::{SplitMix64, Zipf};
 pub use scheduler::{SimConfig, Simulation};

@@ -14,6 +14,9 @@ pub struct Metrics {
     pub messages_dropped_crashed: u64,
     /// Messages delayed at least once by a partition.
     pub messages_delayed_by_partition: u64,
+    /// Multi-message batches handed to `Protocol::on_batch` (batched
+    /// delivery mode only; singleton deliveries are not counted).
+    pub batches_delivered: u64,
     /// Application invocations processed.
     pub invocations: u64,
     /// Invocations ignored because the process had crashed.

@@ -50,6 +50,49 @@ impl LatencyModel {
     }
 }
 
+/// When the network hands messages to a process.
+///
+/// Batching models real transports that flush receive buffers on a
+/// timer or readiness notification (Nagle, epoll wakeups, gRPC stream
+/// frames): several messages arrive in one activation. It never
+/// delays a message by more than the window, and FIFO links keep
+/// their per-link send order through a flush: alignment is monotone,
+/// and messages colliding on the same flush instant are handed over
+/// in send order. (As in per-message mode, FIFO across *partition*
+/// delays is best-effort — a held message can heal onto a later
+/// instant than an unblocked successor.)
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum DeliveryMode {
+    /// Every message is its own `Protocol::on_message` activation.
+    #[default]
+    PerMessage,
+    /// Delivery times are rounded up to the next multiple of `window`
+    /// (> 0) and same-instant deliveries to a process are flushed as
+    /// one `Protocol::on_batch`.
+    Batched {
+        /// Flush interval, in simulated time units.
+        window: u64,
+    },
+}
+
+impl DeliveryMode {
+    /// Align a tentative delivery time to this mode's flush grid.
+    pub fn align(&self, t: u64) -> u64 {
+        match *self {
+            DeliveryMode::PerMessage => t,
+            DeliveryMode::Batched { window } => {
+                assert!(window > 0, "batch window must be positive");
+                t.div_ceil(window) * window
+            }
+        }
+    }
+
+    /// Is batched flushing enabled?
+    pub fn is_batched(&self) -> bool {
+        matches!(self, DeliveryMode::Batched { .. })
+    }
+}
+
 /// A partition: a set of groups; messages may only flow within a
 /// group. Processes not listed are each isolated.
 #[derive(Clone, Debug)]
@@ -75,9 +118,7 @@ impl Partition {
         if a == b {
             return true;
         }
-        self.groups
-            .iter()
-            .any(|g| g.contains(&a) && g.contains(&b))
+        self.groups.iter().any(|g| g.contains(&a) && g.contains(&b))
     }
 }
 
@@ -180,6 +221,19 @@ mod tests {
         assert!(!p.connected(0, 3));
         assert!(!p.connected(3, 4));
         assert!(p.connected(3, 3));
+    }
+
+    #[test]
+    fn delivery_mode_alignment() {
+        let per = DeliveryMode::PerMessage;
+        assert_eq!(per.align(17), 17);
+        assert!(!per.is_batched());
+        let b = DeliveryMode::Batched { window: 10 };
+        assert!(b.is_batched());
+        assert_eq!(b.align(1), 10);
+        assert_eq!(b.align(10), 10);
+        assert_eq!(b.align(11), 20);
+        assert_eq!(b.align(0), 0);
     }
 
     #[test]

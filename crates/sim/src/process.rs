@@ -27,6 +27,21 @@ pub trait Protocol {
 
     /// Handle a message from `from`.
     fn on_message(&mut self, from: Pid, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Handle a burst of messages flushed to this process together.
+    ///
+    /// Both runtimes coalesce deliveries when batching is enabled (the
+    /// simulator aligns delivery times to a flush window, the threaded
+    /// runtime drains its inbox greedily) and hand the burst here in
+    /// one activation. The default unbundles the batch into
+    /// [`Protocol::on_message`] calls; protocols with a cheaper bulk
+    /// ingest path (e.g. replicas that repair their state once per
+    /// batch instead of once per message) override it.
+    fn on_batch(&mut self, msgs: Vec<(Pid, Self::Msg)>, ctx: &mut Ctx<'_, Self::Msg>) {
+        for (from, msg) in msgs {
+            self.on_message(from, msg, ctx);
+        }
+    }
 }
 
 /// Per-activation context: identity, cluster size, current time, and

@@ -17,7 +17,7 @@
 //!   invoking process; nothing ever blocks on another process.
 
 use crate::metrics::Metrics;
-use crate::network::{LatencyModel, PartitionSchedule};
+use crate::network::{DeliveryMode, LatencyModel, PartitionSchedule};
 use crate::process::{Ctx, Pid, Protocol};
 use crate::rng::SplitMix64;
 use crate::trace::InvocationRecord;
@@ -103,6 +103,7 @@ pub struct Simulation<P: Protocol> {
     /// Last scheduled delivery time per directed link (FIFO).
     link_last: Vec<u64>,
     msg_size: Option<MsgSizer<P::Msg>>,
+    delivery: DeliveryMode,
 }
 
 impl<P: Protocol> Simulation<P> {
@@ -121,8 +122,26 @@ impl<P: Protocol> Simulation<P> {
             records: Vec::new(),
             link_last: vec![0; n * n],
             msg_size: None,
+            delivery: DeliveryMode::PerMessage,
             cfg,
         }
+    }
+
+    /// Choose how deliveries reach processes: per message (default) or
+    /// coalesced into [`Protocol::on_batch`] flushes on a time grid
+    /// (see [`DeliveryMode`]). Batching aligns delivery times, so set
+    /// it before scheduling work.
+    ///
+    /// # Panics
+    ///
+    /// If the mode is `Batched` with a zero window — rejected here so
+    /// the error points at the misconfiguration, not at the first
+    /// message send.
+    pub fn set_delivery_mode(&mut self, mode: DeliveryMode) {
+        if let DeliveryMode::Batched { window } = mode {
+            assert!(window > 0, "batch window must be positive");
+        }
+        self.delivery = mode;
     }
 
     /// Install a payload-size estimator for byte accounting (E7).
@@ -163,6 +182,15 @@ impl<P: Protocol> Simulation<P> {
     fn push(&mut self, time: u64, pid: Pid, action: Action<P>) {
         let seq = self.seq;
         self.seq += 1;
+        self.push_with_seq(time, pid, action, seq);
+    }
+
+    /// Re-enqueue with an already-assigned sequence number. Used by
+    /// partition retries: keeping the message's *original* seq keeps
+    /// same-instant tie-breaking in send order, so a delayed message
+    /// that ends up colliding with a later one on the same link is
+    /// still handed over first.
+    fn push_with_seq(&mut self, time: u64, pid: Pid, action: Action<P>, seq: u64) {
         self.heap.push(Scheduled {
             time,
             seq,
@@ -220,6 +248,8 @@ impl<P: Protocol> Simulation<P> {
                 t = t.max(self.link_last[link]);
                 self.link_last[link] = t;
             }
+            // Alignment is monotone, so FIFO order survives it.
+            let t = self.delivery.align(t);
             self.push(t, to, Action::Deliver { from, msg });
         }
     }
@@ -244,8 +274,12 @@ impl<P: Protocol> Simulation<P> {
         self.now = self.now.max(deadline);
     }
 
-    /// Process one event; `false` when the queue is empty.
+    /// Process one event; `false` when the queue is empty. In batched
+    /// delivery mode, one step drains an entire flush instant instead.
     pub fn step(&mut self) -> bool {
+        if self.delivery.is_batched() {
+            return self.step_batched();
+        }
         let Some(ev) = self.heap.pop() else {
             return false;
         };
@@ -268,7 +302,7 @@ impl<P: Protocol> Simulation<P> {
                 } else if let Some(open) = self.partitions.next_open(from, ev.pid, self.now) {
                     // Blocked link: reliability means delay, not drop.
                     self.metrics.messages_delayed_by_partition += 1;
-                    self.push(open, ev.pid, Action::Deliver { from, msg });
+                    self.push_with_seq(open, ev.pid, Action::Deliver { from, msg }, ev.seq);
                 } else {
                     let mut outbox = Vec::new();
                     {
@@ -279,6 +313,92 @@ impl<P: Protocol> Simulation<P> {
                     self.dispatch(ev.pid, outbox);
                 }
             }
+        }
+        true
+    }
+
+    /// Batched step: drain every event scheduled at the head instant,
+    /// run control events (crashes, invocations) in schedule order,
+    /// then flush each process's accumulated messages as **one**
+    /// [`Protocol::on_batch`] activation. Delivery times were aligned
+    /// to the flush grid at dispatch, so a burst of in-flight traffic
+    /// to a process lands in a single activation — the condition under
+    /// which batching-aware replicas repair their state once per
+    /// flush instead of once per message.
+    fn step_batched(&mut self) -> bool {
+        let Some(head) = self.heap.peek() else {
+            return false;
+        };
+        let t = head.time;
+        debug_assert!(t >= self.now, "time went backwards");
+        self.now = t;
+        let n = self.cfg.n;
+        // One flat buffer of (seq, dest, from, msg) instead of n
+        // per-destination vecs: a single-message instant costs one
+        // small allocation, not n. `control` stays empty (and
+        // allocation-free) unless the instant carries crashes or
+        // invocations.
+        let mut control: Vec<(Pid, Action<P>)> = Vec::new();
+        let mut delivers: Vec<(u64, Pid, Pid, P::Msg)> = Vec::new();
+        while self.heap.peek().is_some_and(|h| h.time == t) {
+            let ev = self.heap.pop().expect("peeked");
+            match ev.action {
+                Action::Deliver { from, msg } => {
+                    if self.crashed[ev.pid as usize] {
+                        self.metrics.messages_dropped_crashed += 1;
+                    } else if let Some(open) = self.partitions.next_open(from, ev.pid, t) {
+                        // Blocked link: reliability means delay, not
+                        // drop; the retry keeps to the flush grid and
+                        // keeps its original seq so send order still
+                        // breaks same-instant ties after the heal.
+                        self.metrics.messages_delayed_by_partition += 1;
+                        let open = self.delivery.align(open);
+                        self.push_with_seq(open, ev.pid, Action::Deliver { from, msg }, ev.seq);
+                    } else {
+                        delivers.push((ev.seq, ev.pid, from, msg));
+                    }
+                }
+                action => control.push((ev.pid, action)),
+            }
+        }
+        for (pid, action) in control {
+            match action {
+                Action::Crash => self.crashed[pid as usize] = true,
+                Action::Invoke(input) => {
+                    if self.crashed[pid as usize] {
+                        self.metrics.invocations_on_crashed += 1;
+                    } else {
+                        self.do_invoke(pid, input);
+                    }
+                }
+                Action::Deliver { .. } => unreachable!("delivers routed to the flush buffer"),
+            }
+        }
+        // Group by destination; within a destination, hand messages
+        // over in send (seq) order so per-link FIFO survives flushing.
+        delivers.sort_unstable_by_key(|(seq, dest, _, _)| (*dest, *seq));
+        let mut iter = delivers.into_iter().peekable();
+        while let Some((_, dest, from, msg)) = iter.next() {
+            let mut batch = vec![(from, msg)];
+            while let Some((_, _, f, m)) = iter.next_if(|(_, d, _, _)| *d == dest) {
+                batch.push((f, m));
+            }
+            let run = batch.len() as u64;
+            if self.crashed[dest as usize] {
+                // Crashed by a same-instant control event.
+                self.metrics.messages_dropped_crashed += run;
+                continue;
+            }
+            let mut outbox = Vec::new();
+            {
+                let mut ctx = Ctx::new(dest, n, self.now, &mut outbox);
+                self.procs[dest as usize].on_batch(batch, &mut ctx);
+            }
+            self.metrics.messages_delivered += run;
+            if run > 1 {
+                self.metrics.batches_delivered += 1;
+            }
+            self.dispatch(dest, outbox);
         }
         true
     }
@@ -429,6 +549,158 @@ mod tests {
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].pid, 1);
         assert_eq!(recs[0].time, 4);
+    }
+
+    /// Like `Ping`, but also counts activations, so tests can tell one
+    /// batch of k messages from k single deliveries.
+    #[derive(Debug, Default)]
+    struct BatchPing {
+        received: Vec<Pid>,
+        activations: u64,
+    }
+
+    impl Protocol for BatchPing {
+        type Msg = ();
+        type Input = ();
+        type Output = usize;
+
+        fn on_invoke(&mut self, _input: (), ctx: &mut Ctx<'_, ()>) -> usize {
+            ctx.broadcast_others(());
+            self.received.len()
+        }
+
+        fn on_message(&mut self, from: Pid, _msg: (), _ctx: &mut Ctx<'_, ()>) {
+            self.received.push(from);
+        }
+
+        fn on_batch(&mut self, msgs: Vec<(Pid, ())>, ctx: &mut Ctx<'_, ()>) {
+            self.activations += 1;
+            for (from, msg) in msgs {
+                self.on_message(from, msg, ctx);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_mode_coalesces_same_window_deliveries() {
+        let mut c = cfg(3);
+        c.latency = LatencyModel::Uniform(1, 9);
+        let mut sim = Simulation::new(c, |_| BatchPing::default());
+        sim.set_delivery_mode(crate::network::DeliveryMode::Batched { window: 10 });
+        // Two broadcasts in the same window: both messages to each
+        // peer land at t=10 and must flush as one activation.
+        sim.schedule_invoke(0, 0, ());
+        sim.schedule_invoke(1, 0, ());
+        sim.run_to_quiescence();
+        for pid in 1..3 {
+            assert_eq!(sim.process(pid).received, vec![0, 0]);
+            assert_eq!(sim.process(pid).activations, 1, "pid {pid}");
+        }
+        assert_eq!(sim.metrics.messages_delivered, 4);
+        assert_eq!(sim.metrics.batches_delivered, 2);
+        assert_eq!(sim.now(), 10);
+    }
+
+    #[test]
+    fn batched_mode_delivers_everything_per_message_mode_does() {
+        let run = |mode: Option<u64>| {
+            let mut c = cfg(4);
+            c.seed = 11;
+            let mut sim = Simulation::new(c, |_| BatchPing::default());
+            if let Some(window) = mode {
+                sim.set_delivery_mode(crate::network::DeliveryMode::Batched { window });
+            }
+            for t in 0..20 {
+                sim.schedule_invoke(t, (t % 4) as Pid, ());
+            }
+            sim.run_to_quiescence();
+            (0..4)
+                .map(|p| {
+                    let mut r = sim.process(p).received.clone();
+                    r.sort_unstable();
+                    r
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(None), run(Some(25)));
+    }
+
+    #[test]
+    fn batched_mode_respects_partitions_and_crashes() {
+        let mut c = cfg(2);
+        c.latency = LatencyModel::Constant(1);
+        let mut sim = Simulation::new(c, |_| BatchPing::default());
+        sim.set_delivery_mode(crate::network::DeliveryMode::Batched { window: 5 });
+        sim.partitions
+            .add(Partition::new(vec![vec![0], vec![1]], 0, 17));
+        sim.schedule_invoke(0, 0, ());
+        sim.run_to_quiescence();
+        // Held until the heal at 17, then flushed on the grid at 20.
+        assert_eq!(sim.process(1).received, vec![0]);
+        assert_eq!(sim.now(), 20);
+        assert_eq!(sim.metrics.messages_delayed_by_partition, 1);
+
+        // A crash scheduled in the same window silences the victim.
+        let mut c = cfg(2);
+        c.latency = LatencyModel::Constant(1);
+        let mut sim = Simulation::new(c, |_| BatchPing::default());
+        sim.set_delivery_mode(crate::network::DeliveryMode::Batched { window: 5 });
+        sim.schedule_invoke(0, 0, ());
+        sim.schedule_crash(5, 1); // same instant as the flush
+        sim.run_to_quiescence();
+        assert_eq!(sim.process(1).received, Vec::<Pid>::new());
+        assert_eq!(sim.metrics.messages_dropped_crashed, 1);
+    }
+
+    /// Records message payloads in arrival order (to observe FIFO).
+    #[derive(Debug, Default)]
+    struct Recorder {
+        received: Vec<u32>,
+    }
+
+    impl Protocol for Recorder {
+        type Msg = u32;
+        type Input = u32;
+        type Output = ();
+
+        fn on_invoke(&mut self, x: u32, ctx: &mut Ctx<'_, u32>) {
+            ctx.broadcast_others(x);
+        }
+
+        fn on_message(&mut self, _from: Pid, x: u32, _ctx: &mut Ctx<'_, u32>) {
+            self.received.push(x);
+        }
+    }
+
+    #[test]
+    fn batched_flush_preserves_fifo_across_partition_retry() {
+        // m1 (sent t=0) is blocked by a partition and heals onto the
+        // same flush instant as m2 (sent t=8): the batch must still
+        // unbundle in send order [1, 2], exactly as per-message mode
+        // delivers them.
+        let run = |batched: bool| {
+            let mut c = cfg(2);
+            c.latency = LatencyModel::Constant(5);
+            let mut sim = Simulation::new(c, |_| Recorder::default());
+            if batched {
+                sim.set_delivery_mode(crate::network::DeliveryMode::Batched { window: 10 });
+            }
+            sim.partitions
+                .add(Partition::new(vec![vec![0], vec![1]], 0, 17));
+            sim.schedule_invoke(0, 0, 1);
+            sim.schedule_invoke(8, 0, 2);
+            sim.run_to_quiescence();
+            sim.process(1).received.clone()
+        };
+        assert_eq!(run(false), vec![1, 2]);
+        assert_eq!(run(true), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch window must be positive")]
+    fn zero_batch_window_rejected_at_configuration() {
+        let mut sim = Simulation::new(cfg(2), |_| Ping::default());
+        sim.set_delivery_mode(crate::network::DeliveryMode::Batched { window: 0 });
     }
 
     #[test]

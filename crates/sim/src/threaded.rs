@@ -4,17 +4,23 @@
 //! would exhaustively enumerate interleavings but is not in the
 //! dependency budget; the simulator's seed sweeps play that role.)
 //!
-//! One OS thread per process; crossbeam channels are the network.
-//! Delivery is reliable and per-link FIFO (channel order); there are
-//! no crashes here — fault injection lives in the deterministic
-//! simulator where it can be replayed.
+//! One OS thread per process; `std::sync::mpsc` channels are the
+//! network. Delivery is reliable and per-link FIFO (channel order);
+//! there are no crashes here — fault injection lives in the
+//! deterministic simulator where it can be replayed.
+//!
+//! Deliveries are **flushed in batches**: when a node wakes up on a
+//! message it greedily drains its inbox and hands the whole burst to
+//! [`Protocol::on_batch`] in one activation (the natural behaviour of
+//! an epoll-style receive loop). Protocols that ingest batches
+//! cheaply — one repair per burst instead of per message — get that
+//! win here automatically under contention.
 
 use crate::metrics::Metrics;
 use crate::process::{Ctx, Pid, Protocol};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicI64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 enum Command<P: Protocol> {
@@ -98,7 +104,7 @@ where
 
     /// Snapshot the shared metrics.
     pub fn metrics(&self) -> Metrics {
-        self.metrics.lock().clone()
+        self.metrics.lock().unwrap().clone()
     }
 
     /// Quiesce, stop all nodes, and return their final states.
@@ -133,37 +139,68 @@ fn node_loop<P>(
             // Increment before send so `quiesce` can never observe a
             // zero while a message is in a channel.
             in_flight.fetch_add(1, Ordering::SeqCst);
-            metrics.lock().on_send(from, 0);
+            metrics.lock().unwrap().on_send(from, 0);
             peers[to as usize]
                 .send(Command::Deliver(from, msg))
                 .expect("peer alive");
         }
     };
     while let Ok(cmd) = rx.recv() {
-        match cmd {
-            Command::Invoke(input, reply) => {
-                let mut outbox = Vec::new();
-                let output = {
-                    let mut ctx = Ctx::new(pid, n, 0, &mut outbox);
-                    node.on_invoke(input, &mut ctx)
-                };
-                metrics.lock().invocations += 1;
-                dispatch(pid, outbox);
-                let _ = reply.send(output);
-            }
-            Command::Deliver(from, msg) => {
-                let mut outbox = Vec::new();
-                {
-                    let mut ctx = Ctx::new(pid, n, 0, &mut outbox);
-                    node.on_message(from, msg, &mut ctx);
+        // A received command may be followed by a greedy inbox drain
+        // that pulls out a non-delivery command; `pending` carries it
+        // into the next loop turn.
+        let mut pending = Some(cmd);
+        while let Some(cmd) = pending.take() {
+            match cmd {
+                Command::Invoke(input, reply) => {
+                    let mut outbox = Vec::new();
+                    let output = {
+                        let mut ctx = Ctx::new(pid, n, 0, &mut outbox);
+                        node.on_invoke(input, &mut ctx)
+                    };
+                    metrics.lock().unwrap().invocations += 1;
+                    dispatch(pid, outbox);
+                    let _ = reply.send(output);
                 }
-                metrics.lock().messages_delivered += 1;
-                dispatch(pid, outbox);
-                in_flight.fetch_sub(1, Ordering::SeqCst);
-            }
-            Command::Stop(reply) => {
-                let _ = reply.send(node);
-                return;
+                Command::Deliver(from, msg) => {
+                    // Batch flush: drain whatever deliveries are
+                    // already queued and hand them to the protocol in
+                    // one activation (replicas built on the unified
+                    // engine repair their state once per such burst).
+                    // Messages are consumed in channel order, so
+                    // per-link FIFO is preserved; a non-delivery
+                    // command ends the drain and runs after the flush.
+                    let mut batch = vec![(from, msg)];
+                    loop {
+                        match rx.try_recv() {
+                            Ok(Command::Deliver(f, m)) => batch.push((f, m)),
+                            Ok(other) => {
+                                pending = Some(other);
+                                break;
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    let k = batch.len();
+                    let mut outbox = Vec::new();
+                    {
+                        let mut ctx = Ctx::new(pid, n, 0, &mut outbox);
+                        node.on_batch(batch, &mut ctx);
+                    }
+                    {
+                        let mut m = metrics.lock().unwrap();
+                        m.messages_delivered += k as u64;
+                        if k > 1 {
+                            m.batches_delivered += 1;
+                        }
+                    }
+                    dispatch(pid, outbox);
+                    in_flight.fetch_sub(k as i64, Ordering::SeqCst);
+                }
+                Command::Stop(reply) => {
+                    let _ = reply.send(node);
+                    return;
+                }
             }
         }
     }

@@ -70,9 +70,24 @@ mod tests {
     #[test]
     fn grouping_preserves_order() {
         let records: Vec<InvocationRecord<Echo>> = vec![
-            InvocationRecord { time: 0, pid: 1, input: 10, output: 10 },
-            InvocationRecord { time: 1, pid: 0, input: 20, output: 20 },
-            InvocationRecord { time: 2, pid: 1, input: 30, output: 30 },
+            InvocationRecord {
+                time: 0,
+                pid: 1,
+                input: 10,
+                output: 10,
+            },
+            InvocationRecord {
+                time: 1,
+                pid: 0,
+                input: 20,
+                output: 20,
+            },
+            InvocationRecord {
+                time: 2,
+                pid: 1,
+                input: 30,
+                output: 30,
+            },
         ];
         let grouped = by_process(&records, 2);
         assert_eq!(grouped[0].len(), 1);

@@ -159,9 +159,7 @@ mod tests {
             .count();
         let frac = updates as f64 / w.len() as f64;
         assert!((0.45..0.55).contains(&frac), "update fraction {frac}");
-        assert!(w
-            .iter()
-            .all(|o| !matches!(o.kind, SetOpKind::Delete(_))));
+        assert!(w.iter().all(|o| !matches!(o.kind, SetOpKind::Delete(_))));
     }
 
     #[test]

@@ -77,11 +77,7 @@ impl StateAbduction for CounterAdt {
 impl UndoableUqAdt for CounterAdt {
     type UndoToken = i64;
 
-    fn apply_with_undo(
-        &self,
-        state: &mut Self::State,
-        update: &Self::Update,
-    ) -> Self::UndoToken {
+    fn apply_with_undo(&self, state: &mut Self::State, update: &Self::Update) -> Self::UndoToken {
         let CounterUpdate::Add(n) = update;
         *state = state.wrapping_add(*n);
         *n

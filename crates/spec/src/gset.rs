@@ -83,11 +83,7 @@ where
     /// `Some(v)` if the insertion actually added `v`.
     type UndoToken = Option<V>;
 
-    fn apply_with_undo(
-        &self,
-        state: &mut Self::State,
-        update: &Self::Update,
-    ) -> Self::UndoToken {
+    fn apply_with_undo(&self, state: &mut Self::State, update: &Self::Update) -> Self::UndoToken {
         if state.insert(update.0.clone()) {
             Some(update.0.clone())
         } else {

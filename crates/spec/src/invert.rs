@@ -23,8 +23,7 @@ pub trait UndoableUqAdt: UqAdt {
     type UndoToken: Clone + Debug;
 
     /// Apply `update` to `state`, returning the token that undoes it.
-    fn apply_with_undo(&self, state: &mut Self::State, update: &Self::Update)
-        -> Self::UndoToken;
+    fn apply_with_undo(&self, state: &mut Self::State, update: &Self::Update) -> Self::UndoToken;
 
     /// Reverse a previously applied update. Tokens must be undone in
     /// reverse application order (LIFO).

@@ -147,11 +147,7 @@ where
 {
     type UndoToken = ();
 
-    fn apply_with_undo(
-        &self,
-        state: &mut Self::State,
-        update: &Self::Update,
-    ) -> Self::UndoToken {
+    fn apply_with_undo(&self, state: &mut Self::State, update: &Self::Update) -> Self::UndoToken {
         state.push(update.0.clone());
     }
 

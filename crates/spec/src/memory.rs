@@ -85,7 +85,10 @@ where
     }
 
     fn observe(&self, state: &Self::State, query: &Self::QueryIn) -> Self::QueryOut {
-        state.get(&query.0).cloned().unwrap_or_else(|| self.initial.clone())
+        state
+            .get(&query.0)
+            .cloned()
+            .unwrap_or_else(|| self.initial.clone())
     }
 }
 
@@ -121,11 +124,7 @@ where
     /// The register and its previous explicit value (`None` = was v0).
     type UndoToken = (X, Option<V>);
 
-    fn apply_with_undo(
-        &self,
-        state: &mut Self::State,
-        update: &Self::Update,
-    ) -> Self::UndoToken {
+    fn apply_with_undo(&self, state: &mut Self::State, update: &Self::Update) -> Self::UndoToken {
         let prev = state.get(&update.register).cloned();
         self.apply(state, update);
         (update.register.clone(), prev)

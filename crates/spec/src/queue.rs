@@ -117,11 +117,7 @@ where
     /// For `Pop`: the removed front, if any. For `Enqueue`: nothing.
     type UndoToken = QueueUndo<V>;
 
-    fn apply_with_undo(
-        &self,
-        state: &mut Self::State,
-        update: &Self::Update,
-    ) -> Self::UndoToken {
+    fn apply_with_undo(&self, state: &mut Self::State, update: &Self::Update) -> Self::UndoToken {
         match update {
             QueueUpdate::Enqueue(v) => {
                 state.push_back(v.clone());
@@ -167,7 +163,10 @@ mod tests {
             QueueUpdate::Pop,
             QueueUpdate::Enqueue('c'),
         ]);
-        assert_eq!(adt.observe(&s, &QueueQuery::Front), QueueOut::Front(Some('b')));
+        assert_eq!(
+            adt.observe(&s, &QueueQuery::Front),
+            QueueOut::Front(Some('b'))
+        );
         assert_eq!(adt.observe(&s, &QueueQuery::Len), QueueOut::Len(2));
     }
 

@@ -86,11 +86,7 @@ where
     /// The overwritten value.
     type UndoToken = V;
 
-    fn apply_with_undo(
-        &self,
-        state: &mut Self::State,
-        update: &Self::Update,
-    ) -> Self::UndoToken {
+    fn apply_with_undo(&self, state: &mut Self::State, update: &Self::Update) -> Self::UndoToken {
         std::mem::replace(state, update.0.clone())
     }
 

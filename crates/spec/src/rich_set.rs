@@ -129,8 +129,7 @@ where
         }
         match pinned {
             Some(s) => {
-                if must_in.iter().all(|v| s.contains(v))
-                    && must_out.iter().all(|v| !s.contains(v))
+                if must_in.iter().all(|v| s.contains(v)) && must_out.iter().all(|v| !s.contains(v))
                 {
                     Some(s)
                 } else {
@@ -149,11 +148,7 @@ where
 {
     type UndoToken = <SetAdt<V> as UndoableUqAdt>::UndoToken;
 
-    fn apply_with_undo(
-        &self,
-        state: &mut Self::State,
-        update: &Self::Update,
-    ) -> Self::UndoToken {
+    fn apply_with_undo(&self, state: &mut Self::State, update: &Self::Update) -> Self::UndoToken {
         self.inner.apply_with_undo(state, update)
     }
 
@@ -220,10 +215,7 @@ mod tests {
             ])
             .is_some());
         assert!(adt
-            .abduce_checked(&[
-                read,
-                (RichSetQuery::Contains(1), RichSetOut::Bool(false)),
-            ])
+            .abduce_checked(&[read, (RichSetQuery::Contains(1), RichSetOut::Bool(false)),])
             .is_none());
     }
 

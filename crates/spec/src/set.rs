@@ -138,11 +138,7 @@ where
 {
     type UndoToken = SetUndo<V>;
 
-    fn apply_with_undo(
-        &self,
-        state: &mut Self::State,
-        update: &Self::Update,
-    ) -> Self::UndoToken {
+    fn apply_with_undo(&self, state: &mut Self::State, update: &Self::Update) -> Self::UndoToken {
         let element = update.element().clone();
         let was_present = state.contains(&element);
         self.apply(state, update);
@@ -244,7 +240,10 @@ mod tests {
         for (word, expect) in cases {
             let mut ops: Vec<Op<S>> = word.iter().copied().map(Op::Update).collect();
             ops.push(Op::query(SetQuery::Read, expect.iter().copied().collect()));
-            assert!(recognizes(&adt, &ops), "word {word:?} should reach {expect:?}");
+            assert!(
+                recognizes(&adt, &ops),
+                "word {word:?} should reach {expect:?}"
+            );
         }
     }
 

@@ -114,11 +114,7 @@ where
     /// For `DeleteTop`: the removed element, if any.
     type UndoToken = StackUndo<V>;
 
-    fn apply_with_undo(
-        &self,
-        state: &mut Self::State,
-        update: &Self::Update,
-    ) -> Self::UndoToken {
+    fn apply_with_undo(&self, state: &mut Self::State, update: &Self::Update) -> Self::UndoToken {
         match update {
             StackUpdate::Push(v) => {
                 state.push(v.clone());

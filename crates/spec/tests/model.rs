@@ -4,12 +4,12 @@
 
 use proptest::prelude::*;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use uc_spec::queue::QueueOut;
+use uc_spec::stack::{StackOut, StackQuery};
 use uc_spec::{
     CounterAdt, CounterUpdate, MemoryAdt, MemoryQuery, MemoryUpdate, QueueAdt, QueueQuery,
     QueueUpdate, SetAdt, SetQuery, SetUpdate, StackAdt, StackUpdate, UndoableUqAdt, UqAdt,
 };
-use uc_spec::queue::QueueOut;
-use uc_spec::stack::{StackOut, StackQuery};
 
 #[derive(Clone, Copy, Debug)]
 enum SetCmd {
@@ -18,7 +18,10 @@ enum SetCmd {
 }
 
 fn set_cmd() -> impl Strategy<Value = SetCmd> {
-    prop_oneof![(0u8..8).prop_map(SetCmd::Ins), (0u8..8).prop_map(SetCmd::Del)]
+    prop_oneof![
+        (0u8..8).prop_map(SetCmd::Ins),
+        (0u8..8).prop_map(SetCmd::Del)
+    ]
 }
 
 proptest! {

@@ -71,7 +71,10 @@ fn main() {
     let s0 = audit0.materialize();
     let s1 = audit1.materialize();
     assert_eq!(s0, s1);
-    println!("statement ({} entries, identical at both branches):", s0.len());
+    println!(
+        "statement ({} entries, identical at both branches):",
+        s0.len()
+    );
     for tx in &s0 {
         println!("  branch {} {:>6} {}", tx.branch, tx.amount, tx.memo);
     }

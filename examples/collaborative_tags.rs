@@ -11,11 +11,9 @@
 //! cargo run --example collaborative_tags
 //! ```
 
-use update_consistency::core::{GenericReplica, OpInput, Replica, ReplicaNode};
+use update_consistency::core::{GenericReplica, OpInput, ReplicaNode};
 use update_consistency::crdt::{OrSet, SetNode, SetOp, SetReplica};
-use update_consistency::sim::{
-    LatencyModel, Partition, Pid, SimConfig, Simulation,
-};
+use update_consistency::sim::{LatencyModel, Partition, Pid, SimConfig, Simulation};
 use update_consistency::spec::{SetAdt, SetUpdate};
 
 const ALICE: Pid = 0;
@@ -95,6 +93,9 @@ fn main() {
     // update consistency as the stronger, sequentially-explicable
     // criterion.
     if states[0] != or_states[0] {
-        println!("\nfinal states differ: UC {:?} vs OR {:?}", states[0], or_states[0]);
+        println!(
+            "\nfinal states differ: UC {:?} vs OR {:?}",
+            states[0], or_states[0]
+        );
     }
 }

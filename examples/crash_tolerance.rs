@@ -7,7 +7,7 @@
 //! cargo run --example crash_tolerance
 //! ```
 
-use update_consistency::core::{GenericReplica, OpInput, Replica, ReplicaNode};
+use update_consistency::core::{GenericReplica, OpInput, ReplicaNode};
 use update_consistency::sim::{LatencyModel, Pid, SimConfig, Simulation, SplitMix64};
 use update_consistency::spec::{SetAdt, SetUpdate};
 

@@ -23,8 +23,14 @@ fn main() {
 
     // Before delivery, reads are transiently divergent — allowed: only
     // *updates* are globally ordered, queries may read stale state.
-    println!("alice reads (pre-delivery): {:?}", alice.do_query(&SetQuery::Read));
-    println!("bob   reads (pre-delivery): {:?}", bob.do_query(&SetQuery::Read));
+    println!(
+        "alice reads (pre-delivery): {:?}",
+        alice.do_query(&SetQuery::Read)
+    );
+    println!(
+        "bob   reads (pre-delivery): {:?}",
+        bob.do_query(&SetQuery::Read)
+    );
 
     // Deliver cross-traffic in any order (the network may reorder).
     alice.on_deliver(&m3);

@@ -11,7 +11,8 @@ use update_consistency::core::{OpInput, OpOutput, ReplicaNode, UcMemory};
 use update_consistency::sim::{faults, LatencyModel, Pid, SimConfig, Simulation};
 use update_consistency::spec::{MemoryAdt, MemoryQuery, MemoryUpdate};
 
-type Store = ReplicaNode<MemoryAdt<&'static str, &'static str>, UcMemory<&'static str, &'static str>>;
+type Store =
+    ReplicaNode<MemoryAdt<&'static str, &'static str>, UcMemory<&'static str, &'static str>>;
 
 fn write(k: &'static str, v: &'static str) -> OpInput<MemoryAdt<&'static str, &'static str>> {
     OpInput::Update(MemoryUpdate {

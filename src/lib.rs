@@ -9,9 +9,14 @@
 //! * [`spec`] — UQ-ADT formalism and sequential specifications;
 //! * [`history`] — distributed histories as labelled partial orders;
 //! * [`criteria`] — decision procedures for EC / SEC / PC / UC / SUC;
-//! * [`sim`] — wait-free asynchronous message-passing substrate;
-//! * [`core`] — the paper's Algorithm 1 & 2 and their optimised
-//!   variants;
+//! * [`sim`] — wait-free asynchronous message-passing substrate
+//!   (deterministic simulator + threaded runtime, both with batched
+//!   message flushing);
+//! * [`core`] — the paper's Algorithm 1 & 2: one
+//!   [`ReplicaEngine`](core::ReplicaEngine) parameterised by a
+//!   [`RepairStrategy`](core::RepairStrategy), with the §VII-C
+//!   optimisations as swappable strategies and a batched-delivery
+//!   hot path;
 //! * [`crdt`] — the eventually consistent baselines of §VI.
 //!
 //! ## Quickstart
@@ -36,6 +41,28 @@
 //! // ...converges both replicas onto the same linearization of the
 //! // updates (update consistency).
 //! assert_eq!(a.query(&SetQuery::Read), b.query(&SetQuery::Read));
+//! ```
+//!
+//! ## Batched delivery
+//!
+//! Replicas ingest whole message bursts with a single state repair —
+//! the difference is invisible semantically and large operationally
+//! (see `BENCH_batching.json`):
+//!
+//! ```
+//! use update_consistency::core::{CachedReplica, GenericReplica};
+//! use update_consistency::spec::{SetAdt, SetUpdate};
+//!
+//! let mut peer = GenericReplica::new(SetAdt::<u32>::new(), 1);
+//! let burst: Vec<_> = (0..64).map(|i| peer.update(SetUpdate::Insert(i))).collect();
+//!
+//! let mut r = CachedReplica::new(SetAdt::<u32>::new(), 0);
+//! for i in 100..200 {
+//!     r.update(SetUpdate::Insert(i)); // long local history
+//! }
+//! r.on_deliver_batch(&burst);         // one rollback + one refold
+//! assert!(r.repair_events() <= 1);
+//! assert_eq!(r.materialize().len(), 164);
 //! ```
 
 #![forbid(unsafe_code)]

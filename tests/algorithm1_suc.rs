@@ -4,7 +4,9 @@
 //! polynomially against the replica's own witness, and (on small
 //! histories) by the independent SUC search.
 
-use update_consistency::core::{trace_to_history, GenericReplica, OmegaMarking, OpInput, ReplicaNode};
+use update_consistency::core::{
+    trace_to_history, GenericReplica, OmegaMarking, OpInput, ReplicaNode,
+};
 use update_consistency::criteria::{check_suc, verify_witness};
 use update_consistency::sim::{LatencyModel, Pid, SimConfig, Simulation, SplitMix64};
 use update_consistency::spec::{SetAdt, SetQuery, SetUpdate};
@@ -51,8 +53,13 @@ fn run_and_verify(n: usize, seed: u64, updates: usize, mid_queries: usize) {
     }
     sim.run_to_quiescence();
 
-    let (h, w) = trace_to_history(SetAdt::<u32>::new(), n, sim.records(), OmegaMarking::FinalQueries)
-        .expect("trace converts");
+    let (h, w) = trace_to_history(
+        SetAdt::<u32>::new(),
+        n,
+        sim.records(),
+        OmegaMarking::FinalQueries,
+    )
+    .expect("trace converts");
     verify_witness(&h, &w).unwrap_or_else(|e| {
         panic!("seed {seed}: Algorithm 1 trace failed SUC witness check: {e}\n{h:?}")
     });
@@ -96,7 +103,13 @@ fn adversarial_isolation_is_still_suc() {
         sim.schedule_invoke(end + p as u64, p, OpInput::Query(SetQuery::Read));
     }
     sim.run_to_quiescence();
-    let (h, w) = trace_to_history(SetAdt::<u32>::new(), 2, sim.records(), OmegaMarking::FinalQueries).unwrap();
+    let (h, w) = trace_to_history(
+        SetAdt::<u32>::new(),
+        2,
+        sim.records(),
+        OmegaMarking::FinalQueries,
+    )
+    .unwrap();
     assert_eq!(verify_witness(&h, &w), Ok(()));
     // Cross-check with the independent exponential search.
     assert!(check_suc(&h).holds(), "search must agree with witness");
@@ -158,7 +171,13 @@ fn search_and_witness_agree_on_small_traces() {
             sim.schedule_invoke(end + p as u64, p, OpInput::Query(SetQuery::Read));
         }
         sim.run_to_quiescence();
-        let (h, w) = trace_to_history(SetAdt::<u32>::new(), 2, sim.records(), OmegaMarking::FinalQueries).unwrap();
+        let (h, w) = trace_to_history(
+            SetAdt::<u32>::new(),
+            2,
+            sim.records(),
+            OmegaMarking::FinalQueries,
+        )
+        .unwrap();
         assert_eq!(verify_witness(&h, &w), Ok(()), "seed {seed}");
         assert!(check_suc(&h).holds(), "seed {seed}: search disagrees");
     }

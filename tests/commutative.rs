@@ -3,11 +3,11 @@
 //! updates on a replica as soon as the notification is received,
 //! achieves update consistency."
 
-use update_consistency::core::{GenericReplica, Replica};
+use update_consistency::core::GenericReplica;
 use update_consistency::crdt::{GSet, NaiveCounter};
 use update_consistency::sim::SplitMix64;
-use update_consistency::spec::{CounterAdt, CounterUpdate, GrowSetAdt};
 use update_consistency::spec::gset::GrowInsert;
+use update_consistency::spec::{CounterAdt, CounterUpdate, GrowSetAdt};
 
 #[test]
 fn naive_counter_matches_algorithm1_counter() {
@@ -15,8 +15,9 @@ fn naive_counter_matches_algorithm1_counter() {
         let mut rng = SplitMix64::new(seed);
         let n = 4usize;
         let mut naive: Vec<NaiveCounter> = (0..n).map(|_| NaiveCounter::new()).collect();
-        let mut ordered: Vec<GenericReplica<CounterAdt>> =
-            (0..n as u32).map(|p| GenericReplica::new(CounterAdt, p)).collect();
+        let mut ordered: Vec<GenericReplica<CounterAdt>> = (0..n as u32)
+            .map(|p| GenericReplica::new(CounterAdt, p))
+            .collect();
         let mut nmsgs = Vec::new();
         let mut omsgs = Vec::new();
         for _ in 0..30 {

@@ -79,7 +79,8 @@ fn build(procs: &[ProcSpec]) -> History<SetAdt<u32>> {
             b.omega_query(p, SetQuery::Read, mask_to_set(m));
         }
     }
-    b.build().expect("random histories stay under the event cap")
+    b.build()
+        .expect("random histories stay under the event cap")
 }
 
 fn decided(v: &Verdict) -> Option<bool> {

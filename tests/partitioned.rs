@@ -8,7 +8,7 @@
 //! update consistent.
 
 use update_consistency::core::{
-    trace_to_history, GenericReplica, OmegaMarking, OpInput, Replica, ReplicaNode,
+    trace_to_history, GenericReplica, OmegaMarking, OpInput, ReplicaNode,
 };
 use update_consistency::criteria::{check_ec, verify_witness};
 use update_consistency::sim::{LatencyModel, Partition, Pid, SimConfig, Simulation, SplitMix64};
@@ -81,9 +81,13 @@ fn repeated_partitions_converge_after_each_heal() {
         s.schedule_invoke(end + p as u64, p, OpInput::Query(SetQuery::Read));
     }
     s.run_to_quiescence();
-    let (h, w) =
-        trace_to_history(SetAdt::<u32>::new(), n, s.records(), OmegaMarking::FinalQueries)
-            .unwrap();
+    let (h, w) = trace_to_history(
+        SetAdt::<u32>::new(),
+        n,
+        s.records(),
+        OmegaMarking::FinalQueries,
+    )
+    .unwrap();
     assert!(check_ec(&h).holds());
     assert_eq!(verify_witness(&h, &w), Ok(()));
 }
@@ -124,13 +128,14 @@ fn minority_and_majority_sides_are_symmetric() {
     // side fully operational.
     let n = 5;
     let mut s = sim(n, 3);
-    s.partitions.add(Partition::new(
-        vec![vec![0], vec![1, 2, 3, 4]],
-        0,
-        500,
-    ));
+    s.partitions
+        .add(Partition::new(vec![vec![0], vec![1, 2, 3, 4]], 0, 500));
     for i in 0..10u32 {
-        s.schedule_invoke(10 + i as u64, 0, OpInput::Update(SetUpdate::Insert(100 + i)));
+        s.schedule_invoke(
+            10 + i as u64,
+            0,
+            OpInput::Update(SetUpdate::Insert(100 + i)),
+        );
     }
     for i in 0..10u32 {
         let pid = 1 + (i % 4) as Pid;

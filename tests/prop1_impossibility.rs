@@ -14,7 +14,9 @@
 //! must.
 
 use std::collections::BTreeSet;
-use update_consistency::core::{trace_to_history, GenericReplica, OmegaMarking, OpInput, OpOutput, ReplicaNode};
+use update_consistency::core::{
+    trace_to_history, GenericReplica, OmegaMarking, OpInput, OpOutput, ReplicaNode,
+};
 use update_consistency::criteria::{check_ec, check_pc};
 use update_consistency::history::paper;
 use update_consistency::sim::{LatencyModel, SimConfig, Simulation};
@@ -58,8 +60,12 @@ fn wait_free_first_reads_are_forced_local() {
     sim.run_until(5);
     let r0 = sim.invoke_now(0, OpInput::Query(SetQuery::Read)).unwrap();
     let r1 = sim.invoke_now(1, OpInput::Query(SetQuery::Read)).unwrap();
-    let OpOutput::Value { out: out0, .. } = r0 else { panic!() };
-    let OpOutput::Value { out: out1, .. } = r1 else { panic!() };
+    let OpOutput::Value { out: out0, .. } = r0 else {
+        panic!()
+    };
+    let OpOutput::Value { out: out1, .. } = r1 else {
+        panic!()
+    };
     assert_eq!(out0, read(&[1, 3]), "p0 must answer from local knowledge");
     assert_eq!(out1, read(&[2]), "p1 must answer from local knowledge");
 
@@ -71,7 +77,13 @@ fn wait_free_first_reads_are_forced_local() {
     sim.schedule_invoke(t + 1, 1, OpInput::Query(SetQuery::Read));
     sim.run_to_quiescence();
 
-    let (h, _) = trace_to_history(SetAdt::<u32>::new(), 2, sim.records(), OmegaMarking::FinalQueries).unwrap();
+    let (h, _) = trace_to_history(
+        SetAdt::<u32>::new(),
+        2,
+        sim.records(),
+        OmegaMarking::FinalQueries,
+    )
+    .unwrap();
     // Convergence achieved (EC holds on the trace)…
     assert!(check_ec(&h).holds(), "Algorithm 1 must converge");
     // …therefore pipelined consistency is violated, exactly as
@@ -115,8 +127,13 @@ fn convergence_and_pipelining_exclude_each_other_across_seeds() {
             sim.schedule_invoke(t, 0, OpInput::Query(SetQuery::Read));
             sim.schedule_invoke(t + 1, 1, OpInput::Query(SetQuery::Read));
             sim.run_to_quiescence();
-            let (h, _) =
-                trace_to_history(SetAdt::<u32>::new(), 2, sim.records(), OmegaMarking::FinalQueries).unwrap();
+            let (h, _) = trace_to_history(
+                SetAdt::<u32>::new(),
+                2,
+                sim.records(),
+                OmegaMarking::FinalQueries,
+            )
+            .unwrap();
             let ec = check_ec(&h);
             let pc = check_pc(&h);
             assert!(ec.holds(), "seed {seed} release {release}: no convergence");

@@ -3,10 +3,8 @@
 //! update-consistent set, each according to its documented policy.
 
 use std::collections::BTreeSet;
-use update_consistency::core::{GenericReplica, Replica};
-use update_consistency::crdt::{
-    CSet, LwwSet, OrSet, PnSet, SetReplica, TwoPhaseSet,
-};
+use update_consistency::core::GenericReplica;
+use update_consistency::crdt::{CSet, LwwSet, OrSet, PnSet, SetReplica, TwoPhaseSet};
 use update_consistency::spec::{SetAdt, SetUpdate};
 
 /// Drive the Fig. 1b schedule (`p0: I(1)·D(2)`, `p1: I(2)·D(1)`,
@@ -50,8 +48,7 @@ fn update_consistent_set_reaches_a_sequentially_explicable_state() {
     let s0 = p0.materialize();
     let s1 = p1.materialize();
     assert_eq!(s0, s1);
-    let legal: [BTreeSet<u32>; 3] =
-        [BTreeSet::new(), BTreeSet::from([1]), BTreeSet::from([2])];
+    let legal: [BTreeSet<u32>; 3] = [BTreeSet::new(), BTreeSet::from([1]), BTreeSet::from([2])];
     assert!(
         legal.contains(&s0),
         "state {s0:?} is not reachable by any linearization of the updates"
@@ -99,7 +96,10 @@ fn all_five_policies_are_documented_and_distinct_somewhere() {
     // programs".
     let outcomes: Vec<(&str, BTreeSet<u32>)> = vec![
         ("or", fig1b_schedule(OrSet::new(0), OrSet::new(1)).0),
-        ("2p", fig1b_schedule(TwoPhaseSet::new(), TwoPhaseSet::new()).0),
+        (
+            "2p",
+            fig1b_schedule(TwoPhaseSet::new(), TwoPhaseSet::new()).0,
+        ),
         ("pn", fig1b_schedule(PnSet::new(), PnSet::new()).0),
         ("c", fig1b_schedule(CSet::new(), CSet::new()).0),
         ("lww", fig1b_schedule(LwwSet::new(0), LwwSet::new(1)).0),

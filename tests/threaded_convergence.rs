@@ -13,10 +13,9 @@ type MemNode = ReplicaNode<MemoryAdt<u32, u64>, UcMemory<u32, u64>>;
 #[test]
 fn algorithm1_converges_on_threads() {
     let n = 4;
-    let cluster: ThreadedCluster<SetReplicaNode> =
-        ThreadedCluster::spawn(n, |pid| {
-            ReplicaNode::untraced(GenericReplica::new(SetAdt::new(), pid))
-        });
+    let cluster: ThreadedCluster<SetReplicaNode> = ThreadedCluster::spawn(n, |pid| {
+        ReplicaNode::untraced(GenericReplica::new(SetAdt::new(), pid))
+    });
     for i in 0..100u32 {
         let pid = (i % n as u32) as Pid;
         let op = if i % 3 == 0 {
@@ -87,10 +86,9 @@ fn queries_are_wait_free_even_with_inflight_traffic() {
     // Queries return immediately regardless of how much traffic is in
     // flight; no deadlock, no blocking on peers.
     let n = 3;
-    let cluster: ThreadedCluster<SetReplicaNode> =
-        ThreadedCluster::spawn(n, |pid| {
-            ReplicaNode::untraced(GenericReplica::new(SetAdt::new(), pid))
-        });
+    let cluster: ThreadedCluster<SetReplicaNode> = ThreadedCluster::spawn(n, |pid| {
+        ReplicaNode::untraced(GenericReplica::new(SetAdt::new(), pid))
+    });
     for i in 0..50u32 {
         cluster.invoke((i % 3) as Pid, OpInput::Update(SetUpdate::Insert(i)));
         // interleave queries without quiescing

@@ -6,14 +6,18 @@
 
 use std::collections::BTreeSet;
 use update_consistency::core::{
-    trace_to_history, CachedReplica, GenericReplica, OmegaMarking, OpInput, Replica,
-    ReplicaNode, UndoReplica,
+    trace_to_history, CachedReplica, GenericReplica, OmegaMarking, OpInput, ReplicaNode,
+    UndoReplica,
 };
 use update_consistency::criteria::verify_witness;
 use update_consistency::sim::{LatencyModel, Pid, Protocol, SimConfig, Simulation, SplitMix64};
 use update_consistency::spec::{SetAdt, SetQuery, SetUpdate};
 
-fn schedule(sim: &mut Simulation<impl Protocol<Input = OpInput<SetAdt<u32>>>>, seed: u64, n: usize) {
+fn schedule(
+    sim: &mut Simulation<impl Protocol<Input = OpInput<SetAdt<u32>>>>,
+    seed: u64,
+    n: usize,
+) {
     let mut rng = SplitMix64::new(seed ^ 0x5EED);
     let mut t = 0;
     for i in 0..20 {
@@ -36,10 +40,7 @@ fn schedule(sim: &mut Simulation<impl Protocol<Input = OpInput<SetAdt<u32>>>>, s
     }
 }
 
-fn finish(
-    sim: &mut Simulation<impl Protocol<Input = OpInput<SetAdt<u32>>>>,
-    n: usize,
-) {
+fn finish(sim: &mut Simulation<impl Protocol<Input = OpInput<SetAdt<u32>>>>, n: usize) {
     sim.run_to_quiescence();
     let end = sim.now() + 1;
     for p in 0..n as Pid {
@@ -97,7 +98,10 @@ fn all_three_variants_converge_to_the_same_states() {
             .collect();
         assert_eq!(g, c, "seed {seed}: cached variant diverged from naive");
         assert_eq!(g, u, "seed {seed}: undo variant diverged from naive");
-        assert!(g.windows(2).all(|w| w[0] == w[1]), "seed {seed}: not converged");
+        assert!(
+            g.windows(2).all(|w| w[0] == w[1]),
+            "seed {seed}: not converged"
+        );
     }
 }
 
