@@ -182,6 +182,20 @@ impl<A: UqAdt, S: RepairStrategy<A>> ReplicaEngine<A, S> {
     /// message for the other replicas.
     pub fn update(&mut self, u: A::Update) -> UpdateMsg<A::Update> {
         let ts = Timestamp::new(self.clock.tick(), self.pid);
+        self.local_update_at(ts, u)
+    }
+
+    /// Perform a local update whose timestamp was issued by an
+    /// **external** clock owner — the multi-object store
+    /// ([`crate::store::UcStore`]) ticks one per-replica Lamport clock
+    /// and stamps updates for all of its per-key engines from it. The
+    /// timestamp must carry this engine's pid and must be fresh (the
+    /// external clock is strictly increasing, so it always is); the
+    /// engine's own clock is advanced to match so mixed use stays
+    /// monotone.
+    pub fn local_update_at(&mut self, ts: Timestamp, u: A::Update) -> UpdateMsg<A::Update> {
+        debug_assert_eq!(ts.pid, self.pid, "local timestamps carry the replica pid");
+        self.clock.merge(ts.clock);
         let msg = UpdateMsg { ts, update: u };
         let pos = self
             .log
@@ -242,6 +256,16 @@ impl<A: UqAdt, S: RepairStrategy<A>> ReplicaEngine<A, S> {
     /// sorted log).
     pub fn do_query(&mut self, q: &A::QueryIn) -> A::QueryOut {
         let now = self.clock.tick();
+        self.do_query_at(now, q)
+    }
+
+    /// Answer a query under an externally ticked clock (the store's
+    /// shared per-replica clock). The engine's own clock is advanced to
+    /// `now` so the line-13 guarantee — updates issued after a query
+    /// order after everything the query saw — holds across all engines
+    /// sharing the external clock.
+    pub fn do_query_at(&mut self, now: u64, q: &A::QueryIn) -> A::QueryOut {
+        self.clock.merge(now);
         self.strategy.observe_clock(self.pid, now);
         let state = self.strategy.current_state(&self.adt, &self.log);
         self.adt.observe(state, q)

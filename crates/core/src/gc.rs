@@ -34,8 +34,17 @@ use uc_spec::UqAdt;
 pub struct StableGc<A: UqAdt> {
     /// Fold of the compacted stable prefix.
     base: A::State,
-    /// Scratch for query-time folds (base + retained suffix).
+    /// Scratch for query-time folds (base + retained suffix). Kept
+    /// until the log gains entries: repeated queries against an
+    /// unchanged log reuse the cached fold instead of refolding the
+    /// whole unstable suffix every time. Compaction moves entries from
+    /// the suffix into `base` without changing their fold, so it does
+    /// not invalidate the cache.
     scratch: A::State,
+    /// Is `scratch` stale relative to `base` + the retained log?
+    scratch_dirty: bool,
+    /// Fold steps spent answering queries (cache-effectiveness metric).
+    fold_steps: u64,
     /// Number of updates folded into `base`.
     compacted: u64,
     /// Highest clock heard from each process.
@@ -51,6 +60,8 @@ impl<A: UqAdt> StableGc<A> {
         StableGc {
             base: adt.initial(),
             scratch: adt.initial(),
+            scratch_dirty: false,
+            fold_steps: 0,
             compacted: 0,
             last_seen: vec![0; n],
             bound: 0,
@@ -65,6 +76,13 @@ impl<A: UqAdt> StableGc<A> {
     /// The current stability bound.
     pub fn stability_bound(&self) -> u64 {
         self.bound
+    }
+
+    /// Cumulative fold steps spent answering queries. Stays flat
+    /// across repeated queries of an unchanged log (the query-time
+    /// fold is cached) and grows only after new insertions.
+    pub fn query_fold_steps(&self) -> u64 {
+        self.fold_steps
     }
 
     fn try_compact(&mut self, adt: &A, log: &mut UpdateLog<A::Update>) {
@@ -87,12 +105,18 @@ impl<A: UqAdt> RepairStrategy<A> for StableGc<A> {
             "stability violated: insert at or below bound {}",
             self.bound
         );
+        self.scratch_dirty = true;
         self.try_compact(adt, log);
     }
 
     fn observe_clock(&mut self, pid: u32, clock: u64) {
-        let seen = &mut self.last_seen[pid as usize];
-        *seen = (*seen).max(clock);
+        // A clock from a pid outside the configured cluster cannot
+        // advance stability (the bound is the minimum over tracked
+        // processes), so ignore it — a stray or misconfigured
+        // heartbeat must not panic the replica.
+        if let Some(seen) = self.last_seen.get_mut(pid as usize) {
+            *seen = (*seen).max(clock);
+        }
     }
 
     fn maintain(&mut self, adt: &A, log: &mut UpdateLog<A::Update>, _ctx: &EngineCtx) {
@@ -100,7 +124,11 @@ impl<A: UqAdt> RepairStrategy<A> for StableGc<A> {
     }
 
     fn current_state(&mut self, adt: &A, log: &UpdateLog<A::Update>) -> &A::State {
-        self.scratch = adt.run_updates_from(self.base.clone(), log.iter().map(|(_, u)| u));
+        if self.scratch_dirty {
+            self.fold_steps += log.len() as u64;
+            self.scratch = adt.run_updates_from(self.base.clone(), log.iter().map(|(_, u)| u));
+            self.scratch_dirty = false;
+        }
         &self.scratch
     }
 }
@@ -345,6 +373,81 @@ mod tests {
             a.do_query(&SetQuery::Read),
             (0..10).collect::<BTreeSet<u32>>()
         );
+    }
+
+    #[test]
+    fn heartbeat_from_unknown_pid_is_ignored_not_panicking() {
+        // Regression: `observe_clock` used to index `last_seen`
+        // unchecked, so a heartbeat from a pid ≥ n panicked the
+        // replica. Out-of-cluster clocks must be ignored.
+        let mut a: R = GcReplica::new(SetAdt::new(), 0, 2);
+        a.update(SetUpdate::Insert(1));
+        a.on_gc_message(&GcMsg::Heartbeat { pid: 7, clock: 99 });
+        assert_eq!(a.stability_bound(), 0, "stray clock must not advance GC");
+        assert_eq!(a.compacted(), 0);
+        assert_eq!(a.materialize(), BTreeSet::from([1]));
+    }
+
+    #[test]
+    fn update_from_unknown_pid_is_ingested_without_panic() {
+        // The same out-of-bounds path is reachable through a plain
+        // update delivery whose timestamp carries a foreign pid.
+        let mut a: R = GcReplica::new(SetAdt::new(), 0, 2);
+        let msg = UpdateMsg {
+            ts: crate::timestamp::Timestamp::new(1, 9),
+            update: SetUpdate::Insert(4),
+        };
+        a.on_gc_message(&GcMsg::Update(msg));
+        assert_eq!(a.materialize(), BTreeSet::from([4]));
+        assert_eq!(a.stability_bound(), 0);
+    }
+
+    #[test]
+    fn repeated_queries_reuse_the_cached_fold() {
+        // Regression: `current_state` used to refold the whole
+        // unstable suffix from `base` on every query. The fold is now
+        // cached and invalidated only when the log gains entries.
+        let mut a: R = GcReplica::new(SetAdt::new(), 0, 2);
+        for i in 0..32u32 {
+            a.update(SetUpdate::Insert(i));
+        }
+        let _ = a.do_query(&SetQuery::Read);
+        let after_first = a.engine().strategy().query_fold_steps();
+        assert!(after_first > 0, "first query folds the suffix");
+        for _ in 0..10 {
+            let _ = a.do_query(&SetQuery::Read);
+        }
+        assert_eq!(
+            a.engine().strategy().query_fold_steps(),
+            after_first,
+            "repeated queries of an unchanged log must do zero extra fold steps"
+        );
+        // A new insertion dirties the cache; the next query refolds.
+        a.update(SetUpdate::Insert(99));
+        let _ = a.do_query(&SetQuery::Read);
+        assert!(a.engine().strategy().query_fold_steps() > after_first);
+    }
+
+    #[test]
+    fn compaction_between_queries_keeps_the_cache_correct() {
+        // Compaction moves stable entries into the base without
+        // changing the fold; a query answered from the cache after a
+        // compaction must still be right.
+        let mut a: R = GcReplica::new(SetAdt::new(), 0, 2);
+        let mut b: R = GcReplica::new(SetAdt::new(), 1, 2);
+        let msgs: Vec<_> = (0..16u32).map(|i| a.update(SetUpdate::Insert(i))).collect();
+        for m in &msgs {
+            b.on_gc_message(m);
+        }
+        let expect = a.do_query(&SetQuery::Read);
+        // Heartbeats trigger compaction on `a` with no new entries.
+        let hb = b.tick();
+        for m in hb {
+            a.on_gc_message(&m);
+        }
+        let _ = a.tick();
+        assert!(a.compacted() > 0, "compaction must have happened");
+        assert_eq!(a.do_query(&SetQuery::Read), expect);
     }
 
     #[test]

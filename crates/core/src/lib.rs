@@ -17,6 +17,7 @@
 //! | [`gc`] | [`StableGc`] strategy; [`GcReplica`] — stability-based log compaction | §VII-C |
 //! | [`memory`] | [`UcMemory`] — Algorithm 2, LWW shared memory | Alg. 2 |
 //! | [`replica`] | the wait-free replica trait all variants share (incl. [`Replica::on_batch`]) | §VII-A |
+//! | [`store`] | [`UcStore`] — sharded multi-object store: one engine per key, one clock per replica | partitionable follow-up |
 //! | [`sim_adapter`] | run replicas on `uc-sim`; turn traces into checkable histories + SUC witnesses | Prop. 4 |
 //! | [`convergence`] | cross-replica convergence checks | Defs. 5/8 |
 //!
@@ -41,6 +42,7 @@ pub mod memory;
 pub mod message;
 pub mod replica;
 pub mod sim_adapter;
+pub mod store;
 pub mod timestamp;
 pub mod undo;
 
@@ -54,6 +56,10 @@ pub use message::{GcMsg, UpdateMsg};
 pub use replica::{state_digest, Replica};
 pub use sim_adapter::{
     trace_to_history, OmegaMarking, OpInput, OpOutput, ReplicaNode, TimestampedMsg,
+};
+pub use store::{
+    CheckpointFactory, GcFactory, Key, NaiveFactory, StoreInput, StoreMsg, StoreOutput,
+    StrategyFactory, UcStore, UndoFactory,
 };
 pub use timestamp::{LamportClock, Timestamp};
 pub use undo::{UndoRepair, UndoReplica};

@@ -223,9 +223,23 @@ pub enum OmegaMarking<'a> {
     /// No ω events: the trace is a plain finite history.
     #[default]
     None,
-    /// Flag the last event of every process when it is a query —
-    /// appropriate when every process ends with a post-quiescence
-    /// read.
+    /// Flag the **final query** of every process — appropriate when
+    /// every process ends with a post-quiescence read. A process whose
+    /// trace ends with updates still contributes its last query as the
+    /// ω event (the "repeated forever" reading places the repeated
+    /// instances after those trailing updates, so the query is emitted
+    /// at the end of its process chain to keep ω events program-order
+    /// maximal).
+    ///
+    /// Note what that ω claim asserts for an update-terminated
+    /// process: its *recorded* output must still hold in the converged
+    /// state, i.e. the trailing updates must not change the query's
+    /// answer. If they do, the UC check correctly fails the history —
+    /// the trace simply contains no post-quiescence read for that
+    /// process, so its mid-run output is not a convergence witness.
+    /// End every process with a read (or use
+    /// [`OmegaMarking::FinalQueriesOf`] to exclude it) when that claim
+    /// is not intended.
     FinalQueries,
     /// Flag final queries only for the listed (surviving) processes.
     /// A crashed process's history simply ends: the paper places no
@@ -247,8 +261,14 @@ where
     A: UqAdt + Clone,
     P: Protocol<Input = OpInput<A>, Output = OpOutput<A>>,
 {
-    // Mark the final record index of each ω-eligible process.
-    let mut last_of_pid: Vec<Option<usize>> = vec![None; n];
+    // ω-eligibility: the final *query* record of each eligible
+    // process. Tracking the last record of any kind here was a
+    // paper-semantics bug — a process whose trace ended with an update
+    // contributed no ω-query at all, so Definition 4's "all but
+    // finitely many queries" check ran on a history with too few (or
+    // zero) ω events.
+    let mut last_query_of_pid: Vec<Option<usize>> = vec![None; n];
+    let mut last_record_of_pid: Vec<Option<usize>> = vec![None; n];
     for (i, r) in records.iter().enumerate() {
         let eligible = match omega {
             OmegaMarking::None => false,
@@ -256,7 +276,10 @@ where
             OmegaMarking::FinalQueriesOf(pids) => pids.contains(&r.pid),
         };
         if eligible {
-            last_of_pid[r.pid as usize] = Some(i);
+            if matches!(r.input, OpInput::Query(_)) {
+                last_query_of_pid[r.pid as usize] = Some(i);
+            }
+            last_record_of_pid[r.pid as usize] = Some(i);
         }
     }
 
@@ -265,6 +288,17 @@ where
     let mut ts_to_event: Vec<(Timestamp, EventId)> = Vec::new();
     let mut pending_queries: Vec<(EventId, Vec<Timestamp>)> = Vec::new();
     let mut pending_updates: Vec<(EventId, Vec<Timestamp>)> = Vec::new();
+    // ω queries followed by same-process updates in the trace: the
+    // "repeated forever" instances happen after those updates, so the
+    // event is emitted once all of its process's records are in (ω
+    // events must be program-order maximal).
+    type Deferred<A> = (
+        ProcessId,
+        <A as UqAdt>::QueryIn,
+        <A as UqAdt>::QueryOut,
+        Vec<Timestamp>,
+    );
+    let mut deferred: Vec<Deferred<A>> = Vec::new();
 
     for (i, r) in records.iter().enumerate() {
         let p = procs[r.pid as usize];
@@ -280,7 +314,11 @@ where
                 }
             }
             (OpInput::Query(qi), OpOutput::Value { out, seen }) => {
-                let omega = last_of_pid[r.pid as usize] == Some(i);
+                let omega = last_query_of_pid[r.pid as usize] == Some(i);
+                if omega && last_record_of_pid[r.pid as usize] != Some(i) {
+                    deferred.push((p, qi.clone(), out.clone(), seen.clone()));
+                    continue;
+                }
                 let e = if omega {
                     b.omega_query(p, qi.clone(), out.clone())
                 } else {
@@ -294,6 +332,10 @@ where
                 return Err(TraceError::MissingTimestamp(i))
             }
         }
+    }
+    for (p, qi, out, seen) in deferred {
+        let e = b.omega_query(p, qi, out);
+        pending_queries.push((e, seen));
     }
 
     let h = b.build().map_err(TraceError::Build)?;
@@ -369,6 +411,72 @@ mod tests {
         )
         .unwrap();
         assert_eq!(verify_witness(&h, &w), Ok(()));
+    }
+
+    #[test]
+    fn update_terminated_trace_still_omega_marks_the_final_query() {
+        // Regression: ω-marking used to track each process's last
+        // *record*, so a process whose trace ended with an update
+        // contributed no ω-query and the UC verdict was computed on a
+        // history with a missing ω event.
+        let mut s = sim(2, 21);
+        s.schedule_invoke(0, 0, OpInput::Update(SetUpdate::Insert(1)));
+        s.schedule_invoke(5, 0, OpInput::Query(SetQuery::Read));
+        // p0's trace ends with an update (idempotent re-insert).
+        s.schedule_invoke(10, 0, OpInput::Update(SetUpdate::Insert(1)));
+        s.run_to_quiescence();
+        let t = s.now() + 1;
+        s.schedule_invoke(t, 1, OpInput::Query(SetQuery::Read));
+        s.run_to_quiescence();
+
+        let (h, _w) = trace_to_history(
+            SetAdt::<u32>::new(),
+            2,
+            s.records(),
+            OmegaMarking::FinalQueries,
+        )
+        .unwrap();
+        // Both processes contribute an ω query; p0's is its mid-trace
+        // read, emitted at the end of its chain (after the trailing
+        // update) per the "repeated forever" reading.
+        for p in 0..2u32 {
+            let chain = h.chain(ProcessId(p));
+            let last = *chain.last().expect("nonempty chain");
+            assert!(
+                h.event(last).omega && h.event(last).is_query(),
+                "process {p} must end with an ω query"
+            );
+        }
+        assert_eq!(h.chain(ProcessId(0)).len(), 3);
+        // The history is update consistent: every linearization of the
+        // three inserts converges to {1}, which answers both ω reads.
+        assert!(uc_criteria::check_uc(&h).holds());
+    }
+
+    #[test]
+    fn omega_marking_none_and_final_queries_of_unchanged() {
+        // FinalQueriesOf must also mark the listed pids' final
+        // queries, and None must mark nothing.
+        let mut s = sim(2, 3);
+        s.schedule_invoke(0, 0, OpInput::Update(SetUpdate::Insert(2)));
+        s.schedule_invoke(1, 0, OpInput::Query(SetQuery::Read));
+        s.schedule_invoke(2, 0, OpInput::Update(SetUpdate::Insert(3)));
+        s.schedule_invoke(3, 1, OpInput::Query(SetQuery::Read));
+        s.run_to_quiescence();
+        let (h, _) =
+            trace_to_history(SetAdt::<u32>::new(), 2, s.records(), OmegaMarking::None).unwrap();
+        assert_eq!(h.omegas_mask(), 0);
+        let (h, _) = trace_to_history(
+            SetAdt::<u32>::new(),
+            2,
+            s.records(),
+            OmegaMarking::FinalQueriesOf(&[0]),
+        )
+        .unwrap();
+        let last0 = *h.chain(ProcessId(0)).last().unwrap();
+        assert!(h.event(last0).omega, "listed pid's final query marked");
+        let last1 = *h.chain(ProcessId(1)).last().unwrap();
+        assert!(!h.event(last1).omega, "unlisted pid unmarked");
     }
 
     #[test]

@@ -1,0 +1,20 @@
+//! Helpers shared by the differential test suites.
+
+use uc_sim::SplitMix64;
+
+/// Shuffle a delivery schedule and duplicate ~20% of it (reliable
+/// broadcast is at-least-once from a defensive replica's point of
+/// view). Deterministic in the PRNG state, so failures replay.
+pub fn shuffle_with_dups<T: Clone>(rng: &mut SplitMix64, mut sched: Vec<T>) -> Vec<T> {
+    let dups = sched.len() / 5;
+    for _ in 0..dups {
+        let i = (rng.next_u64() % sched.len() as u64) as usize;
+        sched.push(sched[i].clone());
+    }
+    // Fisher–Yates.
+    for i in (1..sched.len()).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        sched.swap(i, j);
+    }
+    sched
+}

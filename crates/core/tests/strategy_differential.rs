@@ -18,6 +18,8 @@
 //! mid-run heartbeats to force compaction concurrent with delivery —
 //! checked in lockstep against a naive reference fed identically.
 
+mod common;
+
 use std::collections::VecDeque;
 use uc_core::{
     state_digest, CachedReplica, GcMsg, GcReplica, GenericReplica, Replica, UndoReplica, UpdateMsg,
@@ -60,20 +62,7 @@ fn produce_streams(rng: &mut SplitMix64, producers: usize) -> Vec<Vec<Msg>> {
 /// Shuffle and duplicate the flattened streams into an arbitrary
 /// delivery schedule (for the full-log strategies).
 fn shuffled_schedule(rng: &mut SplitMix64, streams: &[Vec<Msg>]) -> Vec<Msg> {
-    let mut sched: Vec<Msg> = streams.iter().flatten().cloned().collect();
-    // ~20% duplicated deliveries (reliable broadcast is at-least-once
-    // from the replica's defensive point of view).
-    let dups = sched.len() / 5;
-    for _ in 0..dups {
-        let i = (rng.next_u64() % sched.len() as u64) as usize;
-        sched.push(sched[i].clone());
-    }
-    // Fisher–Yates.
-    for i in (1..sched.len()).rev() {
-        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
-        sched.swap(i, j);
-    }
-    sched
+    common::shuffle_with_dups(rng, streams.iter().flatten().cloned().collect())
 }
 
 fn scenario(seed: u64) {

@@ -43,4 +43,6 @@ pub use rng::{SplitMix64, Zipf};
 pub use scheduler::{SimConfig, Simulation};
 pub use threaded::ThreadedCluster;
 pub use trace::InvocationRecord;
-pub use workload::{ScheduledOp, SetOpKind, WorkloadSpec};
+pub use workload::{
+    generate_keyed, perturb_order, KeyedOp, KeyedWorkloadSpec, ScheduledOp, SetOpKind, WorkloadSpec,
+};

@@ -263,4 +263,72 @@ mod tests {
         assert_eq!(cluster.invoke(0, 6), 2);
         cluster.shutdown();
     }
+
+    /// A protocol that *relays*: every received message below a TTL is
+    /// re-broadcast, so at any quiesce point there may be second-hop
+    /// messages a node is just about to send.
+    #[derive(Debug, Default)]
+    struct Relay {
+        seen: std::collections::BTreeSet<u32>,
+    }
+
+    const TTL_BIT: u32 = 1 << 16;
+
+    impl Protocol for Relay {
+        type Msg = u32;
+        type Input = u32;
+        type Output = usize;
+
+        fn on_invoke(&mut self, x: u32, ctx: &mut Ctx<'_, u32>) -> usize {
+            self.seen.insert(x);
+            ctx.broadcast_others(x);
+            self.seen.len()
+        }
+
+        fn on_message(&mut self, _from: Pid, x: u32, ctx: &mut Ctx<'_, u32>) {
+            self.seen.insert(x & !TTL_BIT);
+            if x & TTL_BIT == 0 {
+                // Relay once: the window between a node deciding to
+                // send and the counter increment is exactly what the
+                // increment-before-send invariant protects.
+                ctx.broadcast_others(x | TTL_BIT);
+            }
+        }
+    }
+
+    #[test]
+    fn quiesce_never_returns_while_relayed_messages_are_in_flight() {
+        // Regression stress for the `quiesce` spin loop: `in_flight`
+        // is incremented *before* each send, so a stable zero is only
+        // observable when no message is queued anywhere — including
+        // second-hop relays triggered inside message handlers. If the
+        // increment moved after the send (or into the receiver), this
+        // test races: quiesce could observe zero between a relay's
+        // decision to forward and its send, and some node would miss
+        // values at shutdown.
+        for round in 0..20u32 {
+            let n = 4;
+            let cluster = ThreadedCluster::spawn(n, |_| Relay::default());
+            let per_node = 10u32;
+            for i in 0..(n as u32 * per_node) {
+                cluster.invoke((i % n as u32) as Pid, round * 1000 + i);
+                if i % 7 == 0 {
+                    // Interleave quiesce with live traffic: it must
+                    // block until relays have drained, not deadlock
+                    // and not return early.
+                    cluster.quiesce();
+                }
+            }
+            let nodes = cluster.shutdown();
+            let expect: std::collections::BTreeSet<u32> = (0..(n as u32 * per_node))
+                .map(|i| round * 1000 + i)
+                .collect();
+            for (pid, node) in nodes.iter().enumerate() {
+                assert_eq!(
+                    node.seen, expect,
+                    "round {round}: node {pid} missed relayed messages"
+                );
+            }
+        }
+    }
 }
