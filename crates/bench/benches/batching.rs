@@ -159,10 +159,16 @@ fn main() {
         );
     }
 
+    // One-line machine-readable summary (baseline refreshes grep for
+    // `^BENCH_JSON ` instead of hand-editing the checked-in file).
+    println!(
+        "\nBENCH_JSON {}",
+        json.split_whitespace().collect::<Vec<_>>().join(" ")
+    );
     let out = format!(
         "{}/../../BENCH_batching.json",
         std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into())
     );
     std::fs::write(&out, json).expect("write baseline json");
-    println!("\nwrote {out}");
+    println!("wrote {out}");
 }

@@ -118,7 +118,7 @@ fn main() {
         repair_steps: u64,
     }
     let mut rows: Vec<Row> = Vec::new();
-    let mut reference_digest: Option<Vec<(u64, usize)>> = None;
+    let mut reference_digest: Option<Vec<(u64, u64)>> = None;
     // Round-robin over shard counts within each rep, so slow drift of
     // the host (frequency scaling, allocator state) hits every
     // configuration equally instead of penalizing whichever is
@@ -135,12 +135,12 @@ fn main() {
             }
             samples[idx].push(t0.elapsed().as_nanos() as u64);
             repair_steps[idx] = store.total_repair_steps();
-            // Shard count must not change semantics: compare a cheap
-            // per-key digest across configurations.
-            let digest: Vec<(u64, usize)> = store
+            // Shard count must not change semantics: compare a
+            // per-key content hash across configurations.
+            let digest: Vec<(u64, u64)> = store
                 .keys()
                 .into_iter()
-                .map(|k| (k, store.materialize_key(k).len()))
+                .map(|k| (k, uc_core::state_digest(&store.materialize_key(k))))
                 .collect();
             match &reference_digest {
                 None => reference_digest = Some(digest),
@@ -267,10 +267,16 @@ fn main() {
     );
     json.push_str("}\n");
 
+    // One-line machine-readable summary (baseline refreshes grep for
+    // `^BENCH_JSON ` instead of hand-editing the checked-in file).
+    println!(
+        "\nBENCH_JSON {}",
+        json.split_whitespace().collect::<Vec<_>>().join(" ")
+    );
     let out = format!(
         "{}/../../BENCH_store.json",
         std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into())
     );
     std::fs::write(&out, json).expect("write baseline json");
-    println!("\nwrote {out}");
+    println!("wrote {out}");
 }

@@ -216,11 +216,28 @@ impl<A: UqAdt> Replica<A> for GcReplica<A> {
                 GcMsg::Heartbeat { .. } => None,
             })
             .collect();
-        self.engine.on_deliver_batch(&updates);
+        self.engine.on_deliver_batch_owned(updates);
         for m in msgs {
             if let GcMsg::Heartbeat { pid, clock } = m {
                 self.engine.observe_peer_clock(*pid, *clock);
             }
+        }
+    }
+
+    /// Owned batched ingest: updates move straight into the engine's
+    /// merge (no second clone); heartbeats still fold in afterwards.
+    fn on_batch_owned(&mut self, msgs: Vec<Self::Msg>) {
+        let mut updates = Vec::with_capacity(msgs.len());
+        let mut heartbeats = Vec::new();
+        for m in msgs {
+            match m {
+                GcMsg::Update(u) => updates.push(u),
+                GcMsg::Heartbeat { pid, clock } => heartbeats.push((pid, clock)),
+            }
+        }
+        self.engine.on_deliver_batch_owned(updates);
+        for (pid, clock) in heartbeats {
+            self.engine.observe_peer_clock(pid, clock);
         }
     }
 

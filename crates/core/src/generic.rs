@@ -46,6 +46,13 @@ impl<A: UqAdt> RepairStrategy<A> for NaiveReplay<A> {
         // Nothing is cached, so nothing needs repair.
     }
 
+    /// No cached state means no rollback cost: the engine may deliver
+    /// small bursts per message instead of paying for a batch merge
+    /// that has no repair to amortize.
+    fn insert_is_free(&self) -> bool {
+        true
+    }
+
     fn current_state(&mut self, adt: &A, log: &UpdateLog<A::Update>) -> &A::State {
         self.scratch = adt.run_updates(log.iter().map(|(_, u)| u));
         &self.scratch

@@ -18,6 +18,7 @@
 //! | [`memory`] | [`UcMemory`] — Algorithm 2, LWW shared memory | Alg. 2 |
 //! | [`replica`] | the wait-free replica trait all variants share (incl. [`Replica::on_batch`]) | §VII-A |
 //! | [`store`] | [`UcStore`] — sharded multi-object store: one engine per key, one clock per replica | partitionable follow-up |
+//! | [`pool`] | [`IngestPool`] — persistent shard-worker threads with bounded queues, flush barriers, drain-on-drop | perf engineering |
 //! | [`sim_adapter`] | run replicas on `uc-sim`; turn traces into checkable histories + SUC witnesses | Prop. 4 |
 //! | [`convergence`] | cross-replica convergence checks | Defs. 5/8 |
 //!
@@ -40,6 +41,7 @@ pub mod generic;
 pub mod log;
 pub mod memory;
 pub mod message;
+pub mod pool;
 pub mod replica;
 pub mod sim_adapter;
 pub mod store;
@@ -53,6 +55,7 @@ pub use generic::{GenericReplica, NaiveReplay};
 pub use log::UpdateLog;
 pub use memory::{MemWrite, UcMemory};
 pub use message::{GcMsg, UpdateMsg};
+pub use pool::{IngestPool, PoolConfig, PoolError, PoolStats, WorkerStats};
 pub use replica::{state_digest, Replica};
 pub use sim_adapter::{
     trace_to_history, OmegaMarking, OpInput, OpOutput, ReplicaNode, TimestampedMsg,

@@ -53,6 +53,19 @@ impl<U: Clone> UpdateLog<U> {
         }
     }
 
+    /// [`UpdateLog::insert`] for a message the caller already owns:
+    /// the update moves into the log instead of being cloned — the
+    /// zero-copy hot path taken by owned batch delivery.
+    pub fn insert_owned(&mut self, msg: UpdateMsg<U>) -> Option<usize> {
+        match self.entries.binary_search_by(|(ts, _)| ts.cmp(&msg.ts)) {
+            Ok(_) => None,
+            Err(pos) => {
+                self.entries.insert(pos, (msg.ts, msg.update));
+                Some(pos)
+            }
+        }
+    }
+
     /// Append an update known to carry the largest timestamp (the
     /// common in-order fast path). Falls back to sorted insertion if
     /// the claim is wrong. Returns the insertion position, or `None`
@@ -71,16 +84,18 @@ impl<U: Clone> UpdateLog<U> {
     }
 
     /// Merge a whole batch of messages in one pass: deduplicate
-    /// (against the log *and* within the batch), splice the fresh
-    /// entries in, and restore timestamp order by sorting only the
-    /// dirty suffix. Returns the earliest insertion position — the
-    /// single point a repair strategy must roll back to — or `None`
-    /// if every message was a duplicate.
+    /// (against the log *and* within the batch), then splice the fresh
+    /// entries in with a single sort-then-merge sweep over the dirty
+    /// suffix. Returns the earliest insertion position — the single
+    /// point a repair strategy must roll back to — or `None` if every
+    /// message was a duplicate.
     ///
-    /// Cost: `O(k log k + k log n + s log s)` for `k` new messages and
-    /// a dirty suffix of length `s`, versus `O(k·(log n + n))` worst
-    /// case for `k` separate [`UpdateLog::insert`] calls (each may
-    /// memmove the tail).
+    /// Cost: `O(k log k + k log n + s + k)` for `k` new messages and a
+    /// dirty suffix of length `s` (sort the batch, binary-search the
+    /// log once per message for dedup, merge the two sorted runs),
+    /// versus `O(k·(log n + n))` worst case for `k` separate
+    /// [`UpdateLog::insert`] calls (each may memmove the tail) and
+    /// `O(s log s)` for the previous sort-the-suffix merge.
     pub fn insert_batch(&mut self, msgs: &[UpdateMsg<U>]) -> Option<usize> {
         let mut fresh: Vec<(Timestamp, U)> = Vec::with_capacity(msgs.len());
         for m in msgs {
@@ -92,12 +107,56 @@ impl<U: Clone> UpdateLog<U> {
                 fresh.push((m.ts, m.update.clone()));
             }
         }
+        self.merge_fresh(fresh)
+    }
+
+    /// [`UpdateLog::insert_batch`] for a burst the caller already
+    /// owns: fresh updates move into the log instead of being cloned.
+    pub fn insert_batch_owned(&mut self, msgs: Vec<UpdateMsg<U>>) -> Option<usize> {
+        let mut fresh: Vec<(Timestamp, U)> = Vec::with_capacity(msgs.len());
+        for m in msgs {
+            if self
+                .entries
+                .binary_search_by(|(ts, _)| ts.cmp(&m.ts))
+                .is_err()
+            {
+                fresh.push((m.ts, m.update));
+            }
+        }
+        self.merge_fresh(fresh)
+    }
+
+    /// Shared tail of the batched-insert paths: sort and dedup the
+    /// fresh entries (none of which is present in the log), then merge
+    /// them with the dirty suffix in one linear pass. Runs that
+    /// straddle the end (`fresh` all-newer, or the suffix exhausted
+    /// mid-merge) are moved with a bulk `extend` instead of per-entry
+    /// pushes.
+    fn merge_fresh(&mut self, mut fresh: Vec<(Timestamp, U)>) -> Option<usize> {
         fresh.sort_unstable_by_key(|(ts, _)| *ts);
         fresh.dedup_by_key(|(ts, _)| *ts);
         let min_ts = fresh.first()?.0;
         let min_pos = self.entries.partition_point(|(ts, _)| *ts < min_ts);
+        if min_pos == self.entries.len() {
+            // Pure append: the whole batch is newer than the log.
+            self.entries.extend(fresh);
+            return Some(min_pos);
+        }
+        let tail = self.entries.split_off(min_pos);
+        self.entries.reserve(tail.len() + fresh.len());
+        let mut tail = tail.into_iter().peekable();
+        let mut fresh = fresh.into_iter().peekable();
+        // Two sorted runs with no timestamp in common (fresh was
+        // deduplicated against the log above), so `<` is total here.
+        while let (Some((t_ts, _)), Some((f_ts, _))) = (tail.peek(), fresh.peek()) {
+            if t_ts < f_ts {
+                self.entries.extend(tail.next());
+            } else {
+                self.entries.extend(fresh.next());
+            }
+        }
+        self.entries.extend(tail);
         self.entries.extend(fresh);
-        self.entries[min_pos..].sort_unstable_by_key(|(ts, _)| *ts);
         Some(min_pos)
     }
 
@@ -216,6 +275,42 @@ mod tests {
         assert_eq!(log.insert_batch(&[msg(3, 1, "c"), msg(2, 1, "b")]), Some(1));
         let order: Vec<&str> = log.iter().map(|(_, u)| *u).collect();
         assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn owned_insert_paths_match_borrowed() {
+        let mut by_ref = UpdateLog::new();
+        let mut by_move = UpdateLog::new();
+        let batch = [
+            msg(7, 0, "g"),
+            msg(3, 0, "c"),
+            msg(5, 0, "e"),
+            msg(3, 0, "c"),
+        ];
+        assert_eq!(by_ref.insert(&msg(9, 0, "i")), Some(0));
+        assert_eq!(by_move.insert_owned(msg(9, 0, "i")), Some(0));
+        assert_eq!(by_move.insert_owned(msg(9, 0, "i")), None);
+        assert_eq!(
+            by_ref.insert_batch(&batch),
+            by_move.insert_batch_owned(batch.to_vec())
+        );
+        assert_eq!(by_ref, by_move);
+        let order: Vec<&str> = by_move.iter().map(|(_, u)| *u).collect();
+        assert_eq!(order, vec!["c", "e", "g", "i"]);
+    }
+
+    #[test]
+    fn insert_batch_interleaved_runs_merge_in_order() {
+        // Fresh entries alternate with retained ones, so the merge
+        // must interleave (neither bulk-extend fast path applies).
+        let mut log = UpdateLog::new();
+        for c in [2u64, 4, 6, 8] {
+            log.insert(&msg(c, 0, "old"));
+        }
+        let batch = [msg(5, 0, "n5"), msg(3, 0, "n3"), msg(9, 0, "n9")];
+        assert_eq!(log.insert_batch(&batch), Some(1));
+        let clocks: Vec<u64> = log.timestamps().map(|ts| ts.clock).collect();
+        assert_eq!(clocks, vec![2, 3, 4, 5, 6, 8, 9]);
     }
 
     #[test]

@@ -1,0 +1,833 @@
+//! The **persistent shard-worker ingest pool**: long-lived worker
+//! threads, each owning a fixed set of a store's shards, fed by
+//! bounded per-worker queues.
+//!
+//! [`UcStore::apply_batch_parallel`] spawns fresh scoped threads for
+//! every burst, so its win is bounded by thread-spawn cost and it
+//! serializes bursts behind each other. The pool amortizes that cost
+//! once, at [`IngestPool::spawn`]:
+//!
+//! ```text
+//!            IngestPool handle          (owns clock + pid)
+//!   update/query/submit_batch ── LamportClock  (ticks & stamps here)
+//!          │ shard = hash(key) % S,  worker = shard % W
+//!          ▼
+//!   ┌ queue 0 ─▶ Worker 0 {shards 0, W, 2W, …}   (long-lived thread)
+//!   ├ queue 1 ─▶ Worker 1 {shards 1, W+1, …}
+//!   └ queue W-1 ▶ …
+//!        bounded sync_channel (backpressure)      per-shard engines
+//! ```
+//!
+//! * **determinism** — every key lives in exactly one shard, every
+//!   shard on exactly one worker, and each worker's queue is FIFO, so
+//!   the per-key delivery order equals submission order: pool results
+//!   are identical to the sequential [`UcStore::apply_batch`] path
+//!   (states *and* repair-step counts — the differential tests assert
+//!   both);
+//! * **barriers** — [`IngestPool::flush`] enqueues a barrier job on
+//!   every worker and waits for all acks; because queues are FIFO, a
+//!   completed flush has observed every prior submission;
+//! * **drain-on-drop** — dropping the handle closes the queues;
+//!   workers finish every queued job before exiting, so submitted
+//!   bursts are never silently discarded. [`IngestPool::finish`]
+//!   additionally reassembles and returns the [`UcStore`];
+//! * **poisoning** — a panic inside a worker (e.g. a panicking ADT
+//!   fold) is caught, recorded, and surfaced as a [`PoolError`] from
+//!   every subsequent operation instead of deadlocking the handle;
+//! * **wait-free handle** — updates tick the handle's clock, stamp,
+//!   and enqueue without waiting for the worker (backpressure on a
+//!   full queue is the only blocking); queries round-trip to the
+//!   owning worker, which is bounded local work, never a wait on
+//!   another *process*.
+//!
+//! The pool implements [`Protocol`], so a pooled store runs unchanged
+//! under the threaded cluster (real ingest concurrency) and the
+//! deterministic simulator.
+
+use crate::message::UpdateMsg;
+use crate::store::{
+    collapse_heartbeats, shard_index, split_by_shard, Key, Shard, StoreInput, StoreMsg,
+    StoreOutput, StrategyFactory, UcStore,
+};
+use crate::timestamp::{LamportClock, Timestamp};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use uc_sim::{Ctx, Pid, Protocol};
+use uc_spec::UqAdt;
+
+/// How an [`IngestPool`] is sized.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolConfig {
+    /// Worker threads; `0` means one per unit of available hardware
+    /// parallelism. Capped at the store's shard count (an idle worker
+    /// with no shards would be pure overhead).
+    pub workers: usize,
+    /// Bounded depth of each worker's job queue: submissions beyond
+    /// it block the caller (backpressure) instead of growing memory
+    /// without bound.
+    pub queue_depth: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: 0,
+            queue_depth: 64,
+        }
+    }
+}
+
+/// A worker thread died mid-job; the pool is poisoned and every
+/// subsequent operation reports this error.
+#[derive(Clone, Debug)]
+pub struct PoolError {
+    /// Index of the worker that panicked.
+    pub worker: usize,
+    /// The panic payload, if it was a string.
+    pub message: String,
+}
+
+impl fmt::Display for PoolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ingest pool poisoned: worker {} panicked: {}",
+            self.worker, self.message
+        )
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Point-in-time counters for one worker.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerStats {
+    /// Ingest jobs (bursts) this worker has processed.
+    pub batches: u64,
+    /// Update messages ingested across those bursts.
+    pub messages: u64,
+    /// High-water mark of enqueued-but-unfinished jobs — how far the
+    /// submitter ran ahead of this worker. Counts the job being
+    /// processed and a sender blocked on a full queue, so it can read
+    /// up to [`PoolConfig::queue_depth`]` + 2`.
+    pub queue_high_water: usize,
+}
+
+/// Point-in-time counters for the whole pool (observability and the
+/// pool benchmark's queue-depth metrics).
+#[derive(Clone, Debug, Default)]
+pub struct PoolStats {
+    /// Per-worker counters, indexed by worker.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl PoolStats {
+    /// Total bursts processed across workers.
+    pub fn total_batches(&self) -> u64 {
+        self.workers.iter().map(|w| w.batches).sum()
+    }
+
+    /// Total update messages ingested across workers.
+    pub fn total_messages(&self) -> u64 {
+        self.workers.iter().map(|w| w.messages).sum()
+    }
+
+    /// Deepest queue observed on any worker.
+    pub fn max_queue_high_water(&self) -> usize {
+        self.workers
+            .iter()
+            .map(|w| w.queue_high_water)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Counters shared between the handle and one worker.
+#[derive(Default)]
+struct SharedCounters {
+    depth: AtomicUsize,
+    high_water: AtomicUsize,
+    batches: AtomicU64,
+    messages: AtomicU64,
+}
+
+impl SharedCounters {
+    fn on_enqueue(&self) {
+        let d = self.depth.fetch_add(1, Ordering::SeqCst) + 1;
+        self.high_water.fetch_max(d, Ordering::SeqCst);
+    }
+
+    fn on_done(&self) {
+        self.depth.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// One shard's slice of a burst: `(key, message)` pairs bound for
+/// that shard's per-key engines.
+type Bucket<A> = Vec<(Key, UpdateMsg<<A as UqAdt>::Update>)>;
+
+/// A burst split per shard, tagged with global shard indices.
+type ShardBuckets<A> = Vec<(usize, Bucket<A>)>;
+
+/// The shards one worker owns, tagged with global shard indices.
+type OwnedShards<A, S> = Vec<(usize, Shard<A, S>)>;
+
+/// One unit of work on a worker's queue.
+enum Job<A: UqAdt> {
+    /// Per-shard buckets of one submitted burst (global shard index).
+    Ingest(ShardBuckets<A>),
+    /// A locally issued update, already stamped by the handle's clock.
+    Update {
+        /// Global shard index of `key`.
+        shard: usize,
+        key: Key,
+        msg: UpdateMsg<A::Update>,
+    },
+    /// A query against the handle's already-ticked clock; the answer
+    /// goes back through `reply`.
+    Query {
+        shard: usize,
+        key: Key,
+        now: u64,
+        q: A::QueryIn,
+        reply: Sender<A::QueryOut>,
+    },
+    /// A peer clock announcement: sweep every engine on this worker.
+    Heartbeat { pid: u32, clock: u64 },
+    /// Run per-key maintenance (compaction) on every engine.
+    Maintain,
+    /// Flush barrier: ack once every earlier job on this queue is done.
+    Barrier(Sender<()>),
+}
+
+/// Everything a worker owns: its shards plus what engine creation
+/// needs on first touch of a key.
+struct WorkerState<A: UqAdt, F: StrategyFactory<A>> {
+    /// `(global shard index, shard)`, in ascending index order.
+    shards: OwnedShards<A, F::Strategy>,
+    adt: A,
+    pid: u32,
+    factory: F,
+}
+
+/// Find `global` among a worker's owned shards (a handful of entries;
+/// linear scan beats hashing).
+fn shard_mut<A: UqAdt, S>(shards: &mut [(usize, Shard<A, S>)], global: usize) -> &mut Shard<A, S> {
+    let slot = shards
+        .iter()
+        .position(|(idx, _)| *idx == global)
+        .expect("shard routed to its owning worker");
+    &mut shards[slot].1
+}
+
+impl<A, F> WorkerState<A, F>
+where
+    A: UqAdt + Clone,
+    F: StrategyFactory<A>,
+{
+    fn run(&mut self, job: Job<A>, counters: &SharedCounters) {
+        let WorkerState {
+            shards,
+            adt,
+            pid,
+            factory,
+        } = self;
+        match job {
+            Job::Ingest(buckets) => {
+                counters.batches.fetch_add(1, Ordering::Relaxed);
+                for (global, bucket) in buckets {
+                    counters
+                        .messages
+                        .fetch_add(bucket.len() as u64, Ordering::Relaxed);
+                    shard_mut(shards, global).ingest(bucket, adt, *pid, factory);
+                }
+            }
+            Job::Update { shard, key, msg } => {
+                counters.messages.fetch_add(1, Ordering::Relaxed);
+                shard_mut(shards, shard)
+                    .engine_mut(key, adt, *pid, factory)
+                    .local_update_at(msg.ts, msg.update);
+            }
+            Job::Query {
+                shard,
+                key,
+                now,
+                q,
+                reply,
+            } => {
+                let sh = shard_mut(shards, shard);
+                let out = if sh.objects.contains_key(&key) {
+                    sh.engine_mut(key, adt, *pid, factory).do_query_at(now, &q)
+                } else {
+                    // Untouched keys answer from the initial state
+                    // without materializing an engine (same as
+                    // `UcStore::query`).
+                    adt.observe(&adt.initial(), &q)
+                };
+                // The handle may have given up waiting (poisoned
+                // pool); a dead reply channel is not this worker's
+                // problem.
+                let _ = reply.send(out);
+            }
+            Job::Heartbeat { pid, clock } => {
+                for (_, shard) in shards {
+                    shard.observe_peer_clock(pid, clock);
+                }
+            }
+            Job::Maintain => {
+                for (_, shard) in shards {
+                    shard.tick_maintenance();
+                }
+            }
+            Job::Barrier(reply) => {
+                let _ = reply.send(());
+            }
+        }
+    }
+}
+
+/// Worker main loop: drain jobs until every sender is gone (drop or
+/// [`IngestPool::finish`]), then hand the shards back through the
+/// join handle. A panicking job records its payload in `poison` and
+/// exits immediately — dropping the receiver disconnects the queue,
+/// so blocked or later submissions fail fast instead of deadlocking.
+fn worker_loop<A, F>(
+    mut state: WorkerState<A, F>,
+    rx: Receiver<Job<A>>,
+    counters: Arc<SharedCounters>,
+    poison: Arc<Mutex<Option<String>>>,
+) -> OwnedShards<A, F::Strategy>
+where
+    A: UqAdt + Clone,
+    F: StrategyFactory<A>,
+{
+    while let Ok(job) = rx.recv() {
+        let outcome = catch_unwind(AssertUnwindSafe(|| state.run(job, &counters)));
+        counters.on_done();
+        if let Err(payload) = outcome {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            *poison.lock().unwrap_or_else(|p| p.into_inner()) = Some(message);
+            // The shards may hold a half-repaired engine; abandon them
+            // rather than hand corrupt state back to `finish`.
+            return Vec::new();
+        }
+    }
+    state.shards
+}
+
+struct WorkerHandle<A: UqAdt, F: StrategyFactory<A>> {
+    tx: Option<SyncSender<Job<A>>>,
+    thread: Option<JoinHandle<OwnedShards<A, F::Strategy>>>,
+    counters: Arc<SharedCounters>,
+    poison: Arc<Mutex<Option<String>>>,
+}
+
+/// The handle to a pooled [`UcStore`]: owns the store's clock and pid,
+/// routes work to the persistent shard workers, and reassembles the
+/// store on [`IngestPool::finish`]. See the [module docs](self).
+pub struct IngestPool<A, F>
+where
+    A: UqAdt + Clone + Send + 'static,
+    A::Update: Send,
+    A::QueryIn: Send,
+    A::QueryOut: Send,
+    F: StrategyFactory<A> + Send + 'static,
+    F::Strategy: Send + 'static,
+{
+    adt: A,
+    pid: u32,
+    clock: LamportClock,
+    factory: F,
+    num_shards: usize,
+    workers: Vec<WorkerHandle<A, F>>,
+    poisoned: Option<PoolError>,
+}
+
+impl<A, F> IngestPool<A, F>
+where
+    A: UqAdt + Clone + Send + 'static,
+    A::Update: Send,
+    A::QueryIn: Send,
+    A::QueryOut: Send,
+    F: StrategyFactory<A> + Send + 'static,
+    F::Strategy: Send + 'static,
+{
+    /// Move `store`'s shards onto `cfg.workers` long-lived threads
+    /// (shard `i` pins to worker `i % workers`) and return the handle.
+    pub fn spawn(store: UcStore<A, F>, cfg: PoolConfig) -> Self {
+        let (adt, pid, clock, factory, shards) = store.into_parts();
+        let num_shards = shards.len();
+        let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let workers = if cfg.workers == 0 { hw } else { cfg.workers }
+            .min(num_shards)
+            .max(1);
+        let queue_depth = cfg.queue_depth.max(1);
+
+        let mut owned: Vec<OwnedShards<A, F::Strategy>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (idx, shard) in shards.into_iter().enumerate() {
+            owned[idx % workers].push((idx, shard));
+        }
+        let handles = owned
+            .into_iter()
+            .map(|shards| {
+                let state = WorkerState {
+                    shards,
+                    adt: adt.clone(),
+                    pid,
+                    factory: factory.clone(),
+                };
+                let (tx, rx) = std::sync::mpsc::sync_channel(queue_depth);
+                let counters = Arc::new(SharedCounters::default());
+                let poison = Arc::new(Mutex::new(None));
+                let (c, p) = (Arc::clone(&counters), Arc::clone(&poison));
+                let thread = std::thread::spawn(move || worker_loop(state, rx, c, p));
+                WorkerHandle {
+                    tx: Some(tx),
+                    thread: Some(thread),
+                    counters,
+                    poison,
+                }
+            })
+            .collect();
+        IngestPool {
+            adt,
+            pid,
+            clock,
+            factory,
+            num_shards,
+            workers: handles,
+            poisoned: None,
+        }
+    }
+
+    /// Which worker owns `key`'s shard.
+    fn worker_of(&self, shard: usize) -> usize {
+        shard % self.workers.len()
+    }
+
+    /// Record (and return) the poison state of `worker`, joining its
+    /// thread to harvest the panic message.
+    fn poison(&mut self, worker: usize) -> PoolError {
+        if let Some(err) = &self.poisoned {
+            return err.clone();
+        }
+        let w = &mut self.workers[worker];
+        w.tx = None;
+        if let Some(thread) = w.thread.take() {
+            let _ = thread.join();
+        }
+        let message = w
+            .poison
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .clone()
+            .unwrap_or_else(|| "worker exited unexpectedly".into());
+        let err = PoolError { worker, message };
+        self.poisoned = Some(err.clone());
+        err
+    }
+
+    fn send(&mut self, worker: usize, job: Job<A>) -> Result<(), PoolError> {
+        if let Some(err) = &self.poisoned {
+            return Err(err.clone());
+        }
+        let Some(tx) = self.workers[worker].tx.as_ref() else {
+            return Err(self.poison(worker));
+        };
+        self.workers[worker].counters.on_enqueue();
+        match tx.send(job) {
+            Ok(()) => Ok(()),
+            Err(_) => {
+                self.workers[worker].counters.on_done();
+                Err(self.poison(worker))
+            }
+        }
+    }
+
+    /// Perform a local update on `key`: tick the shared clock, stamp,
+    /// enqueue the application on the owning worker, and return the
+    /// broadcast message — without waiting for the worker (the queue's
+    /// backpressure is the only blocking).
+    pub fn update(&mut self, key: Key, u: A::Update) -> Result<StoreMsg<A::Update>, PoolError> {
+        let ts = Timestamp::new(self.clock.tick(), self.pid);
+        let shard = shard_index(key, self.num_shards);
+        let msg = UpdateMsg { ts, update: u };
+        self.send(
+            self.worker_of(shard),
+            Job::Update {
+                shard,
+                key,
+                msg: msg.clone(),
+            },
+        )?;
+        Ok(StoreMsg::Update { key, msg })
+    }
+
+    /// Answer a query on `key` from the owning worker. The clock ticks
+    /// here (Algorithm 1 line 13) and the worker's FIFO queue
+    /// guarantees the answer reflects every earlier submission
+    /// touching the key.
+    pub fn query(&mut self, key: Key, q: &A::QueryIn) -> Result<A::QueryOut, PoolError> {
+        let now = self.clock.tick();
+        let shard = shard_index(key, self.num_shards);
+        let worker = self.worker_of(shard);
+        let (reply, answer) = channel();
+        self.send(
+            worker,
+            Job::Query {
+                shard,
+                key,
+                now,
+                q: q.clone(),
+                reply,
+            },
+        )?;
+        answer.recv().map_err(|_| self.poison(worker))
+    }
+
+    /// Ingest a whole peer burst: updates are bucketed by shard and
+    /// enqueued on their owning workers as one job each; heartbeats
+    /// are collapsed and broadcast to every worker afterwards (exactly
+    /// the sequential [`UcStore::apply_batch`] order, so results are
+    /// identical).
+    pub fn submit_batch(&mut self, msgs: Vec<StoreMsg<A::Update>>) -> Result<(), PoolError> {
+        // Same routing helper as `UcStore::apply_batch`, so shard
+        // assignment and clock accounting cannot drift between the
+        // sequential and pooled ingest paths.
+        let (buckets, heartbeats, max_clock) = split_by_shard(msgs, self.num_shards);
+        self.clock.merge(max_clock);
+        let mut jobs: Vec<ShardBuckets<A>> = (0..self.workers.len()).map(|_| Vec::new()).collect();
+        for (shard, bucket) in buckets.into_iter().enumerate() {
+            if !bucket.is_empty() {
+                jobs[self.worker_of(shard)].push((shard, bucket));
+            }
+        }
+        for (worker, job) in jobs.into_iter().enumerate() {
+            if !job.is_empty() {
+                self.send(worker, Job::Ingest(job))?;
+            }
+        }
+        for (pid, clock) in collapse_heartbeats(heartbeats) {
+            self.clock.merge(clock);
+            for worker in 0..self.workers.len() {
+                self.send(worker, Job::Heartbeat { pid, clock })?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Barrier: block until every submission made before this call has
+    /// been fully applied by its worker.
+    pub fn flush(&mut self) -> Result<(), PoolError> {
+        let mut acks = Vec::with_capacity(self.workers.len());
+        for worker in 0..self.workers.len() {
+            let (reply, ack) = channel();
+            self.send(worker, Job::Barrier(reply))?;
+            acks.push((worker, ack));
+        }
+        for (worker, ack) in acks {
+            ack.recv().map_err(|_| self.poison(worker))?;
+        }
+        Ok(())
+    }
+
+    /// Announce the shared clock (stability heartbeat covering every
+    /// key at once).
+    pub fn heartbeat(&self) -> StoreMsg<A::Update> {
+        StoreMsg::Heartbeat {
+            pid: self.pid,
+            clock: self.clock.now(),
+        }
+    }
+
+    /// Run per-key maintenance (compaction) on every worker's engines.
+    pub fn tick_maintenance(&mut self) -> Result<(), PoolError> {
+        for worker in 0..self.workers.len() {
+            self.send(worker, Job::Maintain)?;
+        }
+        Ok(())
+    }
+
+    /// This replica's process id.
+    pub fn pid(&self) -> u32 {
+        self.pid
+    }
+
+    /// The shared Lamport clock's current value.
+    pub fn clock(&self) -> u64 {
+        self.clock.now()
+    }
+
+    /// Number of shards (unchanged from the pooled store).
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Number of worker threads.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Snapshot the per-worker queue/throughput counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            workers: self
+                .workers
+                .iter()
+                .map(|w| WorkerStats {
+                    batches: w.counters.batches.load(Ordering::Relaxed),
+                    messages: w.counters.messages.load(Ordering::Relaxed),
+                    queue_high_water: w.counters.high_water.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+
+    /// Drain every queue, stop the workers, and reassemble the
+    /// [`UcStore`] (its clock reflecting everything the pool stamped
+    /// or ingested). Fails if any worker panicked.
+    pub fn finish(mut self) -> Result<UcStore<A, F>, PoolError> {
+        if let Some(err) = &self.poisoned {
+            return Err(err.clone());
+        }
+        let mut shards: Vec<Option<Shard<A, F::Strategy>>> =
+            (0..self.num_shards).map(|_| None).collect();
+        for worker in 0..self.workers.len() {
+            let w = &mut self.workers[worker];
+            w.tx = None; // closing the queue ends the worker's loop
+            let Some(thread) = w.thread.take() else {
+                continue;
+            };
+            match thread.join() {
+                Ok(owned) => {
+                    let returned = owned.len();
+                    for (idx, shard) in owned {
+                        shards[idx] = Some(shard);
+                    }
+                    // A worker that hit a panic *after* recording it
+                    // returns no shards; surface the recorded error.
+                    if returned == 0 {
+                        if let Some(message) =
+                            w.poison.lock().unwrap_or_else(|p| p.into_inner()).clone()
+                        {
+                            return Err(PoolError { worker, message });
+                        }
+                    }
+                }
+                Err(_) => {
+                    return Err(self.poison(worker));
+                }
+            }
+        }
+        let shards = shards
+            .into_iter()
+            .collect::<Option<Vec<_>>>()
+            .expect("every shard returned by exactly one worker");
+        Ok(UcStore::from_parts(
+            self.adt.clone(),
+            self.pid,
+            self.clock.clone(),
+            self.factory.clone(),
+            shards,
+        ))
+    }
+}
+
+/// Drain-on-drop: closing the queues lets every worker finish its
+/// backlog before exiting; the join guarantees no thread outlives the
+/// handle. Panics (ours or a worker's) are swallowed — `Drop` must
+/// not double-panic.
+impl<A, F> Drop for IngestPool<A, F>
+where
+    A: UqAdt + Clone + Send + 'static,
+    A::Update: Send,
+    A::QueryIn: Send,
+    A::QueryOut: Send,
+    F: StrategyFactory<A> + Send + 'static,
+    F::Strategy: Send + 'static,
+{
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            w.tx = None;
+        }
+        for w in &mut self.workers {
+            if let Some(thread) = w.thread.take() {
+                let _ = thread.join();
+            }
+        }
+    }
+}
+
+/// A pooled store is a [`Protocol`] node: invocations stamp on the
+/// handle and enqueue to the owning worker, peer bursts land on
+/// [`IngestPool::submit_batch`] — so the pool runs unchanged under
+/// the threaded cluster and the deterministic simulator.
+///
+/// # Panics
+///
+/// `Protocol` has no error channel; a poisoned pool panics with the
+/// underlying [`PoolError`] instead of silently dropping traffic.
+impl<A, F> Protocol for IngestPool<A, F>
+where
+    A: UqAdt + Clone + Send + 'static,
+    A::Update: Send,
+    A::QueryIn: Send,
+    A::QueryOut: Send,
+    F: StrategyFactory<A> + Send + 'static,
+    F::Strategy: Send + 'static,
+{
+    type Msg = StoreMsg<A::Update>;
+    type Input = StoreInput<A>;
+    type Output = StoreOutput<A>;
+
+    fn on_invoke(&mut self, input: Self::Input, ctx: &mut Ctx<'_, Self::Msg>) -> Self::Output {
+        match input {
+            StoreInput::Update(key, u) => {
+                let m = self.update(key, u).unwrap_or_else(|e| panic!("{e}"));
+                let StoreMsg::Update { msg, .. } = &m else {
+                    unreachable!("update produces an update message");
+                };
+                let ts = msg.ts;
+                ctx.broadcast_others(m);
+                StoreOutput::Ack { key, ts }
+            }
+            StoreInput::Query(key, q) => StoreOutput::Value {
+                key,
+                out: self.query(key, &q).unwrap_or_else(|e| panic!("{e}")),
+            },
+        }
+    }
+
+    fn on_message(&mut self, _from: Pid, msg: Self::Msg, _ctx: &mut Ctx<'_, Self::Msg>) {
+        self.submit_batch(vec![msg])
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    fn on_batch(&mut self, msgs: Vec<(Pid, Self::Msg)>, _ctx: &mut Ctx<'_, Self::Msg>) {
+        self.submit_batch(msgs.into_iter().map(|(_, m)| m).collect())
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::CheckpointFactory;
+    use std::collections::BTreeSet;
+    use uc_spec::{SetAdt, SetQuery, SetUpdate};
+
+    type Store = UcStore<SetAdt<u32>, CheckpointFactory>;
+
+    fn store(pid: u32, shards: usize) -> Store {
+        UcStore::new(SetAdt::new(), pid, shards, CheckpointFactory { every: 4 })
+    }
+
+    fn cfg(workers: usize) -> PoolConfig {
+        PoolConfig {
+            workers,
+            queue_depth: 8,
+        }
+    }
+
+    #[test]
+    fn pooled_ingest_matches_sequential() {
+        let mut producer = store(1, 1);
+        let msgs: Vec<_> = (0..500u64)
+            .map(|i| producer.update(i % 13, SetUpdate::Insert(i as u32)))
+            .collect();
+        let mut seq = store(0, 4);
+        for chunk in msgs.chunks(37) {
+            seq.apply_batch(chunk);
+        }
+        let mut pool = store(0, 4).into_pool(cfg(3));
+        for chunk in msgs.chunks(37) {
+            pool.submit_batch(chunk.to_vec()).unwrap();
+        }
+        let mut pooled = pool.finish().unwrap();
+        assert_eq!(seq.keys(), pooled.keys());
+        for k in seq.keys() {
+            assert_eq!(seq.materialize_key(k), pooled.materialize_key(k), "key {k}");
+        }
+        assert_eq!(seq.clock(), pooled.clock());
+        assert_eq!(seq.total_repair_steps(), pooled.total_repair_steps());
+        assert_eq!(seq.total_repair_events(), pooled.total_repair_events());
+    }
+
+    #[test]
+    fn pool_updates_and_queries_round_trip() {
+        let mut pool = store(0, 4).into_pool(cfg(2));
+        let m = pool.update(7, SetUpdate::Insert(1)).unwrap();
+        assert!(matches!(m, StoreMsg::Update { key: 7, .. }));
+        pool.update(7, SetUpdate::Insert(2)).unwrap();
+        // FIFO per shard: the query observes both updates.
+        assert_eq!(
+            pool.query(7, &SetQuery::Read).unwrap(),
+            BTreeSet::from([1, 2])
+        );
+        // Untouched key answers from the initial state.
+        assert_eq!(pool.query(99, &SetQuery::Read).unwrap(), BTreeSet::new());
+        let s = pool.finish().unwrap();
+        assert_eq!(s.key_count(), 1, "queries alone do not materialize keys");
+    }
+
+    #[test]
+    fn worker_count_is_capped_by_shards() {
+        let pool = store(0, 2).into_pool(cfg(16));
+        assert_eq!(pool.num_workers(), 2);
+        assert_eq!(pool.num_shards(), 2);
+        drop(pool);
+    }
+
+    #[test]
+    fn stats_count_batches_and_messages() {
+        let mut producer = store(1, 1);
+        let msgs: Vec<_> = (0..64u64)
+            .map(|i| producer.update(i % 8, SetUpdate::Insert(i as u32)))
+            .collect();
+        let mut pool = store(0, 4).into_pool(cfg(2));
+        pool.submit_batch(msgs).unwrap();
+        pool.flush().unwrap();
+        let stats = pool.stats();
+        assert_eq!(stats.total_messages(), 64);
+        assert!(stats.total_batches() >= 1);
+        assert!(stats.max_queue_high_water() >= 1);
+        pool.finish().unwrap();
+    }
+
+    #[test]
+    fn heartbeats_reach_every_worker() {
+        use crate::store::GcFactory;
+        let mut a: UcStore<SetAdt<u32>, GcFactory> =
+            UcStore::new(SetAdt::new(), 1, 4, GcFactory { n: 2 });
+        let msgs: Vec<_> = (0..30u64)
+            .map(|i| a.update(i % 6, SetUpdate::Insert(i as u32)))
+            .collect();
+        let mut pool =
+            UcStore::<SetAdt<u32>, GcFactory>::new(SetAdt::new(), 0, 4, GcFactory { n: 2 })
+                .into_pool(cfg(2));
+        pool.submit_batch(msgs).unwrap();
+        pool.flush().unwrap();
+        // Both cluster clocks announce, then maintenance compacts.
+        let hb = pool.heartbeat();
+        pool.submit_batch(vec![hb, a.heartbeat()]).unwrap();
+        pool.tick_maintenance().unwrap();
+        let mut s = pool.finish().unwrap();
+        assert!(s.total_log_len() < 30, "retained {}", s.total_log_len());
+        for k in 0..6u64 {
+            assert_eq!(
+                s.materialize_key(k),
+                a.materialize_key(k),
+                "gc semantics survived pooling, key {k}"
+            );
+        }
+    }
+}

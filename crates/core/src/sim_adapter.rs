@@ -180,10 +180,11 @@ where
     }
 
     /// Runtime flushes land on the replica's batched ingest path: one
-    /// rollback + refold per burst for engine-backed replicas.
+    /// rollback + refold per burst for engine-backed replicas, with
+    /// the flushed messages moved (never cloned) into the log.
     fn on_batch(&mut self, msgs: Vec<(Pid, Self::Msg)>, _ctx: &mut Ctx<'_, Self::Msg>) {
         let msgs: Vec<Self::Msg> = msgs.into_iter().map(|(_, m)| m).collect();
-        self.replica.on_batch(&msgs);
+        self.replica.on_batch_owned(msgs);
     }
 }
 

@@ -257,7 +257,7 @@ impl<A: UqAdt> fmt::Debug for StoreOutput<A> {
 /// identical — but each applied heartbeat sweeps every engine in every
 /// shard, so a burst carrying one heartbeat per peer would otherwise
 /// repeat that full sweep per peer redundancy-free.
-fn collapse_heartbeats(mut hbs: Vec<(u32, u64)>) -> Vec<(u32, u64)> {
+pub(crate) fn collapse_heartbeats(mut hbs: Vec<(u32, u64)>) -> Vec<(u32, u64)> {
     hbs.sort_unstable();
     hbs.dedup_by(|later, earlier| {
         // Sorted ascending, so within a pid the max clock is last;
@@ -272,10 +272,13 @@ fn collapse_heartbeats(mut hbs: Vec<(u32, u64)>) -> Vec<(u32, u64)> {
     hbs
 }
 
-/// One shard: the keys (and their engines) that hash to it.
+/// One shard: the keys (and their engines) that hash to it. Crate
+/// visibility: shards are the unit of ownership the
+/// [`IngestPool`](crate::pool::IngestPool) hands to its persistent
+/// workers.
 #[derive(Clone, Debug)]
-struct Shard<A: UqAdt, S> {
-    objects: HashMap<Key, ReplicaEngine<A, S>, BuildHasherDefault<FxHasher>>,
+pub(crate) struct Shard<A: UqAdt, S> {
+    pub(crate) objects: HashMap<Key, ReplicaEngine<A, S>, BuildHasherDefault<FxHasher>>,
 }
 
 impl<A: UqAdt, S> Default for Shard<A, S> {
@@ -287,7 +290,7 @@ impl<A: UqAdt, S> Default for Shard<A, S> {
 }
 
 impl<A: UqAdt + Clone, S: RepairStrategy<A>> Shard<A, S> {
-    fn engine_mut<F>(
+    pub(crate) fn engine_mut<F>(
         &mut self,
         key: Key,
         adt: &A,
@@ -304,9 +307,10 @@ impl<A: UqAdt + Clone, S: RepairStrategy<A>> Shard<A, S> {
 
     /// Ingest one shard's sub-batch: stable-sort by key (preserving
     /// arrival order within a key, hence per-sender FIFO), then hand
-    /// each key's contiguous run to its engine as **one** batch — one
-    /// repair per key per burst, via `UpdateLog::insert_batch`.
-    fn ingest<F>(
+    /// each key's contiguous run to its engine as **one** owned batch
+    /// — one repair per key per burst, with the updates moved (never
+    /// cloned) into the key's log via `UpdateLog::insert_batch_owned`.
+    pub(crate) fn ingest<F>(
         &mut self,
         mut bucket: Vec<(Key, UpdateMsg<A::Update>)>,
         adt: &A,
@@ -323,9 +327,59 @@ impl<A: UqAdt + Clone, S: RepairStrategy<A>> Shard<A, S> {
                 msgs.push(m);
             }
             self.engine_mut(key, adt, pid, factory)
-                .on_deliver_batch(&msgs);
+                .on_deliver_batch_owned(msgs);
         }
     }
+
+    /// Sweep a heartbeat over every engine in this shard.
+    pub(crate) fn observe_peer_clock(&mut self, pid: u32, clock: u64) {
+        for engine in self.objects.values_mut() {
+            engine.observe_peer_clock(pid, clock);
+        }
+    }
+
+    /// Run per-key maintenance (compaction) on every engine.
+    pub(crate) fn tick_maintenance(&mut self) {
+        for engine in self.objects.values_mut() {
+            engine.tick_maintenance();
+        }
+    }
+}
+
+/// Which shard of `shards` a key routes to (`FxHasher`, shared by
+/// [`UcStore::shard_of`] and the pool's bucketing).
+pub(crate) fn shard_index(key: Key, shards: usize) -> usize {
+    let mut h = FxHasher::default();
+    h.write_u64(key);
+    (h.finish() % shards as u64) as usize
+}
+
+/// Split a burst into per-shard update buckets plus the heartbeat
+/// list, returning the burst's maximum carried clock (callers merge
+/// it into their Lamport clock). One routing function for the
+/// sequential ingest path and the pool's submit, so shard routing and
+/// clock accounting can never drift between them.
+#[allow(clippy::type_complexity)]
+pub(crate) fn split_by_shard<U>(
+    msgs: impl IntoIterator<Item = StoreMsg<U>>,
+    shards: usize,
+) -> (Vec<Vec<(Key, UpdateMsg<U>)>>, Vec<(u32, u64)>, u64) {
+    let mut buckets: Vec<Vec<(Key, UpdateMsg<U>)>> = (0..shards).map(|_| Vec::new()).collect();
+    let mut heartbeats = Vec::new();
+    let mut max_clock = 0u64;
+    for m in msgs {
+        match m {
+            StoreMsg::Update { key, msg } => {
+                max_clock = max_clock.max(msg.ts.clock);
+                buckets[shard_index(key, shards)].push((key, msg));
+            }
+            StoreMsg::Heartbeat { pid, clock } => {
+                max_clock = max_clock.max(clock);
+                heartbeats.push((pid, clock));
+            }
+        }
+    }
+    (buckets, heartbeats, max_clock)
 }
 
 /// A sharded multi-object replica: one Algorithm 1 engine per key,
@@ -365,9 +419,33 @@ where
 
     /// Which shard a key routes to.
     pub fn shard_of(&self, key: Key) -> usize {
-        let mut h = FxHasher::default();
-        h.write_u64(key);
-        (h.finish() % self.shards.len() as u64) as usize
+        shard_index(key, self.shards.len())
+    }
+
+    /// Decompose the store into its parts (the pool takes ownership of
+    /// the shards and hands them to its persistent workers).
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn into_parts(self) -> (A, u32, LamportClock, F, Vec<Shard<A, F::Strategy>>) {
+        (self.adt, self.pid, self.clock, self.factory, self.shards)
+    }
+
+    /// Reassemble a store from parts returned by
+    /// [`UcStore::into_parts`] (the pool's drain path).
+    pub(crate) fn from_parts(
+        adt: A,
+        pid: u32,
+        clock: LamportClock,
+        factory: F,
+        shards: Vec<Shard<A, F::Strategy>>,
+    ) -> Self {
+        assert!(!shards.is_empty(), "a store needs at least one shard");
+        UcStore {
+            adt,
+            pid,
+            clock,
+            factory,
+            shards,
+        }
     }
 
     fn engine_mut(&mut self, key: Key) -> &mut ReplicaEngine<A, F::Strategy> {
@@ -414,9 +492,7 @@ where
             StoreMsg::Heartbeat { pid, clock } => {
                 self.clock.merge(*clock);
                 for shard in &mut self.shards {
-                    for engine in shard.objects.values_mut() {
-                        engine.observe_peer_clock(*pid, *clock);
-                    }
+                    shard.observe_peer_clock(*pid, *clock);
                 }
             }
         }
@@ -461,11 +537,13 @@ where
     }
 
     /// Like [`UcStore::apply_batch`], but each shard ingests its
-    /// bucket on its own scoped thread — the concurrency the shard map
-    /// exists for: a hot key's repair work never serializes cold
-    /// shards. Adaptive: falls back to the sequential path when there
-    /// is nothing to win — a single shard, a host without hardware
-    /// parallelism, or a burst too small to amortize thread spawns.
+    /// bucket on its own scoped thread. Adaptive: falls back to the
+    /// sequential path when there is nothing to win — a single shard,
+    /// a host without hardware parallelism, or a burst too small to
+    /// amortize thread spawns. For sustained ingest, prefer
+    /// [`UcStore::into_pool`](crate::pool::IngestPool): the pool's
+    /// persistent workers amortize the per-burst spawn cost this path
+    /// pays every call.
     pub fn apply_batch_parallel(&mut self, msgs: &[StoreMsg<A::Update>])
     where
         A: Send + Sync,
@@ -479,6 +557,22 @@ where
         if self.shards.len() == 1 || workers == 1 || msgs.len() < MIN_PARALLEL_BURST {
             return self.apply_batch(msgs);
         }
+        self.apply_batch_scoped(msgs)
+    }
+
+    /// The scoped-thread ingest path, unconditionally: one thread
+    /// spawn per non-empty shard bucket per call. Public so the pool
+    /// benchmark can compare spawn-per-burst against the persistent
+    /// pool without the adaptive fallback masking the difference;
+    /// production callers want [`UcStore::apply_batch_parallel`].
+    pub fn apply_batch_scoped(&mut self, msgs: &[StoreMsg<A::Update>])
+    where
+        A: Send + Sync,
+        A::Update: Send,
+        F: Sync,
+        F::Strategy: Send,
+        A::State: Send,
+    {
         let (buckets, heartbeats) = self.bucket_by_shard(msgs.iter().cloned());
         let UcStore {
             adt,
@@ -508,22 +602,7 @@ where
         &mut self,
         msgs: impl IntoIterator<Item = StoreMsg<A::Update>>,
     ) -> (Vec<Vec<(Key, UpdateMsg<A::Update>)>>, Vec<(u32, u64)>) {
-        let mut buckets: Vec<Vec<(Key, UpdateMsg<A::Update>)>> =
-            (0..self.shards.len()).map(|_| Vec::new()).collect();
-        let mut heartbeats = Vec::new();
-        let mut max_clock = 0u64;
-        for m in msgs {
-            match m {
-                StoreMsg::Update { key, msg } => {
-                    max_clock = max_clock.max(msg.ts.clock);
-                    buckets[self.shard_of(key)].push((key, msg));
-                }
-                StoreMsg::Heartbeat { pid, clock } => {
-                    max_clock = max_clock.max(clock);
-                    heartbeats.push((pid, clock));
-                }
-            }
-        }
+        let (buckets, heartbeats, max_clock) = split_by_shard(msgs, self.shards.len());
         self.clock.merge(max_clock);
         (buckets, heartbeats)
     }
@@ -540,10 +619,26 @@ where
     /// Run per-key maintenance (compaction) on every engine.
     pub fn tick_maintenance(&mut self) {
         for shard in &mut self.shards {
-            for engine in shard.objects.values_mut() {
-                engine.tick_maintenance();
-            }
+            shard.tick_maintenance();
         }
+    }
+
+    /// Hand the store to a persistent shard-worker ingest pool: its
+    /// shards move to long-lived worker threads fed by bounded
+    /// queues, and the returned [`IngestPool`](crate::pool::IngestPool)
+    /// handle routes updates, queries, and batched peer ingest to the
+    /// owning workers. [`IngestPool::finish`](crate::pool::IngestPool::finish)
+    /// drains the queues and returns the store.
+    pub fn into_pool(self, cfg: crate::pool::PoolConfig) -> crate::pool::IngestPool<A, F>
+    where
+        A: Send + 'static,
+        A::Update: Send,
+        A::QueryIn: Send,
+        A::QueryOut: Send,
+        F: Send + 'static,
+        F::Strategy: Send + 'static,
+    {
+        crate::pool::IngestPool::spawn(self, cfg)
     }
 
     /// The state `key` would converge to with no further input

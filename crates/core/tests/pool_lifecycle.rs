@@ -1,0 +1,226 @@
+//! Lifecycle edges of the persistent shard-worker ingest pool:
+//! drain-on-drop, flush barriers, and panic poisoning.
+//!
+//! The observability trick: instrumented UQ-ADTs whose transition
+//! function reports into shared state (an `Arc`), so a test can see
+//! exactly which updates a worker folded even after the pool (and the
+//! store inside it) is gone. Instrumentation lives in the ADT, not
+//! the pool — the pool under test is the production code path.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use uc_core::{CheckpointFactory, PoolConfig, StoreMsg, UcStore};
+use uc_spec::{SetAdt, SetQuery, SetUpdate, UqAdt};
+
+/// A set ADT that records every element it ever applies into a shared
+/// journal (dedup across repair re-folds is the point: an element in
+/// the journal was folded *at least once*, i.e. its update was not
+/// lost).
+#[derive(Clone, Debug)]
+struct JournaledSet {
+    inner: SetAdt<u32>,
+    journal: Arc<Mutex<BTreeSet<u32>>>,
+    applies: Arc<AtomicU64>,
+}
+
+impl JournaledSet {
+    fn new() -> Self {
+        JournaledSet {
+            inner: SetAdt::new(),
+            journal: Arc::new(Mutex::new(BTreeSet::new())),
+            applies: Arc::new(AtomicU64::new(0)),
+        }
+    }
+}
+
+impl UqAdt for JournaledSet {
+    type Update = SetUpdate<u32>;
+    type QueryIn = SetQuery;
+    type QueryOut = BTreeSet<u32>;
+    type State = BTreeSet<u32>;
+
+    fn initial(&self) -> Self::State {
+        self.inner.initial()
+    }
+
+    fn apply(&self, state: &mut Self::State, update: &Self::Update) {
+        let (SetUpdate::Insert(e) | SetUpdate::Delete(e)) = update;
+        self.journal.lock().unwrap().insert(*e);
+        self.applies.fetch_add(1, Ordering::Relaxed);
+        self.inner.apply(state, update);
+    }
+
+    fn observe(&self, state: &Self::State, query: &Self::QueryIn) -> Self::QueryOut {
+        self.inner.observe(state, query)
+    }
+}
+
+/// A set ADT whose fold panics on one poison-pill element.
+#[derive(Clone, Debug)]
+struct PanickySet {
+    inner: SetAdt<u32>,
+    pill: u32,
+}
+
+impl UqAdt for PanickySet {
+    type Update = SetUpdate<u32>;
+    type QueryIn = SetQuery;
+    type QueryOut = BTreeSet<u32>;
+    type State = BTreeSet<u32>;
+
+    fn initial(&self) -> Self::State {
+        self.inner.initial()
+    }
+
+    fn apply(&self, state: &mut Self::State, update: &Self::Update) {
+        if let SetUpdate::Insert(e) = update {
+            assert!(*e != self.pill, "poison pill folded");
+        }
+        self.inner.apply(state, update);
+    }
+
+    fn observe(&self, state: &Self::State, query: &Self::QueryIn) -> Self::QueryOut {
+        self.inner.observe(state, query)
+    }
+}
+
+/// A remote producer's keyed burst: `count` inserts spread over `keys`
+/// keys, elements `0..count`.
+fn burst<A>(adt: A, keys: u64, count: u32) -> Vec<StoreMsg<SetUpdate<u32>>>
+where
+    A: UqAdt<Update = SetUpdate<u32>> + Clone,
+{
+    let mut producer = UcStore::new(adt, 1, 1, CheckpointFactory { every: 4 });
+    (0..count)
+        .map(|i| producer.update(u64::from(i) % keys, SetUpdate::Insert(i)))
+        .collect()
+}
+
+#[test]
+fn drop_while_queued_drains_fully() {
+    // Submit many small bursts and drop the handle immediately: the
+    // workers must fold every queued update before exiting — nothing
+    // in a queue may be discarded.
+    let adt = JournaledSet::new();
+    let journal = Arc::clone(&adt.journal);
+    let msgs = burst(adt.clone(), 7, 400);
+    let pool_adt = JournaledSet {
+        inner: SetAdt::new(),
+        journal: Arc::clone(&adt.journal),
+        applies: Arc::clone(&adt.applies),
+    };
+    journal.lock().unwrap().clear(); // forget the producer's folds
+    let mut pool =
+        UcStore::new(pool_adt, 0, 4, CheckpointFactory { every: 4 }).into_pool(PoolConfig {
+            workers: 2,
+            queue_depth: 256,
+        });
+    for chunk in msgs.chunks(3) {
+        pool.submit_batch(chunk.to_vec()).unwrap();
+    }
+    drop(pool); // no flush, no finish — drop alone must drain
+    let folded = journal.lock().unwrap().clone();
+    let expect: BTreeSet<u32> = (0..400).collect();
+    assert_eq!(folded, expect, "drop discarded queued updates");
+}
+
+#[test]
+fn flush_barrier_observes_all_prior_submissions() {
+    let adt = JournaledSet::new();
+    let journal = Arc::clone(&adt.journal);
+    let msgs = burst(adt.clone(), 5, 200);
+    let pool_adt = JournaledSet {
+        inner: SetAdt::new(),
+        journal: Arc::clone(&adt.journal),
+        applies: Arc::clone(&adt.applies),
+    };
+    journal.lock().unwrap().clear();
+    let mut pool =
+        UcStore::new(pool_adt, 0, 4, CheckpointFactory { every: 4 }).into_pool(PoolConfig {
+            workers: 3,
+            queue_depth: 64,
+        });
+    for chunk in msgs.chunks(9) {
+        pool.submit_batch(chunk.to_vec()).unwrap();
+    }
+    pool.flush().unwrap();
+    // The barrier has acked: every prior submission is applied *now*,
+    // while the pool is still running.
+    let folded = journal.lock().unwrap().clone();
+    let expect: BTreeSet<u32> = (0..200).collect();
+    assert_eq!(folded, expect, "flush acked before prior work finished");
+    // And the pool is still usable afterwards.
+    let q = pool.query(0, &SetQuery::Read).unwrap();
+    assert!(!q.is_empty());
+    pool.finish().unwrap();
+}
+
+#[test]
+fn panicking_fold_poisons_with_clear_error_not_deadlock() {
+    let adt = PanickySet {
+        inner: SetAdt::new(),
+        pill: u32::MAX,
+    };
+    // Producer never folds the pill (its ADT has a different pill).
+    let safe = PanickySet {
+        inner: SetAdt::new(),
+        pill: 0xDEAD_BEEF,
+    };
+    let mut producer = UcStore::new(safe, 1, 1, CheckpointFactory { every: 4 });
+    let mut msgs: Vec<_> = (0..40u32)
+        .map(|i| producer.update(u64::from(i) % 3, SetUpdate::Insert(i)))
+        .collect();
+    msgs.push(producer.update(1, SetUpdate::Insert(u32::MAX))); // the pill
+    let mut pool = UcStore::new(adt, 0, 2, CheckpointFactory { every: 4 }).into_pool(PoolConfig {
+        workers: 2,
+        queue_depth: 64,
+    });
+    pool.submit_batch(msgs).unwrap();
+    // The worker owning the pill's shard dies mid-fold. The flush
+    // barrier must surface that as an error — not hang waiting for an
+    // ack that will never come.
+    let err = pool.flush().expect_err("poisoned pool must fail the flush");
+    assert!(
+        err.to_string().contains("poison pill folded"),
+        "error must carry the panic message, got: {err}"
+    );
+    // Every subsequent operation fails fast with the same diagnosis.
+    let err2 = pool
+        .submit_batch(vec![producer.update(1, SetUpdate::Insert(7))])
+        .expect_err("poisoned pool must reject new submissions");
+    assert!(err2.to_string().contains("ingest pool poisoned"));
+    let err3 = pool
+        .finish()
+        .expect_err("finish must refuse corrupt shards");
+    assert!(err3.to_string().contains("poison pill folded"));
+}
+
+#[test]
+fn healthy_shards_survive_until_finish_even_under_load() {
+    // Sanity companion to the poisoning test: with no pill in the
+    // stream, the same configuration finishes cleanly and the
+    // reassembled store holds every update.
+    let adt = PanickySet {
+        inner: SetAdt::new(),
+        pill: u32::MAX,
+    };
+    let mut producer = UcStore::new(adt.clone(), 1, 1, CheckpointFactory { every: 4 });
+    let msgs: Vec<_> = (0..60u32)
+        .map(|i| producer.update(u64::from(i) % 5, SetUpdate::Insert(i)))
+        .collect();
+    let mut pool = UcStore::new(adt, 0, 2, CheckpointFactory { every: 4 }).into_pool(PoolConfig {
+        workers: 2,
+        queue_depth: 8,
+    });
+    for chunk in msgs.chunks(11) {
+        pool.submit_batch(chunk.to_vec()).unwrap();
+    }
+    let mut store = pool.finish().unwrap();
+    let total: usize = store
+        .keys()
+        .into_iter()
+        .map(|k| store.materialize_key(k).len())
+        .sum();
+    assert_eq!(total, 60);
+}

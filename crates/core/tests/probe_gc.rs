@@ -17,7 +17,11 @@ fn probe_receiver_only_gc() {
     b.tick_maintenance();
     for k in 0..3u64 {
         let e = b.engine(k).unwrap();
-        println!("b key {k}: bound={} compacted={}", e.strategy().stability_bound(), e.strategy().compacted());
+        println!(
+            "b key {k}: bound={} compacted={}",
+            e.strategy().stability_bound(),
+            e.strategy().compacted()
+        );
     }
     println!("b total_log_len = {}", b.total_log_len());
     // What if b NEVER heartbeats (pure receiver, no local activity)?
@@ -26,9 +30,16 @@ fn probe_receiver_only_gc() {
     c.apply_batch(&msgs);
     c.apply_message(&StoreMsg::Heartbeat { pid: 0, clock: 30 });
     c.tick_maintenance();
-    println!("c (never announced own clock) total_log_len = {}", c.total_log_len());
+    println!(
+        "c (never announced own clock) total_log_len = {}",
+        c.total_log_len()
+    );
     for k in 0..3u64 {
         let e = c.engine(k).unwrap();
-        println!("c key {k}: bound={} compacted={}", e.strategy().stability_bound(), e.strategy().compacted());
+        println!(
+            "c key {k}: bound={} compacted={}",
+            e.strategy().stability_bound(),
+            e.strategy().compacted()
+        );
     }
 }

@@ -16,8 +16,8 @@ mod common;
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use uc_core::{
-    CheckpointFactory, GcFactory, GenericReplica, Key, NaiveFactory, StoreInput, StoreMsg,
-    StoreOutput, StrategyFactory, UcStore, UndoFactory,
+    CheckpointFactory, GcFactory, GenericReplica, Key, NaiveFactory, PoolConfig, StoreInput,
+    StoreMsg, StoreOutput, StrategyFactory, UcStore, UndoFactory,
 };
 use uc_sim::{
     DeliveryMode, KeyedWorkloadSpec, LatencyModel, Pid, SetOpKind, SimConfig, Simulation,
@@ -223,6 +223,205 @@ fn gc_store_matches_per_key_reference_under_fifo_delivery() {
     }
 }
 
+/// The three ingest paths — sequential [`UcStore::apply_batch`],
+/// scoped-thread [`UcStore::apply_batch_scoped`], and the persistent
+/// [`IngestPool`](uc_core::IngestPool) — must be *indistinguishable*:
+/// identical per-key states, clock, and repair event/step counters
+/// under randomized shuffled, duplicated, and chunked schedules.
+fn run_ingest_paths<F>(factory: F, seed: u64)
+where
+    F: StrategyFactory<Adt> + Send + Sync + 'static,
+    F::Strategy: Send + Sync + 'static,
+{
+    let mut rng = SplitMix64::new(0x900C ^ seed);
+    let streams = produce_streams(&mut rng, 2);
+    let sched = shuffled_schedule(&mut rng, &streams);
+    // Random chunking shared by all three paths (batch boundaries
+    // change which messages merge together, so they must match for
+    // the repair counters to be comparable).
+    let mut chunks: Vec<Vec<Msg>> = Vec::new();
+    let mut i = 0;
+    while i < sched.len() {
+        let k = 1 + (rng.next_u64() % 9) as usize;
+        let chunk = sched[i..sched.len().min(i + k)].to_vec();
+        i += chunk.len();
+        chunks.push(chunk);
+    }
+
+    let shards = 1 + (seed as usize % 4);
+    let mut seq = UcStore::new(SetAdt::<u32>::new(), 0, shards, factory.clone());
+    for c in &chunks {
+        seq.apply_batch(c);
+    }
+    let mut scoped = UcStore::new(SetAdt::<u32>::new(), 0, shards, factory.clone());
+    for c in &chunks {
+        scoped.apply_batch_scoped(c);
+    }
+    let workers = 1 + (seed as usize % 3);
+    let mut pool = UcStore::new(SetAdt::<u32>::new(), 0, shards, factory).into_pool(PoolConfig {
+        workers,
+        queue_depth: 4,
+    });
+    for c in &chunks {
+        pool.submit_batch(c.clone()).unwrap();
+    }
+    let mut pooled = pool.finish().unwrap();
+
+    assert_eq!(seq.clock(), scoped.clock(), "scoped clock, seed {seed}");
+    assert_eq!(seq.clock(), pooled.clock(), "pool clock, seed {seed}");
+    assert_eq!(
+        seq.total_repair_events(),
+        scoped.total_repair_events(),
+        "scoped repair events, seed {seed}"
+    );
+    assert_eq!(
+        seq.total_repair_events(),
+        pooled.total_repair_events(),
+        "pool repair events, seed {seed}"
+    );
+    assert_eq!(
+        seq.total_repair_steps(),
+        scoped.total_repair_steps(),
+        "scoped repair steps, seed {seed}"
+    );
+    assert_eq!(
+        seq.total_repair_steps(),
+        pooled.total_repair_steps(),
+        "pool repair steps, seed {seed}"
+    );
+    assert_eq!(seq.keys(), scoped.keys(), "scoped keys, seed {seed}");
+    assert_eq!(seq.keys(), pooled.keys(), "pool keys, seed {seed}");
+    for k in seq.keys() {
+        let expect = seq.materialize_key(k);
+        assert_eq!(
+            expect,
+            scoped.materialize_key(k),
+            "scoped key {k}, seed {seed}"
+        );
+        assert_eq!(
+            expect,
+            pooled.materialize_key(k),
+            "pool key {k}, seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn pool_and_scoped_ingest_match_sequential_naive() {
+    for seed in 0..15 {
+        run_ingest_paths(NaiveFactory, seed);
+    }
+}
+
+#[test]
+fn pool_and_scoped_ingest_match_sequential_checkpoint() {
+    for seed in 0..15 {
+        run_ingest_paths(
+            CheckpointFactory {
+                every: 1 + (seed as usize % 7),
+            },
+            seed,
+        );
+    }
+}
+
+#[test]
+fn pool_and_scoped_ingest_match_sequential_undo() {
+    for seed in 0..15 {
+        run_ingest_paths(UndoFactory, seed);
+    }
+}
+
+#[test]
+fn pool_and_scoped_ingest_match_sequential_gc() {
+    // GC is sound only under per-sender FIFO, so the schedule here
+    // interleaves the two producers' streams chunk-wise (no shuffle,
+    // no dups) and heartbeats only delivered prefixes — mid-run
+    // partial stability exercises the pool's heartbeat broadcast
+    // sweep, and a full heartbeat round at the end compacts.
+    for seed in 0..15 {
+        let mut rng = SplitMix64::new(0xD1FF ^ seed);
+        let streams = produce_streams(&mut rng, 2);
+        let mut queues: Vec<VecDeque<Msg>> = streams
+            .iter()
+            .map(|s| s.iter().cloned().collect())
+            .collect();
+        let mut chunks: Vec<Vec<Msg>> = Vec::new();
+        let mut max_clock = 0;
+        while queues.iter().any(|q| !q.is_empty()) {
+            let p = (rng.next_u64() % queues.len() as u64) as usize;
+            let take = 1 + (rng.next_u64() % 4) as usize;
+            let mut chunk: Vec<Msg> = Vec::new();
+            for _ in 0..take {
+                match queues[p].pop_front() {
+                    Some(m) => chunk.push(m),
+                    None => break,
+                }
+            }
+            if chunk.is_empty() {
+                continue;
+            }
+            // Heartbeat the delivered prefix (safe under FIFO).
+            let StoreMsg::Update { msg, .. } = chunk.last().expect("nonempty") else {
+                panic!("producers only emit updates");
+            };
+            max_clock = max_clock.max(msg.ts.clock);
+            if rng.next_u64().is_multiple_of(3) {
+                let hb = StoreMsg::Heartbeat {
+                    pid: p as u32 + 1,
+                    clock: msg.ts.clock,
+                };
+                chunk.push(hb);
+            }
+            chunks.push(chunk);
+        }
+        // Final full-coverage heartbeat round: everyone (including
+        // the consumer, pid 0) announces the top clock, so stability
+        // covers the whole history and maintenance compacts.
+        chunks.push(
+            (0..3u32)
+                .map(|pid| StoreMsg::Heartbeat {
+                    pid,
+                    clock: max_clock,
+                })
+                .collect(),
+        );
+
+        let factory = GcFactory { n: 3 };
+        let mut seq = UcStore::new(SetAdt::<u32>::new(), 0, 3, factory);
+        for c in &chunks {
+            seq.apply_batch(c);
+        }
+        seq.tick_maintenance();
+        let mut pool = UcStore::new(SetAdt::<u32>::new(), 0, 3, factory).into_pool(PoolConfig {
+            workers: 2,
+            queue_depth: 4,
+        });
+        for c in &chunks {
+            pool.submit_batch(c.clone()).unwrap();
+        }
+        pool.tick_maintenance().unwrap();
+        let mut pooled = pool.finish().unwrap();
+        let total: usize = streams.iter().map(Vec::len).sum();
+        assert!(
+            pooled.total_log_len() < total,
+            "full heartbeat coverage must compact, seed {seed}"
+        );
+        assert_eq!(
+            seq.total_log_len(),
+            pooled.total_log_len(),
+            "gc compaction diverged, seed {seed}"
+        );
+        for k in 0..KEYS {
+            assert_eq!(
+                seq.materialize_key(k),
+                pooled.materialize_key(k),
+                "gc pool key {k}, seed {seed}"
+            );
+        }
+    }
+}
+
 /// The store as a `Protocol` node under the deterministic simulator,
 /// driven by the keyed zipfian workload generator, with batched
 /// delivery: all replicas converge per key to the same state.
@@ -306,6 +505,59 @@ fn store_converges_on_the_threaded_cluster() {
     assert!(!keys.is_empty());
     let mut split = nodes.split_off(1);
     let first = &mut nodes[0];
+    for k in keys {
+        let expect = first.materialize_key(k);
+        for (i, node) in split.iter_mut().enumerate() {
+            assert_eq!(expect, node.materialize_key(k), "node {} key {k}", i + 1);
+        }
+    }
+}
+
+/// Store bursts delivered *through the pool* on the threaded runtime:
+/// every cluster node is an [`IngestPool`](uc_core::IngestPool) whose
+/// shard workers ingest concurrently with the node's own message
+/// loop; the bounded inbox drain keeps each flushed burst within the
+/// pool's queue backpressure. After quiescence, every replica's
+/// reassembled store converges per key.
+#[test]
+fn pooled_store_converges_on_the_threaded_cluster() {
+    let n = 3;
+    type Node = uc_core::IngestPool<Adt, CheckpointFactory>;
+    let cluster: ThreadedCluster<Node> = ThreadedCluster::spawn_bounded(n, 16, |pid| {
+        UcStore::new(SetAdt::new(), pid, 4, CheckpointFactory { every: 8 }).into_pool(PoolConfig {
+            workers: 2,
+            queue_depth: 8,
+        })
+    });
+    let mut rng = SplitMix64::new(0x700_1ED_F00);
+    for i in 0..150u32 {
+        let pid = (i % n as u32) as Pid;
+        let key = rng.next_u64() % 6;
+        let v = (rng.next_u64() % 10) as u32;
+        let u = if rng.next_u64().is_multiple_of(4) {
+            SetUpdate::Delete(v)
+        } else {
+            SetUpdate::Insert(v)
+        };
+        let out = cluster.invoke(pid, StoreInput::Update(key, u));
+        assert!(matches!(out, StoreOutput::Ack { .. }));
+        if i % 23 == 0 {
+            let StoreOutput::Value { .. } =
+                cluster.invoke(pid, StoreInput::Query(key, SetQuery::Read))
+            else {
+                panic!("query answered with ack");
+            };
+        }
+    }
+    let pools = cluster.shutdown();
+    let mut stores: Vec<UcStore<Adt, CheckpointFactory>> = pools
+        .into_iter()
+        .map(|p| p.finish().expect("no worker panicked"))
+        .collect();
+    let keys: BTreeSet<Key> = stores.iter().flat_map(UcStore::keys).collect();
+    assert!(!keys.is_empty());
+    let mut split = stores.split_off(1);
+    let first = &mut stores[0];
     for k in keys {
         let expect = first.materialize_key(k);
         for (i, node) in split.iter_mut().enumerate() {

@@ -50,8 +50,22 @@ where
     P::Input: Send,
     P::Output: Send,
 {
-    /// Spawn `n` nodes built by `make(pid)`.
-    pub fn spawn(n: usize, mut make: impl FnMut(Pid) -> P) -> Self {
+    /// Spawn `n` nodes built by `make(pid)` with unbounded greedy
+    /// inbox drains.
+    pub fn spawn(n: usize, make: impl FnMut(Pid) -> P) -> Self {
+        Self::spawn_bounded(n, usize::MAX, make)
+    }
+
+    /// Spawn `n` nodes whose greedy inbox drain flushes at most
+    /// `batch_limit` deliveries per [`Protocol::on_batch`] activation.
+    /// Unbounded drains hand a node everything its channel holds —
+    /// the right default for in-memory protocols, but a node that
+    /// forwards bursts to a bounded downstream (e.g. a store's
+    /// persistent ingest pool, whose per-worker queues apply
+    /// backpressure) wants bursts capped so a drain cannot grow a
+    /// single activation without limit.
+    pub fn spawn_bounded(n: usize, batch_limit: usize, mut make: impl FnMut(Pid) -> P) -> Self {
+        assert!(batch_limit >= 1, "a drain must deliver something");
         type Channel<P> = (Sender<Command<P>>, Receiver<Command<P>>);
         let channels: Vec<Channel<P>> = (0..n).map(|_| unbounded()).collect();
         let txs: Vec<Sender<Command<P>>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
@@ -64,7 +78,16 @@ where
             let in_flight = Arc::clone(&in_flight);
             let metrics = Arc::clone(&metrics);
             handles.push(std::thread::spawn(move || {
-                node_loop(pid as Pid, n, node, rx, peers, in_flight, metrics)
+                node_loop(
+                    pid as Pid,
+                    n,
+                    node,
+                    rx,
+                    peers,
+                    in_flight,
+                    metrics,
+                    batch_limit,
+                )
             }));
         }
         ThreadedCluster {
@@ -123,6 +146,7 @@ where
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn node_loop<P>(
     pid: Pid,
     n: usize,
@@ -131,6 +155,7 @@ fn node_loop<P>(
     peers: Vec<Sender<Command<P>>>,
     in_flight: Arc<AtomicI64>,
     metrics: Arc<Mutex<Metrics>>,
+    batch_limit: usize,
 ) where
     P: Protocol,
 {
@@ -164,14 +189,15 @@ fn node_loop<P>(
                 }
                 Command::Deliver(from, msg) => {
                     // Batch flush: drain whatever deliveries are
-                    // already queued and hand them to the protocol in
-                    // one activation (replicas built on the unified
-                    // engine repair their state once per such burst).
-                    // Messages are consumed in channel order, so
-                    // per-link FIFO is preserved; a non-delivery
-                    // command ends the drain and runs after the flush.
+                    // already queued (up to `batch_limit`) and hand
+                    // them to the protocol in one activation (replicas
+                    // built on the unified engine repair their state
+                    // once per such burst). Messages are consumed in
+                    // channel order, so per-link FIFO is preserved; a
+                    // non-delivery command ends the drain and runs
+                    // after the flush.
                     let mut batch = vec![(from, msg)];
-                    loop {
+                    while batch.len() < batch_limit {
                         match rx.try_recv() {
                             Ok(Command::Deliver(f, m)) => batch.push((f, m)),
                             Ok(other) => {
@@ -254,6 +280,26 @@ mod tests {
         assert_eq!(m.messages_delivered, 2);
         assert_eq!(m.invocations, 1);
         cluster.shutdown();
+    }
+
+    #[test]
+    fn bounded_drain_caps_batch_size() {
+        // With `batch_limit = 1` every activation flushes exactly one
+        // delivery, so the multi-message batch counter stays at zero
+        // no matter how congested the inboxes get.
+        let cluster = ThreadedCluster::spawn_bounded(4, 1, |_| Gossip::default());
+        for i in 0..60u32 {
+            cluster.invoke((i % 4) as Pid, i);
+        }
+        cluster.quiesce();
+        let m = cluster.metrics();
+        assert_eq!(m.batches_delivered, 0, "limit 1 must forbid multi-batches");
+        assert_eq!(m.messages_delivered, 60 * 3);
+        let nodes = cluster.shutdown();
+        let expect: std::collections::BTreeSet<u32> = (0..60).collect();
+        for (pid, node) in nodes.iter().enumerate() {
+            assert_eq!(node.seen, expect, "node {pid} diverged");
+        }
     }
 
     #[test]
