@@ -1,0 +1,241 @@
+//! E15 — thread-per-node `ThreadedCluster` vs event-driven
+//! `EventCluster` at N ∈ {64, 1k, 10k} replicas.
+//!
+//! Each N hosts one `GenericReplica<CounterAdt>` per node (the paper's
+//! pure-CRDT example: commutative updates, so every delivery order
+//! converges to the same value — which is what lets the digest check
+//! gate a racy benchmark). A fixed message budget is spread over the
+//! cluster: `ops ≈ MSGS / (N − 1)` updates invoked round-robin, each a
+//! broadcast to all peers. Timed per rep: **spawn, invokes, quiesce,
+//! shutdown** — thread-per-node pays its N OS threads inside the
+//! measurement because that is precisely the cost the event runtime
+//! exists to avoid.
+//!
+//! Every rep digest-asserts that both cluster runtimes and the
+//! deterministic simulator converge every node to the same state (the
+//! CI smoke step relies on this). Batch-size metrics (mean/max burst
+//! per activation) are recorded so the comparison shows *how* each
+//! runtime coalesces, not just wall-clock.
+//!
+//! Run with `cargo bench -p uc-bench --bench runtime`. Results are
+//! written to `BENCH_runtime.json` at the workspace root; set
+//! `UC_BENCH_SMOKE=1` for a tiny CI-sized run that skips the baseline
+//! write. Every run also prints a `BENCH_JSON {...}` one-liner so
+//! baseline refreshes can be scripted (`grep '^BENCH_JSON '`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use uc_core::{state_digest, GenericReplica, OpInput, ReplicaNode};
+use uc_runtime::EventCluster;
+use uc_sim::{ClusterHarness, LatencyModel, Metrics, Pid, SimConfig, Simulation, ThreadedCluster};
+use uc_spec::{CounterAdt, CounterUpdate};
+
+type Node = ReplicaNode<CounterAdt, GenericReplica<CounterAdt>>;
+
+fn node(pid: Pid) -> Node {
+    ReplicaNode::untraced(GenericReplica::new(CounterAdt, pid))
+}
+
+/// Round-robin update schedule: `ops` increments spread over `n`
+/// nodes, stepping by a co-prime stride so traffic is not adjacent.
+fn schedule(n: usize, ops: usize) -> Vec<(Pid, OpInput<CounterAdt>)> {
+    (0..ops)
+        .map(|i| {
+            (
+                ((i * 251) % n) as Pid,
+                OpInput::Update(CounterUpdate::Add(1)),
+            )
+        })
+        .collect()
+}
+
+/// Drive a harness through the schedule and return (per-node digests,
+/// metrics). Works for every runtime — the whole point of the trait.
+fn run<H: ClusterHarness<Node>>(
+    mut h: H,
+    ops: &[(Pid, OpInput<CounterAdt>)],
+) -> (Vec<u64>, Metrics) {
+    for (pid, input) in ops {
+        h.invoke(*pid, input.clone());
+    }
+    h.quiesce();
+    let metrics = h.metrics();
+    let digests = h
+        .into_nodes()
+        .into_iter()
+        .map(|mut n| state_digest(&n.replica.materialize()))
+        .collect();
+    (digests, metrics)
+}
+
+fn median(mut samples: Vec<u64>) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct Row {
+    n: usize,
+    ops: usize,
+    threaded_ns: u64,
+    event_ns: u64,
+    event_workers: usize,
+    threaded_mean_batch: f64,
+    event_mean_batch: f64,
+    threaded_max_batch: u64,
+    event_max_batch: u64,
+}
+
+fn main() {
+    let smoke = std::env::var("UC_BENCH_SMOKE").is_ok_and(|v| v == "1");
+    let sizes: &[usize] = if smoke {
+        &[64, 256]
+    } else {
+        &[64, 1_000, 10_000]
+    };
+    let msgs_budget: usize = if smoke { 30_000 } else { 240_000 };
+    let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
+    println!(
+        "runtime bench: ~{msgs_budget} deliveries per size, sizes {sizes:?}, \
+         hardware parallelism {hw}{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &n in sizes {
+        let ops = (msgs_budget / (n - 1)).max(8);
+        let sched = schedule(n, ops);
+        // Two reps suffice where a rep is slow (10k threads) or the
+        // run is a CI smoke; otherwise take a 5-sample median.
+        let reps = if n >= 10_000 || smoke { 2 } else { 5 };
+
+        // Deterministic reference digest (one run is enough: the
+        // simulator replays identically).
+        let sim = Simulation::new(
+            SimConfig {
+                n,
+                seed: 7,
+                latency: LatencyModel::Constant(1),
+                fifo_links: true,
+            },
+            node,
+        );
+        let (reference, _) = run(sim, &sched);
+        assert!(
+            reference.windows(2).all(|w| w[0] == w[1]),
+            "sequential reference failed to converge at n={n}"
+        );
+
+        let mut threaded_samples = Vec::new();
+        let mut event_samples = Vec::new();
+        let mut threaded_metrics = Metrics::new(0);
+        let mut event_metrics = Metrics::new(0);
+        let mut event_workers = 0usize;
+        for _ in 0..reps {
+            // Thread per node: spawn cost is part of the story.
+            let t0 = Instant::now();
+            let cluster = ThreadedCluster::spawn(n, node);
+            let (digests, m) = run(cluster, &sched);
+            threaded_samples.push(t0.elapsed().as_nanos() as u64);
+            assert_eq!(digests, reference, "threaded diverged at n={n}");
+            threaded_metrics = m;
+
+            // Event-driven: same protocol, W ≪ N workers.
+            let t0 = Instant::now();
+            let cluster = EventCluster::spawn(n, node);
+            event_workers = cluster.num_workers();
+            let (digests, m) = run(cluster, &sched);
+            event_samples.push(t0.elapsed().as_nanos() as u64);
+            assert_eq!(digests, reference, "event diverged at n={n}");
+            event_metrics = m;
+        }
+        println!(
+            "n={n:>6} ops={ops:>5}: threaded {:>8.1} ms, event {:>8.1} ms ({} workers)",
+            median(threaded_samples.clone()) as f64 / 1e6,
+            median(event_samples.clone()) as f64 / 1e6,
+            event_workers
+        );
+        rows.push(Row {
+            n,
+            ops,
+            threaded_ns: median(threaded_samples),
+            event_ns: median(event_samples),
+            event_workers,
+            threaded_mean_batch: threaded_metrics.mean_batch(),
+            event_mean_batch: event_metrics.mean_batch(),
+            threaded_max_batch: threaded_metrics.max_batch,
+            event_max_batch: event_metrics.max_batch,
+        });
+    }
+
+    println!(
+        "\n{:<8} {:>7} {:>14} {:>14} {:>12} {:>11} {:>11}",
+        "nodes", "ops", "threaded ms", "event ms", "event/thr", "thr batch", "evt batch"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:>7} {:>14.1} {:>14.1} {:>11.2}x {:>11.2} {:>11.2}",
+            r.n,
+            r.ops,
+            r.threaded_ns as f64 / 1e6,
+            r.event_ns as f64 / 1e6,
+            r.threaded_ns as f64 / r.event_ns.max(1) as f64,
+            r.threaded_mean_batch,
+            r.event_mean_batch,
+        );
+    }
+    println!(
+        "\nnote: one timed rep = spawn + {0} invokes + quiesce + shutdown; thread-per-node \
+         pays N OS threads (and their teardown) inside the measurement, the event runtime \
+         pays a fixed worker pool. event/thr > 1 means the event runtime is faster.",
+        rows.last().map_or(0, |r| r.ops)
+    );
+
+    let mut json = String::from("{\n  \"bench\": \"runtime\",\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"msgs_budget\": {msgs_budget}, \"parallelism\": {hw}, \
+         \"smoke\": {smoke}, \"timed\": \"spawn+invokes+quiesce+shutdown\"}},"
+    );
+    json.push_str("  \"clusters\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"n\": {}, \"ops\": {}, \"threaded_ns\": {}, \"event_ns\": {}, \
+             \"event_workers\": {}, \"event_vs_threaded\": {:.2}, \
+             \"threaded_mean_batch\": {:.2}, \"event_mean_batch\": {:.2}, \
+             \"threaded_max_batch\": {}, \"event_max_batch\": {}}}",
+            r.n,
+            r.ops,
+            r.threaded_ns,
+            r.event_ns,
+            r.event_workers,
+            r.threaded_ns as f64 / r.event_ns.max(1) as f64,
+            r.threaded_mean_batch,
+            r.event_mean_batch,
+            r.threaded_max_batch,
+            r.event_max_batch
+        );
+        json.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  ],\n");
+    json.push_str(
+        "  \"note\": \"digest-verified: event == threaded == sequential per node, every rep; \
+         event_vs_threaded > 1 means the event runtime wins; the gap widens with n as \
+         thread-per-node pays spawn, stacks, and scheduler churn for n threads while the \
+         event runtime keeps a fixed small pool\"\n",
+    );
+    json.push_str("}\n");
+
+    println!(
+        "\nBENCH_JSON {}",
+        json.split_whitespace().collect::<Vec<_>>().join(" ")
+    );
+    if !smoke {
+        let out = format!(
+            "{}/../../BENCH_runtime.json",
+            std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into())
+        );
+        std::fs::write(&out, json).expect("write baseline json");
+        println!("wrote {out}");
+    }
+}

@@ -716,6 +716,14 @@ where
         self.submit_batch(msgs.into_iter().map(|(_, m)| m).collect())
             .unwrap_or_else(|e| panic!("{e}"));
     }
+
+    /// Timer-driven maintenance: announce the handle's clock to every
+    /// peer and enqueue a compaction sweep on every worker (same
+    /// poisoning contract as the other `Protocol` entry points).
+    fn on_tick(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        ctx.broadcast_others(self.heartbeat());
+        self.tick_maintenance().unwrap_or_else(|e| panic!("{e}"));
+    }
 }
 
 #[cfg(test)]

@@ -186,6 +186,15 @@ where
         let msgs: Vec<Self::Msg> = msgs.into_iter().map(|(_, m)| m).collect();
         self.replica.on_batch_owned(msgs);
     }
+
+    /// Timer-driven maintenance: broadcast whatever the replica's
+    /// periodic [`Replica::tick`] emits (clock heartbeats for the GC
+    /// variant, nothing for the full-log ones).
+    fn on_tick(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        for m in self.replica.tick() {
+            ctx.broadcast_others(m);
+        }
+    }
 }
 
 /// Failure modes of trace conversion.

@@ -757,6 +757,16 @@ where
     fn on_batch(&mut self, msgs: Vec<(Pid, Self::Msg)>, _ctx: &mut Ctx<'_, Self::Msg>) {
         self.ingest_burst(msgs.into_iter().map(|(_, m)| m));
     }
+
+    /// Timer-driven maintenance: announce the shared clock (one
+    /// heartbeat advances every key's stability knowledge on every
+    /// peer) and compact every key's stable prefix. On a timer-driven
+    /// runtime this is what keeps GC stores compacting without any
+    /// dedicated heartbeat thread or explicit driver invocations.
+    fn on_tick(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        ctx.broadcast_others(self.heartbeat());
+        self.tick_maintenance();
+    }
 }
 
 #[cfg(test)]

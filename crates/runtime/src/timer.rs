@@ -1,0 +1,248 @@
+//! A single-level **virtual-timer wheel**.
+//!
+//! The reactor keeps a virtual clock: `tick = elapsed_wall_time /
+//! resolution`. Timers are bucketed into `SLOTS` slots by `deadline %
+//! SLOTS`; advancing the wheel from tick `a` to tick `b` visits at
+//! most `min(b - a, SLOTS)` slots and fires every entry whose deadline
+//! has passed, so firing cost tracks elapsed time, not the number of
+//! armed timers. Entries further than one revolution ahead simply stay
+//! in their slot until a later visit (the classic hashed-wheel
+//! behaviour).
+//!
+//! Two timer kinds exist: per-node **flush** deadlines (the batching
+//! window of a delivery parked in a mailbox — the real-I/O-boundary
+//! version of the simulator's `DeliveryMode::Batched { window }`) and
+//! the cluster-wide **maintenance sweep** (fires
+//! [`Protocol::on_tick`](uc_sim::Protocol::on_tick) on every node:
+//! stability heartbeats, per-key log compaction).
+
+use uc_sim::Pid;
+
+/// Wheel size; a power of two so the modulo is a mask.
+const SLOTS: usize = 64;
+
+/// What to do when a deadline passes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimerKind {
+    /// A mailbox flush window expired: schedule the node even though
+    /// its mailbox has not reached the batch limit.
+    Flush(Pid),
+    /// Run [`Protocol::on_tick`](uc_sim::Protocol::on_tick) on every
+    /// node (the reactor re-arms this after firing).
+    MaintenanceSweep,
+}
+
+/// One armed timer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Timer {
+    /// Virtual tick at which the timer fires.
+    pub deadline: u64,
+    /// What firing means.
+    pub kind: TimerKind,
+}
+
+/// The wheel itself. Not thread-safe; the reactor wraps it in a mutex.
+#[derive(Debug)]
+pub struct TimerWheel {
+    slots: Vec<Vec<Timer>>,
+    /// Last tick the wheel was advanced to.
+    current: u64,
+    /// Armed timers (cheap emptiness check for parking workers).
+    len: usize,
+    /// Earliest armed deadline (`u64::MAX` when empty), kept exact so
+    /// an idle worker can park until precisely the next event.
+    min_deadline: u64,
+}
+
+impl TimerWheel {
+    /// An empty wheel positioned at tick 0.
+    pub fn new() -> Self {
+        TimerWheel {
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            current: 0,
+            len: 0,
+            min_deadline: u64::MAX,
+        }
+    }
+
+    /// Number of armed timers.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the wheel empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Earliest armed deadline, if any timer is armed.
+    pub fn next_deadline(&self) -> Option<u64> {
+        (self.len > 0).then_some(self.min_deadline)
+    }
+
+    /// Arm a timer. Deadlines at or before the current tick fire on
+    /// the very next [`TimerWheel::advance`].
+    pub fn insert(&mut self, t: Timer) {
+        self.min_deadline = self.min_deadline.min(t.deadline);
+        self.slots[(t.deadline % SLOTS as u64) as usize].push(t);
+        self.len += 1;
+    }
+
+    /// Advance the wheel to `now`, appending every fired timer to
+    /// `fired` (in slot order; same-slot entries in insertion order).
+    pub fn advance(&mut self, now: u64, fired: &mut Vec<Timer>) {
+        if now < self.current {
+            return; // a stale clock observation never rewinds the hand
+        }
+        if self.len == 0 || self.min_deadline > now {
+            self.current = now;
+            return;
+        }
+        // Sweep from the earliest place a due entry can live: the hand,
+        // or — for a timer armed overdue, behind the hand — its
+        // deadline's slot.
+        let start = self.current.min(self.min_deadline);
+        let before = fired.len();
+        if now - start >= SLOTS as u64 - 1 {
+            for slot in &mut self.slots {
+                Self::drain_due(slot, now, fired);
+            }
+        } else {
+            // Fewer than SLOTS ticks: each visited slot is distinct.
+            for t in start..=now {
+                Self::drain_due(&mut self.slots[(t % SLOTS as u64) as usize], now, fired);
+            }
+        }
+        self.len -= fired.len() - before;
+        self.current = now;
+        if fired.len() > before {
+            self.recompute_min();
+        }
+    }
+
+    fn drain_due(slot: &mut Vec<Timer>, now: u64, fired: &mut Vec<Timer>) {
+        let mut i = 0;
+        while i < slot.len() {
+            if slot[i].deadline <= now {
+                fired.push(slot.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn recompute_min(&mut self) {
+        self.min_deadline = self
+            .slots
+            .iter()
+            .flatten()
+            .map(|t| t.deadline)
+            .min()
+            .unwrap_or(u64::MAX);
+    }
+}
+
+impl Default for TimerWheel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flush(deadline: u64, pid: Pid) -> Timer {
+        Timer {
+            deadline,
+            kind: TimerKind::Flush(pid),
+        }
+    }
+
+    #[test]
+    fn fires_in_deadline_windows() {
+        let mut w = TimerWheel::new();
+        w.insert(flush(3, 0));
+        w.insert(flush(10, 1));
+        w.insert(flush(10, 2));
+        assert_eq!(w.next_deadline(), Some(3));
+        let mut fired = Vec::new();
+        w.advance(2, &mut fired);
+        assert!(fired.is_empty());
+        w.advance(3, &mut fired);
+        assert_eq!(fired, vec![flush(3, 0)]);
+        assert_eq!(w.next_deadline(), Some(10));
+        fired.clear();
+        w.advance(50, &mut fired);
+        assert_eq!(fired.len(), 2);
+        assert!(w.is_empty());
+        assert_eq!(w.next_deadline(), None);
+    }
+
+    #[test]
+    fn entries_beyond_one_revolution_wait_their_turn() {
+        let mut w = TimerWheel::new();
+        // Same slot (64 apart), deadlines one revolution apart.
+        w.insert(flush(5, 0));
+        w.insert(flush(5 + SLOTS as u64, 1));
+        let mut fired = Vec::new();
+        w.advance(6, &mut fired);
+        assert_eq!(fired, vec![flush(5, 0)], "the far entry must not fire");
+        assert_eq!(w.len(), 1);
+        fired.clear();
+        w.advance(5 + SLOTS as u64, &mut fired);
+        assert_eq!(fired, vec![flush(5 + SLOTS as u64, 1)]);
+    }
+
+    #[test]
+    fn big_jumps_sweep_every_slot() {
+        let mut w = TimerWheel::new();
+        for d in 0..200u64 {
+            w.insert(flush(d, d as Pid));
+        }
+        let mut fired = Vec::new();
+        w.advance(1000, &mut fired);
+        assert_eq!(fired.len(), 200);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn past_deadlines_fire_immediately_on_next_advance() {
+        let mut w = TimerWheel::new();
+        let mut fired = Vec::new();
+        w.advance(40, &mut fired);
+        w.insert(flush(7, 9)); // already overdue
+        assert_eq!(w.next_deadline(), Some(7));
+        w.advance(40, &mut fired);
+        assert_eq!(fired, vec![flush(7, 9)]);
+    }
+
+    #[test]
+    fn maintenance_and_flush_coexist() {
+        let mut w = TimerWheel::new();
+        w.insert(Timer {
+            deadline: 8,
+            kind: TimerKind::MaintenanceSweep,
+        });
+        w.insert(flush(8, 3));
+        let mut fired = Vec::new();
+        w.advance(8, &mut fired);
+        assert_eq!(fired.len(), 2);
+        assert!(fired.contains(&Timer {
+            deadline: 8,
+            kind: TimerKind::MaintenanceSweep
+        }));
+    }
+
+    #[test]
+    fn time_never_runs_backwards() {
+        let mut w = TimerWheel::new();
+        let mut fired = Vec::new();
+        w.advance(100, &mut fired);
+        w.insert(flush(150, 0));
+        w.advance(90, &mut fired); // stale observation: ignored
+        assert!(fired.is_empty());
+        w.advance(150, &mut fired);
+        assert_eq!(fired.len(), 1);
+    }
+}

@@ -19,14 +19,21 @@
 //!   real concurrency.
 //!
 //! Protocols implement [`process::Protocol`] once and run unchanged on
-//! both runtimes. [`workload`] generates the random and conflict
-//! workloads of the §VI/§VII experiments; [`rng`] provides the seeded
-//! PRNG and Zipf sampler everything shares.
+//! both runtimes — and on the event-driven `EventCluster` of the
+//! `uc-runtime` crate, which multiplexes thousands of instances onto a
+//! small worker pool. The [`harness::ClusterHarness`] trait is the
+//! runtime-generic driving surface (invoke/quiesce/metrics/teardown)
+//! all three implement, and [`harness::NodeError`] the typed error the
+//! thread-backed runtimes report when a node's activation panics.
+//! [`workload`] generates the random and conflict workloads of the
+//! §VI/§VII experiments; [`rng`] provides the seeded PRNG and Zipf
+//! sampler everything shares.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod faults;
+pub mod harness;
 pub mod metrics;
 pub mod network;
 pub mod process;
@@ -36,6 +43,7 @@ pub mod threaded;
 pub mod trace;
 pub mod workload;
 
+pub use harness::{ClusterHarness, NodeError};
 pub use metrics::Metrics;
 pub use network::{DeliveryMode, LatencyModel, Partition, PartitionSchedule};
 pub use process::{Ctx, Pid, Protocol};

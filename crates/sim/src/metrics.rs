@@ -17,6 +17,17 @@ pub struct Metrics {
     /// Multi-message batches handed to `Protocol::on_batch` (batched
     /// delivery mode only; singleton deliveries are not counted).
     pub batches_delivered: u64,
+    /// Delivery activations: every flush handed to a process, whether
+    /// it carried one message or a burst (`batches_delivered` counts
+    /// only the multi-message subset).
+    pub delivery_activations: u64,
+    /// Largest burst handed to a single `Protocol::on_batch`
+    /// activation.
+    pub max_batch: u64,
+    /// Messages shed by a bounded mailbox under a load-shedding
+    /// backpressure policy (event runtime only; the other runtimes
+    /// never shed).
+    pub messages_shed: u64,
     /// Application invocations processed.
     pub invocations: u64,
     /// Invocations ignored because the process had crashed.
@@ -26,6 +37,8 @@ pub struct Metrics {
     pub bytes_sent: u64,
     /// Per-process sent counts.
     pub per_process_sent: Vec<u64>,
+    /// Per-process delivered counts (messages, not activations).
+    pub per_process_delivered: Vec<u64>,
 }
 
 impl Metrics {
@@ -33,6 +46,7 @@ impl Metrics {
     pub fn new(n: usize) -> Self {
         Metrics {
             per_process_sent: vec![0; n],
+            per_process_delivered: vec![0; n],
             ..Default::default()
         }
     }
@@ -43,6 +57,32 @@ impl Metrics {
         self.bytes_sent += size;
         if let Some(c) = self.per_process_sent.get_mut(from as usize) {
             *c += 1;
+        }
+    }
+
+    /// Record one delivery activation flushing `batch` messages to
+    /// `to` — the single accounting point every runtime (deterministic,
+    /// threaded, event) reports through, so per-node delivery counts
+    /// and the batch-size histogram stay comparable across them.
+    pub fn on_delivery(&mut self, to: Pid, batch: u64) {
+        self.messages_delivered += batch;
+        self.delivery_activations += 1;
+        self.max_batch = self.max_batch.max(batch);
+        if batch > 1 {
+            self.batches_delivered += 1;
+        }
+        if let Some(c) = self.per_process_delivered.get_mut(to as usize) {
+            *c += batch;
+        }
+    }
+
+    /// Mean burst size per delivery activation (1.0 when every message
+    /// flushed alone; higher when the runtime coalesces).
+    pub fn mean_batch(&self) -> f64 {
+        if self.delivery_activations == 0 {
+            0.0
+        } else {
+            self.messages_delivered as f64 / self.delivery_activations as f64
         }
     }
 
@@ -70,6 +110,23 @@ mod tests {
         assert_eq!(m.messages_sent, 3);
         assert_eq!(m.bytes_sent, 40);
         assert_eq!(m.per_process_sent, vec![2, 1]);
+    }
+
+    #[test]
+    fn delivery_accounting_tracks_batches_per_node() {
+        let mut m = Metrics::new(3);
+        m.on_delivery(0, 1);
+        m.on_delivery(1, 4);
+        m.on_delivery(1, 2);
+        assert_eq!(m.messages_delivered, 7);
+        assert_eq!(m.delivery_activations, 3);
+        assert_eq!(m.batches_delivered, 2, "singletons are not batches");
+        assert_eq!(m.max_batch, 4);
+        assert_eq!(m.per_process_delivered, vec![1, 6, 0]);
+        assert!((m.mean_batch() - 7.0 / 3.0).abs() < 1e-9);
+        // Out-of-range pids are tolerated (crashed-process paths).
+        m.on_delivery(9, 5);
+        assert_eq!(m.messages_delivered, 12);
     }
 
     #[test]

@@ -42,6 +42,17 @@ pub trait Protocol {
             self.on_message(from, msg, ctx);
         }
     }
+
+    /// Periodic maintenance fired by a timer-driven runtime (the event
+    /// runtime's virtual-timer wheel arms one sweep per configured
+    /// interval). Protocols use it for work that must happen even when
+    /// no traffic arrives — stability heartbeats, per-key log
+    /// compaction — and may push messages to `ctx` like any other
+    /// activation. The default does nothing, so protocols without
+    /// background work run unchanged on timer-driven runtimes.
+    fn on_tick(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = ctx;
+    }
 }
 
 /// Per-activation context: identity, cluster size, current time, and

@@ -309,7 +309,7 @@ impl<P: Protocol> Simulation<P> {
                         let mut ctx = Ctx::new(ev.pid, self.cfg.n, self.now, &mut outbox);
                         self.procs[ev.pid as usize].on_message(from, msg, &mut ctx);
                     }
-                    self.metrics.messages_delivered += 1;
+                    self.metrics.on_delivery(ev.pid, 1);
                     self.dispatch(ev.pid, outbox);
                 }
             }
@@ -394,10 +394,7 @@ impl<P: Protocol> Simulation<P> {
                 let mut ctx = Ctx::new(dest, n, self.now, &mut outbox);
                 self.procs[dest as usize].on_batch(batch, &mut ctx);
             }
-            self.metrics.messages_delivered += run;
-            if run > 1 {
-                self.metrics.batches_delivered += 1;
-            }
+            self.metrics.on_delivery(dest, run);
             self.dispatch(dest, outbox);
         }
         true

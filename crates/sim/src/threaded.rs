@@ -15,9 +15,19 @@
 //! an epoll-style receive loop). Protocols that ingest batches
 //! cheaply — one repair per burst instead of per message — get that
 //! win here automatically under contention.
+//!
+//! A panicking activation **poisons** its node instead of hanging the
+//! cluster: the panic is caught, recorded, and surfaced as a typed
+//! [`NodeError`] from [`ThreadedCluster::try_invoke`] /
+//! [`ThreadedCluster::try_quiesce`] (the panicking variants re-raise
+//! it with the payload attached). Without this, an invoke on a dead
+//! node aborted on a bare channel `expect`, and `quiesce` — whose
+//! in-flight counter the dead node could never drain — spun forever.
 
+use crate::harness::{panic_message, quiesce_spin, NodeError, PoisonTable};
 use crate::metrics::Metrics;
 use crate::process::{Ctx, Pid, Protocol};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 use std::sync::{Arc, Mutex};
@@ -41,6 +51,10 @@ where
     handles: Vec<JoinHandle<()>>,
     in_flight: Arc<AtomicI64>,
     metrics: Arc<Mutex<Metrics>>,
+    /// Per-node panic records (written *before* a node's channel
+    /// receiver drops, so any caller that observes the dead channel
+    /// can read the reason immediately).
+    poison: Arc<PoisonTable>,
 }
 
 impl<P> ThreadedCluster<P>
@@ -71,12 +85,14 @@ where
         let txs: Vec<Sender<Command<P>>> = channels.iter().map(|(tx, _)| tx.clone()).collect();
         let in_flight = Arc::new(AtomicI64::new(0));
         let metrics = Arc::new(Mutex::new(Metrics::new(n)));
+        let poison = Arc::new(PoisonTable::new(n));
         let mut handles = Vec::with_capacity(n);
         for (pid, (_, rx)) in channels.into_iter().enumerate() {
             let node = make(pid as Pid);
             let peers = txs.clone();
             let in_flight = Arc::clone(&in_flight);
             let metrics = Arc::clone(&metrics);
+            let poison = Arc::clone(&poison);
             handles.push(std::thread::spawn(move || {
                 node_loop(
                     pid as Pid,
@@ -86,6 +102,7 @@ where
                     peers,
                     in_flight,
                     metrics,
+                    poison,
                     batch_limit,
                 )
             }));
@@ -95,34 +112,73 @@ where
             handles,
             in_flight,
             metrics,
+            poison,
         }
+    }
+
+    /// The recorded error for a node whose channel went dead. The node
+    /// records its poison *before* dropping the channel, so a missing
+    /// record means the thread exited some other way (never expected
+    /// outside `shutdown`).
+    fn node_error(&self, pid: Pid) -> NodeError {
+        self.poison.error_of(pid)
+    }
+
+    /// The first poisoned node's error, if any activation has panicked.
+    pub fn poisoned(&self) -> Option<NodeError> {
+        self.poison.first()
     }
 
     /// Invoke an operation on `pid` and wait for its (local,
     /// wait-free) response. Only network *propagation* is
     /// asynchronous.
+    ///
+    /// # Panics
+    ///
+    /// If the node is poisoned (a previous activation panicked), with
+    /// the recorded [`NodeError`]. Use
+    /// [`ThreadedCluster::try_invoke`] for the typed error.
     pub fn invoke(&self, pid: Pid, input: P::Input) -> P::Output {
+        self.try_invoke(pid, input)
+            .unwrap_or_else(|e| panic!("ThreadedCluster::invoke: {e}"))
+    }
+
+    /// [`ThreadedCluster::invoke`], but a dead node yields a
+    /// [`NodeError`] (naming the node and carrying the panic payload)
+    /// instead of panicking — the regression this guards: an invoke
+    /// on a panicked node used to die on a bare `expect("node alive")`
+    /// with no indication of which node failed or why, and a node that
+    /// panicked *while processing* the invoke left the caller blocked
+    /// on a reply that could never come.
+    pub fn try_invoke(&self, pid: Pid, input: P::Input) -> Result<P::Output, NodeError> {
         let (tx, rx) = unbounded();
-        self.txs[pid as usize]
+        if self.txs[pid as usize]
             .send(Command::Invoke(input, tx))
-            .expect("node alive");
-        rx.recv().expect("node answered")
+            .is_err()
+        {
+            return Err(self.node_error(pid));
+        }
+        // A node that panics mid-invoke records its poison before the
+        // reply sender drops, so this error path always finds it.
+        rx.recv().map_err(|_| self.node_error(pid))
     }
 
     /// Block until every sent message has been processed.
+    ///
+    /// # Panics
+    ///
+    /// If any node is poisoned — its undrained inbox would otherwise
+    /// hold the in-flight counter above zero forever. Use
+    /// [`ThreadedCluster::try_quiesce`] for the typed error.
     pub fn quiesce(&self) {
-        loop {
-            if self.in_flight.load(Ordering::SeqCst) == 0 {
-                // Double-check after a yield: a node may be between
-                // increment and send only while holding an invoke we
-                // already returned from, so a stable zero is genuine.
-                std::thread::yield_now();
-                if self.in_flight.load(Ordering::SeqCst) == 0 {
-                    return;
-                }
-            }
-            std::thread::sleep(std::time::Duration::from_micros(50));
-        }
+        self.try_quiesce()
+            .unwrap_or_else(|e| panic!("ThreadedCluster::quiesce: {e}"))
+    }
+
+    /// [`ThreadedCluster::quiesce`], returning a [`NodeError`] instead
+    /// of blocking forever when a node has panicked.
+    pub fn try_quiesce(&self) -> Result<(), NodeError> {
+        quiesce_spin(&self.in_flight, || self.poison.first())
     }
 
     /// Snapshot the shared metrics.
@@ -131,13 +187,24 @@ where
     }
 
     /// Quiesce, stop all nodes, and return their final states.
+    ///
+    /// # Panics
+    ///
+    /// If any node is poisoned (via [`ThreadedCluster::quiesce`], or
+    /// when collecting a node that panicked after the quiesce).
     pub fn shutdown(self) -> Vec<P> {
         self.quiesce();
         let mut out = Vec::with_capacity(self.txs.len());
-        for tx in &self.txs {
+        for (pid, tx) in self.txs.iter().enumerate() {
             let (otx, orx) = unbounded();
-            tx.send(Command::Stop(otx)).expect("node alive");
-            out.push(orx.recv().expect("node returned state"));
+            let state = tx
+                .send(Command::Stop(otx))
+                .ok()
+                .and_then(|()| orx.recv().ok());
+            match state {
+                Some(node) => out.push(node),
+                None => panic!("ThreadedCluster::shutdown: {}", self.node_error(pid as Pid)),
+            }
         }
         for h in self.handles {
             let _ = h.join();
@@ -155,6 +222,7 @@ fn node_loop<P>(
     peers: Vec<Sender<Command<P>>>,
     in_flight: Arc<AtomicI64>,
     metrics: Arc<Mutex<Metrics>>,
+    poison: Arc<PoisonTable>,
     batch_limit: usize,
 ) where
     P: Protocol,
@@ -165,9 +233,17 @@ fn node_loop<P>(
             // zero while a message is in a channel.
             in_flight.fetch_add(1, Ordering::SeqCst);
             metrics.lock().unwrap().on_send(from, 0);
-            peers[to as usize]
+            if peers[to as usize]
                 .send(Command::Deliver(from, msg))
-                .expect("peer alive");
+                .is_err()
+            {
+                // The peer panicked and dropped its receiver: the
+                // message can never be processed, so take it back out
+                // of the in-flight count (a poisoned node behaves like
+                // a crashed one).
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+                metrics.lock().unwrap().messages_dropped_crashed += 1;
+            }
         }
     };
     while let Ok(cmd) = rx.recv() {
@@ -179,9 +255,20 @@ fn node_loop<P>(
             match cmd {
                 Command::Invoke(input, reply) => {
                     let mut outbox = Vec::new();
-                    let output = {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
                         let mut ctx = Ctx::new(pid, n, 0, &mut outbox);
                         node.on_invoke(input, &mut ctx)
+                    }));
+                    let output = match outcome {
+                        Ok(output) => output,
+                        Err(payload) => {
+                            // Record the poison *before* `reply` (and
+                            // the channel receiver) drop, so the
+                            // blocked invoker finds the reason the
+                            // instant it observes the dead channel.
+                            poison.record(pid, panic_message(payload.as_ref()));
+                            return;
+                        }
                     };
                     metrics.lock().unwrap().invocations += 1;
                     dispatch(pid, outbox);
@@ -209,17 +296,20 @@ fn node_loop<P>(
                     }
                     let k = batch.len();
                     let mut outbox = Vec::new();
-                    {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
                         let mut ctx = Ctx::new(pid, n, 0, &mut outbox);
                         node.on_batch(batch, &mut ctx);
+                    }));
+                    if let Err(payload) = outcome {
+                        // Poison first, then drain this batch from the
+                        // counter: `try_quiesce` re-checks poison after
+                        // a stable zero, so this order can never show
+                        // it a clean zero with the record still unset.
+                        poison.record(pid, panic_message(payload.as_ref()));
+                        in_flight.fetch_sub(k as i64, Ordering::SeqCst);
+                        return;
                     }
-                    {
-                        let mut m = metrics.lock().unwrap();
-                        m.messages_delivered += k as u64;
-                        if k > 1 {
-                            m.batches_delivered += 1;
-                        }
-                    }
+                    metrics.lock().unwrap().on_delivery(pid, k as u64);
                     dispatch(pid, outbox);
                     in_flight.fetch_sub(k as i64, Ordering::SeqCst);
                 }
@@ -340,6 +430,83 @@ mod tests {
                 ctx.broadcast_others(x | TTL_BIT);
             }
         }
+    }
+
+    /// Panics when asked to process the magic value — on invoke if
+    /// invoked with it, on delivery if a peer broadcasts it.
+    #[derive(Debug, Default)]
+    struct Bomb {
+        seen: std::collections::BTreeSet<u32>,
+    }
+
+    const BOOM: u32 = 13;
+
+    impl Protocol for Bomb {
+        type Msg = u32;
+        type Input = u32;
+        type Output = usize;
+
+        fn on_invoke(&mut self, x: u32, ctx: &mut Ctx<'_, u32>) -> usize {
+            ctx.broadcast_others(x);
+            self.seen.insert(x);
+            self.seen.len()
+        }
+
+        fn on_message(&mut self, _from: Pid, x: u32, _ctx: &mut Ctx<'_, u32>) {
+            assert!(x != BOOM, "bomb went off");
+            self.seen.insert(x);
+        }
+    }
+
+    #[test]
+    fn panicked_node_poisons_instead_of_hanging() {
+        // Regression: node 0 panics while processing a *delivery*
+        // (mid-protocol, not mid-invoke). `quiesce` then waited on an
+        // in-flight counter the dead node could never drain — forever —
+        // and `invoke` on it died on a bare `expect("node alive")`.
+        // Both must now surface a typed NodeError naming the node and
+        // carrying the panic payload.
+        let cluster = ThreadedCluster::spawn(2, |_| Bomb::default());
+        cluster.invoke(1, BOOM); // node 0 explodes on the broadcast
+        let err = cluster.try_quiesce().expect_err("quiesce must not hang");
+        assert_eq!(err.node, 0);
+        assert!(err.message.contains("bomb went off"), "{}", err.message);
+        assert_eq!(cluster.poisoned(), Some(err.clone()));
+        // Later invokes on the dead node fail fast with the same error.
+        let err2 = cluster.try_invoke(0, 1).expect_err("node 0 is dead");
+        assert_eq!(err2, err);
+        // The healthy node still answers (its broadcast to the corpse
+        // is dropped, like a send to a crashed process).
+        assert_eq!(cluster.try_invoke(1, 2).unwrap(), 2);
+        assert!(cluster.metrics().messages_dropped_crashed >= 1);
+        drop(cluster); // must not deadlock on the dead thread either
+    }
+
+    #[test]
+    fn panic_during_invoke_fails_that_invoke_with_the_reason() {
+        // A node that panics while processing the caller's own invoke
+        // used to leave the caller blocked on a reply that could never
+        // come; the poison record must reach it instead.
+        #[derive(Debug, Default)]
+        struct InvokeBomb;
+        impl Protocol for InvokeBomb {
+            type Msg = ();
+            type Input = u32;
+            type Output = u32;
+            fn on_invoke(&mut self, x: u32, _ctx: &mut Ctx<'_, ()>) -> u32 {
+                assert!(x != BOOM, "invoke bomb");
+                x
+            }
+            fn on_message(&mut self, _f: Pid, _m: (), _c: &mut Ctx<'_, ()>) {}
+        }
+        let cluster = ThreadedCluster::spawn(1, |_| InvokeBomb);
+        assert_eq!(cluster.try_invoke(0, 1).unwrap(), 1);
+        let err = cluster
+            .try_invoke(0, BOOM)
+            .expect_err("the panicking invoke itself must error, not block");
+        assert_eq!(err.node, 0);
+        assert!(err.message.contains("invoke bomb"), "{}", err.message);
+        drop(cluster);
     }
 
     #[test]

@@ -11,7 +11,12 @@
 //! * [`criteria`] — decision procedures for EC / SEC / PC / UC / SUC;
 //! * [`sim`] — wait-free asynchronous message-passing substrate
 //!   (deterministic simulator + threaded runtime, both with batched
-//!   message flushing);
+//!   message flushing, unified behind the
+//!   [`ClusterHarness`](sim::ClusterHarness) trait);
+//! * [`runtime`] — the event-driven async runtime:
+//!   [`EventCluster`](runtime::EventCluster) multiplexes thousands of
+//!   protocol instances onto a small worker pool, with a virtual-timer
+//!   wheel for flush windows and GC maintenance;
 //! * [`core`] — the paper's Algorithm 1 & 2: one
 //!   [`ReplicaEngine`](core::ReplicaEngine) parameterised by a
 //!   [`RepairStrategy`](core::RepairStrategy), with the §VII-C
@@ -72,5 +77,6 @@ pub use uc_core as core;
 pub use uc_crdt as crdt;
 pub use uc_criteria as criteria;
 pub use uc_history as history;
+pub use uc_runtime as runtime;
 pub use uc_sim as sim;
 pub use uc_spec as spec;
