@@ -12,6 +12,7 @@
 //! A *batch* of late messages pays that rollback-and-refold **once**
 //! (see [`crate::engine::ReplicaEngine::on_deliver_batch`]).
 
+use crate::backend::LogBackend;
 use crate::engine::{EngineCtx, RepairStrategy, ReplicaEngine};
 use crate::log::UpdateLog;
 use uc_spec::UqAdt;
@@ -55,7 +56,7 @@ impl<A: UqAdt> CheckpointRepair<A> {
     /// Roll back to the nearest checkpoint at or before `pos`, then
     /// fold to the end of the log. The single repair primitive — both
     /// one late message and a whole batch cost exactly one call.
-    fn repair_from(&mut self, adt: &A, log: &UpdateLog<A::Update>, pos: usize) {
+    fn repair_from<B: LogBackend<A>>(&mut self, adt: &A, log: &UpdateLog<A, B>, pos: usize) {
         if pos < self.applied {
             self.repair_events += 1;
             let ck = match self.checkpoints.iter().rposition(|(len, _)| *len <= pos) {
@@ -76,7 +77,7 @@ impl<A: UqAdt> CheckpointRepair<A> {
         self.fold_to_end(adt, log);
     }
 
-    fn fold_to_end(&mut self, adt: &A, log: &UpdateLog<A::Update>) {
+    fn fold_to_end<B: LogBackend<A>>(&mut self, adt: &A, log: &UpdateLog<A, B>) {
         while self.applied < log.len() {
             let (_, u) = log.get(self.applied).expect("in range");
             adt.apply(&mut self.state, u);
@@ -90,14 +91,20 @@ impl<A: UqAdt> CheckpointRepair<A> {
 }
 
 impl<A: UqAdt> RepairStrategy<A> for CheckpointRepair<A> {
-    fn on_insert(&mut self, adt: &A, log: &mut UpdateLog<A::Update>, pos: usize, _ctx: &EngineCtx) {
+    fn on_insert<B: LogBackend<A>>(
+        &mut self,
+        adt: &A,
+        log: &mut UpdateLog<A, B>,
+        pos: usize,
+        _ctx: &EngineCtx,
+    ) {
         self.repair_from(adt, log, pos);
     }
 
     // on_batch_insert: the default (one `on_insert` at the minimum
     // position) is already a single rollback + refold.
 
-    fn current_state(&mut self, _adt: &A, log: &UpdateLog<A::Update>) -> &A::State {
+    fn current_state<B: LogBackend<A>>(&mut self, _adt: &A, log: &UpdateLog<A, B>) -> &A::State {
         debug_assert_eq!(self.applied, log.len(), "state must be fully folded");
         &self.state
     }

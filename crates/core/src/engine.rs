@@ -67,6 +67,7 @@
 //! * [`current_state`](RepairStrategy::current_state) — to answer
 //!   queries and [`ReplicaEngine::materialize`].
 
+use crate::backend::{LogBackend, MemBackend};
 use crate::log::UpdateLog;
 use crate::message::UpdateMsg;
 use crate::replica::Replica;
@@ -91,18 +92,27 @@ pub struct EngineCtx {
 pub trait RepairStrategy<A: UqAdt> {
     /// The log gained one entry at `pos` (already inserted). Repair
     /// whatever cached state the strategy maintains. `log` is mutable
-    /// so compacting strategies can shrink it.
-    fn on_insert(&mut self, adt: &A, log: &mut UpdateLog<A::Update>, pos: usize, ctx: &EngineCtx);
+    /// so compacting strategies can shrink it. Generic over the log's
+    /// [`LogBackend`] — repair logic is storage-agnostic; compacting
+    /// strategies use the genericity to persist their base through
+    /// [`UpdateLog::persist_base`].
+    fn on_insert<B: LogBackend<A>>(
+        &mut self,
+        adt: &A,
+        log: &mut UpdateLog<A, B>,
+        pos: usize,
+        ctx: &EngineCtx,
+    );
 
     /// The log gained several entries, the earliest at `min_pos`.
     /// Strategies whose repair cost is dominated by the refold should
     /// override this only if `on_insert(min_pos)` is not already a
     /// single repair of the whole dirty suffix (both shipped repairing
     /// strategies satisfy that, so the default delegates).
-    fn on_batch_insert(
+    fn on_batch_insert<B: LogBackend<A>>(
         &mut self,
         adt: &A,
-        log: &mut UpdateLog<A::Update>,
+        log: &mut UpdateLog<A, B>,
         min_pos: usize,
         ctx: &EngineCtx,
     ) {
@@ -132,7 +142,7 @@ pub trait RepairStrategy<A: UqAdt> {
 
     /// Periodic housekeeping (e.g. compaction after new stability
     /// knowledge). Default: nothing.
-    fn maintain(&mut self, adt: &A, log: &mut UpdateLog<A::Update>, ctx: &EngineCtx) {
+    fn maintain<B: LogBackend<A>>(&mut self, adt: &A, log: &mut UpdateLog<A, B>, ctx: &EngineCtx) {
         let _ = (adt, log, ctx);
     }
 
@@ -140,7 +150,18 @@ pub trait RepairStrategy<A: UqAdt> {
     /// strategy's base, if it compacts). Must be cheap for strategies
     /// that maintain state incrementally; replaying strategies may
     /// recompute into a scratch buffer.
-    fn current_state(&mut self, adt: &A, log: &UpdateLog<A::Update>) -> &A::State;
+    fn current_state<B: LogBackend<A>>(&mut self, adt: &A, log: &UpdateLog<A, B>) -> &A::State;
+
+    /// Recovery: adopt a base snapshot persisted by an earlier run —
+    /// `state` is the fold of every update with `ts.clock ≤ bound`.
+    /// Returns whether the strategy can host a base; the default
+    /// (`false`) makes [`ReplicaEngine::recover`] reject snapshots for
+    /// strategies that fold from `s0` (only compacting strategies —
+    /// [`crate::gc::StableGc`] — ever wrote one).
+    fn install_base(&mut self, adt: &A, bound: u64, state: A::State) -> bool {
+        let _ = (adt, bound, state);
+        false
+    }
 
     /// Cumulative state-transition steps spent repairing (undo, redo,
     /// and fold steps) — the E8 observability metric. Strategies that
@@ -159,29 +180,83 @@ pub trait RepairStrategy<A: UqAdt> {
 
 /// The unified Algorithm 1 replica: owns the process id, the Lamport
 /// clock, and the timestamp-sorted update log; delegates state
-/// maintenance to a [`RepairStrategy`].
+/// maintenance to a [`RepairStrategy`] and durability to the log's
+/// [`LogBackend`] (default: the no-op [`MemBackend`]).
 ///
 /// The historical variant types are aliases or thin wrappers of this
 /// engine — see the [module docs](self) for the table.
 #[derive(Clone, Debug)]
-pub struct ReplicaEngine<A: UqAdt, S> {
+pub struct ReplicaEngine<A: UqAdt, S, B = MemBackend> {
     adt: A,
     pid: u32,
     clock: LamportClock,
-    log: UpdateLog<A::Update>,
+    log: UpdateLog<A, B>,
     strategy: S,
 }
 
 impl<A: UqAdt, S: RepairStrategy<A>> ReplicaEngine<A, S> {
-    /// Assemble an engine from its parts.
+    /// Assemble an engine from its parts, over the in-memory
+    /// [`MemBackend`] (the path every pre-refactor caller takes;
+    /// pinning the backend type here keeps those call sites
+    /// inference-clean).
     pub fn with_strategy(adt: A, pid: u32, strategy: S) -> Self {
+        Self::with_backend(adt, pid, strategy, MemBackend)
+    }
+}
+
+impl<A: UqAdt, S: RepairStrategy<A>, B: LogBackend<A>> ReplicaEngine<A, S, B> {
+    /// Assemble an engine over an explicit storage backend.
+    pub fn with_backend(adt: A, pid: u32, strategy: S, backend: B) -> Self {
         ReplicaEngine {
             adt,
             pid,
             clock: LamportClock::new(),
-            log: UpdateLog::new(),
+            log: UpdateLog::with_backend(backend),
             strategy,
         }
+    }
+
+    /// Rebuild an engine from a persistent backend: install the
+    /// compacted base (if one was ever written), replay the journaled
+    /// tail through the normal delivery path — `fold(base) +
+    /// replay(tail)` — and restore the Lamport clock to
+    /// `max(watermark, base bound, tail timestamps)`. Journaling is
+    /// suspended during the replay (the entries are already durable).
+    ///
+    /// # Panics
+    ///
+    /// If the backend holds a base snapshot but `strategy` cannot host
+    /// one ([`RepairStrategy::install_base`] returns `false`) — e.g. a
+    /// log compacted under [`crate::gc::StableGc`] reopened under a
+    /// fold-from-`s0` strategy would silently lose the folded prefix.
+    pub fn recover(adt: A, pid: u32, strategy: S, mut backend: B) -> Self {
+        let base = backend.load_base();
+        let tail = backend.scan_suffix();
+        let watermark = backend.clock_watermark();
+        let mut engine = Self::with_backend(adt, pid, strategy, backend);
+        engine.log.set_journaling(false);
+        if let Some((bound, state)) = base {
+            assert!(
+                engine.strategy.install_base(&engine.adt, bound, state),
+                "backend holds a base snapshot but the strategy cannot host one"
+            );
+            engine.clock.merge(bound);
+        }
+        engine.on_deliver_batch_owned(
+            tail.into_iter()
+                .map(|(ts, update)| UpdateMsg { ts, update })
+                .collect(),
+        );
+        engine.clock.merge(watermark);
+        engine.log.set_journaling(true);
+        engine
+    }
+
+    /// Flush the storage backend, persisting the current clock as the
+    /// recovery watermark. A no-op on [`MemBackend`] engines.
+    pub fn flush_backend(&mut self) {
+        let clock = self.clock.now();
+        self.log.flush_backend(clock);
     }
 
     fn ctx(&self) -> EngineCtx {
@@ -389,7 +464,7 @@ impl<A: UqAdt, S: RepairStrategy<A>> ReplicaEngine<A, S> {
     }
 
     /// Access the underlying log (ablation benches, witness tracing).
-    pub fn log(&self) -> &UpdateLog<A::Update> {
+    pub fn log(&self) -> &UpdateLog<A, B> {
         &self.log
     }
 
@@ -421,7 +496,7 @@ impl<A: UqAdt, S: RepairStrategy<A>> ReplicaEngine<A, S> {
 /// wait-free [`Replica`]. (The GC variant speaks
 /// [`GcMsg`](crate::message::GcMsg) and wraps the engine instead —
 /// see [`crate::gc::GcReplica`].)
-impl<A: UqAdt, S: RepairStrategy<A>> Replica<A> for ReplicaEngine<A, S> {
+impl<A: UqAdt, S: RepairStrategy<A>, B: LogBackend<A>> Replica<A> for ReplicaEngine<A, S, B> {
     type Msg = UpdateMsg<A::Update>;
 
     fn pid(&self) -> u32 {
@@ -620,19 +695,19 @@ mod tests {
             inserts: u64,
         }
         impl RepairStrategy<SetAdt<u32>> for Counting {
-            fn on_insert(
+            fn on_insert<B: LogBackend<SetAdt<u32>>>(
                 &mut self,
                 _adt: &SetAdt<u32>,
-                _log: &mut UpdateLog<SetUpdate<u32>>,
+                _log: &mut UpdateLog<SetAdt<u32>, B>,
                 _pos: usize,
                 _ctx: &EngineCtx,
             ) {
                 self.inserts += 1;
             }
-            fn current_state(
+            fn current_state<B: LogBackend<SetAdt<u32>>>(
                 &mut self,
                 adt: &SetAdt<u32>,
-                log: &UpdateLog<SetUpdate<u32>>,
+                log: &UpdateLog<SetAdt<u32>, B>,
             ) -> &BTreeSet<u32> {
                 self.scratch = adt.run_updates(log.iter().map(|(_, u)| u));
                 &self.scratch

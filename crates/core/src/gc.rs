@@ -20,6 +20,7 @@
 //! is the honest cost of stability tracking in a wait-free system and
 //! is measured by the E10 experiment.
 
+use crate::backend::LogBackend;
 use crate::engine::{EngineCtx, RepairStrategy, ReplicaEngine};
 use crate::log::UpdateLog;
 use crate::message::{GcMsg, UpdateMsg};
@@ -85,19 +86,32 @@ impl<A: UqAdt> StableGc<A> {
         self.fold_steps
     }
 
-    fn try_compact(&mut self, adt: &A, log: &mut UpdateLog<A::Update>) {
+    fn try_compact<B: LogBackend<A>>(&mut self, adt: &A, log: &mut UpdateLog<A, B>) {
         let new_bound = self.last_seen.iter().copied().min().unwrap_or(0);
         self.bound = self.bound.max(new_bound);
         let stable = log.drain_stable_prefix(self.bound);
+        if stable.is_empty() {
+            return;
+        }
         for (_, u) in &stable {
             adt.apply(&mut self.base, u);
             self.compacted += 1;
         }
+        // LSM-style persistence: snapshot the new base and hand the
+        // retained suffix to the backend as the live tail (a no-op on
+        // the in-memory backend).
+        log.persist_base(self.bound, &self.base);
     }
 }
 
 impl<A: UqAdt> RepairStrategy<A> for StableGc<A> {
-    fn on_insert(&mut self, adt: &A, log: &mut UpdateLog<A::Update>, pos: usize, _ctx: &EngineCtx) {
+    fn on_insert<B: LogBackend<A>>(
+        &mut self,
+        adt: &A,
+        log: &mut UpdateLog<A, B>,
+        pos: usize,
+        _ctx: &EngineCtx,
+    ) {
         debug_assert!(
             log.get(pos)
                 .map(|(ts, _)| ts.clock > self.bound)
@@ -119,17 +133,30 @@ impl<A: UqAdt> RepairStrategy<A> for StableGc<A> {
         }
     }
 
-    fn maintain(&mut self, adt: &A, log: &mut UpdateLog<A::Update>, _ctx: &EngineCtx) {
+    fn maintain<B: LogBackend<A>>(&mut self, adt: &A, log: &mut UpdateLog<A, B>, _ctx: &EngineCtx) {
         self.try_compact(adt, log);
     }
 
-    fn current_state(&mut self, adt: &A, log: &UpdateLog<A::Update>) -> &A::State {
+    fn current_state<B: LogBackend<A>>(&mut self, adt: &A, log: &UpdateLog<A, B>) -> &A::State {
         if self.scratch_dirty {
             self.fold_steps += log.len() as u64;
             self.scratch = adt.run_updates_from(self.base.clone(), log.iter().map(|(_, u)| u));
             self.scratch_dirty = false;
         }
         &self.scratch
+    }
+
+    /// Recovery: adopt a base persisted by an earlier run's
+    /// compaction. Stability knowledge (`last_seen`) is *not*
+    /// persisted, so the bound cannot advance until every peer's clock
+    /// is heard again — conservative, never unsound (the restored
+    /// bound still blocks re-compaction below it, and entries at or
+    /// below it were already folded).
+    fn install_base(&mut self, _adt: &A, bound: u64, state: A::State) -> bool {
+        self.base = state;
+        self.bound = bound;
+        self.scratch_dirty = true;
+        true
     }
 }
 

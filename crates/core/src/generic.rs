@@ -12,6 +12,7 @@
 //! ([`crate::cached::CheckpointRepair`], [`crate::undo::UndoRepair`],
 //! [`crate::gc::StableGc`]).
 
+use crate::backend::LogBackend;
 use crate::engine::{EngineCtx, RepairStrategy, ReplicaEngine};
 use crate::log::UpdateLog;
 use uc_spec::UqAdt;
@@ -36,10 +37,10 @@ impl<A: UqAdt> NaiveReplay<A> {
 }
 
 impl<A: UqAdt> RepairStrategy<A> for NaiveReplay<A> {
-    fn on_insert(
+    fn on_insert<B: LogBackend<A>>(
         &mut self,
         _adt: &A,
-        _log: &mut UpdateLog<A::Update>,
+        _log: &mut UpdateLog<A, B>,
         _pos: usize,
         _ctx: &EngineCtx,
     ) {
@@ -53,7 +54,7 @@ impl<A: UqAdt> RepairStrategy<A> for NaiveReplay<A> {
         true
     }
 
-    fn current_state(&mut self, adt: &A, log: &UpdateLog<A::Update>) -> &A::State {
+    fn current_state<B: LogBackend<A>>(&mut self, adt: &A, log: &UpdateLog<A, B>) -> &A::State {
         self.scratch = adt.run_updates(log.iter().map(|(_, u)| u));
         &self.scratch
     }

@@ -10,6 +10,7 @@
 //! |--------|----------|-------|
 //! | [`timestamp`] | `(clock, pid)` Lamport timestamps, the total order on updates | §VII-B |
 //! | [`log`] | the timestamp-sorted update log `updates_i`, with batched merge | Alg. 1 |
+//! | [`backend`] | [`LogBackend`]/[`BackendFactory`] — pluggable log + GC-base storage ([`MemBackend`] default; on-disk segments live in `uc-storage`) | persistence |
 //! | [`engine`] | [`ReplicaEngine`] — Algorithm 1's shared core (pid, clock, log) + the [`RepairStrategy`] hook trait + batched delivery | Alg. 1, §VII-C |
 //! | [`generic`] | [`NaiveReplay`] strategy; [`GenericReplica`] — Algorithm 1 verbatim (naive query replay) | Alg. 1 |
 //! | [`cached`] | [`CheckpointRepair`] strategy; [`CachedReplica`] — checkpointed incremental state | §VII-C |
@@ -33,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cached;
 pub mod convergence;
 pub mod engine;
@@ -48,6 +50,7 @@ pub mod store;
 pub mod timestamp;
 pub mod undo;
 
+pub use backend::{BackendFactory, LogBackend, MemBackend, MemFactory};
 pub use cached::{CachedReplica, CheckpointRepair};
 pub use engine::{EngineCtx, RepairStrategy, ReplicaEngine};
 pub use gc::{GcReplica, StableGc};

@@ -1,32 +1,80 @@
-//! The timestamp-sorted update log (`updates_i` in Algorithm 1).
+//! The timestamp-sorted update log (`updates_i` in Algorithm 1),
+//! split into an **in-memory sorted index** plus a pluggable
+//! [`LogBackend`].
 //!
 //! Algorithm 1 keeps the set of known updates sorted by `(cl, j)`; the
 //! interesting operation is *insertion of a late message* — an update
 //! whose timestamp orders before entries that are already present.
 //! The position returned by [`UpdateLog::insert`] tells the caching
 //! and undo variants how much suffix they must repair.
+//!
+//! Since the storage refactor, every mutation is mirrored into the
+//! log's backend: fresh entries are journaled in arrival order
+//! ([`LogBackend::append`] / [`LogBackend::append_batch`] — exactly
+//! the deduplicated set, so the zero-copy owned paths stay zero-copy),
+//! and [`UpdateLog::persist_base`] forwards a GC compaction to
+//! [`LogBackend::truncate_to_base`]. The default [`MemBackend`]
+//! compiles all of that to nothing, preserving the pre-refactor
+//! `Vec`-only hot path.
 
+use crate::backend::{LogBackend, MemBackend};
 use crate::message::UpdateMsg;
 use crate::timestamp::Timestamp;
+use uc_spec::UqAdt;
 
-/// A timestamp-ordered log of updates.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct UpdateLog<U> {
-    entries: Vec<(Timestamp, U)>,
+/// A timestamp-ordered log of updates: in-memory sorted index +
+/// durability backend. See the [module docs](self).
+#[derive(Clone, Debug)]
+pub struct UpdateLog<A: UqAdt, B = MemBackend> {
+    entries: Vec<(Timestamp, A::Update)>,
+    backend: B,
+    /// `false` only while recovery replays journaled entries — the
+    /// entries are already on disk and must not be re-appended.
+    journaling: bool,
 }
 
-impl<U> Default for UpdateLog<U> {
+/// Log equality is *index* equality: two logs with the same sorted
+/// entries are the same log regardless of where they persist.
+impl<A: UqAdt, B> PartialEq for UpdateLog<A, B> {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl<A: UqAdt, B> Eq for UpdateLog<A, B> {}
+
+impl<A: UqAdt, B: Default> Default for UpdateLog<A, B> {
     fn default() -> Self {
         UpdateLog {
             entries: Vec::new(),
+            backend: B::default(),
+            journaling: true,
         }
     }
 }
 
-impl<U: Clone> UpdateLog<U> {
-    /// An empty log.
-    pub fn new() -> Self {
+impl<A: UqAdt, B: LogBackend<A>> UpdateLog<A, B> {
+    /// An empty log over a default-constructed backend.
+    pub fn new() -> Self
+    where
+        B: Default,
+    {
         Self::default()
+    }
+
+    /// An empty log over an explicit backend (the persistent path).
+    pub fn with_backend(backend: B) -> Self {
+        UpdateLog {
+            entries: Vec::new(),
+            backend,
+            journaling: true,
+        }
+    }
+
+    /// Suspend / resume journaling. Recovery replays entries that are
+    /// already durable; re-appending them would double the journal.
+    pub(crate) fn set_journaling(&mut self, on: bool) {
+        self.journaling = on;
     }
 
     /// Number of entries.
@@ -43,10 +91,13 @@ impl<U: Clone> UpdateLog<U> {
     /// the insertion position, or `None` if the timestamp was already
     /// present (reliable broadcast delivers once, but being defensive
     /// costs one comparison).
-    pub fn insert(&mut self, msg: &UpdateMsg<U>) -> Option<usize> {
+    pub fn insert(&mut self, msg: &UpdateMsg<A::Update>) -> Option<usize> {
         match self.entries.binary_search_by(|(ts, _)| ts.cmp(&msg.ts)) {
             Ok(_) => None,
             Err(pos) => {
+                if self.journaling {
+                    self.backend.append(msg.ts, &msg.update);
+                }
                 self.entries.insert(pos, (msg.ts, msg.update.clone()));
                 Some(pos)
             }
@@ -56,10 +107,13 @@ impl<U: Clone> UpdateLog<U> {
     /// [`UpdateLog::insert`] for a message the caller already owns:
     /// the update moves into the log instead of being cloned — the
     /// zero-copy hot path taken by owned batch delivery.
-    pub fn insert_owned(&mut self, msg: UpdateMsg<U>) -> Option<usize> {
+    pub fn insert_owned(&mut self, msg: UpdateMsg<A::Update>) -> Option<usize> {
         match self.entries.binary_search_by(|(ts, _)| ts.cmp(&msg.ts)) {
             Ok(_) => None,
             Err(pos) => {
+                if self.journaling {
+                    self.backend.append(msg.ts, &msg.update);
+                }
                 self.entries.insert(pos, (msg.ts, msg.update));
                 Some(pos)
             }
@@ -73,10 +127,13 @@ impl<U: Clone> UpdateLog<U> {
     /// confuse a rejected duplicate with a valid position (a duplicate
     /// used to be reported as `entries.len()`, which repair logic
     /// would happily treat as an in-order insert).
-    pub fn push_newest(&mut self, msg: &UpdateMsg<U>) -> Option<usize> {
+    pub fn push_newest(&mut self, msg: &UpdateMsg<A::Update>) -> Option<usize> {
         match self.entries.last() {
             Some((last, _)) if *last >= msg.ts => self.insert(msg),
             _ => {
+                if self.journaling {
+                    self.backend.append(msg.ts, &msg.update);
+                }
                 self.entries.push((msg.ts, msg.update.clone()));
                 Some(self.entries.len() - 1)
             }
@@ -96,8 +153,8 @@ impl<U: Clone> UpdateLog<U> {
     /// versus `O(k·(log n + n))` worst case for `k` separate
     /// [`UpdateLog::insert`] calls (each may memmove the tail) and
     /// `O(s log s)` for the previous sort-the-suffix merge.
-    pub fn insert_batch(&mut self, msgs: &[UpdateMsg<U>]) -> Option<usize> {
-        let mut fresh: Vec<(Timestamp, U)> = Vec::with_capacity(msgs.len());
+    pub fn insert_batch(&mut self, msgs: &[UpdateMsg<A::Update>]) -> Option<usize> {
+        let mut fresh: Vec<(Timestamp, A::Update)> = Vec::with_capacity(msgs.len());
         for m in msgs {
             if self
                 .entries
@@ -112,8 +169,8 @@ impl<U: Clone> UpdateLog<U> {
 
     /// [`UpdateLog::insert_batch`] for a burst the caller already
     /// owns: fresh updates move into the log instead of being cloned.
-    pub fn insert_batch_owned(&mut self, msgs: Vec<UpdateMsg<U>>) -> Option<usize> {
-        let mut fresh: Vec<(Timestamp, U)> = Vec::with_capacity(msgs.len());
+    pub fn insert_batch_owned(&mut self, msgs: Vec<UpdateMsg<A::Update>>) -> Option<usize> {
+        let mut fresh: Vec<(Timestamp, A::Update)> = Vec::with_capacity(msgs.len());
         for m in msgs {
             if self
                 .entries
@@ -127,15 +184,21 @@ impl<U: Clone> UpdateLog<U> {
     }
 
     /// Shared tail of the batched-insert paths: sort and dedup the
-    /// fresh entries (none of which is present in the log), then merge
-    /// them with the dirty suffix in one linear pass. Runs that
-    /// straddle the end (`fresh` all-newer, or the suffix exhausted
-    /// mid-merge) are moved with a bulk `extend` instead of per-entry
-    /// pushes.
-    fn merge_fresh(&mut self, mut fresh: Vec<(Timestamp, U)>) -> Option<usize> {
+    /// fresh entries (none of which is present in the log), journal
+    /// exactly that set, then merge them with the dirty suffix in one
+    /// linear pass. Runs that straddle the end (`fresh` all-newer, or
+    /// the suffix exhausted mid-merge) are moved with a bulk `extend`
+    /// instead of per-entry pushes.
+    fn merge_fresh(&mut self, mut fresh: Vec<(Timestamp, A::Update)>) -> Option<usize> {
         fresh.sort_unstable_by_key(|(ts, _)| *ts);
         fresh.dedup_by_key(|(ts, _)| *ts);
         let min_ts = fresh.first()?.0;
+        if self.journaling {
+            // Journaled *before* the merge consumes the batch, so the
+            // owned path stays zero-copy in memory (the backend only
+            // borrows to encode).
+            self.backend.append_batch(&fresh);
+        }
         let min_pos = self.entries.partition_point(|(ts, _)| *ts < min_ts);
         if min_pos == self.entries.len() {
             // Pure append: the whole batch is newer than the log.
@@ -161,12 +224,12 @@ impl<U: Clone> UpdateLog<U> {
     }
 
     /// The entries in timestamp order.
-    pub fn iter(&self) -> impl Iterator<Item = &(Timestamp, U)> {
+    pub fn iter(&self) -> impl Iterator<Item = &(Timestamp, A::Update)> {
         self.entries.iter()
     }
 
     /// Entry at a position.
-    pub fn get(&self, pos: usize) -> Option<&(Timestamp, U)> {
+    pub fn get(&self, pos: usize) -> Option<&(Timestamp, A::Update)> {
         self.entries.get(pos)
     }
 
@@ -176,10 +239,32 @@ impl<U: Clone> UpdateLog<U> {
     }
 
     /// Remove and return the prefix of entries with `ts.clock ≤ bound`
-    /// — the stable prefix for garbage collection.
-    pub fn drain_stable_prefix(&mut self, bound: u64) -> Vec<(Timestamp, U)> {
+    /// — the stable prefix for garbage collection. Callers that folded
+    /// the prefix into a base must follow up with
+    /// [`UpdateLog::persist_base`] so a persistent backend can compact.
+    pub fn drain_stable_prefix(&mut self, bound: u64) -> Vec<(Timestamp, A::Update)> {
         let cut = self.entries.partition_point(|(ts, _)| ts.clock <= bound);
         self.entries.drain(..cut).collect()
+    }
+
+    /// Persist a compacted base: `state` is the fold of every update
+    /// with `ts.clock ≤ bound` (all of which have been drained); the
+    /// retained entries are handed to the backend as the live tail.
+    pub fn persist_base(&mut self, bound: u64, state: &A::State) {
+        if self.journaling {
+            self.backend.truncate_to_base(bound, state, &self.entries);
+        }
+    }
+
+    /// Flush the backend, persisting `clock` as the recovery
+    /// watermark. A no-op for [`MemBackend`].
+    pub fn flush_backend(&mut self, clock: u64) {
+        self.backend.flush(clock);
+    }
+
+    /// Direct backend access (recovery and tests).
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
     }
 }
 
@@ -187,7 +272,25 @@ impl<U: Clone> UpdateLog<U> {
 mod tests {
     use super::*;
 
-    fn msg(clock: u64, pid: u32, u: &str) -> UpdateMsg<&str> {
+    /// A minimal UQ-ADT over `&'static str` updates, so the log can be
+    /// unit-tested without dragging in a real state machine.
+    #[derive(Clone, Debug)]
+    struct StrAdt;
+
+    impl UqAdt for StrAdt {
+        type Update = &'static str;
+        type QueryIn = ();
+        type QueryOut = ();
+        type State = ();
+
+        fn initial(&self) -> Self::State {}
+        fn apply(&self, _state: &mut Self::State, _update: &Self::Update) {}
+        fn observe(&self, _state: &Self::State, _query: &Self::QueryIn) -> Self::QueryOut {}
+    }
+
+    type Log = UpdateLog<StrAdt>;
+
+    fn msg(clock: u64, pid: u32, u: &'static str) -> UpdateMsg<&'static str> {
         UpdateMsg {
             ts: Timestamp::new(clock, pid),
             update: u,
@@ -196,7 +299,7 @@ mod tests {
 
     #[test]
     fn insert_keeps_order() {
-        let mut log = UpdateLog::new();
+        let mut log = Log::new();
         assert_eq!(log.insert(&msg(2, 0, "b")), Some(0));
         assert_eq!(log.insert(&msg(1, 0, "a")), Some(0)); // late message
         assert_eq!(log.insert(&msg(3, 0, "c")), Some(2));
@@ -206,7 +309,7 @@ mod tests {
 
     #[test]
     fn duplicate_timestamps_rejected() {
-        let mut log = UpdateLog::new();
+        let mut log = Log::new();
         assert!(log.insert(&msg(1, 0, "a")).is_some());
         assert!(log.insert(&msg(1, 0, "a")).is_none());
         assert_eq!(log.len(), 1);
@@ -214,7 +317,7 @@ mod tests {
 
     #[test]
     fn pid_breaks_clock_ties() {
-        let mut log = UpdateLog::new();
+        let mut log = Log::new();
         log.insert(&msg(1, 1, "one"));
         log.insert(&msg(1, 0, "zero"));
         let order: Vec<&str> = log.iter().map(|(_, u)| *u).collect();
@@ -223,7 +326,7 @@ mod tests {
 
     #[test]
     fn push_newest_fast_path_and_fallback() {
-        let mut log = UpdateLog::new();
+        let mut log = Log::new();
         assert_eq!(log.push_newest(&msg(1, 0, "a")), Some(0));
         assert_eq!(log.push_newest(&msg(2, 0, "b")), Some(1));
         // wrong claim: older than the last entry → sorted insertion
@@ -234,7 +337,7 @@ mod tests {
 
     #[test]
     fn push_newest_reports_duplicates_as_none() {
-        let mut log = UpdateLog::new();
+        let mut log = Log::new();
         assert_eq!(log.push_newest(&msg(1, 0, "a")), Some(0));
         assert_eq!(log.push_newest(&msg(1, 0, "a")), None);
         assert_eq!(log.len(), 1);
@@ -242,7 +345,7 @@ mod tests {
 
     #[test]
     fn insert_batch_merges_and_reports_min_position() {
-        let mut log = UpdateLog::new();
+        let mut log = Log::new();
         log.insert(&msg(2, 0, "b"));
         log.insert(&msg(5, 0, "e"));
         log.insert(&msg(9, 0, "i"));
@@ -261,7 +364,7 @@ mod tests {
 
     #[test]
     fn insert_batch_of_duplicates_is_none() {
-        let mut log = UpdateLog::new();
+        let mut log = Log::new();
         log.insert(&msg(1, 0, "a"));
         assert_eq!(log.insert_batch(&[msg(1, 0, "a"), msg(1, 0, "a")]), None);
         assert_eq!(log.insert_batch(&[]), None);
@@ -270,7 +373,7 @@ mod tests {
 
     #[test]
     fn insert_batch_all_newer_appends() {
-        let mut log = UpdateLog::new();
+        let mut log = Log::new();
         log.insert(&msg(1, 0, "a"));
         assert_eq!(log.insert_batch(&[msg(3, 1, "c"), msg(2, 1, "b")]), Some(1));
         let order: Vec<&str> = log.iter().map(|(_, u)| *u).collect();
@@ -279,8 +382,8 @@ mod tests {
 
     #[test]
     fn owned_insert_paths_match_borrowed() {
-        let mut by_ref = UpdateLog::new();
-        let mut by_move = UpdateLog::new();
+        let mut by_ref = Log::new();
+        let mut by_move = Log::new();
         let batch = [
             msg(7, 0, "g"),
             msg(3, 0, "c"),
@@ -303,7 +406,7 @@ mod tests {
     fn insert_batch_interleaved_runs_merge_in_order() {
         // Fresh entries alternate with retained ones, so the merge
         // must interleave (neither bulk-extend fast path applies).
-        let mut log = UpdateLog::new();
+        let mut log = Log::new();
         for c in [2u64, 4, 6, 8] {
             log.insert(&msg(c, 0, "old"));
         }
@@ -315,7 +418,7 @@ mod tests {
 
     #[test]
     fn drain_stable_prefix_cuts_by_clock() {
-        let mut log = UpdateLog::new();
+        let mut log = Log::new();
         log.insert(&msg(1, 0, "a"));
         log.insert(&msg(2, 1, "b"));
         log.insert(&msg(5, 0, "c"));
@@ -323,5 +426,86 @@ mod tests {
         assert_eq!(stable.len(), 2);
         assert_eq!(log.len(), 1);
         assert_eq!(log.get(0).unwrap().1, "c");
+    }
+
+    /// A backend that records what it was asked to journal, so the
+    /// mirroring contract is testable without disk.
+    #[derive(Clone, Debug, Default)]
+    struct Recording {
+        appended: Vec<(Timestamp, &'static str)>,
+        bases: Vec<(u64, usize)>, // (bound, tail length)
+        flushes: Vec<u64>,
+    }
+
+    impl LogBackend<StrAdt> for Recording {
+        fn append(&mut self, ts: Timestamp, u: &&'static str) {
+            self.appended.push((ts, u));
+        }
+
+        fn truncate_to_base(
+            &mut self,
+            bound: u64,
+            _state: &(),
+            tail: &[(Timestamp, &'static str)],
+        ) {
+            self.bases.push((bound, tail.len()));
+        }
+
+        fn flush(&mut self, clock: u64) {
+            self.flushes.push(clock);
+        }
+
+        fn load_base(&mut self) -> Option<(u64, ())> {
+            None
+        }
+
+        fn scan_suffix(&mut self) -> Vec<(Timestamp, &'static str)> {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn backend_sees_exactly_the_fresh_entries() {
+        let mut log: UpdateLog<StrAdt, Recording> = UpdateLog::with_backend(Recording::default());
+        log.insert(&msg(2, 0, "b"));
+        log.insert(&msg(2, 0, "b")); // duplicate: not journaled
+        log.push_newest(&msg(5, 0, "e"));
+        // Batch with one in-log duplicate and one internal duplicate:
+        // only the two genuinely fresh entries reach the journal.
+        log.insert_batch(&[
+            msg(3, 0, "c"),
+            msg(5, 0, "e"),
+            msg(3, 0, "c"),
+            msg(7, 0, "g"),
+        ]);
+        let journaled: Vec<&str> = log.backend_mut().appended.iter().map(|(_, u)| *u).collect();
+        assert_eq!(journaled, vec!["b", "e", "c", "g"]);
+    }
+
+    #[test]
+    fn journaling_can_be_suspended_for_recovery_replay() {
+        let mut log: UpdateLog<StrAdt, Recording> = UpdateLog::with_backend(Recording::default());
+        log.set_journaling(false);
+        log.insert(&msg(1, 0, "a"));
+        log.insert_batch(&[msg(2, 0, "b")]);
+        assert!(log.backend_mut().appended.is_empty());
+        log.set_journaling(true);
+        log.insert(&msg(3, 0, "c"));
+        assert_eq!(log.backend_mut().appended.len(), 1);
+    }
+
+    #[test]
+    fn persist_base_hands_bound_and_tail_to_backend() {
+        let mut log: UpdateLog<StrAdt, Recording> = UpdateLog::with_backend(Recording::default());
+        for c in 1..=5u64 {
+            log.insert(&msg(c, 0, "x"));
+        }
+        let drained = log.drain_stable_prefix(3);
+        assert_eq!(drained.len(), 3);
+        log.persist_base(3, &());
+        log.flush_backend(9);
+        let b = log.backend_mut();
+        assert_eq!(b.bases, vec![(3, 2)]);
+        assert_eq!(b.flushes, vec![9]);
     }
 }

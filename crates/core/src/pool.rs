@@ -44,6 +44,7 @@
 //! under the threaded cluster (real ingest concurrency) and the
 //! deterministic simulator.
 
+use crate::backend::{BackendFactory, MemFactory};
 use crate::message::UpdateMsg;
 use crate::store::{
     collapse_heartbeats, shard_index, split_by_shard, Key, Shard, StoreInput, StoreMsg,
@@ -174,7 +175,7 @@ type Bucket<A> = Vec<(Key, UpdateMsg<<A as UqAdt>::Update>)>;
 type ShardBuckets<A> = Vec<(usize, Bucket<A>)>;
 
 /// The shards one worker owns, tagged with global shard indices.
-type OwnedShards<A, S> = Vec<(usize, Shard<A, S>)>;
+type OwnedShards<A, S, B> = Vec<(usize, Shard<A, S, B>)>;
 
 /// One unit of work on a worker's queue.
 enum Job<A: UqAdt> {
@@ -200,23 +201,43 @@ enum Job<A: UqAdt> {
     Heartbeat { pid: u32, clock: u64 },
     /// Run per-key maintenance (compaction) on every engine.
     Maintain,
+    /// Flush every engine's storage backend (durability point).
+    FlushBackends,
     /// Flush barrier: ack once every earlier job on this queue is done.
     Barrier(Sender<()>),
 }
 
 /// Everything a worker owns: its shards plus what engine creation
 /// needs on first touch of a key.
-struct WorkerState<A: UqAdt, F: StrategyFactory<A>> {
+struct WorkerState<A: UqAdt, F: StrategyFactory<A>, P: BackendFactory<A>> {
     /// `(global shard index, shard)`, in ascending index order.
-    shards: OwnedShards<A, F::Strategy>,
+    shards: OwnedShards<A, F::Strategy, P::Backend>,
     adt: A,
     pid: u32,
     factory: F,
+    persist: P,
+}
+
+/// Flush every engine backend of a worker's owned shards — shared by
+/// the `FlushBackends` job and both worker-exit paths (drain-on-drop
+/// and poisoning), so the flush discipline cannot drift between them.
+fn flush_owned_shards<A, S, B>(shards: &mut [(usize, Shard<A, S, B>)])
+where
+    A: UqAdt + Clone,
+    S: crate::engine::RepairStrategy<A>,
+    B: crate::backend::LogBackend<A>,
+{
+    for (_, shard) in shards {
+        shard.flush_backends();
+    }
 }
 
 /// Find `global` among a worker's owned shards (a handful of entries;
 /// linear scan beats hashing).
-fn shard_mut<A: UqAdt, S>(shards: &mut [(usize, Shard<A, S>)], global: usize) -> &mut Shard<A, S> {
+fn shard_mut<A: UqAdt, S, B>(
+    shards: &mut [(usize, Shard<A, S, B>)],
+    global: usize,
+) -> &mut Shard<A, S, B> {
     let slot = shards
         .iter()
         .position(|(idx, _)| *idx == global)
@@ -224,17 +245,26 @@ fn shard_mut<A: UqAdt, S>(shards: &mut [(usize, Shard<A, S>)], global: usize) ->
     &mut shards[slot].1
 }
 
-impl<A, F> WorkerState<A, F>
+impl<A, F, P> WorkerState<A, F, P>
 where
     A: UqAdt + Clone,
     F: StrategyFactory<A>,
+    P: BackendFactory<A>,
 {
+    /// Flush every owned engine's storage backend (both worker-exit
+    /// paths run this, so no join ever leaves an unsynced segment
+    /// behind; the `FlushBackends` job shares the same helper).
+    fn flush_backends(&mut self) {
+        flush_owned_shards(&mut self.shards);
+    }
+
     fn run(&mut self, job: Job<A>, counters: &SharedCounters) {
         let WorkerState {
             shards,
             adt,
             pid,
             factory,
+            persist,
         } = self;
         match job {
             Job::Ingest(buckets) => {
@@ -243,13 +273,13 @@ where
                     counters
                         .messages
                         .fetch_add(bucket.len() as u64, Ordering::Relaxed);
-                    shard_mut(shards, global).ingest(bucket, adt, *pid, factory);
+                    shard_mut(shards, global).ingest(bucket, adt, *pid, factory, persist);
                 }
             }
             Job::Update { shard, key, msg } => {
                 counters.messages.fetch_add(1, Ordering::Relaxed);
                 shard_mut(shards, shard)
-                    .engine_mut(key, adt, *pid, factory)
+                    .engine_mut(key, adt, *pid, factory, persist)
                     .local_update_at(msg.ts, msg.update);
             }
             Job::Query {
@@ -261,7 +291,8 @@ where
             } => {
                 let sh = shard_mut(shards, shard);
                 let out = if sh.objects.contains_key(&key) {
-                    sh.engine_mut(key, adt, *pid, factory).do_query_at(now, &q)
+                    sh.engine_mut(key, adt, *pid, factory, persist)
+                        .do_query_at(now, &q)
                 } else {
                     // Untouched keys answer from the initial state
                     // without materializing an engine (same as
@@ -283,6 +314,9 @@ where
                     shard.tick_maintenance();
                 }
             }
+            Job::FlushBackends => {
+                flush_owned_shards(shards);
+            }
             Job::Barrier(reply) => {
                 let _ = reply.send(());
             }
@@ -291,19 +325,23 @@ where
 }
 
 /// Worker main loop: drain jobs until every sender is gone (drop or
-/// [`IngestPool::finish`]), then hand the shards back through the
-/// join handle. A panicking job records its payload in `poison` and
-/// exits immediately — dropping the receiver disconnects the queue,
-/// so blocked or later submissions fail fast instead of deadlocking.
-fn worker_loop<A, F>(
-    mut state: WorkerState<A, F>,
+/// [`IngestPool::finish`]), flush every owned backend, then hand the
+/// shards back through the join handle. A panicking job records its
+/// payload in `poison`, **flushes the backends** (the journal entries
+/// appended before the panic are valid — only the in-memory fold is
+/// suspect, and recovery refolds from the journal anyway), and exits —
+/// dropping the receiver disconnects the queue, so blocked or later
+/// submissions fail fast instead of deadlocking.
+fn worker_loop<A, F, P>(
+    mut state: WorkerState<A, F, P>,
     rx: Receiver<Job<A>>,
     counters: Arc<SharedCounters>,
     poison: Arc<Mutex<Option<String>>>,
-) -> OwnedShards<A, F::Strategy>
+) -> OwnedShards<A, F::Strategy, P::Backend>
 where
     A: UqAdt + Clone,
     F: StrategyFactory<A>,
+    P: BackendFactory<A>,
 {
     while let Ok(job) = rx.recv() {
         let outcome = catch_unwind(AssertUnwindSafe(|| state.run(job, &counters)));
@@ -315,25 +353,37 @@ where
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "non-string panic payload".into());
             *poison.lock().unwrap_or_else(|p| p.into_inner()) = Some(message);
+            // A panicking shard must never leave an unsynced segment:
+            // flush before abandoning (under catch_unwind — a second
+            // panic must not tear the whole process down mid-poison).
+            let _ = catch_unwind(AssertUnwindSafe(|| state.flush_backends()));
             // The shards may hold a half-repaired engine; abandon them
             // rather than hand corrupt state back to `finish`.
             return Vec::new();
         }
     }
+    // Drain-on-drop / finish: everything queued has been applied; make
+    // it durable before the join completes.
+    state.flush_backends();
     state.shards
 }
 
-struct WorkerHandle<A: UqAdt, F: StrategyFactory<A>> {
+struct WorkerHandle<A: UqAdt, F: StrategyFactory<A>, P: BackendFactory<A>> {
     tx: Option<SyncSender<Job<A>>>,
-    thread: Option<JoinHandle<OwnedShards<A, F::Strategy>>>,
+    #[allow(clippy::type_complexity)]
+    thread: Option<JoinHandle<OwnedShards<A, F::Strategy, P::Backend>>>,
     counters: Arc<SharedCounters>,
     poison: Arc<Mutex<Option<String>>>,
 }
 
 /// The handle to a pooled [`UcStore`]: owns the store's clock and pid,
 /// routes work to the persistent shard workers, and reassembles the
-/// store on [`IngestPool::finish`]. See the [module docs](self).
-pub struct IngestPool<A, F>
+/// store on [`IngestPool::finish`]. Generic over the store's
+/// [`BackendFactory`], so pooled stores persist exactly like
+/// sequential ones (to reopen a persistent pooled store, use
+/// [`UcStore::reopen`] and pool the result). See the [module
+/// docs](self).
+pub struct IngestPool<A, F, P = MemFactory>
 where
     A: UqAdt + Clone + Send + 'static,
     A::Update: Send,
@@ -341,17 +391,27 @@ where
     A::QueryOut: Send,
     F: StrategyFactory<A> + Send + 'static,
     F::Strategy: Send + 'static,
+    P: BackendFactory<A> + Send + 'static,
+    P::Backend: Send + 'static,
 {
     adt: A,
     pid: u32,
     clock: LamportClock,
     factory: F,
+    persist: P,
+    /// Clock floor last persisted (see `reserve_clock`); `None` until
+    /// the first persist after spawn.
+    persisted_floor: Option<u64>,
     num_shards: usize,
-    workers: Vec<WorkerHandle<A, F>>,
+    workers: Vec<WorkerHandle<A, F, P>>,
     poisoned: Option<PoolError>,
 }
 
-impl<A, F> IngestPool<A, F>
+/// Same reservation width as the sequential store: one persisted
+/// floor write buys this many locally issued timestamps.
+const CLOCK_LEASE: u64 = 4096;
+
+impl<A, F, P> IngestPool<A, F, P>
 where
     A: UqAdt + Clone + Send + 'static,
     A::Update: Send,
@@ -359,11 +419,13 @@ where
     A::QueryOut: Send,
     F: StrategyFactory<A> + Send + 'static,
     F::Strategy: Send + 'static,
+    P: BackendFactory<A> + Send + 'static,
+    P::Backend: Send + 'static,
 {
     /// Move `store`'s shards onto `cfg.workers` long-lived threads
     /// (shard `i` pins to worker `i % workers`) and return the handle.
-    pub fn spawn(store: UcStore<A, F>, cfg: PoolConfig) -> Self {
-        let (adt, pid, clock, factory, shards) = store.into_parts();
+    pub fn spawn(store: UcStore<A, F, P>, cfg: PoolConfig) -> Self {
+        let (adt, pid, clock, factory, persist, shards) = store.into_parts();
         let num_shards = shards.len();
         let hw = std::thread::available_parallelism().map_or(1, |p| p.get());
         let workers = if cfg.workers == 0 { hw } else { cfg.workers }
@@ -371,7 +433,7 @@ where
             .max(1);
         let queue_depth = cfg.queue_depth.max(1);
 
-        let mut owned: Vec<OwnedShards<A, F::Strategy>> =
+        let mut owned: Vec<OwnedShards<A, F::Strategy, P::Backend>> =
             (0..workers).map(|_| Vec::new()).collect();
         for (idx, shard) in shards.into_iter().enumerate() {
             owned[idx % workers].push((idx, shard));
@@ -384,6 +446,7 @@ where
                     adt: adt.clone(),
                     pid,
                     factory: factory.clone(),
+                    persist: persist.clone(),
                 };
                 let (tx, rx) = std::sync::mpsc::sync_channel(queue_depth);
                 let counters = Arc::new(SharedCounters::default());
@@ -403,6 +466,8 @@ where
             pid,
             clock,
             factory,
+            persist,
+            persisted_floor: None,
             num_shards,
             workers: handles,
             poisoned: None,
@@ -459,6 +524,7 @@ where
     /// backpressure is the only blocking).
     pub fn update(&mut self, key: Key, u: A::Update) -> Result<StoreMsg<A::Update>, PoolError> {
         let ts = Timestamp::new(self.clock.tick(), self.pid);
+        self.reserve_clock(ts.clock);
         let shard = shard_index(key, self.num_shards);
         let msg = UpdateMsg { ts, update: u };
         self.send(
@@ -557,6 +623,44 @@ where
         Ok(())
     }
 
+    /// Flush every worker's storage backends and persist the handle's
+    /// clock watermark. Asynchronous — the job is enqueued in FIFO
+    /// order behind all prior submissions; follow with
+    /// [`IngestPool::flush`] to wait for durability. (Both worker-exit
+    /// paths — drain-on-drop and poisoning — also flush, so dropping
+    /// the handle never leaves an unsynced segment.)
+    pub fn flush_backends(&mut self) -> Result<(), PoolError> {
+        for worker in 0..self.workers.len() {
+            self.send(worker, Job::FlushBackends)?;
+        }
+        // Collapsing the floor from its lease to the actual clock is
+        // safe even though the flush jobs are asynchronous: the clock
+        // covers every timestamp the handle has issued, so it is a
+        // valid recovery floor regardless of what is still queued.
+        self.persist_clock_floor(self.clock.now());
+        Ok(())
+    }
+
+    /// Persist `floor` as the recovery clock floor, skipping the write
+    /// when unchanged (idle ticks cost no IO).
+    fn persist_clock_floor(&mut self, floor: u64) {
+        if self.persisted_floor != Some(floor) {
+            self.persist.persist_store_clock(floor);
+            self.persisted_floor = Some(floor);
+        }
+    }
+
+    /// Ensure the persisted recovery floor covers `issued` (leased
+    /// `CLOCK_LEASE` ahead) — same crash-soundness argument as
+    /// [`UcStore::reserve_clock`]: a broadcast timestamp must never be
+    /// re-issuable after a crash-reopen, or peers' dedup silently
+    /// drops the reissue and the cluster diverges.
+    fn reserve_clock(&mut self, issued: u64) {
+        if self.persisted_floor.is_none_or(|f| issued > f) {
+            self.persist_clock_floor(issued + CLOCK_LEASE);
+        }
+    }
+
     /// This replica's process id.
     pub fn pid(&self) -> u32 {
         self.pid
@@ -595,11 +699,12 @@ where
     /// Drain every queue, stop the workers, and reassemble the
     /// [`UcStore`] (its clock reflecting everything the pool stamped
     /// or ingested). Fails if any worker panicked.
-    pub fn finish(mut self) -> Result<UcStore<A, F>, PoolError> {
+    pub fn finish(mut self) -> Result<UcStore<A, F, P>, PoolError> {
         if let Some(err) = &self.poisoned {
             return Err(err.clone());
         }
-        let mut shards: Vec<Option<Shard<A, F::Strategy>>> =
+        #[allow(clippy::type_complexity)]
+        let mut shards: Vec<Option<Shard<A, F::Strategy, P::Backend>>> =
             (0..self.num_shards).map(|_| None).collect();
         for worker in 0..self.workers.len() {
             let w = &mut self.workers[worker];
@@ -632,21 +737,25 @@ where
             .into_iter()
             .collect::<Option<Vec<_>>>()
             .expect("every shard returned by exactly one worker");
+        // Workers flushed their backends before joining; persist the
+        // store-level watermark to match.
+        self.persist_clock_floor(self.clock.now());
         Ok(UcStore::from_parts(
             self.adt.clone(),
             self.pid,
             self.clock.clone(),
             self.factory.clone(),
+            self.persist.clone(),
             shards,
         ))
     }
 }
 
 /// Drain-on-drop: closing the queues lets every worker finish its
-/// backlog before exiting; the join guarantees no thread outlives the
-/// handle. Panics (ours or a worker's) are swallowed — `Drop` must
-/// not double-panic.
-impl<A, F> Drop for IngestPool<A, F>
+/// backlog — and flush its storage backends — before exiting; the join
+/// guarantees no thread outlives the handle. Panics (ours or a
+/// worker's) are swallowed — `Drop` must not double-panic.
+impl<A, F, P> Drop for IngestPool<A, F, P>
 where
     A: UqAdt + Clone + Send + 'static,
     A::Update: Send,
@@ -654,6 +763,8 @@ where
     A::QueryOut: Send,
     F: StrategyFactory<A> + Send + 'static,
     F::Strategy: Send + 'static,
+    P: BackendFactory<A> + Send + 'static,
+    P::Backend: Send + 'static,
 {
     fn drop(&mut self) {
         for w in &mut self.workers {
@@ -664,6 +775,7 @@ where
                 let _ = thread.join();
             }
         }
+        self.persist_clock_floor(self.clock.now());
     }
 }
 
@@ -676,7 +788,7 @@ where
 ///
 /// `Protocol` has no error channel; a poisoned pool panics with the
 /// underlying [`PoolError`] instead of silently dropping traffic.
-impl<A, F> Protocol for IngestPool<A, F>
+impl<A, F, P> Protocol for IngestPool<A, F, P>
 where
     A: UqAdt + Clone + Send + 'static,
     A::Update: Send,
@@ -684,6 +796,8 @@ where
     A::QueryOut: Send,
     F: StrategyFactory<A> + Send + 'static,
     F::Strategy: Send + 'static,
+    P: BackendFactory<A> + Send + 'static,
+    P::Backend: Send + 'static,
 {
     type Msg = StoreMsg<A::Update>;
     type Input = StoreInput<A>;
@@ -718,11 +832,14 @@ where
     }
 
     /// Timer-driven maintenance: announce the handle's clock to every
-    /// peer and enqueue a compaction sweep on every worker (same
-    /// poisoning contract as the other `Protocol` entry points).
+    /// peer and enqueue a compaction sweep plus a backend flush on
+    /// every worker (same poisoning contract as the other `Protocol`
+    /// entry points) — segment flushing rides the runtime's timer
+    /// wheel, no flusher thread.
     fn on_tick(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
         ctx.broadcast_others(self.heartbeat());
         self.tick_maintenance().unwrap_or_else(|e| panic!("{e}"));
+        self.flush_backends().unwrap_or_else(|e| panic!("{e}"));
     }
 }
 

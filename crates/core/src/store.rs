@@ -47,6 +47,7 @@
 //! Algorithm 1 variants are available as [`NaiveFactory`],
 //! [`CheckpointFactory`], [`UndoFactory`] and [`GcFactory`].
 
+use crate::backend::{BackendFactory, LogBackend, MemFactory};
 use crate::engine::{RepairStrategy, ReplicaEngine};
 use crate::gc::StableGc;
 use crate::generic::NaiveReplay;
@@ -272,37 +273,43 @@ pub(crate) fn collapse_heartbeats(mut hbs: Vec<(u32, u64)>) -> Vec<(u32, u64)> {
     hbs
 }
 
-/// One shard: the keys (and their engines) that hash to it. Crate
-/// visibility: shards are the unit of ownership the
-/// [`IngestPool`](crate::pool::IngestPool) hands to its persistent
+/// One shard: the keys (and their engines) that hash to it, plus its
+/// own global index (the coordinate backend factories open per-key
+/// storage under). Crate visibility: shards are the unit of ownership
+/// the [`IngestPool`](crate::pool::IngestPool) hands to its persistent
 /// workers.
 #[derive(Clone, Debug)]
-pub(crate) struct Shard<A: UqAdt, S> {
-    pub(crate) objects: HashMap<Key, ReplicaEngine<A, S>, BuildHasherDefault<FxHasher>>,
+pub(crate) struct Shard<A: UqAdt, S, B = crate::backend::MemBackend> {
+    pub(crate) idx: usize,
+    pub(crate) objects: HashMap<Key, ReplicaEngine<A, S, B>, BuildHasherDefault<FxHasher>>,
 }
 
-impl<A: UqAdt, S> Default for Shard<A, S> {
-    fn default() -> Self {
+impl<A: UqAdt, S, B> Shard<A, S, B> {
+    pub(crate) fn empty(idx: usize) -> Self {
         Shard {
+            idx,
             objects: HashMap::default(),
         }
     }
 }
 
-impl<A: UqAdt + Clone, S: RepairStrategy<A>> Shard<A, S> {
-    pub(crate) fn engine_mut<F>(
+impl<A: UqAdt + Clone, S: RepairStrategy<A>, B: LogBackend<A>> Shard<A, S, B> {
+    pub(crate) fn engine_mut<F, P>(
         &mut self,
         key: Key,
         adt: &A,
         pid: u32,
         factory: &F,
-    ) -> &mut ReplicaEngine<A, S>
+        persist: &P,
+    ) -> &mut ReplicaEngine<A, S, B>
     where
         F: StrategyFactory<A, Strategy = S>,
+        P: BackendFactory<A, Backend = B>,
     {
-        self.objects
-            .entry(key)
-            .or_insert_with(|| ReplicaEngine::with_strategy(adt.clone(), pid, factory.make(adt)))
+        let idx = self.idx;
+        self.objects.entry(key).or_insert_with(|| {
+            ReplicaEngine::with_backend(adt.clone(), pid, factory.make(adt), persist.open(idx, key))
+        })
     }
 
     /// Ingest one shard's sub-batch: stable-sort by key (preserving
@@ -310,14 +317,16 @@ impl<A: UqAdt + Clone, S: RepairStrategy<A>> Shard<A, S> {
     /// each key's contiguous run to its engine as **one** owned batch
     /// — one repair per key per burst, with the updates moved (never
     /// cloned) into the key's log via `UpdateLog::insert_batch_owned`.
-    pub(crate) fn ingest<F>(
+    pub(crate) fn ingest<F, P>(
         &mut self,
         mut bucket: Vec<(Key, UpdateMsg<A::Update>)>,
         adt: &A,
         pid: u32,
         factory: &F,
+        persist: &P,
     ) where
         F: StrategyFactory<A, Strategy = S>,
+        P: BackendFactory<A, Backend = B>,
     {
         bucket.sort_by_key(|(k, _)| *k);
         let mut iter = bucket.into_iter().peekable();
@@ -326,7 +335,7 @@ impl<A: UqAdt + Clone, S: RepairStrategy<A>> Shard<A, S> {
             while let Some((_, m)) = iter.next_if(|(k, _)| *k == key) {
                 msgs.push(m);
             }
-            self.engine_mut(key, adt, pid, factory)
+            self.engine_mut(key, adt, pid, factory, persist)
                 .on_deliver_batch_owned(msgs);
         }
     }
@@ -342,6 +351,13 @@ impl<A: UqAdt + Clone, S: RepairStrategy<A>> Shard<A, S> {
     pub(crate) fn tick_maintenance(&mut self) {
         for engine in self.objects.values_mut() {
             engine.tick_maintenance();
+        }
+    }
+
+    /// Flush every engine's storage backend (durability point).
+    pub(crate) fn flush_backends(&mut self) {
+        for engine in self.objects.values_mut() {
+            engine.flush_backend();
         }
     }
 }
@@ -383,15 +399,61 @@ pub(crate) fn split_by_shard<U>(
 }
 
 /// A sharded multi-object replica: one Algorithm 1 engine per key,
-/// one Lamport clock and pid for the whole store. See the [module
+/// one Lamport clock and pid for the whole store, one
+/// [`BackendFactory`] deciding where per-key logs and GC bases live
+/// (default: the in-memory [`MemFactory`]). See the [module
 /// docs](self) for the architecture.
-#[derive(Clone, Debug)]
-pub struct UcStore<A: UqAdt, F: StrategyFactory<A>> {
+pub struct UcStore<A: UqAdt, F: StrategyFactory<A>, P: BackendFactory<A> = MemFactory> {
     adt: A,
     pid: u32,
     clock: LamportClock,
     factory: F,
-    shards: Vec<Shard<A, F::Strategy>>,
+    persist: P,
+    /// Clock floor last persisted via
+    /// [`BackendFactory::persist_store_clock`] — see
+    /// [`UcStore::reserve_clock`]. `None` until the first persist.
+    persisted_floor: Option<u64>,
+    shards: Vec<Shard<A, F::Strategy, P::Backend>>,
+}
+
+/// How far ahead of the issued clock the persisted recovery floor is
+/// pushed on a local update: one floor write buys this many local
+/// timestamps before the next one.
+const CLOCK_LEASE: u64 = 4096;
+
+impl<A: UqAdt, F: StrategyFactory<A>, P: BackendFactory<A>> fmt::Debug for UcStore<A, F, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("UcStore")
+            .field("pid", &self.pid)
+            .field("clock", &self.clock.now())
+            .field("shards", &self.shards.len())
+            .field(
+                "keys",
+                &self.shards.iter().map(|s| s.objects.len()).sum::<usize>(),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl<A, F, P> Clone for UcStore<A, F, P>
+where
+    A: UqAdt + Clone,
+    F: StrategyFactory<A>,
+    F::Strategy: Clone,
+    P: BackendFactory<A>,
+    P::Backend: Clone,
+{
+    fn clone(&self) -> Self {
+        UcStore {
+            adt: self.adt.clone(),
+            pid: self.pid,
+            clock: self.clock.clone(),
+            factory: self.factory.clone(),
+            persist: self.persist.clone(),
+            persisted_floor: self.persisted_floor,
+            shards: self.shards.clone(),
+        }
+    }
 }
 
 impl<A, F> UcStore<A, F>
@@ -399,21 +461,127 @@ where
     A: UqAdt + Clone,
     F: StrategyFactory<A>,
 {
-    /// A fresh store for replica `pid` with `shards` shards (≥ 1).
+    /// A fresh in-memory store for replica `pid` with `shards` shards
+    /// (≥ 1). Pinned to [`MemFactory`] so pre-refactor call sites stay
+    /// inference-clean; use [`UcStore::with_persistence`] for a
+    /// persistent backend.
     ///
     /// # Panics
     ///
     /// On zero shards, or when the factory rejects the replica
     /// configuration ([`StrategyFactory::validate_replica`]).
     pub fn new(adt: A, pid: u32, shards: usize, factory: F) -> Self {
+        Self::with_persistence(adt, pid, shards, factory, MemFactory)
+    }
+}
+
+impl<A, F, P> UcStore<A, F, P>
+where
+    A: UqAdt + Clone,
+    F: StrategyFactory<A>,
+    P: BackendFactory<A>,
+{
+    /// A fresh store whose per-key logs live behind `persist`'s
+    /// backends (engines open theirs lazily, on first touch of a key).
+    ///
+    /// # Panics
+    ///
+    /// On zero shards, when the factory rejects the replica
+    /// configuration ([`StrategyFactory::validate_replica`]), or when
+    /// `persist` refuses the bind ([`BackendFactory::bind_replica`])
+    /// — in particular, a persistent factory pointed at a root that
+    /// already holds a bound store panics here: use
+    /// [`UcStore::reopen`] for surviving state.
+    pub fn with_persistence(adt: A, pid: u32, shards: usize, factory: F, persist: P) -> Self {
+        Self::assemble(adt, pid, shards, factory, persist, true)
+    }
+
+    fn assemble(adt: A, pid: u32, shards: usize, factory: F, persist: P, fresh: bool) -> Self {
         assert!(shards >= 1, "a store needs at least one shard");
         factory.validate_replica(pid);
+        persist.bind_replica(pid, shards, fresh);
         UcStore {
             adt,
             pid,
             clock: LamportClock::new(),
             factory,
-            shards: (0..shards).map(|_| Shard::default()).collect(),
+            persist,
+            persisted_floor: None,
+            shards: (0..shards).map(Shard::empty).collect(),
+        }
+    }
+
+    /// Reopen a store from its persisted state: every key `persist`
+    /// knows about is rebuilt as `fold(base) + replay(tail)`
+    /// ([`ReplicaEngine::recover`]), and the shared Lamport clock is
+    /// restored to the maximum of the store-level watermark and every
+    /// recovered engine's clock. The replica configuration (`pid`,
+    /// `shards`, strategy factory) must match the store that wrote the
+    /// state — shard routing is `hash(key) % shards`, so a different
+    /// shard count would look keys up in the wrong place; persistent
+    /// factories record the configuration on first use and panic on a
+    /// mismatch here ([`BackendFactory::bind_replica`]).
+    pub fn reopen(adt: A, pid: u32, shards: usize, factory: F, persist: P) -> Self {
+        let mut store = Self::assemble(adt, pid, shards, factory, persist, false);
+        let floor = store.persist.load_store_clock();
+        store.persisted_floor = Some(floor);
+        let mut clock = floor;
+        for si in 0..store.shards.len() {
+            for (key, backend) in store.persist.open_all(si) {
+                let engine = ReplicaEngine::recover(
+                    store.adt.clone(),
+                    pid,
+                    store.factory.make(&store.adt),
+                    backend,
+                );
+                clock = clock.max(engine.clock());
+                store.shards[si].objects.insert(key, engine);
+            }
+        }
+        store.clock.merge(clock);
+        store
+    }
+
+    /// Flush every engine's storage backend and persist the shared
+    /// clock watermark — the durability point. The runtimes call this
+    /// from [`Protocol::on_tick`], so segment flushing rides the
+    /// virtual timer wheel with no dedicated threads; a no-op for
+    /// in-memory stores.
+    ///
+    /// The persisted clock floor is collapsed from its lease back to
+    /// the actual clock: every timestamp issued so far just became
+    /// durable in some engine's journal (engines flush first), so the
+    /// exact value is a safe recovery floor again.
+    pub fn flush_backends(&mut self) {
+        for shard in &mut self.shards {
+            shard.flush_backends();
+        }
+        self.persist_clock_floor(self.clock.now());
+    }
+
+    /// Persist `floor` as the recovery clock floor, skipping the write
+    /// when it is already the persisted value (idle ticks cost no IO).
+    fn persist_clock_floor(&mut self, floor: u64) {
+        if self.persisted_floor != Some(floor) {
+            self.persist.persist_store_clock(floor);
+            self.persisted_floor = Some(floor);
+        }
+    }
+
+    /// Ensure the persisted recovery floor covers `issued`, leasing
+    /// [`CLOCK_LEASE`] clocks ahead so the floor write amortizes.
+    ///
+    /// This is what makes crash recovery sound for *broadcast*
+    /// timestamps: an update is stamped, broadcast, and only durable
+    /// at the next flush — without the floor, a crash inside that
+    /// window would reopen the store below timestamps its peers
+    /// already hold, and the re-issued duplicates would be silently
+    /// deduplicated away (permanent divergence). With it,
+    /// [`UcStore::reopen`] restores the clock to at least the floor,
+    /// which is at least every timestamp ever issued.
+    fn reserve_clock(&mut self, issued: u64) {
+        if self.persisted_floor.is_none_or(|f| issued > f) {
+            self.persist_clock_floor(issued + CLOCK_LEASE);
         }
     }
 
@@ -425,8 +593,24 @@ where
     /// Decompose the store into its parts (the pool takes ownership of
     /// the shards and hands them to its persistent workers).
     #[allow(clippy::type_complexity)]
-    pub(crate) fn into_parts(self) -> (A, u32, LamportClock, F, Vec<Shard<A, F::Strategy>>) {
-        (self.adt, self.pid, self.clock, self.factory, self.shards)
+    pub(crate) fn into_parts(
+        self,
+    ) -> (
+        A,
+        u32,
+        LamportClock,
+        F,
+        P,
+        Vec<Shard<A, F::Strategy, P::Backend>>,
+    ) {
+        (
+            self.adt,
+            self.pid,
+            self.clock,
+            self.factory,
+            self.persist,
+            self.shards,
+        )
     }
 
     /// Reassemble a store from parts returned by
@@ -436,7 +620,8 @@ where
         pid: u32,
         clock: LamportClock,
         factory: F,
-        shards: Vec<Shard<A, F::Strategy>>,
+        persist: P,
+        shards: Vec<Shard<A, F::Strategy, P::Backend>>,
     ) -> Self {
         assert!(!shards.is_empty(), "a store needs at least one shard");
         UcStore {
@@ -444,26 +629,33 @@ where
             pid,
             clock,
             factory,
+            persist,
+            // Unknown after a pool round-trip; the next reserve or
+            // flush re-persists (at worst one redundant small write).
+            persisted_floor: None,
             shards,
         }
     }
 
-    fn engine_mut(&mut self, key: Key) -> &mut ReplicaEngine<A, F::Strategy> {
+    fn engine_mut(&mut self, key: Key) -> &mut ReplicaEngine<A, F::Strategy, P::Backend> {
         let si = self.shard_of(key);
         let UcStore {
             adt,
             pid,
             factory,
+            persist,
             shards,
             ..
         } = self;
-        shards[si].engine_mut(key, adt, *pid, factory)
+        shards[si].engine_mut(key, adt, *pid, factory, persist)
     }
 
-    /// Perform a local update on `key`: tick the shared clock, stamp,
+    /// Perform a local update on `key`: tick the shared clock, stamp
+    /// (reserving the clock floor — see [`UcStore::reserve_clock`]),
     /// apply to the key's engine, and return the broadcast message.
     pub fn update(&mut self, key: Key, u: A::Update) -> StoreMsg<A::Update> {
         let ts = Timestamp::new(self.clock.tick(), self.pid);
+        self.reserve_clock(ts.clock);
         let msg = self.engine_mut(key).local_update_at(ts, u);
         StoreMsg::Update { key, msg }
     }
@@ -523,12 +715,13 @@ where
             adt,
             pid,
             factory,
+            persist,
             shards,
             ..
         } = self;
         for (shard, bucket) in shards.iter_mut().zip(buckets) {
             if !bucket.is_empty() {
-                shard.ingest(bucket, adt, *pid, factory);
+                shard.ingest(bucket, adt, *pid, factory, persist);
             }
         }
         for (pid, clock) in collapse_heartbeats(heartbeats) {
@@ -551,6 +744,8 @@ where
         F: Sync,
         F::Strategy: Send,
         A::State: Send,
+        P: Sync,
+        P::Backend: Send,
     {
         const MIN_PARALLEL_BURST: usize = 256;
         let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
@@ -572,12 +767,15 @@ where
         F: Sync,
         F::Strategy: Send,
         A::State: Send,
+        P: Sync,
+        P::Backend: Send,
     {
         let (buckets, heartbeats) = self.bucket_by_shard(msgs.iter().cloned());
         let UcStore {
             adt,
             pid,
             factory,
+            persist,
             shards,
             ..
         } = self;
@@ -586,8 +784,8 @@ where
                 if bucket.is_empty() {
                     continue;
                 }
-                let (adt, pid, factory) = (&*adt, *pid, &*factory);
-                scope.spawn(move || shard.ingest(bucket, adt, pid, factory));
+                let (adt, pid, factory, persist) = (&*adt, *pid, &*factory, &*persist);
+                scope.spawn(move || shard.ingest(bucket, adt, pid, factory, persist));
             }
         });
         for (pid, clock) in collapse_heartbeats(heartbeats) {
@@ -629,7 +827,7 @@ where
     /// handle routes updates, queries, and batched peer ingest to the
     /// owning workers. [`IngestPool::finish`](crate::pool::IngestPool::finish)
     /// drains the queues and returns the store.
-    pub fn into_pool(self, cfg: crate::pool::PoolConfig) -> crate::pool::IngestPool<A, F>
+    pub fn into_pool(self, cfg: crate::pool::PoolConfig) -> crate::pool::IngestPool<A, F, P>
     where
         A: Send + 'static,
         A::Update: Send,
@@ -637,6 +835,8 @@ where
         A::QueryOut: Send,
         F: Send + 'static,
         F::Strategy: Send + 'static,
+        P: Send + 'static,
+        P::Backend: Send + 'static,
     {
         crate::pool::IngestPool::spawn(self, cfg)
     }
@@ -713,7 +913,7 @@ where
     }
 
     /// Access one key's engine (observability, tests).
-    pub fn engine(&self, key: Key) -> Option<&ReplicaEngine<A, F::Strategy>> {
+    pub fn engine(&self, key: Key) -> Option<&ReplicaEngine<A, F::Strategy, P::Backend>> {
         self.shards[self.shard_of(key)].objects.get(&key)
     }
 }
@@ -721,10 +921,11 @@ where
 /// The store is a wait-free [`Protocol`] node: invocations complete
 /// locally, peer traffic flows through (batched) message delivery —
 /// so it runs unchanged under both `uc-sim` runtimes.
-impl<A, F> Protocol for UcStore<A, F>
+impl<A, F, P> Protocol for UcStore<A, F, P>
 where
     A: UqAdt + Clone,
     F: StrategyFactory<A>,
+    P: BackendFactory<A>,
 {
     type Msg = StoreMsg<A::Update>;
     type Input = StoreInput<A>;
@@ -760,12 +961,14 @@ where
 
     /// Timer-driven maintenance: announce the shared clock (one
     /// heartbeat advances every key's stability knowledge on every
-    /// peer) and compact every key's stable prefix. On a timer-driven
-    /// runtime this is what keeps GC stores compacting without any
-    /// dedicated heartbeat thread or explicit driver invocations.
+    /// peer), compact every key's stable prefix, and flush the storage
+    /// backends. On a timer-driven runtime this is what keeps GC
+    /// stores compacting — and segment-backed stores durable — without
+    /// any dedicated heartbeat or flusher thread.
     fn on_tick(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
         ctx.broadcast_others(self.heartbeat());
         self.tick_maintenance();
+        self.flush_backends();
     }
 }
 

@@ -8,6 +8,7 @@
 //! late messages pays the undo/redo of the shared suffix **once**
 //! (see [`crate::engine::ReplicaEngine::on_deliver_batch`]).
 
+use crate::backend::LogBackend;
 use crate::engine::{EngineCtx, RepairStrategy, ReplicaEngine};
 use crate::log::UpdateLog;
 use uc_spec::UndoableUqAdt;
@@ -36,7 +37,7 @@ impl<A: UndoableUqAdt> UndoRepair<A> {
 
     /// Undo down to `pos`, then redo the (already updated) log suffix
     /// capturing fresh tokens — the single repair primitive.
-    fn repair_from(&mut self, adt: &A, log: &UpdateLog<A::Update>, pos: usize) {
+    fn repair_from<B: LogBackend<A>>(&mut self, adt: &A, log: &UpdateLog<A, B>, pos: usize) {
         if pos < self.tokens.len() {
             self.repair_events += 1;
         }
@@ -55,14 +56,20 @@ impl<A: UndoableUqAdt> UndoRepair<A> {
 }
 
 impl<A: UndoableUqAdt> RepairStrategy<A> for UndoRepair<A> {
-    fn on_insert(&mut self, adt: &A, log: &mut UpdateLog<A::Update>, pos: usize, _ctx: &EngineCtx) {
+    fn on_insert<B: LogBackend<A>>(
+        &mut self,
+        adt: &A,
+        log: &mut UpdateLog<A, B>,
+        pos: usize,
+        _ctx: &EngineCtx,
+    ) {
         self.repair_from(adt, log, pos);
     }
 
     // on_batch_insert: the default (one `on_insert` at the minimum
     // position) already undoes and redoes the shared suffix once.
 
-    fn current_state(&mut self, _adt: &A, log: &UpdateLog<A::Update>) -> &A::State {
+    fn current_state<B: LogBackend<A>>(&mut self, _adt: &A, log: &UpdateLog<A, B>) -> &A::State {
         debug_assert_eq!(self.tokens.len(), log.len(), "state must be fully folded");
         &self.state
     }

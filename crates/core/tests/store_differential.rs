@@ -565,3 +565,225 @@ fn pooled_store_converges_on_the_threaded_cluster() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Backend differential: `MemBackend` vs `SegmentBackend`.
+//
+// The storage refactor's acceptance bar: persistence must be
+// *semantically invisible*. A store journaling every update into
+// on-disk CRC-framed segments has to produce identical per-key
+// states, clocks, and repair event/step counts to the in-memory
+// default under the same shuffled/duplicated/batched schedules — and
+// after a kill (flush + drop) a reopened store must report per-key
+// states, per-key engine clocks, and the store clock byte-identical
+// to the in-memory store that never restarted.
+// ---------------------------------------------------------------------------
+
+use uc_storage::{ScratchDir, SegmentFactory};
+
+/// Drive the same chunked schedule into an in-memory store and a
+/// segment-backed store, assert they are indistinguishable, then kill
+/// (flush + drop) the persistent one, reopen it from disk, and assert
+/// the recovered store still matches the never-restarted reference.
+fn run_backend_differential<F>(factory: F, chunks: &[Vec<Msg>], seed: u64, shards: usize)
+where
+    F: StrategyFactory<Adt>,
+{
+    let mut mem = UcStore::new(SetAdt::<u32>::new(), 0, shards, factory.clone());
+    let tmp = ScratchDir::new(&format!("store-diff-{seed}"));
+    let persist = SegmentFactory::at(tmp.path()).expect("scratch store");
+    let mut seg: UcStore<Adt, F, SegmentFactory> = UcStore::with_persistence(
+        SetAdt::<u32>::new(),
+        0,
+        shards,
+        factory.clone(),
+        persist.clone(),
+    );
+    let mut rng = SplitMix64::new(seed ^ 0xD15C);
+    for c in chunks {
+        if rng.next_u64().is_multiple_of(2) {
+            mem.apply_batch(c);
+            seg.apply_batch(c);
+        } else {
+            for m in c {
+                mem.apply_message(m);
+                seg.apply_message(m);
+            }
+        }
+        // Queries tick the shared clock; issue them in lockstep so
+        // the clock comparison stays exact.
+        let k = rng.next_u64() % KEYS;
+        assert_eq!(
+            mem.query(k, &SetQuery::Read),
+            seg.query(k, &SetQuery::Read),
+            "live query diverged, seed {seed}"
+        );
+    }
+    mem.tick_maintenance();
+    seg.tick_maintenance();
+
+    // Live differential: states, clocks, and repair accounting.
+    assert_eq!(mem.keys(), seg.keys(), "keys, seed {seed}");
+    assert_eq!(mem.clock(), seg.clock(), "store clock, seed {seed}");
+    assert_eq!(
+        mem.total_repair_events(),
+        seg.total_repair_events(),
+        "repair events, seed {seed}"
+    );
+    assert_eq!(
+        mem.total_repair_steps(),
+        seg.total_repair_steps(),
+        "repair steps, seed {seed}"
+    );
+    assert_eq!(
+        mem.total_log_len(),
+        seg.total_log_len(),
+        "retained log length, seed {seed}"
+    );
+    for k in mem.keys() {
+        assert_eq!(
+            mem.materialize_key(k),
+            seg.materialize_key(k),
+            "live key {k}, seed {seed}"
+        );
+    }
+
+    // Kill and reopen: flush is the durability point, drop is the
+    // kill (nothing buffered survives except what flush persisted).
+    seg.flush_backends();
+    drop(seg);
+    let mut back: UcStore<Adt, F, SegmentFactory> =
+        UcStore::reopen(SetAdt::<u32>::new(), 0, shards, factory, persist);
+    assert_eq!(mem.keys(), back.keys(), "recovered keys, seed {seed}");
+    assert_eq!(
+        mem.clock(),
+        back.clock(),
+        "recovered store clock, seed {seed}"
+    );
+    for k in mem.keys() {
+        assert_eq!(
+            mem.materialize_key(k),
+            back.materialize_key(k),
+            "recovered key {k}, seed {seed}"
+        );
+        assert_eq!(
+            mem.engine(k).expect("materialized").clock(),
+            back.engine(k).expect("recovered").clock(),
+            "recovered engine clock, key {k}, seed {seed}"
+        );
+    }
+}
+
+/// Shuffled + duplicated chunks for the full-log strategies.
+fn full_log_chunks(seed: u64) -> (Vec<Vec<Msg>>, usize) {
+    let mut rng = SplitMix64::new(seed);
+    let streams = produce_streams(&mut rng, 2);
+    let sched = shuffled_schedule(&mut rng, &streams);
+    let mut chunks = Vec::new();
+    let mut i = 0;
+    while i < sched.len() {
+        let k = 1 + (rng.next_u64() % 9) as usize;
+        let chunk = sched[i..sched.len().min(i + k)].to_vec();
+        i += chunk.len();
+        chunks.push(chunk);
+    }
+    (chunks, 1 + (seed as usize % 4))
+}
+
+#[test]
+fn segment_backend_matches_mem_backend_naive() {
+    for seed in 0..10 {
+        let (chunks, shards) = full_log_chunks(0xBACD ^ seed);
+        run_backend_differential(NaiveFactory, &chunks, seed, shards);
+    }
+}
+
+#[test]
+fn segment_backend_matches_mem_backend_checkpoint() {
+    for seed in 0..10 {
+        let (chunks, shards) = full_log_chunks(0xBACE ^ seed);
+        run_backend_differential(
+            CheckpointFactory {
+                every: 1 + (seed as usize % 7),
+            },
+            &chunks,
+            seed,
+            shards,
+        );
+    }
+}
+
+#[test]
+fn segment_backend_matches_mem_backend_undo() {
+    for seed in 0..10 {
+        let (chunks, shards) = full_log_chunks(0xBACF ^ seed);
+        run_backend_differential(UndoFactory, &chunks, seed, shards);
+    }
+}
+
+#[test]
+fn segment_backend_matches_mem_backend_gc() {
+    // GC is sound only under per-sender FIFO; interleave the producer
+    // streams chunk-wise with prefix heartbeats (as in the pool's GC
+    // differential), then a full heartbeat round so compaction — and
+    // hence base-snapshot persistence — actually runs before the kill.
+    for seed in 0..10 {
+        let mut rng = SplitMix64::new(0x6C0D ^ seed);
+        let streams = produce_streams(&mut rng, 2);
+        let total: usize = streams.iter().map(Vec::len).sum();
+        let mut queues: Vec<VecDeque<Msg>> = streams
+            .iter()
+            .map(|s| s.iter().cloned().collect())
+            .collect();
+        let mut chunks: Vec<Vec<Msg>> = Vec::new();
+        let mut max_clock = 0;
+        while queues.iter().any(|q| !q.is_empty()) {
+            let p = (rng.next_u64() % queues.len() as u64) as usize;
+            let take = 1 + (rng.next_u64() % 4) as usize;
+            let mut chunk: Vec<Msg> = Vec::new();
+            for _ in 0..take {
+                match queues[p].pop_front() {
+                    Some(m) => chunk.push(m),
+                    None => break,
+                }
+            }
+            if chunk.is_empty() {
+                continue;
+            }
+            let StoreMsg::Update { msg, .. } = chunk.last().expect("nonempty") else {
+                panic!("producers only emit updates");
+            };
+            max_clock = max_clock.max(msg.ts.clock);
+            if rng.next_u64().is_multiple_of(3) {
+                chunk.push(StoreMsg::Heartbeat {
+                    pid: p as u32 + 1,
+                    clock: msg.ts.clock,
+                });
+            }
+            chunks.push(chunk);
+        }
+        chunks.push(
+            (0..3u32)
+                .map(|pid| StoreMsg::Heartbeat {
+                    pid,
+                    clock: max_clock,
+                })
+                .collect(),
+        );
+        let tmp_probe = {
+            // Sanity: the schedule must actually compact (otherwise
+            // the reopen path would never exercise base snapshots).
+            let mut probe = UcStore::new(SetAdt::<u32>::new(), 0, 2, GcFactory { n: 3 });
+            for c in &chunks {
+                probe.apply_batch(c);
+            }
+            probe.tick_maintenance();
+            probe.total_log_len()
+        };
+        assert!(
+            tmp_probe < total,
+            "schedule must compact something, seed {seed}"
+        );
+        run_backend_differential(GcFactory { n: 3 }, &chunks, seed, 2);
+    }
+}

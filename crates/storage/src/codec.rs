@@ -1,0 +1,313 @@
+//! A minimal, dependency-free binary codec for record payloads.
+//!
+//! The build environment is offline (no `serde`), so the segment
+//! format hand-rolls its encoding: little-endian fixed-width integers,
+//! length-prefixed containers. The [`Codec`] trait is implemented for
+//! the primitives and containers the workspace's UQ-ADTs use for
+//! their update and state types ([`SetUpdate`], [`BTreeSet`],
+//! [`CounterUpdate`], …); a custom ADT opts its types into the
+//! [`SegmentBackend`](crate::segment::SegmentBackend) by implementing
+//! it.
+//!
+//! Decoding is *total*: every method returns `Option`, and a `None`
+//! anywhere invalidates the whole record (the segment scanner then
+//! treats it like a CRC failure — the record is dropped).
+
+use std::collections::{BTreeMap, BTreeSet};
+use uc_spec::{CounterUpdate, SetUpdate};
+
+/// A bounds-checked cursor over an encoded payload.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Start reading `buf` from the beginning.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Take the next `n` bytes, or `None` past the end.
+    pub fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(out)
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Has every byte been consumed? Strict decoders check this so a
+    /// corrupt length prefix cannot smuggle trailing garbage.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Encode to / decode from the segment wire format. See the [module
+/// docs](self).
+pub trait Codec: Sized {
+    /// Append this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decode one value, advancing the reader. `None` on any
+    /// malformation (truncation, bad discriminant, …).
+    fn decode(r: &mut Reader<'_>) -> Option<Self>;
+
+    /// Encode into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decode a value that must consume `buf` exactly.
+    fn from_bytes(buf: &[u8]) -> Option<Self> {
+        let mut r = Reader::new(buf);
+        let v = Self::decode(&mut r)?;
+        r.is_exhausted().then_some(v)
+    }
+}
+
+macro_rules! int_codec {
+    ($($t:ty),*) => {$(
+        impl Codec for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(r: &mut Reader<'_>) -> Option<Self> {
+                let bytes = r.take(std::mem::size_of::<$t>())?;
+                Some(<$t>::from_le_bytes(bytes.try_into().ok()?))
+            }
+        }
+    )*};
+}
+
+int_codec!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Codec for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        match u8::decode(r)? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+}
+
+impl Codec for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+
+    fn decode(_r: &mut Reader<'_>) -> Option<Self> {
+        Some(())
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        let len = usize::try_from(u64::decode(r)?).ok()?;
+        String::from_utf8(r.take(len)?.to_vec()).ok()
+    }
+}
+
+/// Shared length-prefix guard: a corrupt prefix must not trigger a
+/// huge allocation, so the claimed element count is capped by the
+/// bytes actually remaining (every element encodes to ≥ 1 byte except
+/// `()`, whose containers are pointless anyway).
+fn checked_len(r: &mut Reader<'_>) -> Option<usize> {
+    let len = usize::try_from(u64::decode(r)?).ok()?;
+    (len <= r.remaining().max(1)).then_some(len)
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        let len = checked_len(r)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Some(out)
+    }
+}
+
+impl<T: Codec + Ord> Codec for BTreeSet<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        let len = checked_len(r)?;
+        let mut out = BTreeSet::new();
+        for _ in 0..len {
+            out.insert(T::decode(r)?);
+        }
+        Some(out)
+    }
+}
+
+impl<K: Codec + Ord, V: Codec> Codec for BTreeMap<K, V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for (k, v) in self {
+            k.encode(out);
+            v.encode(out);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        let len = checked_len(r)?;
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::decode(r)?;
+            let v = V::decode(r)?;
+            out.insert(k, v);
+        }
+        Some(out)
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        match u8::decode(r)? {
+            0 => Some(None),
+            1 => Some(Some(T::decode(r)?)),
+            _ => None,
+        }
+    }
+}
+
+impl<T: Codec, U: Codec> Codec for (T, U) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        let a = T::decode(r)?;
+        let b = U::decode(r)?;
+        Some((a, b))
+    }
+}
+
+impl<V: Codec> Codec for SetUpdate<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            SetUpdate::Insert(v) => {
+                out.push(0);
+                v.encode(out);
+            }
+            SetUpdate::Delete(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        match u8::decode(r)? {
+            0 => Some(SetUpdate::Insert(V::decode(r)?)),
+            1 => Some(SetUpdate::Delete(V::decode(r)?)),
+            _ => None,
+        }
+    }
+}
+
+impl Codec for CounterUpdate {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let CounterUpdate::Add(n) = self;
+        n.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        Some(CounterUpdate::Add(i64::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Codec + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(T::from_bytes(&bytes).as_ref(), Some(&v), "{v:?}");
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(u64::MAX);
+        round_trip(-7i64);
+        round_trip(true);
+        round_trip(String::from("héllo"));
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(BTreeSet::from([5u64, 1, 9]));
+        round_trip(BTreeMap::from([(1u32, String::from("a"))]));
+        round_trip(Some(4u16));
+        round_trip(Option::<u16>::None);
+        round_trip((7u64, SetUpdate::Delete(3u32)));
+        round_trip(CounterUpdate::Add(-40));
+    }
+
+    #[test]
+    fn truncation_and_trailing_garbage_rejected() {
+        let bytes = vec![1u32, 2, 3].to_bytes();
+        assert_eq!(Vec::<u32>::from_bytes(&bytes[..bytes.len() - 1]), None);
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert_eq!(Vec::<u32>::from_bytes(&padded), None);
+    }
+
+    #[test]
+    fn absurd_length_prefix_rejected_without_allocation() {
+        let mut bytes = Vec::new();
+        u64::MAX.encode(&mut bytes);
+        assert_eq!(Vec::<u8>::from_bytes(&bytes), None);
+    }
+
+    #[test]
+    fn bad_discriminants_rejected() {
+        assert_eq!(SetUpdate::<u32>::from_bytes(&[9, 0, 0, 0, 0]), None);
+        assert_eq!(bool::from_bytes(&[7]), None);
+        assert_eq!(Option::<u8>::from_bytes(&[2, 0]), None);
+    }
+}

@@ -1,0 +1,76 @@
+//! Hermetic scratch directories for tests and benches.
+//!
+//! The build environment is offline, so instead of the `tempfile`
+//! crate this tiny helper carves unique directories out of
+//! `std::env::temp_dir()` and removes them on drop — segment tests
+//! and CI smoke runs never litter the workspace or collide across
+//! concurrent test threads.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named directory under the system temp dir, deleted on
+/// drop (best-effort).
+#[derive(Debug)]
+pub struct ScratchDir {
+    path: PathBuf,
+    keep: bool,
+}
+
+impl ScratchDir {
+    /// Create `TMP/uc-storage-<tag>-<pid>-<nanos>-<counter>`.
+    ///
+    /// # Panics
+    ///
+    /// If the directory cannot be created.
+    pub fn new(tag: &str) -> Self {
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map_or(0, |d| d.subsec_nanos());
+        let path = std::env::temp_dir().join(format!(
+            "uc-storage-{tag}-{}-{nanos}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed),
+        ));
+        std::fs::create_dir_all(&path)
+            .unwrap_or_else(|e| panic!("creating scratch dir {}: {e}", path.display()));
+        ScratchDir { path, keep: false }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Disarm the drop-time cleanup (debugging a failing test).
+    pub fn keep(&mut self) {
+        self.keep = true;
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        if !self.keep {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scratch_dirs_are_unique_and_cleaned() {
+        let a = ScratchDir::new("t");
+        let b = ScratchDir::new("t");
+        assert_ne!(a.path(), b.path());
+        let p = a.path().to_path_buf();
+        assert!(p.is_dir());
+        drop(a);
+        assert!(!p.exists());
+    }
+}

@@ -1,0 +1,895 @@
+//! The persistent [`LogBackend`]: append-only CRC-framed log segments
+//! plus LSM-style compacted base snapshots, one set of files per key.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! <root>/
+//!   MANIFEST                  store manifest: format version
+//!   CLOCK                     store-wide Lamport watermark (atomic rename)
+//!   REPLICA                   replica binding: pid + shard count (validated)
+//!   shard-<i>/
+//!     k<key>.manifest         per-key manifest: bound, roll seq, has_base
+//!     k<key>.base             base snapshot: bound + fold of the stable prefix
+//!     k<key>.wm               clock watermark (atomic rewrite, never appended)
+//!     k<key>.<seq>.seg        append-only record segments (CRC-framed)
+//! ```
+//!
+//! Segment records are framed by [`crate::frame`] and carry updates
+//! (`tag 0`: timestamp + encoded update, journaled in *arrival*
+//! order). Appends buffer in memory and hit the file on
+//! [`LogBackend::flush`] — one open/write per flushed key, no
+//! long-lived file descriptor per key (a store hosts thousands). The
+//! flush-time clock watermark lives in its own small `k<key>.wm`
+//! file, atomically rewritten each time the clock moves: it survives
+//! compaction and bounds an idle key's footprint.
+//!
+//! # Compaction ([`LogBackend::truncate_to_base`])
+//!
+//! When `StableGc` advances its stable prefix it hands the backend the
+//! new base state and the live tail. The backend then, in order:
+//! base snapshot (write-temp + rename), fresh segment holding the
+//! whole tail (synced), per-key manifest advancing the roll seq
+//! (write-temp + rename), delete of the dead segments. A crash between
+//! any two steps recovers correctly because recovery (a) prefers the
+//! base file's own bound over the manifest's, (b) skips records at or
+//! below the bound, and (c) deduplicates replayed records by
+//! timestamp — so surviving old segments are harmless duplicates, and
+//! dead segments are swept on the next open.
+//!
+//! # Recovery ([`SegmentBackend::open`])
+//!
+//! Read the manifest (defaults if missing/corrupt), the base (if
+//! any), then scan live segments in sequence order, stopping at the
+//! first torn or corrupt frame of each file (fail-closed: a
+//! half-written record is dropped, never delivered). The engine then
+//! rebuilds as `fold(base) + replay(tail)` via
+//! [`ReplicaEngine::recover`](uc_core::ReplicaEngine::recover).
+
+use crate::codec::{Codec, Reader};
+use crate::frame::{frame, write_frame, FrameScanner};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::marker::PhantomData;
+use std::path::{Path, PathBuf};
+use uc_core::backend::{BackendFactory, LogBackend};
+use uc_core::store::Key;
+use uc_core::Timestamp;
+use uc_spec::UqAdt;
+
+/// Store-manifest format version (bumped on any layout change).
+const FORMAT_VERSION: u32 = 1;
+
+const TAG_UPDATE: u8 = 0;
+
+fn io_panic(what: &str, path: &Path, err: io::Error) -> ! {
+    panic!("uc-storage: {what} {}: {err}", path.display());
+}
+
+/// Write `payload` as a single framed record at `path` atomically:
+/// temp file, sync, rename (the POSIX publish idiom — readers see the
+/// old file or the new one, never a torn one). Reserved for
+/// ordering-critical, low-frequency files (bases, manifests, the
+/// replica binding); high-frequency fixed-size control files
+/// (watermarks, the store clock) are overwritten in place instead —
+/// renames and truncates measured ~70x slower than plain writes on
+/// the baseline host's filesystem.
+fn write_atomic(path: &Path, payload: &[u8]) -> io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    let mut f = File::create(&tmp)?;
+    f.write_all(&frame(payload))?;
+    f.sync_data()?;
+    fs::rename(&tmp, path)
+}
+
+/// Overwrite a fixed-size CRC-framed control file in place (no
+/// truncate, no rename). Safe only when every write has the same
+/// length; a crash-torn write fails the CRC and reads as absent.
+fn overwrite_framed(path: &Path, payload: &[u8], sync: bool) -> io::Result<()> {
+    let mut f = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(path)?;
+    f.write_all(&frame(payload))?;
+    if sync {
+        f.sync_data()?;
+    }
+    Ok(())
+}
+
+/// Sync a directory's metadata (making completed renames/unlinks
+/// durable before later, dependent deletions). Best-effort on
+/// platforms where directories cannot be opened for sync.
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Read the single framed record at `path`. `None` when the file is
+/// missing, torn, or corrupt — callers fall back to defaults, they
+/// never crash on a bad file.
+fn read_framed(path: &Path) -> Option<Vec<u8>> {
+    let bytes = fs::read(path).ok()?;
+    FrameScanner::new(&bytes).next().map(<[u8]>::to_vec)
+}
+
+/// Per-key manifest contents.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct KeyManifest {
+    /// Stability bound of the current base snapshot.
+    bound: u64,
+    /// First live segment sequence number; lower seqs are dead.
+    roll_seq: u64,
+    /// Has a base snapshot ever been written?
+    has_base: bool,
+}
+
+impl Codec for KeyManifest {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.bound.encode(out);
+        self.roll_seq.encode(out);
+        self.has_base.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        Some(KeyManifest {
+            bound: u64::decode(r)?,
+            roll_seq: u64::decode(r)?,
+            has_base: bool::decode(r)?,
+        })
+    }
+}
+
+/// One key's file-name stems.
+fn manifest_path(dir: &Path, key: Key) -> PathBuf {
+    dir.join(format!("k{key}.manifest"))
+}
+
+fn base_path(dir: &Path, key: Key) -> PathBuf {
+    dir.join(format!("k{key}.base"))
+}
+
+fn segment_path(dir: &Path, key: Key, seq: u64) -> PathBuf {
+    dir.join(format!("k{key}.{seq:010}.seg"))
+}
+
+fn watermark_path(dir: &Path, key: Key) -> PathBuf {
+    dir.join(format!("k{key}.wm"))
+}
+
+/// Parse `k<key>.<seq>.seg` file names for one directory, returning
+/// `(key, seq)` pairs.
+fn list_segments(dir: &Path) -> Vec<(Key, u64)> {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix('k') else {
+            continue;
+        };
+        let Some(rest) = rest.strip_suffix(".seg") else {
+            continue;
+        };
+        let Some((key, seq)) = rest.split_once('.') else {
+            continue;
+        };
+        if let (Ok(key), Ok(seq)) = (key.parse::<u64>(), seq.parse::<u64>()) {
+            out.push((key, seq));
+        }
+    }
+    out
+}
+
+/// What one key's recovery scan found.
+struct Recovered<A: UqAdt> {
+    base: Option<(u64, A::State)>,
+    tail: Vec<(Timestamp, A::Update)>,
+    watermark: u64,
+}
+
+/// The persistent per-key log backend. See the [module docs](self)
+/// for the layout and crash-consistency argument.
+pub struct SegmentBackend<A: UqAdt> {
+    dir: PathBuf,
+    key: Key,
+    /// `fsync` segment appends on every flush (power-loss
+    /// durability) instead of stopping at the OS page cache
+    /// (process-crash durability, the default). Base snapshots and
+    /// manifests are always synced — their rename ordering is what
+    /// compaction's crash-consistency argument rests on.
+    fsync: bool,
+    /// Stability bound of the current base snapshot.
+    bound: u64,
+    /// Sequence number of the segment currently receiving appends.
+    current_seq: u64,
+    /// Live segment sequence numbers (sorted ascending, including
+    /// `current_seq` whether or not its file exists yet) — tracked so
+    /// compaction never has to rescan the shard directory.
+    seqs: Vec<u64>,
+    /// Framed records accepted since the last flush (the write-behind
+    /// buffer; [`LogBackend::flush`] moves it to disk).
+    pending: Vec<u8>,
+    /// Last clock watermark made durable (idle flushes are skipped).
+    /// Watermarks live in their own small `k<key>.wm` file, atomically
+    /// rewritten — never appended to segments, so they survive
+    /// compaction and idle keys don't grow the log.
+    flushed_watermark: Option<u64>,
+    /// Loaded at [`SegmentBackend::open`], consumed by the recovery
+    /// accessors.
+    recovered: Option<Recovered<A>>,
+    _adt: PhantomData<fn() -> A>,
+}
+
+impl<A: UqAdt> fmt::Debug for SegmentBackend<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SegmentBackend")
+            .field("dir", &self.dir)
+            .field("key", &self.key)
+            .field("bound", &self.bound)
+            .field("current_seq", &self.current_seq)
+            .field("pending_bytes", &self.pending.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<A> SegmentBackend<A>
+where
+    A: UqAdt,
+    A::Update: Codec,
+    A::State: Codec,
+{
+    /// Open (or create) the backend for `key` under the shard
+    /// directory `dir`, running the recovery scan described in the
+    /// [module docs](self). Flushes stop at the OS page cache
+    /// (process-crash durable); see [`SegmentBackend::open_with`] for
+    /// power-loss durability.
+    pub fn open(dir: impl Into<PathBuf>, key: Key) -> io::Result<Self> {
+        Self::open_with(dir, key, false)
+    }
+
+    /// [`SegmentBackend::open`] with an explicit fsync policy:
+    /// `fsync = true` additionally syncs segment appends to stable
+    /// storage on every flush.
+    pub fn open_with(dir: impl Into<PathBuf>, key: Key, fsync: bool) -> io::Result<Self> {
+        let dir = dir.into();
+        // Fast path for a never-persisted key (the common case on the
+        // ingest path: engines open lazily on first touch): three
+        // stats instead of a full directory scan. A key with segments
+        // always has a watermark or manifest beside them (flush writes
+        // the watermark, compaction the manifest), and keys with any
+        // file at all are enumerated by `open_all` on reopen — so
+        // "none of the three exists" safely implies "no segments".
+        if !manifest_path(&dir, key).exists()
+            && !watermark_path(&dir, key).exists()
+            && !base_path(&dir, key).exists()
+        {
+            return Self::open_prepared(dir, key, fsync, Vec::new());
+        }
+        let mut seqs: Vec<u64> = list_segments(&dir)
+            .into_iter()
+            .filter_map(|(k, seq)| (k == key).then_some(seq))
+            .collect();
+        seqs.sort_unstable();
+        Self::open_prepared(dir, key, fsync, seqs)
+    }
+
+    /// The recovery scan proper, with this key's existing segment
+    /// sequence numbers (sorted ascending) already enumerated — the
+    /// factory's [`SegmentFactory`] `open_all` lists a shard
+    /// directory once and opens every key through here, avoiding one
+    /// full-directory scan per key on reopen.
+    fn open_prepared(dir: PathBuf, key: Key, fsync: bool, seqs: Vec<u64>) -> io::Result<Self> {
+        fs::create_dir_all(&dir)?;
+        let manifest: KeyManifest = read_framed(&manifest_path(&dir, key))
+            .and_then(|p| KeyManifest::from_bytes(&p))
+            .unwrap_or_default();
+        // Prefer the base file's own bound: it is renamed into place
+        // *before* the manifest advances, so it is never behind.
+        let base: Option<(u64, A::State)> = read_framed(&base_path(&dir, key)).and_then(|p| {
+            let mut r = Reader::new(&p);
+            let bound = u64::decode(&mut r)?;
+            let state = A::State::decode(&mut r)?;
+            r.is_exhausted().then_some((bound, state))
+        });
+        let bound = base.as_ref().map_or(0, |(b, _)| *b);
+        let watermark = read_framed(&watermark_path(&dir, key))
+            .and_then(|p| u64::from_bytes(&p))
+            .unwrap_or(0);
+
+        let max_seq = seqs.last().copied().unwrap_or(0);
+        let mut live = Vec::with_capacity(seqs.len() + 1);
+        let mut tail = Vec::new();
+        for seq in seqs {
+            let path = segment_path(&dir, key, seq);
+            if seq < manifest.roll_seq {
+                // Dead segment a crash left behind (deletion is the
+                // last compaction step): sweep it now.
+                let _ = fs::remove_file(&path);
+                continue;
+            }
+            live.push(seq);
+            let Ok(bytes) = fs::read(&path) else { continue };
+            for payload in FrameScanner::new(&bytes) {
+                let mut r = Reader::new(payload);
+                match u8::decode(&mut r) {
+                    Some(TAG_UPDATE) => {
+                        let Some(clock) = u64::decode(&mut r) else {
+                            break;
+                        };
+                        let Some(pid) = u32::decode(&mut r) else {
+                            break;
+                        };
+                        let Some(update) = A::Update::decode(&mut r) else {
+                            break;
+                        };
+                        if !r.is_exhausted() {
+                            break;
+                        }
+                        if clock > bound {
+                            tail.push((Timestamp::new(clock, pid), update));
+                        }
+                    }
+                    _ => break,
+                }
+            }
+        }
+        // Never append to a pre-existing file (it may end torn):
+        // every open starts a fresh segment.
+        let current_seq = max_seq + 1;
+        live.push(current_seq);
+        Ok(SegmentBackend {
+            dir,
+            key,
+            fsync,
+            bound,
+            current_seq,
+            seqs: live,
+            pending: Vec::new(),
+            flushed_watermark: (watermark > 0).then_some(watermark),
+            recovered: Some(Recovered {
+                base,
+                tail,
+                watermark,
+            }),
+            _adt: PhantomData,
+        })
+    }
+
+    /// The stability bound of the current base snapshot (observability
+    /// and tests).
+    pub fn base_bound(&self) -> u64 {
+        self.bound
+    }
+
+    /// Bytes buffered but not yet flushed (observability and tests).
+    pub fn pending_bytes(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn encode_update(out: &mut Vec<u8>, ts: Timestamp, u: &A::Update) {
+        let mut payload = Vec::with_capacity(16);
+        payload.push(TAG_UPDATE);
+        ts.clock.encode(&mut payload);
+        ts.pid.encode(&mut payload);
+        u.encode(&mut payload);
+        write_frame(out, &payload);
+    }
+
+    /// Append `self.pending` to the current segment file and sync it.
+    fn write_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let path = segment_path(&self.dir, self.key, self.current_seq);
+        let fsync = self.fsync;
+        let result = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| {
+                f.write_all(&self.pending)?;
+                if fsync {
+                    f.sync_data()?;
+                }
+                Ok(())
+            });
+        if let Err(err) = result {
+            io_panic("appending segment", &path, err);
+        }
+        self.pending.clear();
+    }
+}
+
+impl<A> LogBackend<A> for SegmentBackend<A>
+where
+    A: UqAdt,
+    A::Update: Codec,
+    A::State: Codec,
+{
+    fn append(&mut self, ts: Timestamp, u: &A::Update) {
+        Self::encode_update(&mut self.pending, ts, u);
+    }
+
+    fn append_batch(&mut self, entries: &[(Timestamp, A::Update)]) {
+        for (ts, u) in entries {
+            Self::encode_update(&mut self.pending, *ts, u);
+        }
+    }
+
+    fn truncate_to_base(&mut self, bound: u64, state: &A::State, tail: &[(Timestamp, A::Update)]) {
+        // 1. Make buffered appends durable in the old segment first —
+        //    the tail rewrite below must not be the only copy of
+        //    anything while old segments are still authoritative.
+        self.write_pending();
+        // 2. Publish the base snapshot.
+        let mut payload = Vec::new();
+        bound.encode(&mut payload);
+        state.encode(&mut payload);
+        let bpath = base_path(&self.dir, self.key);
+        if let Err(err) = write_atomic(&bpath, &payload) {
+            io_panic("writing base snapshot", &bpath, err);
+        }
+        // 3. Rewrite the live tail into a fresh segment.
+        let dead: Vec<u64> = std::mem::take(&mut self.seqs);
+        self.current_seq += 1;
+        self.seqs.push(self.current_seq);
+        self.append_batch(tail);
+        self.write_pending();
+        // 4. Advance the per-key manifest.
+        let manifest = KeyManifest {
+            bound,
+            roll_seq: self.current_seq,
+            has_base: true,
+        };
+        let mpath = manifest_path(&self.dir, self.key);
+        if let Err(err) = write_atomic(&mpath, &manifest.to_bytes()) {
+            io_panic("writing key manifest", &mpath, err);
+        }
+        // 5. Drop the dead segments (the sequence numbers this backend
+        //    has been tracking — no directory rescan). On the fsync
+        //    tier, first make the base/manifest renames durable so a
+        //    power loss cannot persist the unlinks without them.
+        if self.fsync {
+            sync_dir(&self.dir);
+        }
+        for seq in dead {
+            let _ = fs::remove_file(segment_path(&self.dir, self.key, seq));
+        }
+        self.bound = bound;
+    }
+
+    fn flush(&mut self, clock: u64) {
+        self.write_pending();
+        if self.flushed_watermark != Some(clock) {
+            // The clock watermark lives in its own small file: it
+            // survives segment compaction and never grows an idle
+            // key's log. The frame is fixed-size (16 bytes: header +
+            // u64), so it is overwritten *in place* — no truncate, no
+            // rename (both orders of magnitude slower than a plain
+            // write on some filesystems). The frame is CRC'd, so a
+            // write torn by a crash reads as "no watermark" and
+            // recovery's clock falls back to max(bound, tail), which
+            // is conservative, never unsound.
+            let path = watermark_path(&self.dir, self.key);
+            if let Err(err) = overwrite_framed(&path, &clock.to_bytes(), self.fsync) {
+                io_panic("writing clock watermark", &path, err);
+            }
+            self.flushed_watermark = Some(clock);
+        }
+    }
+
+    fn load_base(&mut self) -> Option<(u64, A::State)> {
+        self.recovered.as_mut().and_then(|r| r.base.take())
+    }
+
+    fn scan_suffix(&mut self) -> Vec<(Timestamp, A::Update)> {
+        self.recovered
+            .as_mut()
+            .map(|r| std::mem::take(&mut r.tail))
+            .unwrap_or_default()
+    }
+
+    fn clock_watermark(&self) -> u64 {
+        self.recovered.as_ref().map_or(0, |r| r.watermark)
+    }
+}
+
+/// The [`BackendFactory`] of [`SegmentBackend`]s: one directory tree
+/// per store (see the [module docs](self) for the layout).
+///
+/// [`SegmentFactory::at`] is create-or-open: pass the same root to
+/// [`UcStore::with_persistence`](uc_core::UcStore::with_persistence)
+/// to write and later to
+/// [`UcStore::reopen`](uc_core::UcStore::reopen) to recover. The
+/// replica configuration (pid, shard count, strategy) must match
+/// across the two.
+#[derive(Clone, Debug)]
+pub struct SegmentFactory {
+    root: PathBuf,
+    fsync: bool,
+}
+
+impl SegmentFactory {
+    /// Create or open the store directory at `root`, verifying the
+    /// store manifest's format version (written on first create).
+    /// Flushes default to process-crash durability (OS page cache);
+    /// see [`SegmentFactory::fsync`].
+    pub fn at(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        let manifest = root.join("MANIFEST");
+        match read_framed(&manifest).and_then(|p| u32::from_bytes(&p)) {
+            Some(FORMAT_VERSION) => {}
+            Some(v) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("uc-storage format version {v}, this build reads {FORMAT_VERSION}"),
+                ))
+            }
+            None => write_atomic(&manifest, &FORMAT_VERSION.to_bytes())?,
+        }
+        Ok(SegmentFactory { root, fsync: false })
+    }
+
+    /// Choose the flush durability tier: `true` additionally
+    /// `fsync`s segment appends on every flush (power-loss
+    /// durability) at a large per-flush cost — see
+    /// `BENCH_persistence.json` for the measured factor. Base
+    /// snapshots and manifests are always synced regardless.
+    pub fn fsync(mut self, on: bool) -> Self {
+        self.fsync = on;
+        self
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn shard_dir(&self, shard: usize) -> PathBuf {
+        self.root.join(format!("shard-{shard}"))
+    }
+}
+
+impl<A> BackendFactory<A> for SegmentFactory
+where
+    A: UqAdt,
+    A::Update: Codec,
+    A::State: Codec,
+{
+    type Backend = SegmentBackend<A>;
+
+    fn open(&self, shard: usize, key: Key) -> SegmentBackend<A> {
+        let dir = self.shard_dir(shard);
+        SegmentBackend::open_with(&dir, key, self.fsync)
+            .unwrap_or_else(|err| io_panic("opening key backend", &dir, err))
+    }
+
+    fn list_keys(&self, shard: usize) -> Vec<Key> {
+        let dir = self.shard_dir(shard);
+        let Ok(entries) = fs::read_dir(&dir) else {
+            return Vec::new();
+        };
+        let mut keys: Vec<Key> = entries
+            .flatten()
+            .filter_map(|e| {
+                let name = e.file_name();
+                let name = name.to_str()?;
+                let rest = name.strip_prefix('k')?;
+                let (key, _) = rest.split_once('.')?;
+                key.parse().ok()
+            })
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
+    /// One directory scan for the whole shard: group segment sequence
+    /// numbers per key, then open every key through the prepared path
+    /// — `UcStore::reopen` over K keys costs O(entries + K) instead of
+    /// K full-directory scans.
+    fn open_all(&self, shard: usize) -> Vec<(Key, SegmentBackend<A>)> {
+        let dir = self.shard_dir(shard);
+        let Ok(entries) = fs::read_dir(&dir) else {
+            return Vec::new();
+        };
+        let mut seqs_by_key: BTreeMap<Key, Vec<u64>> = BTreeMap::new();
+        for e in entries.flatten() {
+            let name = e.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(rest) = name.strip_prefix('k') else {
+                continue;
+            };
+            let Some((key, rest)) = rest.split_once('.') else {
+                continue;
+            };
+            let Ok(key) = key.parse::<u64>() else {
+                continue;
+            };
+            // Every key file registers the key; only `<seq>.seg` files
+            // contribute a sequence number.
+            let slot = seqs_by_key.entry(key).or_default();
+            if let Some(seq) = rest
+                .strip_suffix(".seg")
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                slot.push(seq);
+            }
+        }
+        seqs_by_key
+            .into_iter()
+            .map(|(key, mut seqs)| {
+                seqs.sort_unstable();
+                let backend = SegmentBackend::open_prepared(dir.clone(), key, self.fsync, seqs)
+                    .unwrap_or_else(|err| io_panic("opening key backend", &dir, err));
+                (key, backend)
+            })
+            .collect()
+    }
+
+    /// Persist `(pid, shards)` on first bind; refuse a mismatch ever
+    /// after — reopening under a different shard count would silently
+    /// route keys to the wrong shard — and refuse a `fresh` bind of an
+    /// already-bound root — constructing a *new* store over surviving
+    /// state restarts the clock, and the next reopen would silently
+    /// deduplicate one run's updates away.
+    ///
+    /// # Panics
+    ///
+    /// When the directory was bound to a different replica
+    /// configuration, or holds a bound store and `fresh` is requested.
+    fn bind_replica(&self, pid: u32, shards: usize, fresh: bool) {
+        let path = self.root.join("REPLICA");
+        match read_framed(&path).and_then(|p| <(u32, u64)>::from_bytes(&p)) {
+            Some((p, s)) => {
+                assert!(
+                    !fresh,
+                    "uc-storage: {} already holds a bound store \
+                     (pid {p}, {s} shards); use UcStore::reopen to recover it",
+                    self.root.display()
+                );
+                assert!(
+                    p == pid && s == shards as u64,
+                    "uc-storage: {} is bound to pid {p} / {s} shards, \
+                     refusing to open as pid {pid} / {shards} shards",
+                    self.root.display()
+                );
+            }
+            None => {
+                if let Err(err) = write_atomic(&path, &(pid, shards as u64).to_bytes()) {
+                    io_panic("writing replica binding", &path, err);
+                }
+            }
+        }
+    }
+
+    fn load_store_clock(&self) -> u64 {
+        read_framed(&self.root.join("CLOCK"))
+            .and_then(|p| u64::from_bytes(&p))
+            .unwrap_or(0)
+    }
+
+    fn persist_store_clock(&self, clock: u64) {
+        // Same fixed-size in-place rewrite as the per-key watermarks:
+        // this runs on every maintenance tick and on the local-update
+        // clock lease, so rename/fsync churn here would dominate idle
+        // stores (the store skips the call entirely when the floor is
+        // unchanged).
+        let path = self.root.join("CLOCK");
+        if let Err(err) = overwrite_framed(&path, &clock.to_bytes(), self.fsync) {
+            io_panic("writing store clock", &path, err);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scratch::ScratchDir;
+    use uc_spec::{SetAdt, SetUpdate};
+
+    type B = SegmentBackend<SetAdt<u32>>;
+
+    fn entry(clock: u64, pid: u32, v: u32) -> (Timestamp, SetUpdate<u32>) {
+        (Timestamp::new(clock, pid), SetUpdate::Insert(v))
+    }
+
+    #[test]
+    fn append_flush_reopen_round_trips() {
+        let tmp = ScratchDir::new("seg-roundtrip");
+        let mut b = B::open(tmp.path(), 7).unwrap();
+        b.append(Timestamp::new(3, 1), &SetUpdate::Insert(30));
+        b.append(Timestamp::new(1, 0), &SetUpdate::Delete(10));
+        b.flush(5);
+        drop(b);
+        let mut r = B::open(tmp.path(), 7).unwrap();
+        assert_eq!(r.load_base(), None);
+        let tail = r.scan_suffix();
+        assert_eq!(tail.len(), 2, "journal order preserved");
+        assert_eq!(tail[0].0, Timestamp::new(3, 1));
+        assert_eq!(r.clock_watermark(), 5);
+    }
+
+    #[test]
+    fn unflushed_appends_are_not_durable() {
+        let tmp = ScratchDir::new("seg-unflushed");
+        let mut b = B::open(tmp.path(), 1).unwrap();
+        b.append(Timestamp::new(1, 0), &SetUpdate::Insert(1));
+        drop(b); // crash before flush
+        let mut r = B::open(tmp.path(), 1).unwrap();
+        assert!(r.scan_suffix().is_empty(), "write-behind buffer was lost");
+    }
+
+    #[test]
+    fn compaction_persists_base_and_drops_dead_segments() {
+        let tmp = ScratchDir::new("seg-compact");
+        let mut b = B::open(tmp.path(), 2).unwrap();
+        b.append_batch(&[entry(1, 0, 1), entry(2, 0, 2), entry(3, 0, 3)]);
+        b.flush(3);
+        let base: std::collections::BTreeSet<u32> = [1, 2].into();
+        b.truncate_to_base(2, &base, &[entry(3, 0, 3)]);
+        assert_eq!(b.base_bound(), 2);
+        drop(b);
+        let mut r = B::open(tmp.path(), 2).unwrap();
+        assert_eq!(r.load_base(), Some((2, base)));
+        let tail = r.scan_suffix();
+        assert_eq!(tail, vec![entry(3, 0, 3)], "only the tail replays");
+        // The pre-compaction segment is gone.
+        let live: Vec<u64> = list_segments(tmp.path())
+            .into_iter()
+            .filter_map(|(k, s)| (k == 2).then_some(s))
+            .collect();
+        assert_eq!(live.len(), 1, "dead segments swept, got {live:?}");
+    }
+
+    #[test]
+    fn torn_final_record_is_dropped_on_reopen() {
+        let tmp = ScratchDir::new("seg-torn");
+        let mut b = B::open(tmp.path(), 4).unwrap();
+        b.append(Timestamp::new(1, 0), &SetUpdate::Insert(1));
+        b.append(Timestamp::new(2, 0), &SetUpdate::Insert(2));
+        b.flush(2);
+        drop(b);
+        // Tear the last record: chop bytes off the segment file (the
+        // classic crash shape — a prefix of the final write persisted).
+        let seg = segment_path(tmp.path(), 4, 1);
+        let bytes = fs::read(&seg).unwrap();
+        fs::write(&seg, &bytes[..bytes.len() - 3]).unwrap();
+        let mut r = B::open(tmp.path(), 4).unwrap();
+        let tail = r.scan_suffix();
+        assert_eq!(tail, vec![entry(1, 0, 1)], "torn record dropped cleanly");
+        assert_eq!(
+            r.clock_watermark(),
+            2,
+            "the watermark lives in its own file, unharmed by the torn segment"
+        );
+    }
+
+    #[test]
+    fn watermark_survives_compaction_and_idle_flush() {
+        // Regression: the watermark used to be a segment record, so
+        // compaction deleted the only durable copy and the idle-flush
+        // cache then skipped rewriting it — a reopened engine's clock
+        // regressed below a flushed value.
+        let tmp = ScratchDir::new("seg-wm-compact");
+        let mut b = B::open(tmp.path(), 9).unwrap();
+        b.append(Timestamp::new(1, 0), &SetUpdate::Insert(1));
+        b.flush(50);
+        b.truncate_to_base(1, &std::collections::BTreeSet::from([1]), &[]);
+        b.flush(50); // idle: clock unchanged since last flush
+        drop(b);
+        let r = B::open(tmp.path(), 9).unwrap();
+        assert_eq!(r.clock_watermark(), 50, "watermark lost across compaction");
+    }
+
+    #[test]
+    fn compaction_does_not_grow_idle_flush_footprint() {
+        // Flushes with a moving clock rewrite one bounded file; the
+        // segment itself only grows with real updates.
+        let tmp = ScratchDir::new("seg-wm-bounded");
+        let mut b = B::open(tmp.path(), 2).unwrap();
+        b.append(Timestamp::new(1, 0), &SetUpdate::Insert(1));
+        b.flush(1);
+        let seg = segment_path(tmp.path(), 2, 1);
+        let after_data = fs::metadata(&seg).unwrap().len();
+        for clock in 2..100u64 {
+            b.flush(clock); // idle ticks with an advancing clock
+        }
+        assert_eq!(
+            fs::metadata(&seg).unwrap().len(),
+            after_data,
+            "idle flushes must not append to the segment"
+        );
+        let wm = fs::metadata(watermark_path(tmp.path(), 2)).unwrap().len();
+        assert!(wm <= 16, "watermark file stays bounded, got {wm}");
+    }
+
+    #[test]
+    fn keys_are_isolated() {
+        let tmp = ScratchDir::new("seg-isolated");
+        let mut a = B::open(tmp.path(), 1).unwrap();
+        let mut b = B::open(tmp.path(), 2).unwrap();
+        a.append(Timestamp::new(1, 0), &SetUpdate::Insert(1));
+        b.append(Timestamp::new(1, 0), &SetUpdate::Insert(2));
+        a.flush(1);
+        b.flush(1);
+        drop((a, b));
+        let mut r = B::open(tmp.path(), 1).unwrap();
+        assert_eq!(r.scan_suffix(), vec![entry(1, 0, 1)]);
+    }
+
+    #[test]
+    fn factory_lists_keys_and_persists_store_clock() {
+        let tmp = ScratchDir::new("seg-factory");
+        let f = SegmentFactory::at(tmp.path()).unwrap();
+        let mut b: B = BackendFactory::<SetAdt<u32>>::open(&f, 0, 11);
+        b.append(Timestamp::new(1, 0), &SetUpdate::Insert(1));
+        b.flush(1);
+        let mut c: B = BackendFactory::<SetAdt<u32>>::open(&f, 0, 3);
+        c.flush(2);
+        BackendFactory::<SetAdt<u32>>::persist_store_clock(&f, 42);
+        let g = SegmentFactory::at(tmp.path()).unwrap();
+        assert_eq!(BackendFactory::<SetAdt<u32>>::list_keys(&g, 0), vec![3, 11]);
+        assert!(BackendFactory::<SetAdt<u32>>::list_keys(&g, 1).is_empty());
+        assert_eq!(BackendFactory::<SetAdt<u32>>::load_store_clock(&g), 42);
+    }
+
+    #[test]
+    fn version_mismatch_is_refused() {
+        let tmp = ScratchDir::new("seg-version");
+        let _ = SegmentFactory::at(tmp.path()).unwrap();
+        write_atomic(&tmp.path().join("MANIFEST"), &99u32.to_bytes()).unwrap();
+        assert!(SegmentFactory::at(tmp.path()).is_err());
+    }
+
+    #[test]
+    fn open_all_matches_per_key_opens() {
+        let tmp = ScratchDir::new("seg-openall");
+        let f = SegmentFactory::at(tmp.path()).unwrap();
+        for key in [2u64, 5, 9] {
+            let mut b: B = BackendFactory::<SetAdt<u32>>::open(&f, 1, key);
+            b.append(Timestamp::new(key, 0), &SetUpdate::Insert(key as u32));
+            b.flush(key);
+        }
+        let opened = BackendFactory::<SetAdt<u32>>::open_all(&f, 1);
+        assert_eq!(
+            opened.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![2, 5, 9]
+        );
+        for (key, mut b) in opened {
+            assert_eq!(b.scan_suffix().len(), 1, "key {key}");
+            assert_eq!(b.clock_watermark(), key);
+        }
+        assert!(BackendFactory::<SetAdt<u32>>::open_all(&f, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "refusing to open")]
+    fn replica_binding_mismatch_is_refused() {
+        let tmp = ScratchDir::new("seg-binding");
+        let f = SegmentFactory::at(tmp.path()).unwrap();
+        BackendFactory::<SetAdt<u32>>::bind_replica(&f, 0, 4, true);
+        BackendFactory::<SetAdt<u32>>::bind_replica(&f, 0, 4, false); // reopen: fine
+        BackendFactory::<SetAdt<u32>>::bind_replica(&f, 0, 2, false); // shard mismatch
+    }
+
+    #[test]
+    #[should_panic(expected = "already holds a bound store")]
+    fn fresh_bind_of_a_bound_root_is_refused() {
+        // Regression: constructing a *new* store over surviving state
+        // restarts the clock; the next reopen would dedup one run's
+        // updates away. The second fresh bind must be refused.
+        let tmp = ScratchDir::new("seg-fresh-bind");
+        let f = SegmentFactory::at(tmp.path()).unwrap();
+        BackendFactory::<SetAdt<u32>>::bind_replica(&f, 0, 4, true);
+        BackendFactory::<SetAdt<u32>>::bind_replica(&f, 0, 4, true);
+    }
+}

@@ -1,0 +1,328 @@
+//! Crash-recovery integration tests: the whole stack (store → engine
+//! → log → segment backend) killed and reopened.
+//!
+//! * a torn final record (the classic crash shape) is detected via
+//!   CRC and dropped cleanly on reopen;
+//! * reopening after `StableGc` compaction replays only the tail —
+//!   `fold(base) + replay(tail)`, observable via `query_fold_steps`;
+//! * the ingest pool's drain-on-drop flushes backends before joining
+//!   its workers, so a dropped pool loses nothing that was queued;
+//! * the pool's poison path flushes too: a panicking fold must never
+//!   leave an unsynced segment behind (regression for the
+//!   flush-before-join fix).
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use uc_core::{CheckpointFactory, GcFactory, PoolConfig, StoreMsg, UcStore};
+use uc_spec::{SetAdt, SetQuery, SetUpdate, UqAdt};
+use uc_storage::{ScratchDir, SegmentFactory};
+
+type Adt = SetAdt<u32>;
+type Msg = StoreMsg<SetUpdate<u32>>;
+
+fn checkpoint() -> CheckpointFactory {
+    CheckpointFactory { every: 4 }
+}
+
+/// The segment files of one key in one shard dir, sorted.
+fn key_segments(root: &std::path::Path, shard: usize, key: u64) -> Vec<PathBuf> {
+    let dir = root.join(format!("shard-{shard}"));
+    let mut out: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("reading {}: {e}", dir.display()))
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with(&format!("k{key}.")) && n.ends_with(".seg"))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn torn_final_record_is_detected_and_dropped_on_reopen() {
+    let tmp = ScratchDir::new("torn-store");
+    let persist = SegmentFactory::at(tmp.path()).unwrap();
+    let mut store: UcStore<Adt, CheckpointFactory, SegmentFactory> =
+        UcStore::with_persistence(SetAdt::new(), 0, 1, checkpoint(), persist.clone());
+    for v in 1..=3u32 {
+        store.update(5, SetUpdate::Insert(v));
+    }
+    store.flush_backends();
+    store.update(5, SetUpdate::Insert(4));
+    store.flush_backends();
+    drop(store);
+
+    // Tear into the middle of the last update record (the classic
+    // crash shape: a prefix of the final write persisted).
+    let segs = key_segments(tmp.path(), 0, 5);
+    assert_eq!(segs.len(), 1, "one segment per process lifetime");
+    let bytes = fs::read(&segs[0]).unwrap();
+    fs::write(&segs[0], &bytes[..bytes.len() - 20]).unwrap();
+
+    let mut back: UcStore<Adt, CheckpointFactory, SegmentFactory> =
+        UcStore::reopen(SetAdt::new(), 0, 1, checkpoint(), persist);
+    assert_eq!(
+        back.materialize_key(5),
+        BTreeSet::from([1, 2, 3]),
+        "the torn record must be dropped, everything before it kept"
+    );
+    assert_eq!(back.engine(5).unwrap().log_len(), 3);
+}
+
+#[test]
+fn reopen_after_compaction_replays_only_the_tail() {
+    let tmp = ScratchDir::new("gc-tail");
+    let persist = SegmentFactory::at(tmp.path()).unwrap();
+    let gc = GcFactory { n: 2 };
+    let mut store: UcStore<Adt, GcFactory, SegmentFactory> =
+        UcStore::with_persistence(SetAdt::new(), 0, 1, gc, persist.clone());
+    for v in 1..=10u32 {
+        store.update(3, SetUpdate::Insert(v));
+    }
+    // Peer announces clock 10: everything so far becomes stable and
+    // compacts into the on-disk base snapshot.
+    store.apply_message(&StoreMsg::Heartbeat { pid: 1, clock: 10 });
+    store.tick_maintenance();
+    assert_eq!(
+        store.engine(3).unwrap().log_len(),
+        0,
+        "full prefix compacted"
+    );
+    // Three more updates stay in the unstable tail.
+    for v in 11..=13u32 {
+        store.update(3, SetUpdate::Insert(v));
+    }
+    store.flush_backends();
+    drop(store);
+
+    let mut back: UcStore<Adt, GcFactory, SegmentFactory> =
+        UcStore::reopen(SetAdt::new(), 0, 1, gc, persist);
+    let engine = back.engine(3).expect("key recovered");
+    assert_eq!(engine.log_len(), 3, "only the tail is replayed");
+    let folds_before = engine.strategy().query_fold_steps();
+    assert_eq!(
+        back.query(3, &SetQuery::Read),
+        (1..=13).collect::<BTreeSet<u32>>(),
+        "base + tail reconstructs the full state"
+    );
+    let folds = back.engine(3).unwrap().strategy().query_fold_steps() - folds_before;
+    assert_eq!(
+        folds, 3,
+        "the first query folds exactly the 3-entry tail over the base, not all 13 updates"
+    );
+}
+
+/// A remote producer's keyed insert burst.
+fn burst(keys: u64, count: u32) -> Vec<Msg> {
+    let mut producer: UcStore<Adt, CheckpointFactory> =
+        UcStore::new(SetAdt::new(), 1, 1, checkpoint());
+    (0..count)
+        .map(|i| producer.update(u64::from(i) % keys, SetUpdate::Insert(i)))
+        .collect()
+}
+
+#[test]
+fn pool_drop_drain_flushes_backends_before_join() {
+    let tmp = ScratchDir::new("pool-drop");
+    let persist = SegmentFactory::at(tmp.path()).unwrap();
+    let msgs = burst(7, 300);
+    let store: UcStore<Adt, CheckpointFactory, SegmentFactory> =
+        UcStore::with_persistence(SetAdt::new(), 0, 4, checkpoint(), persist.clone());
+    let mut pool = store.into_pool(PoolConfig {
+        workers: 2,
+        queue_depth: 256,
+    });
+    for chunk in msgs.chunks(9) {
+        pool.submit_batch(chunk.to_vec()).unwrap();
+    }
+    drop(pool); // no flush, no finish — drop alone must persist
+
+    let mut back: UcStore<Adt, CheckpointFactory, SegmentFactory> =
+        UcStore::reopen(SetAdt::new(), 0, 4, checkpoint(), persist);
+    let union: BTreeSet<u32> = (0..7u64).flat_map(|k| back.materialize_key(k)).collect();
+    assert_eq!(
+        union,
+        (0..300).collect::<BTreeSet<u32>>(),
+        "drop discarded queued or unflushed updates"
+    );
+}
+
+/// A set ADT whose fold panics on one poison-pill element while
+/// `armed` — disarming allows recovery to refold the same journal.
+#[derive(Clone, Debug)]
+struct ArmedSet {
+    inner: SetAdt<u32>,
+    pill: u32,
+    armed: Arc<AtomicBool>,
+}
+
+impl UqAdt for ArmedSet {
+    type Update = SetUpdate<u32>;
+    type QueryIn = SetQuery;
+    type QueryOut = BTreeSet<u32>;
+    type State = BTreeSet<u32>;
+
+    fn initial(&self) -> Self::State {
+        self.inner.initial()
+    }
+
+    fn apply(&self, state: &mut Self::State, update: &Self::Update) {
+        if let SetUpdate::Insert(e) = update {
+            assert!(
+                *e != self.pill || !self.armed.load(Ordering::SeqCst),
+                "armed pill folded"
+            );
+        }
+        self.inner.apply(state, update);
+    }
+
+    fn observe(&self, state: &Self::State, query: &Self::QueryIn) -> Self::QueryOut {
+        self.inner.observe(state, query)
+    }
+}
+
+#[test]
+fn poisoned_pool_flushes_the_journal_before_dying() {
+    const PILL: u32 = 999;
+    let tmp = ScratchDir::new("pool-poison");
+    let persist = SegmentFactory::at(tmp.path()).unwrap();
+    let armed = Arc::new(AtomicBool::new(true));
+    let adt = ArmedSet {
+        inner: SetAdt::new(),
+        pill: PILL,
+        armed: Arc::clone(&armed),
+    };
+    // One worker, one shard, one key: every message rides the burst
+    // whose fold panics, so nothing would survive without the
+    // poison-path flush.
+    let mut msgs = burst(1, 40);
+    let mut producer: UcStore<Adt, CheckpointFactory> =
+        UcStore::new(SetAdt::new(), 2, 1, checkpoint());
+    // Re-stamp the pill from a second producer so timestamps stay
+    // unique; deliver the first producer's stream to it for causality.
+    for m in &msgs {
+        producer.apply_message(m);
+    }
+    msgs.push(producer.update(0, SetUpdate::Insert(PILL)));
+
+    let store: UcStore<ArmedSet, CheckpointFactory, SegmentFactory> =
+        UcStore::with_persistence(adt.clone(), 0, 1, checkpoint(), persist.clone());
+    let mut pool = store.into_pool(PoolConfig {
+        workers: 1,
+        queue_depth: 64,
+    });
+    pool.submit_batch(msgs).unwrap();
+    let err = pool
+        .flush()
+        .expect_err("the armed pill must poison the pool");
+    assert!(
+        err.to_string().contains("armed pill folded"),
+        "unexpected poison: {err}"
+    );
+    drop(pool);
+
+    // The journal survived the panic; with the pill disarmed, the
+    // whole burst — including the pill — replays into the recovered
+    // engine (appends precede the fold, and the poison path flushed).
+    armed.store(false, Ordering::SeqCst);
+    let mut back: UcStore<ArmedSet, CheckpointFactory, SegmentFactory> =
+        UcStore::reopen(adt, 0, 1, checkpoint(), persist);
+    let mut expect: BTreeSet<u32> = (0..40).collect();
+    expect.insert(PILL);
+    assert_eq!(
+        back.materialize_key(0),
+        expect,
+        "poison path failed to flush the journal before the worker died"
+    );
+}
+
+#[test]
+fn finish_then_reopen_round_trips_a_pooled_store() {
+    let tmp = ScratchDir::new("pool-finish");
+    let persist = SegmentFactory::at(tmp.path()).unwrap();
+    let msgs = burst(5, 120);
+    let store: UcStore<Adt, CheckpointFactory, SegmentFactory> =
+        UcStore::with_persistence(SetAdt::new(), 0, 4, checkpoint(), persist.clone());
+    let mut pool = store.into_pool(PoolConfig {
+        workers: 3,
+        queue_depth: 16,
+    });
+    for chunk in msgs.chunks(13) {
+        pool.submit_batch(chunk.to_vec()).unwrap();
+    }
+    let mut live = pool.finish().unwrap();
+    let live_states: Vec<BTreeSet<u32>> = (0..5u64).map(|k| live.materialize_key(k)).collect();
+    let live_clock = live.clock();
+    drop(live);
+
+    let mut back: UcStore<Adt, CheckpointFactory, SegmentFactory> =
+        UcStore::reopen(SetAdt::new(), 0, 4, checkpoint(), persist);
+    assert_eq!(back.clock(), live_clock, "clock watermark survived");
+    for (k, expect) in live_states.iter().enumerate() {
+        assert_eq!(&back.materialize_key(k as u64), expect, "key {k}");
+    }
+}
+
+#[test]
+fn crash_before_flush_never_reissues_broadcast_timestamps() {
+    // The divergence trap: an update is stamped and broadcast, the
+    // process dies before the next flush, and the reopened store —
+    // were its clock recovered only from flushed state — would stamp
+    // a *new* update with the *same* timestamp. Peers holding the
+    // original would dedup the reissue away: permanent divergence.
+    // The store leases a persisted clock floor ahead of issuance
+    // (`CLOCK`), so recovery restores at least every issued clock.
+    let tmp = ScratchDir::new("clock-floor");
+    let persist = SegmentFactory::at(tmp.path()).unwrap();
+    let mut store: UcStore<Adt, CheckpointFactory, SegmentFactory> =
+        UcStore::with_persistence(SetAdt::new(), 0, 2, checkpoint(), persist.clone());
+    let mut issued = Vec::new();
+    for i in 0..20u32 {
+        let StoreMsg::Update { msg, .. } = store.update(u64::from(i % 3), SetUpdate::Insert(i))
+        else {
+            panic!("update returns an update message");
+        };
+        issued.push(msg.ts);
+    }
+    drop(store); // crash: NO flush ever ran — all broadcasts unflushed
+
+    let mut back: UcStore<Adt, CheckpointFactory, SegmentFactory> =
+        UcStore::reopen(SetAdt::new(), 0, 2, checkpoint(), persist);
+    let max_issued = issued.iter().map(|ts| ts.clock).max().unwrap();
+    assert!(
+        back.clock() >= max_issued,
+        "recovered clock {} regressed below issued clock {max_issued}",
+        back.clock()
+    );
+    let StoreMsg::Update { msg, .. } = back.update(0, SetUpdate::Insert(999)) else {
+        panic!("update returns an update message");
+    };
+    assert!(
+        !issued.contains(&msg.ts),
+        "post-recovery update reissued already-broadcast timestamp {:?}",
+        msg.ts
+    );
+}
+
+#[test]
+#[should_panic(expected = "already holds a bound store")]
+fn fresh_store_over_surviving_state_is_refused() {
+    // `with_persistence` on a root that already holds a bound store
+    // would restart the clock and silently lose one run's updates to
+    // timestamp dedup on the next reopen — it must panic instead.
+    let tmp = ScratchDir::new("fresh-over-bound");
+    let persist = SegmentFactory::at(tmp.path()).unwrap();
+    let mut store: UcStore<Adt, CheckpointFactory, SegmentFactory> =
+        UcStore::with_persistence(SetAdt::new(), 0, 2, checkpoint(), persist.clone());
+    store.update(1, SetUpdate::Insert(1));
+    store.flush_backends();
+    drop(store);
+    let _: UcStore<Adt, CheckpointFactory, SegmentFactory> =
+        UcStore::with_persistence(SetAdt::new(), 0, 2, checkpoint(), persist);
+}

@@ -21,7 +21,12 @@
 //!   [`ReplicaEngine`](core::ReplicaEngine) parameterised by a
 //!   [`RepairStrategy`](core::RepairStrategy), with the §VII-C
 //!   optimisations as swappable strategies and a batched-delivery
-//!   hot path;
+//!   hot path; per-key logs and GC bases live behind the pluggable
+//!   [`LogBackend`](core::LogBackend) storage abstraction;
+//! * [`storage`] — the persistent backend:
+//!   [`SegmentFactory`](storage::SegmentFactory) keeps CRC-framed
+//!   on-disk log segments plus compacted base snapshots, so stores
+//!   survive `kill` + [`UcStore::reopen`](core::UcStore::reopen);
 //! * [`crdt`] — the eventually consistent baselines of §VI.
 //!
 //! ## Quickstart
@@ -80,3 +85,4 @@ pub use uc_history as history;
 pub use uc_runtime as runtime;
 pub use uc_sim as sim;
 pub use uc_spec as spec;
+pub use uc_storage as storage;
