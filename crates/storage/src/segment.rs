@@ -40,7 +40,9 @@
 //! # Recovery ([`SegmentBackend::open`])
 //!
 //! Read the manifest (defaults if missing/corrupt), the base (if
-//! any), then scan live segments in sequence order, stopping at the
+//! any — a manifest that records a base the file cannot deliver
+//! fails the open rather than silently recovering a truncated
+//! state), then scan live segments in sequence order, stopping at the
 //! first torn or corrupt frame of each file (fail-closed: a
 //! half-written record is dropped, never delivered). The engine then
 //! rebuilds as `fold(base) + replay(tail)` via
@@ -64,6 +66,10 @@ const FORMAT_VERSION: u32 = 1;
 
 const TAG_UPDATE: u8 = 0;
 
+/// Suffix of `write_atomic`'s temp files; directory listings must
+/// skip it so crash leftovers never materialize phantom keys.
+const TMP_SUFFIX: &str = ".tmp";
+
 fn io_panic(what: &str, path: &Path, err: io::Error) -> ! {
     panic!("uc-storage: {what} {}: {err}", path.display());
 }
@@ -77,7 +83,14 @@ fn io_panic(what: &str, path: &Path, err: io::Error) -> ! {
 /// renames and truncates measured ~70x slower than plain writes on
 /// the baseline host's filesystem.
 fn write_atomic(path: &Path, payload: &[u8]) -> io::Result<()> {
-    let tmp = path.with_extension("tmp");
+    // Append `.tmp` to the whole name (`k7.base` → `k7.base.tmp`)
+    // rather than `with_extension`, which would collapse a key's base
+    // and manifest onto one shared temp path. Directory listings skip
+    // the suffix, so a crash-leftover temp never materializes a
+    // phantom key.
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(TMP_SUFFIX);
+    let tmp = PathBuf::from(tmp);
     let mut f = File::create(&tmp)?;
     f.write_all(&frame(payload))?;
     f.sync_data()?;
@@ -260,15 +273,19 @@ where
     pub fn open_with(dir: impl Into<PathBuf>, key: Key, fsync: bool) -> io::Result<Self> {
         let dir = dir.into();
         // Fast path for a never-persisted key (the common case on the
-        // ingest path: engines open lazily on first touch): three
-        // stats instead of a full directory scan. A key with segments
-        // always has a watermark or manifest beside them (flush writes
-        // the watermark, compaction the manifest), and keys with any
-        // file at all are enumerated by `open_all` on reopen — so
-        // "none of the three exists" safely implies "no segments".
+        // ingest path: engines open lazily on first touch): four
+        // stats instead of a full directory scan. A completed flush
+        // always leaves a watermark beside the segments and a
+        // completed compaction a manifest — but `flush` writes the
+        // segment *before* the watermark, so a crash between the two
+        // leaves a bare `.seg`. Without a manifest no segment is ever
+        // deleted and without a watermark no flush ever completed, so
+        // that orphan can only be segment 1: stat it explicitly, and
+        // "none of the four exists" safely implies "no segments".
         if !manifest_path(&dir, key).exists()
             && !watermark_path(&dir, key).exists()
             && !base_path(&dir, key).exists()
+            && !segment_path(&dir, key, 1).exists()
         {
             return Self::open_prepared(dir, key, fsync, Vec::new());
         }
@@ -298,6 +315,23 @@ where
             let state = A::State::decode(&mut r)?;
             r.is_exhausted().then_some((bound, state))
         });
+        // A manifest that promises a base the file cannot deliver
+        // means the folded stable prefix is gone (deleted or
+        // bit-rotted base file — `write_atomic` rules out a torn
+        // one). Replaying only the tail from bound 0 would silently
+        // serve a truncated state: refuse to open instead.
+        if manifest.has_base && base.is_none() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "uc-storage: key {key} manifest records a base snapshot \
+                     (bound {}) but {} is missing or corrupt; refusing to \
+                     recover a truncated state",
+                    manifest.bound,
+                    base_path(&dir, key).display()
+                ),
+            ));
+        }
         let bound = base.as_ref().map_or(0, |(b, _)| *b);
         let watermark = read_framed(&watermark_path(&dir, key))
             .and_then(|p| u64::from_bytes(&p))
@@ -341,8 +375,12 @@ where
             }
         }
         // Never append to a pre-existing file (it may end torn):
-        // every open starts a fresh segment.
-        let current_seq = max_seq + 1;
+        // every open starts a fresh segment. Never start below the
+        // manifest's first-live sequence either — an empty-tail
+        // compaction rolls the manifest without writing a segment
+        // file, and a new segment numbered below `roll_seq` would be
+        // swept as a dead pre-compaction leftover on the next open.
+        let current_seq = (max_seq + 1).max(manifest.roll_seq);
         live.push(current_seq);
         Ok(SegmentBackend {
             dir,
@@ -582,6 +620,11 @@ where
             .filter_map(|e| {
                 let name = e.file_name();
                 let name = name.to_str()?;
+                if name.ends_with(TMP_SUFFIX) {
+                    // Crash-leftover temp from `write_atomic`: not a
+                    // live file, must not materialize a phantom key.
+                    return None;
+                }
                 let rest = name.strip_prefix('k')?;
                 let (key, _) = rest.split_once('.')?;
                 key.parse().ok()
@@ -605,6 +648,12 @@ where
         for e in entries.flatten() {
             let name = e.file_name();
             let Some(name) = name.to_str() else { continue };
+            if name.ends_with(TMP_SUFFIX) {
+                // Crash-leftover temp from `write_atomic`: sweep it
+                // instead of letting it register a phantom key.
+                let _ = fs::remove_file(e.path());
+                continue;
+            }
             let Some(rest) = name.strip_prefix('k') else {
                 continue;
             };
@@ -748,6 +797,123 @@ mod tests {
             .filter_map(|(k, s)| (k == 2).then_some(s))
             .collect();
         assert_eq!(live.len(), 1, "dead segments swept, got {live:?}");
+    }
+
+    #[test]
+    fn empty_tail_compaction_survives_two_reopens() {
+        // Regression: `current_seq` was derived from on-disk segment
+        // files alone, ignoring `manifest.roll_seq`. An empty-tail
+        // compaction rolls the manifest without writing a segment, so
+        // the next open appended at seq 1 < roll_seq and the open
+        // after that swept that segment as a dead pre-compaction
+        // leftover — silently losing durably-flushed updates.
+        let tmp = ScratchDir::new("seg-empty-tail");
+        let mut b = B::open(tmp.path(), 3).unwrap();
+        b.append(Timestamp::new(1, 0), &SetUpdate::Insert(1));
+        b.flush(1);
+        let base: std::collections::BTreeSet<u32> = [1].into();
+        b.truncate_to_base(1, &base, &[]); // whole log stable: empty tail
+        drop(b);
+        let mut r = B::open(tmp.path(), 3).unwrap();
+        assert_eq!(r.load_base(), Some((1, base.clone())));
+        assert!(r.scan_suffix().is_empty());
+        r.append(Timestamp::new(2, 0), &SetUpdate::Insert(2));
+        r.flush(2);
+        drop(r);
+        let mut r2 = B::open(tmp.path(), 3).unwrap();
+        assert_eq!(r2.load_base(), Some((1, base)));
+        assert_eq!(
+            r2.scan_suffix(),
+            vec![entry(2, 0, 2)],
+            "post-compaction flush lost on the second reopen"
+        );
+    }
+
+    #[test]
+    fn flush_crash_before_watermark_still_recovers_segment() {
+        // Regression: `flush` writes the segment before the watermark
+        // file, so a crash between the two leaves a bare `.seg`. The
+        // per-key fast path used to stat only manifest/watermark/base
+        // and would skip enumeration, dropping the flushed records
+        // and appending at seq 1 into the existing file.
+        let tmp = ScratchDir::new("seg-wm-crash");
+        let mut b = B::open(tmp.path(), 6).unwrap();
+        b.append(Timestamp::new(1, 0), &SetUpdate::Insert(1));
+        b.flush(1);
+        drop(b);
+        fs::remove_file(watermark_path(tmp.path(), 6)).unwrap(); // crash shape
+        let mut r = B::open(tmp.path(), 6).unwrap();
+        assert_eq!(
+            r.scan_suffix(),
+            vec![entry(1, 0, 1)],
+            "flushed record lost when only the segment survived"
+        );
+        r.append(Timestamp::new(2, 0), &SetUpdate::Insert(2));
+        r.flush(2);
+        drop(r);
+        let mut r2 = B::open(tmp.path(), 6).unwrap();
+        assert_eq!(r2.scan_suffix(), vec![entry(1, 0, 1), entry(2, 0, 2)]);
+    }
+
+    #[test]
+    fn stale_tmp_files_do_not_materialize_phantom_keys() {
+        // Regression: a crash between `write_atomic`'s create and
+        // rename leaves `k<key>.<kind>.tmp`, which the listings used
+        // to parse as a real key, materializing phantom engines.
+        let tmp = ScratchDir::new("seg-stale-tmp");
+        let f = SegmentFactory::at(tmp.path()).unwrap();
+        let mut b: B = BackendFactory::<SetAdt<u32>>::open(&f, 0, 1);
+        b.append(Timestamp::new(1, 0), &SetUpdate::Insert(1));
+        b.flush(1);
+        drop(b);
+        let shard = tmp.path().join("shard-0");
+        fs::write(shard.join("k99.base.tmp"), b"leftover").unwrap();
+        assert_eq!(
+            BackendFactory::<SetAdt<u32>>::list_keys(&f, 0),
+            vec![1],
+            "crash-leftover temp file listed as a key"
+        );
+        let opened = BackendFactory::<SetAdt<u32>>::open_all(&f, 0);
+        assert_eq!(opened.iter().map(|(k, _)| *k).collect::<Vec<_>>(), vec![1]);
+        assert!(
+            !shard.join("k99.base.tmp").exists(),
+            "open_all leaves stale temp files behind"
+        );
+    }
+
+    #[test]
+    fn base_and_manifest_use_distinct_temp_paths() {
+        // `with_extension("tmp")` used to collapse `k<key>.base` and
+        // `k<key>.manifest` onto one shared temp path; both files
+        // must survive a compaction intact.
+        let tmp = ScratchDir::new("seg-tmp-distinct");
+        let mut b = B::open(tmp.path(), 5).unwrap();
+        b.append(Timestamp::new(1, 0), &SetUpdate::Insert(1));
+        b.flush(1);
+        b.truncate_to_base(1, &std::collections::BTreeSet::from([1]), &[]);
+        drop(b);
+        assert!(base_path(tmp.path(), 5).exists());
+        assert!(manifest_path(tmp.path(), 5).exists());
+        let mut r = B::open(tmp.path(), 5).unwrap();
+        assert_eq!(r.load_base(), Some((1, [1].into())));
+    }
+
+    #[test]
+    fn missing_base_with_manifest_refuses_to_open() {
+        // The manifest records a base snapshot; if the base file is
+        // gone the folded stable prefix is lost and replaying only
+        // the tail would serve a truncated state. That must be a loud
+        // open failure, not a silent fallback to bound 0.
+        let tmp = ScratchDir::new("seg-lost-base");
+        let mut b = B::open(tmp.path(), 8).unwrap();
+        b.append_batch(&[entry(1, 0, 1), entry(2, 0, 2)]);
+        b.flush(2);
+        b.truncate_to_base(1, &std::collections::BTreeSet::from([1]), &[entry(2, 0, 2)]);
+        drop(b);
+        fs::remove_file(base_path(tmp.path(), 8)).unwrap();
+        let err = B::open(tmp.path(), 8).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("base snapshot"), "{err}");
     }
 
     #[test]
