@@ -151,6 +151,7 @@ fn main() {
             let mut pool = store(shards).into_pool(PoolConfig {
                 workers: 0,
                 queue_depth: 64,
+                ..PoolConfig::default()
             });
             let t0 = Instant::now();
             for chunk in stream.chunks(CHUNK) {

@@ -19,7 +19,9 @@
 //! | [`memory`] | [`UcMemory`] — Algorithm 2, LWW shared memory | Alg. 2 |
 //! | [`replica`] | the wait-free replica trait all variants share (incl. [`Replica::on_batch`]) | §VII-A |
 //! | [`store`] | [`UcStore`] — sharded multi-object store: one engine per key, one clock per replica | partitionable follow-up |
-//! | [`pool`] | [`IngestPool`] — persistent shard-worker threads with bounded queues, flush barriers, drain-on-drop | perf engineering |
+//! | [`inbox`] | [`Inbox`] — lock-free bounded MPSC claim-pattern inbox (Treiber push, swap-claim drain) | perf engineering |
+//! | [`snapshot`] | [`Published`] — single-writer epoch-published snapshot cell for wait-free reads | perf engineering |
+//! | [`pool`] | [`IngestPool`]/[`PoolHandle`] — persistent shard workers fed by claim inboxes, wait-free snapshot reads, flush barriers, drain-on-drop | perf engineering |
 //! | [`sim_adapter`] | run replicas on `uc-sim`; turn traces into checkable histories + SUC witnesses | Prop. 4 |
 //! | [`convergence`] | cross-replica convergence checks | Defs. 5/8 |
 //!
@@ -40,12 +42,14 @@ pub mod convergence;
 pub mod engine;
 pub mod gc;
 pub mod generic;
+pub mod inbox;
 pub mod log;
 pub mod memory;
 pub mod message;
 pub mod pool;
 pub mod replica;
 pub mod sim_adapter;
+pub mod snapshot;
 pub mod store;
 pub mod timestamp;
 pub mod undo;
@@ -55,14 +59,18 @@ pub use cached::{CachedReplica, CheckpointRepair};
 pub use engine::{EngineCtx, RepairStrategy, ReplicaEngine};
 pub use gc::{GcReplica, StableGc};
 pub use generic::{GenericReplica, NaiveReplay};
+pub use inbox::{Inbox, PushError};
 pub use log::UpdateLog;
 pub use memory::{MemWrite, UcMemory};
 pub use message::{GcMsg, UpdateMsg};
-pub use pool::{IngestPool, PoolConfig, PoolError, PoolStats, WorkerStats};
+pub use pool::{
+    Backpressure, IngestPool, PoolConfig, PoolError, PoolHandle, PoolStats, WorkerStats,
+};
 pub use replica::{state_digest, Replica};
 pub use sim_adapter::{
     trace_to_history, OmegaMarking, OpInput, OpOutput, ReplicaNode, TimestampedMsg,
 };
+pub use snapshot::Published;
 pub use store::{
     CheckpointFactory, GcFactory, Key, NaiveFactory, StoreInput, StoreMsg, StoreOutput,
     StrategyFactory, UcStore, UndoFactory,

@@ -1,6 +1,7 @@
 //! The **persistent shard-worker ingest pool**: long-lived worker
 //! threads, each owning a fixed set of a store's shards, fed by
-//! bounded per-worker queues.
+//! lock-free claim-pattern inboxes, with epoch-published snapshots
+//! for wait-free reads.
 //!
 //! [`UcStore::apply_batch_parallel`] spawns fresh scoped threads for
 //! every burst, so its win is bounded by thread-spawn cost and it
@@ -8,57 +9,115 @@
 //! once, at [`IngestPool::spawn`]:
 //!
 //! ```text
-//!            IngestPool handle          (owns clock + pid)
-//!   update/query/submit_batch ── LamportClock  (ticks & stamps here)
-//!          │ shard = hash(key) % S,  worker = shard % W
+//!    PoolHandle (Clone, &self)      IngestPool handle (&mut, owns join)
+//!    update/query/submit_batch ──── AtomicU64 LamportClock (wait-free
+//!          │ shard = hash(key) % S,  worker = shard % W     stamping)
 //!          ▼
-//!   ┌ queue 0 ─▶ Worker 0 {shards 0, W, 2W, …}   (long-lived thread)
-//!   ├ queue 1 ─▶ Worker 1 {shards 1, W+1, …}
-//!   └ queue W-1 ▶ …
-//!        bounded sync_channel (backpressure)      per-shard engines
+//!   ┌ inbox 0 ─▶ Worker 0 {shards 0, W, 2W, …}   (long-lived thread)
+//!   ├ inbox 1 ─▶ Worker 1 {shards 1, W+1, …}          │ per drain
+//!   └ inbox W-1 ▶ …                                   ▼
+//!     lock-free claim-pattern              epoch-published snapshots
+//!     Treiber push + swap-claim            (wait-free query_snapshot)
 //! ```
 //!
+//! * **lock-free ingest** — producers stamp on the shared atomic
+//!   clock (one `fetch_add`) and CAS-push onto the owning worker's
+//!   [`Inbox`](crate::inbox::Inbox); no mutex, no `sync_channel`
+//!   slot-wait. The bounded inbox still provides backpressure:
+//!   [`Backpressure::Park`] spins/yields the producer,
+//!   [`Backpressure::Shed`] drops the burst and counts it;
 //! * **determinism** — every key lives in exactly one shard, every
-//!   shard on exactly one worker, and each worker's queue is FIFO, so
-//!   the per-key delivery order equals submission order: pool results
-//!   are identical to the sequential [`UcStore::apply_batch`] path
-//!   (states *and* repair-step counts — the differential tests assert
-//!   both);
+//!   shard on exactly one worker, and a single producer's pushes are
+//!   FIFO through the claim-reverse drain, so per-key delivery order
+//!   equals submission order: pool results are identical to the
+//!   sequential [`UcStore::apply_batch`] path (states *and* repair
+//!   event/step counts — the differential tests assert both). Each
+//!   claimed job is processed separately, never coalesced, for the
+//!   same reason;
+//! * **wait-free reads** — after each drain the worker publishes the
+//!   post-repair state of every touched key behind an RCU-style
+//!   [`Published`](crate::snapshot::Published) cell;
+//!   [`PoolHandle::query_snapshot`] is then a wait-free load that
+//!   never blocks behind a repair or a queued burst (and never ticks
+//!   the clock — it is a *weak* read of the latest published state;
+//!   the strong FIFO read-your-writes read is [`PoolHandle::query`]).
+//!   Publishing is armed by the first snapshot read; an
+//!   [`IngestPool::flush`] after arming backfills every key;
 //! * **barriers** — [`IngestPool::flush`] enqueues a barrier job on
-//!   every worker and waits for all acks; because queues are FIFO, a
-//!   completed flush has observed every prior submission;
-//! * **drain-on-drop** — dropping the handle closes the queues;
+//!   every worker and waits for all acks; because a producer's pushes
+//!   are FIFO, a completed flush has observed every prior submission;
+//! * **drain-on-drop** — dropping the handle closes the inboxes;
 //!   workers finish every queued job before exiting, so submitted
 //!   bursts are never silently discarded. [`IngestPool::finish`]
 //!   additionally reassembles and returns the [`UcStore`];
 //! * **poisoning** — a panic inside a worker (e.g. a panicking ADT
-//!   fold) is caught, recorded, and surfaced as a [`PoolError`] from
-//!   every subsequent operation instead of deadlocking the handle;
-//! * **wait-free handle** — updates tick the handle's clock, stamp,
-//!   and enqueue without waiting for the worker (backpressure on a
-//!   full queue is the only blocking); queries round-trip to the
-//!   owning worker, which is bounded local work, never a wait on
-//!   another *process*.
+//!   fold) is caught and recorded in a lock-free `OnceLock`, so the
+//!   per-call poison check is a plain load; every subsequent
+//!   operation surfaces the [`PoolError`] instead of deadlocking;
+//! * **crash soundness** — stamping composes with the persisted
+//!   clock-floor lease: a `ClockLease` keeps an atomic copy of the
+//!   on-disk floor, so the per-stamp check is one load, and only the
+//!   slow path (once per [`CLOCK_LEASE`] stamps) serializes on a
+//!   latch to write the floor *before* the stamp can be broadcast.
+//!   While handles may stamp concurrently the floor only ever moves
+//!   up; it collapses to the exact clock at the quiesce points
+//!   ([`IngestPool::finish`] / drop), where the worker joins make the
+//!   clock read cover every issued stamp.
+//!
+//! One caveat carries over from the sequential world: the GC
+//! strategy's stability bookkeeping assumes per-sender FIFO delivery
+//! (a documented [`StableGc`](crate::gc::StableGc) precondition).
+//! Two handles racing *updates to the same key* through one shared
+//! clock can reorder that key's self-stamps in flight, which violates
+//! the precondition exactly as a non-FIFO network would. Partition
+//! keys across concurrent handles (or use a full-log strategy) when
+//! stamping concurrently.
 //!
 //! The pool implements [`Protocol`], so a pooled store runs unchanged
 //! under the threaded cluster (real ingest concurrency) and the
 //! deterministic simulator.
 
 use crate::backend::{BackendFactory, MemFactory};
+use crate::inbox::{Inbox, PushError};
 use crate::message::UpdateMsg;
+use crate::snapshot::Published;
 use crate::store::{
     collapse_heartbeats, shard_index, split_by_shard, Key, Shard, StoreInput, StoreMsg,
     StoreOutput, StrategyFactory, UcStore,
 };
 use crate::timestamp::{LamportClock, Timestamp};
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender, SyncSender};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Duration;
 use uc_sim::{Ctx, Pid, Protocol};
 use uc_spec::UqAdt;
+
+/// What a full worker inbox means for *peer traffic*
+/// ([`IngestPool::submit_batch`] bursts and heartbeats). Locally
+/// issued updates, strong queries, and barriers always park — a
+/// stamped local update that was shed would simply be lost, and the
+/// caller holds its broadcast message.
+///
+/// The same Park/Shed split governs the event reactor's node
+/// mailboxes (`uc-runtime` re-exports this type), so one policy
+/// vocabulary covers every bounded mailbox in the workspace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backpressure {
+    /// Lossless: the producer yields/parks until a slot frees up
+    /// (the bounded depth throttles, never drops).
+    #[default]
+    Park,
+    /// Lossy: bursts beyond the bound are dropped and counted in
+    /// [`WorkerStats::shed`]. Bounds memory under overload at the
+    /// cost of reliable broadcast (convergence becomes best-effort —
+    /// rely on anti-entropy/retransmission to recover).
+    Shed,
+}
 
 /// How an [`IngestPool`] is sized.
 #[derive(Clone, Copy, Debug)]
@@ -67,10 +126,12 @@ pub struct PoolConfig {
     /// parallelism. Capped at the store's shard count (an idle worker
     /// with no shards would be pure overhead).
     pub workers: usize,
-    /// Bounded depth of each worker's job queue: submissions beyond
-    /// it block the caller (backpressure) instead of growing memory
-    /// without bound.
+    /// Bounded depth of each worker's job inbox: submissions beyond
+    /// it park or shed (see [`Backpressure`]) instead of growing
+    /// memory without bound.
     pub queue_depth: usize,
+    /// Overflow policy for peer traffic on a full inbox.
+    pub backpressure: Backpressure,
 }
 
 impl Default for PoolConfig {
@@ -78,27 +139,46 @@ impl Default for PoolConfig {
         PoolConfig {
             workers: 0,
             queue_depth: 64,
+            backpressure: Backpressure::Park,
         }
     }
 }
 
-/// A worker thread died mid-job; the pool is poisoned and every
-/// subsequent operation reports this error.
+/// Sentinel message for "the pool was shut down, not poisoned" (a
+/// handle outliving [`IngestPool::finish`]/drop).
+const POOL_CLOSED: &str = "pool closed (finish or drop already ran)";
+
+/// A worker thread died mid-job (the pool is poisoned and every
+/// subsequent operation reports this error), or the pool was already
+/// shut down under a still-live [`PoolHandle`].
 #[derive(Clone, Debug)]
 pub struct PoolError {
-    /// Index of the worker that panicked.
+    /// Index of the worker that panicked (or refused the job).
     pub worker: usize,
     /// The panic payload, if it was a string.
     pub message: String,
 }
 
+impl PoolError {
+    fn closed(worker: usize) -> Self {
+        PoolError {
+            worker,
+            message: POOL_CLOSED.into(),
+        }
+    }
+}
+
 impl fmt::Display for PoolError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "ingest pool poisoned: worker {} panicked: {}",
-            self.worker, self.message
-        )
+        if self.message == POOL_CLOSED {
+            write!(f, "ingest pool closed: worker {} is gone", self.worker)
+        } else {
+            write!(
+                f,
+                "ingest pool poisoned: worker {} panicked: {}",
+                self.worker, self.message
+            )
+        }
     }
 }
 
@@ -111,11 +191,13 @@ pub struct WorkerStats {
     pub batches: u64,
     /// Update messages ingested across those bursts.
     pub messages: u64,
-    /// High-water mark of enqueued-but-unfinished jobs — how far the
-    /// submitter ran ahead of this worker. Counts the job being
-    /// processed and a sender blocked on a full queue, so it can read
-    /// up to [`PoolConfig::queue_depth`]` + 2`.
+    /// High-water mark of enqueued-but-unfinished jobs — how far
+    /// submitters ran ahead of this worker. Counts the job being
+    /// processed and in-flight push attempts, so it can read slightly
+    /// above [`PoolConfig::queue_depth`].
     pub queue_high_water: usize,
+    /// Peer bursts dropped under [`Backpressure::Shed`].
+    pub shed: u64,
 }
 
 /// Point-in-time counters for the whole pool (observability and the
@@ -145,15 +227,21 @@ impl PoolStats {
             .max()
             .unwrap_or(0)
     }
+
+    /// Total peer bursts shed across workers.
+    pub fn total_shed(&self) -> u64 {
+        self.workers.iter().map(|w| w.shed).sum()
+    }
 }
 
-/// Counters shared between the handle and one worker.
+/// Counters shared between the handles and one worker.
 #[derive(Default)]
 struct SharedCounters {
     depth: AtomicUsize,
     high_water: AtomicUsize,
     batches: AtomicU64,
     messages: AtomicU64,
+    shed: AtomicU64,
 }
 
 impl SharedCounters {
@@ -164,6 +252,10 @@ impl SharedCounters {
 
     fn on_done(&self) {
         self.depth.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    fn on_shed(&self) {
+        self.shed.fetch_add(1, Ordering::SeqCst);
     }
 }
 
@@ -177,11 +269,11 @@ type ShardBuckets<A> = Vec<(usize, Bucket<A>)>;
 /// The shards one worker owns, tagged with global shard indices.
 type OwnedShards<A, S, B> = Vec<(usize, Shard<A, S, B>)>;
 
-/// One unit of work on a worker's queue.
+/// One unit of work on a worker's inbox.
 enum Job<A: UqAdt> {
     /// Per-shard buckets of one submitted burst (global shard index).
     Ingest(ShardBuckets<A>),
-    /// A locally issued update, already stamped by the handle's clock.
+    /// A locally issued update, already stamped by the shared clock.
     Update {
         /// Global shard index of `key`.
         shard: usize,
@@ -203,8 +295,122 @@ enum Job<A: UqAdt> {
     Maintain,
     /// Flush every engine's storage backend (durability point).
     FlushBackends,
-    /// Flush barrier: ack once every earlier job on this queue is done.
+    /// Flush barrier: ack once every earlier job on this inbox is done.
     Barrier(Sender<()>),
+}
+
+/// The key → snapshot-cell registry for one shard. The registry map
+/// itself is epoch-published (its writer is the shard's owning
+/// worker), so readers discover new keys with the same wait-free load
+/// they use for the states.
+type SnapMap<A> = HashMap<Key, Arc<Published<<A as UqAdt>::State>>>;
+
+struct ShardSnapshots<A: UqAdt> {
+    keys: Published<SnapMap<A>>,
+}
+
+impl<A: UqAdt> Default for ShardSnapshots<A> {
+    fn default() -> Self {
+        ShardSnapshots {
+            keys: Published::new(),
+        }
+    }
+}
+
+/// The persisted clock-floor lease, shared by every handle. The
+/// fast path (stamp already covered by the on-disk floor) is one
+/// atomic load; the slow path — once per [`CLOCK_LEASE`] stamps —
+/// serializes on the latch, re-checks, persists `issued +
+/// CLOCK_LEASE`, and only then publishes the new floor, so a stamp
+/// can never be broadcast before the disk write that makes it
+/// unrepeatable lands. (Same crash-soundness argument as
+/// [`UcStore::reserve_clock`]: a re-issued timestamp would silently
+/// dedup away at peers and diverge the cluster.)
+struct ClockLease {
+    /// Highest floor known persisted; `u64::MAX` = nothing yet.
+    persisted: AtomicU64,
+    /// Serializes slow-path floor writes.
+    latch: Mutex<()>,
+}
+
+const NO_FLOOR: u64 = u64::MAX;
+
+impl ClockLease {
+    fn new() -> Self {
+        ClockLease {
+            persisted: AtomicU64::new(NO_FLOOR),
+            latch: Mutex::new(()),
+        }
+    }
+
+    /// Ensure the persisted floor covers `issued` before it can be
+    /// broadcast.
+    fn reserve(&self, issued: u64, persist: impl Fn(u64)) {
+        let p = self.persisted.load(Ordering::SeqCst);
+        if p != NO_FLOOR && issued <= p {
+            return;
+        }
+        let _g = self.latch.lock().unwrap_or_else(|e| e.into_inner());
+        let p = self.persisted.load(Ordering::SeqCst);
+        if p != NO_FLOOR && issued <= p {
+            return;
+        }
+        let floor = issued + CLOCK_LEASE;
+        persist(floor);
+        // Publish only after the write: a concurrent stamper's fast
+        // path must never trust a floor that is not on disk yet.
+        self.persisted.store(floor, Ordering::SeqCst);
+    }
+
+    /// Raise the floor to `clock` if it is above the lease (possible
+    /// after large peer-clock merges). Never lowers — with concurrent
+    /// stampers a downward write could undercut a stamp that already
+    /// passed its fast-path check.
+    fn raise_to(&self, clock: u64, persist: impl Fn(u64)) {
+        let _g = self.latch.lock().unwrap_or_else(|e| e.into_inner());
+        let p = self.persisted.load(Ordering::SeqCst);
+        if p == NO_FLOOR || clock > p {
+            persist(clock);
+            self.persisted.store(clock, Ordering::SeqCst);
+        }
+    }
+
+    /// Collapse the floor to the exact clock. **Quiesced callers
+    /// only** (finish/drop, after the workers joined): lowering the
+    /// floor is sound only when no stamp above `clock` can be in
+    /// flight.
+    fn collapse(&self, clock: u64, persist: impl Fn(u64)) {
+        let _g = self.latch.lock().unwrap_or_else(|e| e.into_inner());
+        if self.persisted.load(Ordering::SeqCst) != clock {
+            persist(clock);
+            self.persisted.store(clock, Ordering::SeqCst);
+        }
+    }
+}
+
+/// State shared by every [`PoolHandle`], the [`IngestPool`], and the
+/// workers. Generic over the ADT only — worker-side strategy and
+/// backend state lives in each worker's `WorkerState`.
+struct PoolCore<A: UqAdt> {
+    pid: u32,
+    clock: LamportClock,
+    lease: ClockLease,
+    num_shards: usize,
+    backpressure: Backpressure,
+    inboxes: Vec<Inbox<Job<A>>>,
+    counters: Vec<SharedCounters>,
+    snaps: Vec<ShardSnapshots<A>>,
+    /// First worker panic wins; the per-call check is a plain load.
+    poison: OnceLock<PoolError>,
+    /// Set by the first snapshot read; workers start publishing
+    /// post-repair states once they observe it.
+    snapshots_armed: AtomicBool,
+}
+
+impl<A: UqAdt> PoolCore<A> {
+    fn worker_of(&self, shard: usize) -> usize {
+        shard % self.inboxes.len()
+    }
 }
 
 /// Everything a worker owns: its shards plus what engine creation
@@ -324,42 +530,245 @@ where
     }
 }
 
-/// Worker main loop: drain jobs until every sender is gone (drop or
-/// [`IngestPool::finish`]), flush every owned backend, then hand the
-/// shards back through the join handle. A panicking job records its
-/// payload in `poison`, **flushes the backends** (the journal entries
+/// Which `(shard, key)` states a job will dirty (for snapshot
+/// republication after the drain).
+fn note_touched<A: UqAdt>(job: &Job<A>, touched: &mut BTreeSet<(usize, Key)>) {
+    match job {
+        Job::Ingest(buckets) => {
+            for (shard, bucket) in buckets {
+                for (key, _) in bucket {
+                    touched.insert((*shard, *key));
+                }
+            }
+        }
+        Job::Update { shard, key, .. } => {
+            touched.insert((*shard, *key));
+        }
+        // Queries, heartbeats, maintenance, flushes, and barriers
+        // never change a key's folded state (compaction moves log
+        // entries into the base without changing the fold).
+        _ => {}
+    }
+}
+
+/// Worker-local snapshot publisher: mirrors of each owned shard's
+/// key→cell registry, plus the per-worker epoch sequence. Each cell
+/// and each registry has exactly one writer (this worker), which is
+/// what [`Published::publish`]'s single-writer contract needs.
+struct SnapPublisher<A: UqAdt> {
+    mirrors: HashMap<usize, SnapMap<A>>,
+    seq: u64,
+}
+
+impl<A: UqAdt> SnapPublisher<A> {
+    fn new() -> Self {
+        SnapPublisher {
+            mirrors: HashMap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Publish `key`'s current engine state (if the key has an
+    /// engine). Registry publication for brand-new keys is deferred
+    /// to `flush_registries` so a backfill costs one map clone per
+    /// shard, not per key.
+    fn publish_key<F, P>(
+        &mut self,
+        core: &PoolCore<A>,
+        state: &mut WorkerState<A, F, P>,
+        shard_idx: usize,
+        key: Key,
+        dirty_registries: &mut BTreeSet<usize>,
+    ) where
+        A: Clone,
+        F: StrategyFactory<A>,
+        P: BackendFactory<A>,
+    {
+        let sh = shard_mut(&mut state.shards, shard_idx);
+        let Some(engine) = sh.objects.get_mut(&key) else {
+            return;
+        };
+        let snapshot = Arc::new(engine.materialize());
+        self.seq += 1;
+        let mirror = self.mirrors.entry(shard_idx).or_default();
+        match mirror.get(&key) {
+            Some(cell) => cell.publish(self.seq, snapshot),
+            None => {
+                let cell = Arc::new(Published::new());
+                cell.publish(self.seq, snapshot);
+                mirror.insert(key, cell);
+                dirty_registries.insert(shard_idx);
+            }
+        }
+        let _ = core; // registry publication happens in flush_registries
+    }
+
+    /// Publish the registries that gained keys this drain.
+    fn flush_registries(&mut self, core: &PoolCore<A>, dirty: &mut BTreeSet<usize>) {
+        for shard_idx in std::mem::take(dirty) {
+            if let Some(mirror) = self.mirrors.get(&shard_idx) {
+                self.seq += 1;
+                core.snaps[shard_idx]
+                    .keys
+                    .publish(self.seq, Arc::new(mirror.clone()));
+            }
+        }
+    }
+
+    /// Backfill: publish every key this worker owns (run once, when
+    /// the worker first observes snapshots being armed).
+    fn publish_all<F, P>(&mut self, core: &PoolCore<A>, state: &mut WorkerState<A, F, P>)
+    where
+        A: Clone,
+        F: StrategyFactory<A>,
+        P: BackendFactory<A>,
+    {
+        let mut dirty = BTreeSet::new();
+        let owned: Vec<(usize, Vec<Key>)> = state
+            .shards
+            .iter()
+            .map(|(idx, sh)| (*idx, sh.objects.keys().copied().collect()))
+            .collect();
+        for (shard_idx, keys) in owned {
+            for key in keys {
+                self.publish_key(core, state, shard_idx, key, &mut dirty);
+            }
+        }
+        self.flush_registries(core, &mut dirty);
+    }
+}
+
+/// Publish whatever snapshot work is pending: on the first armed
+/// observation, a backfill of every owned key; afterwards, the keys
+/// touched since the last publication. Runs at the end of every drain
+/// *and* immediately before a barrier ack, so a completed
+/// [`IngestPool::flush`] guarantees the published snapshots cover
+/// every earlier submission.
+#[allow(clippy::too_many_arguments)]
+fn publish_pending<A, F, P>(
+    core: &PoolCore<A>,
+    state: &mut WorkerState<A, F, P>,
+    publisher: &mut SnapPublisher<A>,
+    publishing: &mut bool,
+    touched: &mut BTreeSet<(usize, Key)>,
+    dirty_registries: &mut BTreeSet<usize>,
+) where
+    A: UqAdt + Clone,
+    F: StrategyFactory<A>,
+    P: BackendFactory<A>,
+{
+    if !*publishing {
+        *publishing = true;
+        touched.clear();
+        publisher.publish_all(core, state);
+    } else {
+        for (shard_idx, key) in std::mem::take(touched) {
+            publisher.publish_key(core, state, shard_idx, key, dirty_registries);
+        }
+        publisher.flush_registries(core, dirty_registries);
+    }
+}
+
+/// Worker main loop: claim-and-drain the inbox until it is closed and
+/// drained (finish/drop), flush every owned backend, then hand the
+/// shards back through the join handle. Each claimed job runs
+/// separately (identical repair accounting to the sequential path);
+/// after each drain — and before each barrier ack — the worker
+/// epoch-publishes the post-repair states of the touched keys if
+/// snapshot reads are armed.
+///
+/// A panicking job records its payload in the shared `OnceLock`
+/// poison slot, **flushes the backends** (the journal entries
 /// appended before the panic are valid — only the in-memory fold is
-/// suspect, and recovery refolds from the journal anyway), and exits —
-/// dropping the receiver disconnects the queue, so blocked or later
-/// submissions fail fast instead of deadlocking.
+/// suspect, and recovery refolds from the journal anyway), closes its
+/// inbox (so parked producers fail fast instead of deadlocking), and
+/// exits.
 fn worker_loop<A, F, P>(
     mut state: WorkerState<A, F, P>,
-    rx: Receiver<Job<A>>,
-    counters: Arc<SharedCounters>,
-    poison: Arc<Mutex<Option<String>>>,
+    core: Arc<PoolCore<A>>,
+    widx: usize,
 ) -> OwnedShards<A, F::Strategy, P::Backend>
 where
     A: UqAdt + Clone,
     F: StrategyFactory<A>,
     P: BackendFactory<A>,
 {
-    while let Ok(job) = rx.recv() {
-        let outcome = catch_unwind(AssertUnwindSafe(|| state.run(job, &counters)));
-        counters.on_done();
-        if let Err(payload) = outcome {
-            let message = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".into());
-            *poison.lock().unwrap_or_else(|p| p.into_inner()) = Some(message);
-            // A panicking shard must never leave an unsynced segment:
-            // flush before abandoning (under catch_unwind — a second
-            // panic must not tear the whole process down mid-poison).
-            let _ = catch_unwind(AssertUnwindSafe(|| state.flush_backends()));
-            // The shards may hold a half-repaired engine; abandon them
-            // rather than hand corrupt state back to `finish`.
-            return Vec::new();
+    let inbox = &core.inboxes[widx];
+    let counters = &core.counters[widx];
+    inbox.register_consumer(std::thread::current());
+    let mut batch: Vec<Job<A>> = Vec::new();
+    let mut touched: BTreeSet<(usize, Key)> = BTreeSet::new();
+    let mut dirty_registries: BTreeSet<usize> = BTreeSet::new();
+    let mut publisher: SnapPublisher<A> = SnapPublisher::new();
+    let mut publishing = false;
+    loop {
+        inbox.claim(&mut batch);
+        if batch.is_empty() {
+            if inbox.closed_and_drained() {
+                // One more claim is guaranteed to see every push that
+                // ever succeeded (the close gate drained).
+                inbox.claim(&mut batch);
+                if batch.is_empty() {
+                    break;
+                }
+            } else {
+                inbox.wait();
+                continue;
+            }
+        }
+        for job in std::mem::take(&mut batch) {
+            if matches!(job, Job::Barrier(_)) && core.snapshots_armed.load(Ordering::SeqCst) {
+                publish_pending(
+                    &core,
+                    &mut state,
+                    &mut publisher,
+                    &mut publishing,
+                    &mut touched,
+                    &mut dirty_registries,
+                );
+            }
+            note_touched(&job, &mut touched);
+            let outcome = catch_unwind(AssertUnwindSafe(|| state.run(job, counters)));
+            counters.on_done();
+            if let Err(payload) = outcome {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                let _ = core.poison.set(PoolError {
+                    worker: widx,
+                    message,
+                });
+                // A panicking shard must never leave an unsynced
+                // segment: flush before abandoning (under
+                // catch_unwind — a second panic must not tear the
+                // whole process down mid-poison).
+                let _ = catch_unwind(AssertUnwindSafe(|| state.flush_backends()));
+                // Refuse further pushes (parked producers fail fast)
+                // and drop whatever is queued: dropping query reply
+                // senders unblocks waiting handles.
+                inbox.close();
+                let mut rest = Vec::new();
+                inbox.claim(&mut rest);
+                drop(rest);
+                // The shards may hold a half-repaired engine; abandon
+                // them rather than hand corrupt state back to
+                // `finish`.
+                return Vec::new();
+            }
+        }
+        if core.snapshots_armed.load(Ordering::SeqCst) {
+            publish_pending(
+                &core,
+                &mut state,
+                &mut publisher,
+                &mut publishing,
+                &mut touched,
+                &mut dirty_registries,
+            );
+        } else {
+            touched.clear();
         }
     }
     // Drain-on-drop / finish: everything queued has been applied; make
@@ -368,17 +777,263 @@ where
     state.shards
 }
 
-struct WorkerHandle<A: UqAdt, F: StrategyFactory<A>, P: BackendFactory<A>> {
-    tx: Option<SyncSender<Job<A>>>,
-    #[allow(clippy::type_complexity)]
-    thread: Option<JoinHandle<OwnedShards<A, F::Strategy, P::Backend>>>,
-    counters: Arc<SharedCounters>,
-    poison: Arc<Mutex<Option<String>>>,
+/// A cloneable, `&self` handle to a pooled store: lock-free stamping
+/// and ingest, wait-free snapshot reads. Any number of handles (from
+/// any number of threads) may stamp and submit concurrently; see the
+/// [module docs](self) for the GC-strategy FIFO caveat on same-key
+/// concurrent stamping.
+pub struct PoolHandle<A, P = MemFactory>
+where
+    A: UqAdt + Clone + Send + 'static,
+    A::Update: Send,
+    A::QueryIn: Send,
+    A::QueryOut: Send,
+    A::State: Send + Sync,
+    P: BackendFactory<A> + Send + Sync + 'static,
+{
+    core: Arc<PoolCore<A>>,
+    adt: A,
+    persist: P,
 }
 
-/// The handle to a pooled [`UcStore`]: owns the store's clock and pid,
-/// routes work to the persistent shard workers, and reassembles the
-/// store on [`IngestPool::finish`]. Generic over the store's
+impl<A, P> Clone for PoolHandle<A, P>
+where
+    A: UqAdt + Clone + Send + 'static,
+    A::Update: Send,
+    A::QueryIn: Send,
+    A::QueryOut: Send,
+    A::State: Send + Sync,
+    P: BackendFactory<A> + Send + Sync + 'static,
+{
+    fn clone(&self) -> Self {
+        PoolHandle {
+            core: Arc::clone(&self.core),
+            adt: self.adt.clone(),
+            persist: self.persist.clone(),
+        }
+    }
+}
+
+impl<A, P> PoolHandle<A, P>
+where
+    A: UqAdt + Clone + Send + 'static,
+    A::Update: Send,
+    A::QueryIn: Send,
+    A::QueryOut: Send,
+    A::State: Send + Sync,
+    P: BackendFactory<A> + Send + Sync + 'static,
+{
+    fn err_for(&self, worker: usize) -> PoolError {
+        self.core
+            .poison
+            .get()
+            .cloned()
+            .unwrap_or_else(|| PoolError::closed(worker))
+    }
+
+    /// Push a job, applying `policy` on a full inbox. `Ok(true)` =
+    /// enqueued, `Ok(false)` = shed (counted).
+    fn push_job(
+        &self,
+        worker: usize,
+        mut job: Job<A>,
+        policy: Backpressure,
+    ) -> Result<bool, PoolError> {
+        let core = &*self.core;
+        let mut spins = 0u32;
+        loop {
+            if let Some(e) = core.poison.get() {
+                return Err(e.clone());
+            }
+            // Count the job *before* it becomes visible: the worker
+            // may claim and finish it (decrementing the depth) before
+            // a post-push increment would land, wrapping the counter.
+            core.counters[worker].on_enqueue();
+            match core.inboxes[worker].push(job) {
+                Ok(()) => {
+                    return Ok(true);
+                }
+                Err(PushError::Full(j)) => {
+                    core.counters[worker].on_done();
+                    match policy {
+                        Backpressure::Park => {
+                            job = j;
+                            // Bounded-depth backpressure: yield first,
+                            // then sleep-park — the worker is mid-drain
+                            // and will recycle slots shortly.
+                            spins += 1;
+                            if spins < 64 {
+                                std::thread::yield_now();
+                            } else {
+                                std::thread::sleep(Duration::from_micros(100));
+                            }
+                        }
+                        Backpressure::Shed => {
+                            core.counters[worker].on_shed();
+                            return Ok(false);
+                        }
+                    }
+                }
+                Err(PushError::Closed(_)) => {
+                    core.counters[worker].on_done();
+                    return Err(self.err_for(worker));
+                }
+            }
+        }
+    }
+
+    /// Perform a local update on `key`: tick the shared atomic clock
+    /// (wait-free), reserve the crash floor (one load on the fast
+    /// path), CAS-push onto the owning worker, and return the
+    /// broadcast message — without waiting for the worker (inbox
+    /// backpressure is the only throttle; local updates always park,
+    /// never shed).
+    pub fn update(&self, key: Key, u: A::Update) -> Result<StoreMsg<A::Update>, PoolError> {
+        let ts = Timestamp::new(self.core.clock.tick(), self.core.pid);
+        self.core
+            .lease
+            .reserve(ts.clock, |floor| self.persist.persist_store_clock(floor));
+        let shard = shard_index(key, self.core.num_shards);
+        let msg = UpdateMsg { ts, update: u };
+        self.push_job(
+            self.core.worker_of(shard),
+            Job::Update {
+                shard,
+                key,
+                msg: msg.clone(),
+            },
+            Backpressure::Park,
+        )?;
+        Ok(StoreMsg::Update { key, msg })
+    }
+
+    /// Strong read: round-trips through the owning worker, whose FIFO
+    /// inbox guarantees the answer reflects every earlier submission
+    /// from this handle touching the key (read-your-writes). Ticks
+    /// the clock (Algorithm 1 line 13). For the wait-free weak read,
+    /// see [`PoolHandle::query_snapshot`].
+    pub fn query(&self, key: Key, q: &A::QueryIn) -> Result<A::QueryOut, PoolError> {
+        let now = self.core.clock.tick();
+        let shard = shard_index(key, self.core.num_shards);
+        let worker = self.core.worker_of(shard);
+        let (reply, answer) = channel();
+        self.push_job(
+            worker,
+            Job::Query {
+                shard,
+                key,
+                now,
+                q: q.clone(),
+                reply,
+            },
+            Backpressure::Park,
+        )?;
+        answer.recv().map_err(|_| self.err_for(worker))
+    }
+
+    /// Wait-free weak read: a load of the latest epoch-published
+    /// post-repair snapshot. Never blocks behind a repair, a queued
+    /// burst, or a poisoned pool; never ticks the clock. Keys without
+    /// a published snapshot yet (including everything before the
+    /// first flush after arming) answer from the ADT's initial state.
+    ///
+    /// Snapshot publication is *armed* by the first call; follow with
+    /// [`IngestPool::flush`] (or any flush barrier) to backfill
+    /// already-materialized keys. Epochs are per-worker monotone:
+    /// a reader never observes a key's state regress (see
+    /// [`PoolHandle::query_snapshot_versioned`]).
+    pub fn query_snapshot(&self, key: Key, q: &A::QueryIn) -> A::QueryOut {
+        self.query_snapshot_versioned(key, q).1
+    }
+
+    /// [`PoolHandle::query_snapshot`], plus the snapshot's epoch
+    /// (0 = answered from the initial state). Epochs for one key only
+    /// ever increase — the monotonic-read regression tests assert it.
+    pub fn query_snapshot_versioned(&self, key: Key, q: &A::QueryIn) -> (u64, A::QueryOut) {
+        self.core.snapshots_armed.store(true, Ordering::SeqCst);
+        let shard = shard_index(key, self.core.num_shards);
+        if let Some((_, map)) = self.core.snaps[shard].keys.load() {
+            if let Some(cell) = map.get(&key) {
+                if let Some((epoch, state)) = cell.load() {
+                    return (epoch, self.adt.observe(&state, q));
+                }
+            }
+        }
+        (0, self.adt.observe(&self.adt.initial(), q))
+    }
+
+    /// Ingest a whole peer burst: updates are bucketed by shard and
+    /// pushed to their owning workers as one job each; heartbeats are
+    /// collapsed and broadcast to every worker afterwards (exactly
+    /// the sequential [`UcStore::apply_batch`] order, so results are
+    /// identical). Under [`Backpressure::Shed`], bursts and
+    /// heartbeats that meet a full inbox are dropped and counted.
+    pub fn submit_batch(&self, msgs: Vec<StoreMsg<A::Update>>) -> Result<(), PoolError> {
+        // Same routing helper as `UcStore::apply_batch`, so shard
+        // assignment and clock accounting cannot drift between the
+        // sequential and pooled ingest paths.
+        let (buckets, heartbeats, max_clock) = split_by_shard(msgs, self.core.num_shards);
+        self.core.clock.merge(max_clock);
+        let policy = self.core.backpressure;
+        let workers = self.core.inboxes.len();
+        let mut jobs: Vec<ShardBuckets<A>> = (0..workers).map(|_| Vec::new()).collect();
+        for (shard, bucket) in buckets.into_iter().enumerate() {
+            if !bucket.is_empty() {
+                jobs[self.core.worker_of(shard)].push((shard, bucket));
+            }
+        }
+        for (worker, job) in jobs.into_iter().enumerate() {
+            if !job.is_empty() {
+                self.push_job(worker, Job::Ingest(job), policy)?;
+            }
+        }
+        for (pid, clock) in collapse_heartbeats(heartbeats) {
+            self.core.clock.merge(clock);
+            for worker in 0..workers {
+                self.push_job(worker, Job::Heartbeat { pid, clock }, policy)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Barrier: block until every submission made before this call
+    /// has been fully applied by its worker (and, if snapshot reads
+    /// are armed, its post-repair state published).
+    pub fn flush(&self) -> Result<(), PoolError> {
+        let workers = self.core.inboxes.len();
+        let mut acks = Vec::with_capacity(workers);
+        for worker in 0..workers {
+            let (reply, ack) = channel();
+            self.push_job(worker, Job::Barrier(reply), Backpressure::Park)?;
+            acks.push((worker, ack));
+        }
+        for (worker, ack) in acks {
+            ack.recv().map_err(|_| self.err_for(worker))?;
+        }
+        Ok(())
+    }
+
+    /// This replica's process id.
+    pub fn pid(&self) -> u32 {
+        self.core.pid
+    }
+
+    /// The shared Lamport clock's current value.
+    pub fn clock(&self) -> u64 {
+        self.core.clock.now()
+    }
+}
+
+struct WorkerJoin<A: UqAdt, F: StrategyFactory<A>, P: BackendFactory<A>> {
+    #[allow(clippy::type_complexity)]
+    thread: Option<JoinHandle<OwnedShards<A, F::Strategy, P::Backend>>>,
+}
+
+/// The owning handle to a pooled [`UcStore`]: routes work to the
+/// persistent shard workers through lock-free claim inboxes and
+/// reassembles the store on [`IngestPool::finish`]. Cheap cloneable
+/// `&self` access for other threads comes from
+/// [`IngestPool::handle`]. Generic over the store's
 /// [`BackendFactory`], so pooled stores persist exactly like
 /// sequential ones (to reopen a persistent pooled store, use
 /// [`UcStore::reopen`] and pool the result). See the [module
@@ -389,22 +1044,15 @@ where
     A::Update: Send,
     A::QueryIn: Send,
     A::QueryOut: Send,
+    A::State: Send + Sync,
     F: StrategyFactory<A> + Send + 'static,
     F::Strategy: Send + 'static,
-    P: BackendFactory<A> + Send + 'static,
+    P: BackendFactory<A> + Send + Sync + 'static,
     P::Backend: Send + 'static,
 {
-    adt: A,
-    pid: u32,
-    clock: LamportClock,
+    handle: PoolHandle<A, P>,
     factory: F,
-    persist: P,
-    /// Clock floor last persisted (see `reserve_clock`); `None` until
-    /// the first persist after spawn.
-    persisted_floor: Option<u64>,
-    num_shards: usize,
-    workers: Vec<WorkerHandle<A, F, P>>,
-    poisoned: Option<PoolError>,
+    workers: Vec<WorkerJoin<A, F, P>>,
 }
 
 /// Same reservation width as the sequential store: one persisted
@@ -417,9 +1065,10 @@ where
     A::Update: Send,
     A::QueryIn: Send,
     A::QueryOut: Send,
+    A::State: Send + Sync,
     F: StrategyFactory<A> + Send + 'static,
     F::Strategy: Send + 'static,
-    P: BackendFactory<A> + Send + 'static,
+    P: BackendFactory<A> + Send + Sync + 'static,
     P::Backend: Send + 'static,
 {
     /// Move `store`'s shards onto `cfg.workers` long-lived threads
@@ -438,9 +1087,22 @@ where
         for (idx, shard) in shards.into_iter().enumerate() {
             owned[idx % workers].push((idx, shard));
         }
-        let handles = owned
+        let core = Arc::new(PoolCore {
+            pid,
+            clock,
+            lease: ClockLease::new(),
+            num_shards,
+            backpressure: cfg.backpressure,
+            inboxes: (0..workers).map(|_| Inbox::new(queue_depth)).collect(),
+            counters: (0..workers).map(|_| SharedCounters::default()).collect(),
+            snaps: (0..num_shards).map(|_| ShardSnapshots::default()).collect(),
+            poison: OnceLock::new(),
+            snapshots_armed: AtomicBool::new(false),
+        });
+        let joins = owned
             .into_iter()
-            .map(|shards| {
+            .enumerate()
+            .map(|(widx, shards)| {
                 let state = WorkerState {
                     shards,
                     adt: adt.clone(),
@@ -448,232 +1110,108 @@ where
                     factory: factory.clone(),
                     persist: persist.clone(),
                 };
-                let (tx, rx) = std::sync::mpsc::sync_channel(queue_depth);
-                let counters = Arc::new(SharedCounters::default());
-                let poison = Arc::new(Mutex::new(None));
-                let (c, p) = (Arc::clone(&counters), Arc::clone(&poison));
-                let thread = std::thread::spawn(move || worker_loop(state, rx, c, p));
-                WorkerHandle {
-                    tx: Some(tx),
+                let core = Arc::clone(&core);
+                let thread = std::thread::spawn(move || worker_loop(state, core, widx));
+                WorkerJoin {
                     thread: Some(thread),
-                    counters,
-                    poison,
                 }
             })
             .collect();
         IngestPool {
-            adt,
-            pid,
-            clock,
+            handle: PoolHandle { core, adt, persist },
             factory,
-            persist,
-            persisted_floor: None,
-            num_shards,
-            workers: handles,
-            poisoned: None,
+            workers: joins,
         }
     }
 
-    /// Which worker owns `key`'s shard.
-    fn worker_of(&self, shard: usize) -> usize {
-        shard % self.workers.len()
+    /// A cloneable `&self` handle for concurrent producers/readers on
+    /// other threads. Handles stay valid (but error on submission)
+    /// after [`IngestPool::finish`]/drop; their snapshot reads keep
+    /// answering from the last published state.
+    pub fn handle(&self) -> PoolHandle<A, P> {
+        self.handle.clone()
     }
 
-    /// Record (and return) the poison state of `worker`, joining its
-    /// thread to harvest the panic message.
-    fn poison(&mut self, worker: usize) -> PoolError {
-        if let Some(err) = &self.poisoned {
-            return err.clone();
-        }
-        let w = &mut self.workers[worker];
-        w.tx = None;
-        if let Some(thread) = w.thread.take() {
-            let _ = thread.join();
-        }
-        let message = w
-            .poison
-            .lock()
-            .unwrap_or_else(|p| p.into_inner())
-            .clone()
-            .unwrap_or_else(|| "worker exited unexpectedly".into());
-        let err = PoolError { worker, message };
-        self.poisoned = Some(err.clone());
-        err
-    }
-
-    fn send(&mut self, worker: usize, job: Job<A>) -> Result<(), PoolError> {
-        if let Some(err) = &self.poisoned {
-            return Err(err.clone());
-        }
-        let Some(tx) = self.workers[worker].tx.as_ref() else {
-            return Err(self.poison(worker));
-        };
-        self.workers[worker].counters.on_enqueue();
-        match tx.send(job) {
-            Ok(()) => Ok(()),
-            Err(_) => {
-                self.workers[worker].counters.on_done();
-                Err(self.poison(worker))
-            }
-        }
-    }
-
-    /// Perform a local update on `key`: tick the shared clock, stamp,
-    /// enqueue the application on the owning worker, and return the
-    /// broadcast message — without waiting for the worker (the queue's
-    /// backpressure is the only blocking).
+    /// Perform a local update on `key` (see [`PoolHandle::update`]).
     pub fn update(&mut self, key: Key, u: A::Update) -> Result<StoreMsg<A::Update>, PoolError> {
-        let ts = Timestamp::new(self.clock.tick(), self.pid);
-        self.reserve_clock(ts.clock);
-        let shard = shard_index(key, self.num_shards);
-        let msg = UpdateMsg { ts, update: u };
-        self.send(
-            self.worker_of(shard),
-            Job::Update {
-                shard,
-                key,
-                msg: msg.clone(),
-            },
-        )?;
-        Ok(StoreMsg::Update { key, msg })
+        self.handle.update(key, u)
     }
 
-    /// Answer a query on `key` from the owning worker. The clock ticks
-    /// here (Algorithm 1 line 13) and the worker's FIFO queue
-    /// guarantees the answer reflects every earlier submission
-    /// touching the key.
+    /// Strong read through the owning worker (see
+    /// [`PoolHandle::query`]).
     pub fn query(&mut self, key: Key, q: &A::QueryIn) -> Result<A::QueryOut, PoolError> {
-        let now = self.clock.tick();
-        let shard = shard_index(key, self.num_shards);
-        let worker = self.worker_of(shard);
-        let (reply, answer) = channel();
-        self.send(
-            worker,
-            Job::Query {
-                shard,
-                key,
-                now,
-                q: q.clone(),
-                reply,
-            },
-        )?;
-        answer.recv().map_err(|_| self.poison(worker))
+        self.handle.query(key, q)
     }
 
-    /// Ingest a whole peer burst: updates are bucketed by shard and
-    /// enqueued on their owning workers as one job each; heartbeats
-    /// are collapsed and broadcast to every worker afterwards (exactly
-    /// the sequential [`UcStore::apply_batch`] order, so results are
-    /// identical).
+    /// Wait-free weak read of the latest published snapshot (see
+    /// [`PoolHandle::query_snapshot`]).
+    pub fn query_snapshot(&self, key: Key, q: &A::QueryIn) -> A::QueryOut {
+        self.handle.query_snapshot(key, q)
+    }
+
+    /// Ingest a whole peer burst (see [`PoolHandle::submit_batch`]).
     pub fn submit_batch(&mut self, msgs: Vec<StoreMsg<A::Update>>) -> Result<(), PoolError> {
-        // Same routing helper as `UcStore::apply_batch`, so shard
-        // assignment and clock accounting cannot drift between the
-        // sequential and pooled ingest paths.
-        let (buckets, heartbeats, max_clock) = split_by_shard(msgs, self.num_shards);
-        self.clock.merge(max_clock);
-        let mut jobs: Vec<ShardBuckets<A>> = (0..self.workers.len()).map(|_| Vec::new()).collect();
-        for (shard, bucket) in buckets.into_iter().enumerate() {
-            if !bucket.is_empty() {
-                jobs[self.worker_of(shard)].push((shard, bucket));
-            }
-        }
-        for (worker, job) in jobs.into_iter().enumerate() {
-            if !job.is_empty() {
-                self.send(worker, Job::Ingest(job))?;
-            }
-        }
-        for (pid, clock) in collapse_heartbeats(heartbeats) {
-            self.clock.merge(clock);
-            for worker in 0..self.workers.len() {
-                self.send(worker, Job::Heartbeat { pid, clock })?;
-            }
-        }
-        Ok(())
+        self.handle.submit_batch(msgs)
     }
 
-    /// Barrier: block until every submission made before this call has
-    /// been fully applied by its worker.
+    /// Barrier: block until every prior submission has been applied.
     pub fn flush(&mut self) -> Result<(), PoolError> {
-        let mut acks = Vec::with_capacity(self.workers.len());
-        for worker in 0..self.workers.len() {
-            let (reply, ack) = channel();
-            self.send(worker, Job::Barrier(reply))?;
-            acks.push((worker, ack));
-        }
-        for (worker, ack) in acks {
-            ack.recv().map_err(|_| self.poison(worker))?;
-        }
-        Ok(())
+        self.handle.flush()
     }
 
     /// Announce the shared clock (stability heartbeat covering every
     /// key at once).
     pub fn heartbeat(&self) -> StoreMsg<A::Update> {
         StoreMsg::Heartbeat {
-            pid: self.pid,
-            clock: self.clock.now(),
+            pid: self.handle.core.pid,
+            clock: self.handle.core.clock.now(),
         }
     }
 
     /// Run per-key maintenance (compaction) on every worker's engines.
     pub fn tick_maintenance(&mut self) -> Result<(), PoolError> {
         for worker in 0..self.workers.len() {
-            self.send(worker, Job::Maintain)?;
+            self.handle
+                .push_job(worker, Job::Maintain, Backpressure::Park)?;
         }
         Ok(())
     }
 
-    /// Flush every worker's storage backends and persist the handle's
-    /// clock watermark. Asynchronous — the job is enqueued in FIFO
-    /// order behind all prior submissions; follow with
-    /// [`IngestPool::flush`] to wait for durability. (Both worker-exit
-    /// paths — drain-on-drop and poisoning — also flush, so dropping
-    /// the handle never leaves an unsynced segment.)
+    /// Flush every worker's storage backends and raise the persisted
+    /// clock watermark if the clock overtook the lease. Asynchronous —
+    /// the job lands in FIFO order behind all prior submissions;
+    /// follow with [`IngestPool::flush`] to wait for durability.
+    /// (Both worker-exit paths — drain-on-drop and poisoning — also
+    /// flush, so dropping the handle never leaves an unsynced
+    /// segment.) The floor is **not** collapsed downward here: with
+    /// concurrent stampers that could undercut a stamp that already
+    /// passed its lease check; exact collapse happens at the quiesced
+    /// finish/drop points.
     pub fn flush_backends(&mut self) -> Result<(), PoolError> {
         for worker in 0..self.workers.len() {
-            self.send(worker, Job::FlushBackends)?;
+            self.handle
+                .push_job(worker, Job::FlushBackends, Backpressure::Park)?;
         }
-        // Collapsing the floor from its lease to the actual clock is
-        // safe even though the flush jobs are asynchronous: the clock
-        // covers every timestamp the handle has issued, so it is a
-        // valid recovery floor regardless of what is still queued.
-        self.persist_clock_floor(self.clock.now());
+        let core = &self.handle.core;
+        core.lease.raise_to(core.clock.now(), |floor| {
+            self.handle.persist.persist_store_clock(floor)
+        });
         Ok(())
-    }
-
-    /// Persist `floor` as the recovery clock floor, skipping the write
-    /// when unchanged (idle ticks cost no IO).
-    fn persist_clock_floor(&mut self, floor: u64) {
-        if self.persisted_floor != Some(floor) {
-            self.persist.persist_store_clock(floor);
-            self.persisted_floor = Some(floor);
-        }
-    }
-
-    /// Ensure the persisted recovery floor covers `issued` (leased
-    /// `CLOCK_LEASE` ahead) — same crash-soundness argument as
-    /// [`UcStore::reserve_clock`]: a broadcast timestamp must never be
-    /// re-issuable after a crash-reopen, or peers' dedup silently
-    /// drops the reissue and the cluster diverges.
-    fn reserve_clock(&mut self, issued: u64) {
-        if self.persisted_floor.is_none_or(|f| issued > f) {
-            self.persist_clock_floor(issued + CLOCK_LEASE);
-        }
     }
 
     /// This replica's process id.
     pub fn pid(&self) -> u32 {
-        self.pid
+        self.handle.core.pid
     }
 
     /// The shared Lamport clock's current value.
     pub fn clock(&self) -> u64 {
-        self.clock.now()
+        self.handle.core.clock.now()
     }
 
     /// Number of shards (unchanged from the pooled store).
     pub fn num_shards(&self) -> usize {
-        self.num_shards
+        self.handle.core.num_shards
     }
 
     /// Number of worker threads.
@@ -685,31 +1223,33 @@ where
     pub fn stats(&self) -> PoolStats {
         PoolStats {
             workers: self
-                .workers
+                .handle
+                .core
+                .counters
                 .iter()
-                .map(|w| WorkerStats {
-                    batches: w.counters.batches.load(Ordering::Relaxed),
-                    messages: w.counters.messages.load(Ordering::Relaxed),
-                    queue_high_water: w.counters.high_water.load(Ordering::Relaxed),
+                .map(|c| WorkerStats {
+                    batches: c.batches.load(Ordering::Relaxed),
+                    messages: c.messages.load(Ordering::Relaxed),
+                    queue_high_water: c.high_water.load(Ordering::Relaxed),
+                    shed: c.shed.load(Ordering::Relaxed),
                 })
                 .collect(),
         }
     }
 
-    /// Drain every queue, stop the workers, and reassemble the
+    /// Drain every inbox, stop the workers, and reassemble the
     /// [`UcStore`] (its clock reflecting everything the pool stamped
     /// or ingested). Fails if any worker panicked.
     pub fn finish(mut self) -> Result<UcStore<A, F, P>, PoolError> {
-        if let Some(err) = &self.poisoned {
-            return Err(err.clone());
-        }
+        let core = &self.handle.core;
         #[allow(clippy::type_complexity)]
         let mut shards: Vec<Option<Shard<A, F::Strategy, P::Backend>>> =
-            (0..self.num_shards).map(|_| None).collect();
+            (0..core.num_shards).map(|_| None).collect();
+        for inbox in &core.inboxes {
+            inbox.close();
+        }
         for worker in 0..self.workers.len() {
-            let w = &mut self.workers[worker];
-            w.tx = None; // closing the queue ends the worker's loop
-            let Some(thread) = w.thread.take() else {
+            let Some(thread) = self.workers[worker].thread.take() else {
                 continue;
             };
             match thread.join() {
@@ -718,71 +1258,77 @@ where
                     for (idx, shard) in owned {
                         shards[idx] = Some(shard);
                     }
-                    // A worker that hit a panic *after* recording it
-                    // returns no shards; surface the recorded error.
+                    // A worker that hit a panic returns no shards;
+                    // surface the recorded error.
                     if returned == 0 {
-                        if let Some(message) =
-                            w.poison.lock().unwrap_or_else(|p| p.into_inner()).clone()
-                        {
-                            return Err(PoolError { worker, message });
-                        }
+                        return Err(self.handle.err_for(worker));
                     }
                 }
                 Err(_) => {
-                    return Err(self.poison(worker));
+                    return Err(self.handle.err_for(worker));
                 }
             }
+        }
+        if let Some(err) = core.poison.get() {
+            return Err(err.clone());
         }
         let shards = shards
             .into_iter()
             .collect::<Option<Vec<_>>>()
             .expect("every shard returned by exactly one worker");
-        // Workers flushed their backends before joining; persist the
-        // store-level watermark to match.
-        self.persist_clock_floor(self.clock.now());
+        // Workers joined: the clock read covers every issued stamp,
+        // so collapsing the floor to the exact clock is sound here.
+        let core = &self.handle.core;
+        core.lease.collapse(core.clock.now(), |floor| {
+            self.handle.persist.persist_store_clock(floor)
+        });
         Ok(UcStore::from_parts(
-            self.adt.clone(),
-            self.pid,
-            self.clock.clone(),
+            self.handle.adt.clone(),
+            core.pid,
+            core.clock.clone(),
             self.factory.clone(),
-            self.persist.clone(),
+            self.handle.persist.clone(),
             shards,
         ))
     }
 }
 
-/// Drain-on-drop: closing the queues lets every worker finish its
+/// Drain-on-drop: closing the inboxes lets every worker finish its
 /// backlog — and flush its storage backends — before exiting; the join
-/// guarantees no thread outlives the handle. Panics (ours or a
-/// worker's) are swallowed — `Drop` must not double-panic.
+/// guarantees no worker thread outlives the owning handle. Panics
+/// (ours or a worker's) are swallowed — `Drop` must not double-panic.
 impl<A, F, P> Drop for IngestPool<A, F, P>
 where
     A: UqAdt + Clone + Send + 'static,
     A::Update: Send,
     A::QueryIn: Send,
     A::QueryOut: Send,
+    A::State: Send + Sync,
     F: StrategyFactory<A> + Send + 'static,
     F::Strategy: Send + 'static,
-    P: BackendFactory<A> + Send + 'static,
+    P: BackendFactory<A> + Send + Sync + 'static,
     P::Backend: Send + 'static,
 {
     fn drop(&mut self) {
-        for w in &mut self.workers {
-            w.tx = None;
+        for inbox in &self.handle.core.inboxes {
+            inbox.close();
         }
         for w in &mut self.workers {
             if let Some(thread) = w.thread.take() {
                 let _ = thread.join();
             }
         }
-        self.persist_clock_floor(self.clock.now());
+        let core = &self.handle.core;
+        core.lease.collapse(core.clock.now(), |floor| {
+            self.handle.persist.persist_store_clock(floor)
+        });
     }
 }
 
 /// A pooled store is a [`Protocol`] node: invocations stamp on the
-/// handle and enqueue to the owning worker, peer bursts land on
-/// [`IngestPool::submit_batch`] — so the pool runs unchanged under
-/// the threaded cluster and the deterministic simulator.
+/// shared atomic clock and push to the owning worker, peer bursts
+/// land on [`IngestPool::submit_batch`] — so the pool runs unchanged
+/// under the threaded cluster and the deterministic simulator.
 ///
 /// # Panics
 ///
@@ -794,9 +1340,10 @@ where
     A::Update: Send,
     A::QueryIn: Send,
     A::QueryOut: Send,
+    A::State: Send + Sync,
     F: StrategyFactory<A> + Send + 'static,
     F::Strategy: Send + 'static,
-    P: BackendFactory<A> + Send + 'static,
+    P: BackendFactory<A> + Send + Sync + 'static,
     P::Backend: Send + 'static,
 {
     type Msg = StoreMsg<A::Update>;
@@ -860,6 +1407,7 @@ mod tests {
         PoolConfig {
             workers,
             queue_depth: 8,
+            backpressure: Backpressure::Park,
         }
     }
 
@@ -925,6 +1473,7 @@ mod tests {
         assert_eq!(stats.total_messages(), 64);
         assert!(stats.total_batches() >= 1);
         assert!(stats.max_queue_high_water() >= 1);
+        assert_eq!(stats.total_shed(), 0);
         pool.finish().unwrap();
     }
 
@@ -954,5 +1503,92 @@ mod tests {
                 "gc semantics survived pooling, key {k}"
             );
         }
+    }
+
+    #[test]
+    fn shed_policy_drops_and_counts_instead_of_parking() {
+        let mut producer = store(1, 1);
+        let msgs: Vec<_> = (0..512u64)
+            .map(|i| producer.update(i % 4, SetUpdate::Insert(i as u32)))
+            .collect();
+        let mut pool = store(0, 1).into_pool(PoolConfig {
+            workers: 1,
+            queue_depth: 1,
+            backpressure: Backpressure::Shed,
+        });
+        // A burst per message against a depth-1 inbox must shed some.
+        for m in msgs {
+            pool.submit_batch(vec![m]).unwrap();
+        }
+        pool.flush().unwrap();
+        let stats = pool.stats();
+        assert!(
+            stats.total_shed() > 0,
+            "depth-1 shed inbox under 512 one-message bursts must drop"
+        );
+        assert_eq!(
+            stats.total_messages() + stats.total_shed(),
+            512,
+            "every burst either ingested or counted as shed"
+        );
+        pool.finish().unwrap();
+    }
+
+    #[test]
+    fn snapshot_reads_are_published_after_flush() {
+        let mut pool = store(0, 4).into_pool(cfg(2));
+        let reader = pool.handle();
+        // Arm snapshots, then write and flush: the barrier backfills.
+        assert_eq!(reader.query_snapshot(7, &SetQuery::Read), BTreeSet::new());
+        pool.update(7, SetUpdate::Insert(1)).unwrap();
+        pool.update(7, SetUpdate::Insert(2)).unwrap();
+        pool.flush().unwrap();
+        let (epoch, out) = reader.query_snapshot_versioned(7, &SetQuery::Read);
+        assert_eq!(out, BTreeSet::from([1, 2]));
+        assert!(epoch > 0, "published snapshot must carry an epoch");
+        // Snapshot reads never tick the clock.
+        let before = pool.clock();
+        let _ = reader.query_snapshot(7, &SetQuery::Read);
+        assert_eq!(pool.clock(), before);
+        // Handles survive finish; snapshots keep answering.
+        drop(pool.finish().unwrap());
+        assert_eq!(
+            reader.query_snapshot(7, &SetQuery::Read),
+            BTreeSet::from([1, 2])
+        );
+        let err = reader
+            .update(7, SetUpdate::Insert(3))
+            .expect_err("updates after finish must fail");
+        assert!(err.to_string().contains("closed"));
+    }
+
+    #[test]
+    fn concurrent_handles_stamp_unique_timestamps() {
+        let pool = store(0, 4).into_pool(cfg(2));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = pool.handle();
+                std::thread::spawn(move || {
+                    (0..250u64)
+                        .map(|i| {
+                            let StoreMsg::Update { msg, .. } =
+                                h.update(t * 1000 + i, SetUpdate::Insert(i as u32)).unwrap()
+                            else {
+                                panic!("update returns an update message");
+                            };
+                            msg.ts
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut seen = BTreeSet::new();
+        for h in handles {
+            for ts in h.join().unwrap() {
+                assert!(seen.insert(ts), "duplicate stamp {ts:?}");
+            }
+        }
+        assert_eq!(pool.clock(), 1000);
+        pool.finish().unwrap();
     }
 }

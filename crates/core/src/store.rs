@@ -833,9 +833,10 @@ where
         A::Update: Send,
         A::QueryIn: Send,
         A::QueryOut: Send,
+        A::State: Send + Sync,
         F: Send + 'static,
         F::Strategy: Send + 'static,
-        P: Send + 'static,
+        P: Send + Sync + 'static,
         P::Backend: Send + 'static,
     {
         crate::pool::IngestPool::spawn(self, cfg)

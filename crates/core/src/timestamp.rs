@@ -9,6 +9,7 @@
 //! respects program order and message causality.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A `(clock, pid)` Lamport timestamp, ordered lexicographically.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -47,35 +48,77 @@ impl fmt::Debug for Timestamp {
     }
 }
 
-/// A process-local Lamport clock (lines 2, 5, 9, 13 of Algorithm 1).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+/// A process-local Lamport clock (lines 2, 5, 9, 13 of Algorithm 1),
+/// backed by an `AtomicU64` so any number of handles may stamp
+/// through one clock concurrently without a lock.
+///
+/// `tick` is a single unconditional `fetch_add` — the degenerate,
+/// always-succeeding compare-and-swap, so stamping is *wait-free* —
+/// and `merge` is a `fetch_max` (a bounded CAS retry under
+/// contention, lock-free). Two concurrent `tick`s can never return
+/// the same value, so `(clock, pid)` pairs stamped through a shared
+/// clock are unique by construction; [`ReplicaEngine`] re-asserts
+/// this when the stamp reaches the log (a duplicate would silently
+/// dedup away at peers and diverge the cluster).
+///
+/// The methods take `&self`; single-owner call sites that used to
+/// hold `&mut` compile unchanged.
+///
+/// [`ReplicaEngine`]: crate::engine::ReplicaEngine
+#[derive(Debug, Default)]
 pub struct LamportClock {
-    current: u64,
+    current: AtomicU64,
 }
 
 impl LamportClock {
     /// A clock at 0.
     pub fn new() -> Self {
-        LamportClock { current: 0 }
+        LamportClock {
+            current: AtomicU64::new(0),
+        }
+    }
+
+    /// A clock starting at `value` (recovery from a persisted floor).
+    pub fn at(value: u64) -> Self {
+        LamportClock {
+            current: AtomicU64::new(value),
+        }
     }
 
     /// Current value.
     pub fn now(&self) -> u64 {
-        self.current
+        self.current.load(Ordering::SeqCst)
     }
 
     /// `clock ← clock + 1` (performed on every update *and* query in
-    /// Algorithm 1), returning the new value.
-    pub fn tick(&mut self) -> u64 {
-        self.current += 1;
-        self.current
+    /// Algorithm 1), returning the new value. Wait-free: one atomic
+    /// increment, unique per caller even under contention.
+    pub fn tick(&self) -> u64 {
+        self.current.fetch_add(1, Ordering::SeqCst) + 1
     }
 
     /// `clock ← max(clock, observed)` (line 9, on message receipt).
-    pub fn merge(&mut self, observed: u64) {
-        self.current = self.current.max(observed);
+    /// Lock-free running max.
+    pub fn merge(&self, observed: u64) {
+        self.current.fetch_max(observed, Ordering::SeqCst);
     }
 }
+
+/// Clones observe the current value; the copies tick independently
+/// afterwards (exactly the old non-atomic semantics).
+impl Clone for LamportClock {
+    fn clone(&self) -> Self {
+        LamportClock::at(self.now())
+    }
+}
+
+impl PartialEq for LamportClock {
+    fn eq(&self, other: &Self) -> bool {
+        self.now() == other.now()
+    }
+}
+
+impl Eq for LamportClock {}
 
 #[cfg(test)]
 mod tests {
@@ -90,7 +133,7 @@ mod tests {
 
     #[test]
     fn tick_is_strictly_increasing() {
-        let mut c = LamportClock::new();
+        let c = LamportClock::new();
         let a = c.tick();
         let b = c.tick();
         assert!(b > a);
@@ -98,7 +141,7 @@ mod tests {
 
     #[test]
     fn merge_takes_max() {
-        let mut c = LamportClock::new();
+        let c = LamportClock::new();
         c.tick();
         c.merge(10);
         assert_eq!(c.now(), 10);
@@ -109,9 +152,29 @@ mod tests {
     #[test]
     fn happened_before_is_respected() {
         // Receive at 10, then local tick: local events stamp > 10.
-        let mut c = LamportClock::new();
+        let c = LamportClock::new();
         c.merge(10);
         assert!(c.tick() > 10);
+    }
+
+    #[test]
+    fn concurrent_ticks_are_unique() {
+        use std::collections::BTreeSet;
+        use std::sync::Arc;
+        let clock = Arc::new(LamportClock::new());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let clock = Arc::clone(&clock);
+                std::thread::spawn(move || (0..1000).map(|_| clock.tick()).collect::<Vec<u64>>())
+            })
+            .collect();
+        let mut seen = BTreeSet::new();
+        for t in threads {
+            for v in t.join().unwrap() {
+                assert!(seen.insert(v), "duplicate stamp {v}");
+            }
+        }
+        assert_eq!(clock.now(), 4000);
     }
 
     #[test]

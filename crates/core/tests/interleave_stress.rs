@@ -1,0 +1,212 @@
+//! Schedule-perturbation stress for the lock-free primitives, driven
+//! by the `interleave` shim (a pragmatic loom stand-in — see
+//! `crates/shims/README.md`): the real inbox and clock code runs on
+//! real threads while seeded yield/spin/sleep injection at the racy
+//! seams pushes the OS scheduler into interleavings an unperturbed
+//! run rarely exposes.
+//!
+//! Covered seams:
+//! * **inbox claim/drain** — producers CAS-pushing against a consumer
+//!   swap-claiming, through full-inbox backpressure and the
+//!   close/drain handoff: nothing lost, nothing duplicated,
+//!   per-producer FIFO preserved;
+//! * **clock CAS** — concurrent `tick` (fetch_add) and `merge`
+//!   (fetch_max running max): stamps stay unique, the clock never
+//!   regresses, and merges are monotone.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use uc_core::{Inbox, LamportClock, PushError};
+
+const SEEDS: u64 = 6;
+const PRODUCERS: u64 = 3;
+const ITEMS_PER_PRODUCER: u64 = 400;
+
+#[test]
+fn perturbed_inbox_loses_nothing_and_keeps_fifo() {
+    interleave::explore(SEEDS, |run| {
+        let inbox: Arc<Inbox<(u64, u64)>> = Arc::new(Inbox::new(8));
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let inbox = Arc::clone(&inbox);
+                let mut sched = run.schedule(p + 1);
+                std::thread::spawn(move || {
+                    for i in 0..ITEMS_PER_PRODUCER {
+                        let mut item = (p, i);
+                        loop {
+                            sched.point(); // race the freelist pop / head CAS
+                            match inbox.push(item) {
+                                Ok(()) => break,
+                                Err(PushError::Full(it)) => {
+                                    item = it;
+                                    std::thread::yield_now();
+                                }
+                                Err(PushError::Closed(_)) => {
+                                    panic!("inbox closed under a live producer")
+                                }
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        let consumer = {
+            let inbox = Arc::clone(&inbox);
+            let mut sched = run.schedule(0);
+            std::thread::spawn(move || {
+                inbox.register_consumer(std::thread::current());
+                let mut batch = Vec::new();
+                let mut got: Vec<Vec<u64>> = (0..PRODUCERS).map(|_| Vec::new()).collect();
+                loop {
+                    sched.point(); // race the swap-claim against pushes
+                    inbox.claim(&mut batch);
+                    if batch.is_empty() {
+                        if inbox.closed_and_drained() {
+                            inbox.claim(&mut batch);
+                            if batch.is_empty() {
+                                break;
+                            }
+                        } else {
+                            inbox.wait();
+                            continue;
+                        }
+                    }
+                    for (p, i) in batch.drain(..) {
+                        got[p as usize].push(i);
+                    }
+                }
+                got
+            })
+        };
+
+        for p in producers {
+            p.join().unwrap();
+        }
+        inbox.close();
+        let got = consumer.join().unwrap();
+        for (p, seq) in got.iter().enumerate() {
+            assert_eq!(
+                seq.len() as u64,
+                ITEMS_PER_PRODUCER,
+                "seed {}: producer {p} lost items",
+                run.seed()
+            );
+            assert!(
+                seq.windows(2).all(|w| w[0] < w[1]),
+                "seed {}: producer {p} order broken (per-producer FIFO)",
+                run.seed()
+            );
+        }
+    });
+}
+
+#[test]
+fn perturbed_close_drains_every_accepted_push() {
+    // The close/drain gate: producers race `close()` itself; every
+    // push that reported Ok must be claimable afterwards, every push
+    // after close must be refused.
+    interleave::explore(SEEDS, |run| {
+        let inbox: Arc<Inbox<u64>> = Arc::new(Inbox::new(4));
+        let accepted = Arc::new(AtomicU64::new(0));
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let inbox = Arc::clone(&inbox);
+                let accepted = Arc::clone(&accepted);
+                let mut sched = run.schedule(p + 1);
+                std::thread::spawn(move || {
+                    for i in 0..200u64 {
+                        sched.point();
+                        match inbox.push(p * 1000 + i) {
+                            Ok(()) => {
+                                accepted.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(PushError::Full(_)) => std::thread::yield_now(),
+                            Err(PushError::Closed(_)) => return,
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Close midway through the contention window.
+        let mut sched = run.schedule(99);
+        for _ in 0..32 {
+            sched.point();
+        }
+        inbox.close();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut drained = Vec::new();
+        let mut batch = Vec::new();
+        loop {
+            inbox.claim(&mut batch);
+            if batch.is_empty() && inbox.closed_and_drained() {
+                inbox.claim(&mut batch);
+                if batch.is_empty() {
+                    break;
+                }
+            }
+            drained.append(&mut batch);
+        }
+        assert_eq!(
+            drained.len() as u64,
+            accepted.load(Ordering::SeqCst),
+            "seed {}: accepted pushes must all drain after close",
+            run.seed()
+        );
+    });
+}
+
+#[test]
+fn perturbed_clock_ticks_stay_unique_and_monotone() {
+    interleave::explore(SEEDS, |run| {
+        let clock = Arc::new(LamportClock::new());
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let clock = Arc::clone(&clock);
+                let mut sched = run.schedule(t);
+                std::thread::spawn(move || {
+                    let mut stamps = Vec::new();
+                    let mut last_seen = 0;
+                    for _ in 0..500 {
+                        sched.point(); // race fetch_add against fetch_max
+                        match sched.choose(4) {
+                            // Mostly tick; stamps must be unique and
+                            // each thread's stamps strictly increase.
+                            0..=2 => {
+                                let v = clock.tick();
+                                assert!(v > last_seen, "tick regressed");
+                                last_seen = v;
+                                stamps.push(v);
+                            }
+                            // Sometimes merge a peer clock ahead of
+                            // everything seen; now() must cover it.
+                            _ => {
+                                let peer = last_seen + sched.choose(3);
+                                clock.merge(peer);
+                                let now = clock.now();
+                                assert!(now >= peer, "merge lost: {now} < {peer}");
+                                last_seen = last_seen.max(now);
+                            }
+                        }
+                    }
+                    stamps
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = threads
+            .into_iter()
+            .flat_map(|t| t.join().unwrap())
+            .collect();
+        let issued = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(
+            all.len(),
+            issued,
+            "seed {}: concurrent ticks produced a duplicate stamp",
+            run.seed()
+        );
+    });
+}

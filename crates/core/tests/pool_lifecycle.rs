@@ -115,6 +115,7 @@ fn drop_while_queued_drains_fully() {
         UcStore::new(pool_adt, 0, 4, CheckpointFactory { every: 4 }).into_pool(PoolConfig {
             workers: 2,
             queue_depth: 256,
+            ..PoolConfig::default()
         });
     for chunk in msgs.chunks(3) {
         pool.submit_batch(chunk.to_vec()).unwrap();
@@ -140,6 +141,7 @@ fn flush_barrier_observes_all_prior_submissions() {
         UcStore::new(pool_adt, 0, 4, CheckpointFactory { every: 4 }).into_pool(PoolConfig {
             workers: 3,
             queue_depth: 64,
+            ..PoolConfig::default()
         });
     for chunk in msgs.chunks(9) {
         pool.submit_batch(chunk.to_vec()).unwrap();
@@ -175,6 +177,7 @@ fn panicking_fold_poisons_with_clear_error_not_deadlock() {
     let mut pool = UcStore::new(adt, 0, 2, CheckpointFactory { every: 4 }).into_pool(PoolConfig {
         workers: 2,
         queue_depth: 64,
+        ..PoolConfig::default()
     });
     pool.submit_batch(msgs).unwrap();
     // The worker owning the pill's shard dies mid-fold. The flush
@@ -212,6 +215,7 @@ fn healthy_shards_survive_until_finish_even_under_load() {
     let mut pool = UcStore::new(adt, 0, 2, CheckpointFactory { every: 4 }).into_pool(PoolConfig {
         workers: 2,
         queue_depth: 8,
+        ..PoolConfig::default()
     });
     for chunk in msgs.chunks(11) {
         pool.submit_batch(chunk.to_vec()).unwrap();

@@ -261,6 +261,7 @@ where
     let mut pool = UcStore::new(SetAdt::<u32>::new(), 0, shards, factory).into_pool(PoolConfig {
         workers,
         queue_depth: 4,
+        ..PoolConfig::default()
     });
     for c in &chunks {
         pool.submit_batch(c.clone()).unwrap();
@@ -396,6 +397,7 @@ fn pool_and_scoped_ingest_match_sequential_gc() {
         let mut pool = UcStore::new(SetAdt::<u32>::new(), 0, 3, factory).into_pool(PoolConfig {
             workers: 2,
             queue_depth: 4,
+            ..PoolConfig::default()
         });
         for c in &chunks {
             pool.submit_batch(c.clone()).unwrap();
@@ -527,6 +529,7 @@ fn pooled_store_converges_on_the_threaded_cluster() {
         UcStore::new(SetAdt::new(), pid, 4, CheckpointFactory { every: 8 }).into_pool(PoolConfig {
             workers: 2,
             queue_depth: 8,
+            ..PoolConfig::default()
         })
     });
     let mut rng = SplitMix64::new(0x700_1ED_F00);

@@ -75,20 +75,14 @@ use std::time::{Duration, Instant};
 use uc_sim::harness::{panic_message, quiesce_spin, PoisonTable};
 use uc_sim::{ClusterHarness, Ctx, Metrics, NodeError, Pid, Protocol};
 
-/// What a full mailbox means for node-to-node deliveries.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum Backpressure {
-    /// Protocol traffic is never refused (reliable delivery; the bound
-    /// backpressures external `invoke` producers only). Parking the
-    /// sending *worker* instead would deadlock the pool — see the
-    /// [module docs](self).
-    #[default]
-    Park,
-    /// Deliveries beyond the bound are dropped and counted in
-    /// [`Metrics::messages_shed`]. Bounds memory under overload at the
-    /// cost of reliable broadcast (convergence becomes best-effort).
-    Shed,
-}
+/// What a full mailbox means for node-to-node deliveries. The policy
+/// enum is shared with the ingest pool's claim inboxes
+/// ([`uc_core::Backpressure`]); here, `Park` means protocol traffic
+/// is never refused (the bound backpressures external `invoke`
+/// producers only — parking the sending *worker* would deadlock the
+/// pool, see the [module docs](self)), and `Shed` drops deliveries
+/// beyond the bound, counted in [`Metrics::messages_shed`].
+pub use uc_core::Backpressure;
 
 /// Reactor sizing and policy.
 #[derive(Clone, Copy, Debug)]

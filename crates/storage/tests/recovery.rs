@@ -137,6 +137,7 @@ fn pool_drop_drain_flushes_backends_before_join() {
     let mut pool = store.into_pool(PoolConfig {
         workers: 2,
         queue_depth: 256,
+        ..PoolConfig::default()
     });
     for chunk in msgs.chunks(9) {
         pool.submit_batch(chunk.to_vec()).unwrap();
@@ -216,6 +217,7 @@ fn poisoned_pool_flushes_the_journal_before_dying() {
     let mut pool = store.into_pool(PoolConfig {
         workers: 1,
         queue_depth: 64,
+        ..PoolConfig::default()
     });
     pool.submit_batch(msgs).unwrap();
     let err = pool
@@ -252,6 +254,7 @@ fn finish_then_reopen_round_trips_a_pooled_store() {
     let mut pool = store.into_pool(PoolConfig {
         workers: 3,
         queue_depth: 16,
+        ..PoolConfig::default()
     });
     for chunk in msgs.chunks(13) {
         pool.submit_batch(chunk.to_vec()).unwrap();
@@ -325,4 +328,80 @@ fn fresh_store_over_surviving_state_is_refused() {
     drop(store);
     let _: UcStore<Adt, CheckpointFactory, SegmentFactory> =
         UcStore::with_persistence(SetAdt::new(), 0, 2, checkpoint(), persist);
+}
+
+#[test]
+fn concurrent_pool_stamps_stay_unique_across_crash_and_reopen() {
+    // The lock-free seam of the clock-floor argument: handles stamp
+    // through one shared atomic clock, and the persisted floor lease
+    // is raised *before* any covered stamp can be pushed (let alone
+    // broadcast). So even if the process dies with nothing flushed,
+    // the reopened store recovers a clock at or above every stamp any
+    // concurrent handle ever issued — two runs can never produce
+    // equal `(clock, pid)` pairs.
+    let tmp = ScratchDir::new("pool-stamp-floor");
+    let persist = SegmentFactory::at(tmp.path()).unwrap();
+    let store: UcStore<Adt, CheckpointFactory, SegmentFactory> =
+        UcStore::with_persistence(SetAdt::new(), 0, 4, checkpoint(), persist.clone());
+    let pool = store.into_pool(PoolConfig {
+        workers: 2,
+        queue_depth: 16,
+        ..PoolConfig::default()
+    });
+    let stamp_round = |pool: &uc_core::IngestPool<Adt, CheckpointFactory, SegmentFactory>,
+                       round: u32| {
+        let threads: Vec<_> = (0..4u64)
+            .map(|t| {
+                let h = pool.handle();
+                std::thread::spawn(move || {
+                    (0..100u64)
+                        .map(|i| {
+                            let StoreMsg::Update { msg, .. } = h
+                                .update(t, SetUpdate::Insert(round * 1000 + i as u32))
+                                .unwrap()
+                            else {
+                                panic!("update returns an update message");
+                            };
+                            msg.ts
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        threads
+            .into_iter()
+            .flat_map(|t| t.join().unwrap())
+            .collect::<Vec<_>>()
+    };
+    let first = stamp_round(&pool, 1);
+    // Quiesce the workers (so no segment write races the reopen
+    // below), then crash: no finish, no drop — the floor lease
+    // written during stamping is all recovery has.
+    pool.handle().flush().unwrap();
+    std::mem::forget(pool);
+
+    let reopened: UcStore<Adt, CheckpointFactory, SegmentFactory> =
+        UcStore::reopen(SetAdt::new(), 0, 4, checkpoint(), persist);
+    let max_issued = first.iter().map(|ts| ts.clock).max().unwrap();
+    assert!(
+        reopened.clock() >= max_issued,
+        "recovered clock {} regressed below issued clock {max_issued}",
+        reopened.clock()
+    );
+    let pool = reopened.into_pool(PoolConfig {
+        workers: 2,
+        queue_depth: 16,
+        ..PoolConfig::default()
+    });
+    let second = stamp_round(&pool, 2);
+    drop(pool);
+    let mut all: Vec<_> = first.into_iter().chain(second).collect();
+    let issued = all.len();
+    all.sort();
+    all.dedup();
+    assert_eq!(
+        all.len(),
+        issued,
+        "a stamp was reissued across the crash/reopen boundary"
+    );
 }
