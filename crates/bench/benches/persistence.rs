@@ -56,6 +56,7 @@ fn spec(smoke: bool) -> KeyedWorkloadSpec {
         insert_ratio: 0.7,
         mean_gap: 1,
         ooo_rate: 0.15,
+        snapshot_rate: 0.0,
         seed: 0x5E6,
     }
 }
@@ -68,7 +69,9 @@ fn keyed_stream(spec: &KeyedWorkloadSpec) -> Vec<Msg> {
             let u = match op.kind {
                 uc_sim::SetOpKind::Insert(e) => SetUpdate::Insert(e as u32),
                 uc_sim::SetOpKind::Delete(e) => SetUpdate::Delete(e as u32),
-                uc_sim::SetOpKind::Read => unreachable!("update_ratio is 1.0"),
+                uc_sim::SetOpKind::Read | uc_sim::SetOpKind::SnapshotRead => {
+                    unreachable!("update_ratio is 1.0")
+                }
             };
             producer.update(op.key, u)
         })

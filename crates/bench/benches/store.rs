@@ -49,6 +49,7 @@ fn spec() -> KeyedWorkloadSpec {
         insert_ratio: 0.7,
         mean_gap: 1,
         ooo_rate: 0.15,
+        snapshot_rate: 0.0,
         seed: 0x570BE,
     }
 }
@@ -57,7 +58,7 @@ fn to_update(kind: SetOpKind) -> SetUpdate<u32> {
     match kind {
         SetOpKind::Insert(e) => SetUpdate::Insert(e as u32),
         SetOpKind::Delete(e) => SetUpdate::Delete(e as u32),
-        SetOpKind::Read => unreachable!("update_ratio is 1.0"),
+        SetOpKind::Read | SetOpKind::SnapshotRead => unreachable!("update_ratio is 1.0"),
     }
 }
 
@@ -87,7 +88,7 @@ fn single_log_stream(spec: &KeyedWorkloadSpec) -> Vec<UpdateMsg<SetUpdate<u32>>>
             let u = match op.kind {
                 SetOpKind::Insert(e) => SetUpdate::Insert(enc(e)),
                 SetOpKind::Delete(e) => SetUpdate::Delete(enc(e)),
-                SetOpKind::Read => unreachable!("update_ratio is 1.0"),
+                SetOpKind::Read | SetOpKind::SnapshotRead => unreachable!("update_ratio is 1.0"),
             };
             producer.update(u)
         })

@@ -50,7 +50,9 @@ pub fn drive_uc_set(
         let input = match op.kind {
             SetOpKind::Insert(v) => OpInput::Update(SetUpdate::Insert(v as u32)),
             SetOpKind::Delete(v) => OpInput::Update(SetUpdate::Delete(v as u32)),
-            SetOpKind::Read => OpInput::Query(uc_spec::SetQuery::Read),
+            // A single-object replica has no multi-key cut to take:
+            // a snapshot read degenerates to a plain read.
+            SetOpKind::Read | SetOpKind::SnapshotRead => OpInput::Query(uc_spec::SetQuery::Read),
         };
         sim.schedule_invoke(op.time, op.pid, input);
     }
@@ -86,7 +88,7 @@ where
         let input = match op.kind {
             SetOpKind::Insert(v) => SetOp::Insert(v as u32),
             SetOpKind::Delete(v) => SetOp::Delete(v as u32),
-            SetOpKind::Read => SetOp::Read,
+            SetOpKind::Read | SetOpKind::SnapshotRead => SetOp::Read,
         };
         sim.schedule_invoke(op.time, op.pid, input);
     }

@@ -84,6 +84,35 @@ pub struct EngineCtx {
     pub clock: u64,
 }
 
+/// A snapshot cut predates compacted history: the requested timestamp
+/// is below the strategy's stability bound, so the updates needed to
+/// reconstruct the state at that cut were already folded into a base
+/// and drained from the log.
+///
+/// Returned by [`RepairStrategy::state_at_cut`] /
+/// [`ReplicaEngine::query_at_cut`]; callers either retry with a more
+/// recent cut (`≥ bound`) or fall back to a live query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CutError {
+    /// The requested cut timestamp.
+    pub cut: u64,
+    /// The oldest cut the replica can still answer: its compaction
+    /// bound (every update with `clock ≤ bound` has been folded away).
+    pub bound: u64,
+}
+
+impl std::fmt::Display for CutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cut {} predates compacted history (oldest answerable cut: {})",
+            self.cut, self.bound
+        )
+    }
+}
+
+impl std::error::Error for CutError {}
+
 /// How a replica keeps (or reconstructs) the state equivalent to
 /// folding its sorted update log — the pluggable part of Algorithm 1.
 ///
@@ -151,6 +180,24 @@ pub trait RepairStrategy<A: UqAdt> {
     /// that maintain state incrementally; replaying strategies may
     /// recompute into a scratch buffer.
     fn current_state<B: LogBackend<A>>(&mut self, adt: &A, log: &UpdateLog<A, B>) -> &A::State;
+
+    /// The state at a snapshot **cut**: the fold of exactly the
+    /// updates stamped `clock ≤ cut`, in `(clock, pid)` order. Because
+    /// a clock cut is downward-closed in the timestamp total order, the
+    /// result is a prefix of the log — the default folds
+    /// [`UpdateLog::prefix_at`] from `s0`, which is exact for every
+    /// strategy that retains the full log. Compacting strategies
+    /// ([`crate::gc::StableGc`]) override it to start from their base
+    /// and to return [`CutError`] when `cut` predates the compaction
+    /// bound (the needed prefix no longer exists).
+    fn state_at_cut<B: LogBackend<A>>(
+        &mut self,
+        adt: &A,
+        log: &UpdateLog<A, B>,
+        cut: u64,
+    ) -> Result<A::State, CutError> {
+        Ok(adt.run_updates(log.prefix_at(cut).map(|(_, u)| u)))
+    }
 
     /// Recovery: adopt a base snapshot persisted by an earlier run —
     /// `state` is the fold of every update with `ts.clock ≤ bound`.
@@ -438,6 +485,22 @@ impl<A: UqAdt, S: RepairStrategy<A>, B: LogBackend<A>> ReplicaEngine<A, S, B> {
     /// arrived.
     pub fn materialize(&mut self) -> A::State {
         self.strategy.current_state(&self.adt, &self.log).clone()
+    }
+
+    /// The state at snapshot cut `cut`: the fold of exactly the
+    /// delivered updates stamped `clock ≤ cut`, in timestamp order.
+    /// Does not advance the clock — a cut read is a read of history,
+    /// not a new event. Errors when `cut` predates the strategy's
+    /// compaction bound (see [`CutError`]).
+    pub fn state_at_cut(&mut self, cut: u64) -> Result<A::State, CutError> {
+        self.strategy.state_at_cut(&self.adt, &self.log, cut)
+    }
+
+    /// Answer a query against the state at snapshot cut `cut` — the
+    /// cut-query counterpart of [`ReplicaEngine::do_query`].
+    pub fn query_at_cut(&mut self, cut: u64, q: &A::QueryIn) -> Result<A::QueryOut, CutError> {
+        let state = self.state_at_cut(cut)?;
+        Ok(self.adt.observe(&state, q))
     }
 
     /// Announce our clock to the strategy and let it compact; called

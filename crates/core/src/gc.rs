@@ -21,7 +21,7 @@
 //! is measured by the E10 experiment.
 
 use crate::backend::LogBackend;
-use crate::engine::{EngineCtx, RepairStrategy, ReplicaEngine};
+use crate::engine::{CutError, EngineCtx, RepairStrategy, ReplicaEngine};
 use crate::log::UpdateLog;
 use crate::message::{GcMsg, UpdateMsg};
 use crate::replica::Replica;
@@ -144,6 +144,33 @@ impl<A: UqAdt> RepairStrategy<A> for StableGc<A> {
             self.scratch_dirty = false;
         }
         &self.scratch
+    }
+
+    /// Cut queries over a compacted log: the base already folds every
+    /// update with `clock ≤ bound`, so a cut below the bound is
+    /// unanswerable ([`CutError`]) and a cut at or above it folds only
+    /// the retained prefix `(bound, cut]` over the base. When the cut
+    /// covers the whole retained log this *is* the current state, so
+    /// the cached query fold is reused — a stable-prefix cut costs
+    /// zero fold steps while the cache is warm.
+    fn state_at_cut<B: LogBackend<A>>(
+        &mut self,
+        adt: &A,
+        log: &UpdateLog<A, B>,
+        cut: u64,
+    ) -> Result<A::State, CutError> {
+        if cut < self.bound {
+            return Err(CutError {
+                cut,
+                bound: self.bound,
+            });
+        }
+        let plen = log.prefix_len(cut);
+        if plen == log.len() {
+            return Ok(self.current_state(adt, log).clone());
+        }
+        self.fold_steps += plen as u64;
+        Ok(adt.run_updates_from(self.base.clone(), log.prefix_at(cut).map(|(_, u)| u)))
     }
 
     /// Recovery: adopt a base persisted by an earlier run's

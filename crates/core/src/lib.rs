@@ -56,7 +56,7 @@ pub mod undo;
 
 pub use backend::{BackendFactory, LogBackend, MemBackend, MemFactory};
 pub use cached::{CachedReplica, CheckpointRepair};
-pub use engine::{EngineCtx, RepairStrategy, ReplicaEngine};
+pub use engine::{CutError, EngineCtx, RepairStrategy, ReplicaEngine};
 pub use gc::{GcReplica, StableGc};
 pub use generic::{GenericReplica, NaiveReplay};
 pub use inbox::{Inbox, PushError};
@@ -64,7 +64,8 @@ pub use log::UpdateLog;
 pub use memory::{MemWrite, UcMemory};
 pub use message::{GcMsg, UpdateMsg};
 pub use pool::{
-    Backpressure, IngestPool, PoolConfig, PoolError, PoolHandle, PoolStats, WorkerStats,
+    Backpressure, IngestPool, PoolConfig, PoolError, PoolHandle, PoolStats, SnapshotError,
+    WorkerStats,
 };
 pub use replica::{state_digest, Replica};
 pub use sim_adapter::{
@@ -73,7 +74,7 @@ pub use sim_adapter::{
 pub use snapshot::Published;
 pub use store::{
     CheckpointFactory, GcFactory, Key, NaiveFactory, StoreInput, StoreMsg, StoreOutput,
-    StrategyFactory, UcStore, UndoFactory,
+    StoreSnapshot, StrategyFactory, UcStore, UndoFactory,
 };
 pub use timestamp::{LamportClock, Timestamp};
 pub use undo::{UndoRepair, UndoReplica};

@@ -247,6 +247,20 @@ impl<A: UqAdt, B: LogBackend<A>> UpdateLog<A, B> {
         self.entries.drain(..cut).collect()
     }
 
+    /// Number of entries with `ts.clock ≤ cut` — the length of the
+    /// log's prefix below a snapshot cut. Because entries are kept
+    /// sorted by `(clock, pid)` and `clock ≤ cut` is downward-closed in
+    /// that order, the counted entries always form a contiguous prefix.
+    pub fn prefix_len(&self, cut: u64) -> usize {
+        self.entries.partition_point(|(ts, _)| ts.clock <= cut)
+    }
+
+    /// Iterate the entries with `ts.clock ≤ cut`, oldest first — the
+    /// exact update sequence a snapshot query at `cut` must fold.
+    pub fn prefix_at(&self, cut: u64) -> impl Iterator<Item = &(Timestamp, A::Update)> {
+        self.entries[..self.prefix_len(cut)].iter()
+    }
+
     /// Persist a compacted base: `state` is the fold of every update
     /// with `ts.clock ≤ bound` (all of which have been drained); the
     /// retained entries are handed to the backend as the live tail.

@@ -41,8 +41,16 @@
 //!   never blocks behind a repair or a queued burst (and never ticks
 //!   the clock — it is a *weak* read of the latest published state;
 //!   the strong FIFO read-your-writes read is [`PoolHandle::query`]).
-//!   Publishing is armed by the first snapshot read; an
-//!   [`IngestPool::flush`] after arming backfills every key;
+//!   Publishing is armed **per shard** by the first snapshot read
+//!   touching it; an [`IngestPool::flush`] after arming backfills the
+//!   armed shards' keys (untouched shards pay nothing);
+//! * **cut snapshots** — [`PoolHandle::snapshot_at`] pushes a
+//!   [`Job::Cut`] barrier to every worker; each folds its keys' log
+//!   prefixes stamped `≤ cut` without stopping ingest, and the handle
+//!   reassembles a multi-key [`StoreSnapshot`] that is un-torn at the
+//!   cut. Published snapshot entries carry the cut era
+//!   (`PoolCore::cut_seq`), so [`PoolHandle::query_snapshot_multi`]
+//!   can detect a concurrent cut republishing around it and retry;
 //! * **barriers** — [`IngestPool::flush`] enqueues a barrier job on
 //!   every worker and waits for all acks; because a producer's pushes
 //!   are FIFO, a completed flush has observed every prior submission;
@@ -78,15 +86,16 @@
 //! deterministic simulator.
 
 use crate::backend::{BackendFactory, MemFactory};
+use crate::engine::CutError;
 use crate::inbox::{Inbox, PushError};
 use crate::message::UpdateMsg;
 use crate::snapshot::Published;
 use crate::store::{
     collapse_heartbeats, shard_index, split_by_shard, Key, Shard, StoreInput, StoreMsg,
-    StoreOutput, StrategyFactory, UcStore,
+    StoreOutput, StoreSnapshot, StrategyFactory, UcStore,
 };
 use crate::timestamp::{LamportClock, Timestamp};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -184,6 +193,38 @@ impl fmt::Display for PoolError {
 
 impl std::error::Error for PoolError {}
 
+/// Why a barrier-cut snapshot ([`PoolHandle::snapshot_at`] /
+/// [`PoolHandle::consistent_snapshot`]) could not be taken.
+#[derive(Clone, Debug)]
+pub enum SnapshotError {
+    /// The pool is poisoned or closed — the underlying [`PoolError`].
+    Pool(PoolError),
+    /// The requested cut predates a key's compacted history.
+    Cut(CutError),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Pool(e) => write!(f, "snapshot failed: {e}"),
+            SnapshotError::Cut(e) => write!(f, "snapshot failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Pool(e) => Some(e),
+            SnapshotError::Cut(e) => Some(e),
+        }
+    }
+}
+
+/// Bounded retries for the era-coherent multi-key weak read before it
+/// falls back to an unchecked (still wait-free) pass.
+const SNAP_READ_RETRIES: usize = 8;
+
 /// Point-in-time counters for one worker.
 #[derive(Clone, Debug, Default)]
 pub struct WorkerStats {
@@ -198,6 +239,11 @@ pub struct WorkerStats {
     pub queue_high_water: usize,
     /// Peer bursts dropped under [`Backpressure::Shed`].
     pub shed: u64,
+    /// Key states epoch-published for wait-free snapshot reads. The
+    /// per-shard arming fix bounds this: arming one shard backfills
+    /// only that shard's keys, not the whole store (the 10k-key
+    /// first-query latency test asserts the bound).
+    pub snapshots_published: u64,
 }
 
 /// Point-in-time counters for the whole pool (observability and the
@@ -232,6 +278,11 @@ impl PoolStats {
     pub fn total_shed(&self) -> u64 {
         self.workers.iter().map(|w| w.shed).sum()
     }
+
+    /// Total key states epoch-published across workers.
+    pub fn total_snapshots_published(&self) -> u64 {
+        self.workers.iter().map(|w| w.snapshots_published).sum()
+    }
 }
 
 /// Counters shared between the handles and one worker.
@@ -242,6 +293,7 @@ struct SharedCounters {
     batches: AtomicU64,
     messages: AtomicU64,
     shed: AtomicU64,
+    snaps_published: AtomicU64,
 }
 
 impl SharedCounters {
@@ -297,13 +349,35 @@ enum Job<A: UqAdt> {
     FlushBackends,
     /// Flush barrier: ack once every earlier job on this inbox is done.
     Barrier(Sender<()>),
+    /// Cut barrier: evaluate the snapshot cut against every owned
+    /// key's log (fold of the prefix stamped `≤ cut`) and reply with
+    /// the per-key states — without stopping ingest on other workers.
+    /// FIFO inboxes make the reply reflect every earlier submission.
+    Cut {
+        /// The cut timestamp.
+        cut: u64,
+        /// Per-key states at the cut, or the first [`CutError`] hit.
+        #[allow(clippy::type_complexity)]
+        reply: Sender<Result<Vec<(Key, <A as UqAdt>::State)>, CutError>>,
+    },
+}
+
+/// One epoch-published snapshot entry: a key's post-repair state plus
+/// the **cut era** it was published in (the value of
+/// `PoolCore::cut_seq` at publication). Wait-free multi-key readers
+/// ([`PoolHandle::query_snapshot_multi`]) compare eras to detect a
+/// concurrent cut barrier and retry instead of returning a view that
+/// straddles it.
+struct SnapEntry<A: UqAdt> {
+    state: A::State,
+    cut_epoch: u64,
 }
 
 /// The key → snapshot-cell registry for one shard. The registry map
 /// itself is epoch-published (its writer is the shard's owning
 /// worker), so readers discover new keys with the same wait-free load
 /// they use for the states.
-type SnapMap<A> = HashMap<Key, Arc<Published<<A as UqAdt>::State>>>;
+type SnapMap<A> = HashMap<Key, Arc<Published<SnapEntry<A>>>>;
 
 struct ShardSnapshots<A: UqAdt> {
     keys: Published<SnapMap<A>>,
@@ -402,9 +476,15 @@ struct PoolCore<A: UqAdt> {
     snaps: Vec<ShardSnapshots<A>>,
     /// First worker panic wins; the per-call check is a plain load.
     poison: OnceLock<PoolError>,
-    /// Set by the first snapshot read; workers start publishing
-    /// post-repair states once they observe it.
-    snapshots_armed: AtomicBool,
+    /// Per-shard snapshot arming, set by the first snapshot read of a
+    /// key in that shard. Workers backfill and publish only armed
+    /// shards, so the first snapshot query on a huge store pays for
+    /// one shard's keys, not all of them.
+    armed: Vec<AtomicBool>,
+    /// Cut-barrier era: bumped by [`PoolHandle::snapshot_at`] before
+    /// the cut jobs are pushed; published snapshot entries carry the
+    /// era current at publication.
+    cut_seq: AtomicU64,
 }
 
 impl<A: UqAdt> PoolCore<A> {
@@ -526,6 +606,27 @@ where
             Job::Barrier(reply) => {
                 let _ = reply.send(());
             }
+            Job::Cut { cut, reply } => {
+                let mut out = Vec::new();
+                let mut failed = None;
+                'shards: for (_, shard) in shards.iter_mut() {
+                    for (key, engine) in shard.objects.iter_mut() {
+                        match engine.state_at_cut(cut) {
+                            Ok(state) => out.push((*key, state)),
+                            Err(e) => {
+                                failed = Some(e);
+                                break 'shards;
+                            }
+                        }
+                    }
+                }
+                // A dead reply channel (caller gave up on a poisoned
+                // pool) is not this worker's problem.
+                let _ = reply.send(match failed {
+                    Some(e) => Err(e),
+                    None => Ok(out),
+                });
+            }
         }
     }
 }
@@ -569,9 +670,9 @@ impl<A: UqAdt> SnapPublisher<A> {
     }
 
     /// Publish `key`'s current engine state (if the key has an
-    /// engine). Registry publication for brand-new keys is deferred
-    /// to `flush_registries` so a backfill costs one map clone per
-    /// shard, not per key.
+    /// engine), tagged with the current cut era. Registry publication
+    /// for brand-new keys is deferred to `flush_registries` so a
+    /// backfill costs one map clone per shard, not per key.
     fn publish_key<F, P>(
         &mut self,
         core: &PoolCore<A>,
@@ -579,6 +680,7 @@ impl<A: UqAdt> SnapPublisher<A> {
         shard_idx: usize,
         key: Key,
         dirty_registries: &mut BTreeSet<usize>,
+        counters: &SharedCounters,
     ) where
         A: Clone,
         F: StrategyFactory<A>,
@@ -588,8 +690,12 @@ impl<A: UqAdt> SnapPublisher<A> {
         let Some(engine) = sh.objects.get_mut(&key) else {
             return;
         };
-        let snapshot = Arc::new(engine.materialize());
+        let snapshot = Arc::new(SnapEntry {
+            state: engine.materialize(),
+            cut_epoch: core.cut_seq.load(Ordering::SeqCst),
+        });
         self.seq += 1;
+        counters.snaps_published.fetch_add(1, Ordering::Relaxed);
         let mirror = self.mirrors.entry(shard_idx).or_default();
         match mirror.get(&key) {
             Some(cell) => cell.publish(self.seq, snapshot),
@@ -600,7 +706,6 @@ impl<A: UqAdt> SnapPublisher<A> {
                 dirty_registries.insert(shard_idx);
             }
         }
-        let _ = core; // registry publication happens in flush_registries
     }
 
     /// Publish the registries that gained keys this drain.
@@ -615,58 +720,73 @@ impl<A: UqAdt> SnapPublisher<A> {
         }
     }
 
-    /// Backfill: publish every key this worker owns (run once, when
-    /// the worker first observes snapshots being armed).
-    fn publish_all<F, P>(&mut self, core: &PoolCore<A>, state: &mut WorkerState<A, F, P>)
-    where
+    /// Backfill one shard: publish every key it currently holds (run
+    /// once per shard, when the worker first observes that shard
+    /// armed). Incremental by construction — other owned shards pay
+    /// nothing until a snapshot read arms them too.
+    fn publish_shard<F, P>(
+        &mut self,
+        core: &PoolCore<A>,
+        state: &mut WorkerState<A, F, P>,
+        shard_idx: usize,
+        dirty_registries: &mut BTreeSet<usize>,
+        counters: &SharedCounters,
+    ) where
         A: Clone,
         F: StrategyFactory<A>,
         P: BackendFactory<A>,
     {
-        let mut dirty = BTreeSet::new();
-        let owned: Vec<(usize, Vec<Key>)> = state
-            .shards
-            .iter()
-            .map(|(idx, sh)| (*idx, sh.objects.keys().copied().collect()))
+        let keys: Vec<Key> = shard_mut(&mut state.shards, shard_idx)
+            .objects
+            .keys()
+            .copied()
             .collect();
-        for (shard_idx, keys) in owned {
-            for key in keys {
-                self.publish_key(core, state, shard_idx, key, &mut dirty);
-            }
+        for key in keys {
+            self.publish_key(core, state, shard_idx, key, dirty_registries, counters);
         }
-        self.flush_registries(core, &mut dirty);
     }
 }
 
-/// Publish whatever snapshot work is pending: on the first armed
-/// observation, a backfill of every owned key; afterwards, the keys
-/// touched since the last publication. Runs at the end of every drain
-/// *and* immediately before a barrier ack, so a completed
-/// [`IngestPool::flush`] guarantees the published snapshots cover
-/// every earlier submission.
+/// Publish whatever snapshot work is pending, **per armed shard**: a
+/// shard observed armed for the first time gets a one-off backfill of
+/// its keys; shards backfilled earlier publish only the keys touched
+/// since the last publication; unarmed shards publish nothing (their
+/// touched entries are dropped — arming them later triggers their own
+/// backfill). Runs at the end of every drain *and* immediately before
+/// a barrier/cut ack, so a completed [`IngestPool::flush`] guarantees
+/// the published snapshots cover every earlier submission.
 #[allow(clippy::too_many_arguments)]
 fn publish_pending<A, F, P>(
     core: &PoolCore<A>,
     state: &mut WorkerState<A, F, P>,
     publisher: &mut SnapPublisher<A>,
-    publishing: &mut bool,
+    backfilled: &mut BTreeSet<usize>,
     touched: &mut BTreeSet<(usize, Key)>,
     dirty_registries: &mut BTreeSet<usize>,
+    counters: &SharedCounters,
 ) where
     A: UqAdt + Clone,
     F: StrategyFactory<A>,
     P: BackendFactory<A>,
 {
-    if !*publishing {
-        *publishing = true;
-        touched.clear();
-        publisher.publish_all(core, state);
-    } else {
-        for (shard_idx, key) in std::mem::take(touched) {
-            publisher.publish_key(core, state, shard_idx, key, dirty_registries);
+    let mut newly: Vec<usize> = Vec::new();
+    for (idx, _) in &state.shards {
+        if core.armed[*idx].load(Ordering::SeqCst) && !backfilled.contains(idx) {
+            newly.push(*idx);
         }
-        publisher.flush_registries(core, dirty_registries);
     }
+    for &idx in &newly {
+        publisher.publish_shard(core, state, idx, dirty_registries, counters);
+        backfilled.insert(idx);
+    }
+    for (shard_idx, key) in std::mem::take(touched) {
+        // A just-backfilled shard already published this key's current
+        // state; an unarmed shard waits for its own arming backfill.
+        if backfilled.contains(&shard_idx) && !newly.contains(&shard_idx) {
+            publisher.publish_key(core, state, shard_idx, key, dirty_registries, counters);
+        }
+    }
+    publisher.flush_registries(core, dirty_registries);
 }
 
 /// Worker main loop: claim-and-drain the inbox until it is closed and
@@ -700,7 +820,14 @@ where
     let mut touched: BTreeSet<(usize, Key)> = BTreeSet::new();
     let mut dirty_registries: BTreeSet<usize> = BTreeSet::new();
     let mut publisher: SnapPublisher<A> = SnapPublisher::new();
-    let mut publishing = false;
+    // Owned shards already backfilled into the snapshot registries.
+    let mut backfilled: BTreeSet<usize> = BTreeSet::new();
+    let any_armed = |state: &WorkerState<A, F, P>| {
+        state
+            .shards
+            .iter()
+            .any(|(idx, _)| core.armed[*idx].load(Ordering::SeqCst))
+    };
     loop {
         inbox.claim(&mut batch);
         if batch.is_empty() {
@@ -717,14 +844,15 @@ where
             }
         }
         for job in std::mem::take(&mut batch) {
-            if matches!(job, Job::Barrier(_)) && core.snapshots_armed.load(Ordering::SeqCst) {
+            if matches!(job, Job::Barrier(_) | Job::Cut { .. }) && any_armed(&state) {
                 publish_pending(
                     &core,
                     &mut state,
                     &mut publisher,
-                    &mut publishing,
+                    &mut backfilled,
                     &mut touched,
                     &mut dirty_registries,
+                    counters,
                 );
             }
             note_touched(&job, &mut touched);
@@ -758,14 +886,15 @@ where
                 return Vec::new();
             }
         }
-        if core.snapshots_armed.load(Ordering::SeqCst) {
+        if any_armed(&state) {
             publish_pending(
                 &core,
                 &mut state,
                 &mut publisher,
-                &mut publishing,
+                &mut backfilled,
                 &mut touched,
                 &mut dirty_registries,
+                counters,
             );
         } else {
             touched.clear();
@@ -937,11 +1066,12 @@ where
     /// a published snapshot yet (including everything before the
     /// first flush after arming) answer from the ADT's initial state.
     ///
-    /// Snapshot publication is *armed* by the first call; follow with
-    /// [`IngestPool::flush`] (or any flush barrier) to backfill
-    /// already-materialized keys. Epochs are per-worker monotone:
-    /// a reader never observes a key's state regress (see
-    /// [`PoolHandle::query_snapshot_versioned`]).
+    /// Snapshot publication is *armed* per shard by the first call
+    /// touching it; follow with [`IngestPool::flush`] (or any flush
+    /// barrier) to backfill that shard's already-materialized keys —
+    /// other shards pay nothing until a snapshot read arms them too.
+    /// Epochs are per-worker monotone: a reader never observes a key's
+    /// state regress (see [`PoolHandle::query_snapshot_versioned`]).
     pub fn query_snapshot(&self, key: Key, q: &A::QueryIn) -> A::QueryOut {
         self.query_snapshot_versioned(key, q).1
     }
@@ -950,16 +1080,125 @@ where
     /// (0 = answered from the initial state). Epochs for one key only
     /// ever increase — the monotonic-read regression tests assert it.
     pub fn query_snapshot_versioned(&self, key: Key, q: &A::QueryIn) -> (u64, A::QueryOut) {
-        self.core.snapshots_armed.store(true, Ordering::SeqCst);
         let shard = shard_index(key, self.core.num_shards);
+        self.core.armed[shard].store(true, Ordering::SeqCst);
         if let Some((_, map)) = self.core.snaps[shard].keys.load() {
             if let Some(cell) = map.get(&key) {
-                if let Some((epoch, state)) = cell.load() {
-                    return (epoch, self.adt.observe(&state, q));
+                if let Some((epoch, entry)) = cell.load() {
+                    return (epoch, self.adt.observe(&entry.state, q));
                 }
             }
         }
         (0, self.adt.observe(&self.adt.initial(), q))
+    }
+
+    /// Wait-free **multi-key** weak read that never straddles a cut
+    /// barrier: every published entry carries the cut era it was
+    /// published in, so the reader loads the current era, reads all
+    /// keys, and retries (bounded) when it observes an entry from a
+    /// later era or the era moved mid-read — the signature of a
+    /// concurrent [`PoolHandle::snapshot_at`] republishing states
+    /// around it. After [`SNAP_READ_RETRIES`] collisions it returns
+    /// the latest entries anyway (wait-freedom beats era coherence;
+    /// callers that need a hard guarantee take a barrier-cut
+    /// snapshot). Like [`PoolHandle::query_snapshot`]: never blocks,
+    /// never ticks the clock, unpublished keys answer from the
+    /// initial state.
+    pub fn query_snapshot_multi(&self, reqs: &[(Key, A::QueryIn)]) -> Vec<(Key, A::QueryOut)> {
+        for (key, _) in reqs {
+            let shard = shard_index(*key, self.core.num_shards);
+            self.core.armed[shard].store(true, Ordering::SeqCst);
+        }
+        for _ in 0..SNAP_READ_RETRIES {
+            let era = self.core.cut_seq.load(Ordering::SeqCst);
+            if let Some(outs) = self.read_snapshot_multi(reqs, Some(era)) {
+                if self.core.cut_seq.load(Ordering::SeqCst) == era {
+                    return outs;
+                }
+            }
+        }
+        self.read_snapshot_multi(reqs, None)
+            .expect("an era-unchecked read always completes")
+    }
+
+    /// One pass over `reqs`; `None` when `era` is given and an entry
+    /// from a later cut era is observed.
+    fn read_snapshot_multi(
+        &self,
+        reqs: &[(Key, A::QueryIn)],
+        era: Option<u64>,
+    ) -> Option<Vec<(Key, A::QueryOut)>> {
+        let mut outs = Vec::with_capacity(reqs.len());
+        for (key, q) in reqs {
+            let shard = shard_index(*key, self.core.num_shards);
+            let entry = self.core.snaps[shard]
+                .keys
+                .load()
+                .and_then(|(_, map)| map.get(key).cloned())
+                .and_then(|cell| cell.load());
+            match entry {
+                Some((_, e)) => {
+                    if era.is_some_and(|era| e.cut_epoch > era) {
+                        return None;
+                    }
+                    outs.push((*key, self.adt.observe(&e.state, q)));
+                }
+                None => outs.push((*key, self.adt.observe(&self.adt.initial(), q))),
+            }
+        }
+        Some(outs)
+    }
+
+    /// Barrier-cut snapshot at `cut`: bump the cut era, push a
+    /// [`Job::Cut`] to every worker, and assemble the per-key states
+    /// each worker folded from its logs' prefixes stamped `≤ cut` —
+    /// workers keep ingesting around the cut (only the cut's own FIFO
+    /// position orders it). Every key's state reflects exactly the
+    /// updates stamped `≤ cut` that its worker had delivered when the
+    /// cut job ran; submissions older than the cut job on the same
+    /// handle are always covered (FIFO). Ticks the shared clock, so
+    /// updates issued after the snapshot order after everything it
+    /// could observe. Errors when `cut` predates a key's compaction
+    /// bound, or when the pool is poisoned/closed.
+    pub fn snapshot_at(&self, cut: u64) -> Result<StoreSnapshot<A>, SnapshotError> {
+        self.core.clock.tick();
+        self.snapshot_no_tick(cut)
+    }
+
+    /// A snapshot at the current clock, preceded by a full flush: every
+    /// submission made before this call is applied, then the cut is
+    /// taken strictly above every stamp issued so far — always
+    /// answerable (never a [`CutError`]) and inclusive of everything
+    /// flushed.
+    pub fn consistent_snapshot(&self) -> Result<StoreSnapshot<A>, SnapshotError> {
+        self.flush().map_err(SnapshotError::Pool)?;
+        let cut = self.core.clock.tick();
+        self.snapshot_no_tick(cut)
+    }
+
+    fn snapshot_no_tick(&self, cut: u64) -> Result<StoreSnapshot<A>, SnapshotError> {
+        self.core.cut_seq.fetch_add(1, Ordering::SeqCst);
+        let workers = self.core.inboxes.len();
+        let mut acks = Vec::with_capacity(workers);
+        for worker in 0..workers {
+            let (reply, ack) = channel();
+            self.push_job(worker, Job::Cut { cut, reply }, Backpressure::Park)
+                .map_err(SnapshotError::Pool)?;
+            acks.push((worker, ack));
+        }
+        let mut states = BTreeMap::new();
+        let mut cut_err: Option<CutError> = None;
+        for (worker, ack) in acks {
+            match ack.recv() {
+                Ok(Ok(part)) => states.extend(part),
+                Ok(Err(e)) => cut_err = Some(e),
+                Err(_) => return Err(SnapshotError::Pool(self.err_for(worker))),
+            }
+        }
+        if let Some(e) = cut_err {
+            return Err(SnapshotError::Cut(e));
+        }
+        Ok(StoreSnapshot::new(self.adt.clone(), cut, states))
     }
 
     /// Ingest a whole peer burst: updates are bucketed by shard and
@@ -1097,7 +1336,8 @@ where
             counters: (0..workers).map(|_| SharedCounters::default()).collect(),
             snaps: (0..num_shards).map(|_| ShardSnapshots::default()).collect(),
             poison: OnceLock::new(),
-            snapshots_armed: AtomicBool::new(false),
+            armed: (0..num_shards).map(|_| AtomicBool::new(false)).collect(),
+            cut_seq: AtomicU64::new(0),
         });
         let joins = owned
             .into_iter()
@@ -1147,6 +1387,24 @@ where
     /// [`PoolHandle::query_snapshot`]).
     pub fn query_snapshot(&self, key: Key, q: &A::QueryIn) -> A::QueryOut {
         self.handle.query_snapshot(key, q)
+    }
+
+    /// Wait-free multi-key weak read that never straddles a cut (see
+    /// [`PoolHandle::query_snapshot_multi`]).
+    pub fn query_snapshot_multi(&self, reqs: &[(Key, A::QueryIn)]) -> Vec<(Key, A::QueryOut)> {
+        self.handle.query_snapshot_multi(reqs)
+    }
+
+    /// Barrier-cut multi-key snapshot at `cut` (see
+    /// [`PoolHandle::snapshot_at`]).
+    pub fn snapshot_at(&mut self, cut: u64) -> Result<StoreSnapshot<A>, SnapshotError> {
+        self.handle.snapshot_at(cut)
+    }
+
+    /// Flush, then snapshot at the current clock (see
+    /// [`PoolHandle::consistent_snapshot`]).
+    pub fn consistent_snapshot(&mut self) -> Result<StoreSnapshot<A>, SnapshotError> {
+        self.handle.consistent_snapshot()
     }
 
     /// Ingest a whole peer burst (see [`PoolHandle::submit_batch`]).
@@ -1232,6 +1490,7 @@ where
                     messages: c.messages.load(Ordering::Relaxed),
                     queue_high_water: c.high_water.load(Ordering::Relaxed),
                     shed: c.shed.load(Ordering::Relaxed),
+                    snapshots_published: c.snaps_published.load(Ordering::Relaxed),
                 })
                 .collect(),
         }
@@ -1365,6 +1624,19 @@ where
                 key,
                 out: self.query(key, &q).unwrap_or_else(|e| panic!("{e}")),
             },
+            StoreInput::Snapshot(reqs) => {
+                let snap = self.consistent_snapshot().unwrap_or_else(|e| panic!("{e}"));
+                StoreOutput::Snapshot {
+                    cut: snap.cut(),
+                    outs: reqs
+                        .into_iter()
+                        .map(|(key, q)| {
+                            let out = snap.query(key, &q);
+                            (key, out)
+                        })
+                        .collect(),
+                }
+            }
         }
     }
 

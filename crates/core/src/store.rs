@@ -48,7 +48,7 @@
 //! [`CheckpointFactory`], [`UndoFactory`] and [`GcFactory`].
 
 use crate::backend::{BackendFactory, LogBackend, MemFactory};
-use crate::engine::{RepairStrategy, ReplicaEngine};
+use crate::engine::{CutError, RepairStrategy, ReplicaEngine};
 use crate::gc::StableGc;
 use crate::generic::NaiveReplay;
 use crate::message::UpdateMsg;
@@ -194,6 +194,10 @@ pub enum StoreInput<A: UqAdt> {
     Update(Key, A::Update),
     /// Query one object.
     Query(Key, A::QueryIn),
+    /// Query several objects from one consistent cut at the current
+    /// clock — the multi-key read that can never be torn (see
+    /// [`UcStore::consistent_snapshot`]).
+    Snapshot(Vec<(Key, A::QueryIn)>),
 }
 
 impl<A: UqAdt> Clone for StoreInput<A> {
@@ -201,6 +205,7 @@ impl<A: UqAdt> Clone for StoreInput<A> {
         match self {
             StoreInput::Update(k, u) => StoreInput::Update(*k, u.clone()),
             StoreInput::Query(k, q) => StoreInput::Query(*k, q.clone()),
+            StoreInput::Snapshot(reqs) => StoreInput::Snapshot(reqs.clone()),
         }
     }
 }
@@ -210,6 +215,13 @@ impl<A: UqAdt> fmt::Debug for StoreInput<A> {
         match self {
             StoreInput::Update(k, u) => write!(f, "k{k}:{u:?}"),
             StoreInput::Query(k, q) => write!(f, "k{k}:{q:?}?"),
+            StoreInput::Snapshot(reqs) => {
+                write!(f, "snap?")?;
+                for (k, q) in reqs {
+                    write!(f, " k{k}:{q:?}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -230,6 +242,13 @@ pub enum StoreOutput<A: UqAdt> {
         /// The query output.
         out: A::QueryOut,
     },
+    /// Multi-key snapshot answered from one consistent cut.
+    Snapshot {
+        /// The cut timestamp every answer reflects.
+        cut: u64,
+        /// Per-key query outputs, in request order.
+        outs: Vec<(Key, A::QueryOut)>,
+    },
 }
 
 impl<A: UqAdt> Clone for StoreOutput<A> {
@@ -240,6 +259,10 @@ impl<A: UqAdt> Clone for StoreOutput<A> {
                 key: *key,
                 out: out.clone(),
             },
+            StoreOutput::Snapshot { cut, outs } => StoreOutput::Snapshot {
+                cut: *cut,
+                outs: outs.clone(),
+            },
         }
     }
 }
@@ -249,7 +272,83 @@ impl<A: UqAdt> fmt::Debug for StoreOutput<A> {
         match self {
             StoreOutput::Ack { key, ts } => write!(f, "k{key}:ack{ts:?}"),
             StoreOutput::Value { key, out } => write!(f, "k{key}:{out:?}"),
+            StoreOutput::Snapshot { cut, outs } => {
+                write!(f, "snap@{cut}")?;
+                for (k, out) in outs {
+                    write!(f, " k{k}:{out:?}")?;
+                }
+                Ok(())
+            }
         }
+    }
+}
+
+/// An immutable multi-key view of a store at one cut timestamp,
+/// returned by [`UcStore::snapshot_at`] and the pool's barrier-cut
+/// snapshot. **Provably un-torn**: every key's state is the fold of
+/// exactly the delivered updates stamped `clock ≤ cut`, and because
+/// the `(clock, pid)` total order on updates makes a clock cut
+/// downward-closed, no pair of keys can ever expose a later update
+/// while missing an earlier one.
+pub struct StoreSnapshot<A: UqAdt> {
+    adt: A,
+    cut: u64,
+    states: std::collections::BTreeMap<Key, A::State>,
+}
+
+impl<A: UqAdt> StoreSnapshot<A> {
+    pub(crate) fn new(adt: A, cut: u64, states: std::collections::BTreeMap<Key, A::State>) -> Self {
+        StoreSnapshot { adt, cut, states }
+    }
+
+    /// The cut timestamp every state in this view reflects.
+    pub fn cut(&self) -> u64 {
+        self.cut
+    }
+
+    /// The state of `key` at the cut; `None` for keys with no engine
+    /// at snapshot time (their state is the ADT's initial state —
+    /// see [`StoreSnapshot::query`], which answers them uniformly).
+    pub fn state(&self, key: Key) -> Option<&A::State> {
+        self.states.get(&key)
+    }
+
+    /// Answer a query for `key` against the snapshot. Untouched keys
+    /// answer from the initial state, mirroring [`UcStore::query`].
+    pub fn query(&self, key: Key, q: &A::QueryIn) -> A::QueryOut {
+        match self.states.get(&key) {
+            Some(state) => self.adt.observe(state, q),
+            None => self.adt.observe(&self.adt.initial(), q),
+        }
+    }
+
+    /// Keys captured in this snapshot, sorted.
+    pub fn keys(&self) -> impl Iterator<Item = Key> + '_ {
+        self.states.keys().copied()
+    }
+
+    /// Number of keys captured.
+    pub fn key_count(&self) -> usize {
+        self.states.len()
+    }
+}
+
+impl<A: UqAdt + Clone> Clone for StoreSnapshot<A> {
+    fn clone(&self) -> Self {
+        StoreSnapshot {
+            adt: self.adt.clone(),
+            cut: self.cut,
+            states: self.states.clone(),
+        }
+    }
+}
+
+impl<A: UqAdt> fmt::Debug for StoreSnapshot<A> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StoreSnapshot")
+            .field("cut", &self.cut)
+            .field("states", &self.states)
+            .finish()
     }
 }
 
@@ -674,6 +773,40 @@ where
         self.engine_mut(key).do_query_at(now, q)
     }
 
+    /// An immutable multi-key view at cut `cut`: every instantiated
+    /// key's state is the fold of exactly the delivered updates
+    /// stamped `clock ≤ cut`. Ticks the shared clock (like
+    /// [`UcStore::query`], Algorithm 1 line 13) so updates issued
+    /// after the snapshot order after everything it could observe.
+    /// Errors when `cut` predates a key's compaction bound (the
+    /// prefix needed to rebuild that key's state was folded away —
+    /// retry with `cut ≥` the reported bound, or take a
+    /// [`UcStore::consistent_snapshot`]).
+    pub fn snapshot_at(&mut self, cut: u64) -> Result<StoreSnapshot<A>, CutError> {
+        self.clock.tick();
+        self.snapshot_no_tick(cut)
+    }
+
+    /// A snapshot at the current clock — always answerable (a key's
+    /// compaction bound never exceeds the clocks it has heard, and the
+    /// cut is taken strictly above our own), and inclusive of every
+    /// update delivered so far.
+    pub fn consistent_snapshot(&mut self) -> StoreSnapshot<A> {
+        let cut = self.clock.tick();
+        self.snapshot_no_tick(cut)
+            .expect("a cut at the current clock can never predate compaction")
+    }
+
+    fn snapshot_no_tick(&mut self, cut: u64) -> Result<StoreSnapshot<A>, CutError> {
+        let mut states = std::collections::BTreeMap::new();
+        for shard in &mut self.shards {
+            for (key, engine) in shard.objects.iter_mut() {
+                states.insert(*key, engine.state_at_cut(cut)?);
+            }
+        }
+        Ok(StoreSnapshot::new(self.adt.clone(), cut, states))
+    }
+
     /// Ingest one peer message.
     pub fn apply_message(&mut self, m: &StoreMsg<A::Update>) {
         match m {
@@ -947,6 +1080,19 @@ where
                 key,
                 out: self.query(key, &q),
             },
+            StoreInput::Snapshot(reqs) => {
+                let snap = self.consistent_snapshot();
+                StoreOutput::Snapshot {
+                    cut: snap.cut(),
+                    outs: reqs
+                        .into_iter()
+                        .map(|(key, q)| {
+                            let out = snap.query(key, &q);
+                            (key, out)
+                        })
+                        .collect(),
+                }
+            }
         }
     }
 

@@ -454,6 +454,11 @@ fn store_converges_under_discrete_event_simulation() {
             SetOpKind::Insert(e) => StoreInput::Update(op.key, SetUpdate::Insert(e as u32)),
             SetOpKind::Delete(e) => StoreInput::Update(op.key, SetUpdate::Delete(e as u32)),
             SetOpKind::Read => StoreInput::Query(op.key, SetQuery::Read),
+            SetOpKind::SnapshotRead => StoreInput::Snapshot(
+                (op.key..op.key + 3)
+                    .map(|k| (k % spec.keys as u64, SetQuery::Read))
+                    .collect(),
+            ),
         };
         sim.schedule_invoke(op.time, op.pid, input);
     }

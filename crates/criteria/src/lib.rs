@@ -15,6 +15,7 @@
 //! | [`insert_wins`] | SEC for the Insert-wins set (OR-set spec) | Definition 10 |
 //! | [`sc`] | sequential consistency (calibration) | §VIII |
 //! | [`cache`] | cache consistency for shared memory (Goodman) | §VI's OR-set remark |
+//! | [`snapshot`] | snapshot consistency for recorded multi-key cuts | partitionable follow-up |
 //!
 //! The search-based procedures are exact but exponential (the
 //! underlying problems quantify over linearizations and visibility
@@ -40,6 +41,7 @@ pub mod matrix;
 pub mod pc;
 pub mod sc;
 pub mod sec;
+pub mod snapshot;
 pub mod suc;
 pub mod uc;
 pub mod verdict;
@@ -52,6 +54,7 @@ pub use insert_wins::check_insert_wins;
 pub use pc::check_pc;
 pub use sc::check_sc;
 pub use sec::check_sec;
+pub use snapshot::{check_snapshot_consistency, CutUpdate, RecordedCut};
 pub use suc::{check_suc, verify_witness, SucWitness};
 pub use uc::check_uc;
 pub use verdict::{Verdict, Witness};

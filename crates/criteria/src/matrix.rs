@@ -10,7 +10,10 @@ use uc_history::History;
 use uc_spec::StateAbduction;
 
 /// The criteria a classification row covers, in table-column order.
-pub const CRITERIA: [&str; 6] = ["EC", "SEC", "PC", "UC", "SUC", "SC"];
+/// `SNAP` (snapshot consistency, [`crate::snapshot`]) is decided on
+/// recorded cut traces; plain histories carry no cuts, so
+/// [`classify`] reports it as unsupported there.
+pub const CRITERIA: [&str; 7] = ["EC", "SEC", "PC", "UC", "SUC", "SC", "SNAP"];
 
 /// One classified history.
 #[derive(Clone, Debug)]
@@ -50,6 +53,11 @@ pub fn classify<A: StateAbduction>(
             uc::check_uc_with(h, cfg),
             suc::check_suc_with(h, cfg),
             sc::check_sc_with(h, cfg),
+            Verdict::Unsupported(
+                "snapshot consistency is decided on recorded cut traces \
+                 (see snapshot::check_snapshot_consistency), which histories do not carry"
+                    .into(),
+            ),
         ],
     }
 }

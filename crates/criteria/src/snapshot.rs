@@ -1,0 +1,241 @@
+//! Snapshot consistency: recorded multi-key cuts against the update
+//! total order.
+//!
+//! A *cut* at timestamp `t` names the prefix of the update total order
+//! (Lamport `(clock, pid)` pairs, Definition 3's arbitration) whose
+//! stamps satisfy `clock ≤ t`. A multi-key snapshot taken at cut `t`
+//! is **consistent** when every key's recorded state equals the
+//! sequential fold of exactly that key's updates inside the prefix —
+//! no key ahead of the cut, none behind it, i.e. the snapshot is not
+//! *torn*. Because `clock ≤ t` is downward-closed in the total order,
+//! a consistent cut is automatically closed under the arbitration
+//! order: if an update is included, so is everything ordered before
+//! it.
+//!
+//! [`check_snapshot_consistency`] re-derives each recorded state from
+//! the trace and compares. It is deliberately decoupled from the
+//! engine types in `uc-core` (which depends on this crate): traces
+//! carry plain `u64` keys and clocks plus the ADT's update values, so
+//! any implementation — sequential store, ingest pool, or a
+//! simulator schedule — can record [`CutUpdate`]s and [`RecordedCut`]s
+//! and be judged by the same procedure.
+
+use crate::verdict::{Verdict, Witness};
+use std::collections::BTreeMap;
+use uc_spec::UqAdt;
+
+/// One update as a snapshot trace records it: which key it targets and
+/// the Lamport stamp that positions it in the update total order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CutUpdate<U> {
+    /// The store key the update targets.
+    pub key: u64,
+    /// Lamport clock component of the stamp.
+    pub clock: u64,
+    /// Process id component of the stamp (tie-breaker).
+    pub pid: u32,
+    /// The ADT update value.
+    pub update: U,
+}
+
+/// One recorded multi-key snapshot: the cut timestamp and the state
+/// each key reported at that cut.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecordedCut<S> {
+    /// The cut: the snapshot claims to reflect exactly the updates
+    /// stamped `clock ≤ cut`.
+    pub cut: u64,
+    /// `(key, state)` pairs as recorded. Order is irrelevant.
+    pub states: Vec<(u64, S)>,
+}
+
+/// Decide snapshot consistency for a batch of recorded cuts against
+/// the trace of stamped updates.
+///
+/// The trace may arrive in any order and may contain duplicate
+/// deliveries of the same stamped update (adversarial schedules
+/// redeliver); duplicates are collapsed by stamp. Two *different*
+/// updates sharing a stamp make the trace itself inconsistent and
+/// fail the check — stamps are globally unique by construction
+/// (Lamport clock + pid).
+///
+/// For each recorded cut, every key that has at least one update
+/// stamped `≤ cut` must be present with exactly the fold of its
+/// prefix, and every recorded key without such updates must equal the
+/// initial state. A missing key, an extra update's effect, or a stale
+/// state all surface as a torn cut naming the cut and the key.
+pub fn check_snapshot_consistency<A: UqAdt>(
+    adt: &A,
+    trace: &[CutUpdate<A::Update>],
+    cuts: &[RecordedCut<A::State>],
+) -> Verdict {
+    // Collapse the trace into the update total order: (clock, pid) →
+    // (key, update), rejecting stamp collisions.
+    let mut order: BTreeMap<(u64, u32), (u64, &A::Update)> = BTreeMap::new();
+    for u in trace {
+        match order.get(&(u.clock, u.pid)) {
+            None => {
+                order.insert((u.clock, u.pid), (u.key, &u.update));
+            }
+            Some((key, prev)) => {
+                if *key != u.key || **prev != u.update {
+                    return Verdict::Fails(format!(
+                        "stamp ({}, {}) reused by two different updates",
+                        u.clock, u.pid
+                    ));
+                }
+            }
+        }
+    }
+    let mut checked = Vec::with_capacity(cuts.len());
+    for rc in cuts {
+        // Fold each key's prefix ≤ cut in total order.
+        let mut expected: BTreeMap<u64, A::State> = BTreeMap::new();
+        for (&(clock, _), &(key, update)) in order.range(..=(rc.cut, u32::MAX)) {
+            debug_assert!(clock <= rc.cut);
+            let state = expected.entry(key).or_insert_with(|| adt.initial());
+            adt.apply(state, update);
+        }
+        let mut seen = Vec::with_capacity(rc.states.len());
+        for (key, state) in &rc.states {
+            if seen.contains(key) {
+                return Verdict::Fails(format!(
+                    "cut {}: key {key} recorded twice in one snapshot",
+                    rc.cut
+                ));
+            }
+            seen.push(*key);
+            match expected.get(key) {
+                Some(want) if want == state => {}
+                Some(_) => {
+                    return Verdict::Fails(format!(
+                        "cut {}: key {key} is torn — recorded state is not the fold \
+                         of its updates stamped ≤ {}",
+                        rc.cut, rc.cut
+                    ));
+                }
+                None => {
+                    // No updates ≤ cut target this key: it must sit at
+                    // the initial state.
+                    if *state != adt.initial() {
+                        return Verdict::Fails(format!(
+                            "cut {}: key {key} shows effects of updates stamped after \
+                             the cut",
+                            rc.cut
+                        ));
+                    }
+                }
+            }
+        }
+        for key in expected.keys() {
+            if !seen.contains(key) {
+                return Verdict::Fails(format!(
+                    "cut {}: key {key} has updates stamped ≤ {} but is missing from \
+                     the snapshot",
+                    rc.cut, rc.cut
+                ));
+            }
+        }
+        checked.push((rc.cut, rc.states.len()));
+    }
+    Verdict::Holds(Witness::CutFolds(checked))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_spec::{CounterAdt, CounterUpdate};
+
+    fn up(key: u64, clock: u64, pid: u32, delta: i64) -> CutUpdate<CounterUpdate> {
+        CutUpdate {
+            key,
+            clock,
+            pid,
+            update: CounterUpdate::Add(delta),
+        }
+    }
+
+    #[test]
+    fn consistent_cuts_hold() {
+        let adt = CounterAdt;
+        let trace = vec![up(0, 1, 0, 5), up(1, 2, 0, 7), up(0, 3, 1, 1)];
+        let cuts = vec![
+            RecordedCut {
+                cut: 2,
+                states: vec![(0, 5), (1, 7)],
+            },
+            RecordedCut {
+                cut: 3,
+                states: vec![(0, 6), (1, 7)],
+            },
+        ];
+        let v = check_snapshot_consistency(&adt, &trace, &cuts);
+        assert!(v.holds(), "{v:?}");
+        assert_eq!(v.witness(), Some(&Witness::CutFolds(vec![(2, 2), (3, 2)])));
+    }
+
+    #[test]
+    fn duplicate_deliveries_collapse() {
+        let adt = CounterAdt;
+        let trace = vec![up(0, 1, 0, 5), up(0, 1, 0, 5), up(0, 2, 1, 3)];
+        let cuts = vec![RecordedCut {
+            cut: 2,
+            states: vec![(0, 8)],
+        }];
+        assert!(check_snapshot_consistency(&adt, &trace, &cuts).holds());
+    }
+
+    #[test]
+    fn torn_cut_fails_naming_cut_and_key() {
+        let adt = CounterAdt;
+        // Key 1's recorded state includes the clock-3 update even
+        // though the cut is 2: a torn snapshot.
+        let trace = vec![up(0, 1, 0, 5), up(1, 2, 0, 7), up(1, 3, 1, 1)];
+        let cuts = vec![RecordedCut {
+            cut: 2,
+            states: vec![(0, 5), (1, 8)],
+        }];
+        let v = check_snapshot_consistency(&adt, &trace, &cuts);
+        match v {
+            Verdict::Fails(msg) => {
+                assert!(msg.contains("cut 2"), "{msg}");
+                assert!(msg.contains("key 1"), "{msg}");
+            }
+            other => panic!("expected Fails, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_key_fails() {
+        let adt = CounterAdt;
+        let trace = vec![up(0, 1, 0, 5), up(1, 2, 0, 7)];
+        let cuts = vec![RecordedCut {
+            cut: 2,
+            states: vec![(0, 5)],
+        }];
+        assert!(check_snapshot_consistency(&adt, &trace, &cuts).fails());
+    }
+
+    #[test]
+    fn untouched_recorded_key_must_be_initial() {
+        let adt = CounterAdt;
+        let trace = vec![up(0, 5, 0, 5)];
+        let ok = vec![RecordedCut {
+            cut: 3,
+            states: vec![(0, 0)],
+        }];
+        assert!(check_snapshot_consistency(&adt, &trace, &ok).holds());
+        let bad = vec![RecordedCut {
+            cut: 3,
+            states: vec![(0, 5)],
+        }];
+        assert!(check_snapshot_consistency(&adt, &trace, &bad).fails());
+    }
+
+    #[test]
+    fn stamp_collision_fails() {
+        let adt = CounterAdt;
+        let trace = vec![up(0, 1, 0, 5), up(1, 1, 0, 7)];
+        assert!(check_snapshot_consistency(&adt, &trace, &[]).fails());
+    }
+}

@@ -86,6 +86,10 @@ pub enum Witness {
     },
     /// A single linearization of all events (sequential consistency).
     FullLinearization(Vec<EventId>),
+    /// Per validated cut: `(cut timestamp, keys checked)` — every
+    /// recorded state re-derived by folding the update total order's
+    /// prefix `≤ cut` (snapshot consistency).
+    CutFolds(Vec<(u64, usize)>),
 }
 
 /// Witness element for one maximal chain (pipelined consistency).

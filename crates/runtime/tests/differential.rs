@@ -89,7 +89,9 @@ fn replica_ops(seed: u64) -> Vec<(Pid, OpInput<Adt>)> {
             let input = match op.kind {
                 SetOpKind::Insert(e) => OpInput::Update(SetUpdate::Insert(e as u32)),
                 SetOpKind::Delete(e) => OpInput::Update(SetUpdate::Delete(e as u32)),
-                SetOpKind::Read => OpInput::Query(SetQuery::Read),
+                // Single-object replicas have no multi-key cut; the
+                // unkeyed generator never emits SnapshotRead anyway.
+                SetOpKind::Read | SetOpKind::SnapshotRead => OpInput::Query(SetQuery::Read),
             };
             (op.pid, input)
         })
@@ -208,6 +210,7 @@ fn store_ops(seed: u64) -> Vec<(Pid, StoreInput<Adt>)> {
         insert_ratio: 0.6,
         mean_gap: 3,
         ooo_rate: 0.0,
+        snapshot_rate: 0.3,
         seed,
     };
     generate_keyed(&spec)
@@ -217,6 +220,14 @@ fn store_ops(seed: u64) -> Vec<(Pid, StoreInput<Adt>)> {
                 SetOpKind::Insert(e) => StoreInput::Update(op.key, SetUpdate::Insert(e as u32)),
                 SetOpKind::Delete(e) => StoreInput::Update(op.key, SetUpdate::Delete(e as u32)),
                 SetOpKind::Read => StoreInput::Query(op.key, SetQuery::Read),
+                // A consistent multi-key read over the anchor key and
+                // its two neighbours — exercises the cut path on every
+                // runtime.
+                SetOpKind::SnapshotRead => StoreInput::Snapshot(
+                    (op.key..op.key + 3)
+                        .map(|k| (k % spec.keys as u64, SetQuery::Read))
+                        .collect(),
+                ),
             };
             (op.pid, input)
         })

@@ -17,6 +17,10 @@ pub enum SetOpKind {
     Delete(usize),
     /// Read the whole set.
     Read,
+    /// Read a consistent multi-key snapshot (keyed workloads; the
+    /// target key marks the snapshot's anchor — drivers typically
+    /// fan the snapshot read across several keys).
+    SnapshotRead,
 }
 
 /// One scheduled operation.
@@ -132,6 +136,11 @@ pub struct KeyedWorkloadSpec {
     /// Fraction of messages displaced by [`perturb_order`] when the
     /// schedule is turned into a delivery stream (0 = in order).
     pub ooo_rate: f64,
+    /// Fraction of *reads* that are consistent multi-key snapshot
+    /// reads ([`SetOpKind::SnapshotRead`]) rather than single-key
+    /// reads. 0 (the default) generates no snapshot reads, keeping
+    /// pre-existing specs byte-identical.
+    pub snapshot_rate: f64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -149,6 +158,7 @@ impl Default for KeyedWorkloadSpec {
             insert_ratio: 0.6,
             mean_gap: 10,
             ooo_rate: 0.1,
+            snapshot_rate: 0.0,
             seed: 0x5708ADE,
         }
     }
@@ -171,6 +181,10 @@ pub fn generate_keyed(spec: &KeyedWorkloadSpec) -> Vec<KeyedOp> {
                 } else {
                     SetOpKind::Delete(elem)
                 }
+            } else if spec.snapshot_rate > 0.0 && rng.next_f64() < spec.snapshot_rate {
+                // Guarded so a zero rate draws nothing and existing
+                // specs keep their exact schedules.
+                SetOpKind::SnapshotRead
             } else {
                 SetOpKind::Read
             };

@@ -13,8 +13,8 @@
 //! anywhere invalidates the whole record (the segment scanner then
 //! treats it like a CRC failure — the record is dropped).
 
-use std::collections::{BTreeMap, BTreeSet};
-use uc_spec::{CounterUpdate, SetUpdate};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use uc_spec::{CounterUpdate, QueueUpdate, SetUpdate, StackUpdate};
 
 /// A bounds-checked cursor over an encoded payload.
 pub struct Reader<'a> {
@@ -259,6 +259,67 @@ impl Codec for CounterUpdate {
     }
 }
 
+impl<T: Codec> Codec for VecDeque<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).encode(out);
+        for v in self {
+            v.encode(out);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        let n = u64::decode(r)? as usize;
+        if n > r.remaining() {
+            return None;
+        }
+        let mut out = VecDeque::with_capacity(n);
+        for _ in 0..n {
+            out.push_back(T::decode(r)?);
+        }
+        Some(out)
+    }
+}
+
+impl<V: Codec> Codec for QueueUpdate<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            QueueUpdate::Enqueue(v) => {
+                out.push(0);
+                v.encode(out);
+            }
+            QueueUpdate::Pop => out.push(1),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        match u8::decode(r)? {
+            0 => Some(QueueUpdate::Enqueue(V::decode(r)?)),
+            1 => Some(QueueUpdate::Pop),
+            _ => None,
+        }
+    }
+}
+
+impl<V: Codec> Codec for StackUpdate<V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            StackUpdate::Push(v) => {
+                out.push(0);
+                v.encode(out);
+            }
+            StackUpdate::DeleteTop => out.push(1),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        match u8::decode(r)? {
+            0 => Some(StackUpdate::Push(V::decode(r)?)),
+            1 => Some(StackUpdate::DeleteTop),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -286,6 +347,11 @@ mod tests {
         round_trip(Option::<u16>::None);
         round_trip((7u64, SetUpdate::Delete(3u32)));
         round_trip(CounterUpdate::Add(-40));
+        round_trip(VecDeque::from([9u32, 4, 2]));
+        round_trip(QueueUpdate::Enqueue(11u32));
+        round_trip(QueueUpdate::<u32>::Pop);
+        round_trip(StackUpdate::Push(String::from("x")));
+        round_trip(StackUpdate::<String>::DeleteTop);
     }
 
     #[test]

@@ -56,7 +56,7 @@ fn main() {
     let read = |pid: Pid, key: u64| -> i64 {
         match cluster.invoke(pid, StoreInput::Query(key, CounterQuery::Read)) {
             StoreOutput::Value { out, .. } => out,
-            StoreOutput::Ack { .. } => unreachable!("queries answer with values"),
+            _ => unreachable!("queries answer with values"),
         }
     };
     let mut total: i64 = 0;
