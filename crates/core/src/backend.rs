@@ -104,6 +104,21 @@ pub trait LogBackend<A: UqAdt> {
     fn clock_watermark(&self) -> u64 {
         0
     }
+
+    /// Anti-entropy heal path: re-read the durable suffix stamped
+    /// strictly above `since` from storage, in timestamp order and
+    /// deduplicated — *without* going through the in-memory log.
+    /// `None` means the backend cannot serve the request (nothing
+    /// durable to stream, or part of the requested range was already
+    /// folded into a base snapshot); callers fall back to filtering
+    /// the in-memory sorted log. Unlike [`LogBackend::scan_suffix`]
+    /// (a one-shot recovery drain), this may be called repeatedly on
+    /// a live backend. Callers flush first so the journal covers
+    /// every accepted entry.
+    fn stream_suffix(&mut self, since: u64) -> Option<Vec<(Timestamp, A::Update)>> {
+        let _ = since;
+        None
+    }
 }
 
 /// The in-memory "backend": every operation is a no-op because the

@@ -155,6 +155,16 @@ pub trait RepairStrategy<A: UqAdt> {
         let _ = (pid, clock);
     }
 
+    /// Pin compaction at `clock` (`Some`) or release the pin (`None`).
+    /// While a partitioned peer is marked down, the store caps
+    /// stability-based collection at the outage-start watermark so the
+    /// missed suffix stays available for reconciliation-on-heal.
+    /// Default: ignore — only compacting strategies
+    /// ([`crate::gc::StableGc`]) ever discard log entries.
+    fn set_retention_cap(&mut self, cap: Option<u64>) {
+        let _ = cap;
+    }
+
     /// Does an insertion cost this strategy *nothing* beyond the log
     /// mutation itself — no rollback, no refold, no cache repair?
     /// Strategies that answer queries by replaying the log from
@@ -287,6 +297,7 @@ impl<A: UqAdt, S: RepairStrategy<A>, B: LogBackend<A>> ReplicaEngine<A, S, B> {
                 engine.strategy.install_base(&engine.adt, bound, state),
                 "backend holds a base snapshot but the strategy cannot host one"
             );
+            engine.log.raise_floor(bound);
             engine.clock.merge(bound);
         }
         engine.on_deliver_batch_owned(
@@ -461,6 +472,14 @@ impl<A: UqAdt, S: RepairStrategy<A>, B: LogBackend<A>> ReplicaEngine<A, S, B> {
         self.strategy.maintain(&self.adt, &mut self.log, &ctx);
     }
 
+    /// Pin or release the strategy's compaction retention cap — see
+    /// [`RepairStrategy::set_retention_cap`]. The store calls this on
+    /// every engine while partitioned peers are marked down so the
+    /// suffix they missed survives until reconciliation-on-heal.
+    pub fn set_retention_cap(&mut self, cap: Option<u64>) {
+        self.strategy.set_retention_cap(cap);
+    }
+
     /// Answer a query from local knowledge (lines 12–19: ticks the
     /// clock, then observes the state equivalent to replaying the
     /// sorted log).
@@ -501,6 +520,38 @@ impl<A: UqAdt, S: RepairStrategy<A>, B: LogBackend<A>> ReplicaEngine<A, S, B> {
     pub fn query_at_cut(&mut self, cut: u64, q: &A::QueryIn) -> Result<A::QueryOut, CutError> {
         let state = self.state_at_cut(cut)?;
         Ok(self.adt.observe(&state, q))
+    }
+
+    /// The retained suffix stamped strictly above `since`, as
+    /// broadcast messages in timestamp order — the unit of
+    /// anti-entropy reconciliation-on-heal. The backend is flushed
+    /// first (heal is a durability point), then asked to stream the
+    /// suffix straight from storage ([`LogBackend::stream_suffix`] —
+    /// segment-backed engines read their live segment files and never
+    /// clone the in-memory log wholesale); backends that cannot
+    /// stream fall back to filtering the in-memory sorted log.
+    ///
+    /// Completeness leans on stability: a compacting strategy's bound
+    /// can only advance past `since` once *every* peer's clock
+    /// exceeds it, and a peer that has been unreachable since `since`
+    /// froze its observed clock at or below it — so while that peer
+    /// is down, no entry above `since` is ever folded away.
+    pub fn suffix_since(&mut self, since: u64) -> Vec<UpdateMsg<A::Update>> {
+        self.flush_backend();
+        if let Some(entries) = self.log.backend_mut().stream_suffix(since) {
+            return entries
+                .into_iter()
+                .map(|(ts, update)| UpdateMsg { ts, update })
+                .collect();
+        }
+        self.log
+            .iter()
+            .filter(|(ts, _)| ts.clock > since)
+            .map(|(ts, update)| UpdateMsg {
+                ts: *ts,
+                update: update.clone(),
+            })
+            .collect()
     }
 
     /// Announce our clock to the strategy and let it compact; called

@@ -53,6 +53,14 @@ pub struct StableGc<A: UqAdt> {
     /// Current stability bound (entries with clock ≤ bound are
     /// compactable).
     bound: u64,
+    /// Anti-entropy retention cap: while a partitioned peer is marked
+    /// down, the store pins compaction at the outage-start watermark
+    /// so the suffix the peer missed stays in the log for
+    /// reconciliation-on-heal. Without the pin, the *incoming* heal
+    /// burst (carrying the majority's high clocks) would advance
+    /// stability and fold this replica's own partition-era updates
+    /// into the base before they were ever streamed back out.
+    retention_cap: Option<u64>,
 }
 
 impl<A: UqAdt> StableGc<A> {
@@ -66,6 +74,7 @@ impl<A: UqAdt> StableGc<A> {
             compacted: 0,
             last_seen: vec![0; n],
             bound: 0,
+            retention_cap: None,
         }
     }
 
@@ -87,7 +96,10 @@ impl<A: UqAdt> StableGc<A> {
     }
 
     fn try_compact<B: LogBackend<A>>(&mut self, adt: &A, log: &mut UpdateLog<A, B>) {
-        let new_bound = self.last_seen.iter().copied().min().unwrap_or(0);
+        let mut new_bound = self.last_seen.iter().copied().min().unwrap_or(0);
+        if let Some(cap) = self.retention_cap {
+            new_bound = new_bound.min(cap);
+        }
         self.bound = self.bound.max(new_bound);
         let stable = log.drain_stable_prefix(self.bound);
         if stable.is_empty() {
@@ -121,6 +133,10 @@ impl<A: UqAdt> RepairStrategy<A> for StableGc<A> {
         );
         self.scratch_dirty = true;
         self.try_compact(adt, log);
+    }
+
+    fn set_retention_cap(&mut self, cap: Option<u64>) {
+        self.retention_cap = cap;
     }
 
     fn observe_clock(&mut self, pid: u32, clock: u64) {

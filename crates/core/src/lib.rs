@@ -73,8 +73,8 @@ pub use sim_adapter::{
 };
 pub use snapshot::Published;
 pub use store::{
-    CheckpointFactory, GcFactory, Key, NaiveFactory, StoreInput, StoreMsg, StoreOutput,
-    StoreSnapshot, StrategyFactory, UcStore, UndoFactory,
+    AvailabilityPolicy, CheckpointFactory, GcFactory, Key, NaiveFactory, PartitionTracker,
+    StoreInput, StoreMsg, StoreOutput, StoreSnapshot, StrategyFactory, UcStore, UndoFactory,
 };
 pub use timestamp::{LamportClock, Timestamp};
 pub use undo::{UndoRepair, UndoReplica};

@@ -28,6 +28,17 @@ use uc_spec::UqAdt;
 pub struct UpdateLog<A: UqAdt, B = MemBackend> {
     entries: Vec<(Timestamp, A::Update)>,
     backend: B,
+    /// Highest stability bound ever drained
+    /// ([`UpdateLog::drain_stable_prefix`]). Entries at or below it
+    /// were folded into a strategy base and no longer exist in the
+    /// index, so an arriving message stamped `clock ≤ floor` can only
+    /// be a duplicate of a folded entry (stability guarantees no
+    /// *fresh* update below the bound is ever produced) — every insert
+    /// path rejects it instead of re-admitting it below the base.
+    /// Overlapping anti-entropy repair bursts rely on this: the second
+    /// burst's redelivered entries may arrive after a compaction
+    /// already folded the first burst's copies.
+    floor: u64,
     /// `false` only while recovery replays journaled entries — the
     /// entries are already on disk and must not be re-appended.
     journaling: bool,
@@ -49,6 +60,7 @@ impl<A: UqAdt, B: Default> Default for UpdateLog<A, B> {
             entries: Vec::new(),
             backend: B::default(),
             journaling: true,
+            floor: 0,
         }
     }
 }
@@ -68,6 +80,7 @@ impl<A: UqAdt, B: LogBackend<A>> UpdateLog<A, B> {
             entries: Vec::new(),
             backend,
             journaling: true,
+            floor: 0,
         }
     }
 
@@ -90,8 +103,12 @@ impl<A: UqAdt, B: LogBackend<A>> UpdateLog<A, B> {
     /// Insert a timestamped update, keeping timestamp order. Returns
     /// the insertion position, or `None` if the timestamp was already
     /// present (reliable broadcast delivers once, but being defensive
-    /// costs one comparison).
+    /// costs one comparison) or at or below the compaction floor (a
+    /// redelivered duplicate of an already-folded entry).
     pub fn insert(&mut self, msg: &UpdateMsg<A::Update>) -> Option<usize> {
+        if msg.ts.clock <= self.floor {
+            return None;
+        }
         match self.entries.binary_search_by(|(ts, _)| ts.cmp(&msg.ts)) {
             Ok(_) => None,
             Err(pos) => {
@@ -108,6 +125,9 @@ impl<A: UqAdt, B: LogBackend<A>> UpdateLog<A, B> {
     /// the update moves into the log instead of being cloned — the
     /// zero-copy hot path taken by owned batch delivery.
     pub fn insert_owned(&mut self, msg: UpdateMsg<A::Update>) -> Option<usize> {
+        if msg.ts.clock <= self.floor {
+            return None;
+        }
         match self.entries.binary_search_by(|(ts, _)| ts.cmp(&msg.ts)) {
             Ok(_) => None,
             Err(pos) => {
@@ -128,6 +148,9 @@ impl<A: UqAdt, B: LogBackend<A>> UpdateLog<A, B> {
     /// used to be reported as `entries.len()`, which repair logic
     /// would happily treat as an in-order insert).
     pub fn push_newest(&mut self, msg: &UpdateMsg<A::Update>) -> Option<usize> {
+        if msg.ts.clock <= self.floor {
+            return None;
+        }
         match self.entries.last() {
             Some((last, _)) if *last >= msg.ts => self.insert(msg),
             _ => {
@@ -156,10 +179,11 @@ impl<A: UqAdt, B: LogBackend<A>> UpdateLog<A, B> {
     pub fn insert_batch(&mut self, msgs: &[UpdateMsg<A::Update>]) -> Option<usize> {
         let mut fresh: Vec<(Timestamp, A::Update)> = Vec::with_capacity(msgs.len());
         for m in msgs {
-            if self
-                .entries
-                .binary_search_by(|(ts, _)| ts.cmp(&m.ts))
-                .is_err()
+            if m.ts.clock > self.floor
+                && self
+                    .entries
+                    .binary_search_by(|(ts, _)| ts.cmp(&m.ts))
+                    .is_err()
             {
                 fresh.push((m.ts, m.update.clone()));
             }
@@ -172,10 +196,11 @@ impl<A: UqAdt, B: LogBackend<A>> UpdateLog<A, B> {
     pub fn insert_batch_owned(&mut self, msgs: Vec<UpdateMsg<A::Update>>) -> Option<usize> {
         let mut fresh: Vec<(Timestamp, A::Update)> = Vec::with_capacity(msgs.len());
         for m in msgs {
-            if self
-                .entries
-                .binary_search_by(|(ts, _)| ts.cmp(&m.ts))
-                .is_err()
+            if m.ts.clock > self.floor
+                && self
+                    .entries
+                    .binary_search_by(|(ts, _)| ts.cmp(&m.ts))
+                    .is_err()
             {
                 fresh.push((m.ts, m.update));
             }
@@ -243,8 +268,17 @@ impl<A: UqAdt, B: LogBackend<A>> UpdateLog<A, B> {
     /// the prefix into a base must follow up with
     /// [`UpdateLog::persist_base`] so a persistent backend can compact.
     pub fn drain_stable_prefix(&mut self, bound: u64) -> Vec<(Timestamp, A::Update)> {
+        self.floor = self.floor.max(bound);
         let cut = self.entries.partition_point(|(ts, _)| ts.clock <= bound);
         self.entries.drain(..cut).collect()
+    }
+
+    /// Raise the duplicate-rejection floor without draining —
+    /// recovery installs a persisted base whose prefix was compacted
+    /// in an earlier run, and the reopened log must keep refusing
+    /// redeliveries below that bound.
+    pub(crate) fn raise_floor(&mut self, bound: u64) {
+        self.floor = self.floor.max(bound);
     }
 
     /// Number of entries with `ts.clock ≤ cut` — the length of the

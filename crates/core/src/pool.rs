@@ -91,8 +91,9 @@ use crate::inbox::{Inbox, PushError};
 use crate::message::UpdateMsg;
 use crate::snapshot::Published;
 use crate::store::{
-    collapse_heartbeats, shard_index, split_by_shard, Key, Shard, StoreInput, StoreMsg,
-    StoreOutput, StoreSnapshot, StrategyFactory, UcStore,
+    collapse_heartbeats, repair_bytes_estimate, shard_index, split_by_shard, AvailabilityPolicy,
+    Key, PartitionTracker, Shard, StoreInput, StoreMsg, StoreOutput, StoreSnapshot,
+    StrategyFactory, UcStore,
 };
 use crate::timestamp::{LamportClock, Timestamp};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -103,7 +104,7 @@ use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
-use uc_sim::{Ctx, Pid, Protocol};
+use uc_sim::{Ctx, LinkCounters, Pid, Protocol};
 use uc_spec::UqAdt;
 
 /// What a full worker inbox means for *peer traffic*
@@ -360,6 +361,21 @@ enum Job<A: UqAdt> {
         #[allow(clippy::type_complexity)]
         reply: Sender<Result<Vec<(Key, <A as UqAdt>::State)>, CutError>>,
     },
+    /// Anti-entropy heal: collect every owned update stamped strictly
+    /// above `since` — skipping shards whose divergence high water
+    /// never passed it, and excluding `exclude_pid`'s own updates —
+    /// and reply with the keyed suffix. Flushes each touched engine's
+    /// backend first (heal is a durability point).
+    CollectSuffix {
+        since: u64,
+        exclude_pid: u32,
+        #[allow(clippy::type_complexity)]
+        reply: Sender<Vec<(Key, UpdateMsg<<A as UqAdt>::Update>)>>,
+    },
+    /// Pin (or release) every owned engine's compaction at a
+    /// retention cap while partitioned peers are marked down — see
+    /// [`RepairStrategy::set_retention_cap`](crate::engine::RepairStrategy::set_retention_cap).
+    Retention { cap: Option<u64> },
 }
 
 /// One epoch-published snapshot entry: a key's post-repair state plus
@@ -564,8 +580,9 @@ where
             }
             Job::Update { shard, key, msg } => {
                 counters.messages.fetch_add(1, Ordering::Relaxed);
-                shard_mut(shards, shard)
-                    .engine_mut(key, adt, *pid, factory, persist)
+                let sh = shard_mut(shards, shard);
+                sh.note_clock(msg.ts.clock);
+                sh.engine_mut(key, adt, *pid, factory, persist)
                     .local_update_at(msg.ts, msg.update);
             }
             Job::Query {
@@ -626,6 +643,33 @@ where
                     Some(e) => Err(e),
                     None => Ok(out),
                 });
+            }
+            Job::CollectSuffix {
+                since,
+                exclude_pid,
+                reply,
+            } => {
+                let mut out = Vec::new();
+                for (_, shard) in shards.iter_mut() {
+                    if shard.high_water <= since {
+                        continue;
+                    }
+                    for (key, engine) in shard.objects.iter_mut() {
+                        for msg in engine.suffix_since(since) {
+                            if msg.ts.pid != exclude_pid {
+                                out.push((*key, msg));
+                            }
+                        }
+                    }
+                }
+                // A dead reply channel (caller gave up on a poisoned
+                // pool) is not this worker's problem.
+                let _ = reply.send(out);
+            }
+            Job::Retention { cap } => {
+                for (_, shard) in shards {
+                    shard.set_retention_cap(cap);
+                }
             }
         }
     }
@@ -1252,6 +1296,54 @@ where
         Ok(())
     }
 
+    /// Collect every update stamped strictly above `since` across all
+    /// workers, excluding those issued by `exclude_pid`, in timestamp
+    /// order — the pooled heal path. Each worker's FIFO inbox orders
+    /// the collection after every earlier submission from this
+    /// handle, so the suffix covers everything submitted before the
+    /// call.
+    #[allow(clippy::type_complexity)]
+    pub fn collect_suffix(
+        &self,
+        since: u64,
+        exclude_pid: u32,
+    ) -> Result<Vec<(Key, UpdateMsg<A::Update>)>, PoolError> {
+        let workers = self.core.inboxes.len();
+        let mut acks = Vec::with_capacity(workers);
+        for worker in 0..workers {
+            let (reply, ack) = channel();
+            self.push_job(
+                worker,
+                Job::CollectSuffix {
+                    since,
+                    exclude_pid,
+                    reply,
+                },
+                Backpressure::Park,
+            )?;
+            acks.push((worker, ack));
+        }
+        let mut out = Vec::new();
+        for (worker, ack) in acks {
+            match ack.recv() {
+                Ok(part) => out.extend(part),
+                Err(_) => return Err(self.err_for(worker)),
+            }
+        }
+        out.sort_by_key(|(_, m)| m.ts);
+        Ok(out)
+    }
+
+    /// Pin (or release) compaction on every worker's engines. FIFO
+    /// inboxes order the pin before any later submission, so a
+    /// following [`PoolHandle::collect_suffix`] streams under it.
+    pub fn set_retention(&self, cap: Option<u64>) -> Result<(), PoolError> {
+        for worker in 0..self.core.inboxes.len() {
+            self.push_job(worker, Job::Retention { cap }, Backpressure::Park)?;
+        }
+        Ok(())
+    }
+
     /// This replica's process id.
     pub fn pid(&self) -> u32 {
         self.core.pid
@@ -1292,6 +1384,15 @@ where
     handle: PoolHandle<A, P>,
     factory: F,
     workers: Vec<WorkerJoin<A, F, P>>,
+    /// Down-peer bookkeeping and the minority-read policy (protocol
+    /// state — lives on the owning handle, not the workers).
+    partition: PartitionTracker,
+    /// Estimated wire bytes of every [`StoreMsg::Repair`] burst this
+    /// pool has emitted on heal.
+    heal_replay_bytes: u64,
+    /// Shared protocol-side counters, folded into the owning
+    /// runtime's [`uc_sim::Metrics`] when attached.
+    link_counters: Option<Arc<LinkCounters>>,
 }
 
 /// Same reservation width as the sequential store: one persisted
@@ -1361,6 +1462,9 @@ where
             handle: PoolHandle { core, adt, persist },
             factory,
             workers: joins,
+            partition: PartitionTracker::default(),
+            heal_replay_bytes: 0,
+            link_counters: None,
         }
     }
 
@@ -1475,6 +1579,94 @@ where
     /// Number of worker threads.
     pub fn num_workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Choose how this pooled replica answers reads while in a
+    /// minority partition — see
+    /// [`AvailabilityPolicy`](crate::store::AvailabilityPolicy).
+    /// Updates are never refused (writes stay wait-free).
+    pub fn set_partition_policy(&mut self, policy: AvailabilityPolicy) {
+        self.partition.set_policy(policy);
+    }
+
+    /// The partition tracker: down peers, outage-start watermarks,
+    /// and the active read policy.
+    pub fn partition(&self) -> &PartitionTracker {
+        &self.partition
+    }
+
+    /// Attach shared link counters so heal-replay traffic is folded
+    /// into the owning runtime's [`uc_sim::Metrics`].
+    pub fn attach_link_counters(&mut self, counters: Arc<LinkCounters>) {
+        self.link_counters = Some(counters);
+    }
+
+    /// Estimated wire bytes this pool has streamed in
+    /// [`StoreMsg::Repair`] bursts on heal.
+    pub fn heal_replay_bytes(&self) -> u64 {
+        self.heal_replay_bytes
+    }
+
+    /// Report `peer` unreachable (idempotent; the earliest
+    /// outage-start watermark wins — see [`UcStore::peer_down`]).
+    /// Pins every worker's compaction at the earliest outage
+    /// watermark so the missed suffix stays available for heal.
+    pub fn peer_down(&mut self, peer: Pid) -> Result<(), PoolError> {
+        let watermark = self.handle.core.clock.now();
+        self.partition.mark_down(peer, watermark);
+        self.apply_retention()
+    }
+
+    /// Re-derive the workers' compaction pin from the down set (see
+    /// [`UcStore::peer_down`] for why healing requires it).
+    fn apply_retention(&self) -> Result<(), PoolError> {
+        let cap = self.partition.down_peers().map(|(_, w)| w).min();
+        self.handle.set_retention(cap)
+    }
+
+    /// Report `peer` reachable again: if it was down, collect the
+    /// missed suffix from every worker and return the
+    /// [`StoreMsg::Repair`] burst to send it (see
+    /// [`UcStore::peer_up`]).
+    pub fn peer_up(&mut self, peer: Pid) -> Result<Option<StoreMsg<A::Update>>, PoolError> {
+        let Some(since) = self.partition.mark_up(peer) else {
+            return Ok(None);
+        };
+        // Collect under the outgoing (tighter) retention pin, *then*
+        // relax it — the FIFO inboxes order the release after the
+        // collection on every worker.
+        let updates = self.handle.collect_suffix(since, peer)?;
+        self.apply_retention()?;
+        if updates.is_empty() {
+            return Ok(None);
+        }
+        let bytes = repair_bytes_estimate::<A>(&updates);
+        self.heal_replay_bytes += bytes;
+        if let Some(c) = &self.link_counters {
+            LinkCounters::add(&c.heal_replay_bytes, bytes);
+        }
+        Ok(Some(StoreMsg::Repair { updates }))
+    }
+
+    /// Answer a read under the active partition policy: same contract
+    /// as `UcStore::minority_read` — `DegradedMarked` wraps the
+    /// answer, `Refuse` rejects without computing it.
+    fn minority_read(
+        &mut self,
+        n: usize,
+        answer: impl FnOnce(&mut Self) -> StoreOutput<A>,
+    ) -> StoreOutput<A> {
+        if !self.partition.in_minority(n) {
+            return answer(self);
+        }
+        match self.partition.policy() {
+            AvailabilityPolicy::Available => answer(self),
+            AvailabilityPolicy::DegradedMarked => StoreOutput::Degraded(Box::new(answer(self))),
+            AvailabilityPolicy::Refuse => StoreOutput::Refused {
+                live: n.saturating_sub(self.partition.down_count()),
+                cluster: n,
+            },
+        }
     }
 
     /// Snapshot the per-worker queue/throughput counters.
@@ -1620,12 +1812,12 @@ where
                 ctx.broadcast_others(m);
                 StoreOutput::Ack { key, ts }
             }
-            StoreInput::Query(key, q) => StoreOutput::Value {
+            StoreInput::Query(key, q) => self.minority_read(ctx.n(), |s| StoreOutput::Value {
                 key,
-                out: self.query(key, &q).unwrap_or_else(|e| panic!("{e}")),
-            },
-            StoreInput::Snapshot(reqs) => {
-                let snap = self.consistent_snapshot().unwrap_or_else(|e| panic!("{e}"));
+                out: s.query(key, &q).unwrap_or_else(|e| panic!("{e}")),
+            }),
+            StoreInput::Snapshot(reqs) => self.minority_read(ctx.n(), |s| {
+                let snap = s.consistent_snapshot().unwrap_or_else(|e| panic!("{e}"));
                 StoreOutput::Snapshot {
                     cut: snap.cut(),
                     outs: reqs
@@ -1635,6 +1827,26 @@ where
                             (key, out)
                         })
                         .collect(),
+                }
+            }),
+            StoreInput::PeerDown(p) => {
+                if let Err(e) = self.peer_down(p) {
+                    panic!("pooled replica lost workers marking a peer down: {e}");
+                }
+                StoreOutput::Membership {
+                    peer: p,
+                    down: true,
+                }
+            }
+            StoreInput::PeerUp(p) => {
+                match self.peer_up(p) {
+                    Ok(Some(repair)) => ctx.send(p, repair),
+                    Ok(None) => {}
+                    Err(e) => panic!("{e}"),
+                }
+                StoreOutput::Membership {
+                    peer: p,
+                    down: false,
                 }
             }
         }
@@ -1861,6 +2073,57 @@ mod tests {
             }
         }
         assert_eq!(pool.clock(), 1000);
+        pool.finish().unwrap();
+    }
+
+    #[test]
+    fn pooled_heal_matches_sequential() {
+        // Same traffic, same outage window: the pooled heal burst must
+        // carry exactly the updates the sequential store would stream.
+        let mut seq = store(0, 4);
+        let mut pool = store(0, 4).into_pool(cfg(2));
+        for i in 0..20u64 {
+            let m = seq.update(i % 5, SetUpdate::Insert(i as u32));
+            let StoreMsg::Update { key, msg } = &m else {
+                unreachable!()
+            };
+            // Mirror the stamp into the pool via the peer-ingest path
+            // so both sides hold identical timestamps.
+            pool.submit_batch(vec![StoreMsg::Update {
+                key: *key,
+                msg: msg.clone(),
+            }])
+            .unwrap();
+        }
+        pool.flush().unwrap();
+        seq.peer_down(1);
+        pool.peer_down(1).expect("live pool");
+        let watermark = seq.clock();
+        assert_eq!(pool.partition().down_peers().next(), Some((1, watermark)));
+        for i in 20..30u64 {
+            let m = seq.update(i % 5, SetUpdate::Insert(i as u32));
+            let StoreMsg::Update { key, msg } = &m else {
+                unreachable!()
+            };
+            pool.submit_batch(vec![StoreMsg::Update {
+                key: *key,
+                msg: msg.clone(),
+            }])
+            .unwrap();
+        }
+        let seq_burst = seq.peer_up(1).expect("sequential heal streams a burst");
+        let pool_burst = pool
+            .peer_up(1)
+            .unwrap()
+            .expect("pooled heal streams a burst");
+        let (StoreMsg::Repair { updates: a }, StoreMsg::Repair { updates: b }) =
+            (&seq_burst, &pool_burst)
+        else {
+            panic!("heal produces repair bursts");
+        };
+        assert_eq!(a, b);
+        assert!(pool.heal_replay_bytes() > 0);
+        assert!(pool.peer_up(1).unwrap().is_none(), "heal is one-shot");
         pool.finish().unwrap();
     }
 }

@@ -258,6 +258,26 @@ pub enum OmegaMarking<'a> {
     FinalQueriesOf(&'a [Pid]),
 }
 
+impl<'a> OmegaMarking<'a> {
+    /// The ω-marking matching a store's
+    /// [`AvailabilityPolicy`](crate::store::AvailabilityPolicy) after
+    /// a partition run. Under the default `Available` policy every
+    /// replica's final read is a convergence witness
+    /// ([`OmegaMarking::FinalQueries`]); under `DegradedMarked` or
+    /// `Refuse` the minority side's reads were flagged or rejected —
+    /// they assert nothing about the converged state, so only the
+    /// `majority` side's final reads are ω-marked.
+    pub fn for_policy(policy: crate::store::AvailabilityPolicy, majority: &'a [Pid]) -> Self {
+        use crate::store::AvailabilityPolicy;
+        match policy {
+            AvailabilityPolicy::Available => OmegaMarking::FinalQueries,
+            AvailabilityPolicy::DegradedMarked | AvailabilityPolicy::Refuse => {
+                OmegaMarking::FinalQueriesOf(majority)
+            }
+        }
+    }
+}
+
 /// Convert a simulation trace into a [`History`] plus the SUC witness
 /// Algorithm 1's replicas imply: `≤` is the timestamp order, and each
 /// query's visible set is the log it replayed.

@@ -56,8 +56,9 @@ use crate::timestamp::{LamportClock, Timestamp};
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 use uc_history::fxhash::FxHasher;
-use uc_sim::{Ctx, Pid, Protocol};
+use uc_sim::{Ctx, LinkCounters, Pid, Protocol};
 use uc_spec::UqAdt;
 
 /// Object identifier within a store.
@@ -177,6 +178,16 @@ pub enum StoreMsg<U> {
         /// Its clock at send time.
         clock: u64,
     },
+    /// An anti-entropy reconciliation burst sent to a healed peer: the
+    /// keyed updates it missed while unreachable (everything stamped
+    /// above the sender's clock watermark at outage start, excluding
+    /// the peer's own updates). Delivery is idempotent — receivers
+    /// ingest through the normal deduplicating batch path, so repair
+    /// bursts may overlap retransmissions or each other freely.
+    Repair {
+        /// The missed keyed updates, in timestamp order.
+        updates: Vec<(Key, UpdateMsg<U>)>,
+    },
 }
 
 impl<U: fmt::Debug> fmt::Debug for StoreMsg<U> {
@@ -184,6 +195,7 @@ impl<U: fmt::Debug> fmt::Debug for StoreMsg<U> {
         match self {
             StoreMsg::Update { key, msg } => write!(f, "k{key}:{msg:?}"),
             StoreMsg::Heartbeat { pid, clock } => write!(f, "hb(p{pid},{clock})"),
+            StoreMsg::Repair { updates } => write!(f, "repair[{}]", updates.len()),
         }
     }
 }
@@ -198,6 +210,17 @@ pub enum StoreInput<A: UqAdt> {
     /// clock — the multi-key read that can never be torn (see
     /// [`UcStore::consistent_snapshot`]).
     Snapshot(Vec<(Key, A::QueryIn)>),
+    /// Failure-detector verdict: `peer` became unreachable. The store
+    /// records its clock watermark at this moment — everything stamped
+    /// above it is the divergence the peer must be repaired with on
+    /// heal. Answered with [`StoreOutput::Membership`].
+    PeerDown(Pid),
+    /// `peer` is reachable again: reconcile-on-heal. The store streams
+    /// the suffix the peer missed (straight out of per-key segment
+    /// files where the backend supports it) as a
+    /// [`StoreMsg::Repair`] burst addressed to the peer, and lifts the
+    /// minority-partition posture if this was the last down peer.
+    PeerUp(Pid),
 }
 
 impl<A: UqAdt> Clone for StoreInput<A> {
@@ -206,6 +229,8 @@ impl<A: UqAdt> Clone for StoreInput<A> {
             StoreInput::Update(k, u) => StoreInput::Update(*k, u.clone()),
             StoreInput::Query(k, q) => StoreInput::Query(*k, q.clone()),
             StoreInput::Snapshot(reqs) => StoreInput::Snapshot(reqs.clone()),
+            StoreInput::PeerDown(p) => StoreInput::PeerDown(*p),
+            StoreInput::PeerUp(p) => StoreInput::PeerUp(*p),
         }
     }
 }
@@ -222,6 +247,8 @@ impl<A: UqAdt> fmt::Debug for StoreInput<A> {
                 }
                 Ok(())
             }
+            StoreInput::PeerDown(p) => write!(f, "down(p{p})"),
+            StoreInput::PeerUp(p) => write!(f, "up(p{p})"),
         }
     }
 }
@@ -249,6 +276,29 @@ pub enum StoreOutput<A: UqAdt> {
         /// Per-key query outputs, in request order.
         outs: Vec<(Key, A::QueryOut)>,
     },
+    /// Acknowledges a [`StoreInput::PeerDown`] / [`StoreInput::PeerUp`]
+    /// membership report.
+    Membership {
+        /// The reported peer.
+        peer: Pid,
+        /// Whether the peer is now considered down.
+        down: bool,
+    },
+    /// A minority-partition answer under
+    /// [`AvailabilityPolicy::DegradedMarked`]: the wrapped output was
+    /// computed from local knowledge only and may miss concurrent
+    /// majority-side updates — callers decide whether that is good
+    /// enough.
+    Degraded(Box<StoreOutput<A>>),
+    /// A read refused under [`AvailabilityPolicy::Refuse`]: this
+    /// replica could reach only `live` of `cluster` processes, not a
+    /// strict majority.
+    Refused {
+        /// Reachable processes (including this replica).
+        live: usize,
+        /// Cluster size.
+        cluster: usize,
+    },
 }
 
 impl<A: UqAdt> Clone for StoreOutput<A> {
@@ -262,6 +312,15 @@ impl<A: UqAdt> Clone for StoreOutput<A> {
             StoreOutput::Snapshot { cut, outs } => StoreOutput::Snapshot {
                 cut: *cut,
                 outs: outs.clone(),
+            },
+            StoreOutput::Membership { peer, down } => StoreOutput::Membership {
+                peer: *peer,
+                down: *down,
+            },
+            StoreOutput::Degraded(inner) => StoreOutput::Degraded(inner.clone()),
+            StoreOutput::Refused { live, cluster } => StoreOutput::Refused {
+                live: *live,
+                cluster: *cluster,
             },
         }
     }
@@ -279,7 +338,91 @@ impl<A: UqAdt> fmt::Debug for StoreOutput<A> {
                 }
                 Ok(())
             }
+            StoreOutput::Membership { peer, down } => {
+                write!(f, "p{peer}:{}", if *down { "down" } else { "up" })
+            }
+            StoreOutput::Degraded(inner) => write!(f, "degraded({inner:?})"),
+            StoreOutput::Refused { live, cluster } => write!(f, "refused({live}/{cluster})"),
         }
+    }
+}
+
+/// How a replica answers reads while it can reach only a **minority**
+/// of the cluster — the CAP posture of the partitionable-systems
+/// follow-up (Perrin et al., *Update Consistency in Partitionable
+/// Systems*). Updates always stay wait-free and local (they propagate
+/// after heal); the policy governs queries and snapshots only.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum AvailabilityPolicy {
+    /// Stay fully available (the paper's default, AP): answer from
+    /// local knowledge; convergence is restored by
+    /// reconciliation-on-heal.
+    #[default]
+    Available,
+    /// Answer from local knowledge but wrap the output in
+    /// [`StoreOutput::Degraded`], so callers know the read may miss
+    /// concurrent majority-side updates.
+    DegradedMarked,
+    /// Refuse minority-side reads outright with
+    /// [`StoreOutput::Refused`] (CP posture).
+    Refuse,
+}
+
+/// Per-replica partition bookkeeping: which peers the failure
+/// detector reported down, the local clock watermark frozen at each
+/// outage start (the lower bound of the divergence window to replay
+/// on heal), and the availability policy for minority-side reads.
+#[derive(Clone, Debug, Default)]
+pub struct PartitionTracker {
+    policy: AvailabilityPolicy,
+    /// peer → local clock watermark when it was first reported down.
+    down: std::collections::BTreeMap<Pid, u64>,
+}
+
+impl PartitionTracker {
+    /// The minority-read policy in force.
+    pub fn policy(&self) -> AvailabilityPolicy {
+        self.policy
+    }
+
+    /// Set the minority-read policy.
+    pub fn set_policy(&mut self, policy: AvailabilityPolicy) {
+        self.policy = policy;
+    }
+
+    /// Is `peer` currently considered down?
+    pub fn is_down(&self, peer: Pid) -> bool {
+        self.down.contains_key(&peer)
+    }
+
+    /// Number of peers currently considered down.
+    pub fn down_count(&self) -> usize {
+        self.down.len()
+    }
+
+    /// The down peers with their outage-start clock watermarks.
+    pub fn down_peers(&self) -> impl Iterator<Item = (Pid, u64)> + '_ {
+        self.down.iter().map(|(p, w)| (*p, *w))
+    }
+
+    /// With `n` processes total, is the reachable side (everyone not
+    /// reported down, including this replica) **not** a strict
+    /// majority?
+    pub fn in_minority(&self, n: usize) -> bool {
+        2 * n.saturating_sub(self.down.len()) <= n
+    }
+
+    /// Record `peer` down at local clock `watermark`. A repeated
+    /// report keeps the original (earliest) watermark — the divergence
+    /// window only ever grows while the peer stays down.
+    pub(crate) fn mark_down(&mut self, peer: Pid, watermark: u64) {
+        self.down.entry(peer).or_insert(watermark);
+    }
+
+    /// Clear `peer`'s down record, returning the outage-start
+    /// watermark if it was down.
+    pub(crate) fn mark_up(&mut self, peer: Pid) -> Option<u64> {
+        self.down.remove(&peer)
     }
 }
 
@@ -381,6 +524,15 @@ pub(crate) fn collapse_heartbeats(mut hbs: Vec<(u32, u64)>) -> Vec<(u32, u64)> {
 pub(crate) struct Shard<A: UqAdt, S, B = crate::backend::MemBackend> {
     pub(crate) idx: usize,
     pub(crate) objects: HashMap<Key, ReplicaEngine<A, S, B>, BuildHasherDefault<FxHasher>>,
+    /// Highest update-timestamp clock this shard has ingested or
+    /// issued — the per-shard divergence high-water mark. Heal skips
+    /// shards whose high water never passed the outage-start
+    /// watermark (nothing there can be missing on the healed peer).
+    pub(crate) high_water: u64,
+    /// Compaction pin while peers are marked down (see
+    /// [`RepairStrategy::set_retention_cap`]); kept on the shard so
+    /// lazily created engines inherit it.
+    pub(crate) retention_cap: Option<u64>,
 }
 
 impl<A: UqAdt, S, B> Shard<A, S, B> {
@@ -388,7 +540,14 @@ impl<A: UqAdt, S, B> Shard<A, S, B> {
         Shard {
             idx,
             objects: HashMap::default(),
+            high_water: 0,
+            retention_cap: None,
         }
+    }
+
+    /// Raise the divergence high-water mark to cover `clock`.
+    pub(crate) fn note_clock(&mut self, clock: u64) {
+        self.high_water = self.high_water.max(clock);
     }
 }
 
@@ -406,8 +565,16 @@ impl<A: UqAdt + Clone, S: RepairStrategy<A>, B: LogBackend<A>> Shard<A, S, B> {
         P: BackendFactory<A, Backend = B>,
     {
         let idx = self.idx;
+        let cap = self.retention_cap;
         self.objects.entry(key).or_insert_with(|| {
-            ReplicaEngine::with_backend(adt.clone(), pid, factory.make(adt), persist.open(idx, key))
+            let mut engine = ReplicaEngine::with_backend(
+                adt.clone(),
+                pid,
+                factory.make(adt),
+                persist.open(idx, key),
+            );
+            engine.set_retention_cap(cap);
+            engine
         })
     }
 
@@ -427,6 +594,9 @@ impl<A: UqAdt + Clone, S: RepairStrategy<A>, B: LogBackend<A>> Shard<A, S, B> {
         F: StrategyFactory<A, Strategy = S>,
         P: BackendFactory<A, Backend = B>,
     {
+        for (_, m) in &bucket {
+            self.high_water = self.high_water.max(m.ts.clock);
+        }
         bucket.sort_by_key(|(k, _)| *k);
         let mut iter = bucket.into_iter().peekable();
         while let Some((key, first)) = iter.next() {
@@ -436,6 +606,15 @@ impl<A: UqAdt + Clone, S: RepairStrategy<A>, B: LogBackend<A>> Shard<A, S, B> {
             }
             self.engine_mut(key, adt, pid, factory, persist)
                 .on_deliver_batch_owned(msgs);
+        }
+    }
+
+    /// Pin (or release) compaction on every engine in this shard and
+    /// remember the cap for engines created later.
+    pub(crate) fn set_retention_cap(&mut self, cap: Option<u64>) {
+        self.retention_cap = cap;
+        for engine in self.objects.values_mut() {
+            engine.set_retention_cap(cap);
         }
     }
 
@@ -492,6 +671,15 @@ pub(crate) fn split_by_shard<U>(
                 max_clock = max_clock.max(clock);
                 heartbeats.push((pid, clock));
             }
+            // A repair burst is just keyed updates in bulk: route each
+            // through the same per-shard buckets, so heal ingest is
+            // byte-identical to ordinary (deduplicating) delivery.
+            StoreMsg::Repair { updates } => {
+                for (key, msg) in updates {
+                    max_clock = max_clock.max(msg.ts.clock);
+                    buckets[shard_index(key, shards)].push((key, msg));
+                }
+            }
         }
     }
     (buckets, heartbeats, max_clock)
@@ -512,6 +700,15 @@ pub struct UcStore<A: UqAdt, F: StrategyFactory<A>, P: BackendFactory<A> = MemFa
     /// [`BackendFactory::persist_store_clock`] — see
     /// [`UcStore::reserve_clock`]. `None` until the first persist.
     persisted_floor: Option<u64>,
+    /// Down-peer bookkeeping and the minority-read policy.
+    partition: PartitionTracker,
+    /// Estimated wire bytes of every [`StoreMsg::Repair`] burst this
+    /// store has emitted on heal (observability; also folded into
+    /// runtime metrics via the attached [`LinkCounters`]).
+    heal_replay_bytes: u64,
+    /// Shared protocol-side counters, folded into the owning
+    /// runtime's [`uc_sim::Metrics`] when attached.
+    link_counters: Option<Arc<LinkCounters>>,
     shards: Vec<Shard<A, F::Strategy, P::Backend>>,
 }
 
@@ -550,6 +747,9 @@ where
             factory: self.factory.clone(),
             persist: self.persist.clone(),
             persisted_floor: self.persisted_floor,
+            partition: self.partition.clone(),
+            heal_replay_bytes: self.heal_replay_bytes,
+            link_counters: self.link_counters.clone(),
             shards: self.shards.clone(),
         }
     }
@@ -606,6 +806,9 @@ where
             factory,
             persist,
             persisted_floor: None,
+            partition: PartitionTracker::default(),
+            heal_replay_bytes: 0,
+            link_counters: None,
             shards: (0..shards).map(Shard::empty).collect(),
         }
     }
@@ -732,6 +935,12 @@ where
             // Unknown after a pool round-trip; the next reserve or
             // flush re-persists (at worst one redundant small write).
             persisted_floor: None,
+            // Partition bookkeeping stays with whoever ran the
+            // protocol (the pool tracks its own); a reassembled store
+            // starts with a clean membership view.
+            partition: PartitionTracker::default(),
+            heal_replay_bytes: 0,
+            link_counters: None,
             shards,
         }
     }
@@ -755,6 +964,8 @@ where
     pub fn update(&mut self, key: Key, u: A::Update) -> StoreMsg<A::Update> {
         let ts = Timestamp::new(self.clock.tick(), self.pid);
         self.reserve_clock(ts.clock);
+        let si = self.shard_of(key);
+        self.shards[si].note_clock(ts.clock);
         let msg = self.engine_mut(key).local_update_at(ts, u);
         StoreMsg::Update { key, msg }
     }
@@ -812,12 +1023,22 @@ where
         match m {
             StoreMsg::Update { key, msg } => {
                 self.clock.merge(msg.ts.clock);
+                let si = self.shard_of(*key);
+                self.shards[si].note_clock(msg.ts.clock);
                 self.engine_mut(*key).on_deliver(msg);
             }
             StoreMsg::Heartbeat { pid, clock } => {
                 self.clock.merge(*clock);
                 for shard in &mut self.shards {
                     shard.observe_peer_clock(*pid, *clock);
+                }
+            }
+            StoreMsg::Repair { updates } => {
+                for (key, msg) in updates {
+                    self.clock.merge(msg.ts.clock);
+                    let si = self.shard_of(*key);
+                    self.shards[si].note_clock(msg.ts.clock);
+                    self.engine_mut(*key).on_deliver(msg);
                 }
             }
         }
@@ -1050,6 +1271,160 @@ where
     pub fn engine(&self, key: Key) -> Option<&ReplicaEngine<A, F::Strategy, P::Backend>> {
         self.shards[self.shard_of(key)].objects.get(&key)
     }
+
+    /// Choose how this replica answers reads while it sits in a
+    /// minority partition — see [`AvailabilityPolicy`]. Updates are
+    /// never refused (the store stays wait-free / AP for writes).
+    pub fn set_partition_policy(&mut self, policy: AvailabilityPolicy) {
+        self.partition.set_policy(policy);
+    }
+
+    /// The partition tracker: which peers are reported down, since
+    /// which clock watermark, and the active read policy.
+    pub fn partition(&self) -> &PartitionTracker {
+        &self.partition
+    }
+
+    /// Attach shared link counters so heal-replay traffic is folded
+    /// into the owning runtime's [`uc_sim::Metrics`].
+    pub fn attach_link_counters(&mut self, counters: Arc<LinkCounters>) {
+        self.link_counters = Some(counters);
+    }
+
+    /// Estimated wire bytes this store has streamed in
+    /// [`StoreMsg::Repair`] bursts on heal.
+    pub fn heal_replay_bytes(&self) -> u64 {
+        self.heal_replay_bytes
+    }
+
+    /// Report `peer` unreachable. Records the outage-start watermark
+    /// (the current clock): everything stamped above it while the peer
+    /// stays down is, conservatively, divergence the heal must replay.
+    /// Idempotent — repeated reports keep the earliest watermark.
+    pub fn peer_down(&mut self, peer: Pid) {
+        let watermark = self.clock.now();
+        self.partition.mark_down(peer, watermark);
+        self.apply_retention();
+    }
+
+    /// Re-derive the compaction pin from the down set: while any peer
+    /// is marked down, no engine may compact past the earliest
+    /// outage-start watermark — otherwise an *incoming* heal burst
+    /// (carrying the majority's high clocks) would advance stability
+    /// and fold this replica's own partition-era updates into the base
+    /// before [`UcStore::peer_up`] ever streamed them back out.
+    fn apply_retention(&mut self) {
+        let cap = self.partition.down_peers().map(|(_, w)| w).min();
+        for shard in &mut self.shards {
+            shard.set_retention_cap(cap);
+        }
+    }
+
+    /// Report `peer` reachable again. If it was down, collects every
+    /// update stamped above its outage-start watermark — skipping
+    /// shards whose high water never passed it, and excluding the
+    /// peer's own updates (it has those; losing its link to us does
+    /// not lose its local log) — and returns the
+    /// [`StoreMsg::Repair`] burst to send it. `None` when the peer
+    /// was not down or nothing diverged.
+    ///
+    /// This is a durability point: engines flush before streaming so
+    /// segment-backed stores can serve the suffix straight from their
+    /// journals ([`LogBackend::stream_suffix`]) instead of refolding
+    /// through memory.
+    pub fn peer_up(&mut self, peer: Pid) -> Option<StoreMsg<A::Update>> {
+        let since = self.partition.mark_up(peer)?;
+        // Collect under the outgoing (tighter) retention pin, *then*
+        // relax it — releasing first would let an interleaved
+        // compaction fold the very suffix being streamed.
+        let updates = self.collect_suffix_since(since, peer);
+        self.apply_retention();
+        if updates.is_empty() {
+            return None;
+        }
+        let bytes = repair_bytes_estimate::<A>(&updates);
+        self.heal_replay_bytes += bytes;
+        if let Some(c) = &self.link_counters {
+            LinkCounters::add(&c.heal_replay_bytes, bytes);
+        }
+        Some(StoreMsg::Repair { updates })
+    }
+
+    /// Every update stamped strictly above `since`, across all keys,
+    /// excluding those issued by `exclude_pid`, in timestamp order.
+    /// Shards whose divergence high water never passed `since` are
+    /// skipped without touching their engines.
+    pub fn collect_suffix_since(
+        &mut self,
+        since: u64,
+        exclude_pid: Pid,
+    ) -> Vec<(Key, UpdateMsg<A::Update>)> {
+        let mut out: Vec<(Key, UpdateMsg<A::Update>)> = Vec::new();
+        for shard in &mut self.shards {
+            if shard.high_water <= since {
+                continue;
+            }
+            let keys: Vec<Key> = shard.objects.keys().copied().collect();
+            for key in keys {
+                let engine = shard.objects.get_mut(&key).expect("key just listed");
+                for msg in engine.suffix_since(since) {
+                    if msg.ts.pid != exclude_pid {
+                        out.push((key, msg));
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|(_, m)| m.ts);
+        out
+    }
+
+    /// Per-down-peer divergence: `(peer, outage-start watermark,
+    /// shards whose high water passed it)`. Observability for
+    /// dashboards and tests; the heal path recomputes from the same
+    /// high-water marks.
+    pub fn divergence(&self) -> Vec<(Pid, u64, usize)> {
+        self.partition
+            .down_peers()
+            .map(|(peer, since)| {
+                let shards = self.shards.iter().filter(|s| s.high_water > since).count();
+                (peer, since, shards)
+            })
+            .collect()
+    }
+}
+
+/// Estimated wire bytes of a repair burst: per entry, 8 (key) + 12
+/// (timestamp clock+pid) + the update's in-memory size. An estimate —
+/// the real encoding varies per backend — but monotone in burst size,
+/// which is what the metric is for.
+pub(crate) fn repair_bytes_estimate<A: UqAdt>(updates: &[(Key, UpdateMsg<A::Update>)]) -> u64 {
+    let per = 8 + 12 + std::mem::size_of::<A::Update>() as u64;
+    per * updates.len() as u64
+}
+
+impl<A: UqAdt + Clone, F: StrategyFactory<A>, P: BackendFactory<A>> UcStore<A, F, P> {
+    /// Answer a read under the active [`AvailabilityPolicy`]: in a
+    /// majority (or with the default `Available` policy) `answer` runs
+    /// as-is; in a minority, `DegradedMarked` wraps the answer and
+    /// `Refuse` rejects without computing it. `n` is the cluster size
+    /// (the protocol reads it off [`Ctx::n`]).
+    pub(crate) fn minority_read(
+        &mut self,
+        n: usize,
+        answer: impl FnOnce(&mut Self) -> StoreOutput<A>,
+    ) -> StoreOutput<A> {
+        if !self.partition.in_minority(n) {
+            return answer(self);
+        }
+        match self.partition.policy() {
+            AvailabilityPolicy::Available => answer(self),
+            AvailabilityPolicy::DegradedMarked => StoreOutput::Degraded(Box::new(answer(self))),
+            AvailabilityPolicy::Refuse => StoreOutput::Refused {
+                live: n.saturating_sub(self.partition.down_count()),
+                cluster: n,
+            },
+        }
+    }
 }
 
 /// The store is a wait-free [`Protocol`] node: invocations complete
@@ -1076,12 +1451,12 @@ where
                 ctx.broadcast_others(m);
                 StoreOutput::Ack { key, ts }
             }
-            StoreInput::Query(key, q) => StoreOutput::Value {
+            StoreInput::Query(key, q) => self.minority_read(ctx.n(), |s| StoreOutput::Value {
                 key,
-                out: self.query(key, &q),
-            },
-            StoreInput::Snapshot(reqs) => {
-                let snap = self.consistent_snapshot();
+                out: s.query(key, &q),
+            }),
+            StoreInput::Snapshot(reqs) => self.minority_read(ctx.n(), |s| {
+                let snap = s.consistent_snapshot();
                 StoreOutput::Snapshot {
                     cut: snap.cut(),
                     outs: reqs
@@ -1091,6 +1466,22 @@ where
                             (key, out)
                         })
                         .collect(),
+                }
+            }),
+            StoreInput::PeerDown(p) => {
+                self.peer_down(p);
+                StoreOutput::Membership {
+                    peer: p,
+                    down: true,
+                }
+            }
+            StoreInput::PeerUp(p) => {
+                if let Some(repair) = self.peer_up(p) {
+                    ctx.send(p, repair);
+                }
+                StoreOutput::Membership {
+                    peer: p,
+                    down: false,
                 }
             }
         }
@@ -1322,5 +1713,176 @@ mod tests {
             assert_eq!(borrowed.materialize_key(k), owned.materialize_key(k));
         }
         assert_eq!(borrowed.clock(), owned.clock());
+    }
+
+    #[test]
+    fn partition_tracker_minority_and_watermarks() {
+        let mut t = PartitionTracker::default();
+        assert!(!t.in_minority(3));
+        t.mark_down(1, 10);
+        // 2 of 3 reachable: still a strict majority.
+        assert!(!t.in_minority(3));
+        t.mark_down(2, 20);
+        assert!(t.in_minority(3));
+        // Repeated report keeps the earliest watermark.
+        t.mark_down(1, 99);
+        assert_eq!(t.down_peers().collect::<Vec<_>>(), vec![(1, 10), (2, 20)]);
+        assert_eq!(t.mark_up(1), Some(10));
+        assert_eq!(t.mark_up(1), None);
+        assert!(!t.in_minority(3));
+        // Even split (2 of 4 reachable) is not a strict majority.
+        let mut even = PartitionTracker::default();
+        even.mark_down(1, 1);
+        even.mark_down(2, 1);
+        assert!(even.in_minority(4));
+    }
+
+    #[test]
+    fn peer_up_streams_missed_suffix_and_skips_own_updates() {
+        let mut s = store(0, 4);
+        let mut peer = store(1, 4);
+        // Pre-outage traffic reaches the peer normally.
+        let pre = s.update(1, SetUpdate::Insert(1));
+        peer.apply_message(&pre);
+        s.peer_down(1);
+        let watermark = s.clock();
+        // Updates stamped after the outage start — this is the
+        // divergence peer 1 must be repaired with.
+        s.update(1, SetUpdate::Insert(2));
+        s.update(2, SetUpdate::Insert(3));
+        // A delivered update *from* peer 1 itself: it already has it.
+        peer.apply_message(&StoreMsg::Heartbeat {
+            pid: 0,
+            clock: s.clock(),
+        });
+        let from_peer = peer.update(3, SetUpdate::Insert(9));
+        s.apply_message(&from_peer);
+        let expected_shards: BTreeSet<usize> =
+            [1u64, 2, 3].iter().map(|k| s.shard_of(*k)).collect();
+        assert_eq!(s.divergence(), vec![(1, watermark, expected_shards.len())]);
+        let Some(StoreMsg::Repair { updates }) = s.peer_up(1) else {
+            panic!("expected a repair burst");
+        };
+        assert_eq!(updates.len(), 2);
+        assert!(updates.iter().all(|(_, m)| m.ts.clock > watermark));
+        assert!(updates.iter().all(|(_, m)| m.ts.pid == 0));
+        assert!(updates.windows(2).all(|w| w[0].1.ts < w[1].1.ts));
+        assert!(s.heal_replay_bytes() > 0);
+        // Heal delivered: the peer converges to the full state.
+        peer.apply_message(&StoreMsg::Repair { updates });
+        assert_eq!(peer.materialize_key(1), BTreeSet::from([1, 2]));
+        assert_eq!(peer.materialize_key(2), BTreeSet::from([3]));
+        // Nothing diverged since: a second heal has nothing to send.
+        s.peer_down(1);
+        assert!(s.peer_up(1).is_none());
+    }
+
+    #[test]
+    fn repair_ingest_is_idempotent() {
+        let mut producer = store(1, 2);
+        let msgs: Vec<_> = (0..10u64)
+            .map(|i| producer.update(i % 3, SetUpdate::Insert(i as u32)))
+            .collect();
+        let mut s = store(0, 2);
+        s.apply_batch(&msgs);
+        let updates: Vec<_> = msgs
+            .iter()
+            .map(|m| {
+                let StoreMsg::Update { key, msg } = m else {
+                    unreachable!()
+                };
+                (*key, msg.clone())
+            })
+            .collect();
+        let before: Vec<_> = (0..3u64).map(|k| s.materialize_key(k)).collect();
+        let log_before = s.total_log_len();
+        // A repair burst overlapping everything already delivered
+        // (e.g. a heal racing retransmissions) must be a no-op.
+        s.apply_message(&StoreMsg::Repair {
+            updates: updates.clone(),
+        });
+        s.apply_batch(&[StoreMsg::Repair { updates }]);
+        assert_eq!(s.total_log_len(), log_before);
+        for k in 0..3u64 {
+            assert_eq!(s.materialize_key(k), before[k as usize]);
+        }
+    }
+
+    #[test]
+    fn divergence_skips_quiet_shards() {
+        // Many shards, one touched after the outage: heal must not
+        // report (or walk) the quiet ones.
+        let mut s = store(0, 8);
+        for k in 0..8u64 {
+            s.update(k, SetUpdate::Insert(k as u32));
+        }
+        s.peer_down(1);
+        let watermark = s.clock();
+        s.update(0, SetUpdate::Insert(100));
+        let touched = s.shard_of(0);
+        let (_, since, shards) = s.divergence()[0];
+        assert_eq!(since, watermark);
+        assert_eq!(shards, 1);
+        let suffix = s.collect_suffix_since(watermark, 1);
+        assert_eq!(suffix.len(), 1);
+        assert_eq!(s.shard_of(suffix[0].0), touched);
+    }
+
+    #[test]
+    fn minority_reads_follow_policy() {
+        let n = 3;
+        let mut s = store(0, 2);
+        s.update(1, SetUpdate::Insert(7));
+        // Majority: every policy answers normally.
+        for policy in [
+            AvailabilityPolicy::Available,
+            AvailabilityPolicy::DegradedMarked,
+            AvailabilityPolicy::Refuse,
+        ] {
+            s.set_partition_policy(policy);
+            let out = s.minority_read(n, |s| StoreOutput::Value {
+                key: 1,
+                out: s.query(1, &SetQuery::Read),
+            });
+            assert!(matches!(out, StoreOutput::Value { .. }), "{policy:?}");
+        }
+        // Minority (1 of 3 reachable).
+        s.peer_down(1);
+        s.peer_down(2);
+        s.set_partition_policy(AvailabilityPolicy::Available);
+        let out = s.minority_read(n, |s| StoreOutput::Value {
+            key: 1,
+            out: s.query(1, &SetQuery::Read),
+        });
+        assert!(matches!(out, StoreOutput::Value { .. }));
+        s.set_partition_policy(AvailabilityPolicy::DegradedMarked);
+        let out = s.minority_read(n, |s| StoreOutput::Value {
+            key: 1,
+            out: s.query(1, &SetQuery::Read),
+        });
+        let StoreOutput::Degraded(inner) = out else {
+            panic!("expected a degraded wrapper, got {out:?}");
+        };
+        assert!(matches!(*inner, StoreOutput::Value { .. }));
+        s.set_partition_policy(AvailabilityPolicy::Refuse);
+        let out = s.minority_read(n, |s| StoreOutput::Value {
+            key: 1,
+            out: s.query(1, &SetQuery::Read),
+        });
+        assert!(matches!(
+            out,
+            StoreOutput::Refused {
+                live: 1,
+                cluster: 3
+            }
+        ));
+        // Heal one peer back: 2 of 3 is a majority again.
+        s.peer_down(1);
+        let _ = s.peer_up(1);
+        let out = s.minority_read(n, |s| StoreOutput::Value {
+            key: 1,
+            out: s.query(1, &SetQuery::Read),
+        });
+        assert!(matches!(out, StoreOutput::Value { .. }));
     }
 }

@@ -563,6 +563,8 @@ where
 {
     shared: Arc<Shared<P>>,
     workers: Vec<JoinHandle<()>>,
+    /// Protocol-side counters folded into [`EventCluster::metrics`].
+    link_counters: Option<Arc<uc_sim::LinkCounters>>,
 }
 
 impl<P> EventCluster<P>
@@ -647,7 +649,19 @@ where
                 std::thread::spawn(move || worker_loop(shared))
             })
             .collect();
-        EventCluster { shared, workers }
+        EventCluster {
+            shared,
+            workers,
+            link_counters: None,
+        }
+    }
+
+    /// Attach shared [`uc_sim::LinkCounters`] (the same `Arc` handed
+    /// to the protocol nodes, e.g. via `ReliableLink::with_counters`)
+    /// so protocol-side retransmit/shed/heal tallies appear in
+    /// [`EventCluster::metrics`].
+    pub fn attach_link_counters(&mut self, counters: Arc<uc_sim::LinkCounters>) {
+        self.link_counters = Some(counters);
     }
 
     /// Number of nodes hosted.
@@ -730,9 +744,13 @@ where
         quiesce_spin(&self.shared.in_flight, || self.shared.poisoned())
     }
 
-    /// Snapshot the shared metrics.
+    /// Snapshot the shared metrics (plus any attached link counters).
     pub fn metrics(&self) -> Metrics {
-        self.shared.metrics.lock().unwrap().clone()
+        let mut m = self.shared.metrics.lock().unwrap().clone();
+        if let Some(c) = &self.link_counters {
+            c.fold_into(&mut m);
+        }
+        m
     }
 
     /// Quiesce, stop the workers, and return the final node states.

@@ -186,7 +186,11 @@ impl<P: Protocol> ClusterHarness<P> for Simulation<P> {
     }
 
     fn metrics(&self) -> Metrics {
-        self.metrics.clone()
+        let mut m = self.metrics.clone();
+        if let Some(c) = self.link_counters() {
+            c.fold_into(&mut m);
+        }
+        m
     }
 
     fn into_nodes(mut self) -> Vec<P> {

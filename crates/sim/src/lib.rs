@@ -13,7 +13,13 @@
 //!   per-link FIFO or reordering delivery, crash injection, partition
 //!   windows that delay (never drop) messages, adversarial schedules
 //!   ([`faults`], used by the Proposition 1 experiment), invocation
-//!   traces ([`trace`]) and accounting ([`metrics`], experiment E7);
+//!   traces ([`trace`]) and accounting ([`metrics`], experiment E7).
+//!   Installing a [`topology::Topology`] switches the network to the
+//!   partitionable-systems model — per-link latency/bandwidth/loss/
+//!   duplication/reorder, outage windows, and flap schedules that
+//!   **drop** instead of delay — and [`reliable::ReliableLink`]
+//!   restores eventual delivery on top via sequence-numbered
+//!   retransmission with backoff;
 //! * [`threaded::ThreadedCluster`] — one OS thread per process with
 //!   crossbeam channels as links, for stochastic interleavings under
 //!   real concurrency.
@@ -37,19 +43,23 @@ pub mod harness;
 pub mod metrics;
 pub mod network;
 pub mod process;
+pub mod reliable;
 pub mod rng;
 pub mod scheduler;
 pub mod threaded;
+pub mod topology;
 pub mod trace;
 pub mod workload;
 
 pub use harness::{ClusterHarness, NodeError};
-pub use metrics::Metrics;
+pub use metrics::{LinkCounters, Metrics};
 pub use network::{DeliveryMode, LatencyModel, Partition, PartitionSchedule};
 pub use process::{Ctx, Pid, Protocol};
+pub use reliable::{LinkMsg, LinkStats, ReliableLink, RetryConfig};
 pub use rng::{SplitMix64, Zipf};
 pub use scheduler::{SimConfig, Simulation};
 pub use threaded::ThreadedCluster;
+pub use topology::{FlapSchedule, LinkModel, LinkOutage, SendPlan, Topology};
 pub use trace::InvocationRecord;
 pub use workload::{
     generate_keyed, perturb_order, KeyedOp, KeyedWorkloadSpec, ScheduledOp, SetOpKind, WorkloadSpec,

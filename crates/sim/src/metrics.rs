@@ -2,6 +2,8 @@
 //! messages per update, delivered counts, payload-size totals.
 
 use crate::process::Pid;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Counters maintained by the runtimes.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -35,6 +37,20 @@ pub struct Metrics {
     /// Sum of estimated payload sizes of sent messages (bytes), if a
     /// size estimator was installed.
     pub bytes_sent: u64,
+    /// Messages dropped by the network itself: link loss, a link
+    /// outage/flap window, or a bounded retry queue shedding its
+    /// oldest entry. Distinct from `messages_dropped_crashed` (dead
+    /// destination) and `messages_shed` (mailbox backpressure).
+    pub messages_dropped: u64,
+    /// Extra copies injected by link-level duplication (each counted
+    /// once per duplicate, not per original).
+    pub messages_duplicated: u64,
+    /// Retransmissions performed by a reliable-delivery layer
+    /// (`ReliableLink`) on top of lossy links.
+    pub retransmits: u64,
+    /// Bytes of missed-update suffix replayed to a healed peer by
+    /// anti-entropy reconciliation.
+    pub heal_replay_bytes: u64,
     /// Per-process sent counts.
     pub per_process_sent: Vec<u64>,
     /// Per-process delivered counts (messages, not activations).
@@ -97,6 +113,44 @@ impl Metrics {
     }
 }
 
+/// Wait-free counters for events that happen *inside* protocol code
+/// (retransmissions, retry-queue sheds, heal replays) rather than in
+/// the runtime's network layer. Protocol nodes on any thread bump the
+/// atomics; each runtime's `ClusterHarness::metrics` folds an attached
+/// set into the [`Metrics`] it returns, so the counters surface
+/// uniformly across the deterministic, threaded, and event runtimes.
+#[derive(Debug, Default)]
+pub struct LinkCounters {
+    /// Retransmissions performed by a reliable-delivery layer.
+    pub retransmits: AtomicU64,
+    /// Messages dropped protocol-side (bounded retry queue shed).
+    pub messages_dropped: AtomicU64,
+    /// Duplicate deliveries suppressed or injected protocol-side.
+    pub messages_duplicated: AtomicU64,
+    /// Bytes of missed-update suffix replayed on heal.
+    pub heal_replay_bytes: AtomicU64,
+}
+
+impl LinkCounters {
+    /// A fresh shared counter set.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Add these counters into `m` (called by harness `metrics()`).
+    pub fn fold_into(&self, m: &mut Metrics) {
+        m.retransmits += self.retransmits.load(Ordering::Relaxed);
+        m.messages_dropped += self.messages_dropped.load(Ordering::Relaxed);
+        m.messages_duplicated += self.messages_duplicated.load(Ordering::Relaxed);
+        m.heal_replay_bytes += self.heal_replay_bytes.load(Ordering::Relaxed);
+    }
+
+    /// Bump a counter by `n` (relaxed; counters are monotonic tallies).
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,6 +181,21 @@ mod tests {
         // Out-of-range pids are tolerated (crashed-process paths).
         m.on_delivery(9, 5);
         assert_eq!(m.messages_delivered, 12);
+    }
+
+    #[test]
+    fn link_counters_fold_into_metrics() {
+        let c = LinkCounters::new();
+        LinkCounters::add(&c.retransmits, 3);
+        LinkCounters::add(&c.messages_dropped, 2);
+        LinkCounters::add(&c.heal_replay_bytes, 128);
+        let mut m = Metrics::new(2);
+        m.messages_dropped = 5; // network-level drops already tallied
+        c.fold_into(&mut m);
+        assert_eq!(m.retransmits, 3);
+        assert_eq!(m.messages_dropped, 7);
+        assert_eq!(m.messages_duplicated, 0);
+        assert_eq!(m.heal_replay_bytes, 128);
     }
 
     #[test]

@@ -106,19 +106,42 @@ pub struct Partition {
 
 impl Partition {
     /// A partition holding during `[start, end)` with the given
-    /// groups.
+    /// groups. Panics if a pid appears in more than one group (or
+    /// twice in one): membership must be unambiguous, otherwise
+    /// `connected` would silently depend on group order.
     pub fn new(groups: Vec<Vec<Pid>>, start: u64, end: u64) -> Self {
         assert!(start <= end);
+        let mut seen = std::collections::HashSet::new();
+        for g in &groups {
+            for &p in g {
+                assert!(
+                    seen.insert(p),
+                    "pid {p} appears in more than one partition group"
+                );
+            }
+        }
         Partition { groups, start, end }
     }
 
+    /// The index of the group `p` belongs to, if it is listed at all.
+    /// Unlisted pids have no group: they are isolated from everyone
+    /// (including other unlisted pids) while the partition holds.
+    pub fn group_of(&self, p: Pid) -> Option<usize> {
+        self.groups.iter().position(|g| g.contains(&p))
+    }
+
     /// May `a` talk to `b` under this partition (assuming it is in
-    /// force)?
+    /// force)? Connected iff both endpoints are listed in the *same*
+    /// group; an unlisted endpoint is isolated even when the other
+    /// endpoint is grouped. Self-loops are always connected.
     pub fn connected(&self, a: Pid, b: Pid) -> bool {
         if a == b {
             return true;
         }
-        self.groups.iter().any(|g| g.contains(&a) && g.contains(&b))
+        match (self.group_of(a), self.group_of(b)) {
+            (Some(ga), Some(gb)) => ga == gb,
+            _ => false,
+        }
     }
 }
 
@@ -218,9 +241,40 @@ mod tests {
     #[test]
     fn unlisted_processes_are_isolated() {
         let p = Partition::new(vec![vec![0, 1]], 0, 10);
+        // grouped ↔ ungrouped: blocked in both directions
         assert!(!p.connected(0, 3));
+        assert!(!p.connected(3, 0));
+        // ungrouped ↔ ungrouped: isolated from each other too
         assert!(!p.connected(3, 4));
+        // self-loops always connect
         assert!(p.connected(3, 3));
+        // membership is explicit
+        assert_eq!(p.group_of(0), Some(0));
+        assert_eq!(p.group_of(3), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than one partition group")]
+    fn duplicate_membership_rejected() {
+        let _ = Partition::new(vec![vec![0, 1], vec![1, 2]], 0, 10);
+    }
+
+    #[test]
+    fn next_open_chains_through_staggered_overlaps() {
+        // Three windows where each starts inside the previous one:
+        // next_open must walk the whole chain, and a link not affected
+        // by a window must not be held by it.
+        let mut s = PartitionSchedule::default();
+        s.add(Partition::new(vec![vec![0], vec![1, 2]], 0, 10));
+        s.add(Partition::new(vec![vec![0, 2], vec![1]], 8, 16));
+        s.add(Partition::new(vec![vec![0], vec![1, 2]], 15, 40));
+        assert_eq!(s.next_open(0, 1, 0), Some(40));
+        assert_eq!(s.next_open(1, 0, 5), Some(40));
+        // 1 → 2 is only blocked by the middle window.
+        assert_eq!(s.next_open(1, 2, 9), Some(16));
+        assert_eq!(s.next_open(1, 2, 16), None);
+        // Unlisted pid 3 is isolated for every covering window.
+        assert_eq!(s.next_open(3, 1, 0), Some(40));
     }
 
     #[test]

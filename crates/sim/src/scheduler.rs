@@ -9,17 +9,22 @@
 //! Faithfulness to §VII-A's model:
 //! * **asynchrony** — latency models put no useful bound on delays;
 //! * **reliability** — messages between live processes are never
-//!   dropped (partitions only delay them until the heal time);
+//!   dropped (partitions only delay them until the heal time).
+//!   Installing a [`Topology`] deliberately *breaks* this guarantee
+//!   (loss, duplication, reorder, link outages and flaps — the
+//!   partitionable-systems model); the `reliable` module restores
+//!   eventual delivery on top via retransmission;
 //! * **crash faults** — a crashed process silently stops processing
 //!   invocations and deliveries; messages it sent before crashing are
 //!   still delivered ("a faulty process simply stops operating");
 //! * **wait-freedom** — invocations complete synchronously at the
 //!   invoking process; nothing ever blocks on another process.
 
-use crate::metrics::Metrics;
+use crate::metrics::{LinkCounters, Metrics};
 use crate::network::{DeliveryMode, LatencyModel, PartitionSchedule};
 use crate::process::{Ctx, Pid, Protocol};
 use crate::rng::SplitMix64;
+use crate::topology::Topology;
 use crate::trace::InvocationRecord;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -59,6 +64,7 @@ enum Action<P: Protocol> {
     Invoke(P::Input),
     Deliver { from: Pid, msg: P::Msg },
     Crash,
+    Tick,
 }
 
 struct Scheduled<P: Protocol> {
@@ -104,6 +110,10 @@ pub struct Simulation<P: Protocol> {
     link_last: Vec<u64>,
     msg_size: Option<MsgSizer<P::Msg>>,
     delivery: DeliveryMode,
+    /// Lossy-network model; `None` keeps the paper's reliable network.
+    topology: Option<Topology>,
+    /// Protocol-side counters folded into harness metrics.
+    link_counters: Option<std::sync::Arc<LinkCounters>>,
 }
 
 impl<P: Protocol> Simulation<P> {
@@ -123,8 +133,50 @@ impl<P: Protocol> Simulation<P> {
             link_last: vec![0; n * n],
             msg_size: None,
             delivery: DeliveryMode::PerMessage,
+            topology: None,
+            link_counters: None,
             cfg,
         }
+    }
+
+    /// Attach shared [`LinkCounters`] (the same `Arc` handed to
+    /// protocol nodes, e.g. via `ReliableLink::with_counters`) so
+    /// protocol-side retransmit/shed/heal tallies appear in
+    /// [`ClusterHarness::metrics`](crate::harness::ClusterHarness::metrics).
+    pub fn attach_link_counters(&mut self, counters: std::sync::Arc<LinkCounters>) {
+        self.link_counters = Some(counters);
+    }
+
+    /// Attached link counters, if any (used by the harness impl).
+    pub(crate) fn link_counters(&self) -> Option<&std::sync::Arc<LinkCounters>> {
+        self.link_counters.as_ref()
+    }
+
+    /// Install a lossy-network [`Topology`]. This switches the network
+    /// from the paper's reliable model to the partitionable-systems
+    /// model: down/flapping links and loss draws **drop** messages
+    /// (counted in `metrics.messages_dropped`), duplication schedules
+    /// extra copies (`messages_duplicated`), and reorder jitter
+    /// deliberately bypasses `fifo_links`. The legacy
+    /// [`PartitionSchedule`](crate::network::PartitionSchedule)
+    /// (delay-never-drop) still applies independently at delivery
+    /// time.
+    ///
+    /// # Panics
+    ///
+    /// If the topology was built for a different cluster size.
+    pub fn set_topology(&mut self, topology: Topology) {
+        assert_eq!(
+            topology.n(),
+            self.cfg.n,
+            "topology size must match the cluster"
+        );
+        self.topology = Some(topology);
+    }
+
+    /// The installed topology, if any.
+    pub fn topology(&self) -> Option<&Topology> {
+        self.topology.as_ref()
     }
 
     /// Choose how deliveries reach processes: per message (default) or
@@ -211,6 +263,27 @@ impl<P: Protocol> Simulation<P> {
         self.push(t, pid, Action::Crash);
     }
 
+    /// Schedule one [`Protocol::on_tick`] at absolute time `t` — the
+    /// deterministic analogue of the event runtime's timer wheel, so
+    /// retransmit/maintenance timers are heap events here too.
+    pub fn schedule_tick(&mut self, t: u64, pid: Pid) {
+        assert!(t >= self.now, "cannot schedule in the past");
+        self.push(t, pid, Action::Tick);
+    }
+
+    /// Schedule periodic ticks for **every** process at `interval`,
+    /// `2*interval`, … up to and including `until`.
+    pub fn schedule_ticks(&mut self, interval: u64, until: u64) {
+        assert!(interval > 0, "tick interval must be positive");
+        let mut t = self.now.max(1).next_multiple_of(interval);
+        while t <= until {
+            for pid in 0..self.cfg.n as Pid {
+                self.push(t, pid, Action::Tick);
+            }
+            t += interval;
+        }
+    }
+
     /// Invoke `pid` synchronously at the current time, returning the
     /// output (or `None` if the process has crashed).
     pub fn invoke_now(&mut self, pid: Pid, input: P::Input) -> Option<P::Output> {
@@ -238,10 +311,48 @@ impl<P: Protocol> Simulation<P> {
         output
     }
 
+    fn do_tick(&mut self, pid: Pid) {
+        let mut outbox = Vec::new();
+        {
+            let mut ctx = Ctx::new(pid, self.cfg.n, self.now, &mut outbox);
+            self.procs[pid as usize].on_tick(&mut ctx);
+        }
+        self.dispatch(pid, outbox);
+    }
+
     fn dispatch(&mut self, from: Pid, outbox: Vec<(Pid, P::Msg)>) {
         for (to, msg) in outbox {
             let size = self.msg_size.as_ref().map_or(0, |f| f(&msg));
             self.metrics.on_send(from, size);
+            if let Some(topo) = &self.topology {
+                // Lossy network: the link model decides drop /
+                // duplicate / per-copy delay. Reordering is the point,
+                // so `fifo_links` does not apply here.
+                let plan = topo.plan(from, to, self.now, size, &mut self.rng);
+                if plan.delays.is_empty() {
+                    self.metrics.messages_dropped += 1;
+                    continue;
+                }
+                self.metrics.messages_duplicated += plan.delays.len() as u64 - 1;
+                let last = plan.delays.len() - 1;
+                for (i, d) in plan.delays.into_iter().enumerate() {
+                    let t = self.delivery.align(self.now + d);
+                    if i == last {
+                        // Move (not clone) the final copy.
+                        self.push(t, to, Action::Deliver { from, msg });
+                        break;
+                    }
+                    self.push(
+                        t,
+                        to,
+                        Action::Deliver {
+                            from,
+                            msg: msg.clone(),
+                        },
+                    );
+                }
+                continue;
+            }
             let mut t = self.now + self.cfg.latency.sample(self.now, &mut self.rng);
             if self.cfg.fifo_links {
                 let link = from as usize * self.cfg.n + to as usize;
@@ -294,6 +405,11 @@ impl<P: Protocol> Simulation<P> {
                     self.metrics.invocations_on_crashed += 1;
                 } else {
                     self.do_invoke(ev.pid, input);
+                }
+            }
+            Action::Tick => {
+                if !self.crashed[ev.pid as usize] {
+                    self.do_tick(ev.pid);
                 }
             }
             Action::Deliver { from, msg } => {
@@ -369,6 +485,11 @@ impl<P: Protocol> Simulation<P> {
                         self.metrics.invocations_on_crashed += 1;
                     } else {
                         self.do_invoke(pid, input);
+                    }
+                }
+                Action::Tick => {
+                    if !self.crashed[pid as usize] {
+                        self.do_tick(pid);
                     }
                 }
                 Action::Deliver { .. } => unreachable!("delivers routed to the flush buffer"),
@@ -707,5 +828,115 @@ mod tests {
         sim.schedule_invoke(0, 0, ());
         sim.run_to_quiescence();
         assert_eq!(sim.metrics.bytes_sent, 42);
+    }
+
+    /// Counts on_tick activations.
+    #[derive(Debug, Default)]
+    struct Ticker {
+        ticks: Vec<u64>,
+    }
+
+    impl Protocol for Ticker {
+        type Msg = ();
+        type Input = ();
+        type Output = ();
+
+        fn on_invoke(&mut self, _input: (), _ctx: &mut Ctx<'_, ()>) {}
+
+        fn on_message(&mut self, _from: Pid, _msg: (), _ctx: &mut Ctx<'_, ()>) {}
+
+        fn on_tick(&mut self, ctx: &mut Ctx<'_, ()>) {
+            self.ticks.push(ctx.now());
+        }
+    }
+
+    #[test]
+    fn scheduled_ticks_fire_on_the_grid_and_skip_crashed() {
+        let mut sim = Simulation::new(cfg(2), |_| Ticker::default());
+        sim.schedule_ticks(10, 35);
+        sim.schedule_crash(15, 1);
+        sim.run_to_quiescence();
+        assert_eq!(sim.process(0).ticks, vec![10, 20, 30]);
+        assert_eq!(sim.process(1).ticks, vec![10], "crashed at 15");
+    }
+
+    #[test]
+    fn ticks_fire_in_batched_mode_too() {
+        let mut sim = Simulation::new(cfg(2), |_| Ticker::default());
+        sim.set_delivery_mode(crate::network::DeliveryMode::Batched { window: 7 });
+        sim.schedule_ticks(10, 20);
+        sim.run_to_quiescence();
+        assert_eq!(sim.process(0).ticks, vec![10, 20]);
+    }
+
+    #[test]
+    fn topology_loss_drops_and_counts() {
+        use crate::topology::{LinkModel, Topology};
+        let mut sim = Simulation::new(cfg(2), |_| Ping::default());
+        sim.set_topology(Topology::uniform(
+            2,
+            LinkModel::lossy(LatencyModel::Constant(1), 1.0),
+        ));
+        sim.schedule_invoke(0, 0, ());
+        sim.run_to_quiescence();
+        assert_eq!(sim.process(1).received.len(), 0, "total loss");
+        assert_eq!(sim.metrics.messages_sent, 1);
+        assert_eq!(sim.metrics.messages_dropped, 1);
+        assert_eq!(sim.metrics.messages_delivered, 0);
+    }
+
+    #[test]
+    fn topology_duplication_delivers_twice_and_counts() {
+        use crate::topology::{LinkModel, Topology};
+        let mut sim = Simulation::new(cfg(2), |_| Ping::default());
+        let model = LinkModel {
+            duplicate: 1.0,
+            ..LinkModel::default()
+        };
+        sim.set_topology(Topology::uniform(2, model));
+        sim.schedule_invoke(0, 0, ());
+        sim.run_to_quiescence();
+        assert_eq!(sim.process(1).received, vec![0, 0]);
+        assert_eq!(sim.metrics.messages_duplicated, 1);
+    }
+
+    #[test]
+    fn topology_outage_drops_until_heal() {
+        use crate::topology::{LinkModel, Topology};
+        let mut c = cfg(2);
+        c.latency = LatencyModel::Constant(1);
+        let mut sim = Simulation::new(c, |_| Ping::default());
+        let mut topo = Topology::uniform(2, LinkModel::default());
+        topo.partition(vec![vec![0], vec![1]], 0, 100);
+        sim.set_topology(topo);
+        sim.schedule_invoke(10, 0, ()); // inside the outage: dropped
+        sim.schedule_invoke(150, 0, ()); // after heal: delivered
+        sim.run_to_quiescence();
+        assert_eq!(sim.process(1).received, vec![0]);
+        assert_eq!(sim.metrics.messages_dropped, 1);
+    }
+
+    #[test]
+    fn topology_replays_identically_per_seed() {
+        use crate::topology::{LinkModel, Topology};
+        let run = |seed: u64| {
+            let mut c = cfg(3);
+            c.seed = seed;
+            let mut sim = Simulation::new(c, |_| Ping::default());
+            let model = LinkModel {
+                latency: LatencyModel::Uniform(1, 20),
+                loss: 0.3,
+                duplicate: 0.2,
+                reorder: 15,
+                ..LinkModel::default()
+            };
+            sim.set_topology(Topology::uniform(3, model));
+            for t in 0..30 {
+                sim.schedule_invoke(t, (t % 3) as Pid, ());
+            }
+            sim.run_to_quiescence();
+            (sim.metrics.clone(), sim.now())
+        };
+        assert_eq!(run(9), run(9));
     }
 }

@@ -55,6 +55,8 @@ where
     /// receiver drops, so any caller that observes the dead channel
     /// can read the reason immediately).
     poison: Arc<PoisonTable>,
+    /// Protocol-side counters folded into [`ThreadedCluster::metrics`].
+    link_counters: Option<Arc<crate::metrics::LinkCounters>>,
 }
 
 impl<P> ThreadedCluster<P>
@@ -113,7 +115,16 @@ where
             in_flight,
             metrics,
             poison,
+            link_counters: None,
         }
+    }
+
+    /// Attach shared [`LinkCounters`](crate::metrics::LinkCounters)
+    /// (the same `Arc` handed to the protocol nodes) so protocol-side
+    /// retransmit/shed/heal tallies appear in
+    /// [`ThreadedCluster::metrics`].
+    pub fn attach_link_counters(&mut self, counters: Arc<crate::metrics::LinkCounters>) {
+        self.link_counters = Some(counters);
     }
 
     /// The recorded error for a node whose channel went dead. The node
@@ -181,9 +192,13 @@ where
         quiesce_spin(&self.in_flight, || self.poison.first())
     }
 
-    /// Snapshot the shared metrics.
+    /// Snapshot the shared metrics (plus any attached link counters).
     pub fn metrics(&self) -> Metrics {
-        self.metrics.lock().unwrap().clone()
+        let mut m = self.metrics.lock().unwrap().clone();
+        if let Some(c) = &self.link_counters {
+            c.fold_into(&mut m);
+        }
+        m
     }
 
     /// Quiesce, stop all nodes, and return their final states.
