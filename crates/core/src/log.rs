@@ -38,6 +38,20 @@ pub struct UpdateLog<A: UqAdt, B = MemBackend> {
     /// Overlapping anti-entropy repair bursts rely on this: the second
     /// burst's redelivered entries may arrive after a compaction
     /// already folded the first burst's copies.
+    ///
+    /// Soundness precondition: per-sender clock observations must not
+    /// overtake that sender's still-undelivered updates, i.e. delivery
+    /// is **per-link FIFO**. The rejection is silent, so a fresh
+    /// update sneaking in below an already-advanced bound would
+    /// diverge the replica permanently. Each delivery layer upholds
+    /// this differently: `uc-sim`'s `ReliableLink` releases payloads
+    /// to the protocol strictly in per-channel sequence order (lossy /
+    /// reordering / duplicating links notwithstanding); heal-replay
+    /// redeliveries are covered by the retention cap pinning the bound
+    /// for the outage's duration; and retry-queue sheds — the one path
+    /// that skips sequence numbers — are only repaired if the shed
+    /// window falls inside a recorded `peer_down` watermark (the
+    /// `queue_cap` sizing contract in `uc_sim::reliable`).
     floor: u64,
     /// `false` only while recovery replays journaled entries — the
     /// entries are already on disk and must not be re-appended.

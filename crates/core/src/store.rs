@@ -1301,6 +1301,20 @@ where
     /// (the current clock): everything stamped above it while the peer
     /// stays down is, conservatively, divergence the heal must replay.
     /// Idempotent — repeated reports keep the earliest watermark.
+    ///
+    /// The watermark is taken at failure-*detection* time, not at the
+    /// last point known delivered: updates stamped between the actual
+    /// link failure and this verdict sit below the watermark and are
+    /// never replayed by [`UcStore::peer_up`]. They are still
+    /// delivered — the reliable link keeps retransmitting everything
+    /// it has queued — *unless* its bounded retry queue sheds them
+    /// first. That composition is a sizing contract, not an accident:
+    /// `RetryConfig::queue_cap` must hold every message issued within
+    /// the failure detector's detection window, so that nothing is
+    /// shed before the verdict lands and everything shed afterwards is
+    /// above the watermark. Undersized queues are observable
+    /// (`LinkStats::shed` / `gaps_skipped`, `Metrics::
+    /// messages_dropped`) rather than silent.
     pub fn peer_down(&mut self, peer: Pid) {
         let watermark = self.clock.now();
         self.partition.mark_down(peer, watermark);

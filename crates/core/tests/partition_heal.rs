@@ -286,6 +286,96 @@ fn segment_heal_stream_matches_memory_and_survives_crash_mid_heal() {
     assert_matches_reference(&mut c, &mut refs, "crashed-and-healed sink");
 }
 
+/// Regression (review): stability GC over reordering links. A
+/// heartbeat carrying a high clock must not overtake a same-sender
+/// in-flight update — `StableGc` would advance the compaction bound
+/// (and the log's duplicate-rejection floor) past the update's clock,
+/// and every insert path would then silently reject the update when
+/// its retransmission finally landed: permanent divergence with no
+/// peer ever marked down, so the heal retention cap never applies.
+/// `ReliableLink` releases payloads in per-channel sequence order,
+/// which makes the race impossible by construction; this runs full
+/// `StableGc` stores over a lossy, duplicating, heavily reordering
+/// topology (no partition window) with aggressive heartbeat ticks and
+/// asserts convergence *after compaction genuinely advanced*. Every
+/// inserted value is unique, so one silently rejected update shows up
+/// as a missing element on the receiving side.
+#[test]
+fn gc_store_survives_reordered_heartbeats_without_silent_rejection() {
+    type Node = ReliableLink<UcStore<Adt, GcFactory>>;
+    let n = 3;
+    let mut sim: Simulation<Node> = Simulation::new(
+        SimConfig {
+            n,
+            seed: 0x0DD5,
+            latency: LatencyModel::Constant(1),
+            fifo_links: false,
+        },
+        |pid| {
+            ReliableLink::new(
+                UcStore::new(SetAdt::new(), pid, 2, GcFactory { n: 3 }),
+                RetryConfig {
+                    base: 30,
+                    max_backoff: 240,
+                    jitter: 7,
+                    queue_cap: 1024,
+                },
+                0x0DD5 ^ pid as u64,
+            )
+        },
+    );
+    sim.set_topology(Topology::uniform(
+        n,
+        LinkModel {
+            latency: LatencyModel::Uniform(1, 30),
+            // Reorder jitter swamps the base latency: arrival order is
+            // rampantly non-FIFO, exactly the overtaking-heartbeat
+            // setup from the review.
+            reorder: 60,
+            loss: 0.25,
+            duplicate: 0.15,
+            ..LinkModel::default()
+        },
+    ));
+    // Frequent ticks: every one broadcasts the shared clock, so the
+    // stability bound chases the in-flight updates as closely as the
+    // delivery layer allows.
+    sim.schedule_ticks(20, 8_000);
+    let mut rng = SplitMix64::new(0x0DD6);
+    for i in 0..120u64 {
+        let pid = (i % 3) as Pid;
+        let key = rng.next_u64() % KEYS;
+        sim.schedule_invoke(
+            10 + i * 50,
+            pid,
+            StoreInput::Update(key, SetUpdate::Insert(i as u32)),
+        );
+    }
+    sim.run_to_quiescence();
+
+    // The race is only exercised if stability actually advanced.
+    let compacted: u64 = (0..n as Pid)
+        .map(|p| {
+            let store = sim.process(p).inner();
+            (0..KEYS)
+                .filter_map(|k| store.engine(k))
+                .map(|e| e.strategy().compacted())
+                .sum::<u64>()
+        })
+        .sum();
+    assert!(compacted > 0, "heartbeats must have driven compaction");
+    for k in 0..KEYS {
+        let expect = sim.process_mut(0).inner_mut().materialize_key(k);
+        for p in 1..n as Pid {
+            assert_eq!(
+                expect,
+                sim.process_mut(p).inner_mut().materialize_key(k),
+                "key {k} diverged on replica {p}: an update was silently rejected"
+            );
+        }
+    }
+}
+
 /// Minority reads follow the configured availability policy through
 /// the `Protocol` surface (what the runtimes and ω-marking see).
 #[test]

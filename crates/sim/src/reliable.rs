@@ -12,18 +12,36 @@
 //! ticks or `uc-runtime`'s virtual-timer wheel — so there are no
 //! threads or timers of its own, and a seeded run replays exactly.
 //!
-//! Duplicates (network-injected or retransmission-induced) are
-//! suppressed by a contiguous floor + ahead-set on the receive side,
-//! so the inner protocol sees each payload at most once. The retry
-//! queue is bounded: when full, the *oldest* unacked entry is shed and
-//! counted — delivery degrades observably instead of memory growing
-//! without bound (the store's reconciliation-on-heal layer repairs
-//! what shedding loses).
+//! Delivery to the inner protocol is **exactly-once and in sequence
+//! order** per `(sender, peer)` channel: the receive side keeps a
+//! contiguous floor plus a buffer of out-of-order arrivals and only
+//! releases the contiguous run. Per-link FIFO is load-bearing, not a
+//! nicety — stability tracking (`uc-core`'s `StableGc`) assumes a
+//! sender's messages arrive in send order, so a heartbeat carrying a
+//! high clock must not overtake a still-in-flight update with a lower
+//! one (the compaction floor would silently reject the update on
+//! arrival, diverging the replica forever).
+//!
+//! The retry queue is bounded: when full, the *oldest* unacked entry
+//! is shed and counted — delivery degrades observably instead of
+//! memory growing without bound. A shed leaves a permanent gap in the
+//! sequence space, so the sender advertises its highest shed sequence
+//! (`LinkMsg::Data::skip`) on every subsequent transmission; the
+//! receiver raises its floor past the abandoned gap (releasing any
+//! buffered later arrivals, counting the skip in
+//! [`LinkStats::gaps_skipped`]) and cumulative acks resume — both
+//! sides stay bounded. Payloads lost to a shed are only recovered by
+//! the store's reconciliation-on-heal layer, and only if the shed
+//! window is covered by a `peer_down` watermark: **size `queue_cap`
+//! to hold every message issued within the failure detector's
+//! detection window**, because entries shed before the `PeerDown`
+//! verdict fall outside the recorded watermark and neither layer
+//! replays them.
 
 use crate::metrics::LinkCounters;
 use crate::process::{Ctx, Pid, Protocol};
 use crate::rng::SplitMix64;
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 /// Retransmission policy.
@@ -61,6 +79,12 @@ pub enum LinkMsg<M> {
     Data {
         /// Channel sequence number, starting at 1.
         seq: u64,
+        /// Shed advertisement: every sequence number `≤ skip` has been
+        /// abandoned by the sender's bounded retry queue and will
+        /// never be (re)transmitted again. The receiver may raise its
+        /// contiguous floor to `skip` instead of waiting forever on
+        /// the gap. `0` when nothing was ever shed.
+        skip: u64,
         /// The inner protocol's message.
         payload: M,
     },
@@ -84,6 +108,10 @@ pub struct LinkStats {
     pub duplicates_suppressed: u64,
     /// Payloads handed to the inner protocol.
     pub delivered: u64,
+    /// Sequence numbers this receiver skipped over because the peer
+    /// shed them — payloads permanently lost to this channel (only
+    /// reconciliation-on-heal can recover them).
+    pub gaps_skipped: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -97,6 +125,11 @@ struct Pending<M> {
 #[derive(Clone, Debug)]
 struct SendChannel<M> {
     next_seq: u64,
+    /// Highest sequence number ever shed on this channel. Entries
+    /// still queued all carry higher seqs (shedding pops the oldest),
+    /// so advertising it on every `Data` tells the receiver the gap
+    /// below is permanent.
+    shed_floor: u64,
     unacked: VecDeque<Pending<M>>,
 }
 
@@ -104,29 +137,74 @@ impl<M> Default for SendChannel<M> {
     fn default() -> Self {
         SendChannel {
             next_seq: 0,
+            shed_floor: 0,
             unacked: VecDeque::new(),
         }
     }
 }
 
-#[derive(Clone, Debug, Default)]
-struct RecvChannel {
-    /// Every seq ≤ floor has been received.
+#[derive(Clone, Debug)]
+struct RecvChannel<M> {
+    /// Every seq ≤ floor has been received (or abandoned by a shed
+    /// advertisement) and released to the inner protocol.
     floor: u64,
-    /// Received seqs above the floor (gaps pending).
-    ahead: BTreeSet<u64>,
+    /// Out-of-order arrivals buffered above the floor, payload and
+    /// all: they are released only once the run below them is
+    /// contiguous, which is what makes delivery per-channel FIFO.
+    ahead: BTreeMap<u64, M>,
 }
 
-impl RecvChannel {
-    /// Record receipt of `seq`; `true` if it is new.
-    fn admit(&mut self, seq: u64) -> bool {
-        if seq <= self.floor || !self.ahead.insert(seq) {
+impl<M> Default for RecvChannel<M> {
+    fn default() -> Self {
+        RecvChannel {
+            floor: 0,
+            ahead: BTreeMap::new(),
+        }
+    }
+}
+
+impl<M> RecvChannel<M> {
+    /// Apply a shed advertisement: nothing at or below `skip` will
+    /// ever be (re)transmitted again, so waiting on that gap would
+    /// stall the channel forever. Buffered arrivals at or below the
+    /// skip point are released in order first, then the floor jumps
+    /// the gap and the contiguous run above it drains. Returns how
+    /// many sequence numbers were abandoned without ever arriving.
+    fn skip_to(&mut self, skip: u64, ready: &mut Vec<M>) -> u64 {
+        if skip <= self.floor {
+            return 0;
+        }
+        let mut buffered = 0u64;
+        while let Some(e) = self.ahead.first_entry() {
+            if *e.key() > skip {
+                break;
+            }
+            buffered += 1;
+            ready.push(e.remove());
+        }
+        let skipped = (skip - self.floor) - buffered;
+        self.floor = skip;
+        self.drain_run(ready);
+        skipped
+    }
+
+    /// Record receipt of `seq`, releasing every payload that became
+    /// contiguously deliverable (in sequence order) into `ready`.
+    /// `false` if `seq` is a duplicate.
+    fn admit(&mut self, seq: u64, payload: M, ready: &mut Vec<M>) -> bool {
+        if seq <= self.floor || self.ahead.contains_key(&seq) {
             return false;
         }
-        while self.ahead.remove(&(self.floor + 1)) {
+        self.ahead.insert(seq, payload);
+        self.drain_run(ready);
+        true
+    }
+
+    fn drain_run(&mut self, ready: &mut Vec<M>) {
+        while let Some(p) = self.ahead.remove(&(self.floor + 1)) {
+            ready.push(p);
             self.floor += 1;
         }
-        true
     }
 }
 
@@ -136,7 +214,7 @@ pub struct ReliableLink<P: Protocol> {
     inner: P,
     cfg: RetryConfig,
     out: Vec<SendChannel<P::Msg>>,
-    rin: Vec<RecvChannel>,
+    rin: Vec<RecvChannel<P::Msg>>,
     rng: SplitMix64,
     counters: Option<Arc<LinkCounters>>,
     stats: LinkStats,
@@ -190,6 +268,12 @@ impl<P: Protocol> ReliableLink<P> {
         self.out.get(peer as usize).map_or(0, |ch| ch.unacked.len())
     }
 
+    /// Out-of-order payloads buffered from `peer`, waiting for their
+    /// gap to fill (or be skipped by a shed advertisement).
+    pub fn ahead_len(&self, peer: Pid) -> usize {
+        self.rin.get(peer as usize).map_or(0, |ch| ch.ahead.len())
+    }
+
     fn ensure(&mut self, n: usize) {
         if self.out.len() < n {
             self.out.resize_with(n, SendChannel::default);
@@ -207,7 +291,10 @@ impl<P: Protocol> ReliableLink<P> {
         backoff + self.rng.next_below(self.cfg.jitter + 1)
     }
 
-    /// Queue and transmit one inner message toward `to`.
+    /// Queue and transmit one inner message toward `to`. A queue
+    /// overflow sheds the oldest pending entry and raises the
+    /// channel's shed floor, which every subsequent `Data` advertises
+    /// so the receiver skips the permanent gap instead of stalling.
     fn send_data(&mut self, ctx: &mut Ctx<'_, LinkMsg<P::Msg>>, to: Pid, payload: P::Msg) {
         self.ensure(ctx.n());
         let now = ctx.now();
@@ -216,19 +303,23 @@ impl<P: Protocol> ReliableLink<P> {
         ch.next_seq += 1;
         let seq = ch.next_seq;
         if ch.unacked.len() >= self.cfg.queue_cap {
-            ch.unacked.pop_front();
+            if let Some(dead) = ch.unacked.pop_front() {
+                ch.shed_floor = ch.shed_floor.max(dead.seq);
+            }
             self.stats.shed += 1;
             if let Some(c) = &self.counters {
                 LinkCounters::add(&c.messages_dropped, 1);
             }
         }
-        self.out[to as usize].unacked.push_back(Pending {
+        let ch = &mut self.out[to as usize];
+        let skip = ch.shed_floor;
+        ch.unacked.push_back(Pending {
             seq,
             payload: payload.clone(),
             next_retry: now + rto,
             attempt: 0,
         });
-        ctx.send(to, LinkMsg::Data { seq, payload });
+        ctx.send(to, LinkMsg::Data { seq, skip, payload });
     }
 
     /// Run `f` against the inner protocol with a fresh inner outbox,
@@ -273,15 +364,23 @@ impl<P: Protocol> Protocol for ReliableLink<P> {
             LinkMsg::Ack { cum } => {
                 self.out[from as usize].unacked.retain(|p| p.seq > cum);
             }
-            LinkMsg::Data { seq, payload } => {
-                let fresh = self.rin[from as usize].admit(seq);
-                if fresh {
-                    self.stats.delivered += 1;
-                    self.with_inner(ctx, |inner, ictx| {
-                        inner.on_message(from, payload, ictx);
-                    });
-                } else {
+            LinkMsg::Data { seq, skip, payload } => {
+                let mut ready = Vec::new();
+                let ch = &mut self.rin[from as usize];
+                let skipped = ch.skip_to(skip, &mut ready);
+                let fresh = ch.admit(seq, payload, &mut ready);
+                self.stats.gaps_skipped += skipped;
+                if !fresh {
                     self.stats.duplicates_suppressed += 1;
+                }
+                // Release the contiguous run in sequence order —
+                // per-channel FIFO is what the store's stability
+                // tracking relies on (see the module docs).
+                self.stats.delivered += ready.len() as u64;
+                for p in ready {
+                    self.with_inner(ctx, |inner, ictx| {
+                        inner.on_message(from, p, ictx);
+                    });
                 }
                 // Ack every Data — duplicates re-ack in case the
                 // previous ack was lost.
@@ -325,8 +424,9 @@ impl<P: Protocol> Protocol for ReliableLink<P> {
             if let Some(c) = &self.counters {
                 LinkCounters::add(&c.retransmits, due.len() as u64);
             }
+            let skip = self.out[peer].shed_floor;
             for (seq, payload) in due {
-                ctx.send(peer as Pid, LinkMsg::Data { seq, payload });
+                ctx.send(peer as Pid, LinkMsg::Data { seq, skip, payload });
             }
         }
         // The inner protocol gets its tick too (heartbeats, GC, …).
@@ -404,6 +504,23 @@ mod tests {
         let mut retransmits = 0;
         for pid in 0..3 {
             let node = sim.process(pid);
+            // Per-channel FIFO: each sender's values are issued in
+            // increasing order, so the received subsequence from any
+            // one sender must be increasing even under loss, reorder,
+            // and duplication.
+            for sender in 0..3u32 {
+                let from_sender: Vec<u32> = node
+                    .inner()
+                    .got
+                    .iter()
+                    .copied()
+                    .filter(|v| v % 3 == sender)
+                    .collect();
+                assert!(
+                    from_sender.windows(2).all(|w| w[0] < w[1]),
+                    "pid {pid}: out-of-order delivery from {sender}: {from_sender:?}"
+                );
+            }
             // Each node must have every payload the other two sent,
             // exactly once (dedup suppressed duplicates).
             let mut got = node.inner().got.clone();
@@ -461,9 +578,76 @@ mod tests {
         sim.schedule_ticks(16, 500);
         sim.run_to_quiescence();
         assert_eq!(sim.process(0).pending_to(1), 0, "all acked");
-        let mut got = sim.process(1).inner().got.clone();
-        got.sort_unstable();
-        assert_eq!(got, vec![1, 2], "delivery is at-least-once, unordered");
+        assert_eq!(
+            sim.process(1).inner().got,
+            vec![1, 2],
+            "delivery is exactly-once, in send order"
+        );
+    }
+
+    /// Regression (review): after a shed, the receiver's contiguous
+    /// floor used to stall below the gap forever — cumulative acks
+    /// froze, every later entry retransmitted until it too was shed,
+    /// and the ahead buffer grew without bound. The shed advertisement
+    /// (`Data::skip`) must let the receiver jump the permanent gap,
+    /// release buffered arrivals in order, and resume acks so the
+    /// sender's queue drains.
+    #[test]
+    fn shed_gap_is_skipped_and_acks_resume() {
+        let cfg = RetryConfig {
+            base: 4,
+            max_backoff: 8,
+            jitter: 0,
+            queue_cap: 4,
+        };
+        let mut tx: ReliableLink<Collector> = ReliableLink::new(Collector::default(), cfg, 1);
+        let mut rx: ReliableLink<Collector> = ReliableLink::new(Collector::default(), cfg, 2);
+
+        // Six sends into a cap-4 queue: seqs 1 and 2 are shed.
+        let mut wire = Vec::new();
+        for i in 0..6u32 {
+            let mut ctx = Ctx::new(0, 2, 0, &mut wire);
+            tx.on_invoke(i, &mut ctx);
+        }
+        assert_eq!(tx.stats().shed, 2);
+        assert_eq!(tx.pending_to(1), 4);
+
+        // The network loses everything except the last transmission
+        // (seq 6, advertising skip = 2): the receiver must jump the
+        // shed gap but still hold seq 6 back — seqs 3..5 were not
+        // shed and are still coming.
+        let (_, last) = wire.pop().expect("six transmissions");
+        let mut rx_out = Vec::new();
+        {
+            let mut ctx = Ctx::new(1, 2, 0, &mut rx_out);
+            rx.on_message(0, last, &mut ctx);
+        }
+        assert_eq!(rx.stats().gaps_skipped, 2, "seqs 1 and 2 abandoned");
+        assert!(rx.inner().got.is_empty(), "seq 6 buffered behind 3..5");
+
+        // Retransmission fills the rest; delivery is in order and
+        // skips exactly the shed payloads.
+        let mut retrans = Vec::new();
+        {
+            let mut ctx = Ctx::new(0, 2, 1_000, &mut retrans);
+            tx.on_tick(&mut ctx);
+        }
+        for (_, m) in retrans {
+            let mut ctx = Ctx::new(1, 2, 1_000, &mut rx_out);
+            rx.on_message(0, m, &mut ctx);
+        }
+        assert_eq!(rx.inner().got, vec![2, 3, 4, 5], "in order, gap skipped");
+        assert!(rx.ahead_len(0) == 0, "ahead buffer fully drained");
+
+        // Feed the acks back: the cumulative ack now covers the gap,
+        // so the sender's retry queue empties (this is what used to
+        // stall forever).
+        let mut sink = Vec::new();
+        for (_, m) in rx_out {
+            let mut ctx = Ctx::new(0, 2, 1_001, &mut sink);
+            tx.on_message(1, m, &mut ctx);
+        }
+        assert_eq!(tx.pending_to(1), 0, "acks resumed past the shed gap");
     }
 
     #[test]
