@@ -1,0 +1,265 @@
+//! Observability overhead — what the streaming consistency monitor
+//! costs on the ingest hot path, as a function of its sampling rate.
+//!
+//! A producer replica issues a zipfian keyed update stream; a consumer
+//! store ingests it through the batched path under five configurations:
+//! monitor detached, and attached at sampling rates 0, 0.01, 0.1, and
+//! 1.0. Measured: ingest wall time per configuration (medians over
+//! round-robin reps), the overhead each rate adds over the detached
+//! baseline, and — the deterministic properties actually asserted —
+//! that every configuration converges to the same per-key digests
+//! (the monitor must never perturb results) and that the full-rate
+//! monitor reports **zero violations** on the clean stream (zero false
+//! positives).
+//!
+//! The run ends by exporting the full-rate store's metrics through
+//! `uc-obs` and printing the Prometheus text, so the CI smoke step can
+//! grep for the metric names end-to-end.
+//!
+//! Run with `cargo bench -p uc-bench --bench obs` (`UC_BENCH_SMOKE=1`
+//! shrinks the workload for CI). Results land in `BENCH_obs.json`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use uc_core::{CheckpointFactory, NaiveFactory, StoreMsg, UcStore};
+use uc_criteria::online::MonitorConfig;
+use uc_obs::Registry;
+use uc_sim::{generate_keyed, perturb_order, KeyedWorkloadSpec, SetOpKind};
+use uc_spec::{SetAdt, SetUpdate};
+
+type Msg = StoreMsg<SetUpdate<u32>>;
+
+const CHUNK: usize = 4096;
+const EVERY: usize = 32;
+/// Monitor sampling rates under test; `None` = monitor detached.
+const RATES: [Option<f64>; 5] = [None, Some(0.0), Some(0.01), Some(0.1), Some(1.0)];
+
+fn smoke() -> bool {
+    std::env::var("UC_BENCH_SMOKE").is_ok_and(|v| v == "1")
+}
+
+fn spec() -> KeyedWorkloadSpec {
+    KeyedWorkloadSpec {
+        processes: 1,
+        ops_per_process: if smoke() { 6_000 } else { 40_000 },
+        keys: 256,
+        key_alpha: 1.1,
+        universe: 64,
+        zipf_alpha: 0.8,
+        update_ratio: 1.0,
+        insert_ratio: 0.7,
+        mean_gap: 1,
+        ooo_rate: 0.15,
+        snapshot_rate: 0.0,
+        seed: 0x0B5ED,
+    }
+}
+
+fn to_update(kind: SetOpKind) -> SetUpdate<u32> {
+    match kind {
+        SetOpKind::Insert(e) => SetUpdate::Insert(e as u32),
+        SetOpKind::Delete(e) => SetUpdate::Delete(e as u32),
+        SetOpKind::Read | SetOpKind::SnapshotRead => unreachable!("update_ratio is 1.0"),
+    }
+}
+
+fn keyed_stream(spec: &KeyedWorkloadSpec) -> Vec<Msg> {
+    let mut producer: UcStore<SetAdt<u32>, NaiveFactory> =
+        UcStore::new(SetAdt::new(), 1, 1, NaiveFactory);
+    let mut msgs: Vec<Msg> = generate_keyed(spec)
+        .into_iter()
+        .map(|op| producer.update(op.key, to_update(op.kind)))
+        .collect();
+    perturb_order(&mut msgs, spec.ooo_rate, spec.seed ^ 0xBAD);
+    msgs
+}
+
+fn median(mut samples: Vec<u64>) -> u64 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Overhead is computed from each configuration's *fastest* rep: the
+/// minimum is the least-noise estimator of intrinsic cost on a shared
+/// host (scheduler interference only ever adds time).
+fn min(samples: &[u64]) -> u64 {
+    *samples.iter().min().expect("non-empty samples")
+}
+
+fn rate_label(rate: Option<f64>) -> String {
+    match rate {
+        None => "off".into(),
+        Some(r) => format!("{r}"),
+    }
+}
+
+fn main() {
+    let reps = if smoke() { 3 } else { 7 };
+    let spec = spec();
+    let stream = keyed_stream(&spec);
+    let total = stream.len();
+    println!(
+        "monitor overhead: {total} zipfian updates over {} keys, rates {:?}",
+        spec.keys,
+        RATES.map(rate_label)
+    );
+
+    let mut samples: Vec<Vec<u64>> = vec![Vec::new(); RATES.len()];
+    let mut reference_digest: Option<Vec<(u64, u64)>> = None;
+    let mut final_store: Option<UcStore<SetAdt<u32>, CheckpointFactory>> = None;
+    // Round-robin over configurations within each rep so host drift
+    // hits every rate equally.
+    for rep in 0..reps {
+        for (idx, rate) in RATES.into_iter().enumerate() {
+            let mut store: UcStore<SetAdt<u32>, CheckpointFactory> =
+                UcStore::new(SetAdt::new(), 0, 4, CheckpointFactory { every: EVERY });
+            if let Some(r) = rate {
+                store.attach_monitor(MonitorConfig::sampled(r).with_peers([0, 1]));
+            }
+            let t0 = Instant::now();
+            for chunk in stream.chunks(CHUNK) {
+                store.apply_batch(chunk);
+            }
+            samples[idx].push(t0.elapsed().as_nanos() as u64);
+            // The monitor must be a pure observer: every rate (and
+            // none) converges to identical per-key content.
+            let digest: Vec<(u64, u64)> = store
+                .keys()
+                .into_iter()
+                .map(|k| (k, uc_core::state_digest(&store.materialize_key(k))))
+                .collect();
+            match &reference_digest {
+                None => reference_digest = Some(digest),
+                Some(r) => assert_eq!(
+                    r, &digest,
+                    "monitored store (rate {:?}) diverged from baseline",
+                    rate
+                ),
+            }
+            if rate == Some(1.0) && rep == reps - 1 {
+                final_store = Some(store);
+            }
+        }
+    }
+
+    struct Row {
+        rate: String,
+        median_ns: u64,
+        min_ns: u64,
+        throughput_mops: f64,
+        overhead_pct: f64,
+    }
+    let base_ns = min(&samples[0]);
+    let rows: Vec<Row> = RATES
+        .into_iter()
+        .enumerate()
+        .map(|(idx, rate)| {
+            let median_ns = median(samples[idx].clone());
+            let min_ns = min(&samples[idx]);
+            Row {
+                rate: rate_label(rate),
+                median_ns,
+                min_ns,
+                throughput_mops: total as f64 * 1e3 / median_ns as f64,
+                overhead_pct: (min_ns as f64 - base_ns as f64) * 100.0 / base_ns as f64,
+            }
+        })
+        .collect();
+
+    println!(
+        "\n{:<8} {:>14} {:>14} {:>12} {:>12}",
+        "rate", "median", "min", "Mops/s", "overhead"
+    );
+    for r in &rows {
+        println!(
+            "{:<8} {:>11} ns {:>11} ns {:>12.2} {:>11.1}%",
+            r.rate, r.median_ns, r.min_ns, r.throughput_mops, r.overhead_pct
+        );
+    }
+    // Wall-clock ratios on shared runners are too noisy to gate CI on;
+    // the ≤10%-at-1%-sampling budget is recorded in the JSON and only
+    // flagged here.
+    let at_1pct = &rows[2];
+    if at_1pct.overhead_pct > 10.0 {
+        eprintln!(
+            "note: monitor overhead at 1% sampling above the 10% budget this run \
+             ({:.1}%) — expected on noisy hosts",
+            at_1pct.overhead_pct
+        );
+    }
+
+    // Deterministic acceptance: the full-rate monitor saw the whole
+    // clean stream and must report zero violations — and its stability
+    // window compacts once the producer's clock is announced.
+    let mut store = final_store.expect("full-rate config ran");
+    let producer_clock = store.clock();
+    store.apply_message(&StoreMsg::Heartbeat {
+        pid: 1,
+        clock: producer_clock,
+    });
+    store.tick_maintenance();
+    let stats = store.monitor_stats().expect("monitor attached").clone();
+    assert!(stats.clean(), "false positive on a clean stream: {stats:?}");
+    assert_eq!(stats.sampled_updates, total as u64, "full rate sees all");
+    assert!(
+        stats.finalized_updates > 0,
+        "stability compaction never fired: {stats:?}"
+    );
+    println!(
+        "\nfull-rate monitor: {} updates observed, {} finalized at stable bound {}, \
+         0 violations",
+        stats.sampled_updates, stats.finalized_updates, stats.stable_bound
+    );
+
+    // Export end-to-end: the CI smoke step greps this output for the
+    // metric names, so renaming one fails loudly.
+    let reg = Registry::new();
+    store.export_metrics(&reg);
+    let snap = reg.snapshot();
+    println!(
+        "\n--- prometheus exposition ---\n{}",
+        snap.render_prometheus()
+    );
+    println!("--- health ---\n{}", store.health(2).render());
+
+    let mut json = String::from("{\n  \"bench\": \"obs\",\n");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{\"updates\": {total}, \"keys\": {}, \"chunk\": {CHUNK}, \
+         \"reps\": {reps}, \"smoke\": {}}},",
+        spec.keys,
+        smoke()
+    );
+    json.push_str("  \"sampling\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"rate\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \
+             \"throughput_mops\": {:.3}, \"overhead_pct\": {:.1}}}",
+            r.rate, r.median_ns, r.min_ns, r.throughput_mops, r.overhead_pct
+        );
+        json.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"monitor\": {{\"sampled_updates\": {}, \"finalized_updates\": {}, \
+         \"stable_bound\": {}, \"violations\": {}}}",
+        stats.sampled_updates,
+        stats.finalized_updates,
+        stats.stable_bound,
+        stats.total_violations()
+    );
+    json.push_str("}\n");
+
+    println!(
+        "\nBENCH_JSON {}",
+        json.split_whitespace().collect::<Vec<_>>().join(" ")
+    );
+    let out = format!(
+        "{}/../../BENCH_obs.json",
+        std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into())
+    );
+    std::fs::write(&out, json).expect("write baseline json");
+    println!("wrote {out}");
+}

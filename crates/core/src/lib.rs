@@ -22,6 +22,7 @@
 //! | [`inbox`] | [`Inbox`] — lock-free bounded MPSC claim-pattern inbox (Treiber push, swap-claim drain) | perf engineering |
 //! | [`snapshot`] | [`Published`] — single-writer epoch-published snapshot cell for wait-free reads | perf engineering |
 //! | [`pool`] | [`IngestPool`]/[`PoolHandle`] — persistent shard workers fed by claim inboxes, wait-free snapshot reads, flush barriers, drain-on-drop | perf engineering |
+//! | [`observe`] | shared telemetry glue: streaming-monitor counters → `uc-obs` registry | observability |
 //! | [`sim_adapter`] | run replicas on `uc-sim`; turn traces into checkable histories + SUC witnesses | Prop. 4 |
 //! | [`convergence`] | cross-replica convergence checks | Defs. 5/8 |
 //!
@@ -46,6 +47,7 @@ pub mod inbox;
 pub mod log;
 pub mod memory;
 pub mod message;
+pub mod observe;
 pub mod pool;
 pub mod replica;
 pub mod sim_adapter;
@@ -63,6 +65,7 @@ pub use inbox::{Inbox, PushError};
 pub use log::UpdateLog;
 pub use memory::{MemWrite, UcMemory};
 pub use message::{GcMsg, UpdateMsg};
+pub use observe::export_monitor_stats;
 pub use pool::{
     Backpressure, IngestPool, PoolConfig, PoolError, PoolHandle, PoolStats, SnapshotError,
     WorkerStats,

@@ -104,6 +104,8 @@ use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
+use uc_criteria::online::{MonitorConfig, MonitorStats, OnlineMonitor};
+use uc_obs::{Health, Registry};
 use uc_sim::{Ctx, LinkCounters, Pid, Protocol};
 use uc_spec::UqAdt;
 
@@ -312,6 +314,72 @@ impl SharedCounters {
     }
 }
 
+/// Worker → handle mirror of one worker's monitor counters. The
+/// worker stores absolute values after each monitor-touching job
+/// (~15 relaxed stores); the pool aggregates across workers without
+/// stopping them. Workers own disjoint shard (hence key) sets, so
+/// summing per-key counters is exact.
+#[derive(Default)]
+struct MonitorCells {
+    sampled_keys: AtomicU64,
+    sampled_updates: AtomicU64,
+    sampled_queries: AtomicU64,
+    sampled_cuts: AtomicU64,
+    uc_violations: AtomicU64,
+    ec_violations: AtomicU64,
+    sec_violations: AtomicU64,
+    snap_violations: AtomicU64,
+    below_floor_arrivals: AtomicU64,
+    window_evictions: AtomicU64,
+    lossy_keys: AtomicU64,
+    skipped_checks: AtomicU64,
+    finalized_updates: AtomicU64,
+    stable_bound: AtomicU64,
+    ticks: AtomicU64,
+}
+
+impl MonitorCells {
+    fn publish(&self, s: &MonitorStats) {
+        let o = Ordering::Relaxed;
+        self.sampled_keys.store(s.sampled_keys, o);
+        self.sampled_updates.store(s.sampled_updates, o);
+        self.sampled_queries.store(s.sampled_queries, o);
+        self.sampled_cuts.store(s.sampled_cuts, o);
+        self.uc_violations.store(s.uc_violations, o);
+        self.ec_violations.store(s.ec_violations, o);
+        self.sec_violations.store(s.sec_violations, o);
+        self.snap_violations.store(s.snap_violations, o);
+        self.below_floor_arrivals.store(s.below_floor_arrivals, o);
+        self.window_evictions.store(s.window_evictions, o);
+        self.lossy_keys.store(s.lossy_keys, o);
+        self.skipped_checks.store(s.skipped_checks, o);
+        self.finalized_updates.store(s.finalized_updates, o);
+        self.stable_bound.store(s.stable_bound, o);
+        self.ticks.store(s.ticks, o);
+    }
+
+    fn load(&self) -> MonitorStats {
+        let o = Ordering::Relaxed;
+        MonitorStats {
+            sampled_keys: self.sampled_keys.load(o),
+            sampled_updates: self.sampled_updates.load(o),
+            sampled_queries: self.sampled_queries.load(o),
+            sampled_cuts: self.sampled_cuts.load(o),
+            uc_violations: self.uc_violations.load(o),
+            ec_violations: self.ec_violations.load(o),
+            sec_violations: self.sec_violations.load(o),
+            snap_violations: self.snap_violations.load(o),
+            below_floor_arrivals: self.below_floor_arrivals.load(o),
+            window_evictions: self.window_evictions.load(o),
+            lossy_keys: self.lossy_keys.load(o),
+            skipped_checks: self.skipped_checks.load(o),
+            finalized_updates: self.finalized_updates.load(o),
+            stable_bound: self.stable_bound.load(o),
+            ticks: self.ticks.load(o),
+        }
+    }
+}
+
 /// One shard's slice of a burst: `(key, message)` pairs bound for
 /// that shard's per-key engines.
 type Bucket<A> = Vec<(Key, UpdateMsg<<A as UqAdt>::Update>)>;
@@ -345,7 +413,23 @@ enum Job<A: UqAdt> {
     /// A peer clock announcement: sweep every engine on this worker.
     Heartbeat { pid: u32, clock: u64 },
     /// Run per-key maintenance (compaction) on every engine.
-    Maintain,
+    /// Carries the shared clock's value so an attached monitor can
+    /// fold its own node's progress into the stability watermark.
+    Maintain {
+        /// The shared Lamport clock at push time.
+        clock: u64,
+    },
+    /// Attach a streaming consistency monitor to this worker. Each
+    /// worker owns a disjoint shard (hence key) set, so per-worker
+    /// monitors never see each other's keys and their counters sum
+    /// exactly. Keys that already have engines are excluded — the
+    /// monitor never judges history it did not watch.
+    AttachMonitor {
+        /// Sampling / window / peer configuration.
+        cfg: MonitorConfig,
+        /// Handle-side mirror the worker publishes stats into.
+        cells: Arc<MonitorCells>,
+    },
     /// Flush every engine's storage backend (durability point).
     FlushBackends,
     /// Flush barrier: ack once every earlier job on this inbox is done.
@@ -518,6 +602,11 @@ struct WorkerState<A: UqAdt, F: StrategyFactory<A>, P: BackendFactory<A>> {
     pid: u32,
     factory: F,
     persist: P,
+    /// Streaming consistency monitor over this worker's keys (see
+    /// [`Job::AttachMonitor`]); `None` until one is attached.
+    monitor: Option<OnlineMonitor<A>>,
+    /// Where monitor stats are mirrored for the handle to read.
+    monitor_cells: Option<Arc<MonitorCells>>,
 }
 
 /// Flush every engine backend of a worker's owned shards — shared by
@@ -567,6 +656,8 @@ where
             pid,
             factory,
             persist,
+            monitor,
+            monitor_cells,
         } = self;
         match job {
             Job::Ingest(buckets) => {
@@ -575,6 +666,11 @@ where
                     counters
                         .messages
                         .fetch_add(bucket.len() as u64, Ordering::Relaxed);
+                    if let Some(mon) = monitor.as_mut() {
+                        for (key, msg) in &bucket {
+                            mon.observe_update(*key, msg.ts.clock, msg.ts.pid, &msg.update);
+                        }
+                    }
                     shard_mut(shards, global).ingest(bucket, adt, *pid, factory, persist);
                 }
             }
@@ -582,6 +678,9 @@ where
                 counters.messages.fetch_add(1, Ordering::Relaxed);
                 let sh = shard_mut(shards, shard);
                 sh.note_clock(msg.ts.clock);
+                if let Some(mon) = monitor.as_mut() {
+                    mon.observe_update(key, msg.ts.clock, msg.ts.pid, &msg.update);
+                }
                 sh.engine_mut(key, adt, *pid, factory, persist)
                     .local_update_at(msg.ts, msg.update);
             }
@@ -594,12 +693,22 @@ where
             } => {
                 let sh = shard_mut(shards, shard);
                 let out = if sh.objects.contains_key(&key) {
-                    sh.engine_mut(key, adt, *pid, factory, persist)
-                        .do_query_at(now, &q)
+                    let engine = sh.engine_mut(key, adt, *pid, factory, persist);
+                    let out = engine.do_query_at(now, &q);
+                    if let Some(mon) = monitor.as_mut() {
+                        if mon.sampled(key) {
+                            let state = engine.materialize();
+                            mon.check_query_state(key, &state);
+                        }
+                    }
+                    out
                 } else {
                     // Untouched keys answer from the initial state
                     // without materializing an engine (same as
                     // `UcStore::query`).
+                    if let Some(mon) = monitor.as_mut() {
+                        mon.check_query_state(key, &adt.initial());
+                    }
                     adt.observe(&adt.initial(), &q)
                 };
                 // The handle may have given up waiting (poisoned
@@ -608,11 +717,30 @@ where
                 let _ = reply.send(out);
             }
             Job::Heartbeat { pid, clock } => {
+                if let Some(mon) = monitor.as_mut() {
+                    mon.observe_heartbeat(pid, clock);
+                }
                 for (_, shard) in shards {
                     shard.observe_peer_clock(pid, clock);
                 }
             }
-            Job::Maintain => {
+            Job::Maintain { clock } => {
+                if let Some(mon) = monitor.as_mut() {
+                    // The maintenance tick doubles as the monitor's
+                    // window roll: fold our own progress into the
+                    // stability watermark, compact finalized prefixes,
+                    // then EC-sweep the sampled keys' live states.
+                    mon.observe_heartbeat(*pid, clock);
+                    mon.tick();
+                    for (_, shard) in shards.iter_mut() {
+                        for (key, engine) in shard.objects.iter_mut() {
+                            if mon.sampled(*key) {
+                                let state = engine.materialize();
+                                mon.check_tick_state(*key, &state);
+                            }
+                        }
+                    }
+                }
                 for (_, shard) in shards {
                     shard.tick_maintenance();
                 }
@@ -634,6 +762,13 @@ where
                                 failed = Some(e);
                                 break 'shards;
                             }
+                        }
+                    }
+                }
+                if failed.is_none() {
+                    if let Some(mon) = monitor.as_mut() {
+                        for (key, state) in &out {
+                            mon.observe_cut(cut, *key, state);
                         }
                     }
                 }
@@ -671,6 +806,19 @@ where
                     shard.set_retention_cap(cap);
                 }
             }
+            Job::AttachMonitor { cfg, cells } => {
+                let mut mon = OnlineMonitor::new(adt.clone(), cfg);
+                for (_, shard) in shards.iter() {
+                    mon.exclude_keys(shard.objects.keys().copied());
+                }
+                *monitor = Some(mon);
+                *monitor_cells = Some(cells);
+            }
+        }
+        // Mirror the (worker-private) monitor counters for the handle
+        // after every job — ~15 relaxed stores, only when attached.
+        if let (Some(mon), Some(cells)) = (monitor.as_ref(), monitor_cells.as_ref()) {
+            cells.publish(mon.stats());
         }
     }
 }
@@ -1393,6 +1541,9 @@ where
     /// Shared protocol-side counters, folded into the owning
     /// runtime's [`uc_sim::Metrics`] when attached.
     link_counters: Option<Arc<LinkCounters>>,
+    /// One mirror per worker of that worker's streaming-monitor
+    /// counters; empty until [`IngestPool::attach_monitor`].
+    monitor_cells: Vec<Arc<MonitorCells>>,
 }
 
 /// Same reservation width as the sequential store: one persisted
@@ -1450,6 +1601,8 @@ where
                     pid,
                     factory: factory.clone(),
                     persist: persist.clone(),
+                    monitor: None,
+                    monitor_cells: None,
                 };
                 let core = Arc::clone(&core);
                 let thread = std::thread::spawn(move || worker_loop(state, core, widx));
@@ -1465,6 +1618,7 @@ where
             partition: PartitionTracker::default(),
             heal_replay_bytes: 0,
             link_counters: None,
+            monitor_cells: Vec::new(),
         }
     }
 
@@ -1532,9 +1686,10 @@ where
 
     /// Run per-key maintenance (compaction) on every worker's engines.
     pub fn tick_maintenance(&mut self) -> Result<(), PoolError> {
+        let clock = self.handle.core.clock.now();
         for worker in 0..self.workers.len() {
             self.handle
-                .push_job(worker, Job::Maintain, Backpressure::Park)?;
+                .push_job(worker, Job::Maintain { clock }, Backpressure::Park)?;
         }
         Ok(())
     }
@@ -1599,6 +1754,110 @@ where
     /// into the owning runtime's [`uc_sim::Metrics`].
     pub fn attach_link_counters(&mut self, counters: Arc<LinkCounters>) {
         self.link_counters = Some(counters);
+    }
+
+    /// Attach a streaming consistency monitor to every worker (same
+    /// semantics as [`UcStore::attach_monitor`]: keys that already
+    /// have engines are excluded, so attachment mid-run never
+    /// manufactures violations). Each worker monitors its own disjoint
+    /// key set; [`IngestPool::monitor_stats`] sums the mirrors.
+    pub fn attach_monitor(&mut self, cfg: MonitorConfig) -> Result<(), PoolError> {
+        let mut cells = Vec::with_capacity(self.workers.len());
+        for worker in 0..self.workers.len() {
+            let cell = Arc::new(MonitorCells::default());
+            self.handle.push_job(
+                worker,
+                Job::AttachMonitor {
+                    cfg: cfg.clone(),
+                    cells: Arc::clone(&cell),
+                },
+                Backpressure::Park,
+            )?;
+            cells.push(cell);
+        }
+        self.monitor_cells = cells;
+        Ok(())
+    }
+
+    /// Aggregated monitor counters across every worker, or `None` if
+    /// no monitor is attached. Counters sum (workers watch disjoint
+    /// keys); the stability watermark is the minimum across workers
+    /// and `ticks` the maximum (each maintenance round ticks every
+    /// worker once). Reads the workers' relaxed mirrors — pair with
+    /// [`IngestPool::flush`] for a quiesced reading.
+    pub fn monitor_stats(&self) -> Option<MonitorStats> {
+        if self.monitor_cells.is_empty() {
+            return None;
+        }
+        let mut total = MonitorStats::default();
+        let mut bound = u64::MAX;
+        for cell in &self.monitor_cells {
+            let s = cell.load();
+            total.sampled_keys += s.sampled_keys;
+            total.sampled_updates += s.sampled_updates;
+            total.sampled_queries += s.sampled_queries;
+            total.sampled_cuts += s.sampled_cuts;
+            total.uc_violations += s.uc_violations;
+            total.ec_violations += s.ec_violations;
+            total.sec_violations += s.sec_violations;
+            total.snap_violations += s.snap_violations;
+            total.below_floor_arrivals += s.below_floor_arrivals;
+            total.window_evictions += s.window_evictions;
+            total.lossy_keys += s.lossy_keys;
+            total.skipped_checks += s.skipped_checks;
+            total.finalized_updates += s.finalized_updates;
+            bound = bound.min(s.stable_bound);
+            total.ticks = total.ticks.max(s.ticks);
+        }
+        total.stable_bound = if bound == u64::MAX { 0 } else { bound };
+        Some(total)
+    }
+
+    /// A point-in-time health report for this pooled replica in an
+    /// `n`-replica cluster: availability posture, down peers, worker
+    /// poisoning, and (when a monitor is attached) streaming-checker
+    /// cleanliness. Same shape as [`UcStore::health`].
+    pub fn health(&self, n: usize) -> Health {
+        let mut h = Health::new(format!("{:?}", self.partition.policy()));
+        h.down_peers = self.partition.down_peers().collect();
+        h.in_minority =
+            self.partition.in_minority(n) && self.partition.policy() == AvailabilityPolicy::Refuse;
+        h.poisoned = self.handle.core.poison.get().map(|e| e.to_string());
+        if let Some(stats) = self.monitor_stats() {
+            h.monitor_clean = Some(stats.total_violations() == 0);
+            h.monitor_violations = stats.total_violations();
+            h.stable_bound = stats.stable_bound;
+        }
+        h.resolve()
+    }
+
+    /// Mirror this pool's throughput counters (and monitor counters,
+    /// when attached) into `reg` under `uc_pool_*` / `uc_monitor_*`
+    /// names.
+    pub fn export_metrics(&self, reg: &Registry) {
+        let stats = self.stats();
+        let mut batches = 0;
+        let mut messages = 0;
+        let mut shed = 0;
+        let mut snaps = 0;
+        let mut high_water = 0u64;
+        for w in &stats.workers {
+            batches += w.batches;
+            messages += w.messages;
+            shed += w.shed;
+            snaps += w.snapshots_published;
+            high_water = high_water.max(w.queue_high_water as u64);
+        }
+        reg.counter("uc_pool_batches_total").set(batches);
+        reg.counter("uc_pool_messages_total").set(messages);
+        reg.counter("uc_pool_shed_total").set(shed);
+        reg.counter("uc_pool_snapshots_published_total").set(snaps);
+        reg.gauge("uc_pool_queue_high_water").set(high_water as i64);
+        reg.gauge("uc_pool_heal_replay_bytes")
+            .set(self.heal_replay_bytes as i64);
+        if let Some(mon) = self.monitor_stats() {
+            crate::observe::export_monitor_stats(&mon, reg);
+        }
     }
 
     /// Estimated wire bytes this pool has streamed in

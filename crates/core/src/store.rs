@@ -57,7 +57,9 @@ use std::collections::HashMap;
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
+use uc_criteria::online::{MonitorConfig, MonitorStats, OnlineMonitor};
 use uc_history::fxhash::FxHasher;
+use uc_obs::{Health, Registry, TraceKind, TraceRing};
 use uc_sim::{Ctx, LinkCounters, Pid, Protocol};
 use uc_spec::UqAdt;
 
@@ -709,6 +711,13 @@ pub struct UcStore<A: UqAdt, F: StrategyFactory<A>, P: BackendFactory<A> = MemFa
     /// Shared protocol-side counters, folded into the owning
     /// runtime's [`uc_sim::Metrics`] when attached.
     link_counters: Option<Arc<LinkCounters>>,
+    /// Streaming consistency monitor ([`UcStore::attach_monitor`]):
+    /// shadows a sampled fraction of keys and streams UC/EC/SEC/SNAP
+    /// verdicts as counters.
+    monitor: Option<OnlineMonitor<A>>,
+    /// Ring-buffer event trace ([`UcStore::attach_trace`]); clones
+    /// share the buffer, so one ring can span store and runtime.
+    trace: Option<TraceRing>,
     shards: Vec<Shard<A, F::Strategy, P::Backend>>,
 }
 
@@ -750,6 +759,8 @@ where
             partition: self.partition.clone(),
             heal_replay_bytes: self.heal_replay_bytes,
             link_counters: self.link_counters.clone(),
+            monitor: self.monitor.clone(),
+            trace: self.trace.clone(),
             shards: self.shards.clone(),
         }
     }
@@ -809,6 +820,8 @@ where
             partition: PartitionTracker::default(),
             heal_replay_bytes: 0,
             link_counters: None,
+            monitor: None,
+            trace: None,
             shards: (0..shards).map(Shard::empty).collect(),
         }
     }
@@ -941,6 +954,10 @@ where
             partition: PartitionTracker::default(),
             heal_replay_bytes: 0,
             link_counters: None,
+            // Observability attachments stay with whoever ran the
+            // protocol; the pool streams its own monitor counters.
+            monitor: None,
+            trace: None,
             shards,
         }
     }
@@ -964,6 +981,12 @@ where
     pub fn update(&mut self, key: Key, u: A::Update) -> StoreMsg<A::Update> {
         let ts = Timestamp::new(self.clock.tick(), self.pid);
         self.reserve_clock(ts.clock);
+        if let Some(mon) = &mut self.monitor {
+            mon.observe_update(key, ts.clock, ts.pid, &u);
+        }
+        if let Some(tr) = &self.trace {
+            tr.record(TraceKind::Update, key, ts.clock);
+        }
         let si = self.shard_of(key);
         self.shards[si].note_clock(ts.clock);
         let msg = self.engine_mut(key).local_update_at(ts, u);
@@ -979,9 +1002,22 @@ where
         // instantiating an engine.
         let si = self.shard_of(key);
         if !self.shards[si].objects.contains_key(&key) {
+            if let Some(mon) = &mut self.monitor {
+                mon.check_query_state(key, &self.adt.initial());
+            }
             return self.adt.observe(&self.adt.initial(), q);
         }
-        self.engine_mut(key).do_query_at(now, q)
+        let out = self.engine_mut(key).do_query_at(now, q);
+        // Sampled keys verify the served state against the monitor's
+        // shadow fold (the online UC check); unsampled keys pay one
+        // branch.
+        if self.monitor.as_ref().is_some_and(|m| m.sampled(key)) {
+            let state = self.engine_mut(key).materialize();
+            if let Some(mon) = &mut self.monitor {
+                mon.check_query_state(key, &state);
+            }
+        }
+        out
     }
 
     /// An immutable multi-key view at cut `cut`: every instantiated
@@ -1015,6 +1051,17 @@ where
                 states.insert(*key, engine.state_at_cut(cut)?);
             }
         }
+        if let Some(mon) = &mut self.monitor {
+            // Online SNAP check: every sampled key's recorded state
+            // must equal the shadow fold of the prefix ≤ cut (a torn
+            // cut surfaces here within the same call).
+            for (key, state) in &states {
+                mon.observe_cut(cut, *key, state);
+            }
+        }
+        if let Some(tr) = &self.trace {
+            tr.record(TraceKind::Snapshot, 0, cut);
+        }
         Ok(StoreSnapshot::new(self.adt.clone(), cut, states))
     }
 
@@ -1023,12 +1070,18 @@ where
         match m {
             StoreMsg::Update { key, msg } => {
                 self.clock.merge(msg.ts.clock);
+                if let Some(mon) = &mut self.monitor {
+                    mon.observe_update(*key, msg.ts.clock, msg.ts.pid, &msg.update);
+                }
                 let si = self.shard_of(*key);
                 self.shards[si].note_clock(msg.ts.clock);
                 self.engine_mut(*key).on_deliver(msg);
             }
             StoreMsg::Heartbeat { pid, clock } => {
                 self.clock.merge(*clock);
+                if let Some(mon) = &mut self.monitor {
+                    mon.observe_heartbeat(*pid, *clock);
+                }
                 for shard in &mut self.shards {
                     shard.observe_peer_clock(*pid, *clock);
                 }
@@ -1036,9 +1089,15 @@ where
             StoreMsg::Repair { updates } => {
                 for (key, msg) in updates {
                     self.clock.merge(msg.ts.clock);
+                    if let Some(mon) = &mut self.monitor {
+                        mon.observe_update(*key, msg.ts.clock, msg.ts.pid, &msg.update);
+                    }
                     let si = self.shard_of(*key);
                     self.shards[si].note_clock(msg.ts.clock);
                     self.engine_mut(*key).on_deliver(msg);
+                }
+                if let Some(tr) = &self.trace {
+                    tr.record(TraceKind::Heal, 0, updates.len() as u64);
                 }
             }
         }
@@ -1063,8 +1122,28 @@ where
         self.ingest_burst(msgs);
     }
 
+    /// Feed a burst's per-shard buckets to the monitor and trace (the
+    /// batched-ingest observation point, shared by the sequential and
+    /// scoped-thread paths). Heartbeats are observed where they are
+    /// applied ([`UcStore::apply_message`]).
+    #[allow(clippy::type_complexity)]
+    fn observe_buckets(&mut self, buckets: &[Vec<(Key, UpdateMsg<A::Update>)>]) {
+        if let Some(mon) = &mut self.monitor {
+            for (key, msg) in buckets.iter().flatten() {
+                mon.observe_update(*key, msg.ts.clock, msg.ts.pid, &msg.update);
+            }
+        }
+        if let Some(tr) = &self.trace {
+            let n: usize = buckets.iter().map(Vec::len).sum();
+            if n > 0 {
+                tr.record(TraceKind::Ingest, 0, n as u64);
+            }
+        }
+    }
+
     fn ingest_burst(&mut self, msgs: impl IntoIterator<Item = StoreMsg<A::Update>>) {
         let (buckets, heartbeats) = self.bucket_by_shard(msgs);
+        self.observe_buckets(&buckets);
         let UcStore {
             adt,
             pid,
@@ -1125,6 +1204,7 @@ where
         P::Backend: Send,
     {
         let (buckets, heartbeats) = self.bucket_by_shard(msgs.iter().cloned());
+        self.observe_buckets(&buckets);
         let UcStore {
             adt,
             pid,
@@ -1168,10 +1248,43 @@ where
         }
     }
 
-    /// Run per-key maintenance (compaction) on every engine.
+    /// Run per-key maintenance (compaction) on every engine, then the
+    /// monitor's window maintenance (stability compaction plus the
+    /// online EC convergence sweep over sampled keys).
     pub fn tick_maintenance(&mut self) {
         for shard in &mut self.shards {
             shard.tick_maintenance();
+        }
+        self.monitor_tick();
+    }
+
+    /// The monitor's slice of a maintenance tick: advance its
+    /// stability watermark with our own clock, compact now-final
+    /// windows, and compare every sampled key's materialized state
+    /// against its shadow fold (the online EC check).
+    fn monitor_tick(&mut self) {
+        if self.monitor.is_none() {
+            return;
+        }
+        let (pid, clock) = (self.pid, self.clock.now());
+        let sampled: Vec<Key> = {
+            let mon = self.monitor.as_mut().expect("checked above");
+            mon.observe_heartbeat(pid, clock);
+            mon.tick();
+            self.shards
+                .iter()
+                .flat_map(|s| s.objects.keys().copied())
+                .filter(|k| mon.sampled(*k))
+                .collect()
+        };
+        for key in sampled {
+            let state = self.engine_mut(key).materialize();
+            if let Some(mon) = &mut self.monitor {
+                mon.check_tick_state(key, &state);
+            }
+        }
+        if let Some(tr) = &self.trace {
+            tr.record(TraceKind::Tick, 0, clock);
         }
     }
 
@@ -1295,6 +1408,75 @@ where
     /// [`StoreMsg::Repair`] bursts on heal.
     pub fn heal_replay_bytes(&self) -> u64 {
         self.heal_replay_bytes
+    }
+
+    /// Attach a streaming consistency monitor. Keys that already have
+    /// engines are excluded from sampling — their prefix was never
+    /// observed, so judging them would only produce false positives.
+    /// Replaces any previously attached monitor.
+    pub fn attach_monitor(&mut self, cfg: MonitorConfig) {
+        let mut mon = OnlineMonitor::new(self.adt.clone(), cfg);
+        mon.exclude_keys(self.keys());
+        self.monitor = Some(mon);
+    }
+
+    /// The attached monitor, if any.
+    pub fn monitor(&self) -> Option<&OnlineMonitor<A>> {
+        self.monitor.as_ref()
+    }
+
+    /// The attached monitor's counters, if any.
+    pub fn monitor_stats(&self) -> Option<&MonitorStats> {
+        self.monitor.as_ref().map(|m| m.stats())
+    }
+
+    /// Attach a ring-buffer event trace (clones share the buffer, so
+    /// the caller keeps a handle to drain).
+    pub fn attach_trace(&mut self, ring: TraceRing) {
+        self.trace = Some(ring);
+    }
+
+    /// The attached trace ring, if any.
+    pub fn trace(&self) -> Option<&TraceRing> {
+        self.trace.as_ref()
+    }
+
+    /// Fold availability posture, down-peer watermarks, and the
+    /// monitor verdict into one health report. `n` is the cluster
+    /// size (what the protocol reads off `Ctx::n`).
+    pub fn health(&self, n: usize) -> Health {
+        let mut h = Health::new(format!("{:?}", self.partition.policy()));
+        h.down_peers = self.partition.down_peers().collect();
+        // "Unavailable" means reads are actually refused: a minority
+        // under `Refuse`. The wait-free postures keep serving and
+        // degrade through the down-peer list instead.
+        h.in_minority =
+            self.partition.in_minority(n) && self.partition.policy() == AvailabilityPolicy::Refuse;
+        if let Some(stats) = self.monitor_stats() {
+            h.monitor_clean = Some(stats.clean());
+            h.monitor_violations = stats.total_violations();
+            h.stable_bound = stats.stable_bound;
+        }
+        h.resolve()
+    }
+
+    /// Mirror this store's counters (and the monitor's, when
+    /// attached) into a metrics registry under `uc_store_*` /
+    /// `uc_monitor_*` names.
+    pub fn export_metrics(&self, reg: &Registry) {
+        reg.gauge("uc_store_keys").set(self.key_count() as i64);
+        reg.gauge("uc_store_log_len")
+            .set(self.total_log_len() as i64);
+        reg.gauge("uc_store_clock").set(self.clock.now() as i64);
+        reg.counter("uc_store_repair_events_total")
+            .set(self.total_repair_events());
+        reg.counter("uc_store_repair_steps_total")
+            .set(self.total_repair_steps());
+        reg.counter("uc_store_heal_replay_bytes_total")
+            .set(self.heal_replay_bytes);
+        if let Some(stats) = self.monitor_stats() {
+            crate::observe::export_monitor_stats(stats, reg);
+        }
     }
 
     /// Report `peer` unreachable. Records the outage-start watermark

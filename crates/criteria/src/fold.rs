@@ -1,0 +1,101 @@
+//! Shared folds over the update total order.
+//!
+//! Definition 3's arbitration orders updates by Lamport stamp
+//! `(clock, pid)`. Both the offline snapshot checker
+//! ([`crate::snapshot`]) and the streaming monitor ([`crate::online`])
+//! reduce to the same two primitives: collapse a (possibly duplicated,
+//! out-of-order) trace into that total order, and fold a prefix of it
+//! per key. Keeping them here gives the offline and online procedures
+//! one derivation point, so they cannot drift.
+
+use std::collections::BTreeMap;
+use uc_spec::UqAdt;
+
+/// The update total order: Lamport stamp `(clock, pid)` → the `(key,
+/// update)` it arbitrates. `BTreeMap` iteration *is* the total order.
+pub type TotalOrder<'a, U> = BTreeMap<(u64, u32), (u64, &'a U)>;
+
+/// Collapse a trace of stamped updates into the total order.
+///
+/// Duplicate deliveries of the same stamped update collapse silently
+/// (adversarial schedules redeliver); two *different* updates sharing
+/// a stamp violate the Lamport-uniqueness invariant and return the
+/// colliding stamp as the error.
+pub fn collapse_total_order<'a, U: PartialEq>(
+    updates: impl IntoIterator<Item = (u64, u64, u32, &'a U)>,
+) -> Result<TotalOrder<'a, U>, (u64, u32)> {
+    let mut order: TotalOrder<'a, U> = BTreeMap::new();
+    for (key, clock, pid, update) in updates {
+        match order.get(&(clock, pid)) {
+            None => {
+                order.insert((clock, pid), (key, update));
+            }
+            Some((prev_key, prev)) => {
+                if *prev_key != key || **prev != *update {
+                    return Err((clock, pid));
+                }
+            }
+        }
+    }
+    Ok(order)
+}
+
+/// Fold each key's updates stamped `clock ≤ cut`, in total order, from
+/// the initial state. Keys with no update in the prefix are absent.
+pub fn fold_prefix<A: UqAdt>(
+    adt: &A,
+    order: &TotalOrder<'_, A::Update>,
+    cut: u64,
+) -> BTreeMap<u64, A::State> {
+    let mut states: BTreeMap<u64, A::State> = BTreeMap::new();
+    for (&(clock, _), &(key, update)) in order.range(..=(cut, u32::MAX)) {
+        debug_assert!(clock <= cut);
+        let state = states.entry(key).or_insert_with(|| adt.initial());
+        adt.apply(state, update);
+    }
+    states
+}
+
+/// Apply an already-ordered run of updates to a state in place.
+pub fn apply_ordered<'a, A: UqAdt>(
+    adt: &A,
+    state: &mut A::State,
+    updates: impl IntoIterator<Item = &'a A::Update>,
+) where
+    A::Update: 'a,
+{
+    for u in updates {
+        adt.apply(state, u);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uc_spec::{CounterAdt, CounterUpdate};
+
+    #[test]
+    fn collapse_dedupes_and_detects_collisions() {
+        let a = CounterUpdate::Add(1);
+        let b = CounterUpdate::Add(2);
+        let ok = collapse_total_order([(0, 1, 0, &a), (0, 1, 0, &a), (1, 2, 0, &b)]).unwrap();
+        assert_eq!(ok.len(), 2);
+        let err = collapse_total_order([(0, 1, 0, &a), (0, 1, 0, &b)]);
+        assert_eq!(err.unwrap_err(), (1, 0));
+    }
+
+    #[test]
+    fn prefix_fold_respects_cut_and_keys() {
+        let adt = CounterAdt;
+        let u5 = CounterUpdate::Add(5);
+        let u7 = CounterUpdate::Add(7);
+        let u1 = CounterUpdate::Add(1);
+        let order = collapse_total_order([(0, 1, 0, &u5), (1, 2, 0, &u7), (0, 3, 1, &u1)]).unwrap();
+        let at2 = fold_prefix(&adt, &order, 2);
+        assert_eq!(at2.get(&0), Some(&5));
+        assert_eq!(at2.get(&1), Some(&7));
+        let at3 = fold_prefix(&adt, &order, 3);
+        assert_eq!(at3.get(&0), Some(&6));
+        assert!(fold_prefix(&adt, &order, 0).is_empty());
+    }
+}

@@ -17,6 +17,11 @@
 //! | [`cache`] | cache consistency for shared memory (Goodman) | §VI's OR-set remark |
 //! | [`snapshot`] | snapshot consistency for recorded multi-key cuts | partitionable follow-up |
 //!
+//! [`fold`] holds the shared total-order collapse and prefix-fold
+//! primitives, and [`online`] recasts the UC/EC/SEC/SNAP folds as a
+//! streaming, windowed [`OnlineMonitor`] that a live store samples
+//! into — the offline matrix as a production canary.
+//!
 //! The search-based procedures are exact but exponential (the
 //! underlying problems quantify over linearizations and visibility
 //! relations); each carries a [`CheckConfig`] budget and answers
@@ -36,8 +41,10 @@
 pub mod cache;
 pub mod config;
 pub mod ec;
+pub mod fold;
 pub mod insert_wins;
 pub mod matrix;
+pub mod online;
 pub mod pc;
 pub mod sc;
 pub mod sec;
@@ -51,6 +58,7 @@ pub use cache::check_cache_memory;
 pub use config::CheckConfig;
 pub use ec::check_ec;
 pub use insert_wins::check_insert_wins;
+pub use online::{MonitorConfig, MonitorStats, OnlineMonitor};
 pub use pc::check_pc;
 pub use sc::check_sc;
 pub use sec::check_sec;

@@ -20,8 +20,8 @@
 //! simulator schedule — can record [`CutUpdate`]s and [`RecordedCut`]s
 //! and be judged by the same procedure.
 
+use crate::fold::{collapse_total_order, fold_prefix};
 use crate::verdict::{Verdict, Witness};
-use std::collections::BTreeMap;
 use uc_spec::UqAdt;
 
 /// One update as a snapshot trace records it: which key it targets and
@@ -70,32 +70,22 @@ pub fn check_snapshot_consistency<A: UqAdt>(
     cuts: &[RecordedCut<A::State>],
 ) -> Verdict {
     // Collapse the trace into the update total order: (clock, pid) →
-    // (key, update), rejecting stamp collisions.
-    let mut order: BTreeMap<(u64, u32), (u64, &A::Update)> = BTreeMap::new();
-    for u in trace {
-        match order.get(&(u.clock, u.pid)) {
-            None => {
-                order.insert((u.clock, u.pid), (u.key, &u.update));
-            }
-            Some((key, prev)) => {
-                if *key != u.key || **prev != u.update {
-                    return Verdict::Fails(format!(
-                        "stamp ({}, {}) reused by two different updates",
-                        u.clock, u.pid
-                    ));
-                }
-            }
+    // (key, update), rejecting stamp collisions. Shared with the
+    // streaming monitor (crate::fold) so the offline and online
+    // procedures judge by the same arbitration.
+    let order = match collapse_total_order(trace.iter().map(|u| (u.key, u.clock, u.pid, &u.update)))
+    {
+        Ok(order) => order,
+        Err((clock, pid)) => {
+            return Verdict::Fails(format!(
+                "stamp ({clock}, {pid}) reused by two different updates"
+            ));
         }
-    }
+    };
     let mut checked = Vec::with_capacity(cuts.len());
     for rc in cuts {
         // Fold each key's prefix ≤ cut in total order.
-        let mut expected: BTreeMap<u64, A::State> = BTreeMap::new();
-        for (&(clock, _), &(key, update)) in order.range(..=(rc.cut, u32::MAX)) {
-            debug_assert!(clock <= rc.cut);
-            let state = expected.entry(key).or_insert_with(|| adt.initial());
-            adt.apply(state, update);
-        }
+        let expected = fold_prefix(adt, &order, rc.cut);
         let mut seen = Vec::with_capacity(rc.states.len());
         for (key, state) in &rc.states {
             if seen.contains(key) {

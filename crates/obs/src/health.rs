@@ -1,0 +1,180 @@
+//! The one-glance health surface.
+//!
+//! A store, pool, or cluster folds its availability posture, partition
+//! view, poison state, and (when attached) online-monitor verdict into
+//! a [`Health`] value. The overall [`HealthStatus`] is the worst of
+//! its inputs, so an operator reads one field before anything else.
+
+/// Overall condition, worst-of of every folded signal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HealthStatus {
+    /// Full quorum, no poison, monitor (if any) clean.
+    Healthy,
+    /// Serving, but something needs attention: down peers, minority
+    /// reads, or consistency-monitor violations.
+    Degraded,
+    /// A majority of peers is unreachable under a quorum posture.
+    Unavailable,
+    /// An internal invariant broke (worker panic, poisoned pool);
+    /// results can no longer be trusted.
+    Poisoned,
+}
+
+impl std::fmt::Display for HealthStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            HealthStatus::Healthy => "healthy",
+            HealthStatus::Degraded => "degraded",
+            HealthStatus::Unavailable => "unavailable",
+            HealthStatus::Poisoned => "poisoned",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A point-in-time health report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Health {
+    /// Worst-of summary of everything below.
+    pub status: HealthStatus,
+    /// The availability posture in force (e.g. `"AlwaysAvailable"`,
+    /// `"QuorumReads"`), as the owner describes it.
+    pub posture: String,
+    /// True when this node currently sees itself in a minority
+    /// partition under its posture.
+    pub in_minority: bool,
+    /// `(pid, last_seen_clock)` for every peer currently marked down.
+    pub down_peers: Vec<(u32, u64)>,
+    /// The poison report, if an internal invariant broke.
+    pub poisoned: Option<String>,
+    /// Online-monitor verdict: `Some(true)` clean, `Some(false)`
+    /// violations observed, `None` when no monitor is attached.
+    pub monitor_clean: Option<bool>,
+    /// Total consistency violations the monitor has counted.
+    pub monitor_violations: u64,
+    /// The stability watermark below which verdicts are final.
+    pub stable_bound: u64,
+}
+
+impl Health {
+    /// A healthy baseline for `posture`; callers fold degradations in
+    /// and then call [`Health::resolve`].
+    pub fn new(posture: impl Into<String>) -> Self {
+        Health {
+            status: HealthStatus::Healthy,
+            posture: posture.into(),
+            in_minority: false,
+            down_peers: Vec::new(),
+            poisoned: None,
+            monitor_clean: None,
+            monitor_violations: 0,
+            stable_bound: 0,
+        }
+    }
+
+    /// Recompute `status` as the worst implied by the folded fields.
+    /// Explicitly raised statuses are kept (worst-of, never lowered).
+    pub fn resolve(mut self) -> Self {
+        let mut status = self.status;
+        if !self.down_peers.is_empty() || self.monitor_clean == Some(false) {
+            status = status.max(HealthStatus::Degraded);
+        }
+        if self.in_minority {
+            status = status.max(HealthStatus::Unavailable);
+        }
+        if self.poisoned.is_some() {
+            status = status.max(HealthStatus::Poisoned);
+        }
+        self.status = status;
+        self
+    }
+
+    /// A compact multi-line text report for logs and examples.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "status: {}", self.status);
+        let _ = writeln!(out, "posture: {}", self.posture);
+        let _ = writeln!(out, "in_minority: {}", self.in_minority);
+        if self.down_peers.is_empty() {
+            let _ = writeln!(out, "down_peers: none");
+        } else {
+            let peers: Vec<String> = self
+                .down_peers
+                .iter()
+                .map(|(p, c)| format!("p{p}@{c}"))
+                .collect();
+            let _ = writeln!(out, "down_peers: {}", peers.join(" "));
+        }
+        if let Some(p) = &self.poisoned {
+            let _ = writeln!(out, "poisoned: {p}");
+        }
+        match self.monitor_clean {
+            Some(true) => {
+                let _ = writeln!(out, "monitor: clean (stable_bound {})", self.stable_bound);
+            }
+            Some(false) => {
+                let _ = writeln!(
+                    out,
+                    "monitor: {} violation(s) (stable_bound {})",
+                    self.monitor_violations, self.stable_bound
+                );
+            }
+            None => {
+                let _ = writeln!(out, "monitor: not attached");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_baseline() {
+        let h = Health::new("AlwaysAvailable").resolve();
+        assert_eq!(h.status, HealthStatus::Healthy);
+        assert!(h.render().contains("status: healthy"));
+        assert!(h.render().contains("monitor: not attached"));
+    }
+
+    #[test]
+    fn down_peers_degrade() {
+        let mut h = Health::new("QuorumReads");
+        h.down_peers.push((2, 17));
+        let h = h.resolve();
+        assert_eq!(h.status, HealthStatus::Degraded);
+        assert!(h.render().contains("down_peers: p2@17"));
+    }
+
+    #[test]
+    fn minority_beats_degraded_and_poison_beats_all() {
+        let mut h = Health::new("QuorumReads");
+        h.down_peers.push((1, 3));
+        h.in_minority = true;
+        assert_eq!(h.clone().resolve().status, HealthStatus::Unavailable);
+        h.poisoned = Some("worker panic".into());
+        let h = h.resolve();
+        assert_eq!(h.status, HealthStatus::Poisoned);
+        assert!(h.render().contains("poisoned: worker panic"));
+    }
+
+    #[test]
+    fn monitor_violations_degrade() {
+        let mut h = Health::new("AlwaysAvailable");
+        h.monitor_clean = Some(false);
+        h.monitor_violations = 2;
+        let h = h.resolve();
+        assert_eq!(h.status, HealthStatus::Degraded);
+        assert!(h.render().contains("2 violation(s)"));
+    }
+
+    #[test]
+    fn explicit_status_is_never_lowered() {
+        let mut h = Health::new("AlwaysAvailable");
+        h.status = HealthStatus::Unavailable;
+        assert_eq!(h.resolve().status, HealthStatus::Unavailable);
+    }
+}

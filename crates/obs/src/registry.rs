@@ -1,0 +1,433 @@
+//! The atomic metrics registry: named counter/gauge/histogram handles
+//! with lock-free updates and dependency-free exporters.
+//!
+//! Handles are cheap `Arc`-backed clones. The registry's mutex guards
+//! only name → handle resolution; every `inc`/`set`/`observe` after
+//! that is a relaxed atomic on shared cells, so a metric bumped from a
+//! shedding storm or a pool worker's ingest loop never serializes
+//! producers the way a `Mutex<Metrics>` does.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotone event tally. Clones share the same cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A free-standing counter (not registered anywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n` (relaxed; counters are monotone tallies).
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite with an absolute total. For *mirroring* an externally
+    /// maintained monotone tally (e.g. a `uc_sim::Metrics` field or a
+    /// pool's worker stats) into the registry — never mix `set` and
+    /// `add` on the same counter.
+    pub fn set(&self, total: u64) {
+        self.0.store(total, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous value (queue depths, clock lags).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A free-standing gauge (not registered anywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Raise to `v` if it is higher (high-water marks).
+    pub fn fetch_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Power-of-two bucket count: bucket `k` holds values in
+/// `[2^(k-1), 2^k)`, bucket 0 holds zero, the last bucket is open.
+const BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistogramCore {
+    fn default() -> Self {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A lock-free log2-bucket histogram of `u64` samples (latencies in
+/// ns, batch sizes, replay bytes). Quantiles are approximate — the
+/// reported value is the upper bound of the bucket the quantile falls
+/// in — which is the usual trade for a fixed-size wait-free histogram.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<HistogramCore>);
+
+/// Which bucket a value lands in: 0 → 0, else `64 - leading_zeros`.
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+impl Histogram {
+    /// A free-standing histogram (not registered anywhere).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one sample.
+    pub fn observe(&self, v: u64) {
+        let c = &self.0;
+        c.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        c.count.fetch_add(1, Ordering::Relaxed);
+        c.sum.fetch_add(v, Ordering::Relaxed);
+        c.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the upper bound of the
+    /// log2 bucket the `⌈q·count⌉`-th sample falls in (0 when empty).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (k, b) in self.0.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper(k);
+            }
+        }
+        self.max()
+    }
+
+    /// Freeze into a point-in-time summary.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Upper bound of bucket `k` (inclusive representative value).
+fn bucket_upper(k: usize) -> u64 {
+    if k == 0 {
+        0
+    } else if k >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << k) - 1
+    }
+}
+
+/// Point-in-time summary of one [`Histogram`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Approximate median (log2-bucket upper bound).
+    pub p50: u64,
+    /// Approximate 99th percentile (log2-bucket upper bound).
+    pub p99: u64,
+}
+
+#[derive(Default)]
+struct Named {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// The name → handle registry. Cloning shares the underlying map, so
+/// one registry can be handed to a store, its pool, and the hosting
+/// runtime and every layer's metrics land in the same export.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<Named>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or create the counter named `name`. Call once and keep the
+    /// handle; the lookup locks, the handle's `inc`/`add` never do.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        g.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        g.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        g.histograms.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Freeze every registered metric into an exportable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        MetricsSnapshot {
+            counters: g
+                .counters
+                .iter()
+                .map(|(n, c)| (n.clone(), c.get()))
+                .collect(),
+            gauges: g.gauges.iter().map(|(n, c)| (n.clone(), c.get())).collect(),
+            histograms: g
+                .histograms
+                .iter()
+                .map(|(n, h)| (n.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+/// A frozen view of a [`Registry`] with text exporters. Metric names
+/// are expected to be exporter-safe already (`[a-z0-9_]`, the
+/// convention every caller in this workspace follows).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge, name-sorted.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, summary)` for every histogram, name-sorted.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Look a counter up by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Look a gauge up by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Prometheus text exposition: one `# TYPE` line and one sample
+    /// per metric; histograms export `_count`/`_sum`/`_max`/`_p50`/
+    /// `_p99` summary samples.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} summary");
+            let _ = writeln!(out, "{name}_count {}", h.count);
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_max {}", h.max);
+            let _ = writeln!(out, "{name}_p50 {}", h.p50);
+            let _ = writeln!(out, "{name}_p99 {}", h.p99);
+        }
+        out
+    }
+
+    /// A single JSON object: `{"counters": {...}, "gauges": {...},
+    /// "histograms": {name: {count, sum, max, p50, p99}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{name}\":{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{name}\":{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p99\":{}}}",
+                h.count, h.sum, h.max, h.p50, h.p99
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_one_cell() {
+        let r = Registry::new();
+        let a = r.counter("uc_test_total");
+        let b = r.counter("uc_test_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("uc_test_total").get(), 3);
+    }
+
+    #[test]
+    fn gauge_set_add_max() {
+        let g = Gauge::new();
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+        g.fetch_max(10);
+        g.fetch_max(7);
+        assert_eq!(g.get(), 10);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 2, 3, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 1107);
+        assert_eq!(h.max(), 1000);
+        // Median sample is 2 → bucket [2,4) → upper bound 3.
+        assert_eq!(h.quantile(0.5), 3);
+        // p99 lands on the largest sample's bucket [512,1024).
+        assert_eq!(h.quantile(0.99), 1023);
+        assert_eq!(h.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn bucket_of_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn snapshot_renders_both_formats() {
+        let r = Registry::new();
+        r.counter("uc_events_total").add(4);
+        r.gauge("uc_depth").set(-2);
+        r.histogram("uc_latency_ns").observe(7);
+        let s = r.snapshot();
+        assert_eq!(s.counter("uc_events_total"), Some(4));
+        assert_eq!(s.gauge("uc_depth"), Some(-2));
+        let text = s.render_prometheus();
+        assert!(text.contains("# TYPE uc_events_total counter"));
+        assert!(text.contains("uc_events_total 4"));
+        assert!(text.contains("uc_depth -2"));
+        assert!(text.contains("uc_latency_ns_count 1"));
+        assert!(text.contains("uc_latency_ns_p99 7"));
+        let json = s.to_json();
+        assert!(json.contains("\"uc_events_total\":4"));
+        assert!(json.contains("\"uc_depth\":-2"));
+        assert!(json.contains("\"count\":1"));
+    }
+
+    #[test]
+    fn concurrent_bumps_lose_nothing() {
+        let r = Registry::new();
+        let c = r.counter("uc_contended_total");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 40_000);
+    }
+}

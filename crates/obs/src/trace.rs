@@ -1,0 +1,168 @@
+//! Per-node ring-buffer event traces.
+//!
+//! A [`TraceRing`] is a bounded buffer of fixed-size [`TraceEvent`]s —
+//! cheap enough to leave on in production. Producers record the
+//! interesting span points of an update's life (delivery → repair →
+//! publish) and an operator drains the ring after an incident. When
+//! the ring is full the oldest events are evicted and a dropped
+//! counter is bumped, so loss is visible rather than silent.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What happened at one span point of an update's life.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A local update entered the log.
+    Update,
+    /// A remote batch was ingested for a key.
+    Ingest,
+    /// A repair pass reordered or refolded a key's log.
+    Repair,
+    /// A snapshot/cut was materialized over a key.
+    Snapshot,
+    /// A heal replay delivered a missed suffix.
+    Heal,
+    /// A maintenance tick ran (stability advance, GC, monitor fold).
+    Tick,
+    /// A message was shed, dropped, or otherwise lost.
+    Shed,
+}
+
+/// One fixed-size trace record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Monotone per-ring sequence number (assigned at record time).
+    pub seq: u64,
+    /// The span point.
+    pub kind: TraceKind,
+    /// The key involved, or 0 when not key-scoped.
+    pub key: u64,
+    /// Kind-specific payload: batch length, repair steps, cut clock…
+    pub value: u64,
+}
+
+struct RingInner {
+    buf: VecDeque<TraceEvent>,
+    next_seq: u64,
+}
+
+/// A bounded, shareable ring of [`TraceEvent`]s. Clones share the
+/// same buffer, so a store can hand one to its pool workers and drain
+/// a single merged stream.
+#[derive(Clone)]
+pub struct TraceRing {
+    inner: Arc<Mutex<RingInner>>,
+    capacity: usize,
+    dropped: Arc<AtomicU64>,
+}
+
+impl TraceRing {
+    /// A ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        TraceRing {
+            inner: Arc::new(Mutex::new(RingInner {
+                buf: VecDeque::with_capacity(capacity),
+                next_seq: 0,
+            })),
+            capacity,
+            dropped: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Append an event, evicting the oldest when full.
+    pub fn record(&self, kind: TraceKind, key: u64, value: u64) {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = g.next_seq;
+        g.next_seq += 1;
+        if g.buf.len() == self.capacity {
+            g.buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        g.buf.push_back(TraceEvent {
+            seq,
+            kind,
+            key,
+            value,
+        });
+    }
+
+    /// Take every buffered event, oldest first, leaving the ring empty.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        g.buf.drain(..).collect()
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .buf
+            .len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted unread because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRing")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_drains_in_order() {
+        let ring = TraceRing::new(8);
+        ring.record(TraceKind::Update, 1, 10);
+        ring.record(TraceKind::Ingest, 2, 3);
+        let events = ring.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[0].kind, TraceKind::Update);
+        assert_eq!(events[1].key, 2);
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn overflow_evicts_oldest_and_counts() {
+        let ring = TraceRing::new(2);
+        ring.record(TraceKind::Update, 1, 0);
+        ring.record(TraceKind::Update, 2, 0);
+        ring.record(TraceKind::Update, 3, 0);
+        assert_eq!(ring.dropped(), 1);
+        let events = ring.drain();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].key, 2);
+        assert_eq!(events[1].seq, 2);
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let a = TraceRing::new(4);
+        let b = a.clone();
+        a.record(TraceKind::Repair, 7, 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.drain()[0].key, 7);
+        assert!(a.is_empty());
+    }
+}

@@ -72,6 +72,7 @@ use std::sync::mpsc::{channel, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use uc_obs::{Counter, Registry};
 use uc_sim::harness::{panic_message, quiesce_spin, PoisonTable};
 use uc_sim::{ClusterHarness, Ctx, Metrics, NodeError, Pid, Protocol};
 
@@ -165,6 +166,38 @@ enum Activation<P: Protocol> {
     Batch(Vec<(Pid, P::Msg)>),
 }
 
+/// Hot-path tallies kept *off* the [`Metrics`] mutex. `deliver` runs
+/// once per node-to-node message on every worker, so a mutex bump on
+/// its shed/dead-drop exits serialized the whole pool exactly when it
+/// was busiest; these are single relaxed `fetch_add`s instead.
+/// [`EventCluster::metrics`] folds them back into the cloned
+/// [`Metrics`], and [`EventCluster::obs_registry`] exposes the
+/// underlying registry for exporters.
+struct HotCounters {
+    registry: Registry,
+    messages_shed: Counter,
+    messages_dropped_crashed: Counter,
+    invocations: Counter,
+}
+
+impl HotCounters {
+    fn new() -> Self {
+        let registry = Registry::new();
+        // Resolve the handles once: the name lookup locks, the
+        // handles' `inc`/`add` never do.
+        let messages_shed = registry.counter("uc_reactor_messages_shed_total");
+        let messages_dropped_crashed =
+            registry.counter("uc_reactor_messages_dropped_crashed_total");
+        let invocations = registry.counter("uc_reactor_invocations_total");
+        HotCounters {
+            registry,
+            messages_shed,
+            messages_dropped_crashed,
+            invocations,
+        }
+    }
+}
+
 struct Shared<P: Protocol> {
     nodes: Vec<NodeSlot<P>>,
     ready: Mutex<VecDeque<Pid>>,
@@ -176,6 +209,9 @@ struct Shared<P: Protocol> {
     /// a stable zero really is quiescence).
     in_flight: AtomicI64,
     metrics: Mutex<Metrics>,
+    /// Lock-free counters for the per-message hot paths; folded into
+    /// `metrics` on read.
+    hot: HotCounters,
     /// Per-node panic records (shared with `ThreadedCluster`'s
     /// implementation via `uc_sim::harness`).
     poison: PoisonTable,
@@ -239,7 +275,7 @@ impl<P: Protocol> Shared<P> {
         drop(drained);
         if dropped > 0 {
             self.in_flight.fetch_sub(dropped, Ordering::SeqCst);
-            self.metrics.lock().unwrap().messages_dropped_crashed += dropped as u64;
+            self.hot.messages_dropped_crashed.add(dropped as u64);
         }
         slot.space.notify_all();
     }
@@ -264,7 +300,7 @@ impl<P: Protocol> Shared<P> {
         let slot = &self.nodes[to as usize];
         if slot.dead.load(Ordering::Acquire) {
             self.in_flight.fetch_sub(1, Ordering::SeqCst);
-            self.metrics.lock().unwrap().messages_dropped_crashed += 1;
+            self.hot.messages_dropped_crashed.inc();
             return;
         }
         let len = {
@@ -272,7 +308,7 @@ impl<P: Protocol> Shared<P> {
             if self.backpressure == Backpressure::Shed && mb.len() >= self.mailbox_depth {
                 drop(mb);
                 self.in_flight.fetch_sub(1, Ordering::SeqCst);
-                self.metrics.lock().unwrap().messages_shed += 1;
+                self.hot.messages_shed.inc();
                 return;
             }
             mb.push_back(Envelope::Deliver(from, msg));
@@ -433,7 +469,7 @@ impl<P: Protocol> Shared<P> {
                 drop(state);
                 match outcome {
                     Some(Ok(output)) => {
-                        self.metrics.lock().unwrap().invocations += 1;
+                        self.hot.invocations.inc();
                         self.dispatch(idx, outbox);
                         let _ = reply.send(output);
                     }
@@ -626,6 +662,7 @@ where
             timers: Mutex::new(TimerWheel::new()),
             in_flight: AtomicI64::new(0),
             metrics: Mutex::new(Metrics::new(n)),
+            hot: HotCounters::new(),
             poison: PoisonTable::new(n),
             stop: AtomicBool::new(false),
             epoch: Instant::now(),
@@ -744,13 +781,32 @@ where
         quiesce_spin(&self.shared.in_flight, || self.shared.poisoned())
     }
 
-    /// Snapshot the shared metrics (plus any attached link counters).
+    /// Snapshot the shared metrics (plus any attached link counters
+    /// and the lock-free hot-path tallies).
     pub fn metrics(&self) -> Metrics {
         let mut m = self.shared.metrics.lock().unwrap().clone();
+        let hot = &self.shared.hot;
+        m.messages_shed += hot.messages_shed.get();
+        m.messages_dropped_crashed += hot.messages_dropped_crashed.get();
+        m.invocations += hot.invocations.get();
         if let Some(c) = &self.link_counters {
             c.fold_into(&mut m);
         }
         m
+    }
+
+    /// The cluster's lock-free counter registry (`uc_reactor_*`
+    /// names). Cloning shares the underlying map, so callers can hand
+    /// the same registry to an exporter, or register their own
+    /// counters alongside the reactor's.
+    pub fn obs_registry(&self) -> Registry {
+        self.shared.hot.registry.clone()
+    }
+
+    /// Mirror this cluster's full [`Metrics`] (folded as in
+    /// [`EventCluster::metrics`]) into `reg` under `uc_sim_*` names.
+    pub fn export_metrics(&self, reg: &Registry) {
+        self.metrics().export_into(reg);
     }
 
     /// Quiesce, stop the workers, and return the final node states.

@@ -111,6 +111,83 @@ impl Metrics {
             self.messages_sent as f64 / self.invocations as f64
         }
     }
+
+    /// Record one application invocation handed to a live process.
+    pub fn on_invocation(&mut self) {
+        self.invocations += 1;
+    }
+
+    /// Record an invocation ignored because the process had crashed.
+    pub fn on_invocation_crashed(&mut self) {
+        self.invocations_on_crashed += 1;
+    }
+
+    /// Record `n` messages dropped because their destination had
+    /// crashed.
+    pub fn on_dropped_crashed(&mut self, n: u64) {
+        self.messages_dropped_crashed += n;
+    }
+
+    /// Record `n` messages shed by a bounded mailbox under
+    /// backpressure.
+    pub fn on_shed(&mut self, n: u64) {
+        self.messages_shed += n;
+    }
+
+    /// Record `n` messages dropped by the network itself (link loss,
+    /// outage window, retry-queue shed).
+    pub fn on_dropped(&mut self, n: u64) {
+        self.messages_dropped += n;
+    }
+
+    /// Record `n` duplicate copies injected by link-level duplication.
+    pub fn on_duplicated(&mut self, n: u64) {
+        self.messages_duplicated += n;
+    }
+
+    /// Record `n` messages delayed at least once by a partition.
+    pub fn on_delayed_partition(&mut self, n: u64) {
+        self.messages_delayed_by_partition += n;
+    }
+
+    /// Mirror these counters into a [`uc_obs::Registry`] under
+    /// `uc_sim_*` names, plus the derived ratios as gauges scaled by
+    /// 1000 (integer registries; `uc_sim_mean_batch_milli = 2500`
+    /// means 2.5 messages per activation).
+    pub fn export_into(&self, reg: &uc_obs::Registry) {
+        reg.counter("uc_sim_messages_sent_total")
+            .set(self.messages_sent);
+        reg.counter("uc_sim_messages_delivered_total")
+            .set(self.messages_delivered);
+        reg.counter("uc_sim_messages_dropped_crashed_total")
+            .set(self.messages_dropped_crashed);
+        reg.counter("uc_sim_messages_delayed_by_partition_total")
+            .set(self.messages_delayed_by_partition);
+        reg.counter("uc_sim_batches_delivered_total")
+            .set(self.batches_delivered);
+        reg.counter("uc_sim_delivery_activations_total")
+            .set(self.delivery_activations);
+        reg.gauge("uc_sim_max_batch").set(self.max_batch as i64);
+        reg.counter("uc_sim_messages_shed_total")
+            .set(self.messages_shed);
+        reg.counter("uc_sim_invocations_total")
+            .set(self.invocations);
+        reg.counter("uc_sim_invocations_on_crashed_total")
+            .set(self.invocations_on_crashed);
+        reg.counter("uc_sim_bytes_sent_total").set(self.bytes_sent);
+        reg.counter("uc_sim_messages_dropped_total")
+            .set(self.messages_dropped);
+        reg.counter("uc_sim_messages_duplicated_total")
+            .set(self.messages_duplicated);
+        reg.counter("uc_sim_retransmits_total")
+            .set(self.retransmits);
+        reg.counter("uc_sim_heal_replay_bytes_total")
+            .set(self.heal_replay_bytes);
+        reg.gauge("uc_sim_mean_batch_milli")
+            .set((self.mean_batch() * 1000.0) as i64);
+        reg.gauge("uc_sim_messages_per_invocation_milli")
+            .set((self.messages_per_invocation() * 1000.0) as i64);
+    }
 }
 
 /// Wait-free counters for events that happen *inside* protocol code

@@ -288,7 +288,7 @@ impl<P: Protocol> Simulation<P> {
     /// output (or `None` if the process has crashed).
     pub fn invoke_now(&mut self, pid: Pid, input: P::Input) -> Option<P::Output> {
         if self.crashed[pid as usize] {
-            self.metrics.invocations_on_crashed += 1;
+            self.metrics.on_invocation_crashed();
             return None;
         }
         Some(self.do_invoke(pid, input))
@@ -300,7 +300,7 @@ impl<P: Protocol> Simulation<P> {
             let mut ctx = Ctx::new(pid, self.cfg.n, self.now, &mut outbox);
             self.procs[pid as usize].on_invoke(input.clone(), &mut ctx)
         };
-        self.metrics.invocations += 1;
+        self.metrics.on_invocation();
         self.records.push(InvocationRecord {
             time: self.now,
             pid,
@@ -330,10 +330,10 @@ impl<P: Protocol> Simulation<P> {
                 // so `fifo_links` does not apply here.
                 let plan = topo.plan(from, to, self.now, size, &mut self.rng);
                 if plan.delays.is_empty() {
-                    self.metrics.messages_dropped += 1;
+                    self.metrics.on_dropped(1);
                     continue;
                 }
-                self.metrics.messages_duplicated += plan.delays.len() as u64 - 1;
+                self.metrics.on_duplicated(plan.delays.len() as u64 - 1);
                 let last = plan.delays.len() - 1;
                 for (i, d) in plan.delays.into_iter().enumerate() {
                     let t = self.delivery.align(self.now + d);
@@ -402,7 +402,7 @@ impl<P: Protocol> Simulation<P> {
             }
             Action::Invoke(input) => {
                 if self.crashed[ev.pid as usize] {
-                    self.metrics.invocations_on_crashed += 1;
+                    self.metrics.on_invocation_crashed();
                 } else {
                     self.do_invoke(ev.pid, input);
                 }
@@ -414,10 +414,10 @@ impl<P: Protocol> Simulation<P> {
             }
             Action::Deliver { from, msg } => {
                 if self.crashed[ev.pid as usize] {
-                    self.metrics.messages_dropped_crashed += 1;
+                    self.metrics.on_dropped_crashed(1);
                 } else if let Some(open) = self.partitions.next_open(from, ev.pid, self.now) {
                     // Blocked link: reliability means delay, not drop.
-                    self.metrics.messages_delayed_by_partition += 1;
+                    self.metrics.on_delayed_partition(1);
                     self.push_with_seq(open, ev.pid, Action::Deliver { from, msg }, ev.seq);
                 } else {
                     let mut outbox = Vec::new();
@@ -461,13 +461,13 @@ impl<P: Protocol> Simulation<P> {
             match ev.action {
                 Action::Deliver { from, msg } => {
                     if self.crashed[ev.pid as usize] {
-                        self.metrics.messages_dropped_crashed += 1;
+                        self.metrics.on_dropped_crashed(1);
                     } else if let Some(open) = self.partitions.next_open(from, ev.pid, t) {
                         // Blocked link: reliability means delay, not
                         // drop; the retry keeps to the flush grid and
                         // keeps its original seq so send order still
                         // breaks same-instant ties after the heal.
-                        self.metrics.messages_delayed_by_partition += 1;
+                        self.metrics.on_delayed_partition(1);
                         let open = self.delivery.align(open);
                         self.push_with_seq(open, ev.pid, Action::Deliver { from, msg }, ev.seq);
                     } else {
@@ -482,7 +482,7 @@ impl<P: Protocol> Simulation<P> {
                 Action::Crash => self.crashed[pid as usize] = true,
                 Action::Invoke(input) => {
                     if self.crashed[pid as usize] {
-                        self.metrics.invocations_on_crashed += 1;
+                        self.metrics.on_invocation_crashed();
                     } else {
                         self.do_invoke(pid, input);
                     }
@@ -507,7 +507,7 @@ impl<P: Protocol> Simulation<P> {
             let run = batch.len() as u64;
             if self.crashed[dest as usize] {
                 // Crashed by a same-instant control event.
-                self.metrics.messages_dropped_crashed += run;
+                self.metrics.on_dropped_crashed(run);
                 continue;
             }
             let mut outbox = Vec::new();

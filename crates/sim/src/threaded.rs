@@ -257,7 +257,7 @@ fn node_loop<P>(
                 // of the in-flight count (a poisoned node behaves like
                 // a crashed one).
                 in_flight.fetch_sub(1, Ordering::SeqCst);
-                metrics.lock().unwrap().messages_dropped_crashed += 1;
+                metrics.lock().unwrap().on_dropped_crashed(1);
             }
         }
     };
@@ -285,7 +285,7 @@ fn node_loop<P>(
                             return;
                         }
                     };
-                    metrics.lock().unwrap().invocations += 1;
+                    metrics.lock().unwrap().on_invocation();
                     dispatch(pid, outbox);
                     let _ = reply.send(output);
                 }

@@ -27,7 +27,12 @@
 //!   [`SegmentFactory`](storage::SegmentFactory) keeps CRC-framed
 //!   on-disk log segments plus compacted base snapshots, so stores
 //!   survive `kill` + [`UcStore::reopen`](core::UcStore::reopen);
-//! * [`crdt`] — the eventually consistent baselines of §VI.
+//! * [`crdt`] — the eventually consistent baselines of §VI;
+//! * [`obs`] — dependency-free telemetry: lock-free metric
+//!   registries, per-node trace rings, Prometheus/JSON exporters, and
+//!   the [`Health`](obs::Health) surface fed by the streaming
+//!   consistency monitor
+//!   ([`OnlineMonitor`](criteria::online::OnlineMonitor)).
 //!
 //! ## Quickstart
 //!
@@ -82,6 +87,7 @@ pub use uc_core as core;
 pub use uc_crdt as crdt;
 pub use uc_criteria as criteria;
 pub use uc_history as history;
+pub use uc_obs as obs;
 pub use uc_runtime as runtime;
 pub use uc_sim as sim;
 pub use uc_spec as spec;
