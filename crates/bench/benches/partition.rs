@@ -1,5 +1,6 @@
 //! E17 — reconciliation-on-heal: anti-entropy suffix streaming vs a
-//! full-log replay, as the partition-era divergence grows.
+//! full-log replay, and the digest-guided **chunked** heal vs the
+//! monolithic burst, as the partition-era divergence grows.
 //!
 //! A majority replica and a partitioned (minority) replica share a
 //! common prefix; the majority then ingests `D` further updates the
@@ -11,11 +12,24 @@
 //! state-transfer protocol without watermarks pays — replays the
 //! *entire* log.
 //!
-//! Three timed columns per divergence size: streaming the heal
-//! suffix, applying the burst on the healed replica, and the full-log
-//! replay baseline. Every rep asserts the healed replica's per-key
-//! states equal the majority's (which, by construction, equals a
-//! never-partitioned control) — the CI smoke step relies on this.
+//! Three phases per run:
+//!
+//! 1. **stream vs full-replay** — the PR 8 columns: collecting the
+//!    watermarked suffix vs collecting the whole log.
+//! 2. **chunked vs monolithic** — the same heal driven end to end
+//!    through the digest-guided, flow-controlled chunk dialogue
+//!    ([`UcStore::heal_peer`]) and through the one-shot
+//!    [`UcStore::peer_up_monolithic`] burst. Reports wall-clock for
+//!    both and the chunked path's *peak in-flight entries* (sampled
+//!    off the `heal_bytes_in_flight` gauge every protocol step),
+//!    asserting it stays ≤ `window * chunk` — O(chunk) peak memory —
+//!    while the monolithic burst holds the entire divergence at once.
+//!    Every rep asserts chunk-healed == monolithic-healed ==
+//!    never-partitioned, per key.
+//! 3. **digest skip** — a 16-shard pair diverging in exactly one key:
+//!    the digest exchange must skip ≥ 90% of its slots (asserted),
+//!    and the diverged key must still stream (equality-asserted) —
+//!    the O(divergence) win and its collision-resistance gate.
 //!
 //! Run with `cargo bench -p uc-bench --bench partition`. Results are
 //! written to `BENCH_partition.json` at the workspace root; set
@@ -25,7 +39,7 @@
 
 use std::fmt::Write as _;
 use std::time::Instant;
-use uc_core::{CheckpointFactory, UcStore};
+use uc_core::{CheckpointFactory, HealConfig, StoreMsg, UcStore};
 use uc_sim::{generate_keyed, KeyedWorkloadSpec};
 use uc_spec::{SetAdt, SetQuery, SetUpdate};
 
@@ -38,6 +52,10 @@ const SHARDS: usize = 4;
 /// `collect_suffix_since` stream *everything* — the full-replay
 /// baseline.
 const NOBODY: u32 = 99;
+/// Chunked-heal tuning under test: peak in-flight payload is bounded
+/// by `CHUNK * WINDOW` entries regardless of divergence size.
+const CHUNK: usize = 256;
+const WINDOW: usize = 2;
 
 fn spec(prefix: usize, divergence: usize, seed: u64) -> KeyedWorkloadSpec {
     KeyedWorkloadSpec {
@@ -86,6 +104,49 @@ fn median(mut samples: Vec<u64>) -> u64 {
     samples[samples.len() / 2]
 }
 
+/// Drive the full chunked-heal dialogue between two stores,
+/// sampling the healer's in-flight gauge at every protocol step.
+/// Returns (chunks streamed, peak in-flight bytes).
+fn drive_chunked(healer: &mut Store, healed: &mut Store) -> (u64, u64) {
+    let me = healer.pid();
+    let peer = healed.pid();
+    let Some(opener) = healer.peer_up(peer) else {
+        return (0, 0);
+    };
+    let (mut chunks, mut peak) = (0u64, 0u64);
+    let mut to_peer = vec![opener];
+    while !to_peer.is_empty() {
+        let mut to_me = Vec::new();
+        for m in to_peer.drain(..) {
+            if matches!(m, StoreMsg::RepairChunk { .. }) {
+                chunks += 1;
+            }
+            to_me.extend(healed.apply_message_from(me, m).into_iter().map(|(_, m)| m));
+        }
+        peak = peak.max(healer.heal_bytes_in_flight());
+        for m in to_me {
+            to_peer.extend(
+                healer
+                    .apply_message_from(peer, m)
+                    .into_iter()
+                    .map(|(_, m)| m),
+            );
+        }
+        peak = peak.max(healer.heal_bytes_in_flight());
+    }
+    (chunks, peak)
+}
+
+fn assert_equal_stores(a: &mut Store, b: &mut Store, label: &str) {
+    for key in a.keys() {
+        assert_eq!(
+            a.query(key, &SetQuery::Read),
+            b.query(key, &SetQuery::Read),
+            "{label}: diverged on key {key}"
+        );
+    }
+}
+
 struct Row {
     divergence: usize,
     stream_ns: u64,
@@ -94,6 +155,14 @@ struct Row {
     burst_entries: usize,
     full_entries: usize,
     burst_bytes: u64,
+}
+
+struct ChunkRow {
+    divergence: usize,
+    mono_ns: u64,
+    chunked_ns: u64,
+    chunks: u64,
+    peak_inflight_entries: u64,
 }
 
 fn main() {
@@ -105,12 +174,15 @@ fn main() {
     } else {
         &[2_000, 8_000, 32_000]
     };
+    let per_entry = (8 + 12 + std::mem::size_of::<SetUpdate<u32>>()) as u64;
     println!(
-        "partition bench: prefix {prefix}, divergences {divergences:?}, reps {reps}{}",
+        "partition bench: prefix {prefix}, divergences {divergences:?}, reps {reps}, \
+         chunk {CHUNK} x window {WINDOW}{}",
         if smoke { " (smoke)" } else { "" }
     );
 
     let mut rows: Vec<Row> = Vec::new();
+    let mut chunk_rows: Vec<ChunkRow> = Vec::new();
     for (i, &divergence) in divergences.iter().enumerate() {
         let spec = spec(prefix, divergence, 0xBEA7 ^ i as u64);
         let stream = ops(&spec);
@@ -119,6 +191,11 @@ fn main() {
         // replica (pid 2) receives only the shared prefix before the
         // link drops.
         let mut majority = store(0);
+        majority.set_heal_config(HealConfig {
+            chunk: CHUNK,
+            window: WINDOW,
+            ..HealConfig::default()
+        });
         let mut minority = store(2);
         for (key, u) in &stream[..prefix] {
             let m = majority.update(*key, *u);
@@ -162,29 +239,65 @@ fn main() {
             "full replay must carry the whole log"
         );
 
-        // The one-shot real heal: stream, deliver, converge. The first
-        // delivery does the work, so it alone is reported; redelivered
-        // bursts (retry overlap) must be absorbed by dedup, which the
-        // extra applications below exercise without being timed.
-        let repair = majority.peer_up(2).expect("divergence must heal");
+        // Chunked vs monolithic, end to end on cloned pairs so every
+        // rep heals the same frozen divergence. The equality gate runs
+        // every rep: chunk-healed == monolithic-healed == the
+        // never-partitioned majority (it saw each update exactly once,
+        // locally).
+        let mut mono_samples = Vec::new();
+        let mut chunked_samples = Vec::new();
+        let mut chunks_streamed = 0u64;
+        let mut peak_inflight = 0u64;
+        for _ in 0..reps {
+            let mut mono_healer = majority.clone();
+            let mut mono_healed = minority.clone();
+            let t0 = Instant::now();
+            let burst = mono_healer
+                .peer_up_monolithic(2)
+                .expect("divergence must heal");
+            mono_healed.apply_batch(std::slice::from_ref(&burst));
+            mono_samples.push(t0.elapsed().as_nanos() as u64);
+
+            let mut chunk_healer = majority.clone();
+            let mut chunk_healed = minority.clone();
+            let t0 = Instant::now();
+            let (chunks, peak) = drive_chunked(&mut chunk_healer, &mut chunk_healed);
+            chunked_samples.push(t0.elapsed().as_nanos() as u64);
+            chunks_streamed = chunks;
+            peak_inflight = peak_inflight.max(peak);
+
+            assert_equal_stores(&mut mono_healer, &mut mono_healed, "monolithic heal");
+            assert_equal_stores(&mut mono_healer, &mut chunk_healed, "chunked heal");
+            assert_equal_stores(&mut chunk_healer, &mut chunk_healed, "chunked healer");
+        }
+        let peak_entries = peak_inflight / per_entry;
+        assert!(
+            peak_entries <= (CHUNK * WINDOW) as u64,
+            "chunked heal peak in-flight ({peak_entries} entries) must stay \
+             within window * chunk ({})",
+            CHUNK * WINDOW
+        );
+        assert!(
+            chunks_streamed >= divergence.div_ceil(CHUNK) as u64,
+            "divergence {divergence} needs ≥ {} chunks of {CHUNK}",
+            divergence.div_ceil(CHUNK)
+        );
+
+        // The one-shot real heal on the live pair: time the burst
+        // apply, then redeliver it to exercise dedup.
+        let burst = majority
+            .peer_up_monolithic(2)
+            .expect("divergence must heal");
         let burst_bytes = majority.heal_replay_bytes();
         let t0 = Instant::now();
-        minority.apply_batch(std::slice::from_ref(&repair));
+        minority.apply_batch(std::slice::from_ref(&burst));
         let apply_ns = t0.elapsed().as_nanos() as u64;
         for _ in 1..reps {
-            minority.apply_batch(std::slice::from_ref(&repair));
+            // Redelivered bursts (retry overlap) must be absorbed by
+            // dedup — exercised untimed.
+            minority.apply_batch(std::slice::from_ref(&burst));
         }
-
-        // Equality gate: the healed minority matches the majority on
-        // every key (the majority is the never-partitioned control —
-        // it saw each update exactly once, locally).
-        for key in majority.keys() {
-            assert_eq!(
-                majority.query(key, &SetQuery::Read),
-                minority.query(key, &SetQuery::Read),
-                "healed replica diverged on key {key}"
-            );
-        }
+        assert_equal_stores(&mut majority, &mut minority, "healed live pair");
 
         rows.push(Row {
             divergence,
@@ -195,7 +308,55 @@ fn main() {
             full_entries,
             burst_bytes,
         });
+        chunk_rows.push(ChunkRow {
+            divergence,
+            mono_ns: median(mono_samples),
+            chunked_ns: median(chunked_samples),
+            chunks: chunks_streamed,
+            peak_inflight_entries: peak_entries,
+        });
     }
+
+    // Digest-skip phase: 16 shards, fully converged pair, then exactly
+    // one key diverges. The digest exchange must skip ≥ 90% of its
+    // slots — and must still stream the diverged key.
+    let digest_shards = 16usize;
+    let mut healer = UcStore::new(
+        SetAdt::new(),
+        0,
+        digest_shards,
+        CheckpointFactory { every: EVERY },
+    );
+    let mut healed = UcStore::new(
+        SetAdt::new(),
+        2,
+        digest_shards,
+        CheckpointFactory { every: EVERY },
+    );
+    for i in 0..512u64 {
+        let m = healer.update(i % 128, SetUpdate::Insert(i as u32));
+        healed.apply_message(&m);
+    }
+    healer.peer_down(2);
+    for i in 0..32u64 {
+        healer.update(7, SetUpdate::Insert(1_000 + i as u32));
+    }
+    let t0 = Instant::now();
+    let (digest_chunks, _) = drive_chunked(&mut healer, &mut healed);
+    let digest_ns = t0.elapsed().as_nanos() as u64;
+    let total_slots = digest_shards as u64 * healer.heal_config().ranges as u64;
+    let skipped = healer.heal_digest_skips();
+    let skip_ratio = skipped as f64 / total_slots as f64;
+    assert!(
+        skip_ratio >= 0.9,
+        "one diverged key of 128 must skip ≥ 90% of {total_slots} slots, \
+         skipped {skipped} ({skip_ratio:.3})"
+    );
+    assert_eq!(
+        healer.query(7, &SetQuery::Read),
+        healed.query(7, &SetQuery::Read),
+        "the diverged key must never be digest-skipped"
+    );
 
     println!(
         "\n{:<11} {:>11} {:>10} {:>15} {:>9} {:>11}",
@@ -213,18 +374,41 @@ fn main() {
         );
     }
     println!(
+        "\n{:<11} {:>11} {:>12} {:>7} {:>14} {:>12}",
+        "divergence", "mono ns", "chunked ns", "chunks", "peak-inflight", "chunk/mono"
+    );
+    for r in &chunk_rows {
+        println!(
+            "{:<11} {:>11} {:>12} {:>7} {:>14} {:>11.2}x",
+            r.divergence,
+            r.mono_ns,
+            r.chunked_ns,
+            r.chunks,
+            r.peak_inflight_entries,
+            r.chunked_ns as f64 / r.mono_ns.max(1) as f64
+        );
+    }
+    println!(
+        "\ndigest skip: {skipped}/{total_slots} slots skipped ({:.1}%), {digest_chunks} \
+         chunk(s) streamed for the diverged key, {digest_ns} ns end to end",
+        skip_ratio * 100.0
+    );
+    println!(
         "\nnote: stream = collect the suffix above the outage watermark (shards \
          whose high water never passed it are skipped); full-replay = what a \
-         watermark-less state transfer collects; apply = deduplicating batch \
-         ingest of the burst on the healed replica. Healed state is \
-         equality-verified against the never-partitioned control every rep."
+         watermark-less state transfer collects; chunked = the digest-guided \
+         flow-controlled heal dialogue end to end (peak in-flight bounded by \
+         window * chunk = {}); healed state is equality-verified against the \
+         never-partitioned control every rep.",
+        CHUNK * WINDOW
     );
 
     let mut json = String::from("{\n  \"bench\": \"partition\",\n");
     let _ = writeln!(
         json,
         "  \"config\": {{\"prefix\": {prefix}, \"shards\": {SHARDS}, \
-         \"checkpoint_every\": {EVERY}, \"reps\": {reps}, \"smoke\": {smoke}}},"
+         \"checkpoint_every\": {EVERY}, \"reps\": {reps}, \"chunk\": {CHUNK}, \
+         \"window\": {WINDOW}, \"smoke\": {smoke}}},"
     );
     json.push_str("  \"heals\": [\n");
     for (i, r) in rows.iter().enumerate() {
@@ -244,13 +428,40 @@ fn main() {
         );
         json.push_str(if i + 1 == rows.len() { "\n" } else { ",\n" });
     }
+    json.push_str("  ],\n  \"chunked\": [\n");
+    for (i, r) in chunk_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"divergence\": {}, \"mono_ns\": {}, \"chunked_ns\": {}, \
+             \"chunks\": {}, \"peak_inflight_entries\": {}, \"chunked_vs_mono\": {:.2}}}",
+            r.divergence,
+            r.mono_ns,
+            r.chunked_ns,
+            r.chunks,
+            r.peak_inflight_entries,
+            r.chunked_ns as f64 / r.mono_ns.max(1) as f64
+        );
+        json.push_str(if i + 1 == chunk_rows.len() {
+            "\n"
+        } else {
+            ",\n"
+        });
+    }
     json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"digest_skip\": {{\"shards\": {digest_shards}, \"slots\": {total_slots}, \
+         \"skipped\": {skipped}, \"skip_ratio\": {skip_ratio:.3}, \
+         \"chunks\": {digest_chunks}, \"heal_ns\": {digest_ns}}},"
+    );
     json.push_str(
-        "  \"note\": \"equality-verified every rep: healed minority == \
-         never-partitioned majority per key; stream collects only the suffix above \
+        "  \"note\": \"equality-verified every rep: chunk-healed == monolithic-healed \
+         == never-partitioned majority per key; stream collects only the suffix above \
          the outage-start watermark, full_replay collects the whole log (the \
-         watermark-less baseline); apply is the deduplicating burst ingest on the \
-         healed side\"\n",
+         watermark-less baseline); chunked drives the digest-guided flow-controlled \
+         dialogue end to end with peak in-flight asserted <= window * chunk; \
+         digest_skip diverges one key of 128 across 16 shards and asserts >= 90% of \
+         slots skipped with the diverged key still streamed\"\n",
     );
     json.push_str("}\n");
 

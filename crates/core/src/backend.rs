@@ -119,6 +119,28 @@ pub trait LogBackend<A: UqAdt> {
         let _ = since;
         None
     }
+
+    /// Bounded-window form of [`LogBackend::stream_suffix`], for
+    /// chunked heal streaming: up to `limit` durable entries stamped
+    /// strictly above `since` — and, when `after` is set, strictly
+    /// after `after` (the resume cursor) — in timestamp order and
+    /// deduplicated, plus whether more remain beyond the window.
+    /// Implementations must bound their working memory by O(`limit`),
+    /// never by the suffix length — that is the whole point of the
+    /// chunked path. `None` falls back to the in-memory log, same as
+    /// [`LogBackend::stream_suffix`]. A spuriously-true "more" flag
+    /// is tolerated (callers terminate on the next empty window);
+    /// a false "more" with entries remaining is not.
+    #[allow(clippy::type_complexity)]
+    fn stream_suffix_window(
+        &mut self,
+        since: u64,
+        after: Option<Timestamp>,
+        limit: usize,
+    ) -> Option<(Vec<(Timestamp, A::Update)>, bool)> {
+        let _ = (since, after, limit);
+        None
+    }
 }
 
 /// The in-memory "backend": every operation is a no-op because the

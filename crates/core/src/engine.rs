@@ -554,6 +554,63 @@ impl<A: UqAdt, S: RepairStrategy<A>, B: LogBackend<A>> ReplicaEngine<A, S, B> {
             .collect()
     }
 
+    /// Bounded-window form of [`ReplicaEngine::suffix_since`] — the
+    /// read primitive of chunked heal streaming: up to `limit` suffix
+    /// entries strictly above `since` and (when set) strictly after
+    /// the resume cursor `after`, in timestamp order, plus whether
+    /// more remain. Peak memory is O(`limit`) on every path: segment
+    /// backends answer straight out of their segment files
+    /// ([`LogBackend::stream_suffix_window`]) and the in-memory
+    /// fallback clones one contiguous window of the sorted log.
+    ///
+    /// Completeness across calls leans on the same stability argument
+    /// as [`ReplicaEngine::suffix_since`]: while the healed peer's
+    /// session pins retention at `since`, no entry above it is folded
+    /// away between windows.
+    pub fn suffix_since_window(
+        &mut self,
+        since: u64,
+        after: Option<Timestamp>,
+        limit: usize,
+    ) -> (Vec<UpdateMsg<A::Update>>, bool) {
+        self.flush_backend();
+        if let Some((entries, more)) = self
+            .log
+            .backend_mut()
+            .stream_suffix_window(since, after, limit)
+        {
+            return (
+                entries
+                    .into_iter()
+                    .map(|(ts, update)| UpdateMsg { ts, update })
+                    .collect(),
+                more,
+            );
+        }
+        let (window, more) = self.log.suffix_window(since, after, limit);
+        (
+            window
+                .iter()
+                .map(|(ts, update)| UpdateMsg {
+                    ts: *ts,
+                    update: update.clone(),
+                })
+                .collect(),
+            more,
+        )
+    }
+
+    /// Fold the retained suffix above `since` into a digest visitor
+    /// (`f(ts, entry_hash)`) without cloning any payload — the
+    /// digest-exchange primitive of the chunked heal path. Served
+    /// from the in-memory sorted log on every backend: the log always
+    /// holds the full retained suffix (backends only avoid wholesale
+    /// *cloning*), so no storage round-trip is needed to hash it.
+    pub fn digest_suffix(&mut self, since: u64, mut f: impl FnMut(Timestamp, u64)) {
+        self.log
+            .for_suffix(since, |ts, u| f(ts, crate::heal::entry_hash(ts, u)));
+    }
+
     /// Announce our clock to the strategy and let it compact; called
     /// by the periodic [`Replica::tick`].
     pub fn tick_maintenance(&mut self) {

@@ -1,0 +1,632 @@
+//! **O(divergence) reconciliation**: digest-guided anti-entropy with
+//! chunked, flow-controlled heal streaming.
+//!
+//! PR 8's heal path shipped a healed peer's entire missed suffix as
+//! one monolithic [`StoreMsg::Repair`](crate::store::StoreMsg) burst:
+//! a long outage materializes the whole divergence window in memory
+//! on both sides and dumps it onto the link queue at once. This
+//! module makes heal cost proportional to *actual divergence* with
+//! bounded peak memory, in two coordinated moves:
+//!
+//! 1. **Digest exchange.** On `peer_up` the healing side first sends
+//!    a compact per-(group, key-range) [`HealDigest`] of everything
+//!    it would stream — `(count, xor-of-hash(clock, pid, payload))`
+//!    above the outage watermark. The healed peer answers with the
+//!    slots whose digests differ from its own view; slots that agree
+//!    are **skipped entirely**. Two peers that converged through
+//!    other paths exchange O(groups) bytes, not O(suffix).
+//! 2. **Chunked streaming with flow control.** The mismatched slots
+//!    become a key-by-key streaming plan driven by a resumable
+//!    [`HealSession`] state machine: one bounded
+//!    [`StoreMsg::RepairChunk`](crate::store::StoreMsg) at a time,
+//!    read through bounded-window engine cursors
+//!    ([`ReplicaEngine::suffix_since_window`](crate::engine::ReplicaEngine::suffix_since_window)
+//!    — segment backends answer straight out of segment files without
+//!    materializing the tail), paced by
+//!    [`StoreMsg::RepairAck`](crate::store::StoreMsg)s so at most
+//!    [`HealConfig::window`] chunks are in flight per peer. The
+//!    window composes with `ReliableLink`'s queue cap: a heal can
+//!    never flood the retry queue and shed live traffic.
+//!
+//! Chunk delivery stays idempotent (receivers ingest through the
+//! deduplicating batch path), so redelivered or overlapping chunks —
+//! including a whole re-heal after a crash mid-stream — are no-ops.
+
+use crate::message::UpdateMsg;
+use crate::timestamp::Timestamp;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use uc_history::fxhash::FxHasher;
+use uc_sim::Pid;
+
+/// Object identifier within a store (mirror of
+/// [`crate::store::Key`], redeclared to keep this module free of a
+/// store dependency cycle).
+type Key = u64;
+
+/// Tuning knobs of the chunked heal protocol, per store.
+#[derive(Clone, Debug)]
+pub struct HealConfig {
+    /// Maximum keyed updates per [`RepairChunk`]: the unit of peak
+    /// heal memory on both sides.
+    ///
+    /// [`RepairChunk`]: crate::store::StoreMsg::RepairChunk
+    pub chunk: usize,
+    /// Maximum unacknowledged chunks in flight per healing peer (the
+    /// flow-control window). Sizing contract with `ReliableLink`:
+    /// `window * chunk` messages must fit its `queue_cap` alongside
+    /// live traffic, so heals never force live messages to shed.
+    pub window: usize,
+    /// Key-range fan-out per digest group: each group (the sender's
+    /// shard) is split into this many independently skippable ranges,
+    /// so one hot key invalidates `1/ranges` of its shard, not all of
+    /// it.
+    pub ranges: u32,
+    /// Ticks without protocol progress before a stalled session acts:
+    /// re-sending its digest request, or expiring its oldest
+    /// unacknowledged chunk to reopen the window (see
+    /// [`HealSession::on_tick`]).
+    pub stall_ticks: u32,
+}
+
+impl Default for HealConfig {
+    fn default() -> Self {
+        HealConfig {
+            chunk: 512,
+            window: 4,
+            ranges: 8,
+            stall_ticks: 8,
+        }
+    }
+}
+
+/// One digest slot: how many suffix entries hash into it and the xor
+/// of their entry hashes. Order-independent (xor commutes), so both
+/// sides can fold in any iteration order; count is carried separately
+/// so a slot with pairwise-cancelling hashes still mismatches on
+/// cardinality.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct HealDigest {
+    /// Number of suffix entries in this slot.
+    pub count: u64,
+    /// Xor of [`entry_hash`] over those entries.
+    pub xor: u64,
+}
+
+impl HealDigest {
+    /// Fold one entry hash into the slot.
+    pub fn fold(&mut self, hash: u64) {
+        self.count += 1;
+        self.xor ^= hash;
+    }
+}
+
+impl fmt::Debug for HealDigest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "d({},{:x})", self.count, self.xor)
+    }
+}
+
+/// Hash of one log entry for digest purposes: the full identity
+/// `(clock, pid, payload)`. Hashing the payload (not just the
+/// timestamp) is what makes the digest collision-resistant against
+/// same-shape divergence: two suffixes with identical timestamps but
+/// different payloads must not compare equal.
+pub fn entry_hash<U: Hash>(ts: Timestamp, update: &U) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u64(ts.clock);
+    h.write_u32(ts.pid);
+    update.hash(&mut h);
+    h.finish()
+}
+
+/// The digest slot a key folds into, flattened as
+/// `group * ranges + range`. The group coordinate is the *sender's*
+/// shard (`hash % groups`); the range coordinate re-uses the high
+/// bits of the same hash, so the two are independent. Both sides
+/// evaluate this with the sender's `groups`/`ranges`, which keeps the
+/// mapping agreed even when the receiver runs a different shard
+/// count.
+pub fn digest_slot(key: Key, groups: u32, ranges: u32) -> u32 {
+    let mut h = FxHasher::default();
+    h.write_u64(key);
+    let hash = h.finish();
+    let group = (hash % groups as u64) as u32;
+    let range = ((hash / groups as u64) % ranges as u64) as u32;
+    group * ranges + range
+}
+
+/// Flat slot indices where `ours` differs from `theirs` — the slots
+/// the healing side must stream. Length mismatches (a misconfigured
+/// peer) conservatively mark every slot.
+pub fn mismatched_slots(theirs: &[HealDigest], ours: &[HealDigest]) -> Vec<u32> {
+    if theirs.len() != ours.len() {
+        return (0..theirs.len() as u32).collect();
+    }
+    theirs
+        .iter()
+        .zip(ours)
+        .enumerate()
+        .filter(|(_, (a, b))| a != b)
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+/// One emitted chunk: its flow-control sequence number, whether it is
+/// the final chunk of the session, and the keyed updates it carries.
+/// The caller wraps it into
+/// [`StoreMsg::RepairChunk`](crate::store::StoreMsg).
+pub struct ChunkOut<U> {
+    /// Session-local sequence number (1-based, contiguous).
+    pub seq: u64,
+    /// True on the session's last chunk — the receiver's ack for it
+    /// completes the heal.
+    pub last: bool,
+    /// The chunk payload, in (shard, key, timestamp) plan order.
+    pub updates: Vec<(Key, UpdateMsg<U>)>,
+}
+
+/// What a stalled session decided to do on a tick — see
+/// [`HealSession::on_tick`].
+pub enum HealTick {
+    /// Progress is recent (or the stall threshold not reached): do
+    /// nothing.
+    Wait,
+    /// Still awaiting the digest response: re-send the
+    /// `DigestRequest` (the caller rebuilds it from the session).
+    ResendDigest,
+    /// Streaming but the window has been full for `stall_ticks`:
+    /// the oldest unacknowledged chunk was expired to reopen the
+    /// window. `released` estimated in-flight bytes were freed;
+    /// `complete` when that expiry drained the session entirely.
+    Expired {
+        /// In-flight byte estimate released by the expiry.
+        released: u64,
+        /// The session finished (last chunk emitted, nothing left in
+        /// flight).
+        complete: bool,
+    },
+}
+
+#[derive(Clone)]
+enum Phase {
+    /// Digest request sent, response not yet seen.
+    AwaitDigest,
+    /// Streaming chunks through the plan.
+    Streaming {
+        /// The streaming plan: every (shard, key) whose digest slot
+        /// mismatched, in (shard, key) order. Only coordinates — the
+        /// suffix itself is read chunk-by-chunk through bounded
+        /// windows.
+        plan: Vec<(usize, Key)>,
+        /// Index of the key currently being streamed.
+        key_idx: usize,
+        /// Resume cursor within the current key: the last *raw*
+        /// timestamp read (pre-exclusion-filter, so a run of the
+        /// peer's own entries still advances it).
+        after: Option<Timestamp>,
+        /// Next chunk sequence number to assign.
+        next_seq: u64,
+        /// Sequence number of the final chunk, once emitted.
+        last_seq: Option<u64>,
+        /// Unacknowledged chunks: seq → estimated wire bytes.
+        inflight: BTreeMap<u64, u64>,
+    },
+}
+
+/// A resumable chunked-heal state machine for one healed peer: digest
+/// exchange, then windowed chunk streaming paced by acks. The session
+/// holds only coordinates and counters — never update payloads — so a
+/// store's heal overhead is O(keys-planned), with payload memory
+/// bounded by `window * chunk` entries in flight.
+///
+/// Sessions are driven by the store (or pool) that owns them; this
+/// type is engine-agnostic — chunk payloads are pulled through a
+/// caller-supplied bounded-window reader.
+#[derive(Clone)]
+pub struct HealSession {
+    /// The peer being healed (chunk destination; its own entries are
+    /// excluded from both digests and chunks).
+    pub peer: Pid,
+    /// The outage-start watermark: everything streamed or digested is
+    /// stamped strictly above it. While the session lives it pins
+    /// compaction exactly like a down peer's watermark.
+    pub since: u64,
+    /// Session id, echoed in every protocol message so stale replies
+    /// from an earlier (cancelled) session are ignored.
+    pub id: u64,
+    /// Digest group count (the sender's shard count at start).
+    pub groups: u32,
+    /// Key-range fan-out per group.
+    pub ranges: u32,
+    /// The digests sent in the request, kept for stall re-sends.
+    pub digests: Vec<HealDigest>,
+    /// Ticks since the last protocol progress (reset on every
+    /// response; see [`HealSession::on_tick`]).
+    idle_ticks: u32,
+    phase: Phase,
+}
+
+impl HealSession {
+    /// A fresh session in the await-digest phase; the caller sends
+    /// the corresponding `DigestRequest`.
+    pub fn new(
+        peer: Pid,
+        since: u64,
+        id: u64,
+        groups: u32,
+        ranges: u32,
+        digests: Vec<HealDigest>,
+    ) -> Self {
+        HealSession {
+            peer,
+            since,
+            id,
+            groups,
+            ranges,
+            digests,
+            idle_ticks: 0,
+            phase: Phase::AwaitDigest,
+        }
+    }
+
+    /// Is the session still waiting for its digest response?
+    pub fn awaiting_digest(&self) -> bool {
+        matches!(self.phase, Phase::AwaitDigest)
+    }
+
+    /// Estimated bytes currently in flight (unacknowledged chunks).
+    pub fn inflight_bytes(&self) -> u64 {
+        match &self.phase {
+            Phase::AwaitDigest => 0,
+            Phase::Streaming { inflight, .. } => inflight.values().sum(),
+        }
+    }
+
+    /// Keys remaining in the streaming plan (0 while awaiting the
+    /// digest response).
+    pub fn keys_planned(&self) -> usize {
+        match &self.phase {
+            Phase::AwaitDigest => 0,
+            Phase::Streaming { plan, key_idx, .. } => plan.len().saturating_sub(*key_idx),
+        }
+    }
+
+    /// The digest response arrived: enter the streaming phase.
+    /// `candidates` is every (shard, key) the store could stream
+    /// (shards above the watermark); keys whose digest slot is not in
+    /// `mismatched` are dropped — those slots agreed, the peer
+    /// already has their suffix. Returns how many of the session's
+    /// `groups * ranges` slots were skipped (the digest-skip count).
+    ///
+    /// Ignored (returns `None`) outside the await-digest phase — a
+    /// duplicate response must not rebuild a plan mid-stream.
+    pub fn begin_streaming(
+        &mut self,
+        mismatched: &[u32],
+        candidates: Vec<(usize, Key)>,
+    ) -> Option<u64> {
+        if !matches!(self.phase, Phase::AwaitDigest) {
+            return None;
+        }
+        let wanted: std::collections::BTreeSet<u32> = mismatched.iter().copied().collect();
+        let mut plan: Vec<(usize, Key)> = candidates
+            .into_iter()
+            .filter(|(_, key)| wanted.contains(&digest_slot(*key, self.groups, self.ranges)))
+            .collect();
+        plan.sort_unstable();
+        plan.dedup();
+        let total = (self.groups as u64) * (self.ranges as u64);
+        let skipped = total.saturating_sub(wanted.len() as u64);
+        self.idle_ticks = 0;
+        self.phase = Phase::Streaming {
+            plan,
+            key_idx: 0,
+            after: None,
+            next_seq: 1,
+            last_seq: None,
+            inflight: BTreeMap::new(),
+        };
+        Some(skipped)
+    }
+
+    /// Emit as many chunks as the flow-control window allows, pulling
+    /// payloads through `read(shard, key, since, after, limit) →
+    /// (entries, more)` — the bounded-window engine cursor. Entries
+    /// stamped by the healed peer itself are filtered out (it has its
+    /// own log); the cursor still advances past them. The session's
+    /// final chunk (possibly empty — e.g. an all-skipped plan) is
+    /// flagged `last`; its ack completes the heal.
+    ///
+    /// Per chunk, `bytes_per_entry * len` is registered in flight.
+    pub fn fill_chunks<U>(
+        &mut self,
+        cfg: &HealConfig,
+        bytes_per_entry: u64,
+        mut read: impl FnMut(usize, Key, u64, Option<Timestamp>, usize) -> (Vec<UpdateMsg<U>>, bool),
+    ) -> Vec<ChunkOut<U>> {
+        let (peer, since) = (self.peer, self.since);
+        let Phase::Streaming {
+            plan,
+            key_idx,
+            after,
+            next_seq,
+            last_seq,
+            inflight,
+        } = &mut self.phase
+        else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let (chunk_cap, window_cap) = (cfg.chunk.max(1), cfg.window.max(1));
+        while last_seq.is_none() && inflight.len() < window_cap {
+            let mut updates: Vec<(Key, UpdateMsg<U>)> = Vec::new();
+            while updates.len() < chunk_cap && *key_idx < plan.len() {
+                let (shard, key) = plan[*key_idx];
+                let want = chunk_cap - updates.len();
+                let (raw, more) = read(shard, key, since, *after, want);
+                if let Some(m) = raw.last() {
+                    *after = Some(m.ts);
+                }
+                let got = raw.len();
+                updates.extend(
+                    raw.into_iter()
+                        .filter(|m| m.ts.pid != peer)
+                        .map(|m| (key, m)),
+                );
+                if !more || got == 0 {
+                    *key_idx += 1;
+                    *after = None;
+                }
+            }
+            let done = *key_idx >= plan.len();
+            let seq = *next_seq;
+            *next_seq += 1;
+            if done {
+                *last_seq = Some(seq);
+            }
+            inflight.insert(seq, bytes_per_entry * updates.len() as u64);
+            out.push(ChunkOut {
+                seq,
+                last: done,
+                updates,
+            });
+        }
+        out
+    }
+
+    /// An ack for chunk `seq` arrived. Returns the released in-flight
+    /// byte estimate and whether the session is now complete (final
+    /// chunk emitted and nothing left unacknowledged). Duplicate or
+    /// stale acks release nothing.
+    pub fn on_ack(&mut self, seq: u64) -> (u64, bool) {
+        self.idle_ticks = 0;
+        match &mut self.phase {
+            Phase::AwaitDigest => (0, false),
+            Phase::Streaming {
+                inflight, last_seq, ..
+            } => {
+                let released = inflight.remove(&seq).unwrap_or(0);
+                (released, last_seq.is_some() && inflight.is_empty())
+            }
+        }
+    }
+
+    /// One maintenance tick. Sessions making progress wait; a session
+    /// idle for `stall_ticks` acts on its phase — re-sending the
+    /// digest request, or expiring its oldest unacknowledged chunk so
+    /// the window reopens and streaming resumes. Expiry trades flow
+    /// control for liveness on a raw lossy link: the expired chunk's
+    /// *data* is not lost when heal runs over `ReliableLink` (which
+    /// retransmits it); without a reliable link the next heal cycle
+    /// re-covers it, exactly as PR 8's monolithic burst relied on.
+    pub fn on_tick(&mut self, stall_ticks: u32) -> HealTick {
+        self.idle_ticks += 1;
+        if self.idle_ticks < stall_ticks.max(1) {
+            return HealTick::Wait;
+        }
+        self.idle_ticks = 0;
+        match &mut self.phase {
+            Phase::AwaitDigest => HealTick::ResendDigest,
+            Phase::Streaming {
+                inflight, last_seq, ..
+            } => {
+                let Some((&oldest, _)) = inflight.iter().next() else {
+                    // Nothing in flight and still alive: only possible
+                    // mid-drive (fill_chunks will run); wait.
+                    return HealTick::Wait;
+                };
+                let released = inflight.remove(&oldest).unwrap_or(0);
+                HealTick::Expired {
+                    released,
+                    complete: last_seq.is_some() && inflight.is_empty(),
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for HealSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (phase, extra) = match &self.phase {
+            Phase::AwaitDigest => ("await-digest", 0),
+            Phase::Streaming { inflight, .. } => ("streaming", inflight.len()),
+        };
+        write!(
+            f,
+            "heal(p{} s{} since={} {phase} inflight={extra})",
+            self.peer, self.id, self.since
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(clock: u64, pid: u32, v: u32) -> UpdateMsg<u32> {
+        UpdateMsg {
+            ts: Timestamp::new(clock, pid),
+            update: v,
+        }
+    }
+
+    #[test]
+    fn digest_slot_is_stable_and_in_range() {
+        for key in 0..500u64 {
+            let s = digest_slot(key, 8, 4);
+            assert!(s < 32);
+            assert_eq!(s, digest_slot(key, 8, 4));
+        }
+        // Both coordinates are exercised: more than `groups` distinct
+        // slots appear.
+        let distinct: std::collections::BTreeSet<u32> =
+            (0..500u64).map(|k| digest_slot(k, 8, 4)).collect();
+        assert!(distinct.len() > 8, "ranges never fan out");
+    }
+
+    #[test]
+    fn digest_differs_on_payload_not_just_count() {
+        // Same count, same timestamps, different payloads: the xor of
+        // payload-carrying hashes must differ — this is the
+        // collision-resistance the skip decision leans on.
+        let ts = Timestamp::new(5, 1);
+        let mut a = HealDigest::default();
+        a.fold(entry_hash(ts, &10u32));
+        let mut b = HealDigest::default();
+        b.fold(entry_hash(ts, &11u32));
+        assert_eq!(a.count, b.count);
+        assert_ne!(a, b, "payloads must reach the digest");
+        assert_eq!(mismatched_slots(&[a], &[b]), vec![0]);
+        assert_eq!(mismatched_slots(&[a], &[a]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn session_streams_in_windowed_chunks_and_completes_on_acks() {
+        let mut s = HealSession::new(2, 0, 7, 1, 1, vec![HealDigest::default()]);
+        assert!(s.awaiting_digest());
+        // One mismatched slot, three keys, 5 entries each.
+        let skipped = s
+            .begin_streaming(&[0], vec![(0, 1), (0, 2), (0, 3)])
+            .expect("first response enters streaming");
+        assert_eq!(skipped, 0);
+        let cfg = HealConfig {
+            chunk: 4,
+            window: 2,
+            ..HealConfig::default()
+        };
+        let read = |_s: usize, key: u64, _since: u64, after: Option<Timestamp>, limit: usize| {
+            let all: Vec<UpdateMsg<u32>> = (1..=5u64)
+                .map(|c| msg(c * 10 + key, 0, key as u32))
+                .collect();
+            let start = after.map_or(0, |a| all.iter().filter(|m| m.ts <= a).count());
+            let end = (start + limit).min(all.len());
+            (all[start..end].to_vec(), end < all.len())
+        };
+        let first = s.fill_chunks(&cfg, 10, read);
+        // Window of 2: two chunks of ≤4 entries, nothing more.
+        assert_eq!(first.len(), 2);
+        assert!(first.iter().all(|c| c.updates.len() <= 4 && !c.last));
+        assert_eq!(
+            s.inflight_bytes(),
+            (first[0].updates.len() + first[1].updates.len()) as u64 * 10
+        );
+        // Ack the first: window reopens for exactly one more.
+        let (released, complete) = s.on_ack(first[0].seq);
+        assert_eq!(released, first[0].updates.len() as u64 * 10);
+        assert!(!complete);
+        let mut pending = vec![(first[1].seq, first[1].last)];
+        let mut total: Vec<_> = first.into_iter().flat_map(|c| c.updates).collect();
+        loop {
+            let more = s.fill_chunks(&cfg, 10, read);
+            if more.is_empty() && pending.is_empty() {
+                break;
+            }
+            for c in more {
+                pending.push((c.seq, c.last));
+                total.extend(c.updates);
+            }
+            let (seq, last) = pending.remove(0);
+            let (_, complete) = s.on_ack(seq);
+            assert_eq!(complete, last && pending.is_empty());
+            if complete {
+                break;
+            }
+        }
+        // Every entry streamed exactly once, in plan order.
+        assert_eq!(total.len(), 15);
+        let mut seen: Vec<(u64, u64)> = total.iter().map(|(k, m)| (*k, m.ts.clock)).collect();
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        seen.sort_unstable();
+        assert_eq!(seen, sorted);
+    }
+
+    #[test]
+    fn peer_own_entries_are_filtered_but_advance_the_cursor() {
+        let mut s = HealSession::new(1, 0, 0, 1, 1, vec![HealDigest::default()]);
+        s.begin_streaming(&[0], vec![(0, 7)]).unwrap();
+        let cfg = HealConfig {
+            chunk: 2,
+            window: 8,
+            ..HealConfig::default()
+        };
+        // Entries alternate between pid 0 (ours) and pid 1 (the
+        // peer's own): a naive cursor keyed on post-filter output
+        // would stall on an all-peer window.
+        let read = |_s: usize, _k: u64, _since: u64, after: Option<Timestamp>, limit: usize| {
+            let all: Vec<UpdateMsg<u32>> = (1..=6u64)
+                .map(|c| msg(c, (c % 2) as u32, c as u32))
+                .collect();
+            let start = after.map_or(0, |a| all.iter().filter(|m| m.ts <= a).count());
+            let end = (start + limit).min(all.len());
+            (all[start..end].to_vec(), end < all.len())
+        };
+        let chunks = s.fill_chunks(&cfg, 1, read);
+        let streamed: Vec<u64> = chunks
+            .iter()
+            .flat_map(|c| c.updates.iter().map(|(_, m)| m.ts.clock))
+            .collect();
+        assert_eq!(streamed, vec![2, 4, 6], "only pid-0 entries stream");
+        assert!(chunks.last().unwrap().last);
+    }
+
+    #[test]
+    fn stalled_session_resends_digest_then_expires_chunks() {
+        let mut s = HealSession::new(1, 0, 0, 1, 1, vec![HealDigest::default()]);
+        for _ in 0..3 {
+            assert!(matches!(s.on_tick(4), HealTick::Wait));
+        }
+        assert!(matches!(s.on_tick(4), HealTick::ResendDigest));
+        s.begin_streaming(&[0], vec![(0, 1)]).unwrap();
+        let cfg = HealConfig {
+            chunk: 1,
+            window: 1,
+            ..HealConfig::default()
+        };
+        let read = |_s: usize, _k: u64, _since: u64, _after: Option<Timestamp>, _limit: usize| {
+            (vec![msg(1, 0, 1)], false)
+        };
+        let chunks = s.fill_chunks(&cfg, 10, read);
+        assert_eq!(chunks.len(), 1);
+        assert!(chunks[0].last);
+        // The ack never arrives; after the stall threshold the chunk
+        // expires and (being the last) completes the session.
+        for _ in 0..3 {
+            assert!(matches!(s.on_tick(4), HealTick::Wait));
+        }
+        let HealTick::Expired { released, complete } = s.on_tick(4) else {
+            panic!("expected expiry");
+        };
+        assert_eq!(released, 10);
+        assert!(complete);
+    }
+
+    #[test]
+    fn duplicate_digest_response_does_not_rebuild_the_plan() {
+        let mut s = HealSession::new(1, 0, 0, 2, 2, vec![HealDigest::default(); 4]);
+        assert!(s.begin_streaming(&[0, 1, 2, 3], vec![(0, 1)]).is_some());
+        assert!(s.begin_streaming(&[0], vec![(0, 2)]).is_none());
+    }
+}

@@ -43,6 +43,7 @@ pub mod convergence;
 pub mod engine;
 pub mod gc;
 pub mod generic;
+pub mod heal;
 pub mod inbox;
 pub mod log;
 pub mod memory;
@@ -61,6 +62,7 @@ pub use cached::{CachedReplica, CheckpointRepair};
 pub use engine::{CutError, EngineCtx, RepairStrategy, ReplicaEngine};
 pub use gc::{GcReplica, StableGc};
 pub use generic::{GenericReplica, NaiveReplay};
+pub use heal::{digest_slot, entry_hash, mismatched_slots, HealConfig, HealDigest, HealSession};
 pub use inbox::{Inbox, PushError};
 pub use log::UpdateLog;
 pub use memory::{MemWrite, UcMemory};

@@ -277,6 +277,37 @@ impl<A: UqAdt, B: LogBackend<A>> UpdateLog<A, B> {
         self.entries.iter().map(|(ts, _)| *ts)
     }
 
+    /// A bounded window of the retained suffix: up to `limit` entries
+    /// stamped strictly above `since` — and, when `after` is set,
+    /// strictly after `after` (the resume cursor of a chunked heal) —
+    /// in timestamp order, plus whether more remain beyond the
+    /// window. O(log n + limit): both bounds are downward-closed in
+    /// the `(clock, pid)` sort order, so the window is one
+    /// `partition_point` and a contiguous slice.
+    pub fn suffix_window(
+        &self,
+        since: u64,
+        after: Option<Timestamp>,
+        limit: usize,
+    ) -> (&[(Timestamp, A::Update)], bool) {
+        let start = match after {
+            Some(a) => self.entries.partition_point(|(ts, _)| *ts <= a),
+            None => self.entries.partition_point(|(ts, _)| ts.clock <= since),
+        };
+        let end = (start + limit).min(self.entries.len());
+        (&self.entries[start..end], end < self.entries.len())
+    }
+
+    /// Visit every retained entry stamped strictly above `since`, in
+    /// timestamp order, without cloning — the digest-exchange fold of
+    /// the chunked heal path.
+    pub fn for_suffix(&self, since: u64, mut f: impl FnMut(Timestamp, &A::Update)) {
+        let start = self.entries.partition_point(|(ts, _)| ts.clock <= since);
+        for (ts, u) in &self.entries[start..] {
+            f(*ts, u);
+        }
+    }
+
     /// Remove and return the prefix of entries with `ts.clock ≤ bound`
     /// — the stable prefix for garbage collection. Callers that folded
     /// the prefix into a base must follow up with

@@ -87,6 +87,7 @@
 
 use crate::backend::{BackendFactory, MemFactory};
 use crate::engine::CutError;
+use crate::heal::{digest_slot, mismatched_slots, HealConfig, HealDigest, HealSession, HealTick};
 use crate::inbox::{Inbox, PushError};
 use crate::message::UpdateMsg;
 use crate::snapshot::Published;
@@ -456,6 +457,40 @@ enum Job<A: UqAdt> {
         #[allow(clippy::type_complexity)]
         reply: Sender<Vec<(Key, UpdateMsg<<A as UqAdt>::Update>)>>,
     },
+    /// Digest-guided heal, step 1: fold every owned suffix entry
+    /// above `since` (excluding `exclude_pid`'s own updates) into a
+    /// `groups * ranges` slot array. Workers own disjoint shards, so
+    /// the handle xor-merges the per-worker arrays into the exact
+    /// digests a sequential [`UcStore::digest_suffix`] would produce.
+    DigestSuffix {
+        since: u64,
+        exclude_pid: u32,
+        groups: u32,
+        ranges: u32,
+        reply: Sender<Vec<HealDigest>>,
+    },
+    /// Digest-guided heal, step 2: every owned `(shard, key)` whose
+    /// shard's divergence high water passed `since` — the candidate
+    /// universe a [`HealSession`] filters down to its mismatched
+    /// slots.
+    HealCandidates {
+        since: u64,
+        #[allow(clippy::type_complexity)]
+        reply: Sender<Vec<(usize, Key)>>,
+    },
+    /// Digest-guided heal, step 3: one bounded-window suffix read for
+    /// one key (the pooled
+    /// [`ReplicaEngine::suffix_since_window`](crate::engine::ReplicaEngine::suffix_since_window)
+    /// cursor) — O(limit) payload per job, never the whole tail.
+    CollectWindow {
+        shard: usize,
+        key: Key,
+        since: u64,
+        after: Option<Timestamp>,
+        limit: usize,
+        #[allow(clippy::type_complexity)]
+        reply: Sender<(Vec<UpdateMsg<<A as UqAdt>::Update>>, bool)>,
+    },
     /// Pin (or release) every owned engine's compaction at a
     /// retention cap while partitioned peers are marked down — see
     /// [`RepairStrategy::set_retention_cap`](crate::engine::RepairStrategy::set_retention_cap).
@@ -799,6 +834,56 @@ where
                 }
                 // A dead reply channel (caller gave up on a poisoned
                 // pool) is not this worker's problem.
+                let _ = reply.send(out);
+            }
+            Job::DigestSuffix {
+                since,
+                exclude_pid,
+                groups,
+                ranges,
+                reply,
+            } => {
+                let mut slots = vec![HealDigest::default(); (groups as usize) * (ranges as usize)];
+                for (_, shard) in shards.iter_mut() {
+                    if shard.high_water <= since {
+                        continue;
+                    }
+                    for (key, engine) in shard.objects.iter_mut() {
+                        let slot = digest_slot(*key, groups, ranges) as usize;
+                        engine.digest_suffix(since, |ts, hash| {
+                            if ts.pid != exclude_pid {
+                                slots[slot].fold(hash);
+                            }
+                        });
+                    }
+                }
+                let _ = reply.send(slots);
+            }
+            Job::HealCandidates { since, reply } => {
+                let mut out = Vec::new();
+                for (idx, shard) in shards.iter() {
+                    if shard.high_water <= since {
+                        continue;
+                    }
+                    out.extend(shard.objects.keys().map(|k| (*idx, *k)));
+                }
+                let _ = reply.send(out);
+            }
+            Job::CollectWindow {
+                shard,
+                key,
+                since,
+                after,
+                limit,
+                reply,
+            } => {
+                let sh = shard_mut(shards, shard);
+                let out = match sh.objects.get_mut(&key) {
+                    Some(engine) => engine.suffix_since_window(since, after, limit),
+                    // The key vanished mid-plan (cannot happen while
+                    // the session pins retention, but stay total).
+                    None => (Vec::new(), false),
+                };
                 let _ = reply.send(out);
             }
             Job::Retention { cap } => {
@@ -1482,6 +1567,106 @@ where
         Ok(out)
     }
 
+    /// Per-(group, key-range) digests of the retained suffix above
+    /// `since`, excluding `exclude_pid`'s updates — the pooled mirror
+    /// of [`UcStore::digest_suffix`]. Each worker folds its disjoint
+    /// shard set; the slot arrays xor-merge exactly (xor commutes and
+    /// counts add), so the result is independent of worker layout.
+    pub fn digest_suffix(
+        &self,
+        since: u64,
+        exclude_pid: u32,
+        groups: u32,
+        ranges: u32,
+    ) -> Result<Vec<HealDigest>, PoolError> {
+        let workers = self.core.inboxes.len();
+        let mut acks = Vec::with_capacity(workers);
+        for worker in 0..workers {
+            let (reply, ack) = channel();
+            self.push_job(
+                worker,
+                Job::DigestSuffix {
+                    since,
+                    exclude_pid,
+                    groups,
+                    ranges,
+                    reply,
+                },
+                Backpressure::Park,
+            )?;
+            acks.push((worker, ack));
+        }
+        let mut slots = vec![HealDigest::default(); (groups as usize) * (ranges as usize)];
+        for (worker, ack) in acks {
+            match ack.recv() {
+                Ok(part) => {
+                    for (slot, d) in slots.iter_mut().zip(part) {
+                        slot.count += d.count;
+                        slot.xor ^= d.xor;
+                    }
+                }
+                Err(_) => return Err(self.err_for(worker)),
+            }
+        }
+        Ok(slots)
+    }
+
+    /// Every `(shard, key)` in shards whose divergence high water
+    /// passed `since` — the candidate universe for a heal session's
+    /// streaming plan (same pre-filter the digests use).
+    #[allow(clippy::type_complexity)]
+    pub fn heal_candidates(&self, since: u64) -> Result<Vec<(usize, Key)>, PoolError> {
+        let workers = self.core.inboxes.len();
+        let mut acks = Vec::with_capacity(workers);
+        for worker in 0..workers {
+            let (reply, ack) = channel();
+            self.push_job(
+                worker,
+                Job::HealCandidates { since, reply },
+                Backpressure::Park,
+            )?;
+            acks.push((worker, ack));
+        }
+        let mut out = Vec::new();
+        for (worker, ack) in acks {
+            match ack.recv() {
+                Ok(part) => out.extend(part),
+                Err(_) => return Err(self.err_for(worker)),
+            }
+        }
+        out.sort_unstable();
+        Ok(out)
+    }
+
+    /// One bounded-window suffix read against `key`'s owning worker —
+    /// the pooled chunk reader (see
+    /// [`ReplicaEngine::suffix_since_window`](crate::engine::ReplicaEngine::suffix_since_window)).
+    #[allow(clippy::type_complexity)]
+    pub fn collect_window(
+        &self,
+        shard: usize,
+        key: Key,
+        since: u64,
+        after: Option<Timestamp>,
+        limit: usize,
+    ) -> Result<(Vec<UpdateMsg<A::Update>>, bool), PoolError> {
+        let worker = self.core.worker_of(shard);
+        let (reply, ack) = channel();
+        self.push_job(
+            worker,
+            Job::CollectWindow {
+                shard,
+                key,
+                since,
+                after,
+                limit,
+                reply,
+            },
+            Backpressure::Park,
+        )?;
+        ack.recv().map_err(|_| self.err_for(worker))
+    }
+
     /// Pin (or release) compaction on every worker's engines. FIFO
     /// inboxes order the pin before any later submission, so a
     /// following [`PoolHandle::collect_suffix`] streams under it.
@@ -1538,6 +1723,16 @@ where
     /// Estimated wire bytes of every [`StoreMsg::Repair`] burst this
     /// pool has emitted on heal.
     heal_replay_bytes: u64,
+    /// Chunked-heal tuning (see [`HealConfig`]).
+    heal_cfg: HealConfig,
+    /// Live digest-guided heal sessions, keyed by healing peer —
+    /// protocol state on the owning handle, exactly like the
+    /// sequential store's.
+    heal_sessions: BTreeMap<Pid, HealSession>,
+    heal_next_session: u64,
+    heal_chunks: u64,
+    heal_digest_skips: u64,
+    heal_bytes_in_flight: u64,
     /// Shared protocol-side counters, folded into the owning
     /// runtime's [`uc_sim::Metrics`] when attached.
     link_counters: Option<Arc<LinkCounters>>,
@@ -1617,6 +1812,12 @@ where
             workers: joins,
             partition: PartitionTracker::default(),
             heal_replay_bytes: 0,
+            heal_cfg: HealConfig::default(),
+            heal_sessions: BTreeMap::new(),
+            heal_next_session: 0,
+            heal_chunks: 0,
+            heal_digest_skips: 0,
+            heal_bytes_in_flight: 0,
             link_counters: None,
             monitor_cells: Vec::new(),
         }
@@ -1855,6 +2056,14 @@ where
         reg.gauge("uc_pool_queue_high_water").set(high_water as i64);
         reg.gauge("uc_pool_heal_replay_bytes")
             .set(self.heal_replay_bytes as i64);
+        reg.counter("uc_pool_heal_chunks_total")
+            .set(self.heal_chunks);
+        reg.counter("uc_pool_heal_digest_skips_total")
+            .set(self.heal_digest_skips);
+        reg.gauge("uc_pool_heal_bytes_in_flight")
+            .set(self.heal_bytes_in_flight as i64);
+        reg.gauge("uc_pool_heal_sessions")
+            .set(self.heal_sessions.len() as i64);
         if let Some(mon) = self.monitor_stats() {
             crate::observe::export_monitor_stats(&mon, reg);
         }
@@ -1871,23 +2080,83 @@ where
     /// Pins every worker's compaction at the earliest outage
     /// watermark so the missed suffix stays available for heal.
     pub fn peer_down(&mut self, peer: Pid) -> Result<(), PoolError> {
-        let watermark = self.handle.core.clock.now();
+        // A flap mid-heal cancels the peer's session; the outage
+        // re-opens at the *session's* watermark so the unacknowledged
+        // remainder of the cancelled stream is re-covered next heal
+        // (same resumability contract as [`UcStore::peer_down`]).
+        let watermark = match self.cancel_heal_session(peer) {
+            Some(session_since) => session_since.min(self.handle.core.clock.now()),
+            None => self.handle.core.clock.now(),
+        };
         self.partition.mark_down(peer, watermark);
         self.apply_retention()
     }
 
-    /// Re-derive the workers' compaction pin from the down set (see
-    /// [`UcStore::peer_down`] for why healing requires it).
+    /// Re-derive the workers' compaction pin from the down set *and*
+    /// the live heal sessions (see [`UcStore::peer_down`] /
+    /// `UcStore::apply_retention` for why healing requires both).
     fn apply_retention(&self) -> Result<(), PoolError> {
-        let cap = self.partition.down_peers().map(|(_, w)| w).min();
+        let down = self.partition.down_peers().map(|(_, w)| w).min();
+        let streaming = self.heal_sessions.values().map(|s| s.since).min();
+        let cap = match (down, streaming) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        };
         self.handle.set_retention(cap)
     }
 
-    /// Report `peer` reachable again: if it was down, collect the
-    /// missed suffix from every worker and return the
-    /// [`StoreMsg::Repair`] burst to send it (see
-    /// [`UcStore::peer_up`]).
+    /// Report `peer` reachable again: if it was down and anything
+    /// here diverged past its watermark, open a chunked heal session
+    /// and return the [`StoreMsg::DigestRequest`] opener — the pooled
+    /// mirror of [`UcStore::peer_up`]. The session then advances
+    /// through [`IngestPool::apply_message_from`] (or the `Protocol`
+    /// impl) as responses and acks arrive; it pins the workers'
+    /// compaction at the watermark until its final chunk is
+    /// acknowledged. Digests are folded under the outgoing (tighter)
+    /// retention pin — the FIFO inboxes order the digest jobs before
+    /// any release.
     pub fn peer_up(&mut self, peer: Pid) -> Result<Option<StoreMsg<A::Update>>, PoolError> {
+        let Some(since) = self.partition.mark_up(peer) else {
+            return Ok(None);
+        };
+        self.cancel_heal_session(peer);
+        let groups = self.handle.core.num_shards as u32;
+        let ranges = self.heal_cfg.ranges.max(1);
+        let digests = self.handle.digest_suffix(since, peer, groups, ranges)?;
+        if digests.iter().all(|d| d.count == 0) {
+            // Nothing streamable outran the watermark: no session,
+            // and the retention pin (if this was the last down peer)
+            // lifts.
+            self.apply_retention()?;
+            return Ok(None);
+        }
+        let id = self.heal_next_session;
+        self.heal_next_session += 1;
+        self.heal_sessions.insert(
+            peer,
+            HealSession::new(peer, since, id, groups, ranges, digests.clone()),
+        );
+        // The peer left the down set but its session now pins
+        // retention at the same watermark — net effect: no change
+        // until the session completes.
+        self.apply_retention()?;
+        Ok(Some(StoreMsg::DigestRequest {
+            session: id,
+            since,
+            groups,
+            ranges,
+            digests,
+        }))
+    }
+
+    /// PR 8's monolithic heal (one [`StoreMsg::Repair`] carrying the
+    /// whole suffix) — kept as the baseline the chunked path is
+    /// benchmarked against; see [`UcStore::peer_up_monolithic`].
+    pub fn peer_up_monolithic(
+        &mut self,
+        peer: Pid,
+    ) -> Result<Option<StoreMsg<A::Update>>, PoolError> {
         let Some(since) = self.partition.mark_up(peer) else {
             return Ok(None);
         };
@@ -1905,6 +2174,250 @@ where
             LinkCounters::add(&c.heal_replay_bytes, bytes);
         }
         Ok(Some(StoreMsg::Repair { updates }))
+    }
+
+    /// Apply one peer message, advancing any heal dialogue it belongs
+    /// to, and return the messages to send back — the pooled mirror
+    /// of [`UcStore::apply_message_from`]. Non-heal traffic takes the
+    /// ordinary [`IngestPool::submit_batch`] path.
+    #[allow(clippy::type_complexity)]
+    pub fn apply_message_from(
+        &mut self,
+        from: Pid,
+        msg: StoreMsg<A::Update>,
+    ) -> Result<Vec<(Pid, StoreMsg<A::Update>)>, PoolError> {
+        match msg {
+            StoreMsg::DigestRequest {
+                session,
+                since,
+                groups,
+                ranges,
+                digests,
+            } => {
+                let ours = self
+                    .handle
+                    .digest_suffix(since, self.pid(), groups, ranges)?;
+                let mismatched = mismatched_slots(&digests, &ours);
+                Ok(vec![(
+                    from,
+                    StoreMsg::DigestResponse {
+                        session,
+                        since,
+                        mismatched,
+                    },
+                )])
+            }
+            StoreMsg::DigestResponse {
+                session,
+                since,
+                mismatched,
+            } => self.on_digest_response(from, session, since, &mismatched),
+            StoreMsg::RepairChunk {
+                session,
+                seq,
+                last: _,
+                updates,
+            } => {
+                // Chunk payloads ride the deduplicating batch path —
+                // redelivery and overlap are no-ops — then the ack
+                // reopens the sender's window.
+                self.submit_batch(vec![StoreMsg::Repair { updates }])?;
+                Ok(vec![(from, StoreMsg::RepairAck { session, seq })])
+            }
+            StoreMsg::RepairAck { session, seq } => self.on_repair_ack(from, session, seq),
+            other => {
+                self.submit_batch(vec![other])?;
+                Ok(Vec::new())
+            }
+        }
+    }
+
+    /// A [`StoreMsg::DigestResponse`] arrived: build the streaming
+    /// plan and emit the first window of chunks (see
+    /// `UcStore::on_digest_response`).
+    #[allow(clippy::type_complexity)]
+    fn on_digest_response(
+        &mut self,
+        from: Pid,
+        session: u64,
+        since: u64,
+        mismatched: &[u32],
+    ) -> Result<Vec<(Pid, StoreMsg<A::Update>)>, PoolError> {
+        let Some(sess) = self.heal_sessions.get(&from) else {
+            return Ok(Vec::new());
+        };
+        if sess.id != session || sess.since != since {
+            return Ok(Vec::new());
+        }
+        let candidates = self.handle.heal_candidates(since)?;
+        let sess = self.heal_sessions.get_mut(&from).expect("checked above");
+        if let Some(skipped) = sess.begin_streaming(mismatched, candidates) {
+            self.heal_digest_skips += skipped;
+        }
+        self.pump_heal_session(from)
+    }
+
+    /// A [`StoreMsg::RepairAck`] arrived: release its chunk from the
+    /// flow-control window; refill it, or complete the session.
+    #[allow(clippy::type_complexity)]
+    fn on_repair_ack(
+        &mut self,
+        from: Pid,
+        session: u64,
+        seq: u64,
+    ) -> Result<Vec<(Pid, StoreMsg<A::Update>)>, PoolError> {
+        let Some(sess) = self.heal_sessions.get_mut(&from) else {
+            return Ok(Vec::new());
+        };
+        if sess.id != session {
+            return Ok(Vec::new());
+        }
+        let (released, complete) = sess.on_ack(seq);
+        self.heal_bytes_in_flight = self.heal_bytes_in_flight.saturating_sub(released);
+        if complete {
+            self.heal_sessions.remove(&from);
+            self.apply_retention()?;
+            return Ok(Vec::new());
+        }
+        self.pump_heal_session(from)
+    }
+
+    /// Emit as many chunks to `peer`'s session as its window allows,
+    /// pulling payloads through per-key bounded-window worker reads
+    /// ([`PoolHandle::collect_window`]) — peak payload memory is
+    /// O(chunk), never the whole suffix.
+    #[allow(clippy::type_complexity)]
+    fn pump_heal_session(
+        &mut self,
+        peer: Pid,
+    ) -> Result<Vec<(Pid, StoreMsg<A::Update>)>, PoolError> {
+        let Some(mut sess) = self.heal_sessions.remove(&peer) else {
+            return Ok(Vec::new());
+        };
+        let per_entry = 8 + 12 + std::mem::size_of::<A::Update>() as u64;
+        let cfg = self.heal_cfg.clone();
+        // The fill closure cannot return `Result`; a worker failure
+        // is captured and surfaced after the drive (the pool is
+        // poisoned at that point anyway).
+        let mut failed: Option<PoolError> = None;
+        let chunks = {
+            let handle = &self.handle;
+            sess.fill_chunks(&cfg, per_entry, |si, key, since, after, limit| match handle
+                .collect_window(si, key, since, after, limit)
+            {
+                Ok(out) => out,
+                Err(e) => {
+                    failed = Some(e);
+                    (Vec::new(), false)
+                }
+            })
+        };
+        self.heal_sessions.insert(peer, sess);
+        if let Some(e) = failed {
+            return Err(e);
+        }
+        let mut out = Vec::with_capacity(chunks.len());
+        for c in chunks {
+            let bytes = per_entry * c.updates.len() as u64;
+            self.heal_chunks += 1;
+            self.heal_replay_bytes += bytes;
+            self.heal_bytes_in_flight += bytes;
+            if let Some(cnt) = &self.link_counters {
+                LinkCounters::add(&cnt.heal_replay_bytes, bytes);
+            }
+            let sess = self.heal_sessions.get(&peer).expect("reinserted above");
+            out.push((
+                peer,
+                StoreMsg::RepairChunk {
+                    session: sess.id,
+                    seq: c.seq,
+                    last: c.last,
+                    updates: c.updates,
+                },
+            ));
+        }
+        Ok(out)
+    }
+
+    /// Drop `peer`'s live heal session (flap, shutdown), releasing
+    /// its in-flight gauge contribution; returns its watermark.
+    fn cancel_heal_session(&mut self, peer: Pid) -> Option<u64> {
+        let sess = self.heal_sessions.remove(&peer)?;
+        self.heal_bytes_in_flight = self
+            .heal_bytes_in_flight
+            .saturating_sub(sess.inflight_bytes());
+        Some(sess.since)
+    }
+
+    /// Advance every live heal session one tick — stalled sessions
+    /// re-send their digest request or expire their oldest chunk to
+    /// reopen the window (see [`UcStore::heal_tick`]).
+    #[allow(clippy::type_complexity)]
+    pub fn heal_tick(&mut self) -> Result<Vec<(Pid, StoreMsg<A::Update>)>, PoolError> {
+        let peers: Vec<Pid> = self.heal_sessions.keys().copied().collect();
+        let mut out = Vec::new();
+        for peer in peers {
+            let stall = self.heal_cfg.stall_ticks;
+            let Some(sess) = self.heal_sessions.get_mut(&peer) else {
+                continue;
+            };
+            match sess.on_tick(stall) {
+                HealTick::Wait => {}
+                HealTick::ResendDigest => {
+                    out.push((
+                        peer,
+                        StoreMsg::DigestRequest {
+                            session: sess.id,
+                            since: sess.since,
+                            groups: sess.groups,
+                            ranges: sess.ranges,
+                            digests: sess.digests.clone(),
+                        },
+                    ));
+                }
+                HealTick::Expired { released, complete } => {
+                    self.heal_bytes_in_flight = self.heal_bytes_in_flight.saturating_sub(released);
+                    if complete {
+                        self.heal_sessions.remove(&peer);
+                        self.apply_retention()?;
+                    } else {
+                        out.extend(self.pump_heal_session(peer)?);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Tune the chunked heal protocol; applies to sessions opened
+    /// after the call.
+    pub fn set_heal_config(&mut self, cfg: HealConfig) {
+        self.heal_cfg = cfg;
+    }
+
+    /// The chunked-heal tuning in force.
+    pub fn heal_config(&self) -> &HealConfig {
+        &self.heal_cfg
+    }
+
+    /// Heal chunks emitted by this pool (counter).
+    pub fn heal_chunks(&self) -> u64 {
+        self.heal_chunks
+    }
+
+    /// Digest slots skipped because both sides agreed (counter).
+    pub fn heal_digest_skips(&self) -> u64 {
+        self.heal_digest_skips
+    }
+
+    /// Estimated bytes in unacknowledged heal chunks right now.
+    pub fn heal_bytes_in_flight(&self) -> u64 {
+        self.heal_bytes_in_flight
+    }
+
+    /// Live heal sessions, keyed by healing peer (observability).
+    pub fn heal_sessions(&self) -> impl Iterator<Item = (&Pid, &HealSession)> {
+        self.heal_sessions.iter()
     }
 
     /// Answer a read under the active partition policy: same contract
@@ -2111,23 +2624,53 @@ where
         }
     }
 
-    fn on_message(&mut self, _from: Pid, msg: Self::Msg, _ctx: &mut Ctx<'_, Self::Msg>) {
-        self.submit_batch(vec![msg])
+    fn on_message(&mut self, from: Pid, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>) {
+        let replies = self
+            .apply_message_from(from, msg)
             .unwrap_or_else(|e| panic!("{e}"));
+        for (to, reply) in replies {
+            ctx.send(to, reply);
+        }
     }
 
-    fn on_batch(&mut self, msgs: Vec<(Pid, Self::Msg)>, _ctx: &mut Ctx<'_, Self::Msg>) {
-        self.submit_batch(msgs.into_iter().map(|(_, m)| m).collect())
-            .unwrap_or_else(|e| panic!("{e}"));
+    fn on_batch(&mut self, msgs: Vec<(Pid, Self::Msg)>, ctx: &mut Ctx<'_, Self::Msg>) {
+        // Ingest the burst's plain traffic first, then answer its
+        // heal control frames: a digest request answered after the
+        // burst's updates are enqueued sees them (FIFO inboxes), so
+        // converged-through-the-burst slots are skipped.
+        let mut ingest = Vec::with_capacity(msgs.len());
+        let mut frames = Vec::new();
+        for (from, m) in msgs {
+            match m {
+                StoreMsg::Update { .. } | StoreMsg::Heartbeat { .. } | StoreMsg::Repair { .. } => {
+                    ingest.push(m)
+                }
+                frame => frames.push((from, frame)),
+            }
+        }
+        if !ingest.is_empty() {
+            self.submit_batch(ingest).unwrap_or_else(|e| panic!("{e}"));
+        }
+        for (from, frame) in frames {
+            let replies = self
+                .apply_message_from(from, frame)
+                .unwrap_or_else(|e| panic!("{e}"));
+            for (to, reply) in replies {
+                ctx.send(to, reply);
+            }
+        }
     }
 
     /// Timer-driven maintenance: announce the handle's clock to every
-    /// peer and enqueue a compaction sweep plus a backend flush on
-    /// every worker (same poisoning contract as the other `Protocol`
-    /// entry points) — segment flushing rides the runtime's timer
-    /// wheel, no flusher thread.
+    /// peer, advance stalled heal sessions, and enqueue a compaction
+    /// sweep plus a backend flush on every worker (same poisoning
+    /// contract as the other `Protocol` entry points) — segment
+    /// flushing rides the runtime's timer wheel, no flusher thread.
     fn on_tick(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
         ctx.broadcast_others(self.heartbeat());
+        for (to, m) in self.heal_tick().unwrap_or_else(|e| panic!("{e}")) {
+            ctx.send(to, m);
+        }
         self.tick_maintenance().unwrap_or_else(|e| panic!("{e}"));
         self.flush_backends().unwrap_or_else(|e| panic!("{e}"));
     }
@@ -2337,8 +2880,9 @@ mod tests {
 
     #[test]
     fn pooled_heal_matches_sequential() {
-        // Same traffic, same outage window: the pooled heal burst must
-        // carry exactly the updates the sequential store would stream.
+        // Same traffic, same outage window: the pooled monolithic
+        // heal burst must carry exactly the updates the sequential
+        // store would stream.
         let mut seq = store(0, 4);
         let mut pool = store(0, 4).into_pool(cfg(2));
         for i in 0..20u64 {
@@ -2370,9 +2914,11 @@ mod tests {
             }])
             .unwrap();
         }
-        let seq_burst = seq.peer_up(1).expect("sequential heal streams a burst");
+        let seq_burst = seq
+            .peer_up_monolithic(1)
+            .expect("sequential heal streams a burst");
         let pool_burst = pool
-            .peer_up(1)
+            .peer_up_monolithic(1)
             .unwrap()
             .expect("pooled heal streams a burst");
         let (StoreMsg::Repair { updates: a }, StoreMsg::Repair { updates: b }) =
@@ -2382,7 +2928,68 @@ mod tests {
         };
         assert_eq!(a, b);
         assert!(pool.heal_replay_bytes() > 0);
-        assert!(pool.peer_up(1).unwrap().is_none(), "heal is one-shot");
+        assert!(
+            pool.peer_up_monolithic(1).unwrap().is_none(),
+            "heal is one-shot"
+        );
         pool.finish().unwrap();
+    }
+
+    #[test]
+    fn pooled_chunked_heal_streams_digest_guided_chunks() {
+        // Drive a full digest-guided chunked heal from a pool to a
+        // sequential healed peer by ping-ponging the protocol frames —
+        // the pooled mirror of `UcStore::heal_peer`.
+        let mut pool = store(0, 4).into_pool(cfg(2));
+        pool.set_heal_config(HealConfig {
+            chunk: 4,
+            window: 2,
+            ..HealConfig::default()
+        });
+        let mut peer = store(1, 4);
+        pool.peer_down(1).unwrap();
+        for i in 0..30u64 {
+            pool.update(i % 5, SetUpdate::Insert(i as u32)).unwrap();
+        }
+        let opener = pool
+            .peer_up(1)
+            .unwrap()
+            .expect("divergence opens a session");
+        assert!(matches!(opener, StoreMsg::DigestRequest { .. }));
+        let mut chunks = 0u64;
+        let mut to_peer = vec![opener];
+        while !to_peer.is_empty() {
+            let mut to_pool = Vec::new();
+            for m in to_peer.drain(..) {
+                if matches!(m, StoreMsg::RepairChunk { .. }) {
+                    chunks += 1;
+                }
+                to_pool.extend(peer.apply_message_from(0, m).into_iter().map(|(_, m)| m));
+            }
+            for m in to_pool {
+                to_peer.extend(
+                    pool.apply_message_from(1, m)
+                        .unwrap()
+                        .into_iter()
+                        .map(|(_, m)| m),
+                );
+            }
+        }
+        assert!(chunks >= 8, "30 entries / chunk=4 needs ≥ 8, got {chunks}");
+        assert_eq!(pool.heal_chunks(), chunks);
+        assert_eq!(pool.heal_bytes_in_flight(), 0, "all chunks acked");
+        assert!(
+            pool.heal_sessions().next().is_none(),
+            "session completes on the last ack"
+        );
+        assert_eq!(pool.partition().down_count(), 0);
+        let mut healer = pool.finish().unwrap();
+        for k in 0..5u64 {
+            assert_eq!(
+                healer.materialize_key(k),
+                peer.materialize_key(k),
+                "key {k}"
+            );
+        }
     }
 }

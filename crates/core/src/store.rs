@@ -51,6 +51,7 @@ use crate::backend::{BackendFactory, LogBackend, MemFactory};
 use crate::engine::{CutError, RepairStrategy, ReplicaEngine};
 use crate::gc::StableGc;
 use crate::generic::NaiveReplay;
+use crate::heal::{mismatched_slots, HealConfig, HealDigest, HealSession, HealTick};
 use crate::message::UpdateMsg;
 use crate::timestamp::{LamportClock, Timestamp};
 use std::collections::HashMap;
@@ -190,6 +191,67 @@ pub enum StoreMsg<U> {
         /// The missed keyed updates, in timestamp order.
         updates: Vec<(Key, UpdateMsg<U>)>,
     },
+    /// Chunked-heal opener: the healing side's per-(group, key-range)
+    /// digests of everything it would stream above the outage
+    /// watermark. The healed peer compares against its own view and
+    /// answers [`StoreMsg::DigestResponse`] with the slots that
+    /// differ; matching slots are skipped entirely, so converged
+    /// peers exchange O(groups) bytes instead of O(suffix). See
+    /// [`heal`](crate::heal).
+    DigestRequest {
+        /// Session id (echoed by every reply; stale sessions ignore
+        /// replies carrying another id).
+        session: u64,
+        /// The outage-start watermark the digests cover (`clock >
+        /// since`).
+        since: u64,
+        /// Digest group count — the *sender's* shard count; the
+        /// receiver evaluates slots with these parameters regardless
+        /// of its own sharding.
+        groups: u32,
+        /// Key-range fan-out per group.
+        ranges: u32,
+        /// `groups * ranges` digest slots, flattened as
+        /// `group * ranges + range`.
+        digests: Vec<crate::heal::HealDigest>,
+    },
+    /// The healed peer's verdict on a [`StoreMsg::DigestRequest`]:
+    /// the flat slot indices whose digests differ from its own view
+    /// (computed over the same watermark, excluding its own updates).
+    /// Only these slots are streamed.
+    DigestResponse {
+        /// Echoed session id.
+        session: u64,
+        /// Echoed watermark.
+        since: u64,
+        /// Flat indices of the differing digest slots, ascending.
+        mismatched: Vec<u32>,
+    },
+    /// One bounded chunk of a heal stream — the flow-controlled
+    /// successor of [`StoreMsg::Repair`]. Receivers ingest the
+    /// payload through the same deduplicating batch path (so
+    /// redelivered or overlapping chunks are no-ops) and acknowledge
+    /// with [`StoreMsg::RepairAck`]; the sender keeps at most
+    /// `HealConfig::window` chunks unacknowledged.
+    RepairChunk {
+        /// Echoed session id.
+        session: u64,
+        /// Session-local chunk sequence number (1-based).
+        seq: u64,
+        /// True on the session's final chunk; its ack completes the
+        /// heal on the sending side.
+        last: bool,
+        /// The chunk payload, in streaming-plan order.
+        updates: Vec<(Key, UpdateMsg<U>)>,
+    },
+    /// Flow-control acknowledgement of one [`StoreMsg::RepairChunk`];
+    /// each ack reopens the sender's window by one chunk.
+    RepairAck {
+        /// Echoed session id.
+        session: u64,
+        /// The acknowledged chunk's sequence number.
+        seq: u64,
+    },
 }
 
 impl<U: fmt::Debug> fmt::Debug for StoreMsg<U> {
@@ -198,6 +260,30 @@ impl<U: fmt::Debug> fmt::Debug for StoreMsg<U> {
             StoreMsg::Update { key, msg } => write!(f, "k{key}:{msg:?}"),
             StoreMsg::Heartbeat { pid, clock } => write!(f, "hb(p{pid},{clock})"),
             StoreMsg::Repair { updates } => write!(f, "repair[{}]", updates.len()),
+            StoreMsg::DigestRequest {
+                session,
+                since,
+                groups,
+                ranges,
+                ..
+            } => write!(f, "digest-req(s{session},>{since},{groups}x{ranges})"),
+            StoreMsg::DigestResponse {
+                session,
+                mismatched,
+                ..
+            } => write!(f, "digest-resp(s{session},{} slots)", mismatched.len()),
+            StoreMsg::RepairChunk {
+                session,
+                seq,
+                last,
+                updates,
+            } => write!(
+                f,
+                "chunk(s{session},#{seq}{},{})",
+                if *last { ",last" } else { "" },
+                updates.len()
+            ),
+            StoreMsg::RepairAck { session, seq } => write!(f, "chunk-ack(s{session},#{seq})"),
         }
     }
 }
@@ -252,6 +338,17 @@ impl<A: UqAdt> fmt::Debug for StoreInput<A> {
             StoreInput::PeerDown(p) => write!(f, "down(p{p})"),
             StoreInput::PeerUp(p) => write!(f, "up(p{p})"),
         }
+    }
+}
+
+/// A failure detector ([`uc_sim::HeartbeatDetector`]) can drive the
+/// store's membership verdicts directly from missed heartbeats.
+impl<A: UqAdt> uc_sim::MembershipInput for StoreInput<A> {
+    fn peer_down(peer: Pid) -> Self {
+        StoreInput::PeerDown(peer)
+    }
+    fn peer_up(peer: Pid) -> Self {
+        StoreInput::PeerUp(peer)
     }
 }
 
@@ -675,13 +772,21 @@ pub(crate) fn split_by_shard<U>(
             }
             // A repair burst is just keyed updates in bulk: route each
             // through the same per-shard buckets, so heal ingest is
-            // byte-identical to ordinary (deduplicating) delivery.
-            StoreMsg::Repair { updates } => {
+            // byte-identical to ordinary (deduplicating) delivery. A
+            // heal *chunk* is the same thing in bounded pieces.
+            StoreMsg::Repair { updates } | StoreMsg::RepairChunk { updates, .. } => {
                 for (key, msg) in updates {
                     max_clock = max_clock.max(msg.ts.clock);
                     buckets[shard_index(key, shards)].push((key, msg));
                 }
             }
+            // Pure heal-protocol control frames carry no updates and
+            // need a replying context; the ingest paths drop them —
+            // the protocol runtimes route them through
+            // `apply_message_from` before ever batching.
+            StoreMsg::DigestRequest { .. }
+            | StoreMsg::DigestResponse { .. }
+            | StoreMsg::RepairAck { .. } => {}
         }
     }
     (buckets, heartbeats, max_clock)
@@ -704,10 +809,26 @@ pub struct UcStore<A: UqAdt, F: StrategyFactory<A>, P: BackendFactory<A> = MemFa
     persisted_floor: Option<u64>,
     /// Down-peer bookkeeping and the minority-read policy.
     partition: PartitionTracker,
-    /// Estimated wire bytes of every [`StoreMsg::Repair`] burst this
-    /// store has emitted on heal (observability; also folded into
-    /// runtime metrics via the attached [`LinkCounters`]).
+    /// Estimated wire bytes of every heal burst or chunk this store
+    /// has emitted (observability; also folded into runtime metrics
+    /// via the attached [`LinkCounters`]).
     heal_replay_bytes: u64,
+    /// Chunked-heal tuning (chunk size, flow-control window, digest
+    /// range fan-out).
+    heal_cfg: HealConfig,
+    /// Live chunked-heal sessions, one per healing peer. A session
+    /// pins compaction at its watermark exactly like a down peer
+    /// (see [`UcStore::apply_retention`]).
+    heal_sessions: std::collections::BTreeMap<Pid, HealSession>,
+    /// Monotone session-id source (ids disambiguate replies from
+    /// cancelled sessions after a flap).
+    heal_next_session: u64,
+    /// Heal chunks emitted (counter).
+    heal_chunks: u64,
+    /// Digest slots skipped because both sides agreed (counter).
+    heal_digest_skips: u64,
+    /// Estimated bytes currently in unacknowledged chunks (gauge).
+    heal_bytes_in_flight: u64,
     /// Shared protocol-side counters, folded into the owning
     /// runtime's [`uc_sim::Metrics`] when attached.
     link_counters: Option<Arc<LinkCounters>>,
@@ -758,6 +879,12 @@ where
             persisted_floor: self.persisted_floor,
             partition: self.partition.clone(),
             heal_replay_bytes: self.heal_replay_bytes,
+            heal_cfg: self.heal_cfg.clone(),
+            heal_sessions: self.heal_sessions.clone(),
+            heal_next_session: self.heal_next_session,
+            heal_chunks: self.heal_chunks,
+            heal_digest_skips: self.heal_digest_skips,
+            heal_bytes_in_flight: self.heal_bytes_in_flight,
             link_counters: self.link_counters.clone(),
             monitor: self.monitor.clone(),
             trace: self.trace.clone(),
@@ -819,6 +946,12 @@ where
             persisted_floor: None,
             partition: PartitionTracker::default(),
             heal_replay_bytes: 0,
+            heal_cfg: HealConfig::default(),
+            heal_sessions: std::collections::BTreeMap::new(),
+            heal_next_session: 0,
+            heal_chunks: 0,
+            heal_digest_skips: 0,
+            heal_bytes_in_flight: 0,
             link_counters: None,
             monitor: None,
             trace: None,
@@ -953,6 +1086,12 @@ where
             // starts with a clean membership view.
             partition: PartitionTracker::default(),
             heal_replay_bytes: 0,
+            heal_cfg: HealConfig::default(),
+            heal_sessions: std::collections::BTreeMap::new(),
+            heal_next_session: 0,
+            heal_chunks: 0,
+            heal_digest_skips: 0,
+            heal_bytes_in_flight: 0,
             link_counters: None,
             // Observability attachments stay with whoever ran the
             // protocol; the pool streams its own monitor counters.
@@ -1086,7 +1225,7 @@ where
                     shard.observe_peer_clock(*pid, *clock);
                 }
             }
-            StoreMsg::Repair { updates } => {
+            StoreMsg::Repair { updates } | StoreMsg::RepairChunk { updates, .. } => {
                 for (key, msg) in updates {
                     self.clock.merge(msg.ts.clock);
                     if let Some(mon) = &mut self.monitor {
@@ -1099,6 +1238,76 @@ where
                 if let Some(tr) = &self.trace {
                     tr.record(TraceKind::Heal, 0, updates.len() as u64);
                 }
+            }
+            // Heal-protocol control frames need a reply channel; this
+            // reply-less entry point can only drop them. Drive the
+            // chunk protocol through `apply_message_from` (or the
+            // `Protocol` impl, which routes there).
+            StoreMsg::DigestRequest { .. }
+            | StoreMsg::DigestResponse { .. }
+            | StoreMsg::RepairAck { .. } => {}
+        }
+    }
+
+    /// Ingest one peer message *with a reply path*: heal-protocol
+    /// frames (digest exchange, chunk delivery, flow-control acks)
+    /// are answered and advanced here, everything else lands on
+    /// [`UcStore::apply_message`]. Returns the messages to send,
+    /// addressed per recipient — the `Protocol` impl forwards them
+    /// via `ctx.send`; direct-drive callers (tests, examples,
+    /// [`UcStore::heal_peer`]) deliver them by hand.
+    pub fn apply_message_from(
+        &mut self,
+        from: Pid,
+        msg: StoreMsg<A::Update>,
+    ) -> Vec<(Pid, StoreMsg<A::Update>)> {
+        match msg {
+            StoreMsg::DigestRequest {
+                session,
+                since,
+                groups,
+                ranges,
+                digests,
+            } => {
+                // Compare the healing side's view against our own
+                // (excluding our own updates — those are exactly what
+                // it excluded too) and name the slots that differ.
+                let ours = self.digest_suffix(since, self.pid, groups, ranges);
+                let mismatched = mismatched_slots(&digests, &ours);
+                vec![(
+                    from,
+                    StoreMsg::DigestResponse {
+                        session,
+                        since,
+                        mismatched,
+                    },
+                )]
+            }
+            StoreMsg::DigestResponse {
+                session,
+                since,
+                mismatched,
+            } => self.on_digest_response(from, session, since, &mismatched),
+            StoreMsg::RepairChunk {
+                session,
+                seq,
+                last: _,
+                updates,
+            } => {
+                // Chunk payloads ride the deduplicating batch path —
+                // redelivery and overlap are no-ops — then the ack
+                // reopens the sender's window.
+                let n = updates.len() as u64;
+                self.ingest_burst(std::iter::once(StoreMsg::Repair { updates }));
+                if let Some(tr) = &self.trace {
+                    tr.record(TraceKind::Heal, 0, n);
+                }
+                vec![(from, StoreMsg::RepairAck { session, seq })]
+            }
+            StoreMsg::RepairAck { session, seq } => self.on_repair_ack(from, session, seq),
+            other => {
+                self.apply_message(&other);
+                Vec::new()
             }
         }
     }
@@ -1474,6 +1683,14 @@ where
             .set(self.total_repair_steps());
         reg.counter("uc_store_heal_replay_bytes_total")
             .set(self.heal_replay_bytes);
+        reg.counter("uc_store_heal_chunks_total")
+            .set(self.heal_chunks);
+        reg.counter("uc_store_heal_digest_skips_total")
+            .set(self.heal_digest_skips);
+        reg.gauge("uc_store_heal_bytes_in_flight")
+            .set(self.heal_bytes_in_flight as i64);
+        reg.gauge("uc_store_heal_sessions")
+            .set(self.heal_sessions.len() as i64);
         if let Some(stats) = self.monitor_stats() {
             crate::observe::export_monitor_stats(stats, reg);
         }
@@ -1498,37 +1715,94 @@ where
     /// (`LinkStats::shed` / `gaps_skipped`, `Metrics::
     /// messages_dropped`) rather than silent.
     pub fn peer_down(&mut self, peer: Pid) {
-        let watermark = self.clock.now();
+        // A flap mid-heal cancels the peer's session; the outage
+        // watermark re-opens at the *session's* watermark (not the
+        // current clock), so the unacknowledged remainder of the
+        // cancelled stream is re-covered by the next heal —
+        // resumability through idempotent chunk ingest.
+        let watermark = match self.cancel_heal_session(peer) {
+            Some(session_since) => session_since.min(self.clock.now()),
+            None => self.clock.now(),
+        };
         self.partition.mark_down(peer, watermark);
         self.apply_retention();
     }
 
-    /// Re-derive the compaction pin from the down set: while any peer
-    /// is marked down, no engine may compact past the earliest
-    /// outage-start watermark — otherwise an *incoming* heal burst
-    /// (carrying the majority's high clocks) would advance stability
-    /// and fold this replica's own partition-era updates into the base
-    /// before [`UcStore::peer_up`] ever streamed them back out.
+    /// Re-derive the compaction pin from the down set *and* the live
+    /// heal sessions: while any peer is marked down — or any session
+    /// is still streaming its suffix — no engine may compact past the
+    /// earliest watermark involved. Otherwise an *incoming* heal
+    /// burst (carrying the majority's high clocks) would advance
+    /// stability and fold this replica's own partition-era updates
+    /// into the base before they were streamed back out.
     fn apply_retention(&mut self) {
-        let cap = self.partition.down_peers().map(|(_, w)| w).min();
+        let down = self.partition.down_peers().map(|(_, w)| w).min();
+        let streaming = self.heal_sessions.values().map(|s| s.since).min();
+        let cap = match (down, streaming) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, None) => a,
+            (None, b) => b,
+        };
         for shard in &mut self.shards {
             shard.set_retention_cap(cap);
         }
     }
 
-    /// Report `peer` reachable again. If it was down, collects every
-    /// update stamped above its outage-start watermark — skipping
-    /// shards whose high water never passed it, and excluding the
-    /// peer's own updates (it has those; losing its link to us does
-    /// not lose its local log) — and returns the
-    /// [`StoreMsg::Repair`] burst to send it. `None` when the peer
-    /// was not down or nothing diverged.
+    /// Report `peer` reachable again. If it was down and anything
+    /// here moved past its outage-start watermark, opens a chunked
+    /// heal session and returns the [`StoreMsg::DigestRequest`] to
+    /// send it — the opener of the digest-guided, flow-controlled
+    /// heal dialogue (see [`heal`](crate::heal)). The session then
+    /// advances through [`UcStore::apply_message_from`] (or the
+    /// `Protocol` impl) as responses and acks arrive, and keeps
+    /// compaction pinned at the watermark until its final chunk is
+    /// acknowledged. `None` when the peer was not down or no shard's
+    /// high water passed the watermark (nothing to reconcile).
     ///
-    /// This is a durability point: engines flush before streaming so
-    /// segment-backed stores can serve the suffix straight from their
-    /// journals ([`LogBackend::stream_suffix`]) instead of refolding
-    /// through memory.
+    /// For the pre-digest monolithic burst (one
+    /// [`StoreMsg::Repair`] carrying the whole suffix), see
+    /// [`UcStore::peer_up_monolithic`].
     pub fn peer_up(&mut self, peer: Pid) -> Option<StoreMsg<A::Update>> {
+        let since = self.partition.mark_up(peer)?;
+        // A cancelled session to this peer cannot exist (sessions are
+        // cancelled when the peer goes down), but clear defensively
+        // so a stale one can never absorb the new session's replies.
+        self.cancel_heal_session(peer);
+        if self.shards.iter().all(|s| s.high_water <= since) {
+            // Nothing here outran the watermark: no session, and the
+            // retention pin (if this was the last down peer) lifts.
+            self.apply_retention();
+            return None;
+        }
+        let groups = self.shards.len() as u32;
+        let ranges = self.heal_cfg.ranges.max(1);
+        let digests = self.digest_suffix(since, peer, groups, ranges);
+        let id = self.heal_next_session;
+        self.heal_next_session += 1;
+        self.heal_sessions.insert(
+            peer,
+            HealSession::new(peer, since, id, groups, ranges, digests.clone()),
+        );
+        // The peer left the down set but its session now pins
+        // retention at the same watermark — net effect: no change
+        // until the session completes.
+        self.apply_retention();
+        Some(StoreMsg::DigestRequest {
+            session: id,
+            since,
+            groups,
+            ranges,
+            digests,
+        })
+    }
+
+    /// PR 8's monolithic heal: collect the peer's entire missed
+    /// suffix and return it as one [`StoreMsg::Repair`] burst. Kept
+    /// as the baseline the chunked path is benchmarked against (peak
+    /// memory here is O(suffix)) and for callers that want the
+    /// one-shot semantics in tests. `None` when the peer was not down
+    /// or nothing diverged.
+    pub fn peer_up_monolithic(&mut self, peer: Pid) -> Option<StoreMsg<A::Update>> {
         let since = self.partition.mark_up(peer)?;
         // Collect under the outgoing (tighter) retention pin, *then*
         // relax it — releasing first would let an interleaved
@@ -1544,6 +1818,263 @@ where
             LinkCounters::add(&c.heal_replay_bytes, bytes);
         }
         Some(StoreMsg::Repair { updates })
+    }
+
+    /// Per-(group, key-range) digests of the retained suffix above
+    /// `since`, excluding `exclude`'s own updates — what
+    /// [`StoreMsg::DigestRequest`] carries and what its receiver
+    /// recomputes locally. Folded straight off each engine's
+    /// in-memory sorted log (no cloning, no storage round-trip);
+    /// shards whose high water never passed `since` contribute
+    /// nothing without touching their engines.
+    pub fn digest_suffix(
+        &mut self,
+        since: u64,
+        exclude: Pid,
+        groups: u32,
+        ranges: u32,
+    ) -> Vec<HealDigest> {
+        let mut slots = vec![HealDigest::default(); (groups as usize) * (ranges as usize)];
+        for shard in &mut self.shards {
+            if shard.high_water <= since {
+                continue;
+            }
+            for (key, engine) in shard.objects.iter_mut() {
+                let slot = crate::heal::digest_slot(*key, groups, ranges) as usize;
+                engine.digest_suffix(since, |ts, hash| {
+                    if ts.pid != exclude {
+                        slots[slot].fold(hash);
+                    }
+                });
+            }
+        }
+        slots
+    }
+
+    /// A [`StoreMsg::DigestResponse`] arrived: build the streaming
+    /// plan from the mismatched slots and emit the first window of
+    /// chunks. Replies carrying a stale session id (or arriving with
+    /// no session at all) are dropped.
+    fn on_digest_response(
+        &mut self,
+        from: Pid,
+        session: u64,
+        since: u64,
+        mismatched: &[u32],
+    ) -> Vec<(Pid, StoreMsg<A::Update>)> {
+        let Some(sess) = self.heal_sessions.get(&from) else {
+            return Vec::new();
+        };
+        if sess.id != session || sess.since != since {
+            return Vec::new();
+        }
+        // Candidate keys: everything in shards whose high water
+        // passed the watermark — the same pre-filter the digests
+        // used, so plan and digest always cover the same universe.
+        let mut candidates: Vec<(usize, Key)> = Vec::new();
+        for (si, shard) in self.shards.iter().enumerate() {
+            if shard.high_water <= since {
+                continue;
+            }
+            candidates.extend(shard.objects.keys().map(|k| (si, *k)));
+        }
+        let sess = self.heal_sessions.get_mut(&from).expect("checked above");
+        if let Some(skipped) = sess.begin_streaming(mismatched, candidates) {
+            self.heal_digest_skips += skipped;
+        }
+        self.pump_heal_session(from)
+    }
+
+    /// A [`StoreMsg::RepairAck`] arrived: release its chunk from the
+    /// flow-control window and either refill the window or, when the
+    /// final chunk is acknowledged, complete the session (lifting its
+    /// retention pin).
+    fn on_repair_ack(
+        &mut self,
+        from: Pid,
+        session: u64,
+        seq: u64,
+    ) -> Vec<(Pid, StoreMsg<A::Update>)> {
+        let Some(sess) = self.heal_sessions.get_mut(&from) else {
+            return Vec::new();
+        };
+        if sess.id != session {
+            return Vec::new();
+        }
+        let (released, complete) = sess.on_ack(seq);
+        self.heal_bytes_in_flight = self.heal_bytes_in_flight.saturating_sub(released);
+        if complete {
+            self.heal_sessions.remove(&from);
+            self.apply_retention();
+            return Vec::new();
+        }
+        self.pump_heal_session(from)
+    }
+
+    /// Emit as many chunks to `peer`'s session as its window allows,
+    /// reading payloads through the bounded-window engine cursors
+    /// (O(chunk) peak memory — segment backends serve straight from
+    /// their files) and accounting every emitted chunk's estimated
+    /// bytes in the in-flight gauge and heal counters.
+    fn pump_heal_session(&mut self, peer: Pid) -> Vec<(Pid, StoreMsg<A::Update>)> {
+        let Some(mut sess) = self.heal_sessions.remove(&peer) else {
+            return Vec::new();
+        };
+        let per_entry = 8 + 12 + std::mem::size_of::<A::Update>() as u64;
+        let cfg = self.heal_cfg.clone();
+        let chunks = {
+            let shards = &mut self.shards;
+            sess.fill_chunks(&cfg, per_entry, |si, key, since, after, limit| {
+                match shards[si].objects.get_mut(&key) {
+                    Some(engine) => engine.suffix_since_window(since, after, limit),
+                    // The key vanished mid-plan (cannot happen while
+                    // the session pins retention, but stay total).
+                    None => (Vec::new(), false),
+                }
+            })
+        };
+        let mut out = Vec::with_capacity(chunks.len());
+        for c in chunks {
+            let bytes = per_entry * c.updates.len() as u64;
+            self.heal_chunks += 1;
+            self.heal_replay_bytes += bytes;
+            self.heal_bytes_in_flight += bytes;
+            if let Some(cnt) = &self.link_counters {
+                LinkCounters::add(&cnt.heal_replay_bytes, bytes);
+            }
+            out.push((
+                peer,
+                StoreMsg::RepairChunk {
+                    session: sess.id,
+                    seq: c.seq,
+                    last: c.last,
+                    updates: c.updates,
+                },
+            ));
+        }
+        self.heal_sessions.insert(peer, sess);
+        out
+    }
+
+    /// Drop `peer`'s live heal session (flap, shutdown), releasing
+    /// its in-flight gauge contribution; returns its watermark so the
+    /// caller can re-open the outage there.
+    fn cancel_heal_session(&mut self, peer: Pid) -> Option<u64> {
+        let sess = self.heal_sessions.remove(&peer)?;
+        self.heal_bytes_in_flight = self
+            .heal_bytes_in_flight
+            .saturating_sub(sess.inflight_bytes());
+        Some(sess.since)
+    }
+
+    /// Advance every live heal session one tick: stalled sessions
+    /// re-send their digest request or expire their oldest
+    /// unacknowledged chunk to reopen the window (liveness on raw
+    /// lossy links — over [`ReliableLink`](uc_sim) the expired
+    /// chunk's data still arrives; without one the next heal cycle
+    /// re-covers it). Returns the messages to send, like
+    /// [`UcStore::apply_message_from`].
+    pub fn heal_tick(&mut self) -> Vec<(Pid, StoreMsg<A::Update>)> {
+        let peers: Vec<Pid> = self.heal_sessions.keys().copied().collect();
+        let mut out = Vec::new();
+        for peer in peers {
+            let stall = self.heal_cfg.stall_ticks;
+            let Some(sess) = self.heal_sessions.get_mut(&peer) else {
+                continue;
+            };
+            match sess.on_tick(stall) {
+                HealTick::Wait => {}
+                HealTick::ResendDigest => {
+                    out.push((
+                        peer,
+                        StoreMsg::DigestRequest {
+                            session: sess.id,
+                            since: sess.since,
+                            groups: sess.groups,
+                            ranges: sess.ranges,
+                            digests: sess.digests.clone(),
+                        },
+                    ));
+                }
+                HealTick::Expired { released, complete } => {
+                    self.heal_bytes_in_flight = self.heal_bytes_in_flight.saturating_sub(released);
+                    if complete {
+                        self.heal_sessions.remove(&peer);
+                        self.apply_retention();
+                    } else {
+                        out.extend(self.pump_heal_session(peer));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Drive a full chunked heal of `healed` synchronously: open the
+    /// session ([`UcStore::peer_up`]) and ping-pong the protocol
+    /// frames between the two stores until the session completes.
+    /// The direct-drive harness for tests, benches, and examples that
+    /// do not run a message-passing runtime; returns the number of
+    /// chunks streamed (0 when nothing diverged).
+    pub fn heal_peer<F2, P2>(&mut self, healed: &mut UcStore<A, F2, P2>) -> u64
+    where
+        F2: StrategyFactory<A>,
+        P2: BackendFactory<A>,
+    {
+        let peer = healed.pid();
+        let me = self.pid;
+        let Some(opener) = self.peer_up(peer) else {
+            return 0;
+        };
+        let mut chunks = 0u64;
+        let mut to_peer = vec![opener];
+        while !to_peer.is_empty() {
+            let mut to_me = Vec::new();
+            for m in to_peer.drain(..) {
+                if matches!(m, StoreMsg::RepairChunk { .. }) {
+                    chunks += 1;
+                }
+                to_me.extend(healed.apply_message_from(me, m).into_iter().map(|(_, m)| m));
+            }
+            for m in to_me {
+                to_peer.extend(self.apply_message_from(peer, m).into_iter().map(|(_, m)| m));
+            }
+        }
+        chunks
+    }
+
+    /// Tune the chunked heal protocol (chunk size, window, digest
+    /// range fan-out, stall threshold). Applies to sessions opened
+    /// after the call.
+    pub fn set_heal_config(&mut self, cfg: HealConfig) {
+        self.heal_cfg = cfg;
+    }
+
+    /// The chunked-heal tuning in force.
+    pub fn heal_config(&self) -> &HealConfig {
+        &self.heal_cfg
+    }
+
+    /// Heal chunks emitted by this store (counter).
+    pub fn heal_chunks(&self) -> u64 {
+        self.heal_chunks
+    }
+
+    /// Digest slots skipped because both sides agreed (counter) —
+    /// the O(divergence) win made visible.
+    pub fn heal_digest_skips(&self) -> u64 {
+        self.heal_digest_skips
+    }
+
+    /// Estimated bytes in unacknowledged heal chunks right now
+    /// (gauge; bounded by `window * chunk * entry-size` per session).
+    pub fn heal_bytes_in_flight(&self) -> u64 {
+        self.heal_bytes_in_flight
+    }
+
+    /// Live heal sessions, keyed by healing peer (observability).
+    pub fn heal_sessions(&self) -> impl Iterator<Item = (&Pid, &HealSession)> {
+        self.heal_sessions.iter()
     }
 
     /// Every update stamped strictly above `since`, across all keys,
@@ -1672,8 +2203,8 @@ where
                 }
             }
             StoreInput::PeerUp(p) => {
-                if let Some(repair) = self.peer_up(p) {
-                    ctx.send(p, repair);
+                if let Some(opener) = self.peer_up(p) {
+                    ctx.send(p, opener);
                 }
                 StoreOutput::Membership {
                     peer: p,
@@ -1683,24 +2214,67 @@ where
         }
     }
 
-    fn on_message(&mut self, _from: Pid, msg: Self::Msg, _ctx: &mut Ctx<'_, Self::Msg>) {
-        self.apply_message(&msg);
+    fn on_message(&mut self, from: Pid, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>) {
+        for (to, reply) in self.apply_message_from(from, msg) {
+            ctx.send(to, reply);
+        }
     }
 
     /// Runtime flushes land on the per-shard batched ingest path,
-    /// moving (never cloning) the flushed messages.
-    fn on_batch(&mut self, msgs: Vec<(Pid, Self::Msg)>, _ctx: &mut Ctx<'_, Self::Msg>) {
-        self.ingest_burst(msgs.into_iter().map(|(_, m)| m));
+    /// moving (never cloning) the flushed messages. Heal-protocol
+    /// control frames are peeled off first and answered through
+    /// [`UcStore::apply_message_from`] — *after* the ingest, so a
+    /// digest response computed for a request sharing the burst
+    /// reflects the burst's own updates (maximizing skips); chunk
+    /// payloads join the batch and their acks follow it.
+    fn on_batch(&mut self, msgs: Vec<(Pid, Self::Msg)>, ctx: &mut Ctx<'_, Self::Msg>) {
+        let mut ingest: Vec<Self::Msg> = Vec::with_capacity(msgs.len());
+        let mut acks: Vec<(Pid, Self::Msg)> = Vec::new();
+        let mut frames: Vec<(Pid, Self::Msg)> = Vec::new();
+        for (from, m) in msgs {
+            match m {
+                StoreMsg::Update { .. } | StoreMsg::Heartbeat { .. } | StoreMsg::Repair { .. } => {
+                    ingest.push(m)
+                }
+                StoreMsg::RepairChunk {
+                    session,
+                    seq,
+                    last: _,
+                    updates,
+                } => {
+                    let n = updates.len() as u64;
+                    ingest.push(StoreMsg::Repair { updates });
+                    if let Some(tr) = &self.trace {
+                        tr.record(TraceKind::Heal, 0, n);
+                    }
+                    acks.push((from, StoreMsg::RepairAck { session, seq }));
+                }
+                other => frames.push((from, other)),
+            }
+        }
+        self.ingest_burst(ingest);
+        for (to, ack) in acks {
+            ctx.send(to, ack);
+        }
+        for (from, m) in frames {
+            for (to, reply) in self.apply_message_from(from, m) {
+                ctx.send(to, reply);
+            }
+        }
     }
 
     /// Timer-driven maintenance: announce the shared clock (one
     /// heartbeat advances every key's stability knowledge on every
-    /// peer), compact every key's stable prefix, and flush the storage
-    /// backends. On a timer-driven runtime this is what keeps GC
-    /// stores compacting — and segment-backed stores durable — without
-    /// any dedicated heartbeat or flusher thread.
+    /// peer), advance stalled heal sessions (digest re-sends, window
+    /// expiry), compact every key's stable prefix, and flush the
+    /// storage backends. On a timer-driven runtime this is what keeps
+    /// GC stores compacting — and segment-backed stores durable —
+    /// without any dedicated heartbeat or flusher thread.
     fn on_tick(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
         ctx.broadcast_others(self.heartbeat());
+        for (to, m) in self.heal_tick() {
+            ctx.send(to, m);
+        }
         self.tick_maintenance();
         self.flush_backends();
     }
@@ -1934,7 +2508,7 @@ mod tests {
     }
 
     #[test]
-    fn peer_up_streams_missed_suffix_and_skips_own_updates() {
+    fn monolithic_peer_up_streams_missed_suffix_and_skips_own_updates() {
         let mut s = store(0, 4);
         let mut peer = store(1, 4);
         // Pre-outage traffic reaches the peer normally.
@@ -1956,7 +2530,7 @@ mod tests {
         let expected_shards: BTreeSet<usize> =
             [1u64, 2, 3].iter().map(|k| s.shard_of(*k)).collect();
         assert_eq!(s.divergence(), vec![(1, watermark, expected_shards.len())]);
-        let Some(StoreMsg::Repair { updates }) = s.peer_up(1) else {
+        let Some(StoreMsg::Repair { updates }) = s.peer_up_monolithic(1) else {
             panic!("expected a repair burst");
         };
         assert_eq!(updates.len(), 2);
@@ -1970,7 +2544,170 @@ mod tests {
         assert_eq!(peer.materialize_key(2), BTreeSet::from([3]));
         // Nothing diverged since: a second heal has nothing to send.
         s.peer_down(1);
-        assert!(s.peer_up(1).is_none());
+        assert!(s.peer_up_monolithic(1).is_none());
+        assert!(s.heal_sessions().next().is_none());
+    }
+
+    #[test]
+    fn chunked_peer_up_opens_digest_session_and_heals() {
+        let mut s = store(0, 4);
+        let mut peer = store(1, 4);
+        let pre = s.update(1, SetUpdate::Insert(1));
+        peer.apply_message(&pre);
+        s.peer_down(1);
+        let watermark = s.clock();
+        // 30 diverging updates over several keys, chunk size 4: the
+        // heal must stream multiple flow-controlled chunks.
+        s.set_heal_config(HealConfig {
+            chunk: 4,
+            window: 2,
+            ..HealConfig::default()
+        });
+        for i in 0..30u64 {
+            s.update(i % 5, SetUpdate::Insert(100 + i as u32));
+        }
+        // An update from peer 1 itself: excluded from the stream.
+        peer.apply_message(&StoreMsg::Heartbeat {
+            pid: 0,
+            clock: s.clock(),
+        });
+        let from_peer = peer.update(3, SetUpdate::Insert(9));
+        s.apply_message(&from_peer);
+
+        let chunks = s.heal_peer(&mut peer);
+        assert!(chunks >= 8, "30 entries / chunk=4 needs ≥ 8, got {chunks}");
+        assert_eq!(s.heal_chunks(), chunks);
+        assert!(s.heal_replay_bytes() > 0);
+        assert_eq!(s.heal_bytes_in_flight(), 0, "all chunks acked");
+        assert!(
+            s.heal_sessions().next().is_none(),
+            "session completes on the last ack"
+        );
+        assert_eq!(s.partition().down_count(), 0);
+        // Convergence: the healed peer matches the healer everywhere,
+        // and nothing below the watermark was re-streamed (dedup
+        // would hide it, so check convergence is the invariant).
+        for k in 0..5u64 {
+            assert_eq!(s.materialize_key(k), peer.materialize_key(k), "key {k}");
+        }
+        assert_eq!(
+            peer.materialize_key(3),
+            BTreeSet::from([9, 103, 108, 113, 118, 123, 128]),
+            "peer's own insert survives alongside the streamed run"
+        );
+        let _ = watermark;
+        // Re-heal with nothing new: peer_up returns None (fast path —
+        // no shard outran the watermark), no session, no chunks.
+        s.peer_down(1);
+        let before = s.heal_chunks();
+        assert_eq!(s.heal_peer(&mut peer), 0);
+        assert_eq!(s.heal_chunks(), before);
+        assert_eq!(s.partition().down_count(), 0);
+    }
+
+    #[test]
+    fn digest_exchange_skips_converged_slots() {
+        // Both sides hold the same diverging suffix (converged via
+        // another path): every slot digest matches, so the heal
+        // session streams nothing but its empty final chunk.
+        let mut s = store(0, 8);
+        let mut peer = store(1, 8);
+        s.peer_down(1);
+        for i in 0..20u64 {
+            let m = s.update(i, SetUpdate::Insert(i as u32));
+            // The "other path": the peer already got everything.
+            peer.apply_message(&m);
+        }
+        let total_slots = 8 * s.heal_config().ranges as u64;
+        let chunks = s.heal_peer(&mut peer);
+        assert_eq!(chunks, 1, "only the empty completion chunk");
+        assert_eq!(
+            s.heal_digest_skips(),
+            total_slots,
+            "every slot agreed and was skipped"
+        );
+        for i in 0..20u64 {
+            assert_eq!(s.materialize_key(i), peer.materialize_key(i));
+        }
+    }
+
+    #[test]
+    fn digest_never_skips_differing_contents_of_same_shape() {
+        // Same keys, same update *count*, different payloads: digests
+        // must mismatch (payload hash reaches the digest), so the
+        // heal streams the real suffix — the collision-resistance
+        // gate of the skip decision.
+        let mut s = store(0, 2);
+        let mut peer = store(1, 2);
+        s.peer_down(1);
+        s.update(7, SetUpdate::Insert(1));
+        // The peer holds a different update under an identical shape
+        // (one entry on the same key, from a third replica).
+        let mut other = store(2, 2);
+        other.update(7, SetUpdate::Insert(999));
+        let StoreMsg::Update { key, msg } = other.update(7, SetUpdate::Insert(2)) else {
+            panic!()
+        };
+        peer.apply_message(&StoreMsg::Update { key, msg });
+        let chunks = s.heal_peer(&mut peer);
+        assert!(chunks >= 1);
+        assert!(
+            peer.materialize_key(7).contains(&1),
+            "diverged key was streamed despite equal counts"
+        );
+        // And the healer's own digest path never skipped that slot.
+        assert!(
+            s.heal_digest_skips() < 2 * s.heal_config().ranges as u64,
+            "the touched slot must not be counted skipped"
+        );
+    }
+
+    #[test]
+    fn flap_mid_heal_cancels_session_and_reheals_idempotently() {
+        let mut s = store(0, 2);
+        let mut peer = store(1, 2);
+        s.peer_down(1);
+        s.set_heal_config(HealConfig {
+            chunk: 2,
+            window: 1,
+            ..HealConfig::default()
+        });
+        for i in 0..10u64 {
+            s.update(i % 3, SetUpdate::Insert(i as u32));
+        }
+        // Open the session and deliver only the digest exchange plus
+        // the first chunk — then the peer flaps before acking.
+        let opener = s.peer_up(1).expect("divergence exists");
+        let resp = peer.apply_message_from(0, opener);
+        assert_eq!(resp.len(), 1);
+        let mut first_chunks = s.apply_message_from(1, resp.into_iter().next().unwrap().1);
+        assert!(!first_chunks.is_empty());
+        let (_, first_chunk) = first_chunks.remove(0);
+        let _ack = peer.apply_message_from(0, first_chunk);
+        assert!(s.heal_bytes_in_flight() > 0, "chunk unacked");
+        let watermark_before = s
+            .heal_sessions()
+            .next()
+            .map(|(_, sess)| sess.since)
+            .expect("session live");
+        // Flap: the session cancels, the outage re-opens at the
+        // session watermark, and the gauge drains.
+        s.peer_down(1);
+        assert!(s.heal_sessions().next().is_none());
+        assert_eq!(s.heal_bytes_in_flight(), 0);
+        assert_eq!(
+            s.partition().down_peers().collect::<Vec<_>>(),
+            vec![(1, watermark_before)],
+            "re-opened outage covers the cancelled stream"
+        );
+        // The stale ack from the first session is ignored.
+        // (peer already ingested chunk 1 — redelivery below dedups.)
+        // Full re-heal: everything converges despite the overlap.
+        let chunks = s.heal_peer(&mut peer);
+        assert!(chunks >= 1);
+        for k in 0..3u64 {
+            assert_eq!(s.materialize_key(k), peer.materialize_key(k), "key {k}");
+        }
     }
 
     #[test]

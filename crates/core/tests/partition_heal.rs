@@ -18,12 +18,12 @@
 
 use std::collections::HashMap;
 use uc_core::{
-    CheckpointFactory, GcFactory, GenericReplica, Key, NaiveFactory, StoreInput, StoreMsg,
-    StoreOutput, StrategyFactory, UcStore, UndoFactory,
+    CheckpointFactory, GcFactory, GenericReplica, HealConfig, Key, NaiveFactory, StoreInput,
+    StoreMsg, StoreOutput, StrategyFactory, UcStore, UndoFactory,
 };
 use uc_sim::{
-    Ctx, LatencyModel, LinkCounters, LinkModel, Pid, Protocol, ReliableLink, RetryConfig,
-    SimConfig, Simulation, SplitMix64, Topology,
+    Ctx, HeartbeatDetector, LatencyModel, LinkCounters, LinkModel, Pid, Protocol, ReliableLink,
+    RetryConfig, SimConfig, Simulation, SplitMix64, Topology,
 };
 use uc_spec::{SetAdt, SetQuery, SetUpdate};
 use uc_storage::{ScratchDir, SegmentFactory};
@@ -81,6 +81,23 @@ fn assert_matches_reference<F, P>(
     }
 }
 
+/// Two distinct nodes of the cluster, mutably — the borrow dance a
+/// direct-drive [`UcStore::heal_peer`] between vector elements needs.
+fn two_nodes<F: StrategyFactory<Adt>>(
+    nodes: &mut [UcStore<Adt, F>],
+    a: usize,
+    b: usize,
+) -> (&mut UcStore<Adt, F>, &mut UcStore<Adt, F>) {
+    assert_ne!(a, b);
+    if a < b {
+        let (l, r) = nodes.split_at_mut(b);
+        (&mut l[a], &mut r[0])
+    } else {
+        let (l, r) = nodes.split_at_mut(a);
+        (&mut r[0], &mut l[b])
+    }
+}
+
 /// The three-replica partition/heal scenario. `minority_updates`
 /// controls whether the cut-off replica (pid 2) keeps issuing updates
 /// while partitioned (writes stay wait-free on both sides).
@@ -132,14 +149,14 @@ where
         all.push(m);
     }
 
-    // Heal. Both majority replicas repair the minority one (the bursts
-    // overlap — delivery must be idempotent), and the minority replica
-    // repairs each majority replica with its own partition-era updates.
-    let heals: [(usize, Pid); 4] = [(0, 2), (1, 2), (2, 0), (2, 1)];
+    // Heal, through the digest-guided chunked dialogue. Both majority
+    // replicas repair the minority one (the streams overlap — chunk
+    // delivery must be idempotent), and the minority replica repairs
+    // each majority replica with its own partition-era updates.
+    let heals: [(usize, usize); 4] = [(0, 2), (1, 2), (2, 0), (2, 1)];
     for (src, peer) in heals {
-        if let Some(burst) = nodes[src].peer_up(peer) {
-            nodes[peer as usize].apply_batch(&[burst]);
-        }
+        let (healer, healed) = two_nodes(&mut nodes, src, peer);
+        healer.heal_peer(healed);
     }
     for n in &nodes {
         assert_eq!(n.partition().down_count(), 0, "heal clears the tracker");
@@ -254,10 +271,10 @@ fn segment_heal_stream_matches_memory_and_survives_crash_mid_heal() {
     // (served by LogBackend::stream_suffix from its journal segments)
     // must equal the in-memory replica's (served by filtering the
     // sorted log).
-    let Some(StoreMsg::Repair { updates: from_seg }) = a.peer_up(2) else {
+    let Some(StoreMsg::Repair { updates: from_seg }) = a.peer_up_monolithic(2) else {
         panic!("segment-backed heal must stream a burst");
     };
-    let Some(StoreMsg::Repair { updates: from_mem }) = b.peer_up(2) else {
+    let Some(StoreMsg::Repair { updates: from_mem }) = b.peer_up_monolithic(2) else {
         panic!("in-memory heal must stream a burst");
     };
     assert_eq!(
@@ -284,6 +301,90 @@ fn segment_heal_stream_matches_memory_and_survives_crash_mid_heal() {
     assert_matches_reference(&mut a, &mut refs, "segment source");
     assert_matches_reference(&mut b, &mut refs, "memory control");
     assert_matches_reference(&mut c, &mut refs, "crashed-and-healed sink");
+}
+
+/// Crash in the middle of a *chunked* heal: the sink durably applies
+/// only the first flow-controlled chunk and dies before acking; the
+/// healer sees the flap, cancels its session (re-opening the outage at
+/// the session watermark), and the post-reopen re-heal — whose chunks
+/// overlap everything already applied — converges through idempotent
+/// dedup. The resumability contract of the digest-guided heal path.
+#[test]
+fn chunked_heal_crash_mid_stream_reopens_and_reheals() {
+    let tmp_a = ScratchDir::new("chunk-heal-src");
+    let tmp_c = ScratchDir::new("chunk-heal-dst");
+    let persist_a = SegmentFactory::at(tmp_a.path()).expect("scratch");
+    let persist_c = SegmentFactory::at(tmp_c.path()).expect("scratch");
+    let factory = CheckpointFactory { every: 4 };
+    let mut a: UcStore<Adt, CheckpointFactory, SegmentFactory> =
+        UcStore::with_persistence(SetAdt::new(), 0, 2, factory, persist_a);
+    // Tiny chunks, window 1: the stream pauses on every unacked chunk,
+    // so "crash after the first chunk" is a reachable protocol state.
+    a.set_heal_config(HealConfig {
+        chunk: 3,
+        window: 1,
+        ..HealConfig::default()
+    });
+    let mut c: UcStore<Adt, CheckpointFactory, SegmentFactory> =
+        UcStore::with_persistence(SetAdt::new(), 2, 2, factory, persist_c.clone());
+
+    let mut rng = SplitMix64::new(0xC4A5);
+    let mut all: Vec<Msg> = Vec::new();
+    for _ in 0..12u64 {
+        let (key, u) = step_update(&mut rng);
+        let m = a.update(key, u);
+        c.apply_message(&m);
+        all.push(m);
+    }
+    c.flush_backends();
+    a.peer_down(2);
+    for _ in 0..16u64 {
+        let (key, u) = step_update(&mut rng);
+        let m = a.update(key, u);
+        all.push(m);
+    }
+
+    // Drive the dialogue by hand up to the first chunk.
+    let opener = a.peer_up(2).expect("divergence opens a session");
+    let mut resp = c.apply_message_from(0, opener);
+    assert_eq!(resp.len(), 1, "digest request answers with one response");
+    let mut chunks = a.apply_message_from(2, resp.remove(0).1);
+    assert_eq!(chunks.len(), 1, "window 1 streams one chunk at a time");
+    let (_, first_chunk) = chunks.remove(0);
+    // C applies it durably… and crashes before its ack is delivered.
+    let _lost_ack = c.apply_message_from(0, first_chunk);
+    c.flush_backends();
+    drop(c);
+    assert!(a.heal_bytes_in_flight() > 0, "chunk still unacked");
+
+    // The healer's detector fires again: session cancelled, outage
+    // re-opened at the session watermark (not the current clock).
+    let session_since = a.heal_sessions().next().map(|(_, s)| s.since).unwrap();
+    a.peer_down(2);
+    assert!(
+        a.heal_sessions().next().is_none(),
+        "flap cancels the session"
+    );
+    assert_eq!(a.heal_bytes_in_flight(), 0, "gauge drains on cancel");
+    assert_eq!(
+        a.partition().down_peers().collect::<Vec<_>>(),
+        vec![(2, session_since)],
+        "re-opened outage covers the cancelled stream"
+    );
+
+    // Recover the sink from disk and re-heal from scratch: the first
+    // chunk is re-streamed (the healer cannot know it landed) and
+    // deduplicated on arrival.
+    let mut c: UcStore<Adt, CheckpointFactory, SegmentFactory> =
+        UcStore::reopen(SetAdt::new(), 2, 2, factory, persist_c);
+    let streamed = a.heal_peer(&mut c);
+    assert!(streamed >= 2, "re-heal streams the full chunked suffix");
+    assert!(a.heal_sessions().next().is_none());
+    assert_eq!(a.heal_bytes_in_flight(), 0);
+
+    let mut refs = references(&all);
+    assert_matches_reference(&mut a, &mut refs, "chunked source");
+    assert_matches_reference(&mut c, &mut refs, "crashed-and-rehealed sink");
 }
 
 /// Regression (review): stability GC over reordering links. A
@@ -420,14 +521,14 @@ fn protocol_minority_posture() {
     };
     assert!(matches!(*inner, StoreOutput::Value { .. }));
     // Heal back to a majority: posture lifts, and the healed peer is
-    // sent a repair burst.
+    // sent the digest request that opens the chunked heal dialogue.
     store.on_invoke(StoreInput::PeerUp(1), &mut ctx);
     let val = store.on_invoke(StoreInput::Query(1, SetQuery::Read), &mut ctx);
     assert!(!matches!(val, StoreOutput::Degraded(_)));
     assert!(
         out.iter()
-            .any(|(to, m)| *to == 1 && matches!(m, StoreMsg::Repair { .. })),
-        "heal must address a repair burst to the healed peer"
+            .any(|(to, m)| *to == 1 && matches!(m, StoreMsg::DigestRequest { .. })),
+        "heal must open a digest-guided session with the healed peer"
     );
 }
 
@@ -516,5 +617,108 @@ fn reliable_link_store_converges_through_lossy_partition() {
     assert!(
         m.heal_replay_bytes > 0,
         "the PeerUp verdicts must stream repair bursts"
+    );
+}
+
+/// End-to-end with **no injected membership verdicts**: a
+/// [`HeartbeatDetector`] between the reliable link and the store
+/// derives `peer_down`/`peer_up` from missed heartbeats alone, over a
+/// lossy topology that partitions *twice* (a flap). Detection freezes
+/// the divergence watermark, recovery opens the digest-guided chunked
+/// heal, and the second outage exercises cancel-and-reheal — all
+/// driven by the detector, and every replica still converges.
+#[test]
+fn heartbeat_detector_drives_chunked_heal_through_flapping_partition() {
+    type Node = ReliableLink<HeartbeatDetector<UcStore<Adt, CheckpointFactory>>>;
+    let n = 3;
+    let counters = LinkCounters::new();
+    let mut topo = Topology::uniform(n, LinkModel::lossy(LatencyModel::Uniform(2, 9), 0.08));
+    // Two outage windows for {0, 1} | {2}: the second starts after the
+    // first heal completes, so sessions are opened, finished, and
+    // re-opened purely by detector verdicts.
+    topo.partition(vec![vec![0, 1], vec![2]], 1_500, 3_500);
+    topo.partition(vec![vec![0, 1], vec![2]], 5_500, 7_000);
+    let mut sim: Simulation<Node> = Simulation::new(
+        SimConfig {
+            n,
+            seed: 0xBEA7,
+            latency: LatencyModel::Uniform(2, 9),
+            fifo_links: false,
+        },
+        |pid| {
+            let mut store = UcStore::new(SetAdt::new(), pid, 2, CheckpointFactory { every: 8 });
+            store.attach_link_counters(counters.clone());
+            // Ticks fire every 50: a miss threshold of 6 suspects a
+            // peer after ~300 time units of silence — well inside
+            // each 1500+-unit outage window.
+            ReliableLink::new(
+                HeartbeatDetector::new(store, 6),
+                RetryConfig {
+                    base: 40,
+                    max_backoff: 400,
+                    jitter: 9,
+                    queue_cap: 512,
+                },
+                0xBEA7 ^ pid as u64,
+            )
+            .with_counters(counters.clone())
+        },
+    );
+    sim.set_topology(topo);
+    sim.attach_link_counters(counters.clone());
+    sim.schedule_ticks(50, 10_000);
+
+    let mut rng = SplitMix64::new(0xBEA8);
+    // Updates before, during, and between both outage windows,
+    // including on the minority side.
+    for i in 0..100u64 {
+        let t = 20 + i * 80; // spans 20..7940
+        let pid = (i % 3) as Pid;
+        let key = rng.next_u64() % KEYS;
+        let v = (rng.next_u64() % 10) as u32;
+        sim.schedule_invoke(t, pid, StoreInput::Update(key, SetUpdate::Insert(v)));
+    }
+    sim.run_to_quiescence();
+
+    // The detector did the failure detection: both sides suspected
+    // across both windows and recovered — no test-injected verdicts.
+    for p in 0..n as Pid {
+        let det = sim.process(p).inner();
+        assert!(
+            det.down_verdicts() >= 2,
+            "replica {p}: two outage windows must trip ≥ 2 down verdicts, got {}",
+            det.down_verdicts()
+        );
+        assert!(
+            det.up_verdicts() >= det.down_verdicts().min(2),
+            "replica {p}: recoveries must be reported back up"
+        );
+        assert_eq!(
+            det.inner().partition().down_count(),
+            0,
+            "replica {p}: all outages healed by the end"
+        );
+    }
+    for k in 0..KEYS {
+        let expect = sim
+            .process_mut(0)
+            .inner_mut()
+            .inner_mut()
+            .materialize_key(k);
+        for p in 1..n as Pid {
+            assert_eq!(
+                expect,
+                sim.process_mut(p)
+                    .inner_mut()
+                    .inner_mut()
+                    .materialize_key(k),
+                "key {k} diverged on replica {p}"
+            );
+        }
+    }
+    let m = uc_sim::ClusterHarness::metrics(&sim);
+    assert!(
+        m.heal_replay_bytes > 0,
+        "detector-driven heals must stream chunks"
     );
 }

@@ -1,0 +1,278 @@
+//! A minimal **heartbeat failure detector**: membership verdicts from
+//! missed heartbeats instead of test-injected `peer_down`/`peer_up`
+//! invocations.
+//!
+//! [`HeartbeatDetector`] wraps any [`Protocol`] whose input type can
+//! express membership verdicts ([`MembershipInput`]) and rides the
+//! wrapped node's existing traffic:
+//!
+//! * every delivered message from a peer refreshes that peer's
+//!   liveness (heartbeats count, but so does anything else — a chatty
+//!   peer never needs a dedicated heartbeat to stay "up");
+//! * on each tick, a peer silent for more than `miss_threshold` ticks
+//!   is reported down (`P::Input::peer_down`), freezing the inner
+//!   protocol's divergence watermark;
+//! * the first message heard from a down peer reports it up
+//!   (`P::Input::peer_up`) — for a store, this is what opens the
+//!   reconciliation heal session.
+//!
+//! Like the eventually-perfect detectors the partitionable-systems
+//! brief assumes, verdicts are *unreliable*: a slow peer may be
+//! suspected and later unsuspected. The wrapped store tolerates that
+//! by construction — `peer_down` is idempotent-with-earliest-watermark
+//! and a spurious heal streams an empty (digest-skipped) session.
+//!
+//! Compose inside a [`ReliableLink`](crate::reliable::ReliableLink)
+//! (`ReliableLink<HeartbeatDetector<UcStore>>`): the detector then
+//! sees deduplicated, in-order traffic, and the membership-triggered
+//! heal chunks ride the link's retransmission machinery.
+
+use crate::process::{Ctx, Pid, Protocol};
+
+/// Implemented by protocol input types that can express
+/// failure-detector membership verdicts. The detector drives its
+/// wrapped protocol exclusively through these two constructors.
+pub trait MembershipInput {
+    /// The invocation reporting `peer` unreachable.
+    fn peer_down(peer: Pid) -> Self;
+    /// The invocation reporting `peer` reachable again.
+    fn peer_up(peer: Pid) -> Self;
+}
+
+/// Per-peer liveness bookkeeping.
+#[derive(Clone, Copy, Debug)]
+struct PeerState {
+    /// Tick count when this peer was last heard from.
+    last_seen: u64,
+    /// Currently suspected down?
+    down: bool,
+}
+
+/// A heartbeat failure detector wrapped around a [`Protocol`] node —
+/// see the [module docs](self).
+#[derive(Debug)]
+pub struct HeartbeatDetector<P> {
+    inner: P,
+    /// Silent ticks tolerated before a peer is suspected.
+    miss_threshold: u64,
+    /// Local tick counter (the detector's notion of time).
+    ticks: u64,
+    /// Lazily sized to the cluster (`Ctx::n`) on first callback.
+    peers: Vec<PeerState>,
+    down_verdicts: u64,
+    up_verdicts: u64,
+}
+
+impl<P> HeartbeatDetector<P> {
+    /// Wrap `inner`, suspecting any peer silent for more than
+    /// `miss_threshold` consecutive ticks. With the store's
+    /// one-heartbeat-per-tick cadence, `miss_threshold` is literally
+    /// "missed heartbeats tolerated"; 0 is clamped to 1 (every tick
+    /// without traffic would otherwise be an outage).
+    pub fn new(inner: P, miss_threshold: u64) -> Self {
+        HeartbeatDetector {
+            inner,
+            miss_threshold: miss_threshold.max(1),
+            ticks: 0,
+            peers: Vec::new(),
+            down_verdicts: 0,
+            up_verdicts: 0,
+        }
+    }
+
+    /// The wrapped protocol node.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// The wrapped protocol node, mutably.
+    pub fn inner_mut(&mut self) -> &mut P {
+        &mut self.inner
+    }
+
+    /// Down verdicts issued so far.
+    pub fn down_verdicts(&self) -> u64 {
+        self.down_verdicts
+    }
+
+    /// Up (recovery) verdicts issued so far.
+    pub fn up_verdicts(&self) -> u64 {
+        self.up_verdicts
+    }
+
+    /// Is `peer` currently suspected down?
+    pub fn is_suspected(&self, peer: Pid) -> bool {
+        self.peers
+            .get(peer as usize)
+            .is_some_and(|state| state.down)
+    }
+
+    fn ensure_peers(&mut self, n: usize) {
+        if self.peers.len() < n {
+            let ticks = self.ticks;
+            self.peers.resize(
+                n,
+                PeerState {
+                    // Discovery grace: a fresh table treats everyone
+                    // as just heard from, so quiet peers get a full
+                    // threshold before the first suspicion.
+                    last_seen: ticks,
+                    down: false,
+                },
+            );
+        }
+    }
+}
+
+impl<P> HeartbeatDetector<P>
+where
+    P: Protocol,
+    P::Input: MembershipInput,
+{
+    /// Record liveness for `from`; if it was suspected, report it
+    /// back up to the inner protocol.
+    fn note_alive(&mut self, from: Pid, ctx: &mut Ctx<'_, P::Msg>) {
+        let Some(state) = self.peers.get_mut(from as usize) else {
+            return;
+        };
+        state.last_seen = self.ticks;
+        if state.down {
+            state.down = false;
+            self.up_verdicts += 1;
+            let _ = self.inner.on_invoke(P::Input::peer_up(from), ctx);
+        }
+    }
+}
+
+impl<P> Protocol for HeartbeatDetector<P>
+where
+    P: Protocol,
+    P::Input: MembershipInput,
+{
+    type Msg = P::Msg;
+    type Input = P::Input;
+    type Output = P::Output;
+
+    fn on_invoke(&mut self, input: Self::Input, ctx: &mut Ctx<'_, Self::Msg>) -> Self::Output {
+        self.inner.on_invoke(input, ctx)
+    }
+
+    fn on_message(&mut self, from: Pid, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>) {
+        self.ensure_peers(ctx.n());
+        self.note_alive(from, ctx);
+        self.inner.on_message(from, msg, ctx);
+    }
+
+    fn on_batch(&mut self, msgs: Vec<(Pid, Self::Msg)>, ctx: &mut Ctx<'_, Self::Msg>) {
+        self.ensure_peers(ctx.n());
+        let mut froms: Vec<Pid> = msgs.iter().map(|(from, _)| *from).collect();
+        froms.sort_unstable();
+        froms.dedup();
+        for from in froms {
+            self.note_alive(from, ctx);
+        }
+        self.inner.on_batch(msgs, ctx);
+    }
+
+    fn on_tick(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        self.ensure_peers(ctx.n());
+        self.ticks += 1;
+        for peer in 0..self.peers.len() as Pid {
+            if peer == ctx.pid() {
+                continue;
+            }
+            let state = &mut self.peers[peer as usize];
+            if !state.down && self.ticks.saturating_sub(state.last_seen) > self.miss_threshold {
+                state.down = true;
+                self.down_verdicts += 1;
+                let _ = self.inner.on_invoke(P::Input::peer_down(peer), ctx);
+            }
+        }
+        self.inner.on_tick(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial inner protocol recording the membership verdicts it
+    /// was driven with.
+    #[derive(Default)]
+    struct Probe {
+        verdicts: Vec<(Pid, bool)>,
+    }
+
+    #[derive(Clone, Debug)]
+    enum ProbeInput {
+        Down(Pid),
+        Up(Pid),
+    }
+
+    impl MembershipInput for ProbeInput {
+        fn peer_down(peer: Pid) -> Self {
+            ProbeInput::Down(peer)
+        }
+        fn peer_up(peer: Pid) -> Self {
+            ProbeInput::Up(peer)
+        }
+    }
+
+    impl Protocol for Probe {
+        type Msg = u32;
+        type Input = ProbeInput;
+        type Output = ();
+
+        fn on_invoke(&mut self, input: Self::Input, _ctx: &mut Ctx<'_, u32>) {
+            match input {
+                ProbeInput::Down(p) => self.verdicts.push((p, true)),
+                ProbeInput::Up(p) => self.verdicts.push((p, false)),
+            }
+        }
+        fn on_message(&mut self, _from: Pid, _msg: u32, _ctx: &mut Ctx<'_, u32>) {}
+    }
+
+    #[test]
+    fn silence_is_suspected_and_traffic_unsuspects() {
+        let mut det = HeartbeatDetector::new(Probe::default(), 2);
+        let mut outbox = Vec::new();
+        // Peer 1 talks on the first tick boundary; peer 2 never does.
+        for tick in 1..=4u64 {
+            let mut ctx = Ctx::new(0, 3, tick, &mut outbox);
+            if tick == 1 {
+                det.on_message(1, 7, &mut ctx);
+            }
+            det.on_tick(&mut ctx);
+        }
+        assert!(det.is_suspected(1), "peer 1 went quiet after tick 1");
+        assert!(det.is_suspected(2), "peer 2 was never heard");
+        assert!(!det.is_suspected(0), "self is never suspected");
+        assert_eq!(det.down_verdicts(), 2);
+        assert_eq!(
+            det.inner().verdicts,
+            vec![(1, true), (2, true)],
+            "both silent peers trip, in pid order"
+        );
+        // Peer 1 comes back: one up verdict, and its clock restarts.
+        let mut ctx = Ctx::new(0, 3, 5, &mut outbox);
+        det.on_message(1, 8, &mut ctx);
+        assert!(!det.is_suspected(1));
+        assert_eq!(det.up_verdicts(), 1);
+        assert_eq!(det.inner().verdicts.last(), Some(&(1, false)));
+    }
+
+    #[test]
+    fn batch_refreshes_every_sender_once() {
+        let mut det = HeartbeatDetector::new(Probe::default(), 1);
+        let mut outbox = Vec::new();
+        for tick in 1..=3u64 {
+            let mut ctx = Ctx::new(0, 3, tick, &mut outbox);
+            det.on_tick(&mut ctx);
+        }
+        assert!(det.is_suspected(1) && det.is_suspected(2));
+        let mut ctx = Ctx::new(0, 3, 4, &mut outbox);
+        det.on_batch(vec![(1, 1), (2, 2), (1, 3)], &mut ctx);
+        assert!(!det.is_suspected(1) && !det.is_suspected(2));
+        assert_eq!(det.up_verdicts(), 2, "one up verdict per sender");
+    }
+}

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod detector;
 pub mod faults;
 pub mod harness;
 pub mod metrics;
@@ -51,6 +52,7 @@ pub mod topology;
 pub mod trace;
 pub mod workload;
 
+pub use detector::{HeartbeatDetector, MembershipInput};
 pub use harness::{ClusterHarness, NodeError};
 pub use metrics::{LinkCounters, Metrics};
 pub use network::{DeliveryMode, LatencyModel, Partition, PartitionSchedule};

@@ -7,9 +7,12 @@
 //! node 2 keeps accepting local writes (wait-freedom over strong
 //! consistency), and the `health()` surface shows exactly what an
 //! operator would see on a dashboard — down peers, a stalled stable
-//! bound, a minority refusing reads. On heal, repair bursts replay
-//! the missed suffixes, every replica converges to the same value,
-//! and the monitor confirms the whole episode violated nothing.
+//! bound, a minority refusing reads. On heal, each side runs the
+//! digest-guided chunked heal dialogue (converged digest slots are
+//! skipped, the rest stream as bounded acked chunks), every replica
+//! converges to the same value, the heal counters show up in the
+//! `/metrics` scrape, and the monitor confirms the whole episode
+//! violated nothing.
 //!
 //! ```text
 //! cargo run --example observability
@@ -123,28 +126,25 @@ fn main() {
         nodes[2].query(KEY, &CounterQuery::Read),
     );
 
-    // Phase 3: the link comes back. Each side streams the suffix the
-    // other missed (everything above the outage-start watermark).
-    let bursts: Vec<(usize, Vec<usize>, Option<Msg>)> = vec![
-        (0, vec![2], nodes[0].peer_up(2)),
-        (1, vec![2], nodes[1].peer_up(2)),
-        (2, vec![0, 1], {
-            nodes[2].peer_up(0);
-            nodes[2].peer_up(1)
-        }),
-    ];
-    for (from, to, burst) in bursts {
-        if let Some(msg) = burst {
-            if let StoreMsg::Repair { updates } = &msg {
-                println!(
-                    "heal: node {from} replays {} updates to {to:?}",
-                    updates.len()
-                );
-            }
-            for dest in to {
-                nodes[dest].apply_message(&msg);
-            }
-        }
+    // Phase 3: the link comes back. Each side opens a digest-guided
+    // chunked heal session toward the peer it had marked down:
+    // matching digest slots are skipped outright, the rest stream as
+    // bounded, acked chunks (never more than `window * chunk` entries
+    // in flight). `heal_peer` drives the whole dialogue to completion
+    // and returns how many chunks it took.
+    for (healer, healed) in [(0usize, 2usize), (1, 2), (2, 0), (2, 1)] {
+        let (lo, hi) = nodes.split_at_mut(healer.max(healed));
+        let (a, b) = if healer < healed {
+            (&mut lo[healer], &mut hi[0])
+        } else {
+            (&mut hi[0], &mut lo[healed])
+        };
+        let chunks = a.heal_peer(b);
+        println!(
+            "heal: node {healer} -> node {healed}: {chunks} chunk(s), \
+             {} digest slot(s) skipped so far",
+            a.heal_digest_skips()
+        );
     }
     heartbeats(&mut nodes, &[0, 1, 2]);
     print_health(&nodes, "healed");
@@ -167,11 +167,22 @@ fn main() {
     }
 
     // What a scrape would return, and what the trace ring remembers.
+    // The heal telemetry is part of the same surface: chunk and
+    // digest-skip totals climb during the heal, and the in-flight
+    // gauge is back to zero once every chunk has been acked.
     let reg = Registry::new();
     nodes[0].export_metrics(&reg);
-    println!(
-        "\n── node 0 /metrics ──\n{}",
-        reg.snapshot().render_prometheus()
+    let scrape = reg.snapshot().render_prometheus();
+    println!("\n── node 0 /metrics ──\n{scrape}");
+    println!("── node 0 heal telemetry (same scrape, filtered) ──");
+    for line in scrape.lines().filter(|l| l.contains("uc_store_heal")) {
+        println!("  {line}");
+    }
+    assert!(nodes[0].heal_chunks() > 0, "chunked heal must have run");
+    assert_eq!(
+        nodes[0].heal_bytes_in_flight(),
+        0,
+        "every chunk must be acked once the heal completes"
     );
     if let Some(ring) = nodes[0].trace() {
         let events = ring.drain();
